@@ -1,0 +1,79 @@
+//===- bench/BenchUtil.h - Shared benchmark harness pieces ------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the experiment binaries: repeated-timing wrappers and
+/// prepared workloads. Each bench binary regenerates one table or figure
+/// of the (reconstructed) evaluation; see DESIGN.md section 4 and
+/// EXPERIMENTS.md for the mapping.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_BENCH_BENCHUTIL_H
+#define ODBURG_BENCH_BENCHUTIL_H
+
+#include "core/OnDemandAutomaton.h"
+#include "offline/OfflineTables.h"
+#include "select/DPLabeler.h"
+#include "select/Reducer.h"
+#include "support/StringUtil.h"
+#include "support/TablePrinter.h"
+#include "support/Timer.h"
+#include "targets/Target.h"
+#include "workload/Corpus.h"
+#include "workload/Synthetic.h"
+
+#include <functional>
+
+namespace odburg {
+namespace bench {
+
+/// Runs \p Fn \p Reps times and returns the minimum wall time in
+/// nanoseconds (minimum-of-N filters scheduler noise, the usual practice
+/// for short deterministic regions).
+template <typename FnT>
+std::uint64_t bestOfNs(unsigned Reps, FnT &&Fn) {
+  std::uint64_t Best = ~0ULL;
+  for (unsigned I = 0; I < Reps; ++I) {
+    Stopwatch W;
+    Fn();
+    Best = std::min(Best, W.elapsedNs());
+  }
+  return Best;
+}
+
+/// Emitted-instruction count of a selection under \p G (used for the
+/// per-emitted-instruction metrics of the figures).
+inline unsigned emittedInstructions(const Grammar &G, const ir::IRFunction &F,
+                                    const Labeling &L,
+                                    const DynCostTable *Dyn) {
+  Selection S = cantFail(reduce(G, F, L, Dyn));
+  unsigned Count = 0;
+  for (const Match &M : S.Matches) {
+    const std::string &T = G.sourceRule(M.Source).EmitTemplate;
+    if (T.empty())
+      continue;
+    // Count instruction lines: alias-only templates emit nothing.
+    std::size_t Pos = 0;
+    while (true) {
+      std::size_t Next = T.find("\\n", Pos);
+      std::string_view Line(T.data() + Pos,
+                            (Next == std::string::npos ? T.size() : Next) -
+                                Pos);
+      if (!Line.empty() && Line[0] != '=')
+        ++Count;
+      if (Next == std::string::npos)
+        break;
+      Pos = Next + 2;
+    }
+  }
+  return Count;
+}
+
+} // namespace bench
+} // namespace odburg
+
+#endif // ODBURG_BENCH_BENCHUTIL_H

@@ -1,0 +1,57 @@
+//===- bench/bench_a1_ablation.cpp - Ablation A1 --------------------------------===//
+//
+// Part of the odburg project.
+//
+// A1: where does the speed come from? Three configurations of the same
+// engine on the same input:
+//   full      — transition cache + hash-consed states (the paper's design)
+//   no-cache  — recompute the state at every node (hash consing only);
+//               this is "DP lifted to states" without memoized transitions
+//   dp        — the iburg baseline (no states at all)
+// If the paper's claim holds, no-cache sits between dp and full: state
+// computation is comparable to a DP step, so the cache is what makes the
+// automaton fast, while hash consing is what keeps it *small* (T2/T6).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace odburg;
+using namespace odburg::bench;
+using namespace odburg::workload;
+
+int main() {
+  auto T = cantFail(targets::makeTarget("x86"));
+
+  TablePrinter Table("A1. Ablation: labeling time per node [ns] (x86)");
+  Table.setHeader({"benchmark", "dp", "od no-cache", "od full",
+                   "cache speedup", "full vs dp"});
+
+  for (const char *Name : {"gzip-like", "gcc-like", "crafty-like",
+                           "vortex-like", "twolf-like"}) {
+    Profile P = *findProfile(Name);
+    ir::IRFunction F = cantFail(generate(P, T->G));
+    double N = F.size();
+
+    DPLabeler DP(T->G, &T->Dyn);
+    DP.label(F);
+    std::uint64_t DPNs = bestOfNs(3, [&] { DP.label(F); });
+
+    OnDemandAutomaton::Options NoCache;
+    NoCache.UseTransitionCache = false;
+    OnDemandAutomaton ANoCache(T->G, &T->Dyn, NoCache);
+    ANoCache.labelFunction(F);
+    std::uint64_t NoCacheNs = bestOfNs(3, [&] { ANoCache.labelFunction(F); });
+
+    OnDemandAutomaton AFull(T->G, &T->Dyn);
+    AFull.labelFunction(F);
+    std::uint64_t FullNs = bestOfNs(3, [&] { AFull.labelFunction(F); });
+
+    Table.addRow({Name, formatFixed(DPNs / N, 1),
+                  formatFixed(NoCacheNs / N, 1), formatFixed(FullNs / N, 1),
+                  formatFixed(static_cast<double>(NoCacheNs) / FullNs, 2),
+                  formatFixed(static_cast<double>(DPNs) / FullNs, 2)});
+  }
+  Table.print();
+  return 0;
+}

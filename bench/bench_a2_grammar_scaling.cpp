@@ -1,0 +1,62 @@
+//===- bench/bench_a2_grammar_scaling.cpp - Ablation A2 -------------------------===//
+//
+// Part of the odburg project.
+//
+// A2: the paper's core scaling argument, isolated. DP labeling walks every
+// rule applicable at a node, so its per-node cost grows with the grammar;
+// the automaton's per-node cost is one probe regardless. We synthesize
+// grammars with 2..32 rule alternatives per operator (grammar/Synthesize.h
+// guarantees they converge as automata) and label the same-shaped random
+// inputs with both engines.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "grammar/Synthesize.h"
+
+using namespace odburg;
+using namespace odburg::bench;
+
+int main() {
+  TablePrinter Table("A2. Labeling time per node [ns] vs. rules per "
+                     "operator (synthesized grammars, same input shape)");
+  Table.setHeader({"rules/op", "total rules", "dp", "ondemand (warm)",
+                   "dp/od", "od states"});
+
+  for (unsigned RulesPerOp : {2u, 4u, 8u, 16u, 32u}) {
+    SynthesisParams P;
+    P.RulesPerOp = RulesPerOp;
+    P.NumNts = 6;
+    P.Seed = 7;
+    Grammar G = cantFail(synthesizeGrammar(P));
+
+    // Same tree shapes for every grammar size: the op sets are identical
+    // across RulesPerOp, so the RNG stream builds identical structures.
+    ir::IRFunction F;
+    RNG Rand(99);
+    for (int I = 0; I < 40; ++I)
+      F.addRoot(workload::synthesizeTree(G, F, Rand, 1200));
+
+    DPLabeler DP(G);
+    DP.label(F);
+    std::uint64_t DPNs = bestOfNs(3, [&] { DP.label(F); });
+
+    OnDemandAutomaton A(G);
+    A.labelFunction(F);
+    std::uint64_t ODNs = bestOfNs(3, [&] { A.labelFunction(F); });
+
+    double N = F.size();
+    Table.addRow({std::to_string(RulesPerOp),
+                  std::to_string(G.numNormRules()),
+                  formatFixed(DPNs / N, 1), formatFixed(ODNs / N, 1),
+                  formatFixed(static_cast<double>(DPNs) / ODNs, 2),
+                  std::to_string(A.numStates())});
+  }
+  Table.print();
+  std::printf("\nExpected shape: the dp column grows roughly linearly with "
+              "rules/op; the\nondemand column stays flat, so the ratio "
+              "widens — 'the speed of an\nautomaton is mostly unaffected by "
+              "the number of grammar rules'.\n");
+  return 0;
+}

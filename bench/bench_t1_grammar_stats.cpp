@@ -1,0 +1,54 @@
+//===- bench/bench_t1_grammar_stats.cpp - Table T1 ---------------------------===//
+//
+// Part of the odburg project.
+//
+// T1: grammar statistics and exhaustive-automaton sizes per target — the
+// analogue of the grammar/automaton tables in this line of papers (rules,
+// normal-form rules, dynamic-cost rules, states, transition-table bytes,
+// generation time). Offline generation runs on the stripped grammars
+// (dynamic costs cannot be tabulated ahead of time — that is the point).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace odburg;
+using namespace odburg::bench;
+
+int main() {
+  TablePrinter Table(
+      "T1. Grammar statistics and offline (burg-style) automata");
+  Table.setHeader({"grammar", "rules", "norm", "chain", "dyn", "nts", "ops",
+                   "offl states", "offl trans", "table bytes", "gen ms"});
+  for (const std::string &Name : targets::targetNames()) {
+    auto T = cantFail(targets::makeTarget(Name));
+    GrammarStats S = T->G.stats();
+    CompiledTables Tables = cantFail(OfflineTableGen(T->Fixed).generate());
+    const CompiledTables::Stats &O = Tables.stats();
+    Table.addRow({Name, std::to_string(S.SourceRules),
+                  std::to_string(S.NormRules), std::to_string(S.ChainRules),
+                  std::to_string(S.DynCostRules),
+                  std::to_string(S.Nonterminals), std::to_string(S.Operators),
+                  std::to_string(O.NumStates),
+                  formatThousands(O.NumTransitions),
+                  formatThousands(O.TableBytes), formatFixed(O.GenerationMs, 2)});
+  }
+  Table.addSeparator();
+
+  // The same grammars with the dynamic rules stripped (what the offline
+  // columns above were generated from).
+  for (const std::string &Name : targets::targetNames()) {
+    auto T = cantFail(targets::makeTarget(Name));
+    GrammarStats S = T->Fixed.stats();
+    Table.addRow({Name + " (stripped)", std::to_string(S.SourceRules),
+                  std::to_string(S.NormRules), std::to_string(S.ChainRules),
+                  std::to_string(S.DynCostRules),
+                  std::to_string(S.Nonterminals),
+                  std::to_string(S.Operators)});
+  }
+  Table.print();
+  std::printf("\nNote: offline tables cannot encode dynamic costs; the "
+              "on-demand automaton\n(T2) handles the full grammars "
+              "including the 'dyn' rules.\n");
+  return 0;
+}

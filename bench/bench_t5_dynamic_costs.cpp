@@ -1,0 +1,93 @@
+//===- bench/bench_t5_dynamic_costs.cpp - Table T5 -----------------------------===//
+//
+// Part of the odburg project.
+//
+// T5: what dynamic costs buy, and what they cost.
+//  (a) Code quality: selected-cover cost and emitted instructions with the
+//      full grammar vs. the stripped grammar, per corpus program — the
+//      analogue of lcc's 0-7% execution-time / 1-14% code-size gains.
+//  (b) Labeling price: warm on-demand labeling time with and without
+//      dynamic rules (the hooks are evaluated per node on the fast path).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "grammar/Transform.h"
+
+using namespace odburg;
+using namespace odburg::bench;
+using namespace odburg::workload;
+
+int main() {
+  auto T = cantFail(targets::makeTarget("x86"));
+
+  // The paper's code-quality experiment: disable only the constrained
+  // read-modify-write rules (hook "memop"); immediate-range rules stay.
+  Grammar NoRmw = cantFail(withoutDynHook(T->G, "memop"));
+  DynCostTable NoRmwDyn =
+      cantFail(DynCostTable::build(NoRmw, targets::standardHooks()));
+
+  TablePrinter Quality("T5a. Code quality: read-modify-write rules on vs. "
+                       "off (x86, MiniC corpus)");
+  Quality.setHeader({"benchmark", "cost on", "cost off", "cost ratio",
+                     "instrs on", "instrs off", "size ratio"});
+
+  double CostSumOn = 0, CostSumOff = 0;
+  for (const CorpusProgram &P : corpus()) {
+    ir::IRFunction FOn = cantFail(compileCorpusProgram(P, T->G));
+    DPLabeling LOn = DPLabeler(T->G, &T->Dyn).label(FOn);
+    Selection SOn = cantFail(reduce(T->G, FOn, LOn, &T->Dyn));
+    unsigned IOn = emittedInstructions(T->G, FOn, LOn, &T->Dyn);
+
+    ir::IRFunction FOff = cantFail(compileCorpusProgram(P, NoRmw));
+    DPLabeling LOff = DPLabeler(NoRmw, &NoRmwDyn).label(FOff);
+    Selection SOff = cantFail(reduce(NoRmw, FOff, LOff, &NoRmwDyn));
+    unsigned IOff = emittedInstructions(NoRmw, FOff, LOff, &NoRmwDyn);
+
+    CostSumOn += SOn.TotalCost.value();
+    CostSumOff += SOff.TotalCost.value();
+    Quality.addRow(
+        {P.Name, std::to_string(SOn.TotalCost.value()),
+         std::to_string(SOff.TotalCost.value()),
+         formatFixed(static_cast<double>(SOff.TotalCost.value()) /
+                         SOn.TotalCost.value(),
+                     2),
+         std::to_string(IOn), std::to_string(IOff),
+         formatFixed(static_cast<double>(IOff) / IOn, 2)});
+  }
+  Quality.addSeparator();
+  Quality.addRow({"average", "", "", formatFixed(CostSumOff / CostSumOn, 2)});
+  Quality.print();
+  std::printf("\n(lcc reports 0-7%% run-time and 1-14%% code-size gains on "
+              "SPEC; our MiniC\nkernels are store-dominated, so the same "
+              "mechanism shows larger ratios.)\n");
+
+  // (b) The price: per-node warm labeling time with/without dynamic rules.
+  TablePrinter Price("\nT5b. Labeling price of dynamic costs (x86, warm "
+                     "on-demand automaton)");
+  Price.setHeader({"benchmark", "ns/node full", "ns/node stripped",
+                   "overhead %", "hook evals/node"});
+  for (const Profile &P : specProfiles()) {
+    ir::IRFunction FOn = cantFail(generate(P, T->G));
+    OnDemandAutomaton AOn(T->G, &T->Dyn);
+    AOn.labelFunction(FOn);
+    SelectionStats S;
+    AOn.labelFunction(FOn, &S);
+    std::uint64_t OnNs = bestOfNs(3, [&] { AOn.labelFunction(FOn); });
+
+    ir::IRFunction FOff = cantFail(generate(P, T->Fixed));
+    OnDemandAutomaton AOff(T->Fixed);
+    AOff.labelFunction(FOff);
+    std::uint64_t OffNs = bestOfNs(3, [&] { AOff.labelFunction(FOff); });
+
+    double OnPer = OnNs / static_cast<double>(FOn.size());
+    double OffPer = OffNs / static_cast<double>(FOff.size());
+    Price.addRow({P.Name, formatFixed(OnPer, 1), formatFixed(OffPer, 1),
+                  formatFixed(100.0 * (OnPer - OffPer) / OffPer, 1),
+                  formatFixed(S.DynCostEvals / static_cast<double>(FOn.size()),
+                              2)});
+  }
+  Price.print();
+  return 0;
+}

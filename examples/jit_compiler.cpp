@@ -1,0 +1,60 @@
+//===- examples/jit_compiler.cpp - a JIT-style compilation loop --------------===//
+//
+// Part of the odburg project.
+//
+// Plays the role the CACAO second stage plays in the papers: compile a
+// stream of methods (the MiniC corpus) with one persistent on-demand
+// automaton and watch it warm up — states are only created for the first
+// few methods, after which labeling is pure cache hits.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/OnDemandAutomaton.h"
+#include "select/Reducer.h"
+#include "support/StringUtil.h"
+#include "support/TablePrinter.h"
+#include "targets/AsmEmitter.h"
+#include "targets/Target.h"
+#include "workload/Corpus.h"
+
+#include <cstdio>
+
+using namespace odburg;
+using namespace odburg::workload;
+
+int main() {
+  auto T = cantFail(targets::makeTarget("vm64"));
+  OnDemandAutomaton A(T->G, &T->Dyn);
+
+  TablePrinter Table("JIT compilation with a persistent on-demand automaton "
+                     "(target: vm64)");
+  Table.setHeader({"method", "IR nodes", "asm instrs", "states total",
+                   "new states", "hit rate %"});
+
+  unsigned PrevStates = 0;
+  for (const CorpusProgram &P : corpus()) {
+    ir::IRFunction F = cantFail(compileCorpusProgram(P, T->G));
+    SelectionStats Stats;
+    A.labelFunction(F, &Stats);
+    Selection S = cantFail(reduce(T->G, F, A, &T->Dyn));
+    targets::AsmOutput Asm = cantFail(targets::emitAsm(T->G, F, S));
+    double HitRate = 100.0 * static_cast<double>(Stats.CacheHits) /
+                     static_cast<double>(Stats.CacheProbes);
+    Table.addRow({P.Name, std::to_string(F.size()),
+                  std::to_string(Asm.instructions()),
+                  std::to_string(A.numStates()),
+                  std::to_string(A.numStates() - PrevStates),
+                  formatFixed(HitRate, 1)});
+    PrevStates = A.numStates();
+  }
+  Table.print();
+
+  // Show the code for one small method, as a JIT log would.
+  const CorpusProgram *Fact = findCorpusProgram("Fact");
+  ir::IRFunction F = cantFail(compileCorpusProgram(*Fact, T->G));
+  A.labelFunction(F);
+  Selection S = cantFail(reduce(T->G, F, A, &T->Dyn));
+  targets::AsmOutput Asm = cantFail(targets::emitAsm(T->G, F, S));
+  std::printf("\ngenerated code for Fact:\n%s", Asm.text().c_str());
+  return 0;
+}

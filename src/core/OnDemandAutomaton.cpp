@@ -1,0 +1,95 @@
+//===- core/OnDemandAutomaton.cpp - The paper's contribution --------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/OnDemandAutomaton.h"
+
+#include "support/Compiler.h"
+#include "support/ErrorHandling.h"
+
+using namespace odburg;
+
+OnDemandAutomaton::OnDemandAutomaton(const Grammar &G, const DynCostTable *Dyn)
+    : OnDemandAutomaton(G, Dyn, Options()) {}
+
+OnDemandAutomaton::OnDemandAutomaton(const Grammar &G, const DynCostTable *Dyn,
+                                     Options Opts)
+    : G(G), Dyn(Dyn), Computer(G), States(G.numNonterminals()), Opts(Opts) {
+  assert(G.isFinalized() && "grammar must be finalized");
+  assert((!G.hasDynCosts() || Dyn) &&
+         "grammar has dynamic costs but no hook table was supplied");
+}
+
+const State *OnDemandAutomaton::computeState(OperatorId Op,
+                                             const State *const *ChildStates,
+                                             const Cost *DynOutcomes,
+                                             SelectionStats &Stats) {
+  ++Stats.StatesComputed;
+  SmallVector<Cost, 32> Costs;
+  SmallVector<RuleId, 32> Rules;
+  Computer.compute(
+      Op,
+      [&](unsigned Pos, NonterminalId Nt) {
+        return ChildStates[Pos]->costOf(Nt);
+      },
+      [&](unsigned J) { return DynOutcomes[J]; }, Costs, Rules, &Stats);
+  const State *S = States.intern(Op, Costs.data(), Rules.data());
+  if (States.size() > Opts.MaxStates)
+    reportFatalError("on-demand automaton exceeded its state limit; the "
+                     "grammar's relative costs likely diverge (missing chain "
+                     "rules)");
+  return S;
+}
+
+StateId OnDemandAutomaton::labelNode(ir::Node &N, SelectionStats &Stats) {
+  ++Stats.NodesLabeled;
+  OperatorId Op = N.op();
+  unsigned NumChildren = N.numChildren();
+  const auto &DynRules = G.dynRulesFor(Op);
+  unsigned NumDyn = DynRules.size();
+
+  // Build the transition key: header, child states, dynamic-cost outcomes.
+  SmallVector<std::uint32_t, 20> Key;
+  Key.push_back(TransitionCache::packHeader(Op, NumChildren, NumDyn));
+  SmallVector<const State *, 4> ChildStates;
+  for (unsigned I = 0; I < NumChildren; ++I) {
+    StateId CS = N.child(I)->label();
+    ChildStates.push_back(States.byId(CS));
+    Key.push_back(CS);
+  }
+  SmallVector<Cost, 16> DynOutcomes;
+  for (unsigned J = 0; J < NumDyn; ++J) {
+    ++Stats.DynCostEvals;
+    DynOutcomes.push_back(Dyn->evaluate(G.normRule(DynRules[J]).DynHook, N));
+    Key.push_back(DynOutcomes.back().raw());
+  }
+
+  // Fast path: one probe.
+  if (ODBURG_LIKELY(Opts.UseTransitionCache)) {
+    ++Stats.CacheProbes;
+    StateId Hit = Cache.lookup(Key.data(), Key.size());
+    if (ODBURG_LIKELY(Hit != InvalidState)) {
+      ++Stats.CacheHits;
+      N.setLabel(Hit);
+      return Hit;
+    }
+  }
+
+  // Slow path: compute, hash-cons, memoize.
+  const State *S =
+      computeState(Op, ChildStates.data(), DynOutcomes.data(), Stats);
+  if (Opts.UseTransitionCache)
+    Cache.insert(Key.data(), Key.size(), S->Id);
+  N.setLabel(S->Id);
+  return S->Id;
+}
+
+void OnDemandAutomaton::labelFunction(ir::IRFunction &F,
+                                      SelectionStats *Stats) {
+  SelectionStats Local;
+  SelectionStats &S = Stats ? *Stats : Local;
+  for (ir::Node *N : F.nodes())
+    labelNode(*N, S);
+}

@@ -1,0 +1,108 @@
+//===- core/OnDemandAutomaton.h - The paper's contribution ----------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// On-demand tree-parsing automata (Ertl, Casey, Gregg; PLDI 2006). The
+/// automaton is built lazily at instruction-selection time:
+///
+///   - Fast path: per node, evaluate the operator's dynamic-cost hooks,
+///     pack (operator, child states, outcomes) into a key, and look it up
+///     in the transition cache — one probe instead of a walk over all
+///     applicable rules.
+///   - Slow path (cache miss): compute the state by dynamic programming
+///     over the child states (StateComputer), hash-cons it in the state
+///     table, memoize the transition, and continue.
+///
+/// The automaton persists across functions (a JIT keeps it for the process
+/// lifetime), so misses are amortized: after warm-up nearly every node is
+/// a hit. Dynamic costs are flexible exactly because their outcomes are
+/// part of the transition key — the same (op, child-states) combination
+/// with different hook outcomes maps to different states, which offline
+/// automata cannot express at all.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_CORE_ONDEMANDAUTOMATON_H
+#define ODBURG_CORE_ONDEMANDAUTOMATON_H
+
+#include "core/State.h"
+#include "core/StateComputer.h"
+#include "core/TransitionCache.h"
+#include "grammar/Grammar.h"
+#include "ir/Node.h"
+#include "select/DynCost.h"
+#include "select/Labeling.h"
+#include "support/Statistic.h"
+
+namespace odburg {
+
+/// The on-demand automaton. Also a Labeling: after labelFunction(), nodes
+/// carry their StateId in the label slot and the reducer reads rules
+/// through the state's rule vector.
+class OnDemandAutomaton final : public Labeling {
+public:
+  /// Tunables, mostly for the ablation experiments.
+  struct Options {
+    /// Memoize transitions (the fast path). Turning this off recomputes
+    /// the state at every node — it isolates how much of the speedup is
+    /// the cache versus state hash-consing.
+    bool UseTransitionCache = true;
+    /// Safety bound on automaton growth for degenerate grammars whose
+    /// relative costs do not converge.
+    unsigned MaxStates = 1u << 20;
+  };
+
+  /// \p Dyn may be null when the grammar has no dynamic-cost rules.
+  /// (Two overloads rather than a defaulted Options parameter: a nested
+  /// class with member initializers cannot be a default argument inside
+  /// its enclosing class.)
+  explicit OnDemandAutomaton(const Grammar &G,
+                             const DynCostTable *Dyn = nullptr);
+  OnDemandAutomaton(const Grammar &G, const DynCostTable *Dyn, Options Opts);
+
+  /// Labels all nodes of \p F (topological node order). The automaton
+  /// keeps all states/transitions created, so subsequent calls get faster.
+  void labelFunction(ir::IRFunction &F, SelectionStats *Stats = nullptr);
+
+  /// Labels one node (children must be labeled). Returns the state id and
+  /// stores it in the node's label slot.
+  StateId labelNode(ir::Node &N, SelectionStats &Stats);
+
+  /// \name Labeling interface
+  /// @{
+  RuleId ruleFor(const ir::Node &N, NonterminalId Nt) const override {
+    return States.byId(N.label())->ruleOf(Nt);
+  }
+  Cost costFor(const ir::Node &N, NonterminalId Nt) const override {
+    return States.byId(N.label())->costOf(Nt);
+  }
+  /// @}
+
+  /// \name Introspection (experiment support)
+  /// @{
+  unsigned numStates() const { return States.size(); }
+  std::size_t numTransitions() const { return Cache.size(); }
+  std::size_t memoryBytes() const {
+    return States.memoryBytes() + Cache.memoryBytes();
+  }
+  const StateTable &stateTable() const { return States; }
+  /// @}
+
+private:
+  const State *computeState(OperatorId Op, const State *const *ChildStates,
+                            const Cost *DynOutcomes, SelectionStats &Stats);
+
+  const Grammar &G;
+  const DynCostTable *Dyn;
+  StateComputer Computer;
+  StateTable States;
+  TransitionCache Cache;
+  Options Opts;
+};
+
+} // namespace odburg
+
+#endif // ODBURG_CORE_ONDEMANDAUTOMATON_H

@@ -1,0 +1,79 @@
+//===- core/State.cpp - Hash-consed automaton states ----------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/State.h"
+
+#include "support/ErrorHandling.h"
+#include "support/Hashing.h"
+
+#include <cstring>
+
+using namespace odburg;
+
+StateTable::StateTable(unsigned NumNonterminals) : NumNts(NumNonterminals) {
+  Buckets.assign(64, InvalidState);
+}
+
+static std::uint64_t hashStateContent(OperatorId Op, const Cost *Costs,
+                                      const RuleId *Rules, unsigned NumNts) {
+  std::uint64_t H = hashMix(Op);
+  for (unsigned I = 0; I < NumNts; ++I) {
+    H = hashCombine(H, Costs[I].raw());
+    H = hashCombine(H, Rules[I]);
+  }
+  return H;
+}
+
+const State *StateTable::intern(OperatorId Op, const Cost *Costs,
+                                const RuleId *Rules) {
+  std::uint64_t H = hashStateContent(Op, Costs, Rules, NumNts);
+  std::size_t Mask = Buckets.size() - 1;
+  std::size_t Idx = H & Mask;
+  while (Buckets[Idx] != InvalidState) {
+    const State *S = States[Buckets[Idx]];
+    if (S->Hash == H && S->Op == Op &&
+        std::memcmp(S->Costs, Costs, NumNts * sizeof(Cost)) == 0 &&
+        std::memcmp(S->Rules, Rules, NumNts * sizeof(RuleId)) == 0)
+      return S;
+    Idx = (Idx + 1) & Mask;
+  }
+
+  // Not present: intern a new state.
+  State *S = StateArena.create<State>();
+  S->Id = static_cast<StateId>(States.size());
+  S->Op = Op;
+  S->Hash = H;
+  Cost *CostCopy = StateArena.allocateArray<Cost>(NumNts);
+  RuleId *RuleCopy = StateArena.allocateArray<RuleId>(NumNts);
+  std::memcpy(CostCopy, Costs, NumNts * sizeof(Cost));
+  std::memcpy(RuleCopy, Rules, NumNts * sizeof(RuleId));
+  S->Costs = CostCopy;
+  S->Rules = RuleCopy;
+  States.push_back(S);
+  Buckets[Idx] = S->Id;
+
+  if (States.size() * 4 > Buckets.size() * 3)
+    rehash();
+  return S;
+}
+
+void StateTable::rehash() {
+  std::vector<StateId> NewBuckets(Buckets.size() * 2, InvalidState);
+  std::size_t Mask = NewBuckets.size() - 1;
+  for (const State *S : States) {
+    std::size_t Idx = S->Hash & Mask;
+    while (NewBuckets[Idx] != InvalidState)
+      Idx = (Idx + 1) & Mask;
+    NewBuckets[Idx] = S->Id;
+  }
+  Buckets = std::move(NewBuckets);
+}
+
+std::size_t StateTable::memoryBytes() const {
+  return StateArena.bytesAllocated() +
+         Buckets.capacity() * sizeof(StateId) +
+         States.capacity() * sizeof(const State *);
+}

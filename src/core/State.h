@@ -1,0 +1,85 @@
+//===- core/State.h - Hash-consed tree-parsing automaton states -----------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Automaton states. A state summarizes everything labeling needs to know
+/// about the class of subtrees it represents: for each nonterminal, the
+/// delta-normalized minimal derivation cost and the rule beginning that
+/// derivation. Two subtrees with the same state behave identically in any
+/// context, which is what makes transition caching sound.
+///
+/// States are hash-consed in a StateTable so that equality is pointer/id
+/// equality and the automaton stays small.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_CORE_STATE_H
+#define ODBURG_CORE_STATE_H
+
+#include "grammar/Ids.h"
+#include "support/Arena.h"
+#include "support/Cost.h"
+#include "support/SmallVector.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace odburg {
+
+/// Dense automaton state id.
+using StateId = std::uint32_t;
+inline constexpr StateId InvalidState = 0xFFFFFFFFu;
+
+/// One automaton state. Immutable; owned by a StateTable.
+struct State {
+  StateId Id = InvalidState;
+  /// The operator of the nodes this state labels.
+  OperatorId Op = InvalidOperator;
+  /// Delta-normalized cost per nonterminal (the minimum finite entry is 0).
+  /// Array of the grammar's nonterminal count, arena-owned.
+  const Cost *Costs = nullptr;
+  /// Optimal first rule per nonterminal (InvalidRule = not derivable).
+  const RuleId *Rules = nullptr;
+  /// Content hash over (Op, Costs, Rules).
+  std::uint64_t Hash = 0;
+
+  Cost costOf(NonterminalId Nt) const { return Costs[Nt]; }
+  RuleId ruleOf(NonterminalId Nt) const { return Rules[Nt]; }
+};
+
+/// Hash-consing container of states.
+class StateTable {
+public:
+  explicit StateTable(unsigned NumNonterminals);
+
+  /// Interns the state described by (\p Op, \p Costs, \p Rules); returns
+  /// the canonical State (existing if an identical one was seen before).
+  /// The arrays must have exactly the nonterminal count the table was
+  /// created with.
+  const State *intern(OperatorId Op, const Cost *Costs, const RuleId *Rules);
+
+  const State *byId(StateId Id) const { return States[Id]; }
+
+  unsigned size() const { return static_cast<unsigned>(States.size()); }
+
+  /// Approximate heap+arena footprint in bytes.
+  std::size_t memoryBytes() const;
+
+  /// All states, in creation order.
+  const std::vector<const State *> &states() const { return States; }
+
+private:
+  void rehash();
+
+  unsigned NumNts;
+  Arena StateArena;
+  std::vector<const State *> States;
+  std::vector<StateId> Buckets; // Open addressing; InvalidState = empty.
+};
+
+} // namespace odburg
+
+#endif // ODBURG_CORE_STATE_H

@@ -1,0 +1,49 @@
+//===- core/StateComputer.cpp - DP over states (slow path) ----------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/StateComputer.h"
+
+using namespace odburg;
+
+StateComputer::StateComputer(const Grammar &G) : G(G) {
+  DynIndexOfRule.assign(G.numNormRules(), ~0u);
+  for (OperatorId Op = 0; Op < G.numOperators(); ++Op) {
+    const auto &DynRules = G.dynRulesFor(Op);
+    for (unsigned J = 0; J < DynRules.size(); ++J)
+      DynIndexOfRule[DynRules[J]] = J;
+  }
+}
+
+void StateComputer::closeChainsAndNormalize(SmallVectorImpl<Cost> &Costs,
+                                            SmallVectorImpl<RuleId> &Rules,
+                                            SelectionStats *Stats) const {
+  // Chain closure, identical relaxation discipline to the DP labeler so
+  // that tie-breaking (and hence chosen rules) match exactly.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (RuleId RId : G.chainRules()) {
+      const NormRule &R = G.normRule(RId);
+      if (Stats)
+        ++Stats->ChainRelaxations;
+      Cost C = Costs[R.ChainRhs] + R.FixedCost;
+      if (C < Costs[R.Lhs]) {
+        Costs[R.Lhs] = C;
+        Rules[R.Lhs] = RId;
+        Changed = true;
+      }
+    }
+  }
+
+  // Delta normalization: subtract the minimum finite cost.
+  Cost Min = Cost::infinity();
+  for (const Cost &C : Costs)
+    Min = std::min(Min, C);
+  if (Min.isInfinite() || Min == Cost::zero())
+    return;
+  for (Cost &C : Costs)
+    C = C - Min;
+}

@@ -1,0 +1,83 @@
+//===- core/StateComputer.h - DP over states (slow path) ------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computes automaton states: the iburg dynamic-programming step lifted
+/// from concrete nodes to state cost vectors, followed by chain-rule
+/// closure and delta normalization. Shared by the on-demand automaton
+/// (cache-miss slow path) and the offline table generator.
+///
+/// Soundness of normalization: every base rule reads exactly one
+/// nonterminal of each child position, so replacing a child's absolute
+/// costs by delta-normalized ones shifts all candidate sums at this node by
+/// the same constant; relative comparisons — and therefore rule choices —
+/// are unchanged, and the node's own normalization removes the shift.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_CORE_STATECOMPUTER_H
+#define ODBURG_CORE_STATECOMPUTER_H
+
+#include "core/State.h"
+#include "grammar/Grammar.h"
+#include "support/SmallVector.h"
+#include "support/Statistic.h"
+
+namespace odburg {
+
+/// Stateless (apart from precomputed indices) state computation.
+class StateComputer {
+public:
+  explicit StateComputer(const Grammar &G);
+
+  /// Computes the normalized cost/rule vectors for a node with operator
+  /// \p Op whose child costs are supplied by \p ChildCost(Position, Nt).
+  /// \p DynOutcome(J) is the evaluated outcome of the J-th dynamic rule of
+  /// \p Op (order of Grammar::dynRulesFor); it is never called for
+  /// operators without dynamic rules. Output vectors are sized to the
+  /// nonterminal count.
+  template <typename ChildCostFn, typename DynOutcomeFn>
+  void compute(OperatorId Op, ChildCostFn ChildCost, DynOutcomeFn DynOutcome,
+               SmallVectorImpl<Cost> &CostsOut, SmallVectorImpl<RuleId> &RulesOut,
+               SelectionStats *Stats = nullptr) const {
+    unsigned N = G.numNonterminals();
+    CostsOut.assign(N, Cost::infinity());
+    RulesOut.assign(N, InvalidRule);
+
+    for (RuleId RId : G.baseRulesFor(Op)) {
+      const NormRule &R = G.normRule(RId);
+      if (Stats)
+        ++Stats->RuleChecks;
+      Cost C = R.FixedCost;
+      if (R.DynHook != InvalidDynCost)
+        C += DynOutcome(DynIndexOfRule[RId]);
+      for (unsigned I = 0; I < R.Operands.size() && C.isFinite(); ++I)
+        C += ChildCost(I, R.Operands[I]);
+      if (C < CostsOut[R.Lhs]) {
+        CostsOut[R.Lhs] = C;
+        RulesOut[R.Lhs] = RId;
+      }
+    }
+
+    closeChainsAndNormalize(CostsOut, RulesOut, Stats);
+  }
+
+  /// The position of a dynamic rule within its operator's dynamic-rule
+  /// list (Grammar::dynRulesFor order); only valid for rules with hooks.
+  unsigned dynIndexOf(RuleId R) const { return DynIndexOfRule[R]; }
+
+private:
+  void closeChainsAndNormalize(SmallVectorImpl<Cost> &Costs,
+                               SmallVectorImpl<RuleId> &Rules,
+                               SelectionStats *Stats) const;
+
+  const Grammar &G;
+  std::vector<unsigned> DynIndexOfRule;
+};
+
+} // namespace odburg
+
+#endif // ODBURG_CORE_STATECOMPUTER_H

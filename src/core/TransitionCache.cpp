@@ -1,0 +1,46 @@
+//===- core/TransitionCache.cpp - Memoized labeling transitions -----------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/TransitionCache.h"
+
+#include <cstring>
+
+using namespace odburg;
+
+TransitionCache::TransitionCache() { Slots.resize(256); }
+
+void TransitionCache::insert(const std::uint32_t *Key, unsigned Words,
+                             StateId Value) {
+  if ((Count + 1) * 4 > Slots.size() * 3)
+    rehash();
+  std::uint32_t *Stored = KeyArena.allocateArray<std::uint32_t>(Words);
+  std::memcpy(Stored, Key, Words * sizeof(std::uint32_t));
+  std::uint64_t H = hashRange(Key, Key + Words);
+  std::size_t Mask = Slots.size() - 1;
+  std::size_t Idx = H & Mask;
+  while (Slots[Idx].Key)
+    Idx = (Idx + 1) & Mask;
+  Slots[Idx] = {Stored, H, Value};
+  ++Count;
+}
+
+void TransitionCache::rehash() {
+  std::vector<Slot> Old = std::move(Slots);
+  Slots.assign(Old.size() * 2, {});
+  std::size_t Mask = Slots.size() - 1;
+  for (const Slot &S : Old) {
+    if (!S.Key)
+      continue;
+    std::size_t Idx = S.Hash & Mask;
+    while (Slots[Idx].Key)
+      Idx = (Idx + 1) & Mask;
+    Slots[Idx] = S;
+  }
+}
+
+std::size_t TransitionCache::memoryBytes() const {
+  return Slots.capacity() * sizeof(Slot) + KeyArena.bytesAllocated();
+}

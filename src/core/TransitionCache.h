@@ -1,0 +1,94 @@
+//===- core/TransitionCache.h - Memoized labeling transitions -------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transition cache is the fast path of the on-demand automaton: a
+/// hash map from (operator, child state ids, dynamic-cost outcomes) to the
+/// resulting state. Keys are variable-length little arrays of 32-bit words
+/// packed as [header | children… | outcomes…]; they are interned in an
+/// arena so a slot is just {key pointer, state}.
+///
+/// Open addressing with linear probing keeps the hit path to one hash, one
+/// probe and one short word-compare in the common case.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_CORE_TRANSITIONCACHE_H
+#define ODBURG_CORE_TRANSITIONCACHE_H
+
+#include "core/State.h"
+#include "support/Arena.h"
+#include "support/Hashing.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace odburg {
+
+/// Hash map (op, child states, dyn outcomes) -> StateId.
+class TransitionCache {
+public:
+  TransitionCache();
+
+  /// Packs a key header: operator and the two length fields.
+  static std::uint32_t packHeader(OperatorId Op, unsigned NumChildren,
+                                  unsigned NumDyn) {
+    return static_cast<std::uint32_t>(Op) | (NumChildren << 16) |
+           (NumDyn << 24);
+  }
+
+  /// Looks up \p Key (\p Words 32-bit words, first is the header).
+  /// Returns InvalidState on miss.
+  StateId lookup(const std::uint32_t *Key, unsigned Words) const {
+    std::uint64_t H = hashRange(Key, Key + Words);
+    std::size_t Mask = Slots.size() - 1;
+    std::size_t Idx = H & Mask;
+    while (Slots[Idx].Key) {
+      if (Slots[Idx].Hash == H && keyEquals(Slots[Idx].Key, Key, Words))
+        return Slots[Idx].Value;
+      Idx = (Idx + 1) & Mask;
+    }
+    return InvalidState;
+  }
+
+  /// Inserts a key that lookup() just missed.
+  void insert(const std::uint32_t *Key, unsigned Words, StateId Value);
+
+  std::size_t size() const { return Count; }
+
+  /// Approximate heap+arena footprint in bytes.
+  std::size_t memoryBytes() const;
+
+private:
+  struct Slot {
+    const std::uint32_t *Key = nullptr; // First word encodes the length.
+    std::uint64_t Hash = 0;
+    StateId Value = InvalidState;
+  };
+
+  static unsigned keyWords(const std::uint32_t *Key) {
+    std::uint32_t Header = Key[0];
+    return 1 + ((Header >> 16) & 0xFF) + (Header >> 24);
+  }
+
+  static bool keyEquals(const std::uint32_t *A, const std::uint32_t *B,
+                        unsigned Words) {
+    for (unsigned I = 0; I < Words; ++I)
+      if (A[I] != B[I])
+        return false;
+    return true;
+  }
+
+  void rehash();
+
+  std::vector<Slot> Slots;
+  std::size_t Count = 0;
+  Arena KeyArena;
+};
+
+} // namespace odburg
+
+#endif // ODBURG_CORE_TRANSITIONCACHE_H

@@ -1,0 +1,251 @@
+//===- frontend/AST.h - MiniC abstract syntax trees -------------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MiniC AST. MiniC is the small imperative language the repository
+/// uses to produce realistic compiler workloads (integer scalars and
+/// arrays, arithmetic, if/while control flow). The hierarchy uses
+/// LLVM-style RTTI (support/Casting.h): a kind discriminator plus
+/// classof() per class.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_FRONTEND_AST_H
+#define ODBURG_FRONTEND_AST_H
+
+#include "support/Casting.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace odburg {
+namespace minic {
+
+/// Binary and comparison operator kinds (shared by lexer and AST).
+enum class BinOpKind {
+  Add, Sub, Mul, Div, Mod, And, Or, Xor, Shl, Shr,
+  EQ, NE, LT, LE, GT, GE,
+};
+
+/// True for the six comparison operators.
+inline bool isComparison(BinOpKind K) {
+  return K >= BinOpKind::EQ;
+}
+
+/// Base class of all expressions.
+class Expr {
+public:
+  enum class Kind { Number, Var, Index, Unary, Binary };
+
+  virtual ~Expr() = default;
+
+  Kind kind() const { return K; }
+
+protected:
+  explicit Expr(Kind K) : K(K) {}
+
+private:
+  const Kind K;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// An integer literal.
+class NumberExpr final : public Expr {
+public:
+  explicit NumberExpr(std::int64_t Value)
+      : Expr(Kind::Number), Value(Value) {}
+
+  std::int64_t value() const { return Value; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Number; }
+
+private:
+  std::int64_t Value;
+};
+
+/// A scalar variable reference.
+class VarExpr final : public Expr {
+public:
+  explicit VarExpr(std::string Name) : Expr(Kind::Var), Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Var; }
+
+private:
+  std::string Name;
+};
+
+/// An array element reference `a[i]`.
+class IndexExpr final : public Expr {
+public:
+  IndexExpr(std::string Name, ExprPtr Index)
+      : Expr(Kind::Index), Name(std::move(Name)), Index(std::move(Index)) {}
+
+  const std::string &name() const { return Name; }
+  const Expr &index() const { return *Index; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Index; }
+
+private:
+  std::string Name;
+  ExprPtr Index;
+};
+
+/// Unary minus or bitwise complement.
+class UnaryExpr final : public Expr {
+public:
+  enum class Op { Neg, Com };
+
+  UnaryExpr(Op O, ExprPtr Sub)
+      : Expr(Kind::Unary), O(O), Sub(std::move(Sub)) {}
+
+  Op op() const { return O; }
+  const Expr &sub() const { return *Sub; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Unary; }
+
+private:
+  Op O;
+  ExprPtr Sub;
+};
+
+/// A binary arithmetic or comparison expression.
+class BinaryExpr final : public Expr {
+public:
+  BinaryExpr(BinOpKind O, ExprPtr Lhs, ExprPtr Rhs)
+      : Expr(Kind::Binary), O(O), Lhs(std::move(Lhs)), Rhs(std::move(Rhs)) {}
+
+  BinOpKind op() const { return O; }
+  const Expr &lhs() const { return *Lhs; }
+  const Expr &rhs() const { return *Rhs; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Binary; }
+
+private:
+  BinOpKind O;
+  ExprPtr Lhs, Rhs;
+};
+
+/// Base class of all statements.
+class Stmt {
+public:
+  enum class Kind { Assign, If, While, Return, Block };
+
+  virtual ~Stmt() = default;
+
+  Kind kind() const { return K; }
+
+protected:
+  explicit Stmt(Kind K) : K(K) {}
+
+private:
+  const Kind K;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// `x = e;` or `a[i] = e;`
+class AssignStmt final : public Stmt {
+public:
+  AssignStmt(std::string Name, ExprPtr Index, ExprPtr Value)
+      : Stmt(Kind::Assign), Name(std::move(Name)), Index(std::move(Index)),
+        Value(std::move(Value)) {}
+
+  const std::string &name() const { return Name; }
+  /// Null for scalar assignment.
+  const Expr *index() const { return Index.get(); }
+  const Expr &value() const { return *Value; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Assign; }
+
+private:
+  std::string Name;
+  ExprPtr Index;
+  ExprPtr Value;
+};
+
+/// `if (c) { … } else { … }`
+class IfStmt final : public Stmt {
+public:
+  IfStmt(ExprPtr Cond, StmtPtr Then, StmtPtr Else)
+      : Stmt(Kind::If), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+
+  const Expr &cond() const { return *Cond; }
+  const Stmt &thenStmt() const { return *Then; }
+  const Stmt *elseStmt() const { return Else.get(); }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::If; }
+
+private:
+  ExprPtr Cond;
+  StmtPtr Then, Else;
+};
+
+/// `while (c) { … }`
+class WhileStmt final : public Stmt {
+public:
+  WhileStmt(ExprPtr Cond, StmtPtr Body)
+      : Stmt(Kind::While), Cond(std::move(Cond)), Body(std::move(Body)) {}
+
+  const Expr &cond() const { return *Cond; }
+  const Stmt &body() const { return *Body; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::While; }
+
+private:
+  ExprPtr Cond;
+  StmtPtr Body;
+};
+
+/// `return e;`
+class ReturnStmt final : public Stmt {
+public:
+  explicit ReturnStmt(ExprPtr Value)
+      : Stmt(Kind::Return), Value(std::move(Value)) {}
+
+  const Expr &value() const { return *Value; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Return; }
+
+private:
+  ExprPtr Value;
+};
+
+/// `{ … }`
+class BlockStmt final : public Stmt {
+public:
+  explicit BlockStmt(std::vector<StmtPtr> Stmts)
+      : Stmt(Kind::Block), Stmts(std::move(Stmts)) {}
+
+  const std::vector<StmtPtr> &stmts() const { return Stmts; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Block; }
+
+private:
+  std::vector<StmtPtr> Stmts;
+};
+
+/// A variable declaration: scalar (Size 1) or array.
+struct VarDecl {
+  std::string Name;
+  unsigned Size = 1; ///< Element count; 1 for scalars.
+};
+
+/// A parsed MiniC program: declarations followed by statements.
+struct Program {
+  std::vector<VarDecl> Decls;
+  std::vector<StmtPtr> Stmts;
+};
+
+} // namespace minic
+} // namespace odburg
+
+#endif // ODBURG_FRONTEND_AST_H

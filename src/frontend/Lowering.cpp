@@ -1,0 +1,256 @@
+//===- frontend/Lowering.cpp - MiniC AST to IR lowering ---------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lowering.h"
+
+#include "frontend/Parser.h"
+#include "support/Casting.h"
+
+#include <unordered_map>
+
+using namespace odburg;
+using namespace odburg::minic;
+using odburg::targets::CanonicalOps;
+
+namespace {
+
+/// Statement-by-statement lowering with a frame-slot symbol table.
+class Lowerer {
+public:
+  Lowerer(const CanonicalOps &Ops, ir::IRFunction &F) : Ops(Ops), F(F) {}
+
+  Error run(const Program &P) {
+    std::int64_t Offset = 0;
+    for (const VarDecl &D : P.Decls) {
+      if (Frame.count(D.Name))
+        return Error::make("MiniC: duplicate declaration of '" + D.Name + "'");
+      Frame[D.Name] = {Offset, D.Size > 1};
+      Offset += std::int64_t(8) * D.Size;
+    }
+    for (const StmtPtr &S : P.Stmts)
+      if (Error E = lowerStmt(*S))
+        return E;
+    return Error::success();
+  }
+
+private:
+  struct Slot {
+    std::int64_t Offset;
+    bool IsArray;
+  };
+
+  std::int64_t freshLabel() { return NextLabel++; }
+
+  Error addressOf(const std::string &Name, const Expr *Index,
+                  ir::Node *&Out) {
+    auto It = Frame.find(Name);
+    if (It == Frame.end())
+      return Error::make("MiniC: use of undeclared variable '" + Name + "'");
+    ir::Node *Base = F.makeLeaf(Ops.AddrL, It->second.Offset);
+    if (!Index) {
+      if (It->second.IsArray)
+        return Error::make("MiniC: array '" + Name + "' used without index");
+      Out = Base;
+      return Error::success();
+    }
+    if (!It->second.IsArray)
+      return Error::make("MiniC: scalar '" + Name + "' used with index");
+    ir::Node *Idx = nullptr;
+    if (Error E = lowerExpr(*Index, Idx))
+      return E;
+    // Scale the element index by 8 bytes: base + (idx << 3).
+    ir::Node *Three = F.makeLeaf(Ops.Const, 3);
+    SmallVector<ir::Node *, 2> ShC{Idx, Three};
+    ir::Node *Scaled = F.makeNode(Ops.Shl, ShC);
+    SmallVector<ir::Node *, 2> AddC{Base, Scaled};
+    Out = F.makeNode(Ops.Add, AddC);
+    return Error::success();
+  }
+
+  OperatorId binOp(BinOpKind K) const {
+    switch (K) {
+    case BinOpKind::Add: return Ops.Add;
+    case BinOpKind::Sub: return Ops.Sub;
+    case BinOpKind::Mul: return Ops.Mul;
+    case BinOpKind::Div: return Ops.Div;
+    case BinOpKind::Mod: return Ops.Mod;
+    case BinOpKind::And: return Ops.And;
+    case BinOpKind::Or:  return Ops.Or;
+    case BinOpKind::Xor: return Ops.Xor;
+    case BinOpKind::Shl: return Ops.Shl;
+    case BinOpKind::Shr: return Ops.Shr;
+    case BinOpKind::EQ:  return Ops.CmpEQ;
+    case BinOpKind::NE:  return Ops.CmpNE;
+    case BinOpKind::LT:  return Ops.CmpLT;
+    case BinOpKind::LE:  return Ops.CmpLE;
+    case BinOpKind::GT:  return Ops.CmpGT;
+    case BinOpKind::GE:  return Ops.CmpGE;
+    }
+    return Ops.Add;
+  }
+
+  static BinOpKind negateComparison(BinOpKind K) {
+    switch (K) {
+    case BinOpKind::EQ: return BinOpKind::NE;
+    case BinOpKind::NE: return BinOpKind::EQ;
+    case BinOpKind::LT: return BinOpKind::GE;
+    case BinOpKind::LE: return BinOpKind::GT;
+    case BinOpKind::GT: return BinOpKind::LE;
+    case BinOpKind::GE: return BinOpKind::LT;
+    default: return K;
+    }
+  }
+
+  Error lowerExpr(const Expr &E, ir::Node *&Out) {
+    if (const auto *Num = dyn_cast<NumberExpr>(&E)) {
+      Out = F.makeLeaf(Ops.Const, Num->value());
+      return Error::success();
+    }
+    if (const auto *Var = dyn_cast<VarExpr>(&E)) {
+      ir::Node *Addr = nullptr;
+      if (Error Err = addressOf(Var->name(), nullptr, Addr))
+        return Err;
+      SmallVector<ir::Node *, 1> C{Addr};
+      Out = F.makeNode(Ops.Load, C);
+      return Error::success();
+    }
+    if (const auto *Idx = dyn_cast<IndexExpr>(&E)) {
+      ir::Node *Addr = nullptr;
+      if (Error Err = addressOf(Idx->name(), &Idx->index(), Addr))
+        return Err;
+      SmallVector<ir::Node *, 1> C{Addr};
+      Out = F.makeNode(Ops.Load, C);
+      return Error::success();
+    }
+    if (const auto *U = dyn_cast<UnaryExpr>(&E)) {
+      ir::Node *Sub = nullptr;
+      if (Error Err = lowerExpr(U->sub(), Sub))
+        return Err;
+      SmallVector<ir::Node *, 1> C{Sub};
+      Out = F.makeNode(U->op() == UnaryExpr::Op::Neg ? Ops.Neg : Ops.Com, C);
+      return Error::success();
+    }
+    const auto *B = cast<BinaryExpr>(&E);
+    ir::Node *L = nullptr, *R = nullptr;
+    if (Error Err = lowerExpr(B->lhs(), L))
+      return Err;
+    if (Error Err = lowerExpr(B->rhs(), R))
+      return Err;
+    SmallVector<ir::Node *, 2> C{L, R};
+    Out = F.makeNode(binOp(B->op()), C);
+    return Error::success();
+  }
+
+  /// Lowers `if (!Cond) goto Target` — the shape both `if` and `while`
+  /// need. Comparisons are negated structurally; other expressions branch
+  /// on `e == 0`.
+  Error lowerBranchIfFalse(const Expr &Cond, std::int64_t Target) {
+    ir::Node *CondNode = nullptr;
+    if (const auto *B = dyn_cast<BinaryExpr>(&Cond);
+        B && isComparison(B->op())) {
+      ir::Node *L = nullptr, *R = nullptr;
+      if (Error Err = lowerExpr(B->lhs(), L))
+        return Err;
+      if (Error Err = lowerExpr(B->rhs(), R))
+        return Err;
+      SmallVector<ir::Node *, 2> C{L, R};
+      CondNode = F.makeNode(binOp(negateComparison(B->op())), C);
+    } else {
+      ir::Node *V = nullptr;
+      if (Error Err = lowerExpr(Cond, V))
+        return Err;
+      ir::Node *Zero = F.makeLeaf(Ops.Const, 0);
+      SmallVector<ir::Node *, 2> C{V, Zero};
+      CondNode = F.makeNode(Ops.CmpEQ, C);
+    }
+    SmallVector<ir::Node *, 1> C{CondNode};
+    F.addRoot(F.makeNode(Ops.CBr, C, Target));
+    return Error::success();
+  }
+
+  Error lowerStmt(const Stmt &S) {
+    if (const auto *A = dyn_cast<AssignStmt>(&S)) {
+      ir::Node *Addr = nullptr;
+      if (Error Err = addressOf(A->name(), A->index(), Addr))
+        return Err;
+      ir::Node *Value = nullptr;
+      if (Error Err = lowerExpr(A->value(), Value))
+        return Err;
+      SmallVector<ir::Node *, 2> C{Addr, Value};
+      F.addRoot(F.makeNode(Ops.Store, C));
+      return Error::success();
+    }
+    if (const auto *I = dyn_cast<IfStmt>(&S)) {
+      std::int64_t ElseLabel = freshLabel();
+      if (Error Err = lowerBranchIfFalse(I->cond(), ElseLabel))
+        return Err;
+      if (Error Err = lowerStmt(I->thenStmt()))
+        return Err;
+      if (const Stmt *Else = I->elseStmt()) {
+        std::int64_t EndLabel = freshLabel();
+        F.addRoot(F.makeLeaf(Ops.Br, EndLabel));
+        F.addRoot(F.makeLeaf(Ops.Label, ElseLabel));
+        if (Error Err = lowerStmt(*Else))
+          return Err;
+        F.addRoot(F.makeLeaf(Ops.Label, EndLabel));
+      } else {
+        F.addRoot(F.makeLeaf(Ops.Label, ElseLabel));
+      }
+      return Error::success();
+    }
+    if (const auto *W = dyn_cast<WhileStmt>(&S)) {
+      std::int64_t HeadLabel = freshLabel();
+      std::int64_t EndLabel = freshLabel();
+      F.addRoot(F.makeLeaf(Ops.Label, HeadLabel));
+      if (Error Err = lowerBranchIfFalse(W->cond(), EndLabel))
+        return Err;
+      if (Error Err = lowerStmt(W->body()))
+        return Err;
+      F.addRoot(F.makeLeaf(Ops.Br, HeadLabel));
+      F.addRoot(F.makeLeaf(Ops.Label, EndLabel));
+      return Error::success();
+    }
+    if (const auto *R = dyn_cast<ReturnStmt>(&S)) {
+      ir::Node *V = nullptr;
+      if (Error Err = lowerExpr(R->value(), V))
+        return Err;
+      SmallVector<ir::Node *, 1> C{V};
+      F.addRoot(F.makeNode(Ops.Ret, C));
+      return Error::success();
+    }
+    const auto *B = cast<BlockStmt>(&S);
+    for (const StmtPtr &Sub : B->stmts())
+      if (Error Err = lowerStmt(*Sub))
+        return Err;
+    return Error::success();
+  }
+
+  const CanonicalOps &Ops;
+  ir::IRFunction &F;
+  std::unordered_map<std::string, Slot> Frame;
+  std::int64_t NextLabel = 0;
+};
+
+} // namespace
+
+Error odburg::minic::lowerProgram(const Program &P, const CanonicalOps &Ops,
+                                  ir::IRFunction &F) {
+  return Lowerer(Ops, F).run(P);
+}
+
+Expected<ir::IRFunction> odburg::minic::compileMiniC(std::string_view Source,
+                                                     const Grammar &G) {
+  Expected<Program> P = parseProgram(Source);
+  if (!P)
+    return P.takeError();
+  Expected<CanonicalOps> Ops = targets::resolveCanonicalOps(G);
+  if (!Ops)
+    return Ops.takeError();
+  ir::IRFunction F;
+  if (Error E = lowerProgram(*P, *Ops, F))
+    return E;
+  return F;
+}

@@ -1,0 +1,40 @@
+//===- frontend/Lowering.h - MiniC AST to IR lowering -----------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a MiniC Program to the canonical IR (targets/Target.h operator
+/// vocabulary): scalars and arrays become frame slots addressed through
+/// AddrL, control flow becomes Label/Br/CBr statement roots, and
+/// expressions become value trees — exactly the node stream an lcc-like
+/// front end hands to the instruction selector.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_FRONTEND_LOWERING_H
+#define ODBURG_FRONTEND_LOWERING_H
+
+#include "frontend/AST.h"
+#include "ir/Node.h"
+#include "support/Error.h"
+#include "targets/Target.h"
+
+namespace odburg {
+namespace minic {
+
+/// Lowers \p P into \p F using \p Ops. Fails on references to undeclared
+/// variables or indexing a scalar.
+Error lowerProgram(const Program &P, const targets::CanonicalOps &Ops,
+                   ir::IRFunction &F);
+
+/// Convenience: parse + lower against \p G (which must contain the
+/// canonical operators).
+Expected<ir::IRFunction> compileMiniC(std::string_view Source,
+                                      const Grammar &G);
+
+} // namespace minic
+} // namespace odburg
+
+#endif // ODBURG_FRONTEND_LOWERING_H

@@ -1,0 +1,420 @@
+//===- frontend/Parser.cpp - MiniC lexer and parser -------------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include <cctype>
+#include <string>
+
+using namespace odburg;
+using namespace odburg::minic;
+
+namespace {
+
+enum class Tok {
+  Ident, Number,
+  KwInt, KwIf, KwElse, KwWhile, KwReturn,
+  Assign, Semi, LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Plus, Minus, Star, Slash, Percent, Amp, Pipe, Caret, Tilde, Shl, Shr,
+  EQ, NE, LT, LE, GT, GE,
+  End, Bad,
+};
+
+struct Token {
+  Tok Kind = Tok::End;
+  std::string_view Text;
+  std::int64_t Number = 0;
+  unsigned Line = 1;
+};
+
+class Lexer {
+public:
+  explicit Lexer(std::string_view S) : S(S) {}
+
+  Token next() {
+    skipTrivia();
+    Token T;
+    T.Line = Line;
+    if (Pos >= S.size())
+      return T;
+    char C = S[Pos];
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+      return lexWord(T);
+    if (std::isdigit(static_cast<unsigned char>(C)))
+      return lexNumber(T);
+    ++Pos;
+    switch (C) {
+    case ';': T.Kind = Tok::Semi; return T;
+    case '(': T.Kind = Tok::LParen; return T;
+    case ')': T.Kind = Tok::RParen; return T;
+    case '{': T.Kind = Tok::LBrace; return T;
+    case '}': T.Kind = Tok::RBrace; return T;
+    case '[': T.Kind = Tok::LBracket; return T;
+    case ']': T.Kind = Tok::RBracket; return T;
+    case '+': T.Kind = Tok::Plus; return T;
+    case '-': T.Kind = Tok::Minus; return T;
+    case '*': T.Kind = Tok::Star; return T;
+    case '/': T.Kind = Tok::Slash; return T;
+    case '%': T.Kind = Tok::Percent; return T;
+    case '&': T.Kind = Tok::Amp; return T;
+    case '|': T.Kind = Tok::Pipe; return T;
+    case '^': T.Kind = Tok::Caret; return T;
+    case '~': T.Kind = Tok::Tilde; return T;
+    case '=':
+      if (take('=')) { T.Kind = Tok::EQ; return T; }
+      T.Kind = Tok::Assign; return T;
+    case '!':
+      if (take('=')) { T.Kind = Tok::NE; return T; }
+      break;
+    case '<':
+      if (take('=')) { T.Kind = Tok::LE; return T; }
+      if (take('<')) { T.Kind = Tok::Shl; return T; }
+      T.Kind = Tok::LT; return T;
+    case '>':
+      if (take('=')) { T.Kind = Tok::GE; return T; }
+      if (take('>')) { T.Kind = Tok::Shr; return T; }
+      T.Kind = Tok::GT; return T;
+    default:
+      break;
+    }
+    T.Kind = Tok::Bad;
+    T.Text = S.substr(Pos - 1, 1);
+    return T;
+  }
+
+private:
+  bool take(char C) {
+    if (Pos < S.size() && S[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  void skipTrivia() {
+    while (Pos < S.size()) {
+      char C = S[Pos];
+      if (C == '\n') {
+        ++Line;
+        ++Pos;
+      } else if (std::isspace(static_cast<unsigned char>(C))) {
+        ++Pos;
+      } else if (C == '/' && Pos + 1 < S.size() && S[Pos + 1] == '/') {
+        while (Pos < S.size() && S[Pos] != '\n')
+          ++Pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token lexWord(Token T) {
+    std::size_t Start = Pos;
+    while (Pos < S.size() &&
+           (std::isalnum(static_cast<unsigned char>(S[Pos])) || S[Pos] == '_'))
+      ++Pos;
+    T.Text = S.substr(Start, Pos - Start);
+    if (T.Text == "int")
+      T.Kind = Tok::KwInt;
+    else if (T.Text == "if")
+      T.Kind = Tok::KwIf;
+    else if (T.Text == "else")
+      T.Kind = Tok::KwElse;
+    else if (T.Text == "while")
+      T.Kind = Tok::KwWhile;
+    else if (T.Text == "return")
+      T.Kind = Tok::KwReturn;
+    else
+      T.Kind = Tok::Ident;
+    return T;
+  }
+
+  Token lexNumber(Token T) {
+    std::size_t Start = Pos;
+    while (Pos < S.size() && std::isdigit(static_cast<unsigned char>(S[Pos])))
+      ++Pos;
+    T.Kind = Tok::Number;
+    T.Text = S.substr(Start, Pos - Start);
+    T.Number = std::stoll(std::string(T.Text));
+    return T;
+  }
+
+  std::string_view S;
+  std::size_t Pos = 0;
+  unsigned Line = 1;
+};
+
+class Parser {
+public:
+  explicit Parser(std::string_view Source) : Lex(Source) { advance(); }
+
+  Expected<Program> run() {
+    Program P;
+    while (Tok_.Kind == Tok::KwInt)
+      if (Error E = parseDecl(P))
+        return E;
+    while (Tok_.Kind != Tok::End) {
+      StmtPtr S;
+      if (Error E = parseStmt(S))
+        return E;
+      P.Stmts.push_back(std::move(S));
+    }
+    return P;
+  }
+
+private:
+  void advance() { Tok_ = Lex.next(); }
+
+  Error err(const std::string &Msg) {
+    return Error::make("MiniC: " + Msg + " on line " +
+                       std::to_string(Tok_.Line));
+  }
+
+  Error expect(Tok K, const char *What) {
+    if (Tok_.Kind != K)
+      return err(std::string("expected ") + What);
+    advance();
+    return Error::success();
+  }
+
+  Error parseDecl(Program &P) {
+    advance(); // 'int'
+    if (Tok_.Kind != Tok::Ident)
+      return err("expected variable name");
+    VarDecl D;
+    D.Name = std::string(Tok_.Text);
+    advance();
+    if (Tok_.Kind == Tok::LBracket) {
+      advance();
+      if (Tok_.Kind != Tok::Number)
+        return err("expected array size");
+      D.Size = static_cast<unsigned>(Tok_.Number);
+      advance();
+      if (Error E = expect(Tok::RBracket, "']'"))
+        return E;
+    }
+    P.Decls.push_back(std::move(D));
+    return expect(Tok::Semi, "';'");
+  }
+
+  Error parseBlock(StmtPtr &Out) {
+    if (Error E = expect(Tok::LBrace, "'{'"))
+      return E;
+    std::vector<StmtPtr> Stmts;
+    while (Tok_.Kind != Tok::RBrace) {
+      if (Tok_.Kind == Tok::End)
+        return err("unterminated block");
+      StmtPtr S;
+      if (Error E = parseStmt(S))
+        return E;
+      Stmts.push_back(std::move(S));
+    }
+    advance(); // '}'
+    Out = std::make_unique<BlockStmt>(std::move(Stmts));
+    return Error::success();
+  }
+
+  Error parseStmt(StmtPtr &Out) {
+    switch (Tok_.Kind) {
+    case Tok::LBrace:
+      return parseBlock(Out);
+    case Tok::KwIf: {
+      advance();
+      if (Error E = expect(Tok::LParen, "'('"))
+        return E;
+      ExprPtr Cond;
+      if (Error E = parseExpr(Cond))
+        return E;
+      if (Error E = expect(Tok::RParen, "')'"))
+        return E;
+      StmtPtr Then, Else;
+      if (Error E = parseBlock(Then))
+        return E;
+      if (Tok_.Kind == Tok::KwElse) {
+        advance();
+        if (Error E = parseBlock(Else))
+          return E;
+      }
+      Out = std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
+                                     std::move(Else));
+      return Error::success();
+    }
+    case Tok::KwWhile: {
+      advance();
+      if (Error E = expect(Tok::LParen, "'('"))
+        return E;
+      ExprPtr Cond;
+      if (Error E = parseExpr(Cond))
+        return E;
+      if (Error E = expect(Tok::RParen, "')'"))
+        return E;
+      StmtPtr Body;
+      if (Error E = parseBlock(Body))
+        return E;
+      Out = std::make_unique<WhileStmt>(std::move(Cond), std::move(Body));
+      return Error::success();
+    }
+    case Tok::KwReturn: {
+      advance();
+      ExprPtr V;
+      if (Error E = parseExpr(V))
+        return E;
+      if (Error E = expect(Tok::Semi, "';'"))
+        return E;
+      Out = std::make_unique<ReturnStmt>(std::move(V));
+      return Error::success();
+    }
+    case Tok::Ident: {
+      std::string Name(Tok_.Text);
+      advance();
+      ExprPtr Index;
+      if (Tok_.Kind == Tok::LBracket) {
+        advance();
+        if (Error E = parseExpr(Index))
+          return E;
+        if (Error E = expect(Tok::RBracket, "']'"))
+          return E;
+      }
+      if (Error E = expect(Tok::Assign, "'='"))
+        return E;
+      ExprPtr Value;
+      if (Error E = parseExpr(Value))
+        return E;
+      if (Error E = expect(Tok::Semi, "';'"))
+        return E;
+      Out = std::make_unique<AssignStmt>(std::move(Name), std::move(Index),
+                                         std::move(Value));
+      return Error::success();
+    }
+    default:
+      return err("expected statement");
+    }
+  }
+
+  /// expr := sum [relop sum]
+  Error parseExpr(ExprPtr &Out) {
+    if (Error E = parseSum(Out))
+      return E;
+    BinOpKind K;
+    switch (Tok_.Kind) {
+    case Tok::EQ: K = BinOpKind::EQ; break;
+    case Tok::NE: K = BinOpKind::NE; break;
+    case Tok::LT: K = BinOpKind::LT; break;
+    case Tok::LE: K = BinOpKind::LE; break;
+    case Tok::GT: K = BinOpKind::GT; break;
+    case Tok::GE: K = BinOpKind::GE; break;
+    default:
+      return Error::success();
+    }
+    advance();
+    ExprPtr Rhs;
+    if (Error E = parseSum(Rhs))
+      return E;
+    Out = std::make_unique<BinaryExpr>(K, std::move(Out), std::move(Rhs));
+    return Error::success();
+  }
+
+  Error parseSum(ExprPtr &Out) {
+    if (Error E = parseProd(Out))
+      return E;
+    while (true) {
+      BinOpKind K;
+      switch (Tok_.Kind) {
+      case Tok::Plus: K = BinOpKind::Add; break;
+      case Tok::Minus: K = BinOpKind::Sub; break;
+      case Tok::Pipe: K = BinOpKind::Or; break;
+      case Tok::Caret: K = BinOpKind::Xor; break;
+      default:
+        return Error::success();
+      }
+      advance();
+      ExprPtr Rhs;
+      if (Error E = parseProd(Rhs))
+        return E;
+      Out = std::make_unique<BinaryExpr>(K, std::move(Out), std::move(Rhs));
+    }
+  }
+
+  Error parseProd(ExprPtr &Out) {
+    if (Error E = parseUnary(Out))
+      return E;
+    while (true) {
+      BinOpKind K;
+      switch (Tok_.Kind) {
+      case Tok::Star: K = BinOpKind::Mul; break;
+      case Tok::Slash: K = BinOpKind::Div; break;
+      case Tok::Percent: K = BinOpKind::Mod; break;
+      case Tok::Amp: K = BinOpKind::And; break;
+      case Tok::Shl: K = BinOpKind::Shl; break;
+      case Tok::Shr: K = BinOpKind::Shr; break;
+      default:
+        return Error::success();
+      }
+      advance();
+      ExprPtr Rhs;
+      if (Error E = parseUnary(Rhs))
+        return E;
+      Out = std::make_unique<BinaryExpr>(K, std::move(Out), std::move(Rhs));
+    }
+  }
+
+  Error parseUnary(ExprPtr &Out) {
+    if (Tok_.Kind == Tok::Minus || Tok_.Kind == Tok::Tilde) {
+      UnaryExpr::Op O =
+          Tok_.Kind == Tok::Minus ? UnaryExpr::Op::Neg : UnaryExpr::Op::Com;
+      advance();
+      ExprPtr Sub;
+      if (Error E = parseUnary(Sub))
+        return E;
+      Out = std::make_unique<UnaryExpr>(O, std::move(Sub));
+      return Error::success();
+    }
+    return parsePrimary(Out);
+  }
+
+  Error parsePrimary(ExprPtr &Out) {
+    switch (Tok_.Kind) {
+    case Tok::Number: {
+      Out = std::make_unique<NumberExpr>(Tok_.Number);
+      advance();
+      return Error::success();
+    }
+    case Tok::Ident: {
+      std::string Name(Tok_.Text);
+      advance();
+      if (Tok_.Kind == Tok::LBracket) {
+        advance();
+        ExprPtr Index;
+        if (Error E = parseExpr(Index))
+          return E;
+        if (Error E = expect(Tok::RBracket, "']'"))
+          return E;
+        Out = std::make_unique<IndexExpr>(std::move(Name), std::move(Index));
+        return Error::success();
+      }
+      Out = std::make_unique<VarExpr>(std::move(Name));
+      return Error::success();
+    }
+    case Tok::LParen: {
+      advance();
+      if (Error E = parseExpr(Out))
+        return E;
+      return expect(Tok::RParen, "')'");
+    }
+    default:
+      return err("expected expression");
+    }
+  }
+
+  Lexer Lex;
+  Token Tok_;
+};
+
+} // namespace
+
+Expected<Program> odburg::minic::parseProgram(std::string_view Source) {
+  return Parser(Source).run();
+}

@@ -1,0 +1,51 @@
+//===- frontend/Parser.h - MiniC lexer and parser ---------------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses MiniC source text into an AST:
+///
+/// \code
+///   int n; int a[10];
+///   n = 0;
+///   while (n < 10) { a[n] = n * n; n = n + 1; }
+///   return a[9];
+/// \endcode
+///
+/// Grammar (EBNF):
+///   program := { decl } { stmt }
+///   decl    := "int" ident [ "[" number "]" ] ";"
+///   stmt    := ident [ "[" expr "]" ] "=" expr ";"
+///            | "if" "(" expr ")" block [ "else" block ]
+///            | "while" "(" expr ")" block
+///            | "return" expr ";"
+///            | block
+///   block   := "{" { stmt } "}"
+///   expr    := sum [ relop sum ]
+///   sum     := prod { ("+" | "-" | "|" | "^") prod }
+///   prod    := unary { ("*" | "/" | "%" | "&" | "<<" | ">>") unary }
+///   unary   := ("-" | "~") unary | primary
+///   primary := number | ident [ "[" expr "]" ] | "(" expr ")"
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_FRONTEND_PARSER_H
+#define ODBURG_FRONTEND_PARSER_H
+
+#include "frontend/AST.h"
+#include "support/Error.h"
+
+#include <string_view>
+
+namespace odburg {
+namespace minic {
+
+/// Parses \p Source; error messages include line numbers.
+Expected<Program> parseProgram(std::string_view Source);
+
+} // namespace minic
+} // namespace odburg
+
+#endif // ODBURG_FRONTEND_PARSER_H

@@ -1,0 +1,129 @@
+//===- grammar/Analysis.cpp - Grammar diagnostics -----------------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "grammar/Analysis.h"
+
+#include <algorithm>
+
+using namespace odburg;
+
+/// Collects the nonterminals appearing as leaves of \p P.
+static void patternLeaves(const PatternNode *P,
+                          std::vector<NonterminalId> &Out) {
+  if (P->isLeaf()) {
+    Out.push_back(P->Nt);
+    return;
+  }
+  for (unsigned I = 0; I < P->NumChildren; ++I)
+    patternLeaves(P->Children[I], Out);
+}
+
+/// Sums the pattern's fixed contribution: each operator node is free (its
+/// cost is the rule's), each leaf contributes the current minimal cost of
+/// its nonterminal.
+static Cost patternMinCost(const PatternNode *P,
+                           const std::vector<Cost> &MinCost) {
+  if (P->isLeaf())
+    return MinCost[P->Nt];
+  Cost C = Cost::zero();
+  for (unsigned I = 0; I < P->NumChildren && C.isFinite(); ++I)
+    C += patternMinCost(P->Children[I], MinCost);
+  return C;
+}
+
+GrammarDiagnostics odburg::analyzeGrammar(const Grammar &G) {
+  assert(G.isFinalized() && "analysis requires a finalized grammar");
+  GrammarDiagnostics D;
+  unsigned NumNts = G.numNonterminals();
+  unsigned NumRules = G.numSourceRules();
+  D.NtReachable.assign(NumNts, false);
+  D.NtProductive.assign(NumNts, false);
+  D.RuleReachable.assign(NumRules, false);
+  D.RuleProductive.assign(NumRules, false);
+  D.MinTreeCost.assign(NumNts, Cost::infinity());
+
+  // Productivity + minimal tree cost: Bellman-Ford-style fixpoint over
+  // source rules (rule cost + sum of leaf nonterminal minima).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (RuleId R = 0; R < NumRules; ++R) {
+      const SourceRule &SR = G.sourceRule(R);
+      Cost C = SR.FixedCost + patternMinCost(SR.Pattern, D.MinTreeCost);
+      if (C < D.MinTreeCost[SR.Lhs]) {
+        D.MinTreeCost[SR.Lhs] = C;
+        Changed = true;
+      }
+    }
+  }
+  for (NonterminalId Nt = 0; Nt < NumNts; ++Nt)
+    D.NtProductive[Nt] = D.MinTreeCost[Nt].isFinite();
+  for (RuleId R = 0; R < NumRules; ++R) {
+    std::vector<NonterminalId> Leaves;
+    patternLeaves(G.sourceRule(R).Pattern, Leaves);
+    D.RuleProductive[R] = std::all_of(
+        Leaves.begin(), Leaves.end(),
+        [&](NonterminalId Nt) { return D.NtProductive[Nt]; });
+  }
+
+  // Reachability from the start symbol: a nonterminal is reachable if the
+  // start is, or if it appears in the pattern of a rule whose LHS is
+  // reachable.
+  D.NtReachable[G.startNt()] = true;
+  Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (RuleId R = 0; R < NumRules; ++R) {
+      const SourceRule &SR = G.sourceRule(R);
+      if (!D.NtReachable[SR.Lhs])
+        continue;
+      if (!D.RuleReachable[R]) {
+        D.RuleReachable[R] = true;
+        Changed = true;
+      }
+      std::vector<NonterminalId> Leaves;
+      patternLeaves(SR.Pattern, Leaves);
+      for (NonterminalId Nt : Leaves) {
+        if (!D.NtReachable[Nt]) {
+          D.NtReachable[Nt] = true;
+          Changed = true;
+        }
+      }
+    }
+  }
+
+  // Warnings. Helper nonterminals are synthesized, so only report
+  // user-visible names (helpers start with '$').
+  auto IsHelper = [&](NonterminalId Nt) {
+    return !G.nonterminalName(Nt).empty() && G.nonterminalName(Nt)[0] == '$';
+  };
+  if (!D.NtProductive[G.startNt()])
+    D.Warnings.push_back("start nonterminal '" +
+                         G.nonterminalName(G.startNt()) +
+                         "' derives no finite tree");
+  for (NonterminalId Nt = 0; Nt < NumNts; ++Nt) {
+    if (IsHelper(Nt))
+      continue;
+    if (!D.NtProductive[Nt])
+      D.Warnings.push_back("nonterminal '" + G.nonterminalName(Nt) +
+                           "' is unproductive (derives no finite tree)");
+    else if (!D.NtReachable[Nt])
+      D.Warnings.push_back("nonterminal '" + G.nonterminalName(Nt) +
+                           "' is unreachable from the start symbol");
+  }
+  for (RuleId R = 0; R < NumRules; ++R) {
+    if (D.ruleIsUseful(R))
+      continue;
+    const char *Why = !D.RuleProductive[R] ? "uses an unproductive "
+                                             "nonterminal"
+                                           : "is unreachable from the start "
+                                             "symbol";
+    D.Warnings.push_back("rule #" +
+                         std::to_string(G.sourceRule(R).ExtNumber) + " " +
+                         Why);
+  }
+  return D;
+}

@@ -1,0 +1,56 @@
+//===- grammar/Analysis.h - Grammar diagnostics ------------------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static analyses over finalized grammars, for machine-description
+/// authors: which nonterminals are reachable from the start symbol, which
+/// are productive (derive at least one finite subject tree), which rules
+/// can never fire, and the cheapest tree each nonterminal derives. burg
+/// and iburg ship the same category of diagnostics; selectors themselves
+/// tolerate imperfect grammars (underivable combinations label as
+/// infinite), but authors want to hear about them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_GRAMMAR_ANALYSIS_H
+#define ODBURG_GRAMMAR_ANALYSIS_H
+
+#include "grammar/Grammar.h"
+#include "support/Cost.h"
+
+#include <string>
+#include <vector>
+
+namespace odburg {
+
+/// The result of analyzeGrammar().
+struct GrammarDiagnostics {
+  /// Per source-rule flags.
+  std::vector<bool> RuleReachable;
+  std::vector<bool> RuleProductive;
+  /// Per nonterminal flags (indexed by NonterminalId).
+  std::vector<bool> NtReachable;
+  std::vector<bool> NtProductive;
+  /// Cheapest finite tree derivable from each nonterminal
+  /// (Cost::infinity() for unproductive ones). Dynamic-cost hooks are
+  /// assumed applicable (they can only remove derivations).
+  std::vector<Cost> MinTreeCost;
+  /// Human-readable findings, one line each (empty = clean grammar).
+  std::vector<std::string> Warnings;
+
+  /// True if a rule can fire in some derivation from the start symbol.
+  bool ruleIsUseful(RuleId R) const {
+    return RuleReachable[R] && RuleProductive[R];
+  }
+};
+
+/// Analyzes a finalized grammar. Never fails; problems come back as
+/// warnings in the result.
+GrammarDiagnostics analyzeGrammar(const Grammar &G);
+
+} // namespace odburg
+
+#endif // ODBURG_GRAMMAR_ANALYSIS_H

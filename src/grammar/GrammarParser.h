@@ -1,0 +1,44 @@
+//===- grammar/GrammarParser.h - burg-style grammar text parser -----------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses tree grammars from text in a burg-flavored syntax:
+///
+/// \code
+///   # comment to end of line
+///   %start stmt
+///
+///   reg:  Reg (0) "=%%t%c";
+///   reg:  con (1) "movq $%c, %0";
+///   addr: Add(reg, con) (0) ?imm32 "=%2(%1)";
+///   stmt: Store(addr, Add(Load(addr), reg)) = 6 (1) ?memop "addq %3, %1";
+/// \endcode
+///
+/// Following the instruction-selection literature, identifiers starting
+/// with an upper-case letter are operators (their arity is inferred from
+/// use and checked for consistency); lower-case identifiers are
+/// nonterminals. Each rule is `nt ':' pattern ['=' extnum] ['(' cost ')']
+/// ['?' dynhook] [emit-template] ';'`; cost defaults to 0.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_GRAMMAR_GRAMMARPARSER_H
+#define ODBURG_GRAMMAR_GRAMMARPARSER_H
+
+#include "grammar/Grammar.h"
+#include "support/Error.h"
+
+#include <string_view>
+
+namespace odburg {
+
+/// Parses \p Text into a finalized Grammar. On failure the message includes
+/// the line number.
+Expected<Grammar> parseGrammar(std::string_view Text);
+
+} // namespace odburg
+
+#endif // ODBURG_GRAMMAR_GRAMMARPARSER_H

@@ -1,0 +1,38 @@
+//===- grammar/Ids.h - Dense identifier types -------------------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dense integer identifiers for grammar entities. Kept as plain integers
+/// (not wrapper classes) because they index flat arrays on the labeling hot
+/// path; the distinct typedef names document intent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_GRAMMAR_IDS_H
+#define ODBURG_GRAMMAR_IDS_H
+
+#include <cstdint>
+
+namespace odburg {
+
+/// Identifies an IR operator (terminal of the tree grammar).
+using OperatorId = std::uint16_t;
+/// Identifies a nonterminal.
+using NonterminalId = std::uint16_t;
+/// Identifies a rule. Source rules and normal-form rules use separate
+/// RuleId spaces (see Grammar).
+using RuleId = std::uint32_t;
+/// Identifies a dynamic-cost hook by position in the grammar's hook list.
+using DynCostId = std::uint16_t;
+
+inline constexpr OperatorId InvalidOperator = 0xFFFF;
+inline constexpr NonterminalId InvalidNonterminal = 0xFFFF;
+inline constexpr RuleId InvalidRule = 0xFFFFFFFFu;
+inline constexpr DynCostId InvalidDynCost = 0xFFFF;
+
+} // namespace odburg
+
+#endif // ODBURG_GRAMMAR_IDS_H

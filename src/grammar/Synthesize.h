@@ -1,0 +1,51 @@
+//===- grammar/Synthesize.h - Parameterized random grammars -----------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthesizes well-formed tree grammars of controlled size. Two uses:
+///
+///  * the grammar-size scaling experiment (A2): the paper's claim is that
+///    DP labeling cost grows with the number of applicable rules per
+///    operator while automaton labeling stays flat — demonstrating that
+///    needs grammars whose rules-per-operator is a free parameter;
+///  * fuzz-style property testing: engines must agree on *any* valid
+///    grammar, not just the hand-written ones.
+///
+/// Synthesized grammars are guaranteed to converge as automata: the value
+/// nonterminals are connected by a cost-1 chain cycle, which bounds every
+/// relative cost by the nonterminal count (the termination condition of
+/// Proebsting's BURS construction).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_GRAMMAR_SYNTHESIZE_H
+#define ODBURG_GRAMMAR_SYNTHESIZE_H
+
+#include "grammar/Grammar.h"
+#include "support/Error.h"
+
+namespace odburg {
+
+/// Size knobs for a synthesized grammar.
+struct SynthesisParams {
+  unsigned NumLeafOps = 3;
+  unsigned NumUnaryOps = 3;
+  unsigned NumBinaryOps = 6;
+  /// Value nonterminals v0..v{NumNts-1}; v0 is the start symbol.
+  unsigned NumNts = 4;
+  /// Rule alternatives per interior operator (the DP-cost driver).
+  unsigned RulesPerOp = 4;
+  /// Maximum fixed rule cost (costs drawn uniformly from [1, MaxCost]).
+  unsigned MaxCost = 3;
+  std::uint64_t Seed = 1;
+};
+
+/// Builds a finalized random grammar per \p P. Deterministic in P.
+Expected<Grammar> synthesizeGrammar(const SynthesisParams &P);
+
+} // namespace odburg
+
+#endif // ODBURG_GRAMMAR_SYNTHESIZE_H

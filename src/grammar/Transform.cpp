@@ -1,0 +1,109 @@
+//===- grammar/Transform.cpp - Grammar-to-grammar transformations ---------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "grammar/Transform.h"
+
+#include "support/SmallVector.h"
+
+#include <vector>
+
+using namespace odburg;
+
+/// Deep-copies \p P from \p From into \p To, registering names as needed.
+static PatternNode *clonePattern(const Grammar &From, Grammar &To,
+                                 const PatternNode *P) {
+  if (P->isLeaf())
+    return To.makeLeaf(To.addNonterminal(From.nonterminalName(P->Nt)));
+  OperatorId Op =
+      To.addOperator(From.operatorName(P->Op), From.operatorArity(P->Op));
+  SmallVector<PatternNode *, 4> Children;
+  for (unsigned I = 0; I < P->NumChildren; ++I)
+    Children.push_back(clonePattern(From, To, P->Children[I]));
+  return To.makeNode(Op, Children);
+}
+
+/// Collects the nonterminals referenced by \p P into \p Used.
+static void collectUsedNts(const PatternNode *P, std::vector<bool> &Used) {
+  if (P->isLeaf()) {
+    Used[P->Nt] = true;
+    return;
+  }
+  for (unsigned I = 0; I < P->NumChildren; ++I)
+    collectUsedNts(P->Children[I], Used);
+}
+
+/// Shared implementation: drops rules for which \p Drop returns true,
+/// cascades, rebuilds.
+template <typename DropFnT>
+static Expected<Grammar> stripRules(const Grammar &G, DropFnT Drop) {
+  // Removing a dynamic rule can leave its LHS nonterminal without rules,
+  // which invalidates every rule whose pattern mentions that nonterminal.
+  // Cascade until stable (the paper's "without constrained rules" grammars
+  // are exactly the fixed point).
+  std::vector<bool> Keep(G.numSourceRules(), true);
+  for (RuleId R = 0; R < G.numSourceRules(); ++R)
+    Keep[R] = !Drop(G.sourceRule(R));
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    std::vector<bool> HasRule(G.numNonterminals(), false);
+    for (RuleId R = 0; R < G.numSourceRules(); ++R)
+      if (Keep[R])
+        HasRule[G.sourceRule(R).Lhs] = true;
+    for (RuleId R = 0; R < G.numSourceRules(); ++R) {
+      if (!Keep[R])
+        continue;
+      std::vector<bool> Used(G.numNonterminals(), false);
+      collectUsedNts(G.sourceRule(R).Pattern, Used);
+      for (NonterminalId Nt = 0; Nt < G.numNonterminals(); ++Nt) {
+        if (Used[Nt] && !HasRule[Nt]) {
+          Keep[R] = false;
+          Changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  Grammar Out;
+  // Register all operators up front so operator ids remain stable between
+  // the two grammars (IR built against one labels correctly under both).
+  for (OperatorId Op = 0; Op < G.numOperators(); ++Op)
+    Out.addOperator(G.operatorName(Op), G.operatorArity(Op));
+  for (RuleId R = 0; R < G.numSourceRules(); ++R) {
+    if (!Keep[R])
+      continue;
+    const SourceRule &SR = G.sourceRule(R);
+    NonterminalId Lhs = Out.addNonterminal(G.nonterminalName(SR.Lhs));
+    PatternNode *P = clonePattern(G, Out, SR.Pattern);
+    DynCostId Hook = SR.DynHook == InvalidDynCost
+                         ? InvalidDynCost
+                         : Out.addDynHook(G.dynHookName(SR.DynHook));
+    Out.addRule(Lhs, P, SR.FixedCost, Hook, SR.ExtNumber, SR.EmitTemplate);
+  }
+  NonterminalId Start = Out.findNonterminal(G.nonterminalName(G.startNt()));
+  if (Start == InvalidNonterminal)
+    return Error::make("start nonterminal lost all rules after stripping "
+                       "dynamic-cost rules");
+  Out.setStart(Start);
+  if (Error E = Out.finalize())
+    return E;
+  return Out;
+}
+
+Expected<Grammar> odburg::withoutDynCostRules(const Grammar &G) {
+  return stripRules(
+      G, [](const SourceRule &R) { return R.DynHook != InvalidDynCost; });
+}
+
+Expected<Grammar> odburg::withoutDynHook(const Grammar &G,
+                                         std::string_view HookName) {
+  return stripRules(G, [&](const SourceRule &R) {
+    return R.DynHook != InvalidDynCost &&
+           G.dynHookName(R.DynHook) == HookName;
+  });
+}

@@ -1,0 +1,39 @@
+//===- grammar/Transform.h - Grammar-to-grammar transformations -----------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Whole-grammar transformations used by the experiments:
+///
+///  - withoutDynCostRules: drops every rule carrying a dynamic-cost hook.
+///    This is the "fixed costs only" variant the papers compare against
+///    (offline tables require it, and the code-quality experiment measures
+///    what the dynamic rules buy).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_GRAMMAR_TRANSFORM_H
+#define ODBURG_GRAMMAR_TRANSFORM_H
+
+#include "grammar/Grammar.h"
+#include "support/Error.h"
+
+namespace odburg {
+
+/// Returns a finalized copy of \p G with all dynamic-cost rules removed.
+/// Fails if the remaining rules do not form a valid grammar (e.g. some
+/// nonterminal loses all its rules).
+Expected<Grammar> withoutDynCostRules(const Grammar &G);
+
+/// Returns a finalized copy of \p G with only the rules guarded by hook
+/// \p HookName removed (e.g. "memop" to disable read-modify-write rules
+/// while keeping immediate-range rules) — the paper's "constrained rules
+/// disabled" code-quality experiment. Removal cascades like
+/// withoutDynCostRules.
+Expected<Grammar> withoutDynHook(const Grammar &G, std::string_view HookName);
+
+} // namespace odburg
+
+#endif // ODBURG_GRAMMAR_TRANSFORM_H

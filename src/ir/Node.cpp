@@ -1,0 +1,110 @@
+//===- ir/Node.cpp - Intermediate representation nodes --------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Node.h"
+
+#include "grammar/Grammar.h"
+#include "support/Hashing.h"
+
+#include <cstring>
+
+using namespace odburg;
+using namespace odburg::ir;
+
+Node *IRFunction::makeNode(OperatorId Op,
+                           const SmallVectorImpl<Node *> &Children,
+                           std::int64_t Value, const char *Symbol) {
+  Node *N = NodeArena.create<Node>();
+  N->Op = Op;
+  N->NumChildren = static_cast<std::uint16_t>(Children.size());
+  N->Value = Value;
+  N->Sym = Symbol;
+  N->Id = static_cast<std::uint32_t>(Nodes.size());
+  if (N->NumChildren) {
+    N->Children = NodeArena.allocateArray<Node *>(N->NumChildren);
+    for (unsigned I = 0; I < N->NumChildren; ++I) {
+      assert(Children[I]->Id < N->Id &&
+             "children must be created before parents");
+      N->Children[I] = Children[I];
+    }
+  }
+  Nodes.push_back(N);
+  return N;
+}
+
+Node *IRFunction::makeLeaf(OperatorId Op, std::int64_t Value,
+                           const char *Symbol) {
+  SmallVector<Node *, 1> NoChildren;
+  NoChildren.clear();
+  return makeNode(Op, NoChildren, Value, Symbol);
+}
+
+const char *IRFunction::internString(std::string_view Name) {
+  return NodeArena.copyString(Name.data(), Name.size());
+}
+
+bool ir::structurallyEqual(const Node *A, const Node *B) {
+  if (A == B)
+    return true;
+  if (A->op() != B->op() || A->value() != B->value() ||
+      A->numChildren() != B->numChildren())
+    return false;
+  const char *SA = A->symbol();
+  const char *SB = B->symbol();
+  if ((SA == nullptr) != (SB == nullptr))
+    return false;
+  if (SA && std::strcmp(SA, SB) != 0)
+    return false;
+  for (unsigned I = 0; I < A->numChildren(); ++I)
+    if (!structurallyEqual(A->child(I), B->child(I)))
+      return false;
+  return true;
+}
+
+std::uint64_t ir::structuralHash(const Node *N) {
+  std::uint64_t H = hashCombine(N->op(), static_cast<std::uint64_t>(N->value()));
+  if (const char *S = N->symbol())
+    H = hashCombine(H, hashString(S));
+  for (unsigned I = 0; I < N->numChildren(); ++I)
+    H = hashCombine(H, structuralHash(N->child(I)));
+  return H;
+}
+
+static void sexprInto(const Node *N, const Grammar &G, std::string &Out) {
+  const std::string &Name = G.operatorName(N->op());
+  if (N->numChildren() == 0) {
+    Out += '(';
+    Out += Name;
+    if (N->symbol()) {
+      Out += ' ';
+      Out += N->symbol();
+    } else {
+      Out += ' ';
+      Out += std::to_string(N->value());
+    }
+    Out += ')';
+    return;
+  }
+  Out += '(';
+  Out += Name;
+  // Interior payloads (e.g. branch targets) print before the children so
+  // the format round-trips; zero payloads are omitted for readability.
+  if (N->value() != 0) {
+    Out += ' ';
+    Out += std::to_string(N->value());
+  }
+  for (unsigned I = 0; I < N->numChildren(); ++I) {
+    Out += ' ';
+    sexprInto(N->child(I), G, Out);
+  }
+  Out += ')';
+}
+
+std::string ir::toSExpr(const Node *N, const Grammar &G) {
+  std::string Out;
+  sexprInto(N, G, Out);
+  return Out;
+}

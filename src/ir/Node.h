@@ -1,0 +1,128 @@
+//===- ir/Node.h - Intermediate representation nodes ----------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The subject trees/DAGs that instruction selection runs on. Nodes are
+/// arena-allocated and immutable after construction except for the Label
+/// scratch slot, which the currently running labeling engine owns (state id
+/// for the automata, label-table index for the DP labeler).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_IR_NODE_H
+#define ODBURG_IR_NODE_H
+
+#include "grammar/Ids.h"
+#include "support/Arena.h"
+#include "support/SmallVector.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace odburg {
+
+class Grammar;
+
+namespace ir {
+
+/// One IR operation. Children point downward (operands); a node may be
+/// shared by several parents (DAG), in which case it appears once in the
+/// function's topological node order.
+class Node {
+public:
+  OperatorId op() const { return Op; }
+  unsigned numChildren() const { return NumChildren; }
+
+  Node *child(unsigned I) const {
+    assert(I < NumChildren && "child index out of range");
+    return Children[I];
+  }
+
+  /// Integer payload: constant value, frame offset, label id, register
+  /// number — meaning depends on the operator.
+  std::int64_t value() const { return Value; }
+
+  /// Symbol payload (global name), or nullptr.
+  const char *symbol() const { return Sym; }
+
+  /// Dense per-function node id; also the node's position in the function's
+  /// topological order.
+  std::uint32_t id() const { return Id; }
+
+  /// \name Labeling scratch
+  /// Engine-owned slot. Automata store a StateId, the DP labeler stores an
+  /// index into its label table. Only the engine that labeled last may
+  /// interpret it.
+  /// @{
+  std::uint32_t label() const { return Label; }
+  void setLabel(std::uint32_t L) { Label = L; }
+  /// @}
+
+private:
+  friend class IRFunction;
+
+  OperatorId Op = InvalidOperator;
+  std::uint16_t NumChildren = 0;
+  std::uint32_t Id = 0;
+  std::uint32_t Label = 0;
+  std::int64_t Value = 0;
+  const char *Sym = nullptr;
+  Node **Children = nullptr;
+};
+
+/// A compilation unit for the selector: a list of statement roots over a
+/// pool of nodes in topological (children-before-parents) order. Roots may
+/// share subtrees (DAG mode).
+class IRFunction {
+public:
+  IRFunction() = default;
+  IRFunction(IRFunction &&) = default;
+  IRFunction &operator=(IRFunction &&) = default;
+
+  /// Creates a node; children must already belong to this function (this
+  /// guarantees topological creation order).
+  Node *makeNode(OperatorId Op, const SmallVectorImpl<Node *> &Children,
+                 std::int64_t Value = 0, const char *Symbol = nullptr);
+
+  /// Creates a leaf node.
+  Node *makeLeaf(OperatorId Op, std::int64_t Value = 0,
+                 const char *Symbol = nullptr);
+
+  /// Copies \p Name into the function's arena (for symbol payloads).
+  const char *internString(std::string_view Name);
+
+  /// Marks \p N as a statement root, in program order.
+  void addRoot(Node *N) { Roots.push_back(N); }
+
+  const std::vector<Node *> &roots() const { return Roots; }
+
+  /// All nodes in topological order (children before parents).
+  const std::vector<Node *> &nodes() const { return Nodes; }
+
+  unsigned size() const { return static_cast<unsigned>(Nodes.size()); }
+
+private:
+  Arena NodeArena;
+  std::vector<Node *> Nodes;
+  std::vector<Node *> Roots;
+};
+
+/// Structural equality of two subtrees (operator, payloads, children).
+/// Shared nodes compare equal by pointer fast path.
+bool structurallyEqual(const Node *A, const Node *B);
+
+/// Structural hash of a subtree; equal trees hash equal.
+std::uint64_t structuralHash(const Node *N);
+
+/// Renders \p N as an s-expression, printing operator names via \p G.
+/// Example: (Store (AddrL 8) (Add (Load (AddrL 8)) (Reg 1))).
+std::string toSExpr(const Node *N, const Grammar &G);
+
+} // namespace ir
+} // namespace odburg
+
+#endif // ODBURG_IR_NODE_H

@@ -1,0 +1,153 @@
+//===- ir/SExprParser.cpp - Parse IR from s-expressions ---------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/SExprParser.h"
+
+#include "support/SmallVector.h"
+
+#include <cctype>
+#include <string>
+
+using namespace odburg;
+using namespace odburg::ir;
+
+namespace {
+
+/// Minimal recursive-descent reader over the s-expression text.
+class Reader {
+public:
+  Reader(std::string_view Text, const Grammar &G, IRFunction &F)
+      : Text(Text), G(G), F(F) {}
+
+  Expected<Node *> parseOne() {
+    skipSpace();
+    if (Pos >= Text.size() || Text[Pos] != '(')
+      return err("expected '('");
+    ++Pos;
+    skipSpace();
+    std::string_view Name = lexAtom();
+    if (Name.empty())
+      return err("expected operator name");
+    OperatorId Op = G.findOperator(Name);
+    if (Op == InvalidOperator)
+      return err("unknown operator '" + std::string(Name) + "'");
+    unsigned Arity = G.operatorArity(Op);
+
+    Node *N = nullptr;
+    if (Arity == 0) {
+      // Leaf: one payload atom (integer value or symbol), optional.
+      skipSpace();
+      std::int64_t Value = 0;
+      const char *Symbol = nullptr;
+      if (Pos < Text.size() && Text[Pos] != ')') {
+        std::string_view Payload = lexAtom();
+        if (Payload.empty())
+          return err("expected payload atom");
+        if (isInteger(Payload))
+          Value = std::stoll(std::string(Payload));
+        else
+          Symbol = F.internString(Payload);
+      }
+      N = F.makeLeaf(Op, Value, Symbol);
+    } else {
+      // Optional interior payload (branch target etc.) before the children.
+      std::int64_t Value = 0;
+      skipSpace();
+      if (Pos < Text.size() && Text[Pos] != '(' && Text[Pos] != ')') {
+        std::string_view Payload = lexAtom();
+        if (!isInteger(Payload))
+          return err("expected integer payload or '(' after '" +
+                     G.operatorName(Op) + "'");
+        Value = std::stoll(std::string(Payload));
+      }
+      SmallVector<Node *, 4> Children;
+      for (unsigned I = 0; I < Arity; ++I) {
+        Expected<Node *> Child = parseOne();
+        if (!Child)
+          return Child;
+        Children.push_back(*Child);
+      }
+      N = F.makeNode(Op, Children, Value);
+    }
+    skipSpace();
+    if (Pos >= Text.size() || Text[Pos] != ')')
+      return err("expected ')' closing '" + G.operatorName(Op) + "'");
+    ++Pos;
+    return N;
+  }
+
+  bool atEnd() {
+    skipSpace();
+    return Pos >= Text.size();
+  }
+
+private:
+  static bool isInteger(std::string_view S) {
+    std::size_t Start = S[0] == '-' ? 1 : 0;
+    if (Start == S.size())
+      return false;
+    for (std::size_t I = Start; I < S.size(); ++I)
+      if (!std::isdigit(static_cast<unsigned char>(S[I])))
+        return false;
+    return true;
+  }
+
+  void skipSpace() {
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == '\n') {
+        ++Line;
+        ++Pos;
+      } else if (std::isspace(static_cast<unsigned char>(C))) {
+        ++Pos;
+      } else if (C == ';') { // Comment to end of line.
+        while (Pos < Text.size() && Text[Pos] != '\n')
+          ++Pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view lexAtom() {
+    std::size_t Start = Pos;
+    while (Pos < Text.size() && Text[Pos] != '(' && Text[Pos] != ')' &&
+           !std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+    return Text.substr(Start, Pos - Start);
+  }
+
+  Error err(const std::string &Msg) {
+    return Error::make("s-expression: " + Msg + " on line " +
+                       std::to_string(Line));
+  }
+
+  std::string_view Text;
+  const Grammar &G;
+  IRFunction &F;
+  std::size_t Pos = 0;
+  unsigned Line = 1;
+};
+
+} // namespace
+
+Expected<Node *> ir::parseSExpr(std::string_view Text, const Grammar &G,
+                                IRFunction &F) {
+  Reader R(Text, G, F);
+  return R.parseOne();
+}
+
+Error ir::parseSExprProgram(std::string_view Text, const Grammar &G,
+                            IRFunction &F) {
+  Reader R(Text, G, F);
+  while (!R.atEnd()) {
+    Expected<Node *> Root = R.parseOne();
+    if (!Root)
+      return Root.takeError();
+    F.addRoot(*Root);
+  }
+  return Error::success();
+}

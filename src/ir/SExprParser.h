@@ -1,0 +1,44 @@
+//===- ir/SExprParser.h - Parse IR from s-expressions -----------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses subject trees from the s-expression syntax toSExpr() prints:
+///
+///   (Store (AddrL 8) (Add (Load (AddrL 8)) (Const 1)))
+///
+/// Leaves take one payload atom — an integer, or anything else as a
+/// symbol. Operators must exist in the grammar with matching arity. Used
+/// by data-driven tests and the automaton-explorer tooling; together with
+/// toSExpr it round-trips any tree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_IR_SEXPRPARSER_H
+#define ODBURG_IR_SEXPRPARSER_H
+
+#include "grammar/Grammar.h"
+#include "ir/Node.h"
+#include "support/Error.h"
+
+#include <string_view>
+
+namespace odburg {
+namespace ir {
+
+/// Parses one tree from \p Text into \p F (nodes are created in \p F; the
+/// root is returned but not added to F's root list). Fails with a line
+/// number on malformed input, unknown operators, or arity mismatches.
+Expected<Node *> parseSExpr(std::string_view Text, const Grammar &G,
+                            IRFunction &F);
+
+/// Parses a sequence of trees, adding each as a statement root of \p F.
+Error parseSExprProgram(std::string_view Text, const Grammar &G,
+                        IRFunction &F);
+
+} // namespace ir
+} // namespace odburg
+
+#endif // ODBURG_IR_SEXPRPARSER_H

@@ -1,0 +1,344 @@
+//===- offline/OfflineTables.cpp - burg-style exhaustive automata ---------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "offline/OfflineTables.h"
+
+#include "support/Hashing.h"
+#include "support/Timer.h"
+
+#include <deque>
+#include <unordered_map>
+
+using namespace odburg;
+
+namespace odburg::detail {
+
+/// Grants the generator write access to CompiledTables' internals without
+/// exposing them in the public API.
+class TableBuilder {
+public:
+  using OpTable = CompiledTables::OpTable;
+
+  static std::vector<StateId> &leafStates(CompiledTables &T) {
+    return T.LeafStates;
+  }
+  static std::vector<OpTable> &opTables(CompiledTables &T) {
+    return T.OpTables;
+  }
+  static CompiledTables::Stats &stats(CompiledTables &T) { return T.GenStats; }
+  static std::unique_ptr<StateTable> &states(CompiledTables &T) {
+    return T.States;
+  }
+};
+
+} // namespace odburg::detail
+
+namespace {
+
+using odburg::detail::TableBuilder;
+
+/// Hash for projected cost vectors.
+struct ProjHash {
+  std::size_t operator()(const std::vector<std::uint32_t> &V) const {
+    return static_cast<std::size_t>(
+        hashRange(V.data(), V.data() + V.size()));
+  }
+};
+
+/// Working data for one (operator, operand position) during generation.
+struct PosData {
+  /// Nonterminals that occur at this operand position in rules of the
+  /// operator (sorted, unique).
+  std::vector<NonterminalId> Relevant;
+  /// Nt -> index in Relevant, or ~0u.
+  std::vector<std::uint32_t> NtIndex;
+  /// Projection -> representer index.
+  std::unordered_map<std::vector<std::uint32_t>, std::uint32_t, ProjHash>
+      RepByProj;
+  /// Representer index -> canonical projected cost vector.
+  std::vector<std::vector<Cost>> RepVectors;
+  /// StateId -> representer index.
+  std::vector<std::uint32_t> RepOfState;
+};
+
+/// The whole generation state machine.
+class Generator {
+public:
+  Generator(const Grammar &G, unsigned MaxStates)
+      : G(G), MaxStates(MaxStates), Computer(G),
+        States(std::make_unique<StateTable>(G.numNonterminals())) {}
+
+  Expected<CompiledTables> run();
+
+private:
+  Error processState(StateId S);
+  Error enumerateWithNewRep(OperatorId Op, unsigned Pos, std::uint32_t Rep);
+  Error computeTransition(OperatorId Op,
+                          const SmallVectorImpl<std::uint32_t> &Tuple);
+  const State *internComputed(OperatorId Op,
+                              const SmallVectorImpl<Cost> &Costs,
+                              const SmallVectorImpl<RuleId> &Rules);
+
+  static std::uint64_t tupleKey(const SmallVectorImpl<std::uint32_t> &Tuple) {
+    std::uint64_t Key = 0;
+    for (std::uint32_t R : Tuple)
+      Key = (Key << 16) | R;
+    return Key;
+  }
+
+  const Grammar &G;
+  unsigned MaxStates;
+  StateComputer Computer;
+  std::unique_ptr<StateTable> States;
+  std::vector<SmallVector<PosData, 2>> Pos; // Indexed by op.
+  std::vector<std::unordered_map<std::uint64_t, StateId>> Trans; // By op.
+  std::deque<StateId> Worklist;
+  SelectionStats GenWork;
+};
+
+Expected<CompiledTables> Generator::run() {
+  if (G.hasDynCosts())
+    return Error::make(
+        "offline tables cannot encode dynamic costs; strip the dynamic "
+        "rules (grammar::withoutDynCostRules) or use the on-demand "
+        "automaton");
+
+  Stopwatch Timer;
+
+  // Prepare per-(op, position) relevant-nonterminal sets.
+  unsigned NumOps = G.numOperators();
+  Pos.resize(NumOps);
+  Trans.resize(NumOps);
+  for (OperatorId Op = 0; Op < NumOps; ++Op) {
+    unsigned Arity = G.operatorArity(Op);
+    if (Arity > 4)
+      return Error::make("offline tables support operator arity <= 4 ('" +
+                         G.operatorName(Op) + "' has arity " +
+                         std::to_string(Arity) + ")");
+    for (unsigned P = 0; P < Arity; ++P) {
+      PosData D;
+      D.NtIndex.assign(G.numNonterminals(), ~0u);
+      for (RuleId RId : G.baseRulesFor(Op)) {
+        NonterminalId Nt = G.normRule(RId).Operands[P];
+        if (D.NtIndex[Nt] == ~0u) {
+          D.NtIndex[Nt] = static_cast<std::uint32_t>(D.Relevant.size());
+          D.Relevant.push_back(Nt);
+        }
+      }
+      Pos[Op].push_back(std::move(D));
+    }
+  }
+
+  // Seed with leaf-operator states.
+  std::vector<StateId> LeafStates(NumOps, InvalidState);
+  for (OperatorId Op = 0; Op < NumOps; ++Op) {
+    if (G.operatorArity(Op) != 0)
+      continue;
+    SmallVector<Cost, 32> Costs;
+    SmallVector<RuleId, 32> Rules;
+    Computer.compute(
+        Op, [](unsigned, NonterminalId) { return Cost::infinity(); },
+        [](unsigned) { return Cost::infinity(); }, Costs, Rules, &GenWork);
+    ++GenWork.StatesComputed;
+    LeafStates[Op] = internComputed(Op, Costs, Rules)->Id;
+  }
+
+  // Fixpoint: process states until no new states or representers appear.
+  while (!Worklist.empty()) {
+    StateId S = Worklist.front();
+    Worklist.pop_front();
+    if (Error E = processState(S))
+      return E;
+  }
+
+  // Freeze into dense tables.
+  CompiledTables Out;
+  TableBuilder::leafStates(Out) = std::move(LeafStates);
+  TableBuilder::opTables(Out).resize(NumOps);
+  std::size_t TableBytes = 0;
+  std::size_t NumTransitions = 0;
+  for (OperatorId Op = 0; Op < NumOps; ++Op) {
+    unsigned Arity = G.operatorArity(Op);
+    if (Arity == 0) {
+      TableBytes += sizeof(StateId);
+      continue;
+    }
+    TableBuilder::OpTable &T = TableBuilder::opTables(Out)[Op];
+    std::size_t TableSize = 1;
+    for (unsigned P = 0; P < Arity; ++P) {
+      PosData &D = Pos[Op][P];
+      T.Dims.push_back(static_cast<std::uint32_t>(D.RepVectors.size()));
+      D.RepOfState.resize(States->size(), 0);
+      T.RepMaps.emplace_back(std::move(D.RepOfState));
+      TableSize *= T.Dims.back();
+      TableBytes += T.RepMaps.back().size() * sizeof(std::uint32_t);
+    }
+    T.Table.assign(TableSize, InvalidState);
+    // Fill from the transition map: walk all tuples in row-major order.
+    SmallVector<std::uint32_t, 4> Tuple(Arity, 0);
+    for (std::size_t Flat = 0; Flat < TableSize; ++Flat) {
+      std::size_t Rest = Flat;
+      for (unsigned P = Arity; P-- > 0;) {
+        Tuple[P] = static_cast<std::uint32_t>(Rest % T.Dims[P]);
+        Rest /= T.Dims[P];
+      }
+      auto It = Trans[Op].find(tupleKey(Tuple));
+      assert(It != Trans[Op].end() && "transition tuple never enumerated");
+      T.Table[Flat] = It->second;
+    }
+    TableBytes += T.Table.size() * sizeof(StateId);
+    NumTransitions += TableSize;
+  }
+
+  CompiledTables::Stats &St = TableBuilder::stats(Out);
+  St.NumStates = States->size();
+  St.NumTransitions = NumTransitions;
+  St.TableBytes = TableBytes;
+  St.GenerationMs = Timer.elapsedMs();
+  St.StatesComputed = GenWork.StatesComputed;
+  TableBuilder::states(Out) = std::move(States);
+  return Out;
+}
+
+const State *Generator::internComputed(OperatorId Op,
+                                       const SmallVectorImpl<Cost> &Costs,
+                                       const SmallVectorImpl<RuleId> &Rules) {
+  unsigned Before = States->size();
+  const State *S = States->intern(Op, Costs.data(), Rules.data());
+  if (States->size() > Before)
+    Worklist.push_back(S->Id);
+  return S;
+}
+
+Error Generator::processState(StateId SId) {
+  if (States->size() > MaxStates)
+    return Error::make("offline generation exceeded the state limit (" +
+                       std::to_string(MaxStates) + " states)");
+  const State *S = States->byId(SId);
+  for (OperatorId Op = 0; Op < G.numOperators(); ++Op) {
+    for (unsigned P = 0; P < G.operatorArity(Op); ++P) {
+      PosData &D = Pos[Op][P];
+      // Project the state onto the position's relevant nonterminals and
+      // re-normalize so that positions see representers, not raw states.
+      std::vector<std::uint32_t> Proj(D.Relevant.size());
+      Cost Min = Cost::infinity();
+      for (std::size_t I = 0; I < D.Relevant.size(); ++I)
+        Min = std::min(Min, S->costOf(D.Relevant[I]));
+      for (std::size_t I = 0; I < D.Relevant.size(); ++I) {
+        Cost C = S->costOf(D.Relevant[I]);
+        if (C.isFinite() && Min.isFinite())
+          C = C - Min;
+        Proj[I] = C.raw();
+      }
+      auto [It, New] = D.RepByProj.try_emplace(
+          std::move(Proj), static_cast<std::uint32_t>(D.RepVectors.size()));
+      if (D.RepOfState.size() <= SId)
+        D.RepOfState.resize(SId + 1, 0);
+      D.RepOfState[SId] = It->second;
+      if (!New)
+        continue;
+      if (D.RepVectors.size() >= 0xFFFF)
+        return Error::make("too many representer states for operator '" +
+                           G.operatorName(Op) + "'");
+      std::vector<Cost> RepVec(D.Relevant.size());
+      for (std::size_t I = 0; I < D.Relevant.size(); ++I)
+        RepVec[I] = Cost(It->first[I]);
+      D.RepVectors.push_back(std::move(RepVec));
+      if (Error E = enumerateWithNewRep(Op, P, It->second))
+        return E;
+    }
+  }
+  return Error::success();
+}
+
+Error Generator::enumerateWithNewRep(OperatorId Op, unsigned FixedPos,
+                                     std::uint32_t Rep) {
+  unsigned Arity = G.operatorArity(Op);
+  SmallVector<std::uint32_t, 4> Tuple(Arity, 0);
+  Tuple[FixedPos] = Rep;
+  SmallVector<unsigned, 4> Free;
+  for (unsigned P = 0; P < Arity; ++P)
+    if (P != FixedPos)
+      Free.push_back(P);
+  // A free position without representers yet means no complete tuples
+  // exist; they will be enumerated when that position's first representer
+  // appears.
+  for (unsigned P : Free)
+    if (Pos[Op][P].RepVectors.empty())
+      return Error::success();
+  // Odometer over the free positions' existing representers.
+  while (true) {
+    if (Error E = computeTransition(Op, Tuple))
+      return E;
+    unsigned K = Free.size();
+    while (K > 0) {
+      unsigned P = Free[K - 1];
+      if (++Tuple[P] < Pos[Op][P].RepVectors.size())
+        break;
+      Tuple[P] = 0;
+      --K;
+    }
+    if (K == 0)
+      break;
+  }
+  return Error::success();
+}
+
+Error Generator::computeTransition(OperatorId Op,
+                                   const SmallVectorImpl<std::uint32_t> &Tuple) {
+  std::uint64_t Key = tupleKey(Tuple);
+  auto [It, New] = Trans[Op].try_emplace(Key, InvalidState);
+  if (!New)
+    return Error::success();
+  SmallVector<Cost, 32> Costs;
+  SmallVector<RuleId, 32> Rules;
+  ++GenWork.StatesComputed;
+  Computer.compute(
+      Op,
+      [&](unsigned P, NonterminalId Nt) {
+        const PosData &D = Pos[Op][P];
+        std::uint32_t Idx = D.NtIndex[Nt];
+        assert(Idx != ~0u && "rule reads an irrelevant nonterminal");
+        return D.RepVectors[Tuple[P]][Idx];
+      },
+      [](unsigned) { return Cost::infinity(); }, Costs, Rules, &GenWork);
+  const State *S = internComputed(Op, Costs, Rules);
+  if (States->size() > MaxStates)
+    return Error::make("offline generation exceeded the state limit (" +
+                       std::to_string(MaxStates) + " states)");
+  Trans[Op][Key] = S->Id;
+  return Error::success();
+}
+
+} // namespace
+
+OfflineTableGen::OfflineTableGen(const Grammar &G, unsigned MaxStates)
+    : G(G), MaxStates(MaxStates) {
+  assert(G.isFinalized() && "grammar must be finalized");
+}
+
+Expected<CompiledTables> OfflineTableGen::generate() {
+  return Generator(G, MaxStates).run();
+}
+
+void TableLabeler::labelFunction(ir::IRFunction &F, SelectionStats *Stats) {
+  SelectionStats Local;
+  SelectionStats &S = Stats ? *Stats : Local;
+  SmallVector<StateId, 4> ChildStates;
+  for (ir::Node *N : F.nodes()) {
+    ++S.NodesLabeled;
+    ++S.TableLookups;
+    unsigned NumChildren = N->numChildren();
+    if (NumChildren == 0) {
+      N->setLabel(T.leafState(N->op()));
+      continue;
+    }
+    ChildStates.clear();
+    for (unsigned I = 0; I < NumChildren; ++I)
+      ChildStates.push_back(N->child(I)->label());
+    N->setLabel(T.transition(N->op(), ChildStates.data(), NumChildren));
+  }
+}

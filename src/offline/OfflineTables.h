@@ -1,0 +1,131 @@
+//===- offline/OfflineTables.h - burg-style exhaustive automata -----------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Offline (ahead-of-time) tree-parsing automaton generation in the style
+/// of burg (Fraser/Henry/Proebsting; Chase's table compression): enumerate
+/// *all* reachable states before any input is seen and compile them into
+/// dense transition tables indexed by *representer* indices.
+///
+/// For each (operator, operand position), a state is projected onto the
+/// nonterminals that can actually appear at that position; states with
+/// equal (re-normalized) projections share a representer index, which is
+/// what keeps the dense tables small. Labeling is then pure array
+/// indexing:
+///
+///   state = Table[op][RepMap[op][0][s0]][RepMap[op][1][s1]]
+///
+/// Dynamic costs are fundamentally unsupported here — the tables are fixed
+/// before the subject tree exists. This is the inflexibility that the
+/// on-demand automaton (core/) removes; benches quantify the other side of
+/// the trade (generation time and table size vs. lazy construction).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_OFFLINE_OFFLINETABLES_H
+#define ODBURG_OFFLINE_OFFLINETABLES_H
+
+#include "core/State.h"
+#include "core/StateComputer.h"
+#include "grammar/Grammar.h"
+#include "ir/Node.h"
+#include "select/Labeling.h"
+#include "support/Error.h"
+#include "support/Statistic.h"
+
+#include <memory>
+#include <vector>
+
+namespace odburg {
+
+namespace detail {
+class TableBuilder;
+} // namespace detail
+
+/// The generated automaton: all states plus dense transition tables.
+class CompiledTables {
+public:
+  /// Statistics about the generated automaton.
+  struct Stats {
+    unsigned NumStates = 0;
+    std::size_t NumTransitions = 0; ///< Dense table entries.
+    std::size_t TableBytes = 0;     ///< Tables + representer maps.
+    double GenerationMs = 0;        ///< Wall time of generation.
+    std::uint64_t StatesComputed = 0; ///< Including duplicates re-derived.
+  };
+
+  const State *stateById(StateId Id) const { return States->byId(Id); }
+
+  /// The start state for leaf operator \p Op.
+  StateId leafState(OperatorId Op) const { return LeafStates[Op]; }
+
+  /// Transition lookup for an interior node.
+  StateId transition(OperatorId Op, const StateId *ChildStates,
+                     unsigned NumChildren) const {
+    const OpTable &T = OpTables[Op];
+    std::size_t Index = 0;
+    for (unsigned P = 0; P < NumChildren; ++P)
+      Index = Index * T.Dims[P] + T.RepMaps[P][ChildStates[P]];
+    return T.Table[Index];
+  }
+
+  const Stats &stats() const { return GenStats; }
+  const StateTable &stateTable() const { return *States; }
+
+private:
+  friend class detail::TableBuilder;
+
+  struct OpTable {
+    /// Representer count per operand position.
+    SmallVector<std::uint32_t, 2> Dims;
+    /// Per position: StateId -> representer index.
+    SmallVector<std::vector<std::uint32_t>, 2> RepMaps;
+    /// Dense row-major table over representer indices.
+    std::vector<StateId> Table;
+  };
+
+  std::unique_ptr<StateTable> States;
+  std::vector<StateId> LeafStates; ///< Indexed by OperatorId; InvalidState
+                                   ///< for interior operators.
+  std::vector<OpTable> OpTables;   ///< Indexed by OperatorId.
+  Stats GenStats;
+};
+
+/// Generates CompiledTables for a grammar without dynamic costs.
+class OfflineTableGen {
+public:
+  explicit OfflineTableGen(const Grammar &G, unsigned MaxStates = 1u << 18);
+
+  /// Runs exhaustive state enumeration. Fails if the grammar has dynamic
+  /// costs or exceeds the state bound.
+  Expected<CompiledTables> generate();
+
+private:
+  const Grammar &G;
+  unsigned MaxStates;
+};
+
+/// Labels functions by pure table lookup over CompiledTables.
+class TableLabeler final : public Labeling {
+public:
+  explicit TableLabeler(const CompiledTables &T) : T(T) {}
+
+  void labelFunction(ir::IRFunction &F, SelectionStats *Stats = nullptr);
+
+  RuleId ruleFor(const ir::Node &N, NonterminalId Nt) const override {
+    return T.stateById(N.label())->ruleOf(Nt);
+  }
+  Cost costFor(const ir::Node &N, NonterminalId Nt) const override {
+    return T.stateById(N.label())->costOf(Nt);
+  }
+
+private:
+  const CompiledTables &T;
+};
+
+} // namespace odburg
+
+#endif // ODBURG_OFFLINE_OFFLINETABLES_H

@@ -1,0 +1,69 @@
+//===- select/DPLabeler.cpp - iburg-style dynamic-programming labeler -----===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "select/DPLabeler.h"
+
+using namespace odburg;
+
+DPLabeler::DPLabeler(const Grammar &G, const DynCostTable *Dyn)
+    : G(G), Dyn(Dyn) {
+  assert(G.isFinalized() && "grammar must be finalized");
+  assert((!G.hasDynCosts() || Dyn) &&
+         "grammar has dynamic costs but no hook table was supplied");
+}
+
+void DPLabeler::labelNode(const ir::Node &N, DPLabeling &L,
+                          SelectionStats &Stats) {
+  ++Stats.NodesLabeled;
+
+  // Base rules: the costs of all children are already final (topological
+  // order), so one pass over the operator's rules suffices.
+  for (RuleId RId : G.baseRulesFor(N.op())) {
+    const NormRule &R = G.normRule(RId);
+    ++Stats.RuleChecks;
+    Cost C = R.FixedCost;
+    if (R.DynHook != InvalidDynCost) {
+      ++Stats.DynCostEvals;
+      C += Dyn->evaluate(R.DynHook, N);
+    }
+    for (unsigned I = 0; I < R.Operands.size() && C.isFinite(); ++I)
+      C += L.costFor(*N.child(I), R.Operands[I]);
+    DPLabeling::Entry &E = L.entry(N.id(), R.Lhs);
+    if (C < E.C) {
+      E.C = C;
+      E.R = RId;
+    }
+  }
+
+  // Chain-rule closure: iterate until no relaxation applies. Realistic
+  // grammars converge in one or two passes.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (RuleId RId : G.chainRules()) {
+      const NormRule &R = G.normRule(RId);
+      ++Stats.ChainRelaxations;
+      Cost C = L.entry(N.id(), R.ChainRhs).C + R.FixedCost;
+      DPLabeling::Entry &E = L.entry(N.id(), R.Lhs);
+      if (C < E.C) {
+        E.C = C;
+        E.R = RId;
+        Changed = true;
+      }
+    }
+  }
+}
+
+DPLabeling DPLabeler::label(const ir::IRFunction &F, SelectionStats *Stats) {
+  DPLabeling L;
+  L.Stride = G.numNonterminals();
+  L.Table.assign(static_cast<std::size_t>(F.size()) * L.Stride, {});
+  SelectionStats Local;
+  SelectionStats &S = Stats ? *Stats : Local;
+  for (const ir::Node *N : F.nodes())
+    labelNode(*N, L, S);
+  return L;
+}

@@ -1,0 +1,81 @@
+//===- select/DPLabeler.h - iburg-style dynamic-programming labeler -------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The classic selection-time dynamic-programming labeler of BEG, iburg and
+/// lburg: for every node, walk all base rules applicable at its operator,
+/// then close over chain rules. This is the flexible-but-slow baseline the
+/// on-demand automaton (core/OnDemandAutomaton.h) is measured against; its
+/// per-node work grows with the number of rules per operator, which the
+/// automaton replaces with one cache probe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_SELECT_DPLABELER_H
+#define ODBURG_SELECT_DPLABELER_H
+
+#include "grammar/Grammar.h"
+#include "ir/Node.h"
+#include "select/DynCost.h"
+#include "select/Labeling.h"
+#include "support/Statistic.h"
+
+#include <vector>
+
+namespace odburg {
+
+/// The label table the DP labeler produces: per node and nonterminal, the
+/// minimal derivation cost and its first rule. Indexed by node id.
+class DPLabeling final : public Labeling {
+public:
+  RuleId ruleFor(const ir::Node &N, NonterminalId Nt) const override {
+    return entry(N.id(), Nt).R;
+  }
+
+  Cost costFor(const ir::Node &N, NonterminalId Nt) const override {
+    return entry(N.id(), Nt).C;
+  }
+
+private:
+  friend class DPLabeler;
+
+  struct Entry {
+    Cost C = Cost::infinity();
+    RuleId R = InvalidRule;
+  };
+
+  const Entry &entry(std::uint32_t NodeId, NonterminalId Nt) const {
+    assert(NodeId * Stride + Nt < Table.size() && "unlabeled node");
+    return Table[NodeId * Stride + Nt];
+  }
+  Entry &entry(std::uint32_t NodeId, NonterminalId Nt) {
+    return Table[NodeId * Stride + Nt];
+  }
+
+  std::vector<Entry> Table;
+  unsigned Stride = 0;
+};
+
+/// Labels functions by per-node dynamic programming.
+class DPLabeler {
+public:
+  /// \p Dyn may be null when the grammar has no dynamic-cost rules.
+  DPLabeler(const Grammar &G, const DynCostTable *Dyn = nullptr);
+
+  /// Labels all nodes of \p F (children before parents; DAGs are fine since
+  /// the node list is topologically ordered).
+  DPLabeling label(const ir::IRFunction &F, SelectionStats *Stats = nullptr);
+
+private:
+  void labelNode(const ir::Node &N, DPLabeling &L, SelectionStats &Stats);
+
+  const Grammar &G;
+  const DynCostTable *Dyn;
+};
+
+} // namespace odburg
+
+#endif // ODBURG_SELECT_DPLABELER_H

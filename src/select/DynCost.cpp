@@ -1,0 +1,24 @@
+//===- select/DynCost.cpp - Dynamic-cost hook table -------------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "select/DynCost.h"
+
+using namespace odburg;
+
+Expected<DynCostTable>
+DynCostTable::build(const Grammar &G,
+                    const std::unordered_map<std::string, DynCostFn> &Registry) {
+  DynCostTable T;
+  T.Fns.reserve(G.numDynHooks());
+  for (DynCostId Id = 0; Id < G.numDynHooks(); ++Id) {
+    auto It = Registry.find(G.dynHookName(Id));
+    if (It == Registry.end())
+      return Error::make("dynamic-cost hook '" + G.dynHookName(Id) +
+                         "' is declared by the grammar but not registered");
+    T.Fns.push_back(It->second);
+  }
+  return T;
+}

@@ -1,0 +1,63 @@
+//===- select/DynCost.h - Dynamic-cost hook table --------------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Binds the dynamic-cost hook *names* a grammar declares (`?hook`) to the
+/// functions that evaluate them on IR nodes. The split keeps the grammar
+/// library independent of the IR library.
+///
+/// A hook receives the node matching the rule's (outermost) operator and
+/// returns the cost contribution of the rule at that node —
+/// Cost::infinity() meaning "rule not applicable here". Hooks must be
+/// defensive: engines may call them on nodes where the rest of the rule
+/// pattern does not match (the on-demand automaton evaluates every hook of
+/// an operator to form its transition key), so they must check tree shape
+/// before navigating into children.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_SELECT_DYNCOST_H
+#define ODBURG_SELECT_DYNCOST_H
+
+#include "grammar/Grammar.h"
+#include "ir/Node.h"
+#include "support/Cost.h"
+#include "support/Error.h"
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace odburg {
+
+/// The evaluation function of one dynamic-cost hook.
+using DynCostFn = std::function<Cost(const ir::Node &)>;
+
+/// Hook functions for one grammar, indexed by DynCostId.
+class DynCostTable {
+public:
+  /// Builds a table for \p G, resolving each declared hook name in
+  /// \p Registry. Fails if a hook name is unbound.
+  static Expected<DynCostTable>
+  build(const Grammar &G,
+        const std::unordered_map<std::string, DynCostFn> &Registry);
+
+  /// Evaluates hook \p Id on \p N.
+  Cost evaluate(DynCostId Id, const ir::Node &N) const {
+    assert(Id < Fns.size() && "dynamic-cost hook id out of range");
+    return Fns[Id](N);
+  }
+
+  unsigned size() const { return static_cast<unsigned>(Fns.size()); }
+
+private:
+  std::vector<DynCostFn> Fns;
+};
+
+} // namespace odburg
+
+#endif // ODBURG_SELECT_DYNCOST_H

@@ -1,0 +1,41 @@
+//===- select/Labeling.h - Engine-independent labeling results -------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interface between labeling engines and the reducer. After an engine
+/// labels an IRFunction, a Labeling answers, for every (node, nonterminal)
+/// pair, which normal-form rule starts the minimal derivation and what that
+/// derivation costs. Costs from automaton engines are *relative* (delta-
+/// normalized per state) and only comparable within one node.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_SELECT_LABELING_H
+#define ODBURG_SELECT_LABELING_H
+
+#include "grammar/Ids.h"
+#include "ir/Node.h"
+#include "support/Cost.h"
+
+namespace odburg {
+
+/// Read-only view of a labeled function.
+class Labeling {
+public:
+  virtual ~Labeling() = default;
+
+  /// The rule beginning the minimal derivation of \p N from \p Nt, or
+  /// InvalidRule if no derivation exists.
+  virtual RuleId ruleFor(const ir::Node &N, NonterminalId Nt) const = 0;
+
+  /// The cost of the minimal derivation of \p N from \p Nt. Absolute for
+  /// the DP labeler; delta-normalized (per node) for automaton engines.
+  virtual Cost costFor(const ir::Node &N, NonterminalId Nt) const = 0;
+};
+
+} // namespace odburg
+
+#endif // ODBURG_SELECT_LABELING_H

@@ -1,0 +1,52 @@
+//===- select/Oracle.cpp - Brute-force optimal-derivation oracle -----------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "select/Oracle.h"
+
+using namespace odburg;
+
+namespace {
+
+/// \p ActiveChains is a bitmask of nonterminals already expanded via chain
+/// rules at the current node; minimal derivations never need to revisit one
+/// (rule costs are non-negative), so cutting them preserves optimality.
+Cost oracleCostImpl(const Grammar &G, const ir::Node &N, NonterminalId Nt,
+                    const DynCostTable *Dyn, std::uint64_t ActiveChains) {
+  Cost Best = Cost::infinity();
+
+  for (RuleId RId : G.baseRulesFor(N.op())) {
+    const NormRule &R = G.normRule(RId);
+    if (R.Lhs != Nt)
+      continue;
+    Cost C = R.FixedCost;
+    if (R.DynHook != InvalidDynCost)
+      C += Dyn->evaluate(R.DynHook, N);
+    for (unsigned I = 0; I < R.Operands.size() && C.isFinite(); ++I)
+      C += oracleCostImpl(G, *N.child(I), R.Operands[I], Dyn, 0);
+    Best = std::min(Best, C);
+  }
+
+  for (RuleId RId : G.chainRules()) {
+    const NormRule &R = G.normRule(RId);
+    if (R.Lhs != Nt)
+      continue;
+    if (ActiveChains & (1ULL << R.ChainRhs))
+      continue;
+    Cost C = R.FixedCost + oracleCostImpl(G, N, R.ChainRhs, Dyn,
+                                          ActiveChains | (1ULL << Nt));
+    Best = std::min(Best, C);
+  }
+
+  return Best;
+}
+
+} // namespace
+
+Cost odburg::oracleCost(const Grammar &G, const ir::Node &N, NonterminalId Nt,
+                        const DynCostTable *Dyn) {
+  assert(G.numNonterminals() < 64 && "oracle supports < 64 nonterminals");
+  return oracleCostImpl(G, N, Nt, Dyn, 1ULL << Nt);
+}

@@ -1,0 +1,35 @@
+//===- select/Oracle.h - Brute-force optimal-derivation oracle -------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An independent, brute-force computation of minimal derivation costs,
+/// used as ground truth in tests. It enumerates derivations recursively
+/// (tracking the chain rules active at the current node to cut cycles)
+/// rather than using the labelers' bottom-up relaxation, so agreement with
+/// an engine is meaningful evidence of that engine's correctness.
+///
+/// Exponential in principle; intended for test-sized trees only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_SELECT_ORACLE_H
+#define ODBURG_SELECT_ORACLE_H
+
+#include "grammar/Grammar.h"
+#include "ir/Node.h"
+#include "select/DynCost.h"
+#include "support/Cost.h"
+
+namespace odburg {
+
+/// Computes the exact minimal cost of deriving the subtree at \p N from
+/// \p Nt by exhaustive enumeration. Requires fewer than 64 nonterminals.
+Cost oracleCost(const Grammar &G, const ir::Node &N, NonterminalId Nt,
+                const DynCostTable *Dyn = nullptr);
+
+} // namespace odburg
+
+#endif // ODBURG_SELECT_ORACLE_H

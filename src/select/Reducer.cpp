@@ -1,0 +1,134 @@
+//===- select/Reducer.cpp - Derivation walk and match extraction ----------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "select/Reducer.h"
+
+#include "support/SmallVector.h"
+
+using namespace odburg;
+
+namespace {
+
+/// Explicit-stack derivation walker (IR trees can be deep enough to make
+/// native recursion risky).
+class Walker {
+public:
+  Walker(const Grammar &G, const ir::IRFunction &F, const Labeling &L,
+         const DynCostTable *Dyn, Selection &Out)
+      : G(G), L(L), Dyn(Dyn), Out(Out),
+        Visited(static_cast<std::size_t>(F.size()) * G.numNonterminals(),
+                false),
+        Stride(G.numNonterminals()) {}
+
+  Error walkRoot(const ir::Node *Root, NonterminalId Goal) {
+    Stack.clear();
+    push(Root, Goal);
+    while (!Stack.empty()) {
+      Frame &F = Stack.back();
+      if (!F.Resolved) {
+        if (Error E = resolve(F))
+          return E;
+        if (F.Skip) {
+          Stack.pop_back();
+          continue;
+        }
+      }
+      const NormRule &R = G.normRule(F.Rule);
+      if (R.isChain()) {
+        if (F.NextChild == 0) {
+          F.NextChild = 1;
+          push(F.N, R.ChainRhs);
+          continue;
+        }
+        fire(F.N, R);
+        Stack.pop_back();
+        continue;
+      }
+      if (F.NextChild < R.Operands.size()) {
+        unsigned I = F.NextChild++;
+        push(F.N->child(I), R.Operands[I]);
+        continue;
+      }
+      if (R.IsFinal)
+        fire(F.N, R);
+      accountCost(F.N, R);
+      Stack.pop_back();
+    }
+    return Error::success();
+  }
+
+private:
+  struct Frame {
+    const ir::Node *N;
+    NonterminalId Nt;
+    RuleId Rule = InvalidRule;
+    unsigned NextChild = 0;
+    bool Resolved = false;
+    bool Skip = false;
+  };
+
+  void push(const ir::Node *N, NonterminalId Nt) {
+    Frame F;
+    F.N = N;
+    F.Nt = Nt;
+    Stack.push_back(F);
+  }
+
+  Error resolve(Frame &F) {
+    F.Resolved = true;
+    std::size_t Key = static_cast<std::size_t>(F.N->id()) * Stride + F.Nt;
+    if (Visited[Key]) {
+      // DAG sharing: this (node, nonterminal) was already derived; its code
+      // was (or will be) emitted by the first visit.
+      F.Skip = true;
+      return Error::success();
+    }
+    Visited[Key] = true;
+    F.Rule = L.ruleFor(*F.N, F.Nt);
+    if (F.Rule == InvalidRule)
+      return Error::make("no derivation of nonterminal '" +
+                         G.nonterminalName(F.Nt) + "' at node " +
+                         std::to_string(F.N->id()) + " (operator '" +
+                         G.operatorName(F.N->op()) + "')");
+    return Error::success();
+  }
+
+  void fire(const ir::Node *N, const NormRule &R) {
+    Out.Matches.push_back({N, R.Source, R.Lhs});
+    if (R.isChain())
+      accountCost(N, R);
+  }
+
+  void accountCost(const ir::Node *N, const NormRule &R) {
+    Cost C = R.FixedCost;
+    if (R.DynHook != InvalidDynCost) {
+      assert(Dyn && "dynamic-cost rule fired without a hook table");
+      C += Dyn->evaluate(R.DynHook, *N);
+    }
+    Out.TotalCost += C;
+  }
+
+  const Grammar &G;
+  const Labeling &L;
+  const DynCostTable *Dyn;
+  Selection &Out;
+  std::vector<bool> Visited;
+  unsigned Stride;
+  std::vector<Frame> Stack;
+};
+
+} // namespace
+
+Expected<Selection> odburg::reduce(const Grammar &G, const ir::IRFunction &F,
+                                   const Labeling &L,
+                                   const DynCostTable *Dyn) {
+  Selection Out;
+  Walker W(G, F, L, Dyn, Out);
+  for (const ir::Node *Root : F.roots())
+    if (Error E = W.walkRoot(Root, G.startNt()))
+      return E;
+  return Out;
+}

@@ -1,0 +1,51 @@
+//===- support/Casting.h - LLVM-style isa/cast/dyn_cast --------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-rolled RTTI in the LLVM style. A class hierarchy opts in by giving
+/// the base class a kind discriminator and each derived class a static
+/// `classof(const Base *)`. Used by the MiniC AST.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_SUPPORT_CASTING_H
+#define ODBURG_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace odburg {
+
+/// True if \p V is an instance of To (or a subclass). \p V must be non-null.
+template <typename To, typename From> bool isa(const From *V) {
+  assert(V && "isa<> on a null pointer");
+  return To::classof(V);
+}
+
+/// Checked downcast; asserts that \p V really is a To.
+template <typename To, typename From> To *cast(From *V) {
+  assert(isa<To>(V) && "cast<> argument of incompatible type");
+  return static_cast<To *>(V);
+}
+
+/// Checked downcast (const).
+template <typename To, typename From> const To *cast(const From *V) {
+  assert(isa<To>(V) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(V);
+}
+
+/// Checking downcast: returns null if \p V is not a To.
+template <typename To, typename From> To *dyn_cast(From *V) {
+  return isa<To>(V) ? static_cast<To *>(V) : nullptr;
+}
+
+/// Checking downcast (const).
+template <typename To, typename From> const To *dyn_cast(const From *V) {
+  return isa<To>(V) ? static_cast<const To *>(V) : nullptr;
+}
+
+} // namespace odburg
+
+#endif // ODBURG_SUPPORT_CASTING_H

@@ -1,0 +1,28 @@
+//===- support/Compiler.h - Compiler abstraction macros ------------------===//
+//
+// Part of the odburg project, an implementation of instruction selection
+// with on-demand tree-parsing automata (Ertl, Casey, Gregg; PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small compiler-portability macros used throughout the library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_SUPPORT_COMPILER_H
+#define ODBURG_SUPPORT_COMPILER_H
+
+#if defined(__GNUC__) || defined(__clang__)
+#define ODBURG_LIKELY(X) __builtin_expect(!!(X), 1)
+#define ODBURG_UNLIKELY(X) __builtin_expect(!!(X), 0)
+#define ODBURG_NOINLINE __attribute__((noinline))
+#define ODBURG_ALWAYS_INLINE inline __attribute__((always_inline))
+#else
+#define ODBURG_LIKELY(X) (X)
+#define ODBURG_UNLIKELY(X) (X)
+#define ODBURG_NOINLINE
+#define ODBURG_ALWAYS_INLINE inline
+#endif
+
+#endif // ODBURG_SUPPORT_COMPILER_H

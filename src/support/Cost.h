@@ -1,0 +1,87 @@
+//===- support/Cost.h - Saturating rule-cost arithmetic -------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rule costs with an explicit infinity. Dynamic-cost hooks signal "rule not
+/// applicable" by returning Cost::infinity(); addition saturates so a
+/// derivation through an inapplicable rule can never look cheap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_SUPPORT_COST_H
+#define ODBURG_SUPPORT_COST_H
+
+#include <cassert>
+#include <compare>
+#include <cstdint>
+
+namespace odburg {
+
+/// A saturating cost value. The representation reserves the max value for
+/// infinity; finite costs must stay below Cost::MaxFinite (asserted), which
+/// is far beyond any realistic derivation cost.
+class Cost {
+public:
+  using ValueType = std::uint32_t;
+  static constexpr ValueType InfinityValue = 0xFFFFFFFFu;
+  /// Finite costs saturate here; picked so that two addends below the bound
+  /// cannot wrap around 32 bits.
+  static constexpr ValueType MaxFinite = 0x3FFFFFFFu;
+
+  constexpr Cost() : Value(InfinityValue) {}
+  constexpr explicit Cost(ValueType V) : Value(V) {}
+
+  static constexpr Cost infinity() { return Cost(InfinityValue); }
+  static constexpr Cost zero() { return Cost(0); }
+
+  constexpr bool isInfinite() const { return Value == InfinityValue; }
+  constexpr bool isFinite() const { return Value != InfinityValue; }
+
+  /// The raw value; only meaningful for finite costs.
+  constexpr ValueType value() const {
+    assert(isFinite() && "value() on infinite cost");
+    return Value;
+  }
+
+  /// Raw representation including the infinity encoding (for hashing and
+  /// normalized state vectors).
+  constexpr ValueType raw() const { return Value; }
+
+  friend constexpr Cost operator+(Cost A, Cost B) {
+    if (A.isInfinite() || B.isInfinite())
+      return infinity();
+    ValueType Sum = A.Value + B.Value;
+    if (Sum > MaxFinite)
+      Sum = MaxFinite;
+    return Cost(Sum);
+  }
+
+  Cost &operator+=(Cost B) {
+    *this = *this + B;
+    return *this;
+  }
+
+  /// Subtracts a finite delta; used for state normalization. Infinity stays
+  /// infinity.
+  friend constexpr Cost operator-(Cost A, Cost B) {
+    if (A.isInfinite())
+      return infinity();
+    assert(B.isFinite() && A.Value >= B.Value && "invalid cost subtraction");
+    return Cost(A.Value - B.Value);
+  }
+
+  friend constexpr bool operator==(Cost A, Cost B) = default;
+  friend constexpr auto operator<=>(Cost A, Cost B) {
+    return A.Value <=> B.Value;
+  }
+
+private:
+  ValueType Value;
+};
+
+} // namespace odburg
+
+#endif // ODBURG_SUPPORT_COST_H

@@ -1,0 +1,8 @@
+//===- support/Error.cpp - Recoverable error handling ---------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+// Error and Expected are header-only; this file anchors the library.
+
+#include "support/Error.h"

@@ -1,0 +1,170 @@
+//===- support/Error.h - Recoverable error handling -----------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight recoverable errors, modeled on llvm::Error / llvm::Expected.
+/// The library does not use exceptions; fallible operations (grammar
+/// parsing, table generation) return Expected<T> or Error. Errors must be
+/// consumed: destroying an unchecked error aborts (in assert builds), which
+/// keeps failure paths honest.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_SUPPORT_ERROR_H
+#define ODBURG_SUPPORT_ERROR_H
+
+#include "support/ErrorHandling.h"
+
+#include <cassert>
+#include <new>
+#include <string>
+#include <utility>
+
+namespace odburg {
+
+/// A recoverable error carrying a message, or success. Move-only.
+class [[nodiscard]] Error {
+public:
+  /// Creates a success value.
+  static Error success() { return Error(); }
+
+  /// Creates a failure with \p Msg.
+  static Error make(std::string Msg) {
+    Error E;
+    E.Msg = std::move(Msg);
+    E.Failed = true;
+    return E;
+  }
+
+  Error(const Error &) = delete;
+  Error &operator=(const Error &) = delete;
+
+  Error(Error &&RHS) noexcept
+      : Msg(std::move(RHS.Msg)), Failed(RHS.Failed), Checked(RHS.Checked) {
+    RHS.Failed = false;
+    RHS.Checked = true;
+  }
+
+  Error &operator=(Error &&RHS) noexcept {
+    assertChecked();
+    Msg = std::move(RHS.Msg);
+    Failed = RHS.Failed;
+    Checked = RHS.Checked;
+    RHS.Failed = false;
+    RHS.Checked = true;
+    return *this;
+  }
+
+  ~Error() { assertChecked(); }
+
+  /// True if this holds a failure. Marks the error as checked.
+  explicit operator bool() {
+    Checked = true;
+    return Failed;
+  }
+
+  /// The failure message. Only valid when the error is a failure.
+  const std::string &message() const {
+    assert(Failed && "message() on success value");
+    return Msg;
+  }
+
+  /// Consumes the error regardless of state (use when failure is ignorable).
+  void consume() { Checked = true; }
+
+private:
+  Error() = default;
+
+  void assertChecked() {
+    if (!Checked && Failed)
+      reportFatalError("unchecked odburg::Error dropped");
+  }
+
+  std::string Msg;
+  bool Failed = false;
+  bool Checked = true;
+};
+
+/// Either a T or an Error. Check with operator bool before dereferencing.
+template <typename T> class [[nodiscard]] Expected {
+public:
+  Expected(T Value) : HasValue(true) { new (&Storage.Value) T(std::move(Value)); }
+
+  Expected(Error E) : HasValue(false) {
+    assert(static_cast<bool>(E) && "constructing Expected from success Error");
+    new (&Storage.Err) std::string(E.message());
+    E.consume();
+  }
+
+  Expected(const Expected &) = delete;
+  Expected &operator=(const Expected &) = delete;
+
+  Expected(Expected &&RHS) noexcept : HasValue(RHS.HasValue) {
+    if (HasValue)
+      new (&Storage.Value) T(std::move(RHS.Storage.Value));
+    else
+      new (&Storage.Err) std::string(std::move(RHS.Storage.Err));
+  }
+
+  ~Expected() {
+    if (HasValue)
+      Storage.Value.~T();
+    else
+      Storage.Err.~basic_string();
+  }
+
+  explicit operator bool() const { return HasValue; }
+
+  T &operator*() {
+    assert(HasValue && "dereferencing failed Expected");
+    return Storage.Value;
+  }
+  const T &operator*() const {
+    assert(HasValue && "dereferencing failed Expected");
+    return Storage.Value;
+  }
+  T *operator->() { return &operator*(); }
+  const T *operator->() const { return &operator*(); }
+
+  /// The failure message; only valid when !*this.
+  const std::string &message() const {
+    assert(!HasValue && "message() on successful Expected");
+    return Storage.Err;
+  }
+
+  /// Converts the failure into an Error; only valid when !*this.
+  Error takeError() const {
+    assert(!HasValue && "takeError() on successful Expected");
+    return Error::make(Storage.Err);
+  }
+
+private:
+  union StorageT {
+    StorageT() {}
+    ~StorageT() {}
+    T Value;
+    std::string Err;
+  } Storage;
+  bool HasValue;
+};
+
+/// Unwraps an Expected, aborting with its message on failure. For callers
+/// (tests, examples) where failure is a bug.
+template <typename T> T cantFail(Expected<T> E) {
+  if (!E)
+    reportFatalError(E.message().c_str());
+  return std::move(*E);
+}
+
+/// Asserts success of an Error-returning call.
+inline void cantFail(Error E) {
+  if (E)
+    reportFatalError(E.message().c_str());
+}
+
+} // namespace odburg
+
+#endif // ODBURG_SUPPORT_ERROR_H

@@ -1,0 +1,23 @@
+//===- support/ErrorHandling.cpp - Fatal error reporting ------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ErrorHandling.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace odburg;
+
+void odburg::reportFatalError(const char *Reason) {
+  std::fprintf(stderr, "odburg fatal error: %s\n", Reason);
+  std::abort();
+}
+
+void odburg::unreachableInternal(const char *Msg, const char *File,
+                                 unsigned Line) {
+  std::fprintf(stderr, "unreachable executed at %s:%u: %s\n", File, Line, Msg);
+  std::abort();
+}

@@ -1,0 +1,33 @@
+//===- support/ErrorHandling.h - Fatal error reporting --------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal (programmatic) error reporting. Recoverable errors use
+/// support/Error.h instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_SUPPORT_ERRORHANDLING_H
+#define ODBURG_SUPPORT_ERRORHANDLING_H
+
+namespace odburg {
+
+/// Prints \p Reason to stderr and aborts. Use for invariant violations that
+/// must be diagnosed even in release builds.
+[[noreturn]] void reportFatalError(const char *Reason);
+
+/// Internal implementation of the odburg_unreachable macro.
+[[noreturn]] void unreachableInternal(const char *Msg, const char *File,
+                                      unsigned Line);
+
+} // namespace odburg
+
+/// Marks a point in control flow that must never be reached; prints \p MSG
+/// and aborts if it is.
+#define odburg_unreachable(MSG)                                               \
+  ::odburg::unreachableInternal(MSG, __FILE__, __LINE__)
+
+#endif // ODBURG_SUPPORT_ERRORHANDLING_H

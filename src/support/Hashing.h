@@ -1,0 +1,59 @@
+//===- support/Hashing.h - Hash combinators --------------------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simple, fast hash combinators. The transition cache of the on-demand
+/// automaton hashes small integer tuples on the hot path, so these are kept
+/// branch-free and inlineable (a 64-bit mix derived from splitmix64).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_SUPPORT_HASHING_H
+#define ODBURG_SUPPORT_HASHING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace odburg {
+
+/// Finalizing 64-bit mixer (splitmix64's finalizer).
+inline std::uint64_t hashMix(std::uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+/// Folds \p Value into the running hash \p Seed.
+inline std::uint64_t hashCombine(std::uint64_t Seed, std::uint64_t Value) {
+  return hashMix(Seed ^ (Value + 0x9e3779b97f4a7c15ULL + (Seed << 6) +
+                         (Seed >> 2)));
+}
+
+/// Hashes a contiguous range of integral values.
+template <typename T>
+std::uint64_t hashRange(const T *First, const T *Last,
+                        std::uint64_t Seed = 0x5bd1e995u) {
+  std::uint64_t H = Seed;
+  for (; First != Last; ++First)
+    H = hashCombine(H, static_cast<std::uint64_t>(*First));
+  return H;
+}
+
+/// FNV-1a over bytes; fine for identifier-sized strings.
+inline std::uint64_t hashString(std::string_view S) {
+  std::uint64_t H = 0xcbf29ce484222325ULL;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+} // namespace odburg
+
+#endif // ODBURG_SUPPORT_HASHING_H

@@ -1,0 +1,64 @@
+//===- support/RNG.h - Deterministic random number generation -------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic PRNG (splitmix64) for workload generation.
+/// std::mt19937 output is standardized, but distributions are not; we need
+/// bit-for-bit reproducible workloads across platforms, so all sampling goes
+/// through this class.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_SUPPORT_RNG_H
+#define ODBURG_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace odburg {
+
+/// splitmix64-based deterministic PRNG.
+class RNG {
+public:
+  explicit RNG(std::uint64_t Seed) : State(Seed) {}
+
+  /// The next raw 64-bit value.
+  std::uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform value in [0, Bound). \p Bound must be nonzero.
+  std::uint64_t nextBelow(std::uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow(0)");
+    // Multiply-shift rejection-free mapping; bias is negligible for our
+    // bounds (all far below 2^32) and determinism is what matters.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * Bound) >> 64);
+  }
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  std::int64_t nextInRange(std::int64_t Lo, std::int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<std::int64_t>(
+                    nextBelow(static_cast<std::uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Bernoulli draw: true with probability \p Num / \p Den.
+  bool chance(std::uint64_t Num, std::uint64_t Den) {
+    return nextBelow(Den) < Num;
+  }
+
+private:
+  std::uint64_t State;
+};
+
+} // namespace odburg
+
+#endif // ODBURG_SUPPORT_RNG_H

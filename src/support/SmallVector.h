@@ -1,0 +1,333 @@
+//===- support/SmallVector.h - Small-size-optimized vector ----------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A vector with inline storage for its first N elements, in the spirit of
+/// llvm::SmallVector. Instruction selection allocates many tiny child/cost
+/// arrays on hot paths; keeping them out of the heap matters.
+///
+/// SmallVectorImpl<T> is the size-erased base class; pass it by reference in
+/// APIs so callers can pick their own inline capacity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_SUPPORT_SMALLVECTOR_H
+#define ODBURG_SUPPORT_SMALLVECTOR_H
+
+#include "support/Compiler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <initializer_list>
+#include <iterator>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace odburg {
+
+/// Size-erased interface to a SmallVector. Holds the data pointer, size and
+/// capacity; derived classes provide the inline buffer.
+template <typename T> class SmallVectorImpl {
+public:
+  using value_type = T;
+  using iterator = T *;
+  using const_iterator = const T *;
+  using size_type = unsigned;
+
+  SmallVectorImpl(const SmallVectorImpl &) = delete;
+
+  iterator begin() { return Data; }
+  const_iterator begin() const { return Data; }
+  iterator end() { return Data + Size; }
+  const_iterator end() const { return Data + Size; }
+
+  size_type size() const { return Size; }
+  size_type capacity() const { return Capacity; }
+  bool empty() const { return Size == 0; }
+
+  T &operator[](size_type I) {
+    assert(I < Size && "SmallVector index out of range");
+    return Data[I];
+  }
+  const T &operator[](size_type I) const {
+    assert(I < Size && "SmallVector index out of range");
+    return Data[I];
+  }
+
+  T &front() {
+    assert(!empty() && "front() on empty SmallVector");
+    return Data[0];
+  }
+  const T &front() const {
+    assert(!empty() && "front() on empty SmallVector");
+    return Data[0];
+  }
+  T &back() {
+    assert(!empty() && "back() on empty SmallVector");
+    return Data[Size - 1];
+  }
+  const T &back() const {
+    assert(!empty() && "back() on empty SmallVector");
+    return Data[Size - 1];
+  }
+
+  T *data() { return Data; }
+  const T *data() const { return Data; }
+
+  void push_back(const T &V) {
+    if (ODBURG_UNLIKELY(Size == Capacity))
+      grow(Size + 1);
+    new (Data + Size) T(V);
+    ++Size;
+  }
+
+  void push_back(T &&V) {
+    if (ODBURG_UNLIKELY(Size == Capacity))
+      grow(Size + 1);
+    new (Data + Size) T(std::move(V));
+    ++Size;
+  }
+
+  template <typename... ArgTs> T &emplace_back(ArgTs &&...Args) {
+    if (ODBURG_UNLIKELY(Size == Capacity))
+      grow(Size + 1);
+    T *Slot = new (Data + Size) T(std::forward<ArgTs>(Args)...);
+    ++Size;
+    return *Slot;
+  }
+
+  void pop_back() {
+    assert(!empty() && "pop_back() on empty SmallVector");
+    --Size;
+    Data[Size].~T();
+  }
+
+  /// Removes all elements; keeps the current allocation.
+  void clear() {
+    destroyRange(Data, Data + Size);
+    Size = 0;
+  }
+
+  void reserve(size_type N) {
+    if (N > Capacity)
+      grow(N);
+  }
+
+  /// Grows or shrinks to exactly \p N elements; new elements are
+  /// value-initialized.
+  void resize(size_type N) {
+    if (N < Size) {
+      destroyRange(Data + N, Data + Size);
+      Size = N;
+      return;
+    }
+    reserve(N);
+    for (; Size < N; ++Size)
+      new (Data + Size) T();
+  }
+
+  /// Grows or shrinks to exactly \p N elements; new elements are copies of
+  /// \p V.
+  void resize(size_type N, const T &V) {
+    if (N < Size) {
+      destroyRange(Data + N, Data + Size);
+      Size = N;
+      return;
+    }
+    reserve(N);
+    for (; Size < N; ++Size)
+      new (Data + Size) T(V);
+  }
+
+  /// Sets the contents to \p N copies of \p V.
+  void assign(size_type N, const T &V) {
+    clear();
+    reserve(N);
+    for (; Size < N; ++Size)
+      new (Data + Size) T(V);
+  }
+
+  template <typename ItT>
+    requires(!std::is_integral_v<ItT>)
+  void assign(ItT First, ItT Last) {
+    clear();
+    append(First, Last);
+  }
+
+  template <typename ItT>
+    requires(!std::is_integral_v<ItT>)
+  void append(ItT First, ItT Last) {
+    size_type N = static_cast<size_type>(std::distance(First, Last));
+    reserve(Size + N);
+    for (; First != Last; ++First) {
+      new (Data + Size) T(*First);
+      ++Size;
+    }
+  }
+
+  /// Removes the element at \p Pos, shifting later elements down.
+  iterator erase(iterator Pos) {
+    assert(Pos >= begin() && Pos < end() && "erase() out of range");
+    std::move(Pos + 1, end(), Pos);
+    pop_back();
+    return Pos;
+  }
+
+  SmallVectorImpl &operator=(const SmallVectorImpl &RHS) {
+    if (this == &RHS)
+      return *this;
+    assign(RHS.begin(), RHS.end());
+    return *this;
+  }
+
+  bool operator==(const SmallVectorImpl &RHS) const {
+    return Size == RHS.Size && std::equal(begin(), end(), RHS.begin());
+  }
+
+protected:
+  SmallVectorImpl(T *InlineData, size_type InlineCapacity)
+      : Data(InlineData), Capacity(InlineCapacity) {}
+
+  ~SmallVectorImpl() {
+    destroyRange(Data, Data + Size);
+    if (!isInline())
+      freeHeapBuffer(Data);
+  }
+
+  /// Frees a spilled heap buffer. Kept out-of-line of the callers'
+  /// `isInline()` checks so GCC's -Wfree-nonheap-object heuristic (a known
+  /// false positive with inline-storage vectors) does not fire.
+  static void freeHeapBuffer(T *P) {
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wfree-nonheap-object"
+#endif
+    std::free(P);
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+  }
+
+  bool isInline() const {
+    return Data == reinterpret_cast<const T *>(
+                       reinterpret_cast<const char *>(this) +
+                       sizeof(SmallVectorImpl));
+  }
+
+  void destroyRange(T *First, T *Last) {
+    if constexpr (!std::is_trivially_destructible_v<T>)
+      for (; First != Last; ++First)
+        First->~T();
+  }
+
+  ODBURG_NOINLINE void grow(size_type MinCapacity) {
+    size_type NewCapacity = std::max<size_type>(Capacity * 2, 4);
+    NewCapacity = std::max(NewCapacity, MinCapacity);
+    T *NewData = static_cast<T *>(std::malloc(sizeof(T) * NewCapacity));
+    if (!NewData)
+      std::abort();
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      if (Size)
+        std::memcpy(static_cast<void *>(NewData), Data, sizeof(T) * Size);
+    } else {
+      std::uninitialized_move(Data, Data + Size, NewData);
+      destroyRange(Data, Data + Size);
+    }
+    if (!isInline())
+      freeHeapBuffer(Data);
+    Data = NewData;
+    Capacity = NewCapacity;
+  }
+
+  T *Data;
+  size_type Size = 0;
+  size_type Capacity;
+};
+
+/// A vector storing up to \p N elements inline before spilling to the heap.
+template <typename T, unsigned N> class SmallVector : public SmallVectorImpl<T> {
+  static_assert(N > 0, "SmallVector requires a nonzero inline capacity");
+
+public:
+  SmallVector() : SmallVectorImpl<T>(inlineBuffer(), N) {}
+
+  explicit SmallVector(unsigned Count) : SmallVector() { this->resize(Count); }
+
+  SmallVector(unsigned Count, const T &V) : SmallVector() {
+    this->assign(Count, V);
+  }
+
+  SmallVector(std::initializer_list<T> IL) : SmallVector() {
+    this->append(IL.begin(), IL.end());
+  }
+
+  template <typename ItT>
+    requires(!std::is_integral_v<ItT>)
+  SmallVector(ItT First, ItT Last) : SmallVector() {
+    this->append(First, Last);
+  }
+
+  SmallVector(const SmallVector &RHS) : SmallVector() {
+    this->append(RHS.begin(), RHS.end());
+  }
+
+  SmallVector(const SmallVectorImpl<T> &RHS) : SmallVector() {
+    this->append(RHS.begin(), RHS.end());
+  }
+
+  SmallVector(SmallVector &&RHS) : SmallVector() { stealFrom(RHS); }
+
+  SmallVector &operator=(const SmallVector &RHS) {
+    SmallVectorImpl<T>::operator=(RHS);
+    return *this;
+  }
+
+  SmallVector &operator=(const SmallVectorImpl<T> &RHS) {
+    SmallVectorImpl<T>::operator=(RHS);
+    return *this;
+  }
+
+  SmallVector &operator=(SmallVector &&RHS) {
+    if (this == &RHS)
+      return *this;
+    this->clear();
+    stealFrom(RHS);
+    return *this;
+  }
+
+private:
+  T *inlineBuffer() { return reinterpret_cast<T *>(Storage); }
+
+  /// Takes RHS's heap buffer if it has one; copies element-wise otherwise.
+  void stealFrom(SmallVector &RHS) {
+    if (RHS.isInline()) {
+      this->reserve(RHS.size());
+      std::uninitialized_move(RHS.begin(), RHS.end(), this->begin());
+      this->Size = RHS.Size;
+      RHS.clear();
+      return;
+    }
+    if (!this->isInline())
+      this->freeHeapBuffer(this->Data);
+    this->Data = RHS.Data;
+    this->Size = RHS.Size;
+    this->Capacity = RHS.Capacity;
+    RHS.Data = RHS.inlineBuffer();
+    RHS.Size = 0;
+    RHS.Capacity = N;
+  }
+
+  alignas(T) char Storage[sizeof(T) * N];
+};
+
+} // namespace odburg
+
+#endif // ODBURG_SUPPORT_SMALLVECTOR_H

@@ -1,0 +1,73 @@
+//===- support/StringUtil.cpp - String helpers -----------------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtil.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+using namespace odburg;
+
+std::string_view odburg::trim(std::string_view S) {
+  const char *WS = " \t\r\n";
+  std::size_t B = S.find_first_not_of(WS);
+  if (B == std::string_view::npos)
+    return {};
+  std::size_t E = S.find_last_not_of(WS);
+  return S.substr(B, E - B + 1);
+}
+
+std::vector<std::string_view> odburg::split(std::string_view S, char Sep) {
+  std::vector<std::string_view> Parts;
+  std::size_t Pos = 0;
+  while (true) {
+    std::size_t Next = S.find(Sep, Pos);
+    if (Next == std::string_view::npos) {
+      Parts.push_back(S.substr(Pos));
+      return Parts;
+    }
+    Parts.push_back(S.substr(Pos, Next - Pos));
+    Pos = Next + 1;
+  }
+}
+
+bool odburg::startsWith(std::string_view S, std::string_view Prefix) {
+  return S.size() >= Prefix.size() && S.substr(0, Prefix.size()) == Prefix;
+}
+
+std::string odburg::formatThousands(std::uint64_t V) {
+  std::string Digits = std::to_string(V);
+  std::string Out;
+  Out.reserve(Digits.size() + Digits.size() / 3);
+  unsigned Lead = Digits.size() % 3;
+  if (Lead == 0)
+    Lead = 3;
+  for (std::size_t I = 0; I < Digits.size(); ++I) {
+    if (I != 0 && (I - Lead) % 3 == 0 && I >= Lead)
+      Out.push_back(' ');
+    Out.push_back(Digits[I]);
+  }
+  return Out;
+}
+
+std::string odburg::formatFixed(double V, unsigned Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", static_cast<int>(Decimals), V);
+  return Buf;
+}
+
+std::string odburg::formatf(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Len = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  std::string Out(static_cast<std::size_t>(Len), '\0');
+  std::vsnprintf(Out.data(), Out.size() + 1, Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return Out;
+}

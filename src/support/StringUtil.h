@@ -1,0 +1,44 @@
+//===- support/StringUtil.h - String helpers -------------------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String utilities shared by the grammar parser, emitters and the bench
+/// table printers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_SUPPORT_STRINGUTIL_H
+#define ODBURG_SUPPORT_STRINGUTIL_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace odburg {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view S);
+
+/// Splits \p S on \p Sep; empty pieces are kept.
+std::vector<std::string_view> split(std::string_view S, char Sep);
+
+/// True if \p S starts with \p Prefix.
+bool startsWith(std::string_view S, std::string_view Prefix);
+
+/// Formats an integer with thin thousands separators ("1 234 567"), as used
+/// in the paper's tables.
+std::string formatThousands(std::uint64_t V);
+
+/// Formats a double with \p Decimals digits after the point.
+std::string formatFixed(double V, unsigned Decimals);
+
+/// printf-style formatting into a std::string.
+std::string formatf(const char *Fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace odburg
+
+#endif // ODBURG_SUPPORT_STRINGUTIL_H

@@ -1,0 +1,86 @@
+//===- support/TablePrinter.cpp - Aligned text tables -----------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TablePrinter.h"
+
+#include <algorithm>
+
+using namespace odburg;
+
+void TablePrinter::setHeader(std::vector<std::string> Cells) {
+  Header = std::move(Cells);
+}
+
+void TablePrinter::addRow(std::vector<std::string> Cells) {
+  Rows.push_back({std::move(Cells), false});
+}
+
+void TablePrinter::addSeparator() { Rows.push_back({{}, true}); }
+
+std::string TablePrinter::render() const {
+  // Compute column widths across the header and all rows.
+  std::vector<std::size_t> Widths;
+  auto Widen = [&Widths](const std::vector<std::string> &Cells) {
+    if (Cells.size() > Widths.size())
+      Widths.resize(Cells.size(), 0);
+    for (std::size_t I = 0; I < Cells.size(); ++I)
+      Widths[I] = std::max(Widths[I], Cells[I].size());
+  };
+  Widen(Header);
+  for (const Row &R : Rows)
+    Widen(R.Cells);
+
+  std::string Out;
+  if (!Title.empty()) {
+    Out += Title;
+    Out += '\n';
+  }
+
+  auto EmitRow = [&](const std::vector<std::string> &Cells) {
+    for (std::size_t I = 0; I < Widths.size(); ++I) {
+      std::string Cell = I < Cells.size() ? Cells[I] : std::string();
+      std::size_t Pad = Widths[I] - Cell.size();
+      if (I == 0) {
+        // Left-align the label column.
+        Out += Cell;
+        Out.append(Pad, ' ');
+      } else {
+        Out.append(Pad, ' ');
+        Out += Cell;
+      }
+      Out += I + 1 == Widths.size() ? "" : "  ";
+    }
+    Out += '\n';
+  };
+
+  auto EmitSeparator = [&] {
+    std::size_t Total = 0;
+    for (std::size_t W : Widths)
+      Total += W;
+    if (!Widths.empty())
+      Total += 2 * (Widths.size() - 1);
+    Out.append(Total, '-');
+    Out += '\n';
+  };
+
+  if (!Header.empty()) {
+    EmitRow(Header);
+    EmitSeparator();
+  }
+  for (const Row &R : Rows) {
+    if (R.Separator)
+      EmitSeparator();
+    else
+      EmitRow(R.Cells);
+  }
+  return Out;
+}
+
+void TablePrinter::print(std::FILE *Out) const {
+  std::string S = render();
+  std::fwrite(S.data(), 1, S.size(), Out);
+  std::fflush(Out);
+}

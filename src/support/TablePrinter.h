@@ -1,0 +1,56 @@
+//===- support/TablePrinter.h - Aligned text tables -------------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints paper-style aligned text tables. Every bench binary regenerating a
+/// table of the evaluation uses this so the output is uniform and diffable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_SUPPORT_TABLEPRINTER_H
+#define ODBURG_SUPPORT_TABLEPRINTER_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace odburg {
+
+/// Collects rows of string cells and prints them column-aligned.
+class TablePrinter {
+public:
+  /// \p Title is printed above the table; may be empty.
+  explicit TablePrinter(std::string Title) : Title(std::move(Title)) {}
+
+  /// Sets the header row.
+  void setHeader(std::vector<std::string> Cells);
+
+  /// Appends a data row. Rows may have fewer cells than the header.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Inserts a horizontal separator before the next row.
+  void addSeparator();
+
+  /// Renders the table to a string (right-aligned cells except column 0).
+  std::string render() const;
+
+  /// Renders and writes to \p Out (defaults to stdout).
+  void print(std::FILE *Out = stdout) const;
+
+private:
+  struct Row {
+    std::vector<std::string> Cells;
+    bool Separator = false;
+  };
+
+  std::string Title;
+  std::vector<std::string> Header;
+  std::vector<Row> Rows;
+};
+
+} // namespace odburg
+
+#endif // ODBURG_SUPPORT_TABLEPRINTER_H

@@ -1,0 +1,47 @@
+//===- support/Timer.h - Wall-clock timing ---------------------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin steady-clock timing helpers used by the benchmark harness. The paper
+/// reports hardware instruction/cycle counts; we substitute wall time plus
+/// deterministic software work counters (see DESIGN.md, substitutions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_SUPPORT_TIMER_H
+#define ODBURG_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace odburg {
+
+/// Monotonic timestamp in nanoseconds.
+inline std::uint64_t nowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Measures the wall time of a region; read with elapsedNs().
+class Stopwatch {
+public:
+  Stopwatch() : Start(nowNs()) {}
+
+  void restart() { Start = nowNs(); }
+
+  std::uint64_t elapsedNs() const { return nowNs() - Start; }
+
+  double elapsedMs() const { return static_cast<double>(elapsedNs()) / 1e6; }
+
+private:
+  std::uint64_t Start;
+};
+
+} // namespace odburg
+
+#endif // ODBURG_SUPPORT_TIMER_H

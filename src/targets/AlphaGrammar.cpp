@@ -1,0 +1,89 @@
+//===- targets/AlphaGrammar.cpp - Alpha machine description -----------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Alpha-flavored RISC grammar: 8-bit literal operands (`?imm8`), scaled
+/// add (s4addq/s8addq via `?scale23`), compares producing 0/1 registers
+/// and branches testing registers against zero.
+///
+//===----------------------------------------------------------------------===//
+
+#include "targets/Target.h"
+
+const char *odburg::targets::alphaGrammarText() {
+  return R"brg(
+# Alpha-flavored machine description.
+%start stmt
+
+# --- leaves -----------------------------------------------------------
+con:  Const (0) "=%c";
+lit:  Const (0) ?imm8 "=%c";
+k:    Const (0) ?scale23 "=%c";
+reg:  Reg (0) "=$%c";
+reg:  lit (1) "mov %1, %0";
+reg:  con (2) "ldah %0, hi(%1)\nlda %0, lo(%1)(%0)";
+reg:  AddrL (1) "lda %0, %c($fp)";
+reg:  AddrG (1) "lda %0, %c($gp)";
+
+# --- addressing --------------------------------------------------------
+addr: reg (0) "=0(%1)";
+addr: AddrL (0) "=%c($fp)";
+addr: AddrG (0) "=%c($gp)";
+addr: Add(reg, lit) (0) "=%2(%1)";
+
+# --- loads and stores ---------------------------------------------------
+reg:  Load(addr) (1) "ldq %0, %1";
+stmt: Store(addr, reg) (1) "stq %2, %1";
+
+# --- arithmetic ----------------------------------------------------------
+reg:  Add(reg, reg) (1) "addq %1, %2, %0";
+reg:  Add(reg, lit) (1) "addq %1, %2, %0";
+reg:  Add(reg, Shl(reg, k)) (1) "saddq %1, %2<<%3, %0";
+reg:  Sub(reg, reg) (1) "subq %1, %2, %0";
+reg:  Sub(reg, lit) (1) "subq %1, %2, %0";
+reg:  And(reg, reg) (1) "and %1, %2, %0";
+reg:  And(reg, lit) (1) "and %1, %2, %0";
+reg:  Or(reg, reg)  (1) "bis %1, %2, %0";
+reg:  Or(reg, lit)  (1) "bis %1, %2, %0";
+reg:  Xor(reg, reg) (1) "xor %1, %2, %0";
+reg:  Xor(reg, lit) (1) "xor %1, %2, %0";
+reg:  Mul(reg, reg) (8)  "mulq %1, %2, %0";
+reg:  Mul(reg, lit) (8)  "mulq %1, %2, %0";
+reg:  Div(reg, reg) (40) "divq %1, %2, %0";
+reg:  Mod(reg, reg) (42) "remq %1, %2, %0";
+reg:  Shl(reg, lit) (1) "sll %1, %2, %0";
+reg:  Shl(reg, reg) (1) "sll %1, %2, %0";
+reg:  Shr(reg, lit) (1) "sra %1, %2, %0";
+reg:  Shr(reg, reg) (1) "sra %1, %2, %0";
+reg:  Neg(reg) (1) "subq $31, %1, %0";
+reg:  Com(reg) (1) "ornot $31, %1, %0";
+
+# --- compares into a register -------------------------------------------
+reg:  CmpEQ(reg, reg) (1) "cmpeq %1, %2, %0";
+reg:  CmpEQ(reg, lit) (1) "cmpeq %1, %2, %0";
+reg:  CmpNE(reg, reg) (2) "cmpeq %1, %2, %0\nxor %0, 1, %0";
+reg:  CmpLT(reg, reg) (1) "cmplt %1, %2, %0";
+reg:  CmpLT(reg, lit) (1) "cmplt %1, %2, %0";
+reg:  CmpLE(reg, reg) (1) "cmple %1, %2, %0";
+reg:  CmpLE(reg, lit) (1) "cmple %1, %2, %0";
+reg:  CmpGT(reg, reg) (1) "cmplt %2, %1, %0";
+reg:  CmpGE(reg, reg) (1) "cmple %2, %1, %0";
+
+# --- branches: fused forms test a compare result against zero ------------
+stmt: CBr(CmpEQ(reg, reg)) (2) "cmpeq %1, %2, $at\nbne $at, .L%c";
+stmt: CBr(CmpNE(reg, reg)) (2) "cmpeq %1, %2, $at\nbeq $at, .L%c";
+stmt: CBr(CmpLT(reg, reg)) (2) "cmplt %1, %2, $at\nbne $at, .L%c";
+stmt: CBr(CmpLE(reg, reg)) (2) "cmple %1, %2, $at\nbne $at, .L%c";
+stmt: CBr(CmpGT(reg, reg)) (2) "cmplt %2, %1, $at\nbne $at, .L%c";
+stmt: CBr(CmpGE(reg, reg)) (2) "cmple %2, %1, $at\nbne $at, .L%c";
+stmt: CBr(reg) (1) "bne %1, .L%c";
+
+# --- control flow ----------------------------------------------------------
+stmt: Label (0) ".L%c:";
+stmt: Br (1) "br .L%c";
+stmt: Ret(reg) (2) "mov %1, $0\nret ($26)";
+)brg";
+}

@@ -1,0 +1,174 @@
+//===- targets/AsmEmitter.cpp - Template-driven code emission --------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "targets/AsmEmitter.h"
+
+#include <unordered_map>
+
+using namespace odburg;
+using namespace odburg::targets;
+
+std::size_t AsmOutput::sizeBytes() const {
+  std::size_t Total = 0;
+  for (const std::string &L : Lines)
+    Total += L.size() + 1;
+  return Total;
+}
+
+std::string AsmOutput::text() const {
+  std::string Out;
+  for (const std::string &L : Lines) {
+    Out += L;
+    Out += '\n';
+  }
+  return Out;
+}
+
+namespace {
+
+/// Pairs each nonterminal leaf of \p P (in left-to-right order) with the
+/// subject node it matched, walking pattern and subject in lockstep.
+void collectOperands(const PatternNode *P, const ir::Node *N,
+                     SmallVectorImpl<std::pair<const ir::Node *,
+                                               NonterminalId>> &Out) {
+  if (P->isLeaf()) {
+    Out.push_back({N, P->Nt});
+    return;
+  }
+  for (unsigned I = 0; I < P->NumChildren; ++I)
+    collectOperands(P->Children[I], N->child(I), Out);
+}
+
+/// Emission engine: processes matches bottom-up, tracking operand strings
+/// per (node, nonterminal).
+class Emitter {
+public:
+  Emitter(const Grammar &G, AsmOutput &Out) : G(G), Out(Out) {}
+
+  Error emitMatch(const Match &M) {
+    const SourceRule &R = G.sourceRule(M.Source);
+    SmallVector<std::pair<const ir::Node *, NonterminalId>, 8> Operands;
+    collectOperands(R.Pattern, M.Where, Operands);
+
+    std::string Alias;
+    bool HaveAlias = false;
+    std::string Dest;
+
+    // Split the template on the two-character sequence "\n".
+    std::string_view Tmpl = R.EmitTemplate;
+    while (!Tmpl.empty()) {
+      std::size_t Split = Tmpl.find("\\n");
+      std::string_view Line = Tmpl.substr(0, Split);
+      Tmpl = Split == std::string_view::npos ? std::string_view()
+                                             : Tmpl.substr(Split + 2);
+      std::string Rendered;
+      if (Error E = renderLine(Line, M, Operands, Dest, Rendered))
+        return E;
+      if (!Line.empty() && Line[0] == '=') {
+        Alias = Rendered.substr(1); // Drop the '='.
+        HaveAlias = true;
+      } else {
+        Out.Lines.push_back(std::move(Rendered));
+      }
+    }
+
+    // Determine the operand string this match exposes to its consumers.
+    std::string Value;
+    if (HaveAlias)
+      Value = std::move(Alias);
+    else if (!Dest.empty())
+      Value = Dest;
+    else if (!Operands.empty())
+      Value = operandString(Operands[0].first, Operands[0].second);
+    setOperandString(M.Where, M.Lhs, std::move(Value));
+    return Error::success();
+  }
+
+private:
+  std::string freshVreg() { return "%v" + std::to_string(NextVreg++); }
+
+  std::uint64_t key(const ir::Node *N, NonterminalId Nt) const {
+    return static_cast<std::uint64_t>(N->id()) * G.numNonterminals() + Nt;
+  }
+
+  std::string operandString(const ir::Node *N, NonterminalId Nt) const {
+    auto It = Strings.find(key(N, Nt));
+    return It == Strings.end() ? std::string("?") : It->second;
+  }
+
+  void setOperandString(const ir::Node *N, NonterminalId Nt, std::string S) {
+    Strings[key(N, Nt)] = std::move(S);
+  }
+
+  Error renderLine(std::string_view Line, const Match &M,
+                   const SmallVectorImpl<std::pair<const ir::Node *,
+                                                   NonterminalId>> &Operands,
+                   std::string &Dest, std::string &Out) {
+    for (std::size_t I = 0; I < Line.size(); ++I) {
+      char C = Line[I];
+      if (C != '%') {
+        Out.push_back(C);
+        continue;
+      }
+      if (++I >= Line.size())
+        return Error::make("dangling '%' in template of rule #" +
+                           std::to_string(G.sourceRule(M.Source).ExtNumber));
+      char D = Line[I];
+      if (D == '%') {
+        Out.push_back('%');
+        continue;
+      }
+      if (D == 'c') {
+        const ir::Node *N = M.Where;
+        if (N->symbol())
+          Out += N->symbol();
+        else
+          Out += std::to_string(N->value());
+        continue;
+      }
+      if (D == '0') {
+        if (Dest.empty())
+          Dest = freshVreg();
+        Out += Dest;
+        continue;
+      }
+      if (D >= '1' && D <= '9') {
+        unsigned Idx = static_cast<unsigned>(D - '1');
+        if (Idx >= Operands.size())
+          return Error::make(
+              "template of rule #" +
+              std::to_string(G.sourceRule(M.Source).ExtNumber) +
+              " references operand %" + std::string(1, D) + " but only " +
+              std::to_string(Operands.size()) + " operands exist");
+        Out += operandString(Operands[Idx].first, Operands[Idx].second);
+        continue;
+      }
+      return Error::make("unknown template placeholder '%" +
+                         std::string(1, D) + "' in rule #" +
+                         std::to_string(G.sourceRule(M.Source).ExtNumber));
+    }
+    return Error::success();
+  }
+
+  const Grammar &G;
+  AsmOutput &Out;
+  std::unordered_map<std::uint64_t, std::string> Strings;
+  unsigned NextVreg = 0;
+};
+
+} // namespace
+
+Expected<AsmOutput>
+odburg::targets::emitAsm(const Grammar &G, const ir::IRFunction &F,
+                         const Selection &S) {
+  (void)F;
+  AsmOutput Out;
+  Emitter E(G, Out);
+  for (const Match &M : S.Matches)
+    if (Error Err = E.emitMatch(M))
+      return Err;
+  return Out;
+}

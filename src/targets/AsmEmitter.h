@@ -1,0 +1,63 @@
+//===- targets/AsmEmitter.h - Template-driven code emission ----------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a Selection (the reducer's fired rules) into pseudo-assembly
+/// using the emission templates attached to grammar rules.
+///
+/// Template language (inside the rule's quoted string):
+///   \n        instruction separator (two characters, backslash + 'n')
+///   =...      a line starting with '=' defines the match's *operand
+///             string* (what parent rules see as %N) instead of emitting
+///             an instruction — used for constants, addressing modes and
+///             condition codes
+///   %0        the match's destination: a fresh virtual register; also
+///             becomes the operand string if no '=' line is present
+///   %1..%9    operand strings of the rule pattern's nonterminal leaves,
+///             numbered left to right
+///   %c        the matched node's payload (symbol if present, else the
+///             integer value)
+///   %%        a literal '%'
+///
+/// An empty template passes operand 1 through (the usual chain-rule case).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_TARGETS_ASMEMITTER_H
+#define ODBURG_TARGETS_ASMEMITTER_H
+
+#include "grammar/Grammar.h"
+#include "ir/Node.h"
+#include "select/Reducer.h"
+#include "support/Error.h"
+
+#include <string>
+#include <vector>
+
+namespace odburg {
+namespace targets {
+
+/// The emitted code for one function.
+struct AsmOutput {
+  /// Instruction lines, in emission order.
+  std::vector<std::string> Lines;
+  /// Instruction count (== Lines.size(), kept for clarity at call sites).
+  unsigned instructions() const { return static_cast<unsigned>(Lines.size()); }
+  /// Total character count, the code-size proxy used in experiments.
+  std::size_t sizeBytes() const;
+  /// All lines joined with newlines.
+  std::string text() const;
+};
+
+/// Renders \p S (produced against \p G and \p F) into assembly.
+/// Fails on malformed templates (bad placeholder indices).
+Expected<AsmOutput> emitAsm(const Grammar &G, const ir::IRFunction &F,
+                            const Selection &S);
+
+} // namespace targets
+} // namespace odburg
+
+#endif // ODBURG_TARGETS_ASMEMITTER_H

@@ -1,0 +1,84 @@
+//===- targets/MipsGrammar.cpp - MIPS machine description -------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MIPS-flavored RISC grammar: 16-bit immediates (`?imm16`), simple
+/// reg+disp addressing, fused compare-and-branch for the equality forms,
+/// and compare-into-register for the rest.
+///
+//===----------------------------------------------------------------------===//
+
+#include "targets/Target.h"
+
+const char *odburg::targets::mipsGrammarText() {
+  return R"brg(
+# MIPS-flavored machine description.
+%start stmt
+
+# --- leaves -----------------------------------------------------------
+con:  Const (0) "=%c";
+imm:  Const (0) ?imm16 "=%c";
+sh:   Const (0) ?imm8  "=%c";
+reg:  Reg (0) "=$%c";
+reg:  imm (1) "ori %0, $zero, %1";
+reg:  con (2) "lui $at, hi(%1)\nori %0, $at, lo(%1)";
+reg:  AddrL (1) "addiu %0, $fp, %c";
+reg:  AddrG (2) "lui $at, hi(%c)\naddiu %0, $at, lo(%c)";
+
+# --- addressing --------------------------------------------------------
+addr: reg (0) "=0(%1)";
+addr: AddrL (0) "=%c($fp)";
+addr: AddrG (0) "=%c($gp)";
+addr: Add(reg, imm) (0) "=%2(%1)";
+
+# --- loads and stores ---------------------------------------------------
+reg:  Load(addr) (1) "lw %0, %1";
+stmt: Store(addr, reg) (1) "sw %2, %1";
+
+# --- arithmetic ----------------------------------------------------------
+reg:  Add(reg, reg) (1) "addu %0, %1, %2";
+reg:  Add(reg, imm) (1) "addiu %0, %1, %2";
+reg:  Sub(reg, reg) (1) "subu %0, %1, %2";
+reg:  And(reg, reg) (1) "and %0, %1, %2";
+reg:  And(reg, imm) (1) "andi %0, %1, %2";
+reg:  Or(reg, reg)  (1) "or %0, %1, %2";
+reg:  Or(reg, imm)  (1) "ori %0, %1, %2";
+reg:  Xor(reg, reg) (1) "xor %0, %1, %2";
+reg:  Xor(reg, imm) (1) "xori %0, %1, %2";
+reg:  Mul(reg, reg) (5)  "mult %1, %2\nmflo %0";
+reg:  Div(reg, reg) (35) "div %1, %2\nmflo %0";
+reg:  Mod(reg, reg) (35) "div %1, %2\nmfhi %0";
+reg:  Shl(reg, sh)  (1) "sll %0, %1, %2";
+reg:  Shl(reg, reg) (1) "sllv %0, %1, %2";
+reg:  Shr(reg, sh)  (1) "sra %0, %1, %2";
+reg:  Shr(reg, reg) (1) "srav %0, %1, %2";
+reg:  Neg(reg) (1) "subu %0, $zero, %1";
+reg:  Com(reg) (1) "nor %0, %1, $zero";
+
+# --- compares into a register -------------------------------------------
+reg:  CmpLT(reg, reg) (1) "slt %0, %1, %2";
+reg:  CmpLT(reg, imm) (1) "slti %0, %1, %2";
+reg:  CmpGT(reg, reg) (1) "slt %0, %2, %1";
+reg:  CmpLE(reg, reg) (2) "slt %0, %2, %1\nxori %0, %0, 1";
+reg:  CmpGE(reg, reg) (2) "slt %0, %1, %2\nxori %0, %0, 1";
+reg:  CmpEQ(reg, reg) (2) "xor %0, %1, %2\nsltiu %0, %0, 1";
+reg:  CmpNE(reg, reg) (2) "xor %0, %1, %2\nsltu %0, $zero, %0";
+
+# --- branches ------------------------------------------------------------
+stmt: CBr(CmpEQ(reg, reg)) (1) "beq %1, %2, .L%c";
+stmt: CBr(CmpNE(reg, reg)) (1) "bne %1, %2, .L%c";
+stmt: CBr(CmpLT(reg, reg)) (2) "slt $at, %1, %2\nbne $at, $zero, .L%c";
+stmt: CBr(CmpGE(reg, reg)) (2) "slt $at, %1, %2\nbeq $at, $zero, .L%c";
+stmt: CBr(CmpGT(reg, reg)) (2) "slt $at, %2, %1\nbne $at, $zero, .L%c";
+stmt: CBr(CmpLE(reg, reg)) (2) "slt $at, %2, %1\nbeq $at, $zero, .L%c";
+stmt: CBr(reg) (1) "bne %1, $zero, .L%c";
+
+# --- control flow ----------------------------------------------------------
+stmt: Label (0) ".L%c:";
+stmt: Br (1) "j .L%c";
+stmt: Ret(reg) (1) "move $v0, %1\njr $ra";
+)brg";
+}

@@ -1,0 +1,83 @@
+//===- targets/SparcGrammar.cpp - SPARC machine description -----------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SPARC-flavored RISC grammar: 13-bit immediates (`?imm13`), reg+reg and
+/// reg+simm13 addressing, condition codes set by `subcc` and consumed by
+/// conditional branches.
+///
+//===----------------------------------------------------------------------===//
+
+#include "targets/Target.h"
+
+const char *odburg::targets::sparcGrammarText() {
+  return R"brg(
+# SPARC-flavored machine description.
+%start stmt
+
+# --- leaves -----------------------------------------------------------
+con:  Const (0) "=%c";
+imm:  Const (0) ?imm13 "=%c";
+sh:   Const (0) ?imm8  "=%c";
+reg:  Reg (0) "=%%g%c";
+reg:  imm (1) "mov %1, %0";
+reg:  con (2) "sethi %%hi(%1), %0\nor %0, %%lo(%1), %0";
+reg:  AddrL (1) "add %%fp, %c, %0";
+reg:  AddrG (2) "sethi %%hi(%c), %0\nor %0, %%lo(%c), %0";
+
+# --- addressing --------------------------------------------------------
+addr: reg (0) "=[%1]";
+addr: AddrL (0) "=[%%fp+%c]";
+addr: Add(reg, imm) (0) "=[%1+%2]";
+addr: Add(reg, reg) (0) "=[%1+%2]";
+
+# --- loads and stores ---------------------------------------------------
+reg:  Load(addr) (1) "ld %1, %0";
+stmt: Store(addr, reg) (1) "st %2, %1";
+
+# --- arithmetic ----------------------------------------------------------
+reg:  Add(reg, reg) (1) "add %1, %2, %0";
+reg:  Add(reg, imm) (1) "add %1, %2, %0";
+reg:  Sub(reg, reg) (1) "sub %1, %2, %0";
+reg:  Sub(reg, imm) (1) "sub %1, %2, %0";
+reg:  And(reg, reg) (1) "and %1, %2, %0";
+reg:  And(reg, imm) (1) "and %1, %2, %0";
+reg:  Or(reg, reg)  (1) "or %1, %2, %0";
+reg:  Or(reg, imm)  (1) "or %1, %2, %0";
+reg:  Xor(reg, reg) (1) "xor %1, %2, %0";
+reg:  Xor(reg, imm) (1) "xor %1, %2, %0";
+reg:  Mul(reg, reg) (6)  "smul %1, %2, %0";
+reg:  Mul(reg, imm) (6)  "smul %1, %2, %0";
+reg:  Div(reg, reg) (36) "sdiv %1, %2, %0";
+reg:  Mod(reg, reg) (38) "sdiv %1, %2, %0\nsmul %0, %2, %0\nsub %1, %0, %0";
+reg:  Shl(reg, sh)  (1) "sll %1, %2, %0";
+reg:  Shl(reg, reg) (1) "sll %1, %2, %0";
+reg:  Shr(reg, sh)  (1) "sra %1, %2, %0";
+reg:  Shr(reg, reg) (1) "sra %1, %2, %0";
+reg:  Neg(reg) (1) "sub %%g0, %1, %0";
+reg:  Com(reg) (1) "xnor %1, %%g0, %0";
+
+# --- compare and branch ---------------------------------------------------
+cnd:  CmpEQ(reg, reg) (1) "cmp %1, %2\n=e";
+cnd:  CmpEQ(reg, imm) (1) "cmp %1, %2\n=e";
+cnd:  CmpNE(reg, reg) (1) "cmp %1, %2\n=ne";
+cnd:  CmpNE(reg, imm) (1) "cmp %1, %2\n=ne";
+cnd:  CmpLT(reg, reg) (1) "cmp %1, %2\n=l";
+cnd:  CmpLT(reg, imm) (1) "cmp %1, %2\n=l";
+cnd:  CmpLE(reg, reg) (1) "cmp %1, %2\n=le";
+cnd:  CmpLE(reg, imm) (1) "cmp %1, %2\n=le";
+cnd:  CmpGT(reg, reg) (1) "cmp %1, %2\n=g";
+cnd:  CmpGT(reg, imm) (1) "cmp %1, %2\n=g";
+cnd:  CmpGE(reg, reg) (1) "cmp %1, %2\n=ge";
+cnd:  CmpGE(reg, imm) (1) "cmp %1, %2\n=ge";
+stmt: CBr(cnd) (2) "b%1 .L%c\nnop";
+
+# --- control flow ----------------------------------------------------------
+stmt: Label (0) ".L%c:";
+stmt: Br (2) "ba .L%c\nnop";
+stmt: Ret(reg) (2) "mov %1, %%o0\nretl\nnop";
+)brg";
+}

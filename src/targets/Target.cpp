@@ -1,0 +1,153 @@
+//===- targets/Target.cpp - Machine descriptions ----------------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "targets/Target.h"
+
+#include "grammar/GrammarParser.h"
+#include "grammar/Transform.h"
+#include "ir/Node.h"
+
+using namespace odburg;
+using namespace odburg::targets;
+
+const std::vector<std::string> &odburg::targets::targetNames() {
+  static const std::vector<std::string> Names = {"x86", "mips", "sparc",
+                                                 "alpha", "vm64"};
+  return Names;
+}
+
+namespace {
+
+/// True if \p V fits a signed \p Bits-bit immediate.
+bool fitsSigned(std::int64_t V, unsigned Bits) {
+  std::int64_t Lo = -(std::int64_t(1) << (Bits - 1));
+  std::int64_t Hi = (std::int64_t(1) << (Bits - 1)) - 1;
+  return V >= Lo && V <= Hi;
+}
+
+/// Immediate-range hook over a constant leaf's payload. The classic use of
+/// dynamic costs: the rule applies only when the constant fits.
+DynCostFn immHook(unsigned Bits) {
+  return [Bits](const ir::Node &N) {
+    return fitsSigned(N.value(), Bits) ? Cost::zero() : Cost::infinity();
+  };
+}
+
+/// Shift amounts that index-scale addressing supports (1, 2, 3 = scale
+/// 2, 4, 8).
+Cost scale123Hook(const ir::Node &N) {
+  return N.value() >= 1 && N.value() <= 3 ? Cost::zero() : Cost::infinity();
+}
+
+/// Shift amount for Alpha's s4addq/s8addq (2 = *4, 3 = *8).
+Cost scale23Hook(const ir::Node &N) {
+  return N.value() == 2 || N.value() == 3 ? Cost::zero() : Cost::infinity();
+}
+
+/// The read-modify-write applicability test: the rule pattern is
+/// Store(addr, BinOp(Load(addr), …)); the instruction exists only when
+/// both `addr` occurrences denote the same location. Called on every Store
+/// node (also ones not matching the shape), so it checks shape first.
+Cost memopHook(const ir::Node &N) {
+  if (N.numChildren() != 2)
+    return Cost::infinity();
+  const ir::Node *Inner = N.child(1);
+  if (Inner->numChildren() < 1)
+    return Cost::infinity();
+  const ir::Node *Ld = Inner->child(0);
+  if (Ld->numChildren() != 1)
+    return Cost::infinity();
+  return ir::structurallyEqual(N.child(0), Ld->child(0)) ? Cost::zero()
+                                                         : Cost::infinity();
+}
+
+const char *grammarTextFor(std::string_view Name) {
+  if (Name == "x86")
+    return x86GrammarText();
+  if (Name == "mips")
+    return mipsGrammarText();
+  if (Name == "sparc")
+    return sparcGrammarText();
+  if (Name == "alpha")
+    return alphaGrammarText();
+  if (Name == "vm64")
+    return vm64GrammarText();
+  return nullptr;
+}
+
+} // namespace
+
+const std::unordered_map<std::string, DynCostFn> &
+odburg::targets::standardHooks() {
+  static const std::unordered_map<std::string, DynCostFn> Registry = {
+      {"imm8", immHook(8)},     {"imm13", immHook(13)},
+      {"imm16", immHook(16)},   {"imm32", immHook(32)},
+      {"scale123", scale123Hook}, {"scale23", scale23Hook},
+      {"memop", memopHook},
+  };
+  return Registry;
+}
+
+Expected<std::unique_ptr<Target>>
+odburg::targets::makeTarget(std::string_view Name) {
+  const char *Text = grammarTextFor(Name);
+  if (!Text) {
+    std::string Known;
+    for (const std::string &N : targetNames())
+      Known += (Known.empty() ? "" : ", ") + N;
+    return Error::make("unknown target '" + std::string(Name) +
+                       "' (known targets: " + Known + ")");
+  }
+  Expected<Grammar> G = parseGrammar(Text);
+  if (!G)
+    return Error::make("target '" + std::string(Name) +
+                       "' grammar failed to parse: " + G.message());
+  Expected<DynCostTable> Dyn = DynCostTable::build(*G, standardHooks());
+  if (!Dyn)
+    return Dyn.takeError();
+  Expected<Grammar> Fixed = withoutDynCostRules(*G);
+  if (!Fixed)
+    return Error::make("target '" + std::string(Name) +
+                       "' cannot be stripped: " + Fixed.message());
+  auto T = std::make_unique<Target>();
+  T->Name = std::string(Name);
+  T->G = std::move(*G);
+  T->Dyn = std::move(*Dyn);
+  T->Fixed = std::move(*Fixed);
+  return T;
+}
+
+Expected<CanonicalOps> odburg::targets::resolveCanonicalOps(const Grammar &G) {
+  CanonicalOps Ops;
+  struct Entry {
+    const char *Name;
+    OperatorId CanonicalOps::*Member;
+  };
+  static const Entry Entries[] = {
+      {"Const", &CanonicalOps::Const}, {"AddrL", &CanonicalOps::AddrL},
+      {"AddrG", &CanonicalOps::AddrG}, {"Reg", &CanonicalOps::Reg},
+      {"Label", &CanonicalOps::Label}, {"Br", &CanonicalOps::Br},
+      {"Load", &CanonicalOps::Load},   {"Neg", &CanonicalOps::Neg},
+      {"Com", &CanonicalOps::Com},     {"Ret", &CanonicalOps::Ret},
+      {"CBr", &CanonicalOps::CBr},     {"Store", &CanonicalOps::Store},
+      {"Add", &CanonicalOps::Add},     {"Sub", &CanonicalOps::Sub},
+      {"Mul", &CanonicalOps::Mul},     {"Div", &CanonicalOps::Div},
+      {"Mod", &CanonicalOps::Mod},     {"And", &CanonicalOps::And},
+      {"Or", &CanonicalOps::Or},       {"Xor", &CanonicalOps::Xor},
+      {"Shl", &CanonicalOps::Shl},     {"Shr", &CanonicalOps::Shr},
+      {"CmpEQ", &CanonicalOps::CmpEQ}, {"CmpNE", &CanonicalOps::CmpNE},
+      {"CmpLT", &CanonicalOps::CmpLT}, {"CmpLE", &CanonicalOps::CmpLE},
+      {"CmpGT", &CanonicalOps::CmpGT}, {"CmpGE", &CanonicalOps::CmpGE},
+  };
+  for (const Entry &E : Entries) {
+    OperatorId Op = G.findOperator(E.Name);
+    if (Op == InvalidOperator)
+      return Error::make("grammar does not mention canonical operator '" +
+                         std::string(E.Name) + "'");
+    Ops.*E.Member = Op;
+  }
+  return Ops;
+}

@@ -1,0 +1,85 @@
+//===- targets/Target.h - Machine descriptions ------------------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Machine descriptions: a named bundle of grammar, dynamic-cost hooks and
+/// the fixed-cost (stripped) grammar variant. Five targets mirror the lcc
+/// grammar family the papers evaluate on:
+///
+///   x86    CISC: addressing modes, memory operands, read-modify-write
+///          memops (`?memop`), 32-bit immediates
+///   mips   RISC, 16-bit immediates, fused compare-and-branch
+///   sparc  RISC, 13-bit immediates
+///   alpha  RISC, 8-bit literals, scaled-add (s4addq/s8addq)
+///   vm64   small JIT-flavored AMD64 subset (CACAO-style second stage)
+///
+/// All grammars share one canonical IR operator vocabulary (see below), so
+/// the same IR can be selected for any target.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_TARGETS_TARGET_H
+#define ODBURG_TARGETS_TARGET_H
+
+#include "grammar/Grammar.h"
+#include "select/DynCost.h"
+#include "support/Error.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace odburg {
+namespace targets {
+
+/// A machine description ready for any labeling engine.
+struct Target {
+  std::string Name;
+  /// The full grammar (with dynamic-cost rules).
+  Grammar G;
+  /// Hook table bound to \p G.
+  DynCostTable Dyn;
+  /// The grammar with dynamic rules (and their dependents) stripped; what
+  /// offline table generation and the "fixed costs only" comparisons use.
+  Grammar Fixed;
+};
+
+/// Names of all built-in targets.
+const std::vector<std::string> &targetNames();
+
+/// The hook functions the built-in grammars use (imm8/13/16/32,
+/// scale123/scale23, memop). Exposed so experiments can rebind hooks after
+/// grammar transformations (e.g. grammar::withoutDynHook).
+const std::unordered_map<std::string, DynCostFn> &standardHooks();
+
+/// Builds the named target. Fails on unknown names (listing the known
+/// ones) or if a grammar fails to parse — the latter is a bug.
+Expected<std::unique_ptr<Target>> makeTarget(std::string_view Name);
+
+/// Grammar text accessors (exposed for tests and the grammar-stats bench).
+const char *x86GrammarText();
+const char *mipsGrammarText();
+const char *sparcGrammarText();
+const char *alphaGrammarText();
+const char *vm64GrammarText();
+
+/// The canonical IR operator names shared by all targets, with arities.
+/// The frontend and workload generators emit exactly these.
+struct CanonicalOps {
+  OperatorId Const, AddrL, AddrG, Reg, Label, Br;
+  OperatorId Load, Neg, Com, Ret, CBr;
+  OperatorId Store, Add, Sub, Mul, Div, Mod, And, Or, Xor, Shl, Shr;
+  OperatorId CmpEQ, CmpNE, CmpLT, CmpLE, CmpGT, CmpGE;
+};
+
+/// Resolves the canonical operators in \p G; fails if any is missing
+/// (every target grammar must mention all of them).
+Expected<CanonicalOps> resolveCanonicalOps(const Grammar &G);
+
+} // namespace targets
+} // namespace odburg
+
+#endif // ODBURG_TARGETS_TARGET_H

@@ -1,0 +1,72 @@
+//===- targets/Vm64Grammar.cpp - JIT-flavored AMD64 subset ------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small JIT-flavored AMD64 machine description, playing the role of the
+/// CACAO second-stage grammar in the papers: far fewer rules than the full
+/// x86 description (which changes the DP-vs-automaton gap — fewer rules
+/// per operator make dynamic programming relatively cheaper), but still
+/// with immediate tests and one read-modify-write pattern.
+///
+//===----------------------------------------------------------------------===//
+
+#include "targets/Target.h"
+
+const char *odburg::targets::vm64GrammarText() {
+  return R"brg(
+# JIT-flavored AMD64 subset.
+%start stmt
+
+con:  Const (0) "=$%c";
+imm:  Const (0) ?imm32 "=$%c";
+reg:  Reg (0) "=%%r%c";
+reg:  con (1) "movq %1, %0";
+
+addr: reg (0) "=(%1)";
+addr: AddrL (0) "=%c(%%rbp)";
+addr: AddrG (0) "=%c(%%rip)";
+addr: Add(reg, imm) (0) "=%2(%1)";
+reg:  addr (1) "leaq %1, %0";
+
+reg:  Load(addr) (1) "movq %1, %0";
+stmt: Store(addr, reg) (1) "movq %2, %1";
+stmt: Store(addr, imm) (1) "movq %2, %1";
+
+reg:  Add(reg, reg) (1) "addq %2, %1, %0";
+reg:  Add(reg, imm) (1) "addq %2, %1, %0";
+reg:  Sub(reg, reg) (1) "subq %2, %1, %0";
+reg:  And(reg, reg) (1) "andq %2, %1, %0";
+reg:  Or(reg, reg)  (1) "orq %2, %1, %0";
+reg:  Xor(reg, reg) (1) "xorq %2, %1, %0";
+reg:  Mul(reg, reg) (3)  "imulq %2, %1, %0";
+reg:  Div(reg, reg) (24) "cqto\nidivq %2, %1, %0";
+reg:  Mod(reg, reg) (24) "cqto\nidivq %2, %1, %0(rdx)";
+reg:  Shl(reg, imm) (1) "salq %2, %1, %0";
+reg:  Shl(reg, reg) (2) "movq %2, %%rcx\nsalq %%cl, %1, %0";
+reg:  Shr(reg, imm) (1) "sarq %2, %1, %0";
+reg:  Shr(reg, reg) (2) "movq %2, %%rcx\nsarq %%cl, %1, %0";
+reg:  Neg(reg) (1) "negq %1, %0";
+reg:  Com(reg) (1) "notq %1, %0";
+
+stmt: Store(addr, Add(Load(addr), reg)) (1) ?memop "addq %3, %1";
+stmt: Store(addr, Sub(Load(addr), reg)) (1) ?memop "subq %3, %1";
+
+cnd:  CmpEQ(reg, reg) (1) "cmpq %2, %1\n=e";
+cnd:  CmpNE(reg, reg) (1) "cmpq %2, %1\n=ne";
+cnd:  CmpLT(reg, reg) (1) "cmpq %2, %1\n=l";
+cnd:  CmpLE(reg, reg) (1) "cmpq %2, %1\n=le";
+cnd:  CmpGT(reg, reg) (1) "cmpq %2, %1\n=g";
+cnd:  CmpGE(reg, reg) (1) "cmpq %2, %1\n=ge";
+cnd:  CmpEQ(reg, imm) (1) "cmpq %2, %1\n=e";
+cnd:  CmpNE(reg, imm) (1) "cmpq %2, %1\n=ne";
+cnd:  CmpLT(reg, imm) (1) "cmpq %2, %1\n=l";
+stmt: CBr(cnd) (1) "j%1 .L%c";
+
+stmt: Label (0) ".L%c:";
+stmt: Br (1) "jmp .L%c";
+stmt: Ret(reg) (1) "movq %1, %%rax\nret";
+)brg";
+}

@@ -1,0 +1,351 @@
+//===- workload/Corpus.cpp - Built-in MiniC benchmark corpus ----------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Corpus.h"
+
+#include "frontend/Lowering.h"
+
+using namespace odburg;
+using namespace odburg::workload;
+
+namespace {
+
+const char *FactSource = R"(
+// Iterative factorial.
+int n; int result;
+n = 10;
+result = 1;
+while (n > 1) {
+  result = result * n;
+  n = n - 1;
+}
+return result;
+)";
+
+const char *SqrtSource = R"(
+// Integer square-root approximation by Newton iteration.
+int x; int guess; int next; int i;
+x = 44521;
+guess = x / 2;
+i = 0;
+while (i < 20) {
+  next = (guess + x / guess) / 2;
+  guess = next;
+  i = i + 1;
+}
+return guess;
+)";
+
+const char *PermutSource = R"(
+// Lexicographic permutation stepping over a small array.
+int a[8]; int i; int j; int k; int tmp; int count;
+i = 0;
+while (i < 8) { a[i] = i; i = i + 1; }
+count = 0;
+k = 0;
+while (k < 100) {
+  // Find the largest i with a[i] < a[i+1].
+  i = 6;
+  while (i >= 0) {
+    if (a[i] < a[i + 1]) {
+      j = 7;
+      while (a[j] <= a[i]) { j = j - 1; }
+      tmp = a[i]; a[i] = a[j]; a[j] = tmp;
+      // Reverse the suffix.
+      j = 7;
+      i = i + 1;
+      while (i < j) {
+        tmp = a[i]; a[i] = a[j]; a[j] = tmp;
+        i = i + 1; j = j - 1;
+      }
+      i = 0 - 1;
+    } else {
+      i = i - 1;
+    }
+  }
+  count = count + 1;
+  k = k + 1;
+}
+return count;
+)";
+
+const char *PiSpigotSource = R"(
+// Spigot digits of pi (integer-only inner loop).
+int r[32]; int i; int k; int carry; int digit; int sum;
+i = 0;
+while (i < 32) { r[i] = 2; i = i + 1; }
+sum = 0;
+k = 0;
+while (k < 8) {
+  carry = 0;
+  i = 31;
+  while (i > 0) {
+    digit = r[i] * 10 + carry;
+    r[i] = digit % (2 * i + 1);
+    carry = (digit / (2 * i + 1)) * i;
+    i = i - 1;
+  }
+  digit = r[0] * 10 + carry;
+  r[0] = digit % 10;
+  sum = sum + digit / 10;
+  k = k + 1;
+}
+return sum;
+)";
+
+const char *BoyerMooreSource = R"(
+// Boyer-Moore-Horspool string search over byte arrays.
+int text[64]; int pat[4]; int skip[16]; int i; int j; int pos; int found;
+i = 0;
+while (i < 64) { text[i] = (i * 7 + 3) & 15; i = i + 1; }
+pat[0] = 3; pat[1] = 10; pat[2] = 1; pat[3] = 8;
+i = 0;
+while (i < 16) { skip[i] = 4; i = i + 1; }
+i = 0;
+while (i < 3) { skip[pat[i]] = 3 - i; i = i + 1; }
+found = 0 - 1;
+pos = 0;
+while (pos <= 60) {
+  j = 3;
+  while (j >= 0) {
+    if (text[pos + j] == pat[j]) {
+      j = j - 1;
+    } else {
+      j = 0 - 2;
+    }
+  }
+  if (j == 0 - 1) {
+    found = pos;
+    pos = 61;
+  } else {
+    pos = pos + skip[text[pos + 3]];
+  }
+}
+return found;
+)";
+
+const char *MatAddSource = R"(
+// 8x8 matrix addition.
+int a[64]; int b[64]; int c[64]; int i; int j;
+i = 0;
+while (i < 64) { a[i] = i; b[i] = 64 - i; i = i + 1; }
+i = 0;
+while (i < 8) {
+  j = 0;
+  while (j < 8) {
+    c[i * 8 + j] = a[i * 8 + j] + b[i * 8 + j];
+    j = j + 1;
+  }
+  i = i + 1;
+}
+return c[63];
+)";
+
+const char *MatMultSource = R"(
+// 8x8 matrix multiplication.
+int a[64]; int b[64]; int c[64]; int i; int j; int k; int acc;
+i = 0;
+while (i < 64) { a[i] = i & 7; b[i] = (i >> 3) + 1; i = i + 1; }
+i = 0;
+while (i < 8) {
+  j = 0;
+  while (j < 8) {
+    acc = 0;
+    k = 0;
+    while (k < 8) {
+      acc = acc + a[i * 8 + k] * b[k * 8 + j];
+      k = k + 1;
+    }
+    c[i * 8 + j] = acc;
+    j = j + 1;
+  }
+  i = i + 1;
+}
+return c[0];
+)";
+
+const char *BubbleSource = R"(
+// Bubble sort, the classic RMW-heavy kernel.
+int a[32]; int i; int j; int tmp; int swaps;
+i = 0;
+while (i < 32) { a[i] = (31 - i) ^ 5; i = i + 1; }
+swaps = 0;
+i = 0;
+while (i < 31) {
+  j = 0;
+  while (j < 31 - i) {
+    if (a[j] > a[j + 1]) {
+      tmp = a[j]; a[j] = a[j + 1]; a[j + 1] = tmp;
+      swaps = swaps + 1;
+    }
+    j = j + 1;
+  }
+  i = i + 1;
+}
+return swaps;
+)";
+
+const char *ChecksumSource = R"(
+// Adler-like checksum with shifts, masks and read-modify-write updates.
+int data[48]; int s1; int s2; int i;
+i = 0;
+while (i < 48) { data[i] = (i * 31 + 7) & 255; i = i + 1; }
+s1 = 1; s2 = 0;
+i = 0;
+while (i < 48) {
+  s1 = (s1 + data[i]) % 65521;
+  s2 = (s2 + s1) % 65521;
+  i = i + 1;
+}
+return (s2 << 16) | s1;
+)";
+
+const char *MatcherArchSource = R"(
+// Addressing-mode and memop stress: the MatcherArch analogue — scaled
+// indexing, constant folding opportunities, and x = x op k updates that
+// only a memop-aware selector fuses.
+int m[128]; int i; int base; int acc;
+i = 0;
+while (i < 128) { m[i] = i; i = i + 1; }
+acc = 0;
+base = 16;
+i = 0;
+while (i < 64) {
+  m[i] = m[i] + 1;
+  m[i + 1] = m[i + 1] - 2;
+  m[base + (i & 7)] = m[base + (i & 7)] ^ 255;
+  m[i] = m[i] & 4095;
+  m[i] = m[i] | 64;
+  acc = acc + m[(i << 1) & 127];
+  i = i + 1;
+}
+return acc;
+)";
+
+const char *FibSource = R"(
+// Iterative Fibonacci.
+int a; int b; int t; int n;
+a = 0; b = 1;
+n = 40;
+while (n > 0) {
+  t = a + b;
+  a = b;
+  b = t;
+  n = n - 1;
+}
+return a;
+)";
+
+const char *GcdSource = R"(
+// Binary GCD (shifts and parity tests instead of division).
+int u; int v; int shift; int t;
+u = 48720; v = 33264; shift = 0;
+while (((u | v) & 1) == 0) { u = u >> 1; v = v >> 1; shift = shift + 1; }
+while ((u & 1) == 0) { u = u >> 1; }
+while (v != 0) {
+  while ((v & 1) == 0) { v = v >> 1; }
+  if (u > v) { t = u; u = v; v = t; }
+  v = v - u;
+}
+return u << shift;
+)";
+
+const char *Crc32Source = R"(
+// Bitwise CRC-32 over a small buffer (xor/shift heavy).
+int data[24]; int crc; int i; int j; int byte;
+i = 0;
+while (i < 24) { data[i] = (i * 13 + 5) & 255; i = i + 1; }
+crc = 0 - 1;
+i = 0;
+while (i < 24) {
+  byte = data[i];
+  crc = crc ^ byte;
+  j = 0;
+  while (j < 8) {
+    if ((crc & 1) == 1) {
+      crc = (crc >> 1) ^ 79764919;
+    } else {
+      crc = crc >> 1;
+    }
+    j = j + 1;
+  }
+  i = i + 1;
+}
+return ~crc;
+)";
+
+const char *HistogramSource = R"(
+// Histogram with read-modify-write bucket updates.
+int data[96]; int hist[16]; int i;
+i = 0;
+while (i < 96) { data[i] = (i * 37 + 11) & 15; i = i + 1; }
+i = 0;
+while (i < 16) { hist[i] = 0; i = i + 1; }
+i = 0;
+while (i < 96) {
+  hist[data[i]] = hist[data[i]] + 1;
+  i = i + 1;
+}
+i = 1;
+while (i < 16) { hist[0] = hist[0] + hist[i]; i = i + 1; }
+return hist[0];
+)";
+
+const char *BinSearchSource = R"(
+// Binary search over a sorted array.
+int a[64]; int lo; int hi; int mid; int key; int found;
+lo = 0;
+while (lo < 64) { a[lo] = lo * 3 + 1; lo = lo + 1; }
+key = 100;
+lo = 0; hi = 63; found = 0 - 1;
+while (lo <= hi) {
+  mid = (lo + hi) >> 1;
+  if (a[mid] == key) {
+    found = mid;
+    lo = hi + 1;
+  } else {
+    if (a[mid] < key) { lo = mid + 1; } else { hi = mid - 1; }
+  }
+}
+return found;
+)";
+
+} // namespace
+
+const std::vector<CorpusProgram> &odburg::workload::corpus() {
+  static const std::vector<CorpusProgram> Programs = {
+      {"Fact", "iterative factorial", FactSource},
+      {"Permut", "array permutation stepping", PermutSource},
+      {"Sqrt", "Newton square-root approximation", SqrtSource},
+      {"PiSpigot", "spigot digits of pi", PiSpigotSource},
+      {"BoyerMoore", "Boyer-Moore-Horspool search", BoyerMooreSource},
+      {"MatAdd", "8x8 matrix addition", MatAddSource},
+      {"MatMult", "8x8 matrix multiplication", MatMultSource},
+      {"Bubble", "bubble sort", BubbleSource},
+      {"Checksum", "Adler-like checksum", ChecksumSource},
+      {"MatcherArch", "addressing-mode and memop stress", MatcherArchSource},
+      {"Fib", "iterative Fibonacci", FibSource},
+      {"Gcd", "binary GCD", GcdSource},
+      {"Crc32", "bitwise CRC-32", Crc32Source},
+      {"Histogram", "histogram with RMW bucket updates", HistogramSource},
+      {"BinSearch", "binary search", BinSearchSource},
+  };
+  return Programs;
+}
+
+const CorpusProgram *
+odburg::workload::findCorpusProgram(std::string_view Name) {
+  for (const CorpusProgram &P : corpus())
+    if (P.Name == Name)
+      return &P;
+  return nullptr;
+}
+
+Expected<ir::IRFunction>
+odburg::workload::compileCorpusProgram(const CorpusProgram &P,
+                                       const Grammar &G) {
+  return minic::compileMiniC(P.Source, G);
+}

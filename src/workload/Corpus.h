@@ -1,0 +1,49 @@
+//===- workload/Corpus.h - Built-in MiniC benchmark corpus ------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MiniC benchmark corpus: the small-kernel programs the CACAO-style
+/// evaluation uses (Fact, Permut, Sqrt, PiSpigot, BoyerMoore, MatAdd,
+/// MatMult, …), written in MiniC and compiled to IR on demand.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_WORKLOAD_CORPUS_H
+#define ODBURG_WORKLOAD_CORPUS_H
+
+#include "ir/Node.h"
+#include "support/Error.h"
+
+#include <string>
+#include <vector>
+
+namespace odburg {
+
+class Grammar;
+
+namespace workload {
+
+/// One corpus entry.
+struct CorpusProgram {
+  std::string Name;
+  std::string Description;
+  const char *Source; ///< MiniC text.
+};
+
+/// All built-in programs, in evaluation order.
+const std::vector<CorpusProgram> &corpus();
+
+/// Finds a program by name; null if absent.
+const CorpusProgram *findCorpusProgram(std::string_view Name);
+
+/// Compiles a corpus program against \p G (via the MiniC frontend).
+Expected<ir::IRFunction> compileCorpusProgram(const CorpusProgram &P,
+                                              const Grammar &G);
+
+} // namespace workload
+} // namespace odburg
+
+#endif // ODBURG_WORKLOAD_CORPUS_H

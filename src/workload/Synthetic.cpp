@@ -1,0 +1,270 @@
+//===- workload/Synthetic.cpp - SPEC-like synthetic IR workloads ------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Synthetic.h"
+
+#include "support/RNG.h"
+
+using namespace odburg;
+using namespace odburg::workload;
+using odburg::targets::CanonicalOps;
+
+namespace {
+
+/// Statement-stream generator for one profile.
+class Generator {
+public:
+  Generator(const Profile &P, const CanonicalOps &Ops, ir::IRFunction &F)
+      : P(P), Ops(Ops), F(F), Rand(P.Seed) {}
+
+  void run() {
+    while (F.size() < P.TargetNodes) {
+      unsigned Kind = static_cast<unsigned>(Rand.nextBelow(100));
+      if (Kind < P.BranchPercent)
+        genBranch();
+      else if (Kind < P.BranchPercent + 5)
+        genLabelOrJump();
+      else
+        genStore();
+    }
+    // Every function ends with a return.
+    SmallVector<ir::Node *, 1> C{genValue(P.ExprDepth)};
+    F.addRoot(F.makeNode(Ops.Ret, C));
+  }
+
+private:
+  std::int64_t genConstValue() {
+    if (Rand.chance(P.SmallConstPercent, 100))
+      return Rand.nextInRange(0, 100);
+    // Large constants exercise the immediate-range hooks: beyond imm8 for
+    // sure, often beyond imm13/imm16, sometimes beyond imm32.
+    if (Rand.chance(1, 10))
+      return Rand.nextInRange(std::int64_t(1) << 33, std::int64_t(1) << 34);
+    return Rand.nextInRange(1 << 14, 1 << 20);
+  }
+
+  ir::Node *genAddress() {
+    // Frame slots dominate; occasionally a global or computed address.
+    unsigned Kind = static_cast<unsigned>(Rand.nextBelow(10));
+    if (Kind < 6)
+      return F.makeLeaf(Ops.AddrL, 8 * Rand.nextInRange(0, 63));
+    if (Kind < 8)
+      return F.makeLeaf(Ops.AddrG, 8 * Rand.nextInRange(0, 31));
+    // base + index*8: the scaled-addressing pattern.
+    ir::Node *Base = F.makeLeaf(Ops.Reg, Rand.nextInRange(0, 7));
+    ir::Node *Index = F.makeLeaf(Ops.Reg, Rand.nextInRange(0, 7));
+    ir::Node *Three = F.makeLeaf(Ops.Const, 3);
+    SmallVector<ir::Node *, 2> ShC{Index, Three};
+    ir::Node *Scaled = F.makeNode(Ops.Shl, ShC);
+    SmallVector<ir::Node *, 2> AddC{Base, Scaled};
+    return F.makeNode(Ops.Add, AddC);
+  }
+
+  ir::Node *genLeaf() {
+    unsigned Kind = static_cast<unsigned>(Rand.nextBelow(100));
+    if (Kind < P.LoadPercent) {
+      SmallVector<ir::Node *, 1> C{genAddress()};
+      return F.makeNode(Ops.Load, C);
+    }
+    if (Kind < P.LoadPercent + 30)
+      return F.makeLeaf(Ops.Const, genConstValue());
+    return F.makeLeaf(Ops.Reg, Rand.nextInRange(0, 11));
+  }
+
+  OperatorId pickArithOp() {
+    static const std::size_t NumOps = 9;
+    OperatorId Table[NumOps] = {Ops.Add, Ops.Sub, Ops.Mul,
+                                Ops.Div, Ops.And, Ops.Or,
+                                Ops.Xor, Ops.Shl, Ops.Shr};
+    unsigned Total = 0;
+    for (std::size_t I = 0; I < NumOps; ++I)
+      Total += P.OpWeights[I];
+    unsigned Pick = static_cast<unsigned>(Rand.nextBelow(Total));
+    for (std::size_t I = 0; I < NumOps; ++I) {
+      if (Pick < P.OpWeights[I])
+        return Table[I];
+      Pick -= P.OpWeights[I];
+    }
+    return Ops.Add;
+  }
+
+  ir::Node *genValue(unsigned Depth) {
+    if (Depth == 0 || Rand.chance(1, 4))
+      return genLeaf();
+    if (Rand.chance(1, 10)) {
+      SmallVector<ir::Node *, 1> C{genValue(Depth - 1)};
+      return F.makeNode(Rand.chance(1, 2) ? Ops.Neg : Ops.Com, C);
+    }
+    OperatorId Op = pickArithOp();
+    ir::Node *L = genValue(Depth - 1);
+    ir::Node *R;
+    if ((Op == Ops.Shl || Op == Ops.Shr) && Rand.chance(3, 4))
+      R = F.makeLeaf(Ops.Const, Rand.nextInRange(1, 7));
+    else
+      R = genValue(Depth - 1);
+    SmallVector<ir::Node *, 2> C{L, R};
+    return F.makeNode(Op, C);
+  }
+
+  /// Clones an address subtree so that a read-modify-write store uses two
+  /// structurally equal (but distinct) trees, like lcc's split trees.
+  ir::Node *cloneAddress(const ir::Node *A) {
+    if (A->numChildren() == 0)
+      return F.makeLeaf(A->op(), A->value(), A->symbol());
+    SmallVector<ir::Node *, 2> C;
+    for (unsigned I = 0; I < A->numChildren(); ++I)
+      C.push_back(cloneAddress(A->child(I)));
+    return F.makeNode(A->op(), C, A->value(), A->symbol());
+  }
+
+  void genStore() {
+    ir::Node *Addr = genAddress();
+    ir::Node *Value;
+    if (Rand.chance(P.RmwPercent, 100)) {
+      // x = x op e with matching addresses: the memop pattern.
+      SmallVector<ir::Node *, 1> LC{cloneAddress(Addr)};
+      ir::Node *Ld = F.makeNode(Ops.Load, LC);
+      OperatorId RmwOps[5] = {Ops.Add, Ops.Sub, Ops.And, Ops.Or, Ops.Xor};
+      OperatorId Op = RmwOps[Rand.nextBelow(5)];
+      ir::Node *Rhs = Rand.chance(1, 2)
+                          ? F.makeLeaf(Ops.Const, genConstValue())
+                          : F.makeLeaf(Ops.Reg, Rand.nextInRange(0, 11));
+      SmallVector<ir::Node *, 2> BC{Ld, Rhs};
+      Value = F.makeNode(Op, BC);
+    } else {
+      Value = genValue(P.ExprDepth);
+    }
+    SmallVector<ir::Node *, 2> C{Addr, Value};
+    F.addRoot(F.makeNode(Ops.Store, C));
+  }
+
+  void genBranch() {
+    OperatorId CmpOps[6] = {Ops.CmpEQ, Ops.CmpNE, Ops.CmpLT,
+                            Ops.CmpLE, Ops.CmpGT, Ops.CmpGE};
+    OperatorId Cmp = CmpOps[Rand.nextBelow(6)];
+    ir::Node *L = genValue(P.ExprDepth > 1 ? P.ExprDepth - 1 : 1);
+    ir::Node *R = Rand.chance(1, 2) ? F.makeLeaf(Ops.Const, genConstValue())
+                                    : genLeaf();
+    SmallVector<ir::Node *, 2> CC{L, R};
+    ir::Node *Cond = F.makeNode(Cmp, CC);
+    SmallVector<ir::Node *, 1> BC{Cond};
+    F.addRoot(F.makeNode(Ops.CBr, BC, NextLabel));
+    ++NextLabel;
+  }
+
+  void genLabelOrJump() {
+    if (Rand.chance(1, 2))
+      F.addRoot(F.makeLeaf(Ops.Label, Rand.nextBelow(NextLabel + 1)));
+    else
+      F.addRoot(F.makeLeaf(Ops.Br, Rand.nextBelow(NextLabel + 1)));
+  }
+
+  const Profile &P;
+  const CanonicalOps &Ops;
+  ir::IRFunction &F;
+  RNG Rand;
+  std::int64_t NextLabel = 0;
+};
+
+} // namespace
+
+const std::vector<Profile> &odburg::workload::specProfiles() {
+  static const std::vector<Profile> Profiles = [] {
+    std::vector<Profile> Ps;
+    auto Mk = [&Ps](const char *Name, unsigned Nodes, std::uint64_t Seed,
+                    unsigned Depth, unsigned Rmw, unsigned SmallConst,
+                    unsigned Load, unsigned Branch,
+                    std::vector<unsigned> Weights) {
+      Profile P;
+      P.Name = Name;
+      P.TargetNodes = Nodes;
+      P.Seed = Seed;
+      P.ExprDepth = Depth;
+      P.RmwPercent = Rmw;
+      P.SmallConstPercent = SmallConst;
+      P.LoadPercent = Load;
+      P.BranchPercent = Branch;
+      P.OpWeights = std::move(Weights);
+      Ps.push_back(std::move(P));
+    };
+    // Sizes scale with the relative instruction counts of the paper's
+    // SPEC table; op mixes reflect the benchmarks' characters.
+    Mk("gzip-like", 24000, 101, 3, 28, 85, 45, 18,
+       {40, 20, 4, 1, 12, 8, 6, 12, 10});  // bit-twiddling compressor
+    Mk("vpr-like", 40000, 102, 4, 18, 80, 40, 14,
+       {42, 16, 12, 3, 6, 6, 4, 5, 5});    // placement arithmetic
+    Mk("gcc-like", 96000, 103, 5, 15, 75, 42, 20,
+       {38, 15, 6, 2, 10, 10, 8, 6, 5});   // branchy, irregular
+    Mk("mcf-like", 16000, 104, 3, 12, 85, 55, 16,
+       {50, 20, 4, 2, 4, 4, 2, 2, 2});     // pointer chasing, loads
+    Mk("crafty-like", 48000, 105, 4, 22, 70, 38, 15,
+       {30, 12, 4, 1, 16, 14, 12, 14, 12});// bitboards: logic + shifts
+    Mk("parser-like", 36000, 106, 3, 16, 85, 48, 22,
+       {45, 18, 3, 1, 8, 8, 5, 4, 4});     // dictionary walks
+    Mk("vortex-like", 64000, 107, 3, 20, 85, 50, 18,
+       {48, 16, 4, 1, 8, 8, 4, 4, 3});     // object store, loads/stores
+    Mk("bzip2-like", 20000, 108, 4, 26, 80, 44, 14,
+       {36, 18, 6, 2, 10, 8, 6, 10, 8});   // sorting + bit stream
+    Mk("twolf-like", 44000, 109, 5, 14, 75, 40, 12,
+       {34, 16, 18, 6, 6, 6, 4, 5, 5});    // multiply-heavy layout
+    Mk("art-like", 12000, 110, 4, 10, 80, 46, 10,
+       {46, 20, 14, 4, 4, 4, 2, 3, 3});    // neural-net accumulation
+    return Ps;
+  }();
+  return Profiles;
+}
+
+const Profile *odburg::workload::findProfile(std::string_view Name) {
+  for (const Profile &P : specProfiles())
+    if (P.Name == Name)
+      return &P;
+  return nullptr;
+}
+
+ir::Node *odburg::workload::synthesizeTree(const Grammar &G,
+                                           ir::IRFunction &F, RNG &Rand,
+                                           unsigned Budget) {
+  SmallVector<OperatorId, 8> Leaves, Interior;
+  for (OperatorId Op = 0; Op < G.numOperators(); ++Op) {
+    if (G.operatorArity(Op) == 0)
+      Leaves.push_back(Op);
+    else
+      Interior.push_back(Op);
+  }
+  assert(!Leaves.empty() && "grammar has no leaf operators");
+
+  struct Builder {
+    const Grammar &G;
+    ir::IRFunction &F;
+    RNG &Rand;
+    const SmallVectorImpl<OperatorId> &Leaves;
+    const SmallVectorImpl<OperatorId> &Interior;
+
+    ir::Node *build(unsigned B) {
+      if (B <= 1 || Interior.empty())
+        return F.makeLeaf(Leaves[Rand.nextBelow(Leaves.size())],
+                          Rand.nextInRange(0, 7));
+      OperatorId Op = Interior[Rand.nextBelow(Interior.size())];
+      unsigned Arity = G.operatorArity(Op);
+      SmallVector<ir::Node *, 4> Children;
+      for (unsigned I = 0; I < Arity; ++I)
+        Children.push_back(build((B - 1) / Arity));
+      return F.makeNode(Op, Children);
+    }
+  };
+  Builder B{G, F, Rand, Leaves, Interior};
+  return B.build(Budget);
+}
+
+Expected<ir::IRFunction> odburg::workload::generate(const Profile &P,
+                                                    const Grammar &G) {
+  Expected<CanonicalOps> Ops = targets::resolveCanonicalOps(G);
+  if (!Ops)
+    return Ops.takeError();
+  ir::IRFunction F;
+  Generator(P, *Ops, F).run();
+  return F;
+}

@@ -1,0 +1,76 @@
+//===- workload/Synthetic.h - SPEC-like synthetic IR workloads --------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic synthetic IR generation standing in for compiling SPEC
+/// CPU2000 with lcc (which we cannot do — see DESIGN.md substitutions).
+/// What matters to labeling cost is the *stream of operators and shapes*
+/// the selector sees, so each named profile fixes an operator mix, tree
+/// shapes, constant ranges (which drive the immediate-range dynamic
+/// costs), and an address-reuse rate (which drives memop/RMW
+/// applicability). Profiles are seeded, so every run and every engine sees
+/// bit-identical input.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_WORKLOAD_SYNTHETIC_H
+#define ODBURG_WORKLOAD_SYNTHETIC_H
+
+#include "ir/Node.h"
+#include "support/Error.h"
+#include "support/RNG.h"
+#include "targets/Target.h"
+
+#include <string>
+#include <vector>
+
+namespace odburg {
+namespace workload {
+
+/// Tunables of one synthetic workload.
+struct Profile {
+  std::string Name;
+  /// Approximate total IR nodes to generate.
+  unsigned TargetNodes = 10000;
+  /// RNG seed (fixed per profile for reproducibility).
+  std::uint64_t Seed = 1;
+  /// Average value-tree height (expression complexity).
+  unsigned ExprDepth = 4;
+  /// Percent of statements that are stores of the form x = x op e with
+  /// matching addresses (read-modify-write opportunities).
+  unsigned RmwPercent = 20;
+  /// Percent of constants that are small (fit the narrowest immediate).
+  unsigned SmallConstPercent = 80;
+  /// Percent of leaves that are memory loads (vs. constants/registers).
+  unsigned LoadPercent = 40;
+  /// Percent of statements that are compare-and-branch.
+  unsigned BranchPercent = 15;
+  /// Relative weights of arithmetic operators
+  /// {Add, Sub, Mul, Div, And, Or, Xor, Shl, Shr}.
+  std::vector<unsigned> OpWeights = {40, 15, 8, 2, 8, 8, 5, 7, 7};
+};
+
+/// The built-in SPEC CPU2000-flavored profiles (gzip-like, gcc-like, …).
+const std::vector<Profile> &specProfiles();
+
+/// Finds a profile by name; null if absent.
+const Profile *findProfile(std::string_view Name);
+
+/// Generates one function of statement roots according to \p P, using the
+/// canonical operators of \p G.
+Expected<ir::IRFunction> generate(const Profile &P, const Grammar &G);
+
+/// Builds a random subject tree of roughly \p Budget nodes over the
+/// operators of an arbitrary grammar (used with grammar/Synthesize.h for
+/// the scaling experiment and grammar-fuzzing property tests). Returns
+/// the root; the caller decides whether to add it as a function root.
+ir::Node *synthesizeTree(const Grammar &G, ir::IRFunction &F, RNG &Rand,
+                         unsigned Budget);
+
+} // namespace workload
+} // namespace odburg
+
+#endif // ODBURG_WORKLOAD_SYNTHETIC_H

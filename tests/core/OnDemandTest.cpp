@@ -1,0 +1,233 @@
+//===- tests/core/OnDemandTest.cpp ------------------------------------------===//
+//
+// Part of the odburg project.
+//
+// The central correctness tests of the reproduction: the on-demand
+// automaton must select exactly what the DP labeler selects, while doing
+// its work through the transition cache.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/OnDemandAutomaton.h"
+
+#include "grammar/GrammarParser.h"
+#include "select/DPLabeler.h"
+#include "select/Reducer.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace odburg;
+
+namespace {
+
+/// Asserts that two labelings agree: identical rules everywhere, and costs
+/// equal up to one per-node delta (the automaton normalizes per state).
+void expectEquivalent(const Grammar &G, const ir::IRFunction &F,
+                      const Labeling &Reference, const Labeling &Subject) {
+  for (const ir::Node *N : F.nodes()) {
+    bool HaveDelta = false;
+    Cost::ValueType Delta = 0;
+    for (NonterminalId Nt = 0; Nt < G.numNonterminals(); ++Nt) {
+      Cost RC = Reference.costFor(*N, Nt);
+      Cost SC = Subject.costFor(*N, Nt);
+      ASSERT_EQ(RC.isInfinite(), SC.isInfinite())
+          << "node " << N->id() << " nt " << G.nonterminalName(Nt);
+      if (RC.isFinite()) {
+        ASSERT_GE(RC.raw(), SC.raw());
+        Cost::ValueType D = RC.raw() - SC.raw();
+        if (!HaveDelta) {
+          Delta = D;
+          HaveDelta = true;
+        }
+        ASSERT_EQ(D, Delta) << "non-uniform normalization delta at node "
+                            << N->id();
+      }
+      ASSERT_EQ(Reference.ruleFor(*N, Nt), Subject.ruleFor(*N, Nt))
+          << "node " << N->id() << " (" << G.operatorName(N->op()) << ") nt "
+          << G.nonterminalName(Nt);
+    }
+  }
+}
+
+} // namespace
+
+TEST(OnDemand, MatchesDPOnPaperExample) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  ir::IRFunction F;
+  test::buildStoreTree(F, G, 1, 1, 2);
+  DPLabeling Ref = DPLabeler(G).label(F);
+  OnDemandAutomaton A(G);
+  A.labelFunction(F);
+  expectEquivalent(G, F, Ref, A);
+}
+
+TEST(OnDemand, PaperExampleMaterializesFourStates) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  ir::IRFunction F;
+  test::buildStoreTree(F, G, 1, 1, 2);
+  OnDemandAutomaton A(G);
+  A.labelFunction(F);
+  // One state each for Reg, Load, Plus, Store: the three Reg leaves share
+  // a state (that is the whole point of hash consing).
+  EXPECT_EQ(A.numStates(), 4u);
+  EXPECT_EQ(A.numTransitions(), 4u);
+}
+
+TEST(OnDemand, SecondLabelingIsAllHits) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  ir::IRFunction F;
+  test::buildStoreTree(F, G, 1, 1, 2);
+  OnDemandAutomaton A(G);
+  SelectionStats Cold;
+  A.labelFunction(F, &Cold);
+  unsigned StatesAfterCold = A.numStates();
+  EXPECT_LT(Cold.CacheHits, Cold.CacheProbes);
+
+  SelectionStats Warm;
+  A.labelFunction(F, &Warm);
+  EXPECT_EQ(A.numStates(), StatesAfterCold); // Nothing new.
+  EXPECT_EQ(Warm.CacheHits, Warm.CacheProbes); // Pure fast path.
+  EXPECT_EQ(Warm.StatesComputed, 0u);
+}
+
+TEST(OnDemand, DynCostsSelectRmwOnlyWhenAddressesMatch) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleText()));
+  auto Hooks = test::runningExampleHooks();
+  DynCostTable Dyn = cantFail(DynCostTable::build(G, Hooks));
+  OnDemandAutomaton A(G, &Dyn);
+  NonterminalId Stmt = G.findNonterminal("stmt");
+
+  ir::IRFunction F1;
+  ir::Node *Same = test::buildStoreTree(F1, G, 1, 1, 2);
+  A.labelFunction(F1);
+  EXPECT_EQ(G.sourceRule(G.normRule(A.ruleFor(*Same, Stmt)).Source).ExtNumber,
+            6u);
+
+  ir::IRFunction F2;
+  ir::Node *Diff = test::buildStoreTree(F2, G, 1, 7, 2);
+  A.labelFunction(F2);
+  EXPECT_EQ(G.sourceRule(G.normRule(A.ruleFor(*Diff, Stmt)).Source).ExtNumber,
+            5u);
+}
+
+TEST(OnDemand, DynOutcomesSplitStates) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleText()));
+  auto Hooks = test::runningExampleHooks();
+  DynCostTable Dyn = cantFail(DynCostTable::build(G, Hooks));
+  OnDemandAutomaton A(G, &Dyn);
+
+  ir::IRFunction F;
+  test::buildStoreTree(F, G, 1, 1, 2); // memop applicable
+  test::buildStoreTree(F, G, 1, 7, 2); // memop not applicable
+  A.labelFunction(F);
+  // Store now owns two states (the constrained one and its fallback), like
+  // states 15 and 14 of the paper's Fig. 5; Reg/Load/Plus contribute one
+  // state each.
+  EXPECT_EQ(A.numStates(), 5u);
+  EXPECT_EQ(A.numTransitions(), 5u);
+}
+
+TEST(OnDemand, MatchesDPUnderDynCosts) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleText()));
+  auto Hooks = test::runningExampleHooks();
+  DynCostTable Dyn = cantFail(DynCostTable::build(G, Hooks));
+  ir::IRFunction F;
+  test::buildStoreTree(F, G, 1, 1, 2);
+  test::buildStoreTree(F, G, 1, 7, 2);
+  test::buildStoreTree(F, G, 3, 3, 3);
+  DPLabeling Ref = DPLabeler(G, &Dyn).label(F);
+  OnDemandAutomaton A(G, &Dyn);
+  A.labelFunction(F);
+  expectEquivalent(G, F, Ref, A);
+}
+
+class OnDemandProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OnDemandProperty, MatchesDPOnRandomTrees) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleText()));
+  auto Hooks = test::runningExampleHooks();
+  DynCostTable Dyn = cantFail(DynCostTable::build(G, Hooks));
+  ir::IRFunction F;
+  test::RandomTreeBuilder B(G, GetParam());
+  for (int I = 0; I < 8; ++I)
+    F.addRoot(B.build(F, 40));
+  DPLabeling Ref = DPLabeler(G, &Dyn).label(F);
+  OnDemandAutomaton A(G, &Dyn);
+  A.labelFunction(F);
+  expectEquivalent(G, F, Ref, A);
+}
+
+TEST_P(OnDemandProperty, SelectionsIdenticalToDP) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  ir::IRFunction F;
+  // Roots must derive stmt: wrap Store-free random value subtrees in
+  // stores (a Store below a value position has no derivation).
+  test::RandomTreeBuilder B(G, GetParam() ^ 0xABCDEF, 8, "Store");
+  OperatorId RegOp = G.findOperator("Reg");
+  OperatorId StoreOp = G.findOperator("Store");
+  for (int I = 0; I < 4; ++I) {
+    ir::Node *Dst = F.makeLeaf(RegOp, I);
+    ir::Node *Val = B.build(F, 30);
+    SmallVector<ir::Node *, 2> C{Dst, Val};
+    F.addRoot(F.makeNode(StoreOp, C));
+  }
+  DPLabeling Ref = DPLabeler(G).label(F);
+  Selection SRef = cantFail(reduce(G, F, Ref));
+  OnDemandAutomaton A(G);
+  A.labelFunction(F);
+  Selection SAuto = cantFail(reduce(G, F, A));
+  ASSERT_EQ(SRef.Matches.size(), SAuto.Matches.size());
+  for (std::size_t I = 0; I < SRef.Matches.size(); ++I) {
+    EXPECT_EQ(SRef.Matches[I].Where, SAuto.Matches[I].Where);
+    EXPECT_EQ(SRef.Matches[I].Source, SAuto.Matches[I].Source);
+  }
+  EXPECT_EQ(SRef.TotalCost, SAuto.TotalCost);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OnDemandProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(OnDemand, StatesAreSharedAcrossFunctions) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  OnDemandAutomaton A(G);
+  ir::IRFunction F1;
+  test::buildStoreTree(F1, G, 1, 1, 2);
+  A.labelFunction(F1);
+  unsigned After1 = A.numStates();
+  ir::IRFunction F2;
+  test::buildStoreTree(F2, G, 5, 5, 6); // Same shape, different payloads.
+  SelectionStats S2;
+  A.labelFunction(F2, &S2);
+  EXPECT_EQ(A.numStates(), After1);
+  EXPECT_EQ(S2.CacheHits, S2.CacheProbes);
+}
+
+TEST(OnDemand, CacheDisabledStillCorrect) {
+  // Ablation mode: without the transition cache every node recomputes its
+  // state, but hash consing still unifies them and selection is unchanged.
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  ir::IRFunction F;
+  test::buildStoreTree(F, G, 1, 1, 2);
+  DPLabeling Ref = DPLabeler(G).label(F);
+  OnDemandAutomaton::Options Opts;
+  Opts.UseTransitionCache = false;
+  OnDemandAutomaton A(G, nullptr, Opts);
+  SelectionStats S;
+  A.labelFunction(F, &S);
+  expectEquivalent(G, F, Ref, A);
+  EXPECT_EQ(S.CacheProbes, 0u);
+  EXPECT_EQ(S.StatesComputed, F.size()); // Recomputed per node.
+  EXPECT_EQ(A.numStates(), 4u);          // Still hash-consed.
+  EXPECT_EQ(A.numTransitions(), 0u);
+}
+
+TEST(OnDemand, MemoryGrowsWithStates) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  OnDemandAutomaton A(G);
+  std::size_t Empty = A.memoryBytes();
+  ir::IRFunction F;
+  test::buildStoreTree(F, G, 1, 1, 2);
+  A.labelFunction(F);
+  EXPECT_GT(A.memoryBytes(), Empty);
+}

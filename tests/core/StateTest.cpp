@@ -1,0 +1,137 @@
+//===- tests/core/StateTest.cpp ---------------------------------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/State.h"
+
+#include "core/TransitionCache.h"
+
+#include <gtest/gtest.h>
+
+using namespace odburg;
+
+namespace {
+
+struct VecPair {
+  SmallVector<Cost, 4> Costs;
+  SmallVector<RuleId, 4> Rules;
+};
+
+VecPair makeVectors(std::initializer_list<std::uint32_t> Cs,
+                    std::initializer_list<RuleId> Rs) {
+  VecPair P;
+  for (std::uint32_t C : Cs)
+    P.Costs.push_back(C == 0xFFFFFFFFu ? Cost::infinity() : Cost(C));
+  for (RuleId R : Rs)
+    P.Rules.push_back(R);
+  return P;
+}
+
+} // namespace
+
+TEST(StateTable, InternIsIdempotent) {
+  StateTable T(3);
+  VecPair P = makeVectors({0, 1, 0xFFFFFFFFu}, {1, 2, InvalidRule});
+  const State *A = T.intern(0, P.Costs.data(), P.Rules.data());
+  const State *B = T.intern(0, P.Costs.data(), P.Rules.data());
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(T.size(), 1u);
+}
+
+TEST(StateTable, DifferentContentDifferentState) {
+  StateTable T(2);
+  VecPair P1 = makeVectors({0, 1}, {1, 2});
+  VecPair P2 = makeVectors({0, 2}, {1, 2});
+  VecPair P3 = makeVectors({0, 1}, {1, 3});
+  const State *A = T.intern(0, P1.Costs.data(), P1.Rules.data());
+  const State *B = T.intern(0, P2.Costs.data(), P2.Rules.data());
+  const State *C = T.intern(0, P3.Costs.data(), P3.Rules.data());
+  EXPECT_NE(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_NE(B, C);
+  EXPECT_EQ(T.size(), 3u);
+}
+
+TEST(StateTable, OperatorIsPartOfIdentity) {
+  StateTable T(2);
+  VecPair P = makeVectors({0, 1}, {1, 2});
+  const State *A = T.intern(0, P.Costs.data(), P.Rules.data());
+  const State *B = T.intern(1, P.Costs.data(), P.Rules.data());
+  EXPECT_NE(A, B);
+}
+
+TEST(StateTable, IdsAreDenseAndStable) {
+  StateTable T(1);
+  for (std::uint32_t I = 0; I < 100; ++I) {
+    VecPair P = makeVectors({I}, {I});
+    const State *S = T.intern(0, P.Costs.data(), P.Rules.data());
+    EXPECT_EQ(S->Id, I);
+    EXPECT_EQ(T.byId(I), S);
+  }
+  EXPECT_EQ(T.size(), 100u);
+  EXPECT_GT(T.memoryBytes(), 0u);
+}
+
+TEST(StateTable, SurvivesRehash) {
+  StateTable T(1);
+  std::vector<const State *> All;
+  for (std::uint32_t I = 0; I < 1000; ++I) {
+    VecPair P = makeVectors({I}, {I % 7});
+    All.push_back(T.intern(0, P.Costs.data(), P.Rules.data()));
+  }
+  // Every state still findable by content after many rehashes.
+  for (std::uint32_t I = 0; I < 1000; ++I) {
+    VecPair P = makeVectors({I}, {I % 7});
+    EXPECT_EQ(T.intern(0, P.Costs.data(), P.Rules.data()), All[I]);
+  }
+  EXPECT_EQ(T.size(), 1000u);
+}
+
+TEST(TransitionCache, MissThenHit) {
+  TransitionCache C;
+  std::uint32_t Key[] = {TransitionCache::packHeader(3, 2, 0), 7, 9};
+  EXPECT_EQ(C.lookup(Key, 3), InvalidState);
+  C.insert(Key, 3, 42);
+  EXPECT_EQ(C.lookup(Key, 3), 42u);
+  EXPECT_EQ(C.size(), 1u);
+}
+
+TEST(TransitionCache, KeysAreFullyCompared) {
+  TransitionCache C;
+  std::uint32_t K1[] = {TransitionCache::packHeader(3, 2, 0), 7, 9};
+  std::uint32_t K2[] = {TransitionCache::packHeader(3, 2, 0), 7, 10};
+  std::uint32_t K3[] = {TransitionCache::packHeader(4, 2, 0), 7, 9};
+  C.insert(K1, 3, 1);
+  C.insert(K2, 3, 2);
+  C.insert(K3, 3, 3);
+  EXPECT_EQ(C.lookup(K1, 3), 1u);
+  EXPECT_EQ(C.lookup(K2, 3), 2u);
+  EXPECT_EQ(C.lookup(K3, 3), 3u);
+}
+
+TEST(TransitionCache, DynOutcomesDistinguishKeys) {
+  TransitionCache C;
+  // Same op and children, different dynamic-cost outcome word.
+  std::uint32_t K1[] = {TransitionCache::packHeader(5, 2, 1), 1, 2, 0};
+  std::uint32_t K2[] = {TransitionCache::packHeader(5, 2, 1), 1, 2,
+                        0xFFFFFFFFu};
+  C.insert(K1, 4, 10);
+  C.insert(K2, 4, 11);
+  EXPECT_EQ(C.lookup(K1, 4), 10u);
+  EXPECT_EQ(C.lookup(K2, 4), 11u);
+}
+
+TEST(TransitionCache, SurvivesRehash) {
+  TransitionCache C;
+  for (std::uint32_t I = 0; I < 5000; ++I) {
+    std::uint32_t Key[] = {TransitionCache::packHeader(1, 2, 0), I, I * 3};
+    C.insert(Key, 3, I);
+  }
+  for (std::uint32_t I = 0; I < 5000; ++I) {
+    std::uint32_t Key[] = {TransitionCache::packHeader(1, 2, 0), I, I * 3};
+    ASSERT_EQ(C.lookup(Key, 3), I);
+  }
+  EXPECT_GT(C.memoryBytes(), 5000u * 3 * 4);
+}

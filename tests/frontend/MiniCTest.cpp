@@ -1,0 +1,149 @@
+//===- tests/frontend/MiniCTest.cpp -----------------------------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lowering.h"
+#include "frontend/Parser.h"
+
+#include "support/Casting.h"
+#include "targets/Target.h"
+
+#include <gtest/gtest.h>
+
+using namespace odburg;
+using namespace odburg::minic;
+
+TEST(MiniCParser, ParsesDeclarationsAndStatements) {
+  Program P = cantFail(parseProgram(R"(
+    int x; int a[4];
+    x = 1;
+    a[0] = x + 2;
+    return a[0];
+  )"));
+  EXPECT_EQ(P.Decls.size(), 2u);
+  EXPECT_EQ(P.Decls[1].Size, 4u);
+  EXPECT_EQ(P.Stmts.size(), 3u);
+}
+
+TEST(MiniCParser, AstKindsAndCasting) {
+  Program P = cantFail(parseProgram("int x;\nx = 1 + 2 * 3;"));
+  const auto *A = dyn_cast<AssignStmt>(P.Stmts[0].get());
+  ASSERT_NE(A, nullptr);
+  const auto *Sum = dyn_cast<BinaryExpr>(&A->value());
+  ASSERT_NE(Sum, nullptr);
+  EXPECT_EQ(Sum->op(), BinOpKind::Add);
+  // Precedence: multiplication binds tighter.
+  const auto *Prod = dyn_cast<BinaryExpr>(&Sum->rhs());
+  ASSERT_NE(Prod, nullptr);
+  EXPECT_EQ(Prod->op(), BinOpKind::Mul);
+  EXPECT_TRUE(isa<NumberExpr>(&Sum->lhs()));
+}
+
+TEST(MiniCParser, ControlFlowNesting) {
+  Program P = cantFail(parseProgram(R"(
+    int i;
+    i = 0;
+    while (i < 10) {
+      if (i == 5) { i = i + 2; } else { i = i + 1; }
+    }
+    return i;
+  )"));
+  const auto *W = dyn_cast<WhileStmt>(P.Stmts[1].get());
+  ASSERT_NE(W, nullptr);
+  const auto *Body = dyn_cast<BlockStmt>(&W->body());
+  ASSERT_NE(Body, nullptr);
+  EXPECT_TRUE(isa<IfStmt>(Body->stmts()[0].get()));
+}
+
+TEST(MiniCParser, ErrorsCarryLineNumbers) {
+  Expected<Program> P = parseProgram("int x;\nx = ;\n");
+  ASSERT_FALSE(static_cast<bool>(P));
+  EXPECT_NE(P.message().find("line 2"), std::string::npos);
+}
+
+TEST(MiniCParser, RejectsBadTokens) {
+  Expected<Program> P = parseProgram("int x;\nx = 1 @ 2;");
+  ASSERT_FALSE(static_cast<bool>(P));
+}
+
+namespace {
+
+class LoweringTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    T = cantFail(targets::makeTarget("x86"));
+    Ops = cantFail(targets::resolveCanonicalOps(T->G));
+  }
+
+  std::unique_ptr<targets::Target> T;
+  targets::CanonicalOps Ops;
+};
+
+} // namespace
+
+TEST_F(LoweringTest, ScalarAssignmentShape) {
+  ir::IRFunction F = cantFail(minic::compileMiniC("int x;\nx = 5;", T->G));
+  ASSERT_EQ(F.roots().size(), 1u);
+  EXPECT_EQ(ir::toSExpr(F.roots()[0], T->G), "(Store (AddrL 0) (Const 5))");
+}
+
+TEST_F(LoweringTest, ArrayIndexingUsesScaledAddress) {
+  ir::IRFunction F =
+      cantFail(minic::compileMiniC("int a[8]; int i;\ni = 0;\na[i] = 1;",
+                                   T->G));
+  ASSERT_EQ(F.roots().size(), 2u);
+  // a[i]: base AddrL 0, index = Load(i's slot at offset 64) scaled by 8.
+  EXPECT_EQ(ir::toSExpr(F.roots()[1], T->G),
+            "(Store (Add (AddrL 0) (Shl (Load (AddrL 64)) (Const 3))) "
+            "(Const 1))");
+}
+
+TEST_F(LoweringTest, WhileLoopEmitsLabelsAndBranches) {
+  ir::IRFunction F = cantFail(minic::compileMiniC(
+      "int i;\ni = 0;\nwhile (i < 3) { i = i + 1; }\nreturn i;", T->G));
+  // Shape: store, Label(head), CBr(!cond), store, Br(head), Label(end), Ret.
+  ASSERT_EQ(F.roots().size(), 7u);
+  EXPECT_EQ(F.roots()[1]->op(), Ops.Label);
+  EXPECT_EQ(F.roots()[2]->op(), Ops.CBr);
+  // `i < 3` negates to `i >= 3` for the branch-if-false.
+  EXPECT_EQ(F.roots()[2]->child(0)->op(), Ops.CmpGE);
+  EXPECT_EQ(F.roots()[4]->op(), Ops.Br);
+  EXPECT_EQ(F.roots()[6]->op(), Ops.Ret);
+}
+
+TEST_F(LoweringTest, NonComparisonConditionTestsAgainstZero) {
+  ir::IRFunction F = cantFail(minic::compileMiniC(
+      "int x;\nx = 3;\nif (x & 1) { x = 0; }\nreturn x;", T->G));
+  const ir::Node *CBrNode = F.roots()[1];
+  ASSERT_EQ(CBrNode->op(), Ops.CBr);
+  EXPECT_EQ(CBrNode->child(0)->op(), Ops.CmpEQ); // branch if (x&1) == 0
+}
+
+TEST_F(LoweringTest, UndeclaredVariableFails) {
+  Expected<ir::IRFunction> F = minic::compileMiniC("x = 1;", T->G);
+  ASSERT_FALSE(static_cast<bool>(F));
+  EXPECT_NE(F.message().find("undeclared"), std::string::npos);
+}
+
+TEST_F(LoweringTest, ScalarIndexMisuseFails) {
+  Expected<ir::IRFunction> F =
+      minic::compileMiniC("int x;\nx[0] = 1;", T->G);
+  ASSERT_FALSE(static_cast<bool>(F));
+  EXPECT_NE(F.message().find("scalar"), std::string::npos);
+}
+
+TEST_F(LoweringTest, ArrayWithoutIndexFails) {
+  Expected<ir::IRFunction> F =
+      minic::compileMiniC("int a[4];\na = 1;", T->G);
+  ASSERT_FALSE(static_cast<bool>(F));
+  EXPECT_NE(F.message().find("array"), std::string::npos);
+}
+
+TEST_F(LoweringTest, DuplicateDeclarationFails) {
+  Expected<ir::IRFunction> F =
+      minic::compileMiniC("int x; int x;\nx = 1;", T->G);
+  ASSERT_FALSE(static_cast<bool>(F));
+  EXPECT_NE(F.message().find("duplicate"), std::string::npos);
+}

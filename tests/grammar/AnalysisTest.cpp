@@ -1,0 +1,94 @@
+//===- tests/grammar/AnalysisTest.cpp ----------------------------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "grammar/Analysis.h"
+
+#include "grammar/GrammarParser.h"
+#include "targets/Target.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace odburg;
+
+TEST(Analysis, CleanGrammarHasNoWarnings) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  GrammarDiagnostics D = analyzeGrammar(G);
+  EXPECT_TRUE(D.Warnings.empty());
+  for (RuleId R = 0; R < G.numSourceRules(); ++R)
+    EXPECT_TRUE(D.ruleIsUseful(R));
+}
+
+TEST(Analysis, MinimalTreeCosts) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  GrammarDiagnostics D = analyzeGrammar(G);
+  // reg: cheapest tree is a bare Reg leaf (cost 0); addr chains to it.
+  EXPECT_EQ(D.MinTreeCost[G.findNonterminal("reg")], Cost(0));
+  EXPECT_EQ(D.MinTreeCost[G.findNonterminal("addr")], Cost(0));
+  // stmt: cheapest is Store(addr, reg) at cost 1.
+  EXPECT_EQ(D.MinTreeCost[G.findNonterminal("stmt")], Cost(1));
+}
+
+TEST(Analysis, DetectsUnreachableNonterminal) {
+  Grammar G = cantFail(parseGrammar(R"(
+    %start stmt
+    stmt: Store(reg, reg) (1);
+    reg:  Reg (0);
+    orphan: Load(reg) (1);
+  )"));
+  GrammarDiagnostics D = analyzeGrammar(G);
+  EXPECT_FALSE(D.NtReachable[G.findNonterminal("orphan")]);
+  ASSERT_FALSE(D.Warnings.empty());
+  bool Found = false;
+  for (const std::string &W : D.Warnings)
+    Found |= W.find("orphan") != std::string::npos &&
+             W.find("unreachable") != std::string::npos;
+  EXPECT_TRUE(Found);
+}
+
+TEST(Analysis, DetectsUnproductiveCycle) {
+  // 'loop' only derives through itself: no finite tree.
+  Grammar G = cantFail(parseGrammar(R"(
+    %start stmt
+    stmt: Store(reg, loop) (1);
+    stmt: Store(reg, reg) (1);
+    reg:  Reg (0);
+    loop: Wrap(loop) (1);
+  )"));
+  GrammarDiagnostics D = analyzeGrammar(G);
+  EXPECT_FALSE(D.NtProductive[G.findNonterminal("loop")]);
+  EXPECT_TRUE(D.NtProductive[G.findNonterminal("stmt")]);
+  // The rule using 'loop' can never fire.
+  bool RuleFlagged = false;
+  for (RuleId R = 0; R < G.numSourceRules(); ++R)
+    if (!D.ruleIsUseful(R))
+      RuleFlagged = true;
+  EXPECT_TRUE(RuleFlagged);
+}
+
+TEST(Analysis, AllTargetGrammarsAreClean) {
+  for (const std::string &Name : targets::targetNames()) {
+    auto T = cantFail(targets::makeTarget(Name));
+    GrammarDiagnostics D = analyzeGrammar(T->G);
+    for (const std::string &W : D.Warnings)
+      ADD_FAILURE() << Name << ": " << W;
+    GrammarDiagnostics DF = analyzeGrammar(T->Fixed);
+    for (const std::string &W : DF.Warnings)
+      ADD_FAILURE() << Name << " (stripped): " << W;
+  }
+}
+
+TEST(Analysis, MinCostsMatchOracleOnLeafGrammar) {
+  Grammar G = cantFail(parseGrammar(R"(
+    %start a
+    a: b (2);
+    b: Leaf (3);
+    a: Pair(a, b) (1);
+  )"));
+  GrammarDiagnostics D = analyzeGrammar(G);
+  EXPECT_EQ(D.MinTreeCost[G.findNonterminal("b")], Cost(3));
+  EXPECT_EQ(D.MinTreeCost[G.findNonterminal("a")], Cost(5));
+}

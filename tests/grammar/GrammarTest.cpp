@@ -1,0 +1,158 @@
+//===- tests/grammar/GrammarTest.cpp ----------------------------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "grammar/Grammar.h"
+#include "grammar/GrammarParser.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace odburg;
+
+namespace {
+
+Grammar buildTinyGrammar() {
+  Grammar G;
+  OperatorId RegOp = G.addOperator("Reg", 0);
+  OperatorId AddOp = G.addOperator("Add", 2);
+  NonterminalId Reg = G.addNonterminal("reg");
+  G.addRule(Reg, G.makeLeaf(Reg), Cost(0)); // Placeholder, replaced below.
+  (void)RegOp;
+  (void)AddOp;
+  return G;
+}
+
+} // namespace
+
+TEST(Grammar, OperatorRegistrationIsIdempotent) {
+  Grammar G;
+  OperatorId A = G.addOperator("Add", 2);
+  OperatorId B = G.addOperator("Add", 2);
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(G.numOperators(), 1u);
+  EXPECT_EQ(G.operatorArity(A), 2u);
+  EXPECT_EQ(G.operatorName(A), "Add");
+}
+
+TEST(Grammar, NonterminalRegistrationIsIdempotent) {
+  Grammar G;
+  NonterminalId A = G.addNonterminal("reg");
+  NonterminalId B = G.addNonterminal("reg");
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(G.numNonterminals(), 1u);
+}
+
+TEST(Grammar, FinalizeRejectsEmptyGrammar) {
+  Grammar G;
+  Error E = G.finalize();
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_NE(E.message().find("no rules"), std::string::npos);
+}
+
+TEST(Grammar, FinalizeRejectsSelfChain) {
+  Grammar G = buildTinyGrammar();
+  Error E = G.finalize();
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_NE(E.message().find("self-chain"), std::string::npos);
+}
+
+TEST(Grammar, FinalizeRejectsUndefinedNonterminal) {
+  Grammar G;
+  OperatorId Load = G.addOperator("Load", 1);
+  NonterminalId Reg = G.addNonterminal("reg");
+  NonterminalId Addr = G.addNonterminal("addr"); // Never given a rule.
+  SmallVector<PatternNode *, 1> C{G.makeLeaf(Addr)};
+  G.addRule(Reg, G.makeNode(Load, C), Cost(1));
+  Error E = G.finalize();
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_NE(E.message().find("addr"), std::string::npos);
+}
+
+TEST(Grammar, NormalFormSplitsNestedPatterns) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  GrammarStats S = G.stats();
+  EXPECT_EQ(S.SourceRules, 6u);
+  // Rule 6 splits into three normal rules (6a, 6b, 6c): 6 + 2 extra.
+  EXPECT_EQ(S.NormRules, 8u);
+  EXPECT_EQ(S.HelperNonterminals, 2u);
+  EXPECT_EQ(S.ChainRules, 1u); // addr: reg
+  EXPECT_EQ(S.BaseRules, 7u);
+  EXPECT_EQ(S.DynCostRules, 0u);
+}
+
+TEST(Grammar, SplitRuleCostPlacement) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  // Exactly one normal rule of source rule 6 is final and carries cost 1;
+  // the helper fragments cost 0.
+  unsigned FinalCount = 0, HelperCount = 0;
+  for (RuleId R = 0; R < G.numNormRules(); ++R) {
+    const NormRule &NR = G.normRule(R);
+    if (G.sourceRule(NR.Source).ExtNumber != 6)
+      continue;
+    if (NR.IsFinal) {
+      ++FinalCount;
+      EXPECT_EQ(NR.FixedCost, Cost(1));
+    } else {
+      ++HelperCount;
+      EXPECT_EQ(NR.FixedCost, Cost(0));
+    }
+  }
+  EXPECT_EQ(FinalCount, 1u);
+  EXPECT_EQ(HelperCount, 2u);
+}
+
+TEST(Grammar, DynHookLandsOnFinalFragment) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleText()));
+  EXPECT_TRUE(G.hasDynCosts());
+  for (RuleId R = 0; R < G.numNormRules(); ++R) {
+    const NormRule &NR = G.normRule(R);
+    if (NR.DynHook == InvalidDynCost)
+      continue;
+    EXPECT_TRUE(NR.IsFinal);
+    EXPECT_EQ(G.sourceRule(NR.Source).ExtNumber, 6u);
+    EXPECT_EQ(G.dynHookName(NR.DynHook), "memop");
+  }
+}
+
+TEST(Grammar, BaseRulesIndexedByOperator) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  OperatorId Store = G.findOperator("Store");
+  ASSERT_NE(Store, InvalidOperator);
+  // Rules 5 and 6c both match Store.
+  EXPECT_EQ(G.baseRulesFor(Store).size(), 2u);
+  OperatorId Reg = G.findOperator("Reg");
+  EXPECT_EQ(G.baseRulesFor(Reg).size(), 1u);
+}
+
+TEST(Grammar, DynRulesIndexedByOperator) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleText()));
+  OperatorId Store = G.findOperator("Store");
+  EXPECT_EQ(G.dynRulesFor(Store).size(), 1u);
+  OperatorId Plus = G.findOperator("Plus");
+  EXPECT_EQ(G.dynRulesFor(Plus).size(), 0u);
+}
+
+TEST(Grammar, StartNonterminalDefaultsToFirstLhs) {
+  Grammar G;
+  G.addOperator("Reg", 0);
+  NonterminalId Reg = G.addNonterminal("reg");
+  SmallVector<PatternNode *, 1> None;
+  G.addRule(Reg, G.makeNode(G.findOperator("Reg"), None), Cost(0));
+  cantFail(G.finalize());
+  EXPECT_EQ(G.startNt(), Reg);
+}
+
+TEST(Grammar, NormRuleToStringIsReadable) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  bool FoundChain = false;
+  for (RuleId R = 0; R < G.numNormRules(); ++R) {
+    std::string S = G.normRuleToString(R);
+    if (S.find("addr: reg") != std::string::npos)
+      FoundChain = true;
+  }
+  EXPECT_TRUE(FoundChain);
+}

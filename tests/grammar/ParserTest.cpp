@@ -1,0 +1,137 @@
+//===- tests/grammar/ParserTest.cpp -----------------------------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "grammar/GrammarParser.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace odburg;
+
+TEST(Parser, ParsesRunningExample) {
+  Expected<Grammar> G = parseGrammar(test::runningExampleText());
+  ASSERT_TRUE(static_cast<bool>(G)) << G.message();
+  EXPECT_EQ(G->numSourceRules(), 6u);
+  EXPECT_EQ(G->numOperators(), 4u); // Reg, Load, Plus, Store
+  EXPECT_EQ(G->findNonterminal("stmt"), G->startNt());
+}
+
+TEST(Parser, CommentsAndWhitespaceIgnored) {
+  Expected<Grammar> G = parseGrammar(R"(
+    # leading comment
+    reg: Reg (0); # trailing comment
+  )");
+  ASSERT_TRUE(static_cast<bool>(G)) << G.message();
+  EXPECT_EQ(G->numSourceRules(), 1u);
+}
+
+TEST(Parser, CostDefaultsToZero) {
+  Grammar G = cantFail(parseGrammar("reg: Reg;"));
+  EXPECT_EQ(G.sourceRule(0).FixedCost, Cost(0));
+}
+
+TEST(Parser, ExplicitRuleNumbersPreserved) {
+  Grammar G = cantFail(parseGrammar("reg: Reg = 17 (2);"));
+  EXPECT_EQ(G.sourceRule(0).ExtNumber, 17u);
+  EXPECT_EQ(G.sourceRule(0).FixedCost, Cost(2));
+}
+
+TEST(Parser, AutoNumbersContinueAfterExplicit) {
+  Grammar G = cantFail(parseGrammar(R"(
+    reg: Reg = 5 (0);
+    reg: Load(reg) (1);
+  )"));
+  EXPECT_EQ(G.sourceRule(1).ExtNumber, 6u);
+}
+
+TEST(Parser, EmitTemplateCaptured) {
+  Grammar G = cantFail(parseGrammar(R"(reg: Reg (0) "movq %c, %0";)"));
+  EXPECT_EQ(G.sourceRule(0).EmitTemplate, "movq %c, %0");
+}
+
+TEST(Parser, DynHookCaptured) {
+  Grammar G = cantFail(parseGrammar(R"(
+    con: Const (0);
+    imm: Const (0) ?imm16;
+  )"));
+  EXPECT_EQ(G.numDynHooks(), 1u);
+  EXPECT_EQ(G.dynHookName(0), "imm16");
+  EXPECT_EQ(G.sourceRule(1).DynHook, 0);
+}
+
+TEST(Parser, RejectsDynHookOnChainRule) {
+  // Hooks live on base rules; put range tests on the constant leaf rule
+  // instead of a chain rule (the automaton keys on leaf outcomes).
+  Expected<Grammar> G = parseGrammar(R"(
+    con: Const (0);
+    reg: con (1) ?imm16;
+  )");
+  ASSERT_FALSE(static_cast<bool>(G));
+  EXPECT_NE(G.message().find("chain rules"), std::string::npos);
+}
+
+TEST(Parser, RejectsArityMismatch) {
+  Expected<Grammar> G = parseGrammar(R"(
+    reg: Add(reg, reg) (1);
+    reg: Add(reg) (1);
+    reg: Reg (0);
+  )");
+  ASSERT_FALSE(static_cast<bool>(G));
+  EXPECT_NE(G.message().find("arity"), std::string::npos);
+}
+
+TEST(Parser, RejectsMissingSemicolon) {
+  Expected<Grammar> G = parseGrammar("reg: Reg (0)");
+  ASSERT_FALSE(static_cast<bool>(G));
+  EXPECT_NE(G.message().find("';'"), std::string::npos);
+}
+
+TEST(Parser, RejectsUnterminatedString) {
+  Expected<Grammar> G = parseGrammar("reg: Reg (0) \"oops;");
+  ASSERT_FALSE(static_cast<bool>(G));
+  EXPECT_NE(G.message().find("unterminated"), std::string::npos);
+}
+
+TEST(Parser, RejectsOperatorAsLhs) {
+  Expected<Grammar> G = parseGrammar("Reg: reg (0);");
+  ASSERT_FALSE(static_cast<bool>(G));
+}
+
+TEST(Parser, RejectsReservedDollarNames) {
+  Expected<Grammar> G = parseGrammar("$h1: Reg (0);");
+  ASSERT_FALSE(static_cast<bool>(G));
+  EXPECT_NE(G.message().find("reserved"), std::string::npos);
+}
+
+TEST(Parser, RejectsUnknownDirective) {
+  Expected<Grammar> G = parseGrammar("%terminator stmt\nreg: Reg (0);");
+  ASSERT_FALSE(static_cast<bool>(G));
+  EXPECT_NE(G.message().find("unknown directive"), std::string::npos);
+}
+
+TEST(Parser, RejectsStartWithoutRules) {
+  Expected<Grammar> G = parseGrammar("%start other\nreg: Reg (0);");
+  ASSERT_FALSE(static_cast<bool>(G));
+  EXPECT_NE(G.message().find("other"), std::string::npos);
+}
+
+TEST(Parser, ErrorMessagesIncludeLineNumbers) {
+  Expected<Grammar> G = parseGrammar("reg: Reg (0);\nreg: ;\n");
+  ASSERT_FALSE(static_cast<bool>(G));
+  EXPECT_NE(G.message().find("line 2"), std::string::npos);
+}
+
+TEST(Parser, NestedPatternsParse) {
+  Grammar G = cantFail(parseGrammar(R"(
+    %start stmt
+    reg: Reg (0);
+    stmt: Store(reg, Add(Load(reg), Add(reg, reg))) (1);
+  )"));
+  EXPECT_EQ(G.numSourceRules(), 2u);
+  // Deeply nested rule splits into 3 extra helper rules.
+  EXPECT_EQ(G.numNormRules(), 5u);
+}

@@ -1,0 +1,79 @@
+//===- tests/grammar/TransformTest.cpp --------------------------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "grammar/Transform.h"
+
+#include "grammar/GrammarParser.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace odburg;
+
+TEST(Transform, StripsDynamicRules) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleText()));
+  ASSERT_TRUE(G.hasDynCosts());
+  Grammar Stripped = cantFail(withoutDynCostRules(G));
+  EXPECT_FALSE(Stripped.hasDynCosts());
+  EXPECT_EQ(Stripped.numSourceRules(), G.numSourceRules() - 1);
+}
+
+TEST(Transform, PreservesOperatorIds) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleText()));
+  Grammar Stripped = cantFail(withoutDynCostRules(G));
+  ASSERT_EQ(Stripped.numOperators(), G.numOperators());
+  for (OperatorId Op = 0; Op < G.numOperators(); ++Op) {
+    EXPECT_EQ(Stripped.operatorName(Op), G.operatorName(Op));
+    EXPECT_EQ(Stripped.operatorArity(Op), G.operatorArity(Op));
+  }
+}
+
+TEST(Transform, PreservesExtNumbersAndStart) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleText()));
+  Grammar Stripped = cantFail(withoutDynCostRules(G));
+  EXPECT_EQ(Stripped.nonterminalName(Stripped.startNt()), "stmt");
+  // Rule numbers 1-5 survive.
+  for (RuleId R = 0; R < Stripped.numSourceRules(); ++R)
+    EXPECT_LE(Stripped.sourceRule(R).ExtNumber, 5u);
+}
+
+TEST(Transform, FailsWhenNonterminalLosesAllRules) {
+  Grammar G = cantFail(parseGrammar(R"(
+    %start stmt
+    con:  Const (0) ?imm;
+    reg:  Reg (0);
+    stmt: Store(reg, con) (1);
+  )"));
+  Expected<Grammar> Stripped = withoutDynCostRules(G);
+  ASSERT_FALSE(static_cast<bool>(Stripped));
+}
+
+TEST(Transform, WithoutHookStripsOnlyThatHook) {
+  Grammar G = cantFail(parseGrammar(R"(
+    %start stmt
+    con:  Const (0);
+    imm:  Const (0) ?imm32;
+    reg:  Reg (0);
+    reg:  con (1);
+    stmt: Store(reg, imm) (1);
+    stmt: Store(reg, reg) (2);
+    stmt: Store(reg, Add(Load(reg), reg)) (1) ?memop;
+  )"));
+  Grammar NoMemop = cantFail(withoutDynHook(G, "memop"));
+  // The imm32 rule survives; only the memop rule is gone.
+  EXPECT_EQ(NoMemop.numSourceRules(), G.numSourceRules() - 1);
+  EXPECT_TRUE(NoMemop.hasDynCosts());
+  Grammar NoImm = cantFail(withoutDynHook(G, "imm32"));
+  // Dropping imm32 cascades into the Store(reg, imm) rule.
+  EXPECT_EQ(NoImm.numSourceRules(), G.numSourceRules() - 2);
+}
+
+TEST(Transform, NoopOnFixedGrammar) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  Grammar Stripped = cantFail(withoutDynCostRules(G));
+  EXPECT_EQ(Stripped.numSourceRules(), G.numSourceRules());
+  EXPECT_EQ(Stripped.numNormRules(), G.numNormRules());
+}

@@ -1,0 +1,109 @@
+//===- tests/ir/NodeTest.cpp ------------------------------------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Node.h"
+
+#include "grammar/GrammarParser.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace odburg;
+using namespace odburg::ir;
+
+namespace {
+
+class NodeTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    G = std::make_unique<Grammar>(
+        cantFail(parseGrammar(test::runningExampleFixedText())));
+  }
+
+  std::unique_ptr<Grammar> G;
+  IRFunction F;
+};
+
+} // namespace
+
+TEST_F(NodeTest, NodesGetDenseTopologicalIds) {
+  Node *St = test::buildStoreTree(F, *G, 1, 1, 2);
+  EXPECT_EQ(F.size(), 6u);
+  EXPECT_EQ(St->id(), 5u); // Root created last.
+  for (const Node *N : F.nodes())
+    for (unsigned I = 0; I < N->numChildren(); ++I)
+      EXPECT_LT(N->child(I)->id(), N->id());
+}
+
+TEST_F(NodeTest, LeafPayloads) {
+  Node *N = F.makeLeaf(G->findOperator("Reg"), 42);
+  EXPECT_EQ(N->value(), 42);
+  EXPECT_EQ(N->numChildren(), 0u);
+  EXPECT_EQ(N->symbol(), nullptr);
+}
+
+TEST_F(NodeTest, SymbolPayloadInterned) {
+  const char *Sym = F.internString("counter");
+  Node *N = F.makeLeaf(G->findOperator("Reg"), 0, Sym);
+  EXPECT_STREQ(N->symbol(), "counter");
+}
+
+TEST_F(NodeTest, RootsTrackProgramOrder) {
+  Node *A = test::buildStoreTree(F, *G, 1, 1, 2);
+  Node *B = test::buildStoreTree(F, *G, 3, 3, 4);
+  ASSERT_EQ(F.roots().size(), 2u);
+  EXPECT_EQ(F.roots()[0], A);
+  EXPECT_EQ(F.roots()[1], B);
+}
+
+TEST_F(NodeTest, StructuralEqualityIgnoresIdentity) {
+  Node *A = test::buildStoreTree(F, *G, 1, 1, 2);
+  Node *B = test::buildStoreTree(F, *G, 1, 1, 2);
+  Node *C = test::buildStoreTree(F, *G, 1, 1, 3);
+  EXPECT_NE(A, B);
+  EXPECT_TRUE(structurallyEqual(A, B));
+  EXPECT_FALSE(structurallyEqual(A, C));
+}
+
+TEST_F(NodeTest, StructuralEqualityComparesSymbols) {
+  const char *S1 = F.internString("x");
+  const char *S2 = F.internString("y");
+  Node *A = F.makeLeaf(G->findOperator("Reg"), 0, S1);
+  Node *B = F.makeLeaf(G->findOperator("Reg"), 0, S1);
+  Node *C = F.makeLeaf(G->findOperator("Reg"), 0, S2);
+  EXPECT_TRUE(structurallyEqual(A, B));
+  EXPECT_FALSE(structurallyEqual(A, C));
+}
+
+TEST_F(NodeTest, StructuralHashConsistentWithEquality) {
+  Node *A = test::buildStoreTree(F, *G, 1, 1, 2);
+  Node *B = test::buildStoreTree(F, *G, 1, 1, 2);
+  Node *C = test::buildStoreTree(F, *G, 9, 1, 2);
+  EXPECT_EQ(structuralHash(A), structuralHash(B));
+  EXPECT_NE(structuralHash(A), structuralHash(C));
+}
+
+TEST_F(NodeTest, SExprDump) {
+  Node *St = test::buildStoreTree(F, *G, 1, 2, 3);
+  EXPECT_EQ(toSExpr(St, *G),
+            "(Store (Reg 1) (Plus (Load (Reg 2)) (Reg 3)))");
+}
+
+TEST_F(NodeTest, DagSharingSingleNodeInstance) {
+  Node *Shared = F.makeLeaf(G->findOperator("Reg"), 7);
+  SmallVector<Node *, 2> C1{Shared};
+  Node *Ld = F.makeNode(G->findOperator("Load"), C1);
+  SmallVector<Node *, 2> C2{Ld, Shared};
+  Node *Plus = F.makeNode(G->findOperator("Plus"), C2);
+  EXPECT_EQ(Plus->child(1), Ld->child(0));
+  EXPECT_EQ(F.size(), 3u); // Shared leaf counted once.
+}
+
+TEST_F(NodeTest, LabelScratchRoundTrips) {
+  Node *N = F.makeLeaf(G->findOperator("Reg"), 0);
+  N->setLabel(12345);
+  EXPECT_EQ(N->label(), 12345u);
+}

@@ -1,0 +1,104 @@
+//===- tests/ir/SExprParserTest.cpp ------------------------------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/SExprParser.h"
+
+#include "grammar/GrammarParser.h"
+#include "select/DPLabeler.h"
+#include "select/Reducer.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace odburg;
+using namespace odburg::ir;
+
+namespace {
+
+class SExprTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    G = std::make_unique<Grammar>(
+        cantFail(parseGrammar(test::runningExampleFixedText())));
+  }
+
+  std::unique_ptr<Grammar> G;
+  IRFunction F;
+};
+
+} // namespace
+
+TEST_F(SExprTest, RoundTripsThePaperTree) {
+  const char *Text = "(Store (Reg 1) (Plus (Load (Reg 1)) (Reg 2)))";
+  Node *N = cantFail(parseSExpr(Text, *G, F));
+  EXPECT_EQ(toSExpr(N, *G), Text);
+}
+
+TEST_F(SExprTest, RoundTripsRandomTrees) {
+  test::RandomTreeBuilder B(*G, 77);
+  for (int I = 0; I < 10; ++I) {
+    Node *Original = B.build(F, 40);
+    std::string Text = toSExpr(Original, *G);
+    Node *Reparsed = cantFail(parseSExpr(Text, *G, F));
+    EXPECT_TRUE(structurallyEqual(Original, Reparsed)) << Text;
+  }
+}
+
+TEST_F(SExprTest, ParsesSymbolsAndNegativeValues) {
+  Grammar GS = cantFail(parseGrammar(R"(
+    %start reg
+    reg: AddrG (0);
+    reg: Const (0);
+  )"));
+  IRFunction FS;
+  Node *Sym = cantFail(parseSExpr("(AddrG counter)", GS, FS));
+  EXPECT_STREQ(Sym->symbol(), "counter");
+  Node *Neg = cantFail(parseSExpr("(Const -42)", GS, FS));
+  EXPECT_EQ(Neg->value(), -42);
+}
+
+TEST_F(SExprTest, ProgramsAddRoots) {
+  cantFail(parseSExprProgram("; two statements\n"
+                             "(Store (Reg 1) (Reg 2))\n"
+                             "(Store (Reg 3) (Load (Reg 1)))\n",
+                             *G, F));
+  ASSERT_EQ(F.roots().size(), 2u);
+  // The parsed program is immediately selectable.
+  DPLabeling L = DPLabeler(*G).label(F);
+  Selection S = cantFail(reduce(*G, F, L));
+  EXPECT_GT(S.Matches.size(), 0u);
+}
+
+TEST_F(SExprTest, RejectsUnknownOperator) {
+  Expected<Node *> N = parseSExpr("(Bogus (Reg 1))", *G, F);
+  ASSERT_FALSE(static_cast<bool>(N));
+  EXPECT_NE(N.message().find("Bogus"), std::string::npos);
+}
+
+TEST_F(SExprTest, RejectsArityMismatch) {
+  Expected<Node *> N = parseSExpr("(Plus (Reg 1))", *G, F);
+  ASSERT_FALSE(static_cast<bool>(N));
+}
+
+TEST_F(SExprTest, InteriorPayloadsRoundTrip) {
+  Grammar GB = cantFail(parseGrammar(R"(
+    %start stmt
+    reg:  Reg (0);
+    cnd:  CmpEQ(reg, reg) (1);
+    stmt: CBr(cnd) (1);
+  )"));
+  IRFunction FB;
+  const char *Text = "(CBr 7 (CmpEQ (Reg 1) (Reg 2)))";
+  Node *N = cantFail(parseSExpr(Text, GB, FB));
+  EXPECT_EQ(N->value(), 7);
+  EXPECT_EQ(toSExpr(N, GB), Text);
+}
+
+TEST_F(SExprTest, ErrorsCarryLineNumbers) {
+  Expected<Node *> N = parseSExpr("(Store (Reg 1)\n  (Oops 2))", *G, F);
+  ASSERT_FALSE(static_cast<bool>(N));
+  EXPECT_NE(N.message().find("line 2"), std::string::npos);
+}

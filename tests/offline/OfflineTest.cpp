@@ -1,0 +1,163 @@
+//===- tests/offline/OfflineTest.cpp ----------------------------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "offline/OfflineTables.h"
+
+#include "core/OnDemandAutomaton.h"
+#include "grammar/GrammarParser.h"
+#include "grammar/Transform.h"
+#include "select/DPLabeler.h"
+#include "select/Reducer.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace odburg;
+
+TEST(Offline, RejectsDynamicCosts) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleText()));
+  Expected<CompiledTables> T = OfflineTableGen(G).generate();
+  ASSERT_FALSE(static_cast<bool>(T));
+  EXPECT_NE(T.message().find("dynamic costs"), std::string::npos);
+}
+
+TEST(Offline, GeneratesRunningExample) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  CompiledTables T = cantFail(OfflineTableGen(G).generate());
+  EXPECT_GT(T.stats().NumStates, 0u);
+  EXPECT_GT(T.stats().NumTransitions, 0u);
+  EXPECT_GT(T.stats().TableBytes, 0u);
+}
+
+TEST(Offline, GenerationIsDeterministic) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  CompiledTables A = cantFail(OfflineTableGen(G).generate());
+  CompiledTables B = cantFail(OfflineTableGen(G).generate());
+  EXPECT_EQ(A.stats().NumStates, B.stats().NumStates);
+  EXPECT_EQ(A.stats().NumTransitions, B.stats().NumTransitions);
+  EXPECT_EQ(A.stats().TableBytes, B.stats().TableBytes);
+}
+
+TEST(Offline, LabelerMatchesDPOnPaperExample) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  CompiledTables T = cantFail(OfflineTableGen(G).generate());
+  ir::IRFunction F;
+  test::buildStoreTree(F, G, 1, 1, 2);
+  DPLabeling Ref = DPLabeler(G).label(F);
+  TableLabeler L(T);
+  L.labelFunction(F);
+  for (const ir::Node *N : F.nodes())
+    for (NonterminalId Nt = 0; Nt < G.numNonterminals(); ++Nt)
+      EXPECT_EQ(L.ruleFor(*N, Nt), Ref.ruleFor(*N, Nt))
+          << "node " << N->id() << " nt " << G.nonterminalName(Nt);
+}
+
+class OfflineProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OfflineProperty, AgreesWithOnDemandExactly) {
+  // Offline and on-demand both produce delta-normalized states, so their
+  // costs and rules must agree *exactly* on every node.
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  CompiledTables T = cantFail(OfflineTableGen(G).generate());
+  TableLabeler Off(T);
+  OnDemandAutomaton A(G);
+
+  ir::IRFunction F;
+  test::RandomTreeBuilder B(G, GetParam());
+  for (int I = 0; I < 6; ++I)
+    F.addRoot(B.build(F, 50));
+  A.labelFunction(F);
+  std::vector<StateId> OnDemandStates;
+  for (const ir::Node *N : F.nodes())
+    OnDemandStates.push_back(N->label());
+  Off.labelFunction(F);
+
+  for (const ir::Node *N : F.nodes()) {
+    const State *SOff = T.stateById(N->label());
+    const State *SOn = A.stateTable().byId(OnDemandStates[N->id()]);
+    for (NonterminalId Nt = 0; Nt < G.numNonterminals(); ++Nt) {
+      ASSERT_EQ(SOff->costOf(Nt), SOn->costOf(Nt))
+          << "node " << N->id() << " nt " << G.nonterminalName(Nt);
+      ASSERT_EQ(SOff->ruleOf(Nt), SOn->ruleOf(Nt));
+    }
+  }
+}
+
+TEST_P(OfflineProperty, OnDemandStatesAreSubsetOfOffline) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  CompiledTables T = cantFail(OfflineTableGen(G).generate());
+  OnDemandAutomaton A(G);
+  ir::IRFunction F;
+  test::RandomTreeBuilder B(G, GetParam() * 7919);
+  for (int I = 0; I < 6; ++I)
+    F.addRoot(B.build(F, 40));
+  A.labelFunction(F);
+
+  // Collect offline state contents.
+  std::set<std::string> OfflineContents;
+  for (const State *S : T.stateTable().states()) {
+    std::string Sig = std::to_string(S->Op);
+    for (NonterminalId Nt = 0; Nt < G.numNonterminals(); ++Nt) {
+      Sig += ':' + std::to_string(S->costOf(Nt).raw());
+      Sig += '/' + std::to_string(S->ruleOf(Nt));
+    }
+    OfflineContents.insert(Sig);
+  }
+  EXPECT_LE(A.numStates(), T.stats().NumStates);
+  for (const State *S : A.stateTable().states()) {
+    std::string Sig = std::to_string(S->Op);
+    for (NonterminalId Nt = 0; Nt < G.numNonterminals(); ++Nt) {
+      Sig += ':' + std::to_string(S->costOf(Nt).raw());
+      Sig += '/' + std::to_string(S->ruleOf(Nt));
+    }
+    EXPECT_TRUE(OfflineContents.count(Sig))
+        << "on-demand state not in exhaustive automaton";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OfflineProperty,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+TEST(Offline, StrippedGrammarRoundTrip) {
+  // The standard workflow for grammars with dynamic costs: strip, then
+  // generate offline tables for the fixed-cost variant.
+  Grammar G = cantFail(parseGrammar(test::runningExampleText()));
+  Grammar Fixed = cantFail(withoutDynCostRules(G));
+  CompiledTables T = cantFail(OfflineTableGen(Fixed).generate());
+  ir::IRFunction F;
+  test::buildStoreTree(F, Fixed, 1, 1, 2);
+  TableLabeler L(T);
+  L.labelFunction(F);
+  // Without rule 6, the best stmt cover costs 3 (rules 5+4+3).
+  Selection S = cantFail(reduce(Fixed, F, L));
+  EXPECT_EQ(S.TotalCost, Cost(3));
+}
+
+TEST(Offline, SelectionsMatchDP) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  CompiledTables T = cantFail(OfflineTableGen(G).generate());
+  ir::IRFunction F;
+  test::buildStoreTree(F, G, 1, 1, 2);
+  test::buildStoreTree(F, G, 2, 9, 4);
+  DPLabeling Ref = DPLabeler(G).label(F);
+  Selection SRef = cantFail(reduce(G, F, Ref));
+  TableLabeler L(T);
+  L.labelFunction(F);
+  Selection SOff = cantFail(reduce(G, F, L));
+  ASSERT_EQ(SRef.Matches.size(), SOff.Matches.size());
+  for (std::size_t I = 0; I < SRef.Matches.size(); ++I)
+    EXPECT_EQ(SRef.Matches[I].Source, SOff.Matches[I].Source);
+  EXPECT_EQ(SRef.TotalCost, SOff.TotalCost);
+}
+
+TEST(Offline, GenerationTimeRecorded) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  CompiledTables T = cantFail(OfflineTableGen(G).generate());
+  EXPECT_GE(T.stats().GenerationMs, 0.0);
+  EXPECT_GT(T.stats().StatesComputed, 0u);
+}

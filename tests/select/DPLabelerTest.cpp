@@ -1,0 +1,146 @@
+//===- tests/select/DPLabelerTest.cpp ---------------------------------------===//
+//
+// Part of the odburg project.
+//
+// Verifies the DP labeler against the hand-computed labeling of the
+// running example (Fig. 3 of the papers in this line of work).
+//
+//===----------------------------------------------------------------------===//
+
+#include "select/DPLabeler.h"
+
+#include "grammar/GrammarParser.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace odburg;
+
+namespace {
+
+class DPLabelerTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    G = std::make_unique<Grammar>(
+        cantFail(parseGrammar(test::runningExampleFixedText())));
+    Reg = G->findNonterminal("reg");
+    Addr = G->findNonterminal("addr");
+    Stmt = G->findNonterminal("stmt");
+  }
+
+  unsigned extOf(const Labeling &L, const ir::Node &N, NonterminalId Nt) {
+    RuleId R = L.ruleFor(N, Nt);
+    if (R == InvalidRule)
+      return 0;
+    return G->sourceRule(G->normRule(R).Source).ExtNumber;
+  }
+
+  std::unique_ptr<Grammar> G;
+  NonterminalId Reg, Addr, Stmt;
+};
+
+} // namespace
+
+TEST_F(DPLabelerTest, PaperFigure3Labeling) {
+  ir::IRFunction F;
+  ir::Node *St = test::buildStoreTree(F, *G, 1, 1, 2);
+  ir::Node *Plus = St->child(1);
+  ir::Node *Load = Plus->child(0);
+  ir::Node *DstReg = St->child(0);
+
+  DPLabeler L(*G);
+  DPLabeling Lab = L.label(F);
+
+  // Reg leaf: reg cost 0 (rule 2), addr cost 0 (rule 1).
+  EXPECT_EQ(Lab.costFor(*DstReg, Reg), Cost(0));
+  EXPECT_EQ(extOf(Lab, *DstReg, Reg), 2u);
+  EXPECT_EQ(Lab.costFor(*DstReg, Addr), Cost(0));
+  EXPECT_EQ(extOf(Lab, *DstReg, Addr), 1u);
+
+  // Load: reg cost 1 (rule 3), addr cost 1 (rule 1).
+  EXPECT_EQ(Lab.costFor(*Load, Reg), Cost(1));
+  EXPECT_EQ(extOf(Lab, *Load, Reg), 3u);
+  EXPECT_EQ(Lab.costFor(*Load, Addr), Cost(1));
+  EXPECT_EQ(extOf(Lab, *Load, Addr), 1u);
+
+  // Plus: reg cost 2 (rule 4), addr cost 2 (rule 1).
+  EXPECT_EQ(Lab.costFor(*Plus, Reg), Cost(2));
+  EXPECT_EQ(extOf(Lab, *Plus, Reg), 4u);
+  EXPECT_EQ(Lab.costFor(*Plus, Addr), Cost(2));
+
+  // Store: stmt cost 1 via the read-modify-write rule 6.
+  EXPECT_EQ(Lab.costFor(*St, Stmt), Cost(1));
+  EXPECT_EQ(extOf(Lab, *St, Stmt), 6u);
+}
+
+TEST_F(DPLabelerTest, NonDerivableCombinationsAreInfinite) {
+  ir::IRFunction F;
+  ir::Node *St = test::buildStoreTree(F, *G, 1, 1, 2);
+  DPLabeling Lab = DPLabeler(*G).label(F);
+  // A Store produces no value: reg is not derivable at the root.
+  EXPECT_TRUE(Lab.costFor(*St, Reg).isInfinite());
+  EXPECT_EQ(Lab.ruleFor(*St, Reg), InvalidRule);
+  // A Reg leaf is not a statement.
+  EXPECT_TRUE(Lab.costFor(*St->child(0), Stmt).isInfinite());
+}
+
+TEST_F(DPLabelerTest, DynamicCostGatesRmwRule) {
+  Grammar GD = cantFail(parseGrammar(test::runningExampleText()));
+  auto Hooks = test::runningExampleHooks();
+  DynCostTable Dyn = cantFail(DynCostTable::build(GD, Hooks));
+  NonterminalId StmtD = GD.findNonterminal("stmt");
+
+  // Same address: rule 6 applies, cost 1.
+  {
+    ir::IRFunction F;
+    ir::Node *St = test::buildStoreTree(F, GD, 1, 1, 2);
+    DPLabeling Lab = DPLabeler(GD, &Dyn).label(F);
+    EXPECT_EQ(Lab.costFor(*St, StmtD), Cost(1));
+    EXPECT_EQ(GD.sourceRule(GD.normRule(Lab.ruleFor(*St, StmtD)).Source)
+                  .ExtNumber,
+              6u);
+  }
+  // Different address: rule 6 inapplicable, falls back to 5+4+3 (cost 3).
+  {
+    ir::IRFunction F;
+    ir::Node *St = test::buildStoreTree(F, GD, 1, 7, 2);
+    DPLabeling Lab = DPLabeler(GD, &Dyn).label(F);
+    EXPECT_EQ(Lab.costFor(*St, StmtD), Cost(3));
+    EXPECT_EQ(GD.sourceRule(GD.normRule(Lab.ruleFor(*St, StmtD)).Source)
+                  .ExtNumber,
+              5u);
+  }
+}
+
+TEST_F(DPLabelerTest, StatsCountWork) {
+  ir::IRFunction F;
+  test::buildStoreTree(F, *G, 1, 1, 2);
+  SelectionStats S;
+  DPLabeler(*G).label(F, &S);
+  EXPECT_EQ(S.NodesLabeled, 6u);
+  EXPECT_GT(S.RuleChecks, 0u);
+  EXPECT_GT(S.ChainRelaxations, 0u);
+  EXPECT_EQ(S.CacheProbes, 0u); // DP never probes a transition cache.
+}
+
+TEST_F(DPLabelerTest, ChainCycleConverges) {
+  Grammar GC = cantFail(parseGrammar(R"(
+    %start a
+    a: b (0);
+    b: a (0);
+    b: Reg (1);
+    a: Wrap(a) (2);
+  )"));
+  ir::IRFunction F;
+  ir::Node *Leaf = F.makeLeaf(GC.findOperator("Reg"), 0);
+  SmallVector<ir::Node *, 1> C{Leaf};
+  ir::Node *W = F.makeNode(GC.findOperator("Wrap"), C);
+  F.addRoot(W);
+  DPLabeling Lab = DPLabeler(GC).label(F);
+  NonterminalId A = GC.findNonterminal("a");
+  NonterminalId B = GC.findNonterminal("b");
+  EXPECT_EQ(Lab.costFor(*Leaf, B), Cost(1));
+  EXPECT_EQ(Lab.costFor(*Leaf, A), Cost(1));
+  EXPECT_EQ(Lab.costFor(*W, A), Cost(3));
+  EXPECT_EQ(Lab.costFor(*W, B), Cost(3));
+}

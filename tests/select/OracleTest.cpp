@@ -1,0 +1,81 @@
+//===- tests/select/OracleTest.cpp ------------------------------------------===//
+//
+// Part of the odburg project.
+//
+// Property tests: the DP labeler must agree with the independent
+// brute-force derivation oracle on random subject trees.
+//
+//===----------------------------------------------------------------------===//
+
+#include "select/Oracle.h"
+
+#include "grammar/GrammarParser.h"
+#include "select/DPLabeler.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace odburg;
+
+namespace {
+
+/// Exhaustively compares DP labeling against the oracle on a random tree.
+void compareAllNodes(const Grammar &G, const DynCostTable *Dyn,
+                     std::uint64_t Seed, unsigned Budget) {
+  ir::IRFunction F;
+  test::RandomTreeBuilder B(G, Seed);
+  ir::Node *Root = B.build(F, Budget);
+  F.addRoot(Root);
+  DPLabeling Lab = DPLabeler(G, Dyn).label(F);
+  for (const ir::Node *N : F.nodes()) {
+    for (NonterminalId Nt = 0; Nt < G.numNonterminals(); ++Nt) {
+      Cost Expected = oracleCost(G, *N, Nt, Dyn);
+      Cost Actual = Lab.costFor(*N, Nt);
+      ASSERT_EQ(Actual, Expected)
+          << "seed " << Seed << " node " << N->id() << " ("
+          << G.operatorName(N->op()) << ") nt " << G.nonterminalName(Nt);
+    }
+  }
+}
+
+} // namespace
+
+class OracleProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OracleProperty, DPAgreesOnFixedGrammar) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  compareAllNodes(G, nullptr, GetParam(), 24);
+}
+
+TEST_P(OracleProperty, DPAgreesUnderDynamicCosts) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleText()));
+  auto Hooks = test::runningExampleHooks();
+  DynCostTable Dyn = cantFail(DynCostTable::build(G, Hooks));
+  compareAllNodes(G, &Dyn, GetParam() ^ 0x9E3779B9u, 20);
+}
+
+TEST_P(OracleProperty, DPAgreesOnChainHeavyGrammar) {
+  Grammar G = cantFail(parseGrammar(R"(
+    %start a
+    a: b (1);
+    b: c (0);
+    c: a (0);
+    c: Reg (0);
+    b: Wrap(a) (2);
+    a: Wrap(c) (1);
+    c: Pair(a, b) (3);
+  )"));
+  compareAllNodes(G, nullptr, GetParam() * 31 + 7, 16);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleProperty,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+TEST(Oracle, HandComputedExample) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  ir::IRFunction F;
+  ir::Node *St = test::buildStoreTree(F, G, 1, 1, 2);
+  EXPECT_EQ(oracleCost(G, *St, G.findNonterminal("stmt"), nullptr), Cost(1));
+  EXPECT_TRUE(oracleCost(G, *St, G.findNonterminal("reg"), nullptr)
+                  .isInfinite());
+}

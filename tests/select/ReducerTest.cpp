@@ -1,0 +1,117 @@
+//===- tests/select/ReducerTest.cpp -----------------------------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "select/Reducer.h"
+
+#include "grammar/GrammarParser.h"
+#include "select/DPLabeler.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace odburg;
+
+namespace {
+
+std::vector<unsigned> extSequence(const Grammar &G, const Selection &S) {
+  std::vector<unsigned> Out;
+  for (const Match &M : S.Matches)
+    Out.push_back(G.sourceRule(M.Source).ExtNumber);
+  return Out;
+}
+
+} // namespace
+
+TEST(Reducer, EmitsOptimalRmwDerivation) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  ir::IRFunction F;
+  test::buildStoreTree(F, G, 1, 1, 2);
+  DPLabeling Lab = DPLabeler(G).label(F);
+  Selection S = cantFail(reduce(G, F, Lab));
+  // Bottom-up: dst Reg (2), chain to addr (1), src Reg (2), chain (1),
+  // add Reg (2), then the RMW store rule (6). Rules 6a/6b are helper
+  // fragments and must not fire.
+  EXPECT_EQ(extSequence(G, S),
+            (std::vector<unsigned>{2, 1, 2, 1, 2, 6}));
+  EXPECT_EQ(S.TotalCost, Cost(1));
+}
+
+TEST(Reducer, EmitsFallbackDerivationUnderDynCosts) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleText()));
+  auto Hooks = test::runningExampleHooks();
+  DynCostTable Dyn = cantFail(DynCostTable::build(G, Hooks));
+  ir::IRFunction F;
+  test::buildStoreTree(F, G, 1, 7, 2); // Different addresses.
+  DPLabeling Lab = DPLabeler(G, &Dyn).label(F);
+  Selection S = cantFail(reduce(G, F, Lab, &Dyn));
+  EXPECT_EQ(extSequence(G, S),
+            (std::vector<unsigned>{2, 1, 2, 1, 3, 2, 4, 5}));
+  EXPECT_EQ(S.TotalCost, Cost(3));
+}
+
+TEST(Reducer, MultipleRootsInProgramOrder) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  ir::IRFunction F;
+  test::buildStoreTree(F, G, 1, 1, 2);
+  test::buildStoreTree(F, G, 3, 9, 4);
+  DPLabeling Lab = DPLabeler(G).label(F);
+  Selection S = cantFail(reduce(G, F, Lab));
+  // Both statements covered; second one costs 1 too (rule 6 has no
+  // constraint in the fixed grammar).
+  EXPECT_EQ(S.TotalCost, Cost(2));
+  EXPECT_EQ(S.Matches.back().Where, F.roots()[1]);
+}
+
+TEST(Reducer, DagSharedSubtreeEmittedOnce) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  ir::IRFunction F;
+  // Two stores sharing the same Plus subtree.
+  OperatorId RegOp = G.findOperator("Reg");
+  OperatorId PlusOp = G.findOperator("Plus");
+  OperatorId StoreOp = G.findOperator("Store");
+  ir::Node *A = F.makeLeaf(RegOp, 1);
+  ir::Node *B = F.makeLeaf(RegOp, 2);
+  SmallVector<ir::Node *, 2> CP{A, B};
+  ir::Node *Shared = F.makeNode(PlusOp, CP);
+  ir::Node *D1 = F.makeLeaf(RegOp, 3);
+  ir::Node *D2 = F.makeLeaf(RegOp, 4);
+  SmallVector<ir::Node *, 2> C1{D1, Shared};
+  SmallVector<ir::Node *, 2> C2{D2, Shared};
+  F.addRoot(F.makeNode(StoreOp, C1));
+  F.addRoot(F.makeNode(StoreOp, C2));
+
+  DPLabeling Lab = DPLabeler(G).label(F);
+  Selection S = cantFail(reduce(G, F, Lab));
+  // The shared Plus is matched once: exactly one rule-4 firing.
+  unsigned PlusFirings = 0;
+  for (const Match &M : S.Matches)
+    PlusFirings += G.sourceRule(M.Source).ExtNumber == 4;
+  EXPECT_EQ(PlusFirings, 1u);
+}
+
+TEST(Reducer, FailsWithoutDerivation) {
+  Grammar G = cantFail(parseGrammar(R"(
+    %start stmt
+    stmt: Store(reg, reg) (1);
+    reg:  Reg (0);
+  )"));
+  ir::IRFunction F;
+  // Root is a bare Reg: no stmt derivation exists.
+  F.addRoot(F.makeLeaf(G.findOperator("Reg"), 0));
+  DPLabeling Lab = DPLabeler(G).label(F);
+  Expected<Selection> S = reduce(G, F, Lab);
+  ASSERT_FALSE(static_cast<bool>(S));
+  EXPECT_NE(S.message().find("no derivation"), std::string::npos);
+}
+
+TEST(Reducer, MatchLhsRecorded) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  ir::IRFunction F;
+  test::buildStoreTree(F, G, 1, 1, 2);
+  DPLabeling Lab = DPLabeler(G).label(F);
+  Selection S = cantFail(reduce(G, F, Lab));
+  EXPECT_EQ(G.nonterminalName(S.Matches.back().Lhs), "stmt");
+}

@@ -1,0 +1,75 @@
+//===- tests/support/ArenaTest.cpp ------------------------------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+using namespace odburg;
+
+TEST(Arena, AllocationsAreAligned) {
+  Arena A;
+  for (std::size_t Align : {1, 2, 4, 8, 16, 64}) {
+    void *P = A.allocate(3, Align);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(P) % Align, 0u)
+        << "alignment " << Align;
+  }
+}
+
+TEST(Arena, AllocationsDoNotOverlap) {
+  Arena A;
+  char *P1 = static_cast<char *>(A.allocate(16, 8));
+  char *P2 = static_cast<char *>(A.allocate(16, 8));
+  std::memset(P1, 0xAA, 16);
+  std::memset(P2, 0xBB, 16);
+  for (int I = 0; I < 16; ++I)
+    EXPECT_EQ(static_cast<unsigned char>(P1[I]), 0xAA);
+}
+
+TEST(Arena, LargeAllocationGetsOwnSlab) {
+  Arena A;
+  void *P = A.allocate(1 << 20, 8);
+  ASSERT_NE(P, nullptr);
+  std::memset(P, 0, 1 << 20);
+  EXPECT_GE(A.bytesAllocated(), std::size_t(1) << 20);
+}
+
+TEST(Arena, ManySmallAllocationsSpanSlabs) {
+  Arena A;
+  for (int I = 0; I < 100000; ++I) {
+    auto *P = static_cast<std::uint32_t *>(A.allocate(4, 4));
+    *P = static_cast<std::uint32_t>(I);
+  }
+  EXPECT_GT(A.numSlabs(), 1u);
+}
+
+TEST(Arena, CreateConstructsObject) {
+  Arena A;
+  struct Point {
+    int X, Y;
+  };
+  Point *P = A.create<Point>(Point{3, 4});
+  EXPECT_EQ(P->X, 3);
+  EXPECT_EQ(P->Y, 4);
+}
+
+TEST(Arena, CopyStringNulTerminates) {
+  Arena A;
+  const char *S = A.copyString("hello world", 5);
+  EXPECT_STREQ(S, "hello");
+}
+
+TEST(Arena, MoveTransfersOwnership) {
+  Arena A;
+  const char *S = A.copyString("persistent", 10);
+  Arena B(std::move(A));
+  EXPECT_STREQ(S, "persistent"); // Memory still alive, owned by B now.
+  EXPECT_EQ(A.bytesAllocated(), 0u);
+  EXPECT_GT(B.bytesAllocated(), 0u);
+}

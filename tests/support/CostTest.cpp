@@ -1,0 +1,56 @@
+//===- tests/support/CostTest.cpp -------------------------------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Cost.h"
+
+#include <gtest/gtest.h>
+
+using namespace odburg;
+
+TEST(Cost, DefaultIsInfinite) {
+  Cost C;
+  EXPECT_TRUE(C.isInfinite());
+  EXPECT_FALSE(C.isFinite());
+}
+
+TEST(Cost, FiniteAddition) {
+  Cost A(3), B(4);
+  EXPECT_EQ((A + B).value(), 7u);
+}
+
+TEST(Cost, InfinityAbsorbsAddition) {
+  Cost A(3);
+  EXPECT_TRUE((A + Cost::infinity()).isInfinite());
+  EXPECT_TRUE((Cost::infinity() + A).isInfinite());
+  EXPECT_TRUE((Cost::infinity() + Cost::infinity()).isInfinite());
+}
+
+TEST(Cost, AdditionSaturatesBelowInfinity) {
+  Cost Big(Cost::MaxFinite);
+  Cost Sum = Big + Big;
+  EXPECT_TRUE(Sum.isFinite()); // Saturates; never wraps into infinity.
+  EXPECT_EQ(Sum.value(), Cost::MaxFinite);
+}
+
+TEST(Cost, ComparisonOrdersInfinityLast) {
+  EXPECT_LT(Cost(5), Cost(6));
+  EXPECT_LT(Cost(1000000), Cost::infinity());
+  EXPECT_EQ(Cost(5), Cost(5));
+}
+
+TEST(Cost, SubtractionForNormalization) {
+  Cost A(10), Delta(4);
+  EXPECT_EQ((A - Delta).value(), 6u);
+  EXPECT_TRUE((Cost::infinity() - Delta).isInfinite());
+}
+
+TEST(Cost, PlusEquals) {
+  Cost A(1);
+  A += Cost(2);
+  EXPECT_EQ(A.value(), 3u);
+  A += Cost::infinity();
+  EXPECT_TRUE(A.isInfinite());
+}

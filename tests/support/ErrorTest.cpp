@@ -1,0 +1,65 @@
+//===- tests/support/ErrorTest.cpp ------------------------------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+
+#include <gtest/gtest.h>
+
+using namespace odburg;
+
+TEST(Error, SuccessIsFalsy) {
+  Error E = Error::success();
+  EXPECT_FALSE(static_cast<bool>(E));
+}
+
+TEST(Error, FailureCarriesMessage) {
+  Error E = Error::make("something broke");
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_EQ(E.message(), "something broke");
+}
+
+TEST(Error, MoveTransfersFailure) {
+  Error E = Error::make("boom");
+  Error F = std::move(E);
+  ASSERT_TRUE(static_cast<bool>(F));
+  EXPECT_EQ(F.message(), "boom");
+}
+
+TEST(Error, ConsumeSilencesFailure) {
+  Error E = Error::make("ignored on purpose");
+  E.consume();
+  // Destructor must not abort.
+}
+
+TEST(Expected, HoldsValue) {
+  Expected<int> E(42);
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_EQ(*E, 42);
+}
+
+TEST(Expected, HoldsError) {
+  Expected<int> E(Error::make("no value"));
+  ASSERT_FALSE(static_cast<bool>(E));
+  EXPECT_EQ(E.message(), "no value");
+}
+
+TEST(Expected, MoveOnlyPayload) {
+  Expected<std::unique_ptr<int>> E(std::make_unique<int>(7));
+  ASSERT_TRUE(static_cast<bool>(E));
+  std::unique_ptr<int> P = std::move(*E);
+  EXPECT_EQ(*P, 7);
+}
+
+TEST(Expected, TakeErrorRoundTrips) {
+  Expected<int> E(Error::make("round trip"));
+  Error Err = E.takeError();
+  ASSERT_TRUE(static_cast<bool>(Err));
+  EXPECT_EQ(Err.message(), "round trip");
+}
+
+TEST(Expected, CantFailUnwraps) {
+  EXPECT_EQ(cantFail(Expected<int>(9)), 9);
+}

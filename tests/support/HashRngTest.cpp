@@ -1,0 +1,71 @@
+//===- tests/support/HashRngTest.cpp ----------------------------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Hashing.h"
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace odburg;
+
+TEST(Hashing, MixIsDeterministic) {
+  EXPECT_EQ(hashMix(123), hashMix(123));
+  EXPECT_NE(hashMix(123), hashMix(124));
+}
+
+TEST(Hashing, CombineOrderSensitive) {
+  std::uint64_t A = hashCombine(hashCombine(0, 1), 2);
+  std::uint64_t B = hashCombine(hashCombine(0, 2), 1);
+  EXPECT_NE(A, B);
+}
+
+TEST(Hashing, RangeMatchesManualFold) {
+  std::uint32_t Data[] = {10, 20, 30};
+  std::uint64_t H1 = hashRange(Data, Data + 3);
+  std::uint64_t H2 = 0x5bd1e995u;
+  for (std::uint32_t V : Data)
+    H2 = hashCombine(H2, V);
+  EXPECT_EQ(H1, H2);
+}
+
+TEST(Hashing, StringsDistinguished) {
+  EXPECT_NE(hashString("reg"), hashString("addr"));
+  EXPECT_EQ(hashString("stmt"), hashString("stmt"));
+}
+
+TEST(RNG, DeterministicBySeed) {
+  RNG A(42), B(42), C(43);
+  EXPECT_EQ(A.next(), B.next());
+  EXPECT_NE(A.next(), C.next());
+}
+
+TEST(RNG, NextBelowStaysInBounds) {
+  RNG R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.nextBelow(17), 17u);
+}
+
+TEST(RNG, NextInRangeInclusive) {
+  RNG R(7);
+  std::set<std::int64_t> Seen;
+  for (int I = 0; I < 2000; ++I) {
+    std::int64_t V = R.nextInRange(-2, 2);
+    EXPECT_GE(V, -2);
+    EXPECT_LE(V, 2);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 5u); // All five values hit.
+}
+
+TEST(RNG, ChanceExtremes) {
+  RNG R(9);
+  for (int I = 0; I < 100; ++I) {
+    EXPECT_FALSE(R.chance(0, 10));
+    EXPECT_TRUE(R.chance(10, 10));
+  }
+}

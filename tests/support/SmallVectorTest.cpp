@@ -1,0 +1,158 @@
+//===- tests/support/SmallVectorTest.cpp -----------------------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SmallVector.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+using namespace odburg;
+
+TEST(SmallVector, StartsEmptyInline) {
+  SmallVector<int, 4> V;
+  EXPECT_TRUE(V.empty());
+  EXPECT_EQ(V.size(), 0u);
+  EXPECT_EQ(V.capacity(), 4u);
+}
+
+TEST(SmallVector, PushWithinInlineCapacity) {
+  SmallVector<int, 4> V;
+  for (int I = 0; I < 4; ++I)
+    V.push_back(I);
+  EXPECT_EQ(V.size(), 4u);
+  EXPECT_EQ(V.capacity(), 4u);
+  for (int I = 0; I < 4; ++I)
+    EXPECT_EQ(V[I], I);
+}
+
+TEST(SmallVector, SpillsToHeapAndKeepsContents) {
+  SmallVector<int, 2> V;
+  for (int I = 0; I < 100; ++I)
+    V.push_back(I * 3);
+  EXPECT_EQ(V.size(), 100u);
+  EXPECT_GE(V.capacity(), 100u);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(V[I], I * 3);
+}
+
+TEST(SmallVector, NonTrivialElementType) {
+  SmallVector<std::string, 2> V;
+  for (int I = 0; I < 20; ++I)
+    V.push_back("element-" + std::to_string(I));
+  EXPECT_EQ(V[19], "element-19");
+  V.pop_back();
+  EXPECT_EQ(V.size(), 19u);
+  V.clear();
+  EXPECT_TRUE(V.empty());
+}
+
+TEST(SmallVector, EmplaceBackReturnsReference) {
+  SmallVector<std::pair<int, int>, 2> V;
+  auto &P = V.emplace_back(1, 2);
+  EXPECT_EQ(P.first, 1);
+  EXPECT_EQ(V.back().second, 2);
+}
+
+TEST(SmallVector, ResizeGrowsValueInitialized) {
+  SmallVector<int, 2> V;
+  V.resize(10);
+  EXPECT_EQ(V.size(), 10u);
+  for (int X : V)
+    EXPECT_EQ(X, 0);
+  V.resize(3);
+  EXPECT_EQ(V.size(), 3u);
+}
+
+TEST(SmallVector, ResizeWithFillValue) {
+  SmallVector<int, 2> V;
+  V.resize(5, 7);
+  for (int X : V)
+    EXPECT_EQ(X, 7);
+}
+
+TEST(SmallVector, AssignReplacesContents) {
+  SmallVector<int, 4> V{1, 2, 3};
+  V.assign(2, 9);
+  ASSERT_EQ(V.size(), 2u);
+  EXPECT_EQ(V[0], 9);
+  EXPECT_EQ(V[1], 9);
+}
+
+TEST(SmallVector, CopyConstructAndAssign) {
+  SmallVector<int, 2> A{1, 2, 3, 4};
+  SmallVector<int, 2> B(A);
+  EXPECT_EQ(A, B);
+  SmallVector<int, 2> C;
+  C = A;
+  EXPECT_EQ(A, C);
+  C.push_back(5);
+  EXPECT_EQ(A.size(), 4u); // Deep copy, no aliasing.
+}
+
+TEST(SmallVector, MoveStealsHeapBuffer) {
+  SmallVector<int, 2> A;
+  for (int I = 0; I < 50; ++I)
+    A.push_back(I);
+  const int *Data = A.data();
+  SmallVector<int, 2> B(std::move(A));
+  EXPECT_EQ(B.data(), Data); // Heap buffer transferred, not copied.
+  EXPECT_EQ(B.size(), 50u);
+  EXPECT_TRUE(A.empty());
+}
+
+TEST(SmallVector, MoveInlineCopiesElements) {
+  SmallVector<std::string, 4> A{"a", "b"};
+  SmallVector<std::string, 4> B(std::move(A));
+  ASSERT_EQ(B.size(), 2u);
+  EXPECT_EQ(B[0], "a");
+  EXPECT_TRUE(A.empty());
+}
+
+TEST(SmallVector, EraseShiftsTail) {
+  SmallVector<int, 4> V{1, 2, 3, 4};
+  V.erase(V.begin() + 1);
+  ASSERT_EQ(V.size(), 3u);
+  EXPECT_EQ(V[0], 1);
+  EXPECT_EQ(V[1], 3);
+  EXPECT_EQ(V[2], 4);
+}
+
+TEST(SmallVector, InitializerListAndEquality) {
+  SmallVector<int, 2> A{1, 2, 3};
+  SmallVector<int, 2> B{1, 2, 3};
+  SmallVector<int, 2> C{1, 2};
+  EXPECT_EQ(A, B);
+  EXPECT_FALSE(A == C);
+}
+
+TEST(SmallVector, AppendRange) {
+  int Raw[] = {5, 6, 7};
+  SmallVector<int, 2> V{1};
+  V.append(Raw, Raw + 3);
+  ASSERT_EQ(V.size(), 4u);
+  EXPECT_EQ(V[3], 7);
+}
+
+TEST(SmallVector, MoveAssignIntoUsedVector) {
+  SmallVector<int, 2> A;
+  for (int I = 0; I < 30; ++I)
+    A.push_back(I);
+  SmallVector<int, 2> B{9, 9, 9, 9, 9};
+  B = std::move(A);
+  EXPECT_EQ(B.size(), 30u);
+  EXPECT_EQ(B[29], 29);
+}
+
+TEST(SmallVector, SizeErasedBaseInterface) {
+  SmallVector<int, 4> V{1, 2, 3};
+  SmallVectorImpl<int> &Base = V;
+  Base.push_back(4);
+  EXPECT_EQ(V.size(), 4u);
+  SmallVector<int, 8> Copy(Base);
+  EXPECT_EQ(Copy.size(), 4u);
+}

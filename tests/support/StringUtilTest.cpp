@@ -1,0 +1,75 @@
+//===- tests/support/StringUtilTest.cpp -------------------------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtil.h"
+#include "support/TablePrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace odburg;
+
+TEST(StringUtil, TrimStripsBothEnds) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StringUtil, SplitKeepsEmptyPieces) {
+  auto Parts = split("a,,b", ',');
+  ASSERT_EQ(Parts.size(), 3u);
+  EXPECT_EQ(Parts[0], "a");
+  EXPECT_EQ(Parts[1], "");
+  EXPECT_EQ(Parts[2], "b");
+}
+
+TEST(StringUtil, StartsWith) {
+  EXPECT_TRUE(startsWith("%start stmt", "%start"));
+  EXPECT_FALSE(startsWith("%st", "%start"));
+}
+
+TEST(StringUtil, FormatThousands) {
+  EXPECT_EQ(formatThousands(0), "0");
+  EXPECT_EQ(formatThousands(999), "999");
+  EXPECT_EQ(formatThousands(1000), "1 000");
+  EXPECT_EQ(formatThousands(245928597), "245 928 597");
+}
+
+TEST(StringUtil, FormatFixed) {
+  EXPECT_EQ(formatFixed(2.874, 2), "2.87");
+  EXPECT_EQ(formatFixed(1.0, 2), "1.00");
+}
+
+TEST(StringUtil, Formatf) {
+  EXPECT_EQ(formatf("%s=%d", "x", 5), "x=5");
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter T("Title");
+  T.setHeader({"benchmark", "value"});
+  T.addRow({"gzip", "1"});
+  T.addRow({"longname", "12345"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("Title"), std::string::npos);
+  EXPECT_NE(Out.find("benchmark"), std::string::npos);
+  // All rows align: every non-separator line has the same width, and the
+  // numeric column is right-aligned (its digits end each line).
+  auto Lines = split(Out, '\n');
+  ASSERT_GE(Lines.size(), 4u);
+  EXPECT_EQ(Lines[1].size(), Lines[3].size()); // header vs "gzip" row
+  EXPECT_EQ(Lines[3].back(), '1');
+  EXPECT_TRUE(startsWith(Lines[3], "gzip "));
+}
+
+TEST(TablePrinter, SeparatorLine) {
+  TablePrinter T("");
+  T.setHeader({"a", "b"});
+  T.addRow({"1", "2"});
+  T.addSeparator();
+  T.addRow({"3", "4"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("----"), std::string::npos);
+}

@@ -1,0 +1,151 @@
+//===- tests/targets/EmitterTest.cpp ----------------------------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "targets/AsmEmitter.h"
+
+#include "grammar/GrammarParser.h"
+#include "select/DPLabeler.h"
+#include "select/Reducer.h"
+#include "targets/Target.h"
+
+#include <gtest/gtest.h>
+
+using namespace odburg;
+using namespace odburg::targets;
+
+namespace {
+
+class EmitterTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    T = cantFail(makeTarget("x86"));
+    Ops = cantFail(resolveCanonicalOps(T->G));
+  }
+
+  AsmOutput compile(ir::IRFunction &F) {
+    DPLabeling L = DPLabeler(T->G, &T->Dyn).label(F);
+    Selection S = cantFail(reduce(T->G, F, L, &T->Dyn));
+    return cantFail(emitAsm(T->G, F, S));
+  }
+
+  std::unique_ptr<Target> T;
+  CanonicalOps Ops;
+};
+
+} // namespace
+
+TEST_F(EmitterTest, StoresConstantToFrameSlot) {
+  ir::IRFunction F;
+  ir::Node *Addr = F.makeLeaf(Ops.AddrL, 24);
+  ir::Node *C = F.makeLeaf(Ops.Const, 7);
+  SmallVector<ir::Node *, 2> SC{Addr, C};
+  F.addRoot(F.makeNode(Ops.Store, SC));
+  AsmOutput Out = compile(F);
+  ASSERT_EQ(Out.instructions(), 1u);
+  EXPECT_EQ(Out.Lines[0], "movq $7, 24(%rbp)");
+}
+
+TEST_F(EmitterTest, RmwFusesToSingleInstruction) {
+  ir::IRFunction F;
+  ir::Node *A1 = F.makeLeaf(Ops.AddrL, 8);
+  ir::Node *A2 = F.makeLeaf(Ops.AddrL, 8);
+  SmallVector<ir::Node *, 1> LC{A2};
+  ir::Node *Ld = F.makeNode(Ops.Load, LC);
+  ir::Node *C = F.makeLeaf(Ops.Const, 1);
+  SmallVector<ir::Node *, 2> AC{Ld, C};
+  ir::Node *Sum = F.makeNode(Ops.Add, AC);
+  SmallVector<ir::Node *, 2> SC{A1, Sum};
+  F.addRoot(F.makeNode(Ops.Store, SC));
+  AsmOutput Out = compile(F);
+  // x = x + 1 is one read-modify-write instruction.
+  ASSERT_EQ(Out.instructions(), 1u);
+  EXPECT_EQ(Out.Lines[0], "addq $1, 8(%rbp)");
+}
+
+TEST_F(EmitterTest, MemoryOperandFolding) {
+  // r = r2 + mem: the load folds into the add as a memory operand.
+  ir::IRFunction F;
+  ir::Node *R = F.makeLeaf(Ops.Reg, 3);
+  ir::Node *A = F.makeLeaf(Ops.AddrL, 16);
+  SmallVector<ir::Node *, 1> LC{A};
+  ir::Node *Ld = F.makeNode(Ops.Load, LC);
+  SmallVector<ir::Node *, 2> AC{R, Ld};
+  ir::Node *Sum = F.makeNode(Ops.Add, AC);
+  ir::Node *Dst = F.makeLeaf(Ops.AddrL, 32);
+  SmallVector<ir::Node *, 2> SC{Dst, Sum};
+  F.addRoot(F.makeNode(Ops.Store, SC));
+  AsmOutput Out = compile(F);
+  ASSERT_EQ(Out.instructions(), 2u);
+  EXPECT_EQ(Out.Lines[0], "addq 16(%rbp), %r3, %v0");
+  EXPECT_EQ(Out.Lines[1], "movq %v0, 32(%rbp)");
+}
+
+TEST_F(EmitterTest, CompareBranchUsesConditionAlias) {
+  ir::IRFunction F;
+  ir::Node *L = F.makeLeaf(Ops.Reg, 1);
+  ir::Node *R = F.makeLeaf(Ops.Reg, 2);
+  SmallVector<ir::Node *, 2> CC{L, R};
+  ir::Node *Cmp = F.makeNode(Ops.CmpLT, CC);
+  SmallVector<ir::Node *, 1> BC{Cmp};
+  F.addRoot(F.makeNode(Ops.CBr, BC, 5));
+  AsmOutput Out = compile(F);
+  ASSERT_EQ(Out.instructions(), 2u);
+  EXPECT_EQ(Out.Lines[0], "cmpq %r2, %r1");
+  EXPECT_EQ(Out.Lines[1], "jl .L5");
+}
+
+TEST_F(EmitterTest, LabelsAndJumps) {
+  ir::IRFunction F;
+  F.addRoot(F.makeLeaf(Ops.Label, 3));
+  F.addRoot(F.makeLeaf(Ops.Br, 3));
+  AsmOutput Out = compile(F);
+  ASSERT_EQ(Out.instructions(), 2u);
+  EXPECT_EQ(Out.Lines[0], ".L3:");
+  EXPECT_EQ(Out.Lines[1], "jmp .L3");
+}
+
+TEST_F(EmitterTest, VregsAreDistinct) {
+  // (r1 + r2) * (r3 + r4): two adds into distinct vregs, then a multiply.
+  ir::IRFunction F;
+  SmallVector<ir::Node *, 2> C1{F.makeLeaf(Ops.Reg, 1), F.makeLeaf(Ops.Reg, 2)};
+  ir::Node *S1 = F.makeNode(Ops.Add, C1);
+  SmallVector<ir::Node *, 2> C2{F.makeLeaf(Ops.Reg, 3), F.makeLeaf(Ops.Reg, 4)};
+  ir::Node *S2 = F.makeNode(Ops.Add, C2);
+  SmallVector<ir::Node *, 2> C3{S1, S2};
+  ir::Node *Prod = F.makeNode(Ops.Mul, C3);
+  SmallVector<ir::Node *, 1> RC{Prod};
+  F.addRoot(F.makeNode(Ops.Ret, RC));
+  AsmOutput Out = compile(F);
+  ASSERT_GE(Out.instructions(), 3u);
+  EXPECT_NE(Out.Lines[0], Out.Lines[1]);
+  EXPECT_NE(Out.text().find("%v0"), std::string::npos);
+  EXPECT_NE(Out.text().find("%v1"), std::string::npos);
+}
+
+TEST_F(EmitterTest, SizeBytesCountsText) {
+  ir::IRFunction F;
+  F.addRoot(F.makeLeaf(Ops.Label, 1));
+  AsmOutput Out = compile(F);
+  EXPECT_EQ(Out.sizeBytes(), Out.text().size());
+}
+
+TEST(EmitterErrors, BadPlaceholderIndexReported) {
+  Grammar G = cantFail(parseGrammar(R"(
+    %start stmt
+    reg:  Reg (0) "=%%r%c";
+    stmt: Store(reg, reg) (1) "st %3, %1";
+  )"));
+  ir::IRFunction F;
+  OperatorId RegOp = G.findOperator("Reg");
+  OperatorId StoreOp = G.findOperator("Store");
+  SmallVector<ir::Node *, 2> C{F.makeLeaf(RegOp, 1), F.makeLeaf(RegOp, 2)};
+  F.addRoot(F.makeNode(StoreOp, C));
+  DPLabeling L = DPLabeler(G).label(F);
+  Selection S = cantFail(reduce(G, F, L));
+  Expected<targets::AsmOutput> Out = targets::emitAsm(G, F, S);
+  ASSERT_FALSE(static_cast<bool>(Out));
+  EXPECT_NE(Out.message().find("%3"), std::string::npos);
+}

@@ -1,0 +1,118 @@
+//===- tests/workload/WorkloadTest.cpp --------------------------------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Corpus.h"
+#include "workload/Synthetic.h"
+
+#include "core/OnDemandAutomaton.h"
+#include "select/DPLabeler.h"
+#include "select/Reducer.h"
+#include "targets/Target.h"
+
+#include <gtest/gtest.h>
+
+using namespace odburg;
+using namespace odburg::workload;
+
+TEST(Corpus, HasTheExpectedPrograms) {
+  EXPECT_GE(corpus().size(), 10u);
+  EXPECT_NE(findCorpusProgram("Fact"), nullptr);
+  EXPECT_NE(findCorpusProgram("MatMult"), nullptr);
+  EXPECT_NE(findCorpusProgram("BoyerMoore"), nullptr);
+  EXPECT_EQ(findCorpusProgram("DoesNotExist"), nullptr);
+}
+
+TEST(Corpus, AllProgramsCompileOnAllTargets) {
+  for (const std::string &Name : targets::targetNames()) {
+    auto T = cantFail(targets::makeTarget(Name));
+    for (const CorpusProgram &P : corpus()) {
+      Expected<ir::IRFunction> F = compileCorpusProgram(P, T->G);
+      ASSERT_TRUE(static_cast<bool>(F))
+          << Name << "/" << P.Name << ": " << F.message();
+      EXPECT_GT(F->size(), 10u) << P.Name;
+      // Every program must be selectable end to end.
+      DPLabeling L = DPLabeler(T->G, &T->Dyn).label(*F);
+      Expected<Selection> S = reduce(T->G, *F, L, &T->Dyn);
+      ASSERT_TRUE(static_cast<bool>(S))
+          << Name << "/" << P.Name << ": " << S.message();
+    }
+  }
+}
+
+TEST(Corpus, CompilationIsDeterministic) {
+  auto T = cantFail(targets::makeTarget("x86"));
+  const CorpusProgram *P = findCorpusProgram("MatMult");
+  ir::IRFunction F1 = cantFail(compileCorpusProgram(*P, T->G));
+  ir::IRFunction F2 = cantFail(compileCorpusProgram(*P, T->G));
+  ASSERT_EQ(F1.size(), F2.size());
+  ASSERT_EQ(F1.roots().size(), F2.roots().size());
+  for (std::size_t I = 0; I < F1.roots().size(); ++I)
+    EXPECT_TRUE(ir::structurallyEqual(F1.roots()[I], F2.roots()[I]));
+}
+
+TEST(Synthetic, ProfilesExist) {
+  EXPECT_GE(specProfiles().size(), 10u);
+  EXPECT_NE(findProfile("gzip-like"), nullptr);
+  EXPECT_NE(findProfile("gcc-like"), nullptr);
+  EXPECT_EQ(findProfile("nonesuch"), nullptr);
+}
+
+TEST(Synthetic, GenerationIsDeterministic) {
+  auto T = cantFail(targets::makeTarget("x86"));
+  const Profile *P = findProfile("gzip-like");
+  ir::IRFunction F1 = cantFail(generate(*P, T->G));
+  ir::IRFunction F2 = cantFail(generate(*P, T->G));
+  ASSERT_EQ(F1.size(), F2.size());
+  ASSERT_EQ(F1.roots().size(), F2.roots().size());
+  for (std::size_t I = 0; I < F1.roots().size(); ++I)
+    ASSERT_TRUE(ir::structurallyEqual(F1.roots()[I], F2.roots()[I]));
+}
+
+TEST(Synthetic, RespectsTargetSize) {
+  auto T = cantFail(targets::makeTarget("x86"));
+  Profile P = *findProfile("mcf-like");
+  ir::IRFunction F = cantFail(generate(P, T->G));
+  EXPECT_GE(F.size(), P.TargetNodes);
+  EXPECT_LT(F.size(), P.TargetNodes + P.TargetNodes / 2);
+}
+
+TEST(Synthetic, AllProfilesSelectableOnAllTargets) {
+  for (const std::string &Name : targets::targetNames()) {
+    auto T = cantFail(targets::makeTarget(Name));
+    OnDemandAutomaton A(T->G, &T->Dyn);
+    for (const Profile &P : specProfiles()) {
+      Profile Small = P;
+      Small.TargetNodes = 1500; // Keep the test fast; shape is what counts.
+      ir::IRFunction F = cantFail(generate(Small, T->G));
+      A.labelFunction(F);
+      Expected<Selection> S = reduce(T->G, F, A, &T->Dyn);
+      ASSERT_TRUE(static_cast<bool>(S))
+          << Name << "/" << P.Name << ": " << S.message();
+    }
+  }
+}
+
+TEST(Synthetic, RmwPercentControlsMemopOpportunities) {
+  auto T = cantFail(targets::makeTarget("x86"));
+  auto CountRmw = [&](unsigned Percent) {
+    Profile P = *findProfile("gzip-like");
+    P.RmwPercent = Percent;
+    P.TargetNodes = 8000;
+    ir::IRFunction F = cantFail(generate(P, T->G));
+    DPLabeling L = DPLabeler(T->G, &T->Dyn).label(F);
+    Selection S = cantFail(reduce(T->G, F, L, &T->Dyn));
+    unsigned Rmw = 0;
+    for (const Match &M : S.Matches)
+      Rmw += T->G.sourceRule(M.Source).DynHook != InvalidDynCost &&
+             T->G.dynHookName(T->G.sourceRule(M.Source).DynHook) == "memop";
+    return Rmw;
+  };
+  EXPECT_GT(CountRmw(40), CountRmw(5));
+  // Random value trees can *coincidentally* form a fusable pattern, so 0%
+  // is "almost none", not exactly zero.
+  EXPECT_LE(CountRmw(0), CountRmw(5));
+  EXPECT_LT(CountRmw(0), 5u);
+}

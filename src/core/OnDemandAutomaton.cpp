@@ -9,6 +9,11 @@
 #include "support/Compiler.h"
 #include "support/ErrorHandling.h"
 
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
 using namespace odburg;
 
 OnDemandAutomaton::OnDemandAutomaton(const Grammar &G, const DynCostTable *Dyn)
@@ -20,6 +25,11 @@ OnDemandAutomaton::OnDemandAutomaton(const Grammar &G, const DynCostTable *Dyn,
   assert(G.isFinalized() && "grammar must be finalized");
   assert((!G.hasDynCosts() || Dyn) &&
          "grammar has dynamic costs but no hook table was supplied");
+  // Keep the safety bound reachable: leave one block of headroom below the
+  // table's hard capacity so concurrent interners hit the MaxStates
+  // diagnostic, never the table's capacity abort.
+  this->Opts.MaxStates =
+      std::min(this->Opts.MaxStates, StateTable::maxCapacity() - 4096);
 }
 
 const State *OnDemandAutomaton::computeState(OperatorId Op,
@@ -92,4 +102,43 @@ void OnDemandAutomaton::labelFunction(ir::IRFunction &F,
   SelectionStats &S = Stats ? *Stats : Local;
   for (ir::Node *N : F.nodes())
     labelNode(*N, S);
+}
+
+void OnDemandAutomaton::labelFunctions(std::span<ir::IRFunction *const> Fns,
+                                       unsigned Threads,
+                                       SelectionStats *Stats) {
+  if (Threads == 0)
+    Threads = std::max(1u, std::thread::hardware_concurrency());
+  Threads = static_cast<unsigned>(
+      std::min<std::size_t>(Threads, Fns.size()));
+  if (Threads <= 1) {
+    for (ir::IRFunction *F : Fns)
+      labelFunction(*F, Stats);
+    return;
+  }
+
+  // Per-worker counters, cache-line padded so hot increments do not
+  // false-share; merged once at the end.
+  struct alignas(64) PaddedStats {
+    SelectionStats S;
+  };
+  std::vector<PaddedStats> PerWorker(Threads);
+  std::atomic<std::size_t> Next{0};
+  auto Work = [&](unsigned W) {
+    std::size_t I;
+    while ((I = Next.fetch_add(1, std::memory_order_relaxed)) < Fns.size())
+      labelFunction(*Fns[I], &PerWorker[W].S);
+  };
+
+  std::vector<std::thread> Workers;
+  Workers.reserve(Threads - 1);
+  for (unsigned W = 1; W < Threads; ++W)
+    Workers.emplace_back(Work, W);
+  Work(0);
+  for (std::thread &T : Workers)
+    T.join();
+
+  if (Stats)
+    for (const PaddedStats &P : PerWorker)
+      *Stats += P.S;
 }

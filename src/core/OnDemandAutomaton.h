@@ -37,6 +37,8 @@
 #include "select/Labeling.h"
 #include "support/Statistic.h"
 
+#include <span>
+
 namespace odburg {
 
 /// The on-demand automaton. Also a Labeling: after labelFunction(), nodes
@@ -51,7 +53,10 @@ public:
     /// the cache versus state hash-consing.
     bool UseTransitionCache = true;
     /// Safety bound on automaton growth for degenerate grammars whose
-    /// relative costs do not converge.
+    /// relative costs do not converge. Clamped below the state table's
+    /// hard capacity (StateTable::maxCapacity()) so the bound always
+    /// fires with its divergence diagnostic rather than the table's
+    /// internal capacity abort.
     unsigned MaxStates = 1u << 20;
   };
 
@@ -65,7 +70,20 @@ public:
 
   /// Labels all nodes of \p F (topological node order). The automaton
   /// keeps all states/transitions created, so subsequent calls get faster.
+  /// Safe to call concurrently from several threads as long as each call
+  /// works on a distinct function: the state table and transition cache
+  /// are sharded and thread-safe, and node labels are per-function.
   void labelFunction(ir::IRFunction &F, SelectionStats *Stats = nullptr);
+
+  /// Labels a corpus of functions concurrently against this one shared
+  /// automaton with \p Threads worker threads (0 = hardware concurrency).
+  /// Functions are handed out through an atomic index, so uneven function
+  /// sizes balance across workers. Labels/rules/costs are identical to a
+  /// serial pass; under concurrency the cold-pass *work counters* (probes,
+  /// states computed) can differ slightly between runs because racing
+  /// threads may both compute a state the cache dedups.
+  void labelFunctions(std::span<ir::IRFunction *const> Fns,
+                      unsigned Threads = 0, SelectionStats *Stats = nullptr);
 
   /// Labels one node (children must be labeled). Returns the state id and
   /// stores it in the node's label slot.

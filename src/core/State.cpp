@@ -14,7 +14,13 @@
 using namespace odburg;
 
 StateTable::StateTable(unsigned NumNonterminals) : NumNts(NumNonterminals) {
-  Buckets.assign(64, InvalidState);
+  for (Shard &Sh : Shards)
+    Sh.Buckets.assign(16, nullptr);
+}
+
+StateTable::~StateTable() {
+  for (auto &BlockPtr : Blocks)
+    delete[] BlockPtr.load(std::memory_order_relaxed);
 }
 
 static std::uint64_t hashStateContent(OperatorId Op, const Cost *Costs,
@@ -27,13 +33,31 @@ static std::uint64_t hashStateContent(OperatorId Op, const Cost *Costs,
   return H;
 }
 
+std::atomic<const State *> &StateTable::slotFor(StateId Id) {
+  auto &BlockPtr = Blocks[Id >> BlockBits];
+  std::atomic<const State *> *Block = BlockPtr.load(std::memory_order_acquire);
+  if (!Block) {
+    std::lock_guard<std::mutex> Lock(BlockAllocMutex);
+    Block = BlockPtr.load(std::memory_order_relaxed);
+    if (!Block) {
+      Block = new std::atomic<const State *>[BlockSize]();
+      BlockPtr.store(Block, std::memory_order_release);
+    }
+  }
+  return Block[Id & (BlockSize - 1)];
+}
+
 const State *StateTable::intern(OperatorId Op, const Cost *Costs,
                                 const RuleId *Rules) {
   std::uint64_t H = hashStateContent(Op, Costs, Rules, NumNts);
-  std::size_t Mask = Buckets.size() - 1;
-  std::size_t Idx = H & Mask;
-  while (Buckets[Idx] != InvalidState) {
-    const State *S = States[Buckets[Idx]];
+  Shard &Sh = Shards[H & (NumShards - 1)];
+  std::lock_guard<std::mutex> Lock(Sh.M);
+
+  // The shard index consumes the hash bits above the shard selector so the
+  // per-shard tables do not cluster on the stripe residue.
+  std::size_t Mask = Sh.Buckets.size() - 1;
+  std::size_t Idx = (H >> 8) & Mask;
+  while (const State *S = Sh.Buckets[Idx]) {
     if (S->Hash == H && S->Op == Op &&
         std::memcmp(S->Costs, Costs, NumNts * sizeof(Cost)) == 0 &&
         std::memcmp(S->Rules, Rules, NumNts * sizeof(RuleId)) == 0)
@@ -41,39 +65,63 @@ const State *StateTable::intern(OperatorId Op, const Cost *Costs,
     Idx = (Idx + 1) & Mask;
   }
 
-  // Not present: intern a new state.
-  State *S = StateArena.create<State>();
-  S->Id = static_cast<StateId>(States.size());
+  // Not present: intern a new state. The id comes from the global counter
+  // (dense across shards); the id-index slot is published before the
+  // bucket so any path that can observe the id can resolve it.
+  State *S = Sh.StateArena.create<State>();
+  StateId Id = NextId.fetch_add(1, std::memory_order_acq_rel);
+  if (Id >= static_cast<StateId>(NumBlocks) * BlockSize)
+    reportFatalError("state table capacity (4M states) exceeded");
+  S->Id = Id;
   S->Op = Op;
   S->Hash = H;
-  Cost *CostCopy = StateArena.allocateArray<Cost>(NumNts);
-  RuleId *RuleCopy = StateArena.allocateArray<RuleId>(NumNts);
+  Cost *CostCopy = Sh.StateArena.allocateArray<Cost>(NumNts);
+  RuleId *RuleCopy = Sh.StateArena.allocateArray<RuleId>(NumNts);
   std::memcpy(CostCopy, Costs, NumNts * sizeof(Cost));
   std::memcpy(RuleCopy, Rules, NumNts * sizeof(RuleId));
   S->Costs = CostCopy;
   S->Rules = RuleCopy;
-  States.push_back(S);
-  Buckets[Idx] = S->Id;
+  slotFor(Id).store(S, std::memory_order_release);
+  Sh.Buckets[Idx] = S;
 
-  if (States.size() * 4 > Buckets.size() * 3)
-    rehash();
+  if (++Sh.Count * 4 > Sh.Buckets.size() * 3)
+    growShard(Sh);
   return S;
 }
 
-void StateTable::rehash() {
-  std::vector<StateId> NewBuckets(Buckets.size() * 2, InvalidState);
+void StateTable::growShard(Shard &Sh) {
+  std::vector<const State *> NewBuckets(Sh.Buckets.size() * 2, nullptr);
   std::size_t Mask = NewBuckets.size() - 1;
-  for (const State *S : States) {
-    std::size_t Idx = S->Hash & Mask;
-    while (NewBuckets[Idx] != InvalidState)
+  for (const State *S : Sh.Buckets) {
+    if (!S)
+      continue;
+    std::size_t Idx = (S->Hash >> 8) & Mask;
+    while (NewBuckets[Idx])
       Idx = (Idx + 1) & Mask;
-    NewBuckets[Idx] = S->Id;
+    NewBuckets[Idx] = S;
   }
-  Buckets = std::move(NewBuckets);
+  Sh.Buckets = std::move(NewBuckets);
+}
+
+std::vector<const State *> StateTable::states() const {
+  std::vector<const State *> All;
+  unsigned N = size();
+  All.reserve(N);
+  for (StateId Id = 0; Id < N; ++Id)
+    if (const State *S = byId(Id))
+      All.push_back(S);
+  return All;
 }
 
 std::size_t StateTable::memoryBytes() const {
-  return StateArena.bytesAllocated() +
-         Buckets.capacity() * sizeof(StateId) +
-         States.capacity() * sizeof(const State *);
+  std::size_t Bytes = 0;
+  for (const Shard &Sh : Shards) {
+    std::lock_guard<std::mutex> Lock(Sh.M);
+    Bytes += Sh.StateArena.bytesAllocated() +
+             Sh.Buckets.capacity() * sizeof(const State *);
+  }
+  for (const auto &BlockPtr : Blocks)
+    if (BlockPtr.load(std::memory_order_acquire))
+      Bytes += BlockSize * sizeof(std::atomic<const State *>);
+  return Bytes;
 }

@@ -12,7 +12,12 @@
 /// context, which is what makes transition caching sound.
 ///
 /// States are hash-consed in a StateTable so that equality is pointer/id
-/// equality and the automaton stays small.
+/// equality and the automaton stays small. The table is safe for concurrent
+/// interning: it is striped into shards keyed by content hash (each shard a
+/// mutex, an open-addressed bucket array and an arena), while id lookup is
+/// lock-free through a two-level block index so the labeling fast path
+/// never takes a lock here. Ids are allocated from one atomic counter, so
+/// they stay dense across shards and byId() stays an array index.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,7 +29,11 @@
 #include "support/Cost.h"
 #include "support/SmallVector.h"
 
+#include <array>
+#include <atomic>
+#include <cassert>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 namespace odburg {
@@ -50,34 +59,77 @@ struct State {
   RuleId ruleOf(NonterminalId Nt) const { return Rules[Nt]; }
 };
 
-/// Hash-consing container of states.
+/// Hash-consing container of states; safe for concurrent intern()/byId().
 class StateTable {
 public:
+  /// Interning stripes. Content hashes pick the stripe, so identical
+  /// contents always meet in the same shard and stay canonical.
+  static constexpr unsigned NumShards = 16;
+
   explicit StateTable(unsigned NumNonterminals);
+  ~StateTable();
+
+  StateTable(const StateTable &) = delete;
+  StateTable &operator=(const StateTable &) = delete;
 
   /// Interns the state described by (\p Op, \p Costs, \p Rules); returns
   /// the canonical State (existing if an identical one was seen before).
   /// The arrays must have exactly the nonterminal count the table was
-  /// created with.
+  /// created with. Thread-safe; two threads interning the same content
+  /// serialize on the content's shard and get the same canonical state.
   const State *intern(OperatorId Op, const Cost *Costs, const RuleId *Rules);
 
-  const State *byId(StateId Id) const { return States[Id]; }
+  /// Lock-free id lookup. \p Id must have been obtained from a completed
+  /// intern() (directly, via the transition cache, or via a node label);
+  /// racing an in-flight intern of a fresh id returns nullptr (the block
+  /// or slot may not be published yet), it never faults.
+  const State *byId(StateId Id) const {
+    const std::atomic<const State *> *Block =
+        Blocks[Id >> BlockBits].load(std::memory_order_acquire);
+    if (!Block)
+      return nullptr;
+    return Block[Id & (BlockSize - 1)].load(std::memory_order_acquire);
+  }
 
-  unsigned size() const { return static_cast<unsigned>(States.size()); }
+  /// Hard capacity of the id index; intern() aborts beyond this.
+  static constexpr unsigned maxCapacity() { return NumBlocks * BlockSize; }
+
+  /// Number of states interned so far. Under concurrent interning this is
+  /// an instantaneous snapshot (ids below it may still be publishing).
+  unsigned size() const { return NextId.load(std::memory_order_acquire); }
 
   /// Approximate heap+arena footprint in bytes.
   std::size_t memoryBytes() const;
 
-  /// All states, in creation order.
-  const std::vector<const State *> &states() const { return States; }
+  /// Snapshot of all states in creation (id) order. Intended for quiescent
+  /// introspection; states mid-publication in other threads are skipped.
+  std::vector<const State *> states() const;
 
 private:
-  void rehash();
+  /// Two-level id index: 1024 blocks of 4096 slots bounds the table at
+  /// 4M states — far above OnDemandAutomaton's MaxStates safety default.
+  static constexpr unsigned BlockBits = 12;
+  static constexpr unsigned BlockSize = 1u << BlockBits;
+  static constexpr unsigned NumBlocks = 1u << 10;
+
+  struct alignas(64) Shard {
+    mutable std::mutex M;
+    Arena StateArena;
+    /// Open addressing; nullptr = empty.
+    std::vector<const State *> Buckets;
+    unsigned Count = 0;
+  };
+
+  /// The id-index slot for \p Id, allocating its block if needed.
+  std::atomic<const State *> &slotFor(StateId Id);
+
+  static void growShard(Shard &Sh);
 
   unsigned NumNts;
-  Arena StateArena;
-  std::vector<const State *> States;
-  std::vector<StateId> Buckets; // Open addressing; InvalidState = empty.
+  std::array<Shard, NumShards> Shards;
+  std::array<std::atomic<std::atomic<const State *> *>, NumBlocks> Blocks{};
+  std::atomic<StateId> NextId{0};
+  std::mutex BlockAllocMutex;
 };
 
 } // namespace odburg

@@ -10,37 +10,69 @@
 
 using namespace odburg;
 
-TransitionCache::TransitionCache() { Slots.resize(256); }
+TransitionCache::TransitionCache() {
+  for (Shard &Sh : Shards)
+    Sh.Slots.resize(64);
+}
 
 void TransitionCache::insert(const std::uint32_t *Key, unsigned Words,
                              StateId Value) {
-  if ((Count + 1) * 4 > Slots.size() * 3)
-    rehash();
-  std::uint32_t *Stored = KeyArena.allocateArray<std::uint32_t>(Words);
-  std::memcpy(Stored, Key, Words * sizeof(std::uint32_t));
   std::uint64_t H = hashRange(Key, Key + Words);
-  std::size_t Mask = Slots.size() - 1;
-  std::size_t Idx = H & Mask;
-  while (Slots[Idx].Key)
+  Shard &Sh = Shards[H & (NumShards - 1)];
+  std::lock_guard<std::mutex> Lock(Sh.M);
+
+  // Re-probe under the lock: another thread may have inserted this key
+  // since our lookup missed.
+  std::size_t Mask = Sh.Slots.size() - 1;
+  std::size_t Idx = (H >> 8) & Mask;
+  while (Sh.Slots[Idx].Key) {
+    if (Sh.Slots[Idx].Hash == H && keyEquals(Sh.Slots[Idx].Key, Key, Words))
+      return;
     Idx = (Idx + 1) & Mask;
-  Slots[Idx] = {Stored, H, Value};
-  ++Count;
+  }
+
+  if ((Sh.Count + 1) * 4 > Sh.Slots.size() * 3) {
+    growShard(Sh);
+    Mask = Sh.Slots.size() - 1;
+    Idx = (H >> 8) & Mask;
+    while (Sh.Slots[Idx].Key)
+      Idx = (Idx + 1) & Mask;
+  }
+
+  std::uint32_t *Stored = Sh.KeyArena.allocateArray<std::uint32_t>(Words);
+  std::memcpy(Stored, Key, Words * sizeof(std::uint32_t));
+  Sh.Slots[Idx] = {Stored, H, Value};
+  ++Sh.Count;
 }
 
-void TransitionCache::rehash() {
-  std::vector<Slot> Old = std::move(Slots);
-  Slots.assign(Old.size() * 2, {});
-  std::size_t Mask = Slots.size() - 1;
+void TransitionCache::growShard(Shard &Sh) {
+  std::vector<Slot> Old = std::move(Sh.Slots);
+  Sh.Slots.assign(Old.size() * 2, {});
+  std::size_t Mask = Sh.Slots.size() - 1;
   for (const Slot &S : Old) {
     if (!S.Key)
       continue;
-    std::size_t Idx = S.Hash & Mask;
-    while (Slots[Idx].Key)
+    std::size_t Idx = (S.Hash >> 8) & Mask;
+    while (Sh.Slots[Idx].Key)
       Idx = (Idx + 1) & Mask;
-    Slots[Idx] = S;
+    Sh.Slots[Idx] = S;
   }
 }
 
+std::size_t TransitionCache::size() const {
+  std::size_t Total = 0;
+  for (const Shard &Sh : Shards) {
+    std::lock_guard<std::mutex> Lock(Sh.M);
+    Total += Sh.Count;
+  }
+  return Total;
+}
+
 std::size_t TransitionCache::memoryBytes() const {
-  return Slots.capacity() * sizeof(Slot) + KeyArena.bytesAllocated();
+  std::size_t Bytes = 0;
+  for (const Shard &Sh : Shards) {
+    std::lock_guard<std::mutex> Lock(Sh.M);
+    Bytes += Sh.Slots.capacity() * sizeof(Slot) + Sh.KeyArena.bytesAllocated();
+  }
+  return Bytes;
 }

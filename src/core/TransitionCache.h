@@ -11,8 +11,15 @@
 /// packed as [header | children… | outcomes…]; they are interned in an
 /// arena so a slot is just {key pointer, state}.
 ///
-/// Open addressing with linear probing keeps the hit path to one hash, one
-/// probe and one short word-compare in the common case.
+/// The map is striped into shards keyed by the transition hash; each shard
+/// is an open-addressed table behind its own mutex. A labeling thread
+/// therefore contends only with threads probing the same stripe, which for
+/// well-mixed hashes means almost never. Within a shard, linear probing
+/// keeps the hit path to one hash, one probe and one short word-compare.
+///
+/// Insert is insert-if-absent: when two threads race on the same miss they
+/// compute the same canonical state (the state table dedups contents), and
+/// the second insert finds the key already present and drops out.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -23,15 +30,23 @@
 #include "support/Arena.h"
 #include "support/Hashing.h"
 
+#include <array>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 namespace odburg {
 
-/// Hash map (op, child states, dyn outcomes) -> StateId.
+/// Hash map (op, child states, dyn outcomes) -> StateId; thread-safe via
+/// striped shards.
 class TransitionCache {
 public:
+  static constexpr unsigned NumShards = 64;
+
   TransitionCache();
+
+  TransitionCache(const TransitionCache &) = delete;
+  TransitionCache &operator=(const TransitionCache &) = delete;
 
   /// Packs a key header: operator and the two length fields.
   static std::uint32_t packHeader(OperatorId Op, unsigned NumChildren,
@@ -44,20 +59,24 @@ public:
   /// Returns InvalidState on miss.
   StateId lookup(const std::uint32_t *Key, unsigned Words) const {
     std::uint64_t H = hashRange(Key, Key + Words);
-    std::size_t Mask = Slots.size() - 1;
-    std::size_t Idx = H & Mask;
-    while (Slots[Idx].Key) {
-      if (Slots[Idx].Hash == H && keyEquals(Slots[Idx].Key, Key, Words))
-        return Slots[Idx].Value;
+    const Shard &Sh = Shards[H & (NumShards - 1)];
+    std::lock_guard<std::mutex> Lock(Sh.M);
+    std::size_t Mask = Sh.Slots.size() - 1;
+    std::size_t Idx = (H >> 8) & Mask;
+    while (Sh.Slots[Idx].Key) {
+      if (Sh.Slots[Idx].Hash == H && keyEquals(Sh.Slots[Idx].Key, Key, Words))
+        return Sh.Slots[Idx].Value;
       Idx = (Idx + 1) & Mask;
     }
     return InvalidState;
   }
 
-  /// Inserts a key that lookup() just missed.
+  /// Inserts \p Key if absent. A concurrent insert of the same key wins
+  /// harmlessly: both map to the same canonical state.
   void insert(const std::uint32_t *Key, unsigned Words, StateId Value);
 
-  std::size_t size() const { return Count; }
+  /// Number of memoized transitions (sums the shards).
+  std::size_t size() const;
 
   /// Approximate heap+arena footprint in bytes.
   std::size_t memoryBytes() const;
@@ -69,10 +88,12 @@ private:
     StateId Value = InvalidState;
   };
 
-  static unsigned keyWords(const std::uint32_t *Key) {
-    std::uint32_t Header = Key[0];
-    return 1 + ((Header >> 16) & 0xFF) + (Header >> 24);
-  }
+  struct alignas(64) Shard {
+    mutable std::mutex M;
+    std::vector<Slot> Slots;
+    std::size_t Count = 0;
+    Arena KeyArena;
+  };
 
   static bool keyEquals(const std::uint32_t *A, const std::uint32_t *B,
                         unsigned Words) {
@@ -82,11 +103,9 @@ private:
     return true;
   }
 
-  void rehash();
+  static void growShard(Shard &Sh);
 
-  std::vector<Slot> Slots;
-  std::size_t Count = 0;
-  Arena KeyArena;
+  std::array<Shard, NumShards> Shards;
 };
 
 } // namespace odburg

@@ -20,6 +20,10 @@
 #include "ir/Node.h"
 #include "support/Cost.h"
 
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 namespace odburg {
 
 /// Read-only view of a labeled function.
@@ -35,6 +39,21 @@ public:
   /// the DP labeler; delta-normalized (per node) for automaton engines.
   virtual Cost costFor(const ir::Node &N, NonterminalId Nt) const = 0;
 };
+
+/// Flattens the full observable labeling of \p F — (rule, raw cost) for
+/// every node x nonterminal, in node order — so two engines or two runs
+/// can be compared bit for bit. \p NumNonterminals is the grammar's
+/// nonterminal count.
+inline std::vector<std::pair<RuleId, std::uint32_t>>
+labelingSnapshot(const ir::IRFunction &F, unsigned NumNonterminals,
+                 const Labeling &L) {
+  std::vector<std::pair<RuleId, std::uint32_t>> Rows;
+  Rows.reserve(static_cast<std::size_t>(F.size()) * NumNonterminals);
+  for (const ir::Node *N : F.nodes())
+    for (NonterminalId Nt = 0; Nt < NumNonterminals; ++Nt)
+      Rows.emplace_back(L.ruleFor(*N, Nt), L.costFor(*N, Nt).raw());
+  return Rows;
+}
 
 } // namespace odburg
 

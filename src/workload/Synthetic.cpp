@@ -268,3 +268,21 @@ Expected<ir::IRFunction> odburg::workload::generate(const Profile &P,
   Generator(P, *Ops, F).run();
   return F;
 }
+
+Expected<std::vector<ir::IRFunction>>
+odburg::workload::generateBatch(const Profile &P, const Grammar &G,
+                                unsigned Count, unsigned TargetNodes) {
+  std::vector<ir::IRFunction> Fns;
+  Fns.reserve(Count);
+  Profile Q = P;
+  if (TargetNodes)
+    Q.TargetNodes = TargetNodes;
+  for (unsigned I = 0; I < Count; ++I) {
+    Q.Seed = P.Seed + I;
+    Expected<ir::IRFunction> F = generate(Q, G);
+    if (!F)
+      return F.takeError();
+    Fns.push_back(std::move(*F));
+  }
+  return Fns;
+}

@@ -63,6 +63,14 @@ const Profile *findProfile(std::string_view Name);
 /// canonical operators of \p G.
 Expected<ir::IRFunction> generate(const Profile &P, const Grammar &G);
 
+/// Generates a corpus of \p Count functions for \p P against \p G, one per
+/// seed P.Seed, P.Seed+1, …. \p TargetNodes overrides the profile's size
+/// per function when nonzero (batch drivers want many smaller functions
+/// rather than one big one). Deterministic like generate().
+Expected<std::vector<ir::IRFunction>>
+generateBatch(const Profile &P, const Grammar &G, unsigned Count,
+              unsigned TargetNodes = 0);
+
 /// Builds a random subject tree of roughly \p Budget nodes over the
 /// operators of an arbitrary grammar (used with grammar/Synthesize.h for
 /// the scaling experiment and grammar-fuzzing property tests). Returns

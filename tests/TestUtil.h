@@ -18,12 +18,46 @@
 #include "grammar/GrammarParser.h"
 #include "ir/Node.h"
 #include "select/DynCost.h"
+#include "select/Labeling.h"
 #include "support/RNG.h"
+
+#include <gtest/gtest.h>
 
 #include <string>
 
 namespace odburg {
 namespace test {
+
+/// Asserts that two labelings agree on \p F: identical rules everywhere,
+/// and costs equal up to one per-node delta (automaton engines normalize
+/// costs per state, the DP labeler reports absolute costs).
+inline void expectEquivalent(const Grammar &G, const ir::IRFunction &F,
+                             const Labeling &Reference,
+                             const Labeling &Subject) {
+  for (const ir::Node *N : F.nodes()) {
+    bool HaveDelta = false;
+    Cost::ValueType Delta = 0;
+    for (NonterminalId Nt = 0; Nt < G.numNonterminals(); ++Nt) {
+      Cost RC = Reference.costFor(*N, Nt);
+      Cost SC = Subject.costFor(*N, Nt);
+      ASSERT_EQ(RC.isInfinite(), SC.isInfinite())
+          << "node " << N->id() << " nt " << G.nonterminalName(Nt);
+      if (RC.isFinite()) {
+        ASSERT_GE(RC.raw(), SC.raw());
+        Cost::ValueType D = RC.raw() - SC.raw();
+        if (!HaveDelta) {
+          Delta = D;
+          HaveDelta = true;
+        }
+        ASSERT_EQ(D, Delta) << "non-uniform normalization delta at node "
+                            << N->id();
+      }
+      ASSERT_EQ(Reference.ruleFor(*N, Nt), Subject.ruleFor(*N, Nt))
+          << "node " << N->id() << " (" << G.operatorName(N->op()) << ") nt "
+          << G.nonterminalName(Nt);
+    }
+  }
+}
 
 /// The running example (Ertl et al. / Thier et al., Fig. 1): rules 1-6,
 /// where rule 6 is the read-modify-write pattern whose instruction

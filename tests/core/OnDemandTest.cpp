@@ -19,38 +19,7 @@
 
 using namespace odburg;
 
-namespace {
-
-/// Asserts that two labelings agree: identical rules everywhere, and costs
-/// equal up to one per-node delta (the automaton normalizes per state).
-void expectEquivalent(const Grammar &G, const ir::IRFunction &F,
-                      const Labeling &Reference, const Labeling &Subject) {
-  for (const ir::Node *N : F.nodes()) {
-    bool HaveDelta = false;
-    Cost::ValueType Delta = 0;
-    for (NonterminalId Nt = 0; Nt < G.numNonterminals(); ++Nt) {
-      Cost RC = Reference.costFor(*N, Nt);
-      Cost SC = Subject.costFor(*N, Nt);
-      ASSERT_EQ(RC.isInfinite(), SC.isInfinite())
-          << "node " << N->id() << " nt " << G.nonterminalName(Nt);
-      if (RC.isFinite()) {
-        ASSERT_GE(RC.raw(), SC.raw());
-        Cost::ValueType D = RC.raw() - SC.raw();
-        if (!HaveDelta) {
-          Delta = D;
-          HaveDelta = true;
-        }
-        ASSERT_EQ(D, Delta) << "non-uniform normalization delta at node "
-                            << N->id();
-      }
-      ASSERT_EQ(Reference.ruleFor(*N, Nt), Subject.ruleFor(*N, Nt))
-          << "node " << N->id() << " (" << G.operatorName(N->op()) << ") nt "
-          << G.nonterminalName(Nt);
-    }
-  }
-}
-
-} // namespace
+using test::expectEquivalent;
 
 TEST(OnDemand, MatchesDPOnPaperExample) {
   Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
@@ -230,4 +199,114 @@ TEST(OnDemand, MemoryGrowsWithStates) {
   test::buildStoreTree(F, G, 1, 1, 2);
   A.labelFunction(F);
   EXPECT_GT(A.memoryBytes(), Empty);
+}
+
+namespace {
+
+/// A grammar whose relative costs never converge: each Un level widens the
+/// a/b cost gap by one, so every depth materializes a fresh state and the
+/// automaton grows without bound. This is exactly the degenerate shape the
+/// Options::MaxStates safety bound exists for.
+const char *divergentGrammarText() {
+  return R"(
+    %start a
+    a: Leaf = 1 (0);
+    b: Leaf = 2 (1);
+    a: Un(a) = 3 (1);
+    b: Un(b) = 4 (2);
+    a: Pair(a,b) = 5 (1);
+  )";
+}
+
+/// Builds Un(Un(...Un(Leaf))) of \p Depth levels and roots it.
+void buildUnChain(ir::IRFunction &F, const Grammar &G, unsigned Depth) {
+  ir::Node *N = F.makeLeaf(G.findOperator("Leaf"));
+  OperatorId Un = G.findOperator("Un");
+  for (unsigned I = 0; I < Depth; ++I) {
+    SmallVector<ir::Node *, 1> C{N};
+    N = F.makeNode(Un, C);
+  }
+  F.addRoot(N);
+}
+
+} // namespace
+
+TEST(OnDemandOptions, StateLimitStopsDivergentGrammar) {
+  Grammar G = cantFail(parseGrammar(divergentGrammarText()));
+  ir::IRFunction F;
+  buildUnChain(F, G, 64);
+  OnDemandAutomaton::Options Opts;
+  Opts.MaxStates = 16;
+  OnDemandAutomaton A(G, nullptr, Opts);
+  EXPECT_DEATH(A.labelFunction(F), "state limit");
+}
+
+TEST(OnDemandOptions, StateLimitAlsoGuardsTheNoCachePath) {
+  // The bound must hold on the ablation path too: with the cache off every
+  // node recomputes its state, but growth is still capped.
+  Grammar G = cantFail(parseGrammar(divergentGrammarText()));
+  ir::IRFunction F;
+  buildUnChain(F, G, 64);
+  OnDemandAutomaton::Options Opts;
+  Opts.MaxStates = 16;
+  Opts.UseTransitionCache = false;
+  OnDemandAutomaton A(G, nullptr, Opts);
+  EXPECT_DEATH(A.labelFunction(F), "state limit");
+}
+
+TEST(OnDemandOptions, TightButSufficientStateLimitIsUntouched) {
+  // The paper example needs exactly four states; a limit of four must not
+  // fire (the bound is "exceeded", not "reached").
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  ir::IRFunction F;
+  test::buildStoreTree(F, G, 1, 1, 2);
+  OnDemandAutomaton::Options Opts;
+  Opts.MaxStates = 4;
+  OnDemandAutomaton A(G, nullptr, Opts);
+  A.labelFunction(F);
+  EXPECT_EQ(A.numStates(), 4u);
+}
+
+TEST(OnDemandOptions, ConvergentDeepChainStaysBounded) {
+  // Sanity check on the divergence diagnosis: the same chain shape over
+  // the running example's grammar converges to a handful of states, so a
+  // small limit suffices no matter how deep the input is.
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  ir::IRFunction F;
+  OperatorId Load = G.findOperator("Load");
+  ir::Node *N = F.makeLeaf(G.findOperator("Reg"), 1);
+  for (unsigned I = 0; I < 128; ++I) {
+    SmallVector<ir::Node *, 1> C{N};
+    N = F.makeNode(Load, C);
+  }
+  SmallVector<ir::Node *, 2> C{F.makeLeaf(G.findOperator("Reg"), 0), N};
+  F.addRoot(F.makeNode(G.findOperator("Store"), C));
+  OnDemandAutomaton::Options Opts;
+  Opts.MaxStates = 8;
+  OnDemandAutomaton A(G, nullptr, Opts);
+  A.labelFunction(F);
+  EXPECT_LE(A.numStates(), 8u);
+}
+
+TEST(OnDemandOptions, CacheDisabledMatchesDPUnderDynCosts) {
+  // The UseTransitionCache=false ablation must stay correct when dynamic
+  // costs are in play: hook outcomes feed the state computation directly
+  // rather than through a memoized transition.
+  Grammar G = cantFail(parseGrammar(test::runningExampleText()));
+  auto Hooks = test::runningExampleHooks();
+  DynCostTable Dyn = cantFail(DynCostTable::build(G, Hooks));
+  ir::IRFunction F;
+  test::buildStoreTree(F, G, 1, 1, 2); // memop applicable
+  test::buildStoreTree(F, G, 1, 7, 2); // memop not applicable
+  DPLabeling Ref = DPLabeler(G, &Dyn).label(F);
+  OnDemandAutomaton::Options Opts;
+  Opts.UseTransitionCache = false;
+  OnDemandAutomaton A(G, &Dyn, Opts);
+  SelectionStats S;
+  A.labelFunction(F, &S);
+  expectEquivalent(G, F, Ref, A);
+  EXPECT_EQ(S.CacheProbes, 0u);
+  EXPECT_EQ(S.StatesComputed, S.NodesLabeled);
+  EXPECT_EQ(A.numTransitions(), 0u);
+  EXPECT_EQ(A.numStates(), 5u); // Same five states as the cached run.
 }

@@ -10,6 +10,10 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
 using namespace odburg;
 
 namespace {
@@ -134,4 +138,72 @@ TEST(TransitionCache, SurvivesRehash) {
     ASSERT_EQ(C.lookup(Key, 3), I);
   }
   EXPECT_GT(C.memoryBytes(), 5000u * 3 * 4);
+}
+
+TEST(StateTable, ConcurrentInternYieldsCanonicalStates) {
+  // Eight threads hammer the sharded table with heavily overlapping
+  // contents: each distinct content must intern exactly once, ids must
+  // stay dense, and re-interning must return the canonical pointer.
+  constexpr unsigned Distinct = 64;
+  constexpr unsigned Threads = 8;
+  StateTable T(2);
+  auto Content = [](unsigned V) {
+    return makeVectors({V % 7, V % 13}, {V % 5, V % 11});
+  };
+  std::vector<std::thread> Workers;
+  for (unsigned W = 0; W < Threads; ++W)
+    Workers.emplace_back([&, W] {
+      for (unsigned I = 0; I < 512; ++I) {
+        unsigned V = (I * Threads + W) % Distinct;
+        VecPair P = Content(V);
+        const State *S = T.intern(0, P.Costs.data(), P.Rules.data());
+        ASSERT_NE(S, nullptr);
+        ASSERT_EQ(T.byId(S->Id), S);
+      }
+    });
+  for (std::thread &W : Workers)
+    W.join();
+
+  std::unordered_set<unsigned> DistinctContents;
+  for (unsigned V = 0; V < Distinct; ++V)
+    DistinctContents.insert((V % 7) << 16 | (V % 13) << 8 | (V % 5) << 4 |
+                            (V % 11));
+  EXPECT_EQ(T.size(), DistinctContents.size());
+  for (unsigned V = 0; V < Distinct; ++V) {
+    VecPair P = Content(V);
+    const State *S = T.intern(0, P.Costs.data(), P.Rules.data());
+    EXPECT_LT(S->Id, T.size());
+    EXPECT_EQ(T.byId(S->Id), S);
+  }
+  // Snapshot is dense and in id order.
+  std::vector<const State *> All = T.states();
+  ASSERT_EQ(All.size(), T.size());
+  for (StateId Id = 0; Id < All.size(); ++Id)
+    EXPECT_EQ(All[Id]->Id, Id);
+}
+
+TEST(TransitionCache, ConcurrentInsertAndLookupConverge) {
+  // Racing threads repeatedly miss, insert and re-look-up overlapping
+  // keys; the insert-if-absent contract keeps one entry per key.
+  constexpr unsigned Distinct = 128;
+  constexpr unsigned Threads = 8;
+  TransitionCache C;
+  std::vector<std::thread> Workers;
+  for (unsigned W = 0; W < Threads; ++W)
+    Workers.emplace_back([&, W] {
+      for (unsigned I = 0; I < 512; ++I) {
+        std::uint32_t V = (I * Threads + W) % Distinct;
+        std::uint32_t Key[] = {TransitionCache::packHeader(1, 2, 0), V, V * 3};
+        if (C.lookup(Key, 3) == InvalidState)
+          C.insert(Key, 3, V);
+        ASSERT_EQ(C.lookup(Key, 3), V);
+      }
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  EXPECT_EQ(C.size(), Distinct);
+  for (std::uint32_t V = 0; V < Distinct; ++V) {
+    std::uint32_t Key[] = {TransitionCache::packHeader(1, 2, 0), V, V * 3};
+    EXPECT_EQ(C.lookup(Key, 3), V);
+  }
 }

@@ -16,6 +16,8 @@
 #include "targets/AsmEmitter.h"
 #include "targets/Target.h"
 #include "workload/Corpus.h"
+#include "workload/Synthetic.h"
+#include "TestUtil.h"
 
 #include <gtest/gtest.h>
 
@@ -85,6 +87,59 @@ TEST_P(Pipeline, OfflineEmitsIdenticalCodeOnFixedGrammar) {
 
 INSTANTIATE_TEST_SUITE_P(CorpusByTarget, Pipeline,
                          ::testing::ValuesIn(allCases()), caseName);
+
+namespace {
+
+/// The differential matrix: every target grammar crossed with SPEC-like
+/// synthetic profiles of different operator mixes. The MiniC corpus above
+/// is small and hand-written; the synthetic workloads drive the engines
+/// through far more (op, child-state, dyn-outcome) combinations.
+struct SyntheticCase {
+  std::string TargetName;
+  std::string ProfileName;
+};
+
+std::vector<SyntheticCase> syntheticCases() {
+  std::vector<SyntheticCase> Cases;
+  for (const std::string &T : targetNames())
+    for (const char *P : {"gzip-like", "gcc-like", "twolf-like"})
+      Cases.push_back({T, P});
+  return Cases;
+}
+
+std::string syntheticCaseName(
+    const ::testing::TestParamInfo<SyntheticCase> &Info) {
+  std::string Name = Info.param.TargetName + "_" + Info.param.ProfileName;
+  for (char &C : Name)
+    if (C == '-')
+      C = '_';
+  return Name;
+}
+
+} // namespace
+
+class SyntheticDifferential
+    : public ::testing::TestWithParam<SyntheticCase> {};
+
+TEST_P(SyntheticDifferential, OnDemandLabelingEquivalentToDP) {
+  auto T = cantFail(makeTarget(GetParam().TargetName));
+  const Profile *P = findProfile(GetParam().ProfileName);
+  ASSERT_NE(P, nullptr);
+  // Shrink the profile so the slow DP reference stays test-suite friendly;
+  // the operator mix and constant ranges are what matter here.
+  Profile Q = *P;
+  Q.TargetNodes = 6000;
+  ir::IRFunction F = cantFail(generate(Q, T->G));
+
+  DPLabeling Ref = DPLabeler(T->G, &T->Dyn).label(F);
+  OnDemandAutomaton A(T->G, &T->Dyn);
+  A.labelFunction(F);
+  test::expectEquivalent(T->G, F, Ref, A);
+}
+
+INSTANTIATE_TEST_SUITE_P(TargetsByProfile, SyntheticDifferential,
+                         ::testing::ValuesIn(syntheticCases()),
+                         syntheticCaseName);
 
 TEST(PipelineWarm, AutomatonStopsCreatingStatesAcrossCorpus) {
   // A JIT-like sequence: compile the whole corpus twice; the second pass

@@ -3,58 +3,64 @@
 // Part of the odburg project.
 //
 // Plays the role the CACAO second stage plays in the papers: compile a
-// stream of methods (the MiniC corpus) with one persistent on-demand
-// automaton and watch it warm up — states are only created for the first
-// few methods, after which labeling is pure cache hits.
+// stream of methods (the MiniC corpus) through one persistent
+// CompileSession and watch its automaton warm up — states are only
+// created for the first few methods, after which labeling is pure cache
+// hits and each method costs label + reduce + emit with no table growth.
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/OnDemandAutomaton.h"
-#include "select/Reducer.h"
+#include "pipeline/CompileSession.h"
 #include "support/StringUtil.h"
 #include "support/TablePrinter.h"
-#include "targets/AsmEmitter.h"
 #include "targets/Target.h"
 #include "workload/Corpus.h"
 
 #include <cstdio>
 
 using namespace odburg;
+using namespace odburg::pipeline;
 using namespace odburg::workload;
 
 int main() {
   auto T = cantFail(targets::makeTarget("vm64"));
-  OnDemandAutomaton A(T->G, &T->Dyn);
+  CompileSession Session(*T);
 
-  TablePrinter Table("JIT compilation with a persistent on-demand automaton "
+  TablePrinter Table("JIT compilation with a persistent compile session "
                      "(target: vm64)");
-  Table.setHeader({"method", "IR nodes", "asm instrs", "states total",
+  Table.setHeader({"method", "IR nodes", "asm instrs", "cost", "states total",
                    "new states", "hit rate %"});
 
   unsigned PrevStates = 0;
   for (const CorpusProgram &P : corpus()) {
     ir::IRFunction F = cantFail(compileCorpusProgram(P, T->G));
-    SelectionStats Stats;
-    A.labelFunction(F, &Stats);
-    Selection S = cantFail(reduce(T->G, F, A, &T->Dyn));
-    targets::AsmOutput Asm = cantFail(targets::emitAsm(T->G, F, S));
-    double HitRate = 100.0 * static_cast<double>(Stats.CacheHits) /
-                     static_cast<double>(Stats.CacheProbes);
+    CompileResult R = Session.compileFunction(F);
+    if (!R.ok()) {
+      std::fprintf(stderr, "error compiling %s: %s\n", P.Name.c_str(),
+                   R.Diagnostic.c_str());
+      return 1;
+    }
+    unsigned States = Session.automaton().numStates();
+    double HitRate = 100.0 * static_cast<double>(R.Stats.CacheHits) /
+                     static_cast<double>(R.Stats.CacheProbes);
     Table.addRow({P.Name, std::to_string(F.size()),
-                  std::to_string(Asm.instructions()),
-                  std::to_string(A.numStates()),
-                  std::to_string(A.numStates() - PrevStates),
+                  std::to_string(R.Instructions),
+                  std::to_string(R.Sel.TotalCost.value()),
+                  std::to_string(States),
+                  std::to_string(States - PrevStates),
                   formatFixed(HitRate, 1)});
-    PrevStates = A.numStates();
+    PrevStates = States;
   }
   Table.print();
 
   // Show the code for one small method, as a JIT log would.
   const CorpusProgram *Fact = findCorpusProgram("Fact");
   ir::IRFunction F = cantFail(compileCorpusProgram(*Fact, T->G));
-  A.labelFunction(F);
-  Selection S = cantFail(reduce(T->G, F, A, &T->Dyn));
-  targets::AsmOutput Asm = cantFail(targets::emitAsm(T->G, F, S));
-  std::printf("\ngenerated code for Fact:\n%s", Asm.text().c_str());
+  CompileResult R = Session.compileFunction(F);
+  if (!R.ok()) {
+    std::fprintf(stderr, "error compiling Fact: %s\n", R.Diagnostic.c_str());
+    return 1;
+  }
+  std::printf("\ngenerated code for Fact:\n%s", R.Asm.c_str());
   return 0;
 }

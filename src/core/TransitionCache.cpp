@@ -11,52 +11,82 @@
 using namespace odburg;
 
 TransitionCache::TransitionCache() {
-  for (Shard &Sh : Shards)
-    Sh.Slots.resize(64);
+  for (Shard &Sh : Shards) {
+    Sh.Arrays.push_back(std::make_unique<SlotArray>(64));
+    Sh.Current.store(Sh.Arrays.back().get(), std::memory_order_release);
+  }
 }
 
 void TransitionCache::insert(const std::uint32_t *Key, unsigned Words,
                              StateId Value) {
-  std::uint64_t H = hashRange(Key, Key + Words);
+  std::uint64_t H = hashKey(Key, Words);
   Shard &Sh = Shards[H & (NumShards - 1)];
   std::lock_guard<std::mutex> Lock(Sh.M);
+  const SlotArray *T = Sh.Current.load(std::memory_order_relaxed);
 
   // Re-probe under the lock: another thread may have inserted this key
-  // since our lookup missed.
-  std::size_t Mask = Sh.Slots.size() - 1;
+  // since our lookup missed. Relaxed loads suffice — the mutex orders us
+  // after every prior writer.
+  std::size_t Mask = T->Mask;
   std::size_t Idx = (H >> 8) & Mask;
-  while (Sh.Slots[Idx].Key) {
-    if (Sh.Slots[Idx].Hash == H && keyEquals(Sh.Slots[Idx].Key, Key, Words))
+  while (const std::uint32_t *K =
+             T->Slots[Idx].Key.load(std::memory_order_relaxed)) {
+    if (T->Slots[Idx].Hash.load(std::memory_order_relaxed) == H &&
+        keyEquals(K, Key, Words))
       return;
     Idx = (Idx + 1) & Mask;
   }
 
-  if ((Sh.Count + 1) * 4 > Sh.Slots.size() * 3) {
-    growShard(Sh);
-    Mask = Sh.Slots.size() - 1;
+  if ((Sh.Count + 1) * 4 > (T->Mask + 1) * 3) {
+    T = growShard(Sh);
+    Mask = T->Mask;
     Idx = (H >> 8) & Mask;
-    while (Sh.Slots[Idx].Key)
+    while (T->Slots[Idx].Key.load(std::memory_order_relaxed))
       Idx = (Idx + 1) & Mask;
   }
 
   std::uint32_t *Stored = Sh.KeyArena.allocateArray<std::uint32_t>(Words);
   std::memcpy(Stored, Key, Words * sizeof(std::uint32_t));
-  Sh.Slots[Idx] = {Stored, H, Value};
+
+  // Seqlock write side: odd while the slot is being published. Hash and
+  // Value land before the release store of Key, so a reader that acquires
+  // the key pointer sees a complete slot even without the retry.
+  Sh.Seq.fetch_add(1, std::memory_order_acq_rel);
+  Slot &S = T->Slots[Idx];
+  S.Hash.store(H, std::memory_order_relaxed);
+  S.Value.store(Value, std::memory_order_relaxed);
+  S.Key.store(Stored, std::memory_order_release);
+  Sh.Seq.fetch_add(1, std::memory_order_release);
   ++Sh.Count;
 }
 
-void TransitionCache::growShard(Shard &Sh) {
-  std::vector<Slot> Old = std::move(Sh.Slots);
-  Sh.Slots.assign(Old.size() * 2, {});
-  std::size_t Mask = Sh.Slots.size() - 1;
-  for (const Slot &S : Old) {
-    if (!S.Key)
+const TransitionCache::SlotArray *TransitionCache::growShard(Shard &Sh) {
+  const SlotArray *Old = Sh.Current.load(std::memory_order_relaxed);
+  auto Grown = std::make_unique<SlotArray>((Old->Mask + 1) * 2);
+  std::size_t Mask = Grown->Mask;
+  for (std::size_t I = 0; I <= Old->Mask; ++I) {
+    const std::uint32_t *K = Old->Slots[I].Key.load(std::memory_order_relaxed);
+    if (!K)
       continue;
-    std::size_t Idx = (S.Hash >> 8) & Mask;
-    while (Sh.Slots[Idx].Key)
+    std::uint64_t H = Old->Slots[I].Hash.load(std::memory_order_relaxed);
+    std::size_t Idx = (H >> 8) & Mask;
+    while (Grown->Slots[Idx].Key.load(std::memory_order_relaxed))
       Idx = (Idx + 1) & Mask;
-    Sh.Slots[Idx] = S;
+    Grown->Slots[Idx].Hash.store(H, std::memory_order_relaxed);
+    Grown->Slots[Idx].Value.store(
+        Old->Slots[I].Value.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    Grown->Slots[Idx].Key.store(K, std::memory_order_relaxed);
   }
+  // Publish under an odd sequence so an in-flight reader of the old array
+  // retries onto the new one. The old array stays alive (owned by Arrays)
+  // for readers that already hold its pointer.
+  const SlotArray *Raw = Grown.get();
+  Sh.Seq.fetch_add(1, std::memory_order_acq_rel);
+  Sh.Current.store(Raw, std::memory_order_release);
+  Sh.Seq.fetch_add(1, std::memory_order_release);
+  Sh.Arrays.push_back(std::move(Grown));
+  return Raw;
 }
 
 std::size_t TransitionCache::size() const {
@@ -72,7 +102,9 @@ std::size_t TransitionCache::memoryBytes() const {
   std::size_t Bytes = 0;
   for (const Shard &Sh : Shards) {
     std::lock_guard<std::mutex> Lock(Sh.M);
-    Bytes += Sh.Slots.capacity() * sizeof(Slot) + Sh.KeyArena.bytesAllocated();
+    for (const std::unique_ptr<SlotArray> &T : Sh.Arrays)
+      Bytes += (T->Mask + 1) * sizeof(Slot);
+    Bytes += Sh.KeyArena.bytesAllocated();
   }
   return Bytes;
 }

@@ -1,0 +1,156 @@
+//===- pipeline/CompileSession.cpp - End-to-end batch compilation ---------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/CompileSession.h"
+
+#include "support/Timer.h"
+#include "targets/Target.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+using namespace odburg;
+using namespace odburg::pipeline;
+
+CompileSession::CompileSession(const Grammar &G, const DynCostTable *Dyn)
+    : CompileSession(G, Dyn, Options()) {}
+
+CompileSession::CompileSession(const Grammar &G, const DynCostTable *Dyn,
+                               Options Opts)
+    : G(G), Dyn(Dyn), A(G, Dyn, Opts.Automaton), Opts(Opts) {}
+
+CompileSession::CompileSession(const targets::Target &T)
+    : CompileSession(T.G, &T.Dyn) {}
+
+void CompileSession::compileOne(ir::IRFunction &F, WorkerScratch &WS,
+                                CompileResult &Out) {
+  SelectionStats FnStats;
+  Stopwatch Phase;
+  A.labelFunction(F, &FnStats);
+  Out.LabelNs = Phase.elapsedNs();
+
+  Phase.restart();
+  Expected<Selection> S = reduce(G, F, A, Dyn, WS.Reduction);
+  Out.ReduceNs = Phase.elapsedNs();
+  Out.Stats = FnStats;
+  WS.Stats += FnStats;
+  WS.LabelNs += Out.LabelNs;
+  WS.ReduceNs += Out.ReduceNs;
+  if (!S) {
+    Out.Diagnostic = S.message();
+    return;
+  }
+  Out.Sel = std::move(*S);
+
+  Phase.restart();
+  targets::AsmBuffer Buf;
+  Error E = targets::emitAsm(G, F, Out.Sel, Buf);
+  Out.EmitNs = Phase.elapsedNs();
+  WS.EmitNs += Out.EmitNs;
+  if (E) {
+    Out.Diagnostic = E.message();
+    return;
+  }
+  Out.Asm = std::move(Buf.Text);
+  Out.Instructions = Buf.Instructions;
+}
+
+CompileResult CompileSession::compileFunction(ir::IRFunction &F) {
+  CompileResult Out;
+  compileOne(F, Serial, Out);
+  return Out;
+}
+
+std::vector<CompileResult>
+CompileSession::compileFunctions(std::span<ir::IRFunction *const> Fns,
+                                 unsigned Threads, SessionStats *Stats) {
+  Stopwatch Wall;
+  if (Threads == 0)
+    Threads = Opts.Threads;
+  if (Threads == 0)
+    Threads = std::max(1u, std::thread::hardware_concurrency());
+  Threads = static_cast<unsigned>(std::min<std::size_t>(Threads, Fns.size()));
+
+  std::vector<CompileResult> Results(Fns.size());
+  std::vector<WorkerScratch> Scratch(std::max(Threads, 1u));
+
+  if (Threads <= 1) {
+    for (std::size_t I = 0; I < Fns.size(); ++I)
+      compileOne(*Fns[I], Scratch[0], Results[I]);
+  } else {
+    // Functions are handed out by index, so results land in corpus order
+    // no matter which worker compiles what; uneven sizes self-balance.
+    std::atomic<std::size_t> Next{0};
+    auto Work = [&](unsigned W) {
+      std::size_t I;
+      while ((I = Next.fetch_add(1, std::memory_order_relaxed)) < Fns.size())
+        compileOne(*Fns[I], Scratch[W], Results[I]);
+    };
+    std::vector<std::thread> Workers;
+    Workers.reserve(Threads - 1);
+    for (unsigned W = 1; W < Threads; ++W)
+      Workers.emplace_back(Work, W);
+    Work(0);
+    for (std::thread &T : Workers)
+      T.join();
+  }
+
+  if (Stats) {
+    for (const WorkerScratch &WS : Scratch) {
+      Stats->Label += WS.Stats;
+      Stats->LabelNs += WS.LabelNs;
+      Stats->ReduceNs += WS.ReduceNs;
+      Stats->EmitNs += WS.EmitNs;
+    }
+    Stats->WallNs += Wall.elapsedNs();
+    for (const CompileResult &R : Results) {
+      ++Stats->Functions;
+      if (!R.ok()) {
+        ++Stats->Failed;
+        continue;
+      }
+      Stats->Instructions += R.Instructions;
+      Stats->AsmBytes += R.Asm.size();
+      Stats->TotalCost += R.Sel.TotalCost;
+    }
+  }
+  return Results;
+}
+
+std::string
+CompileSession::concatAsm(const std::vector<CompileResult> &Results) {
+  std::size_t Bytes = 0;
+  for (const CompileResult &R : Results)
+    Bytes += R.Asm.size();
+  std::string Out;
+  Out.reserve(Bytes);
+  for (const CompileResult &R : Results)
+    Out += R.Asm;
+  return Out;
+}
+
+Cost CompileSession::totalCost(const std::vector<CompileResult> &Results) {
+  Cost Total = Cost::zero();
+  for (const CompileResult &R : Results)
+    if (R.ok())
+      Total += R.Sel.TotalCost;
+  return Total;
+}
+
+std::string odburg::pipeline::phaseSplit(const SessionStats &S) {
+  double Total = static_cast<double>(S.LabelNs) +
+                 static_cast<double>(S.ReduceNs) +
+                 static_cast<double>(S.EmitNs);
+  if (Total == 0)
+    return "-";
+  auto Pct = [Total](std::uint64_t Ns) {
+    return static_cast<unsigned>(100.0 * static_cast<double>(Ns) / Total +
+                                 0.5);
+  };
+  return std::to_string(Pct(S.LabelNs)) + "/" + std::to_string(Pct(S.ReduceNs)) +
+         "/" + std::to_string(Pct(S.EmitNs));
+}

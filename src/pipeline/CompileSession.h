@@ -1,0 +1,165 @@
+//===- pipeline/CompileSession.h - End-to-end batch compilation -----------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compile pipeline: one long-lived CompileSession owns the grammar,
+/// the dynamic-cost hooks, and a shared OnDemandAutomaton, and compiles
+/// corpora of IR functions end-to-end — label, reduce, emit — with a pool
+/// of worker threads. This is the paper's amortization argument run as a
+/// service loop: the automaton persists across batches, so after warm-up
+/// every node labels with one lock-free cache probe, and reduction and
+/// emission are embarrassingly parallel per function.
+///
+/// Concurrency is two-layered:
+///   - *across functions*, workers pull corpus indices from an atomic
+///     counter and run all three phases for a function in the same worker
+///     that labeled it (no phase barriers, no cross-worker hand-off);
+///   - *within the automaton*, the sharded state table and the seqlock
+///     transition cache let all workers label against one shared machine.
+///
+/// Determinism: results are indexed by corpus position, each function's
+/// reduction depends only on its own labels (which are thread-count
+/// invariant), and virtual-register numbering restarts per function — so
+/// the concatenated assembly and the total cost are byte-identical for
+/// any thread count. Per-function failures (e.g. a root with no
+/// derivation) are captured in that function's CompileResult and never
+/// poison the rest of the batch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_PIPELINE_COMPILESESSION_H
+#define ODBURG_PIPELINE_COMPILESESSION_H
+
+#include "core/OnDemandAutomaton.h"
+#include "select/Reducer.h"
+#include "targets/AsmEmitter.h"
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace odburg {
+
+namespace targets {
+struct Target;
+}
+
+namespace pipeline {
+
+/// The outcome of compiling one function end-to-end.
+struct CompileResult {
+  /// Empty on success; the reducer/emitter diagnostic otherwise.
+  std::string Diagnostic;
+  /// Fired rules in emission order and the selected cover's total cost.
+  Selection Sel;
+  /// Newline-terminated assembly text.
+  std::string Asm;
+  /// Emitted instruction count.
+  unsigned Instructions = 0;
+  /// Work counters for this function's labeling.
+  SelectionStats Stats;
+  /// Per-phase wall time, nanoseconds.
+  std::uint64_t LabelNs = 0;
+  std::uint64_t ReduceNs = 0;
+  std::uint64_t EmitNs = 0;
+
+  bool ok() const { return Diagnostic.empty(); }
+};
+
+/// Aggregates over one compileFunctions() batch. Phase times are summed
+/// across workers, so on a multicore run they exceed WallNs — use them
+/// for the relative label/reduce/emit split.
+struct SessionStats {
+  /// Labeling work counters summed over the batch.
+  SelectionStats Label;
+  std::uint64_t LabelNs = 0;
+  std::uint64_t ReduceNs = 0;
+  std::uint64_t EmitNs = 0;
+  /// End-to-end batch wall time.
+  std::uint64_t WallNs = 0;
+  std::uint64_t Functions = 0;
+  std::uint64_t Failed = 0;
+  std::uint64_t Instructions = 0;
+  std::uint64_t AsmBytes = 0;
+  /// Summed cost of the successful functions' selected covers.
+  Cost TotalCost = Cost::zero();
+
+  void reset() { *this = SessionStats(); }
+};
+
+/// Renders the label/reduce/emit share of a batch's summed phase time as
+/// "62/25/13" (percent, rounded), or "-" when no time was recorded. The
+/// common reporting format of odburg-run and bench_p2_pipeline.
+std::string phaseSplit(const SessionStats &S);
+
+/// A persistent compile service over one grammar: construct once, feed it
+/// corpora forever. Not itself thread-safe — one batch at a time; the
+/// concurrency lives inside compileFunctions().
+class CompileSession {
+public:
+  struct Options {
+    /// Tunables for the shared automaton.
+    OnDemandAutomaton::Options Automaton;
+    /// Default worker count for compileFunctions (0 = hardware
+    /// concurrency); per-call Threads overrides.
+    unsigned Threads = 0;
+  };
+
+  /// \p Dyn may be null for grammars without dynamic costs; it must
+  /// outlive the session, as must \p G.
+  explicit CompileSession(const Grammar &G, const DynCostTable *Dyn = nullptr);
+  CompileSession(const Grammar &G, const DynCostTable *Dyn, Options Opts);
+  /// Convenience: a session over a target's full (dynamic-cost) grammar.
+  explicit CompileSession(const targets::Target &T);
+
+  CompileSession(const CompileSession &) = delete;
+  CompileSession &operator=(const CompileSession &) = delete;
+
+  /// Compiles one function end-to-end on the calling thread.
+  CompileResult compileFunction(ir::IRFunction &F);
+
+  /// Compiles a corpus with \p Threads workers (0 = the session default).
+  /// Each worker labels, reduces and emits a whole function before pulling
+  /// the next index, and results come back in corpus order regardless of
+  /// scheduling. The automaton stays warm across calls.
+  std::vector<CompileResult>
+  compileFunctions(std::span<ir::IRFunction *const> Fns, unsigned Threads = 0,
+                   SessionStats *Stats = nullptr);
+
+  /// The batch's assembly in corpus order (failed functions contribute
+  /// nothing). Byte-identical for any thread count.
+  static std::string concatAsm(const std::vector<CompileResult> &Results);
+
+  /// Summed cover cost of the successful results.
+  static Cost totalCost(const std::vector<CompileResult> &Results);
+
+  const Grammar &grammar() const { return G; }
+  const OnDemandAutomaton &automaton() const { return A; }
+
+private:
+  /// Per-worker reusable state, cache-line separated across the pool.
+  struct alignas(64) WorkerScratch {
+    ReductionScratch Reduction;
+    SelectionStats Stats;
+    std::uint64_t LabelNs = 0;
+    std::uint64_t ReduceNs = 0;
+    std::uint64_t EmitNs = 0;
+  };
+
+  void compileOne(ir::IRFunction &F, WorkerScratch &WS, CompileResult &Out);
+
+  const Grammar &G;
+  const DynCostTable *Dyn;
+  OnDemandAutomaton A;
+  Options Opts;
+  /// Scratch for the serial compileFunction() entry point.
+  WorkerScratch Serial;
+};
+
+} // namespace pipeline
+} // namespace odburg
+
+#endif // ODBURG_PIPELINE_COMPILESESSION_H

@@ -6,24 +6,33 @@
 
 #include "select/Reducer.h"
 
-#include "support/SmallVector.h"
+#include <algorithm>
 
-using namespace odburg;
-
-namespace {
+namespace odburg {
 
 /// Explicit-stack derivation walker (IR trees can be deep enough to make
-/// native recursion risky).
-class Walker {
+/// native recursion risky). Visited set and stack live in a caller-owned
+/// ReductionScratch so batch drivers can reuse them across functions.
+class ReducerWalker {
 public:
-  Walker(const Grammar &G, const ir::IRFunction &F, const Labeling &L,
-         const DynCostTable *Dyn, Selection &Out)
-      : G(G), L(L), Dyn(Dyn), Out(Out),
-        Visited(static_cast<std::size_t>(F.size()) * G.numNonterminals(),
-                false),
-        Stride(G.numNonterminals()) {}
+  ReducerWalker(const Grammar &G, const ir::IRFunction &F, const Labeling &L,
+                const DynCostTable *Dyn, Selection &Out,
+                ReductionScratch &Scratch)
+      : G(G), L(L), Dyn(Dyn), Out(Out), Scratch(Scratch),
+        Stride(G.numNonterminals()) {
+    std::size_t Needed = static_cast<std::size_t>(F.size()) * Stride;
+    if (Scratch.VisitedEpoch.size() < Needed)
+      Scratch.VisitedEpoch.resize(Needed, 0);
+    if (++Scratch.Epoch == 0) {
+      // Epoch wrapped: stale tags could alias the fresh epoch, so pay one
+      // full clear every 2^32 reductions.
+      std::fill(Scratch.VisitedEpoch.begin(), Scratch.VisitedEpoch.end(), 0);
+      Scratch.Epoch = 1;
+    }
+  }
 
   Error walkRoot(const ir::Node *Root, NonterminalId Goal) {
+    std::vector<Frame> &Stack = Scratch.Stack;
     Stack.clear();
     push(Root, Goal);
     while (!Stack.empty()) {
@@ -61,32 +70,25 @@ public:
   }
 
 private:
-  struct Frame {
-    const ir::Node *N;
-    NonterminalId Nt;
-    RuleId Rule = InvalidRule;
-    unsigned NextChild = 0;
-    bool Resolved = false;
-    bool Skip = false;
-  };
+  using Frame = ReductionScratch::Frame;
 
   void push(const ir::Node *N, NonterminalId Nt) {
     Frame F;
     F.N = N;
     F.Nt = Nt;
-    Stack.push_back(F);
+    Scratch.Stack.push_back(F);
   }
 
   Error resolve(Frame &F) {
     F.Resolved = true;
     std::size_t Key = static_cast<std::size_t>(F.N->id()) * Stride + F.Nt;
-    if (Visited[Key]) {
+    if (Scratch.VisitedEpoch[Key] == Scratch.Epoch) {
       // DAG sharing: this (node, nonterminal) was already derived; its code
       // was (or will be) emitted by the first visit.
       F.Skip = true;
       return Error::success();
     }
-    Visited[Key] = true;
+    Scratch.VisitedEpoch[Key] = Scratch.Epoch;
     F.Rule = L.ruleFor(*F.N, F.Nt);
     if (F.Rule == InvalidRule)
       return Error::make("no derivation of nonterminal '" +
@@ -115,20 +117,28 @@ private:
   const Labeling &L;
   const DynCostTable *Dyn;
   Selection &Out;
-  std::vector<bool> Visited;
+  ReductionScratch &Scratch;
   unsigned Stride;
-  std::vector<Frame> Stack;
 };
 
-} // namespace
+} // namespace odburg
+
+using namespace odburg;
 
 Expected<Selection> odburg::reduce(const Grammar &G, const ir::IRFunction &F,
-                                   const Labeling &L,
-                                   const DynCostTable *Dyn) {
+                                   const Labeling &L, const DynCostTable *Dyn,
+                                   ReductionScratch &Scratch) {
   Selection Out;
-  Walker W(G, F, L, Dyn, Out);
+  ReducerWalker W(G, F, L, Dyn, Out, Scratch);
   for (const ir::Node *Root : F.roots())
     if (Error E = W.walkRoot(Root, G.startNt()))
       return E;
   return Out;
+}
+
+Expected<Selection> odburg::reduce(const Grammar &G, const ir::IRFunction &F,
+                                   const Labeling &L,
+                                   const DynCostTable *Dyn) {
+  ReductionScratch Scratch;
+  return reduce(G, F, L, Dyn, Scratch);
 }

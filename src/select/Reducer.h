@@ -26,9 +26,12 @@
 #include "select/Labeling.h"
 #include "support/Error.h"
 
+#include <cstdint>
 #include <vector>
 
 namespace odburg {
+
+class ReducerWalker;
 
 /// One selected (fired) source rule.
 struct Match {
@@ -50,6 +53,38 @@ struct Selection {
   Cost TotalCost = Cost::zero();
 };
 
+/// Reusable reducer working memory: the per-(node, nonterminal) visited
+/// set and the explicit derivation stack. A batch driver keeps one per
+/// worker and passes it to every reduce() call, so reducing N functions
+/// costs O(largest function) in allocations instead of O(sum). The
+/// visited set is epoch-tagged, making the per-function reset O(1).
+/// Contents are owned by reduce(); callers only default-construct and
+/// hand the same object back in. Always reusable, including after a
+/// reduce() that returned an error.
+class ReductionScratch {
+public:
+  ReductionScratch() = default;
+  ReductionScratch(const ReductionScratch &) = delete;
+  ReductionScratch &operator=(const ReductionScratch &) = delete;
+
+private:
+  friend class ReducerWalker;
+
+  struct Frame {
+    const ir::Node *N = nullptr;
+    NonterminalId Nt = InvalidNonterminal;
+    RuleId Rule = InvalidRule;
+    unsigned NextChild = 0;
+    bool Resolved = false;
+    bool Skip = false;
+  };
+
+  /// VisitedEpoch[node * numNts + nt] == Epoch means visited this call.
+  std::vector<std::uint32_t> VisitedEpoch;
+  std::uint32_t Epoch = 0;
+  std::vector<Frame> Stack;
+};
+
 /// Walks the minimal derivations of all roots of \p F under \p L.
 /// \p Dyn is needed (only) to account dynamic costs into TotalCost; pass
 /// null for grammars without dynamic costs. Fails if some root has no
@@ -57,6 +92,12 @@ struct Selection {
 Expected<Selection> reduce(const Grammar &G, const ir::IRFunction &F,
                            const Labeling &L,
                            const DynCostTable *Dyn = nullptr);
+
+/// As above, but reusing \p Scratch for the visited set and walk stack —
+/// the batch-pipeline overload (see pipeline/CompileSession).
+Expected<Selection> reduce(const Grammar &G, const ir::IRFunction &F,
+                           const Labeling &L, const DynCostTable *Dyn,
+                           ReductionScratch &Scratch);
 
 } // namespace odburg
 

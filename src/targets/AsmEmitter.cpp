@@ -43,10 +43,12 @@ void collectOperands(const PatternNode *P, const ir::Node *N,
 }
 
 /// Emission engine: processes matches bottom-up, tracking operand strings
-/// per (node, nonterminal).
+/// per (node, nonterminal). Writes to exactly one of the two emit
+/// targets: per-line strings (AsmOutput) or a flat buffer (AsmBuffer).
 class Emitter {
 public:
-  Emitter(const Grammar &G, AsmOutput &Out) : G(G), Out(Out) {}
+  Emitter(const Grammar &G, AsmOutput &Out) : G(G), Lines(&Out) {}
+  Emitter(const Grammar &G, AsmBuffer &Out) : G(G), Buf(&Out) {}
 
   Error emitMatch(const Match &M) {
     const SourceRule &R = G.sourceRule(M.Source);
@@ -71,7 +73,7 @@ public:
         Alias = Rendered.substr(1); // Drop the '='.
         HaveAlias = true;
       } else {
-        Out.Lines.push_back(std::move(Rendered));
+        appendLine(std::move(Rendered));
       }
     }
 
@@ -88,6 +90,16 @@ public:
   }
 
 private:
+  void appendLine(std::string &&L) {
+    if (Lines) {
+      Lines->Lines.push_back(std::move(L));
+      return;
+    }
+    Buf->Text += L;
+    Buf->Text += '\n';
+    ++Buf->Instructions;
+  }
+
   std::string freshVreg() { return "%v" + std::to_string(NextVreg++); }
 
   std::uint64_t key(const ir::Node *N, NonterminalId Nt) const {
@@ -154,7 +166,8 @@ private:
   }
 
   const Grammar &G;
-  AsmOutput &Out;
+  AsmOutput *Lines = nullptr;
+  AsmBuffer *Buf = nullptr;
   std::unordered_map<std::uint64_t, std::string> Strings;
   unsigned NextVreg = 0;
 };
@@ -171,4 +184,14 @@ odburg::targets::emitAsm(const Grammar &G, const ir::IRFunction &F,
     if (Error Err = E.emitMatch(M))
       return Err;
   return Out;
+}
+
+Error odburg::targets::emitAsm(const Grammar &G, const ir::IRFunction &F,
+                               const Selection &S, AsmBuffer &Out) {
+  (void)F;
+  Emitter E(G, Out);
+  for (const Match &M : S.Matches)
+    if (Error Err = E.emitMatch(M))
+      return Err;
+  return Error::success();
 }

@@ -57,6 +57,31 @@ struct AsmOutput {
 Expected<AsmOutput> emitAsm(const Grammar &G, const ir::IRFunction &F,
                             const Selection &S);
 
+/// A flat emit target: instruction lines are appended to Text,
+/// newline-terminated, instead of being materialized as one string each.
+/// This is the batch-pipeline form — each worker emits a function into a
+/// private buffer and the session concatenates the buffers in corpus
+/// order, which is byte-identical to emitting everything serially.
+struct AsmBuffer {
+  /// Newline-terminated instruction lines, in emission order.
+  std::string Text;
+  /// Instruction count (== number of lines in Text).
+  unsigned Instructions = 0;
+
+  void clear() {
+    Text.clear();
+    Instructions = 0;
+  }
+  std::size_t sizeBytes() const { return Text.size(); }
+};
+
+/// Renders \p S into \p Out, appending. Virtual-register numbering starts
+/// fresh per call, so per-function output is independent of what else the
+/// buffer holds. Fails on malformed templates, leaving \p Out with the
+/// lines emitted before the failure.
+Error emitAsm(const Grammar &G, const ir::IRFunction &F, const Selection &S,
+              AsmBuffer &Out);
+
 } // namespace targets
 } // namespace odburg
 

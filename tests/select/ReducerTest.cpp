@@ -107,6 +107,57 @@ TEST(Reducer, FailsWithoutDerivation) {
   EXPECT_NE(S.message().find("no derivation"), std::string::npos);
 }
 
+TEST(Reducer, ScratchReuseAcrossFunctionsBitIdentical) {
+  // One ReductionScratch serving many functions (the pipeline's per-worker
+  // pattern) must produce exactly what fresh scratch produces, including
+  // when a later function is smaller than an earlier one (stale epochs in
+  // the oversized visited set must not leak).
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  ir::IRFunction Big, Small;
+  test::buildStoreTree(Big, G, 1, 1, 2);
+  test::buildStoreTree(Big, G, 3, 9, 4);
+  test::buildStoreTree(Small, G, 5, 5, 6);
+
+  ReductionScratch Scratch;
+  for (int Round = 0; Round < 3; ++Round) {
+    for (ir::IRFunction *F : {&Big, &Small}) {
+      DPLabeling Lab = DPLabeler(G).label(*F);
+      Selection Fresh = cantFail(reduce(G, *F, Lab));
+      Selection Reused = cantFail(reduce(G, *F, Lab, nullptr, Scratch));
+      EXPECT_EQ(extSequence(G, Fresh), extSequence(G, Reused));
+      EXPECT_EQ(Fresh.TotalCost, Reused.TotalCost);
+    }
+  }
+}
+
+TEST(Reducer, ScratchReusableAfterError) {
+  // A failed reduction must leave the scratch reusable: the next function
+  // through the same scratch gets a correct, complete derivation.
+  Grammar G = cantFail(parseGrammar(R"(
+    %start stmt
+    stmt: Store(reg, reg) (1);
+    reg:  Reg (0);
+  )"));
+  ir::IRFunction Bad;
+  Bad.addRoot(Bad.makeLeaf(G.findOperator("Reg"), 0));
+  ir::IRFunction Good;
+  SmallVector<ir::Node *, 2> C{Good.makeLeaf(G.findOperator("Reg"), 1),
+                               Good.makeLeaf(G.findOperator("Reg"), 2)};
+  Good.addRoot(Good.makeNode(G.findOperator("Store"), C));
+
+  ReductionScratch Scratch;
+  DPLabeling BadLab = DPLabeler(G).label(Bad);
+  Expected<Selection> Failed = reduce(G, Bad, BadLab, nullptr, Scratch);
+  ASSERT_FALSE(static_cast<bool>(Failed));
+  EXPECT_NE(Failed.message().find("no derivation"), std::string::npos);
+
+  DPLabeling GoodLab = DPLabeler(G).label(Good);
+  Selection Reused = cantFail(reduce(G, Good, GoodLab, nullptr, Scratch));
+  Selection Fresh = cantFail(reduce(G, Good, GoodLab));
+  EXPECT_EQ(extSequence(G, Fresh), extSequence(G, Reused));
+  EXPECT_EQ(Fresh.TotalCost, Reused.TotalCost);
+}
+
 TEST(Reducer, MatchLhsRecorded) {
   Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
   ir::IRFunction F;

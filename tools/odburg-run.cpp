@@ -1,25 +1,28 @@
-//===- tools/odburg-run.cpp - Batch-selection driver ----------------------===//
+//===- tools/odburg-run.cpp - Batch compile-pipeline driver ---------------===//
 //
 // Part of the odburg project.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The batch-selection driver: pick a target grammar and one or more
-/// synthetic workload profiles, generate a corpus of IR functions, label it
-/// against one shared on-demand automaton with a configurable number of
-/// worker threads, and report the work counters and throughput.
+/// The batch compilation driver: pick a target grammar and one or more
+/// synthetic workload profiles, generate a corpus of IR functions, and
+/// compile it end-to-end (label + reduce + emit) through a CompileSession
+/// with a configurable number of worker threads. Reports end-to-end
+/// throughput, the per-phase time split, cache behavior, and a
+/// bit-identity check of the concatenated assembly across thread counts.
 ///
 /// This is the JIT-server scenario of the paper writ large: many functions
 /// arrive, one automaton amortizes state construction across all of them,
-/// and labeling fans out across cores because the state table and
-/// transition cache are sharded.
+/// and whole compilations fan out across cores because each worker runs
+/// all three phases for the functions it pulls.
 ///
 ///   odburg-run --target=x86 --profile=gcc-like --functions=64 --threads=1,4
 ///
 //===----------------------------------------------------------------------===//
 
-#include "core/OnDemandAutomaton.h"
+#include "pipeline/CompileSession.h"
+#include "support/Hashing.h"
 #include "support/StringUtil.h"
 #include "support/TablePrinter.h"
 #include "support/Timer.h"
@@ -33,6 +36,7 @@
 #include <vector>
 
 using namespace odburg;
+using namespace odburg::pipeline;
 using namespace odburg::targets;
 using namespace odburg::workload;
 
@@ -54,8 +58,9 @@ int usage(const char *Argv0, int Exit) {
       Exit == 0 ? stdout : stderr,
       "usage: %s [options]\n"
       "\n"
-      "Generates a corpus of synthetic IR functions and labels it against\n"
-      "one shared on-demand automaton, concurrently.\n"
+      "Generates a corpus of synthetic IR functions and compiles it\n"
+      "end-to-end (label + reduce + emit) through one shared compile\n"
+      "session, concurrently.\n"
       "\n"
       "  --target=NAME|all     target grammar (default x86)\n"
       "  --profile=NAME|all    synthetic workload profile (default gzip-like)\n"
@@ -194,21 +199,23 @@ int main(int Argc, char **Argv) {
   if (!parseArgs(Argc, Argv, Opts, ExitCode))
     return ExitCode;
 
-  OnDemandAutomaton::Options AOpts;
-  AOpts.UseTransitionCache = Opts.UseCache;
+  CompileSession::Options SOpts;
+  SOpts.Automaton.UseTransitionCache = Opts.UseCache;
   if (Opts.MaxStates)
-    AOpts.MaxStates = Opts.MaxStates;
+    SOpts.Automaton.MaxStates = Opts.MaxStates;
 
   TablePrinter Table(formatf(
-      "Batch selection: %u functions x ~%u nodes per corpus%s (repeat=%u, "
-      "hw=%u)",
+      "End-to-end compile pipeline: %u functions x ~%u nodes per corpus%s "
+      "(repeat=%u, hw=%u)",
       Opts.Functions, Opts.NodesPerFunction,
       Opts.UseCache ? "" : ", transition cache OFF", Opts.Repeat,
       resolveThreads(0)));
   Table.setHeader({"target", "profile", "thr", "nodes", "cold ms", "warm ms",
-                   "Mnodes/s", "speedup", "states", "trans", "hit%",
-                   "mem KB"});
+                   "fn/s", "speedup", "lbl/red/emt %", "hit%", "states",
+                   "asm KB", "asm"});
 
+  bool AllIdentical = true;
+  bool AnyFailed = false;
   for (const std::string &TargetName : Opts.Targets) {
     Expected<std::unique_ptr<Target>> TOrErr = makeTarget(TargetName);
     if (!TOrErr) {
@@ -238,52 +245,92 @@ int main(int Argc, char **Argv) {
         TotalNodes += F.size();
       }
 
+      // Reference assembly/cost from the first thread count; every other
+      // row must reproduce them bit for bit.
+      bool HaveRef = false;
+      std::uint64_t RefAsmHash = 0;
+      Cost RefCost = Cost::zero();
       double BaselineWarmNs = 0;
       for (unsigned ThreadSpec : Opts.Threads) {
         unsigned Threads = resolveThreads(ThreadSpec);
-        OnDemandAutomaton A(T.G, &T.Dyn, AOpts);
+        CompileSession Session(T.G, &T.Dyn, SOpts);
 
-        Stopwatch ColdTimer;
-        A.labelFunctions(Ptrs, Threads);
-        std::uint64_t ColdNs = ColdTimer.elapsedNs();
+        SessionStats Cold;
+        std::vector<CompileResult> Results =
+            Session.compileFunctions(Ptrs, Threads, &Cold);
+        std::uint64_t ColdNs = Cold.WallNs;
 
-        SelectionStats Warm;
+        SessionStats Warm;
         std::uint64_t WarmNs = ~0ULL;
         for (unsigned R = 0; R < Opts.Repeat; ++R) {
-          Warm.reset();
-          Stopwatch WarmTimer;
-          A.labelFunctions(Ptrs, Threads, &Warm);
-          WarmNs = std::min(WarmNs, WarmTimer.elapsedNs());
+          SessionStats Pass;
+          Results = Session.compileFunctions(Ptrs, Threads, &Pass);
+          if (Pass.WallNs < WarmNs) {
+            WarmNs = Pass.WallNs;
+            Warm = Pass;
+          }
         }
         if (BaselineWarmNs == 0)
           BaselineWarmNs = static_cast<double>(WarmNs);
 
+        for (const CompileResult &R : Results)
+          if (!R.ok()) {
+            std::fprintf(stderr, "error: function failed to compile: %s\n",
+                         R.Diagnostic.c_str());
+            AnyFailed = true;
+          }
+
+        std::string Asm = CompileSession::concatAsm(Results);
+        std::uint64_t AsmHash = hashString(Asm);
+        Cost TotalCost = CompileSession::totalCost(Results);
+        std::string Check;
+        if (!HaveRef) {
+          HaveRef = true;
+          RefAsmHash = AsmHash;
+          RefCost = TotalCost;
+          Check = "reference";
+        } else {
+          bool Identical = AsmHash == RefAsmHash && TotalCost == RefCost;
+          AllIdentical = AllIdentical && Identical;
+          Check = Identical ? "identical" : "DIVERGED";
+        }
+
         double HitPct =
-            Warm.CacheProbes
-                ? 100.0 * static_cast<double>(Warm.CacheHits) /
-                      static_cast<double>(Warm.CacheProbes)
+            Warm.Label.CacheProbes
+                ? 100.0 * static_cast<double>(Warm.Label.CacheHits) /
+                      static_cast<double>(Warm.Label.CacheProbes)
                 : 0.0;
         Table.addRow(
             {TargetName, ProfileName, std::to_string(Threads),
              formatThousands(TotalNodes),
              formatFixed(static_cast<double>(ColdNs) / 1e6, 1),
              formatFixed(static_cast<double>(WarmNs) / 1e6, 1),
-             formatFixed(static_cast<double>(TotalNodes) * 1e3 /
+             formatFixed(static_cast<double>(Warm.Functions) * 1e9 /
                              static_cast<double>(WarmNs),
                          1),
              formatFixed(BaselineWarmNs / static_cast<double>(WarmNs), 2),
-             formatThousands(A.numStates()),
-             formatThousands(A.numTransitions()), formatFixed(HitPct, 1),
-             formatThousands(A.memoryBytes() / 1024)});
+             phaseSplit(Warm), formatFixed(HitPct, 1),
+             formatThousands(Session.automaton().numStates()),
+             formatThousands(Asm.size() / 1024), Check});
       }
       Table.addSeparator();
     }
   }
   Table.print();
   std::printf(
-      "\nwarm pass = relabeling the corpus against the already-populated\n"
-      "automaton (the JIT steady state); speedup is relative to the first\n"
-      "thread count listed. Labelings are thread-count invariant; see\n"
-      "bench_p1_parallel for the bit-identity check.\n");
+      "\nwarm pass = recompiling the corpus end-to-end against the already-\n"
+      "populated automaton (the JIT steady state); fn/s and the\n"
+      "label/reduce/emit split are from the best warm pass; speedup is\n"
+      "relative to the first thread count listed. The asm column checks the\n"
+      "concatenated assembly and total cost against the first thread\n"
+      "count's — it must never read DIVERGED.\n");
+  if (AnyFailed)
+    return 1;
+  if (!AllIdentical) {
+    std::fprintf(stderr,
+                 "FAILURE: a thread count diverged from the reference "
+                 "assembly\n");
+    return 1;
+  }
   return 0;
 }

@@ -27,15 +27,42 @@
 #include "workload/Synthetic.h"
 
 #include <functional>
+#include <string_view>
 
 namespace odburg {
 namespace bench {
+
+/// Whether the binary runs in smoke mode (--smoke): every bench scales
+/// its corpus sizes and repetition counts down so CI can execute all
+/// bench binaries cheaply. Smoke runs exercise the same code paths and
+/// keep every built-in correctness check (bit-identity, divergence
+/// detection) — only the numbers stop being meaningful.
+inline bool &smokeMode() {
+  static bool Smoke = false;
+  return Smoke;
+}
+
+/// Parses --smoke (the only argument bench binaries accept) and returns
+/// the mode. Call first thing in main.
+inline bool parseSmoke(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I)
+    if (std::string_view(Argv[I]) == "--smoke")
+      smokeMode() = true;
+  return smokeMode();
+}
+
+/// \p Full normally; \p Smoke under --smoke.
+inline unsigned smokeScaled(unsigned Full, unsigned Smoke) {
+  return smokeMode() ? Smoke : Full;
+}
 
 /// Runs \p Fn \p Reps times and returns the minimum wall time in
 /// nanoseconds (minimum-of-N filters scheduler noise, the usual practice
 /// for short deterministic regions).
 template <typename FnT>
 std::uint64_t bestOfNs(unsigned Reps, FnT &&Fn) {
+  if (smokeMode())
+    Reps = 1;
   std::uint64_t Best = ~0ULL;
   for (unsigned I = 0; I < Reps; ++I) {
     Stopwatch W;

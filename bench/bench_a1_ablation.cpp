@@ -20,7 +20,8 @@ using namespace odburg;
 using namespace odburg::bench;
 using namespace odburg::workload;
 
-int main() {
+int main(int Argc, char **Argv) {
+  parseSmoke(Argc, Argv);
   auto T = cantFail(targets::makeTarget("x86"));
 
   TablePrinter Table("A1. Ablation: labeling time per node [ns] (x86)");
@@ -30,6 +31,7 @@ int main() {
   for (const char *Name : {"gzip-like", "gcc-like", "crafty-like",
                            "vortex-like", "twolf-like"}) {
     Profile P = *findProfile(Name);
+    P.TargetNodes = smokeScaled(P.TargetNodes, 1000);
     ir::IRFunction F = cantFail(generate(P, T->G));
     double N = F.size();
 

@@ -18,7 +18,8 @@
 using namespace odburg;
 using namespace odburg::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  parseSmoke(Argc, Argv);
   TablePrinter Table("A2. Labeling time per node [ns] vs. rules per "
                      "operator (synthesized grammars, same input shape)");
   Table.setHeader({"rules/op", "total rules", "dp", "ondemand (warm)",
@@ -35,8 +36,8 @@ int main() {
     // across RulesPerOp, so the RNG stream builds identical structures.
     ir::IRFunction F;
     RNG Rand(99);
-    for (int I = 0; I < 40; ++I)
-      F.addRoot(workload::synthesizeTree(G, F, Rand, 1200));
+    for (unsigned I = 0; I < smokeScaled(40, 6); ++I)
+      F.addRoot(workload::synthesizeTree(G, F, Rand, smokeScaled(1200, 300)));
 
     DPLabeler DP(G);
     DP.label(F);

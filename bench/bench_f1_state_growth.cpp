@@ -15,9 +15,11 @@ using namespace odburg;
 using namespace odburg::bench;
 using namespace odburg::workload;
 
-int main() {
+int main(int Argc, char **Argv) {
+  parseSmoke(Argc, Argv);
   auto T = cantFail(targets::makeTarget("x86"));
   Profile P = *findProfile("gcc-like");
+  P.TargetNodes = smokeScaled(P.TargetNodes, 2000);
   ir::IRFunction F = cantFail(generate(P, T->G));
 
   OnDemandAutomaton A(T->G, &T->Dyn);

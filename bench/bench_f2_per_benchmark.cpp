@@ -15,7 +15,8 @@ using namespace odburg;
 using namespace odburg::bench;
 using namespace odburg::workload;
 
-int main() {
+int main(int Argc, char **Argv) {
+  parseSmoke(Argc, Argv);
   auto T = cantFail(targets::makeTarget("vm64"));
   OnDemandAutomaton A(T->G, &T->Dyn); // Persistent, JIT-style.
 

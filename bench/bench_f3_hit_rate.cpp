@@ -15,9 +15,11 @@ using namespace odburg;
 using namespace odburg::bench;
 using namespace odburg::workload;
 
-int main() {
+int main(int Argc, char **Argv) {
+  parseSmoke(Argc, Argv);
   auto T = cantFail(targets::makeTarget("x86"));
   Profile P = *findProfile("vortex-like");
+  P.TargetNodes = smokeScaled(P.TargetNodes, 3200);
   ir::IRFunction F = cantFail(generate(P, T->G));
 
   std::printf("F3. Transition-cache hit rate per window of %u nodes "

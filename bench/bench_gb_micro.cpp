@@ -102,4 +102,28 @@ BENCHMARK(BM_ReduceAndEmit);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so the binary honors the project-wide
+// --smoke convention (CI runs every bench with it): --smoke becomes a
+// tiny --benchmark_min_time, keeping all benchmarks exercised but cheap.
+int main(int Argc, char **Argv) {
+  std::vector<char *> Args;
+  bool Smoke = false;
+  for (int I = 0; I < Argc; ++I) {
+    if (std::string_view(Argv[I]) == "--smoke")
+      Smoke = true;
+    else
+      Args.push_back(Argv[I]);
+  }
+  // Plain double (no "s" suffix): accepted by every google-benchmark
+  // version; newer releases only print a deprecation note.
+  char MinTime[] = "--benchmark_min_time=0.001";
+  if (Smoke)
+    Args.push_back(MinTime);
+  int EffArgc = static_cast<int>(Args.size());
+  benchmark::Initialize(&EffArgc, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(EffArgc, Args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

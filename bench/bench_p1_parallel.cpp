@@ -41,15 +41,17 @@ snapshot(const Grammar &G, const std::vector<ir::IRFunction> &Corpus,
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  parseSmoke(Argc, Argv);
   auto T = cantFail(targets::makeTarget("x86"));
 
   // A mixed corpus: three profiles, many medium functions each.
   std::vector<ir::IRFunction> Corpus;
   for (const char *Name : {"gzip-like", "gcc-like", "twolf-like"}) {
     const Profile *P = findProfile(Name);
-    std::vector<ir::IRFunction> Fns =
-        cantFail(generateBatch(*P, T->G, /*Count=*/24, /*TargetNodes=*/4000));
+    std::vector<ir::IRFunction> Fns = cantFail(
+        generateBatch(*P, T->G, /*Count=*/smokeScaled(24, 4),
+                      /*TargetNodes=*/smokeScaled(4000, 500)));
     for (ir::IRFunction &F : Fns)
       Corpus.push_back(std::move(F));
   }

@@ -15,7 +15,8 @@
 using namespace odburg;
 using namespace odburg::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  parseSmoke(Argc, Argv);
   TablePrinter Table(
       "T1. Grammar statistics and offline (burg-style) automata");
   Table.setHeader({"grammar", "rules", "norm", "chain", "dyn", "nts", "ops",

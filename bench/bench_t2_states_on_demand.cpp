@@ -18,7 +18,8 @@ using namespace odburg;
 using namespace odburg::bench;
 using namespace odburg::workload;
 
-int main() {
+int main(int Argc, char **Argv) {
+  parseSmoke(Argc, Argv);
   TablePrinter Table("T2. States materialized on demand (corpus + all "
                      "synthetic workloads)");
   Table.setHeader({"grammar", "full states", "od states", "fraction %",
@@ -35,7 +36,9 @@ int main() {
       ir::IRFunction F = cantFail(compileCorpusProgram(P, T->Fixed));
       Fixed.labelFunction(F, &FS);
     }
-    for (const Profile &P : specProfiles()) {
+    for (const Profile &Spec : specProfiles()) {
+      Profile P = Spec;
+      P.TargetNodes = smokeScaled(P.TargetNodes, 1000);
       ir::IRFunction F = cantFail(generate(P, T->Fixed));
       Fixed.labelFunction(F, &FS);
     }
@@ -46,7 +49,9 @@ int main() {
       ir::IRFunction F = cantFail(compileCorpusProgram(P, T->G));
       Dyn.labelFunction(F);
     }
-    for (const Profile &P : specProfiles()) {
+    for (const Profile &Spec : specProfiles()) {
+      Profile P = Spec;
+      P.TargetNodes = smokeScaled(P.TargetNodes, 1000);
       ir::IRFunction F = cantFail(generate(P, T->G));
       Dyn.labelFunction(F);
     }

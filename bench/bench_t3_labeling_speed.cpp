@@ -18,7 +18,8 @@ using namespace odburg;
 using namespace odburg::bench;
 using namespace odburg::workload;
 
-int main() {
+int main(int Argc, char **Argv) {
+  parseSmoke(Argc, Argv);
   auto T = cantFail(targets::makeTarget("x86"));
   CompiledTables Tables = cantFail(OfflineTableGen(T->Fixed).generate());
 
@@ -29,7 +30,9 @@ int main() {
   Time.setHeader({"benchmark", "dp", "ondemand", "offline", "dp/od",
                   "od/offl"});
 
-  for (const Profile &P : specProfiles()) {
+  for (const Profile &Spec : specProfiles()) {
+    Profile P = Spec;
+    P.TargetNodes = smokeScaled(P.TargetNodes, 1000);
     // Workloads are generated against the full grammar; the stripped
     // grammar shares operator ids, so the same IR serves all engines.
     ir::IRFunction F = cantFail(generate(P, T->G));

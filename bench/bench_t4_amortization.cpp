@@ -17,7 +17,8 @@ using namespace odburg;
 using namespace odburg::bench;
 using namespace odburg::workload;
 
-int main() {
+int main(int Argc, char **Argv) {
+  parseSmoke(Argc, Argv);
   auto T = cantFail(targets::makeTarget("x86"));
   Profile Base = *findProfile("gcc-like");
 
@@ -26,7 +27,10 @@ int main() {
   Table.setHeader({"nodes", "dp", "ondemand (cold)", "offline gen",
                    "offline label", "offline total"});
 
-  for (unsigned Nodes : {500u, 2000u, 10000u, 50000u, 200000u}) {
+  std::vector<unsigned> Sizes = {500u, 2000u, 10000u, 50000u, 200000u};
+  if (smokeMode())
+    Sizes = {500u, 2000u};
+  for (unsigned Nodes : Sizes) {
     Profile P = Base;
     P.TargetNodes = Nodes;
     ir::IRFunction F = cantFail(generate(P, T->Fixed));

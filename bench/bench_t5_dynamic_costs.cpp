@@ -19,7 +19,8 @@ using namespace odburg;
 using namespace odburg::bench;
 using namespace odburg::workload;
 
-int main() {
+int main(int Argc, char **Argv) {
+  parseSmoke(Argc, Argv);
   auto T = cantFail(targets::makeTarget("x86"));
 
   // The paper's code-quality experiment: disable only the constrained
@@ -68,7 +69,9 @@ int main() {
                      "on-demand automaton)");
   Price.setHeader({"benchmark", "ns/node full", "ns/node stripped",
                    "overhead %", "hook evals/node"});
-  for (const Profile &P : specProfiles()) {
+  for (const Profile &Spec : specProfiles()) {
+    Profile P = Spec;
+    P.TargetNodes = smokeScaled(P.TargetNodes, 1000);
     ir::IRFunction FOn = cantFail(generate(P, T->G));
     OnDemandAutomaton AOn(T->G, &T->Dyn);
     AOn.labelFunction(FOn);

@@ -15,7 +15,8 @@ using namespace odburg;
 using namespace odburg::bench;
 using namespace odburg::workload;
 
-int main() {
+int main(int Argc, char **Argv) {
+  parseSmoke(Argc, Argv);
   TablePrinter Table("T6. Automaton memory after compiling corpus + all "
                      "synthetic workloads [bytes]");
   Table.setHeader({"grammar", "offline (compressed)", "offline (naive)",
@@ -41,7 +42,9 @@ int main() {
       ir::IRFunction F = cantFail(compileCorpusProgram(P, T->Fixed));
       A.labelFunction(F);
     }
-    for (const Profile &P : specProfiles()) {
+    for (const Profile &Spec : specProfiles()) {
+      Profile P = Spec;
+      P.TargetNodes = smokeScaled(P.TargetNodes, 1000);
       ir::IRFunction F = cantFail(generate(P, T->Fixed));
       A.labelFunction(F);
     }

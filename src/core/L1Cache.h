@@ -1,0 +1,145 @@
+//===- core/L1Cache.h - Per-worker transition micro-cache -----------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread-local, direct-mapped L1 front for the shared TransitionCache.
+/// The shared cache's warm path is already lock-free (one seqlock probe),
+/// but it is still a shared-memory access: the sequence counter and slot
+/// loads bounce cache lines between cores when many workers label against
+/// one automaton. Each worker therefore keeps a small private cache of the
+/// transitions it has recently resolved; an L1 hit touches only worker-
+/// local memory and no atomics at all.
+///
+/// Design constraints, in order:
+///  - *Bounded*: a fixed power-of-two entry count, fixed-width inline keys
+///    (keys longer than MaxKeyWords bypass the L1 entirely). No growth, no
+///    heap traffic after construction.
+///  - *Correct under reuse*: entries are epoch-tagged. Rebinding the cache
+///    to a different automaton (a worker scratch outliving a session, or a
+///    session swapping backends) bumps the epoch, which invalidates every
+///    entry in O(1) without touching the array.
+///  - *Monotone consistency*: the shared cache is insert-only and a
+///    transition's value never changes, so an L1 entry can never go stale
+///    while its owner lives — eviction is purely a capacity decision
+///    (direct-mapped overwrite), never a correctness one.
+///
+/// The cache is intentionally not thread-safe: exactly one worker owns it.
+/// Hit/miss counts are accounted in the caller's SelectionStats (L1Probes,
+/// L1Hits) so they aggregate through the existing batch plumbing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_CORE_L1CACHE_H
+#define ODBURG_CORE_L1CACHE_H
+
+#include "core/State.h"
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace odburg {
+
+/// Direct-mapped, epoch-invalidated micro-cache of transition-key ->
+/// StateId mappings, private to one labeling worker.
+class L1TransitionCache {
+public:
+  /// Longest key cached inline: header + up to 4 children + 3 dynamic
+  /// outcomes. Longer keys (rare, deep dynamic-rule operators) skip the L1
+  /// and go straight to the shared cache.
+  static constexpr unsigned MaxKeyWords = 8;
+
+  /// \p Log2Entries is clamped to [1, 20]; the default (1024 entries)
+  /// keeps the whole cache around 48 KB — resident in a core's private L2
+  /// alongside the worker's other hot state. Tests use tiny caches to
+  /// force collisions.
+  explicit L1TransitionCache(unsigned Log2Entries = 10)
+      : Mask((std::size_t(1) << clampLog2(Log2Entries)) - 1),
+        Entries(std::size_t(1) << clampLog2(Log2Entries)) {}
+
+  L1TransitionCache(const L1TransitionCache &) = delete;
+  L1TransitionCache &operator=(const L1TransitionCache &) = delete;
+
+  /// True if a key of \p Words words fits an inline entry.
+  static bool cacheable(unsigned Words) { return Words <= MaxKeyWords; }
+
+  /// Rebinds the cache to owner token \p NewOwner (a process-unique id of
+  /// the automaton generation — see OnDemandAutomaton::generation(); 0
+  /// means unbound). A change of owner invalidates all entries; rebinding
+  /// to the current owner is free. Tokens, not pointers: a destroyed
+  /// automaton's address can be recycled by the next allocation, which
+  /// would let stale state ids survive a pointer-identity check.
+  void bindTo(std::uint64_t NewOwner) {
+    if (Owner != NewOwner) {
+      Owner = NewOwner;
+      invalidateAll();
+    }
+  }
+
+  std::uint64_t owner() const { return Owner; }
+
+  /// Drops every entry in O(1) by bumping the epoch; entries whose tag no
+  /// longer matches are dead. On (32-bit) epoch wrap the array is cleared
+  /// for real so stale tags cannot alias.
+  void invalidateAll() {
+    if (++Epoch == 0) {
+      for (Entry &E : Entries)
+        E.EpochTag = 0;
+      Epoch = 1;
+    }
+  }
+
+  /// Looks up the key under \p Hash (the TransitionCache::hashKey hash, so
+  /// one hash serves both levels). Returns InvalidState on miss. The
+  /// caller must have checked cacheable(Words).
+  StateId lookup(const std::uint32_t *Key, unsigned Words,
+                 std::uint64_t Hash) const {
+    const Entry &E = Entries[Hash & Mask];
+    if (E.EpochTag != Epoch || E.Words != Words)
+      return InvalidState;
+    if (std::memcmp(E.Key, Key, Words * sizeof(std::uint32_t)) != 0)
+      return InvalidState;
+    return E.Value;
+  }
+
+  /// Installs (or direct-mapped-overwrites) the entry for the key. The
+  /// caller must have checked cacheable(Words).
+  void insert(const std::uint32_t *Key, unsigned Words, std::uint64_t Hash,
+              StateId Value) {
+    Entry &E = Entries[Hash & Mask];
+    E.EpochTag = Epoch;
+    E.Words = Words;
+    std::memcpy(E.Key, Key, Words * sizeof(std::uint32_t));
+    E.Value = Value;
+  }
+
+  /// Entry count (capacity, not occupancy).
+  std::size_t size() const { return Entries.size(); }
+
+  /// Heap footprint in bytes.
+  std::size_t memoryBytes() const { return Entries.size() * sizeof(Entry); }
+
+private:
+  struct Entry {
+    std::uint32_t EpochTag = 0; ///< Valid iff == the cache's Epoch.
+    std::uint32_t Words = 0;
+    std::uint32_t Key[MaxKeyWords] = {};
+    StateId Value = InvalidState;
+  };
+
+  static unsigned clampLog2(unsigned Log2Entries) {
+    return Log2Entries < 1 ? 1 : (Log2Entries > 20 ? 20 : Log2Entries);
+  }
+
+  std::uint64_t Owner = 0;
+  std::uint32_t Epoch = 1;
+  std::size_t Mask;
+  std::vector<Entry> Entries;
+};
+
+} // namespace odburg
+
+#endif // ODBURG_CORE_L1CACHE_H

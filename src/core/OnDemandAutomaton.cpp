@@ -53,7 +53,8 @@ const State *OnDemandAutomaton::computeState(OperatorId Op,
   return S;
 }
 
-StateId OnDemandAutomaton::labelNode(ir::Node &N, SelectionStats &Stats) {
+StateId OnDemandAutomaton::labelNode(ir::Node &N, L1TransitionCache *L1,
+                                     SelectionStats &Stats) {
   ++Stats.NodesLabeled;
   OperatorId Op = N.op();
   unsigned NumChildren = N.numChildren();
@@ -76,32 +77,67 @@ StateId OnDemandAutomaton::labelNode(ir::Node &N, SelectionStats &Stats) {
     Key.push_back(DynOutcomes.back().raw());
   }
 
-  // Fast path: one probe.
   if (ODBURG_LIKELY(Opts.UseTransitionCache)) {
+    std::uint64_t H = TransitionCache::hashKey(Key.data(), Key.size());
+
+    // Fastest path: the worker's private L1 — no shared memory touched.
+    bool UseL1 = L1 && L1TransitionCache::cacheable(Key.size());
+    if (UseL1) {
+      ++Stats.L1Probes;
+      StateId Hit = L1->lookup(Key.data(), Key.size(), H);
+      if (ODBURG_LIKELY(Hit != InvalidState)) {
+        ++Stats.L1Hits;
+        N.setLabel(Hit);
+        return Hit;
+      }
+    }
+
+    // Fast path: one lock-free probe of the shared cache.
     ++Stats.CacheProbes;
-    StateId Hit = Cache.lookup(Key.data(), Key.size());
+    StateId Hit = Cache.lookupHashed(Key.data(), Key.size(), H);
     if (ODBURG_LIKELY(Hit != InvalidState)) {
       ++Stats.CacheHits;
+      if (UseL1)
+        L1->insert(Key.data(), Key.size(), H, Hit);
       N.setLabel(Hit);
       return Hit;
     }
+
+    // Slow path: compute, hash-cons, memoize at both levels.
+    const State *S =
+        computeState(Op, ChildStates.data(), DynOutcomes.data(), Stats);
+    Cache.insertHashed(Key.data(), Key.size(), H, S->Id);
+    if (UseL1)
+      L1->insert(Key.data(), Key.size(), H, S->Id);
+    N.setLabel(S->Id);
+    return S->Id;
   }
 
-  // Slow path: compute, hash-cons, memoize.
+  // Cache-ablated path: recompute the state at every node.
   const State *S =
       computeState(Op, ChildStates.data(), DynOutcomes.data(), Stats);
-  if (Opts.UseTransitionCache)
-    Cache.insert(Key.data(), Key.size(), S->Id);
   N.setLabel(S->Id);
   return S->Id;
 }
 
 void OnDemandAutomaton::labelFunction(ir::IRFunction &F,
                                       SelectionStats *Stats) {
+  labelFunction(F, nullptr, Stats);
+}
+
+std::uint64_t OnDemandAutomaton::nextGeneration() {
+  static std::atomic<std::uint64_t> Counter{1};
+  return Counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+void OnDemandAutomaton::labelFunction(ir::IRFunction &F, L1TransitionCache *L1,
+                                      SelectionStats *Stats) {
+  if (L1)
+    L1->bindTo(Generation);
   SelectionStats Local;
   SelectionStats &S = Stats ? *Stats : Local;
   for (ir::Node *N : F.nodes())
-    labelNode(*N, S);
+    labelNode(*N, L1, S);
 }
 
 void OnDemandAutomaton::labelFunctions(std::span<ir::IRFunction *const> Fns,

@@ -28,6 +28,7 @@
 #ifndef ODBURG_CORE_ONDEMANDAUTOMATON_H
 #define ODBURG_CORE_ONDEMANDAUTOMATON_H
 
+#include "core/L1Cache.h"
 #include "core/State.h"
 #include "core/StateComputer.h"
 #include "core/TransitionCache.h"
@@ -75,6 +76,15 @@ public:
   /// are sharded and thread-safe, and node labels are per-function.
   void labelFunction(ir::IRFunction &F, SelectionStats *Stats = nullptr);
 
+  /// As above, fronting the transition cache with the caller's private L1
+  /// micro-cache (one per worker thread; see core/L1Cache.h). The L1 is
+  /// rebound to this automaton on entry, which invalidates it if it last
+  /// served a different one. \p L1 may be null (plain labeling). Results
+  /// are identical with or without an L1 — only the cache work counters
+  /// move between the levels.
+  void labelFunction(ir::IRFunction &F, L1TransitionCache *L1,
+                     SelectionStats *Stats);
+
   /// Labels a corpus of functions concurrently against this one shared
   /// automaton with \p Threads worker threads (0 = hardware concurrency).
   /// Functions are handed out through an atomic index, so uneven function
@@ -87,7 +97,15 @@ public:
 
   /// Labels one node (children must be labeled). Returns the state id and
   /// stores it in the node's label slot.
-  StateId labelNode(ir::Node &N, SelectionStats &Stats);
+  StateId labelNode(ir::Node &N, SelectionStats &Stats) {
+    return labelNode(N, nullptr, Stats);
+  }
+
+  /// As above with an optional worker-private L1 micro-cache. The caller
+  /// is responsible for having bound \p L1 to this automaton (the
+  /// labelFunction overload does); an L1 bound elsewhere would satisfy
+  /// probes with another automaton's state ids.
+  StateId labelNode(ir::Node &N, L1TransitionCache *L1, SelectionStats &Stats);
 
   /// \name Labeling interface
   /// @{
@@ -103,6 +121,11 @@ public:
   /// @{
   unsigned numStates() const { return States.size(); }
   std::size_t numTransitions() const { return Cache.size(); }
+  /// Process-unique id of this automaton instance; the L1 micro-caches'
+  /// owner token. Never recycled (unlike `this`, whose address a later
+  /// allocation can reuse), so a scratch outliving the automaton can
+  /// never satisfy probes with a dead automaton's state ids.
+  std::uint64_t generation() const { return Generation; }
   std::size_t memoryBytes() const {
     return States.memoryBytes() + Cache.memoryBytes();
   }
@@ -113,12 +136,15 @@ private:
   const State *computeState(OperatorId Op, const State *const *ChildStates,
                             const Cost *DynOutcomes, SelectionStats &Stats);
 
+  static std::uint64_t nextGeneration();
+
   const Grammar &G;
   const DynCostTable *Dyn;
   StateComputer Computer;
   StateTable States;
   TransitionCache Cache;
   Options Opts;
+  std::uint64_t Generation = nextGeneration();
 };
 
 } // namespace odburg

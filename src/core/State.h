@@ -98,6 +98,10 @@ public:
   /// an instantaneous snapshot (ids below it may still be publishing).
   unsigned size() const { return NextId.load(std::memory_order_acquire); }
 
+  /// Width of every state's cost/rule vectors (the grammar's nonterminal
+  /// count the table was created with).
+  unsigned numNonterminals() const { return NumNts; }
+
   /// Approximate heap+arena footprint in bytes.
   std::size_t memoryBytes() const;
 

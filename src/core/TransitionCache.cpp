@@ -17,9 +17,8 @@ TransitionCache::TransitionCache() {
   }
 }
 
-void TransitionCache::insert(const std::uint32_t *Key, unsigned Words,
-                             StateId Value) {
-  std::uint64_t H = hashKey(Key, Words);
+void TransitionCache::insertHashed(const std::uint32_t *Key, unsigned Words,
+                                   std::uint64_t H, StateId Value) {
   Shard &Sh = Shards[H & (NumShards - 1)];
   std::lock_guard<std::mutex> Lock(Sh.M);
   const SlotArray *T = Sh.Current.load(std::memory_order_relaxed);

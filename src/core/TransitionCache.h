@@ -81,7 +81,14 @@ public:
   /// Returns InvalidState on miss. Lock-free: retries the probe when a
   /// writer's sequence bump indicates a possibly torn read.
   StateId lookup(const std::uint32_t *Key, unsigned Words) const {
-    std::uint64_t H = hashKey(Key, Words);
+    return lookupHashed(Key, Words, hashKey(Key, Words));
+  }
+
+  /// As lookup(), with the key's hashKey() value precomputed — callers
+  /// that front this cache with an L1TransitionCache hash once and probe
+  /// both levels with it.
+  StateId lookupHashed(const std::uint32_t *Key, unsigned Words,
+                       std::uint64_t H) const {
     const Shard &Sh = Shards[H & (NumShards - 1)];
     for (unsigned Spins = 0;; ++Spins) {
       std::uint32_t Seq = Sh.Seq.load(std::memory_order_acquire);
@@ -115,7 +122,13 @@ public:
 
   /// Inserts \p Key if absent. A concurrent insert of the same key wins
   /// harmlessly: both map to the same canonical state.
-  void insert(const std::uint32_t *Key, unsigned Words, StateId Value);
+  void insert(const std::uint32_t *Key, unsigned Words, StateId Value) {
+    insertHashed(Key, Words, hashKey(Key, Words), Value);
+  }
+
+  /// As insert(), with the key's hashKey() value precomputed.
+  void insertHashed(const std::uint32_t *Key, unsigned Words, std::uint64_t H,
+                    StateId Value);
 
   /// Number of memoized transitions (sums the shards).
   std::size_t size() const;

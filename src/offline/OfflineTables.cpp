@@ -9,7 +9,10 @@
 #include "support/Hashing.h"
 #include "support/Timer.h"
 
+#include <algorithm>
+#include <atomic>
 #include <deque>
+#include <thread>
 #include <unordered_map>
 
 using namespace odburg;
@@ -64,11 +67,24 @@ struct PosData {
   std::vector<std::uint32_t> RepOfState;
 };
 
+/// One transition tuple whose state is scheduled for computation this
+/// round: enumerated (and deduplicated against Trans) in the sequential
+/// projection phase, computed in the parallel phase, interned in the
+/// sequential intern phase — in exactly this record's collection order,
+/// which is what keeps state ids thread-count invariant. Deliberately
+/// just the tuple: a round can hold hundreds of thousands of these, so
+/// the computed cost/rule vectors live in chunk-sized reusable buffers,
+/// not per-record storage.
+struct PendingTransition {
+  OperatorId Op = InvalidOperator;
+  SmallVector<std::uint32_t, 4> Tuple;
+};
+
 /// The whole generation state machine.
 class Generator {
 public:
-  Generator(const Grammar &G, unsigned MaxStates)
-      : G(G), MaxStates(MaxStates), Computer(G),
+  Generator(const Grammar &G, unsigned MaxStates, unsigned Threads)
+      : G(G), MaxStates(MaxStates), Threads(Threads), Computer(G),
         States(std::make_unique<StateTable>(G.numNonterminals())) {}
 
   Expected<CompiledTables> run();
@@ -76,11 +92,23 @@ public:
 private:
   Error processState(StateId S);
   Error enumerateWithNewRep(OperatorId Op, unsigned Pos, std::uint32_t Rep);
-  Error computeTransition(OperatorId Op,
-                          const SmallVectorImpl<std::uint32_t> &Tuple);
-  const State *internComputed(OperatorId Op,
-                              const SmallVectorImpl<Cost> &Costs,
-                              const SmallVectorImpl<RuleId> &Rules);
+  void enqueueTransition(OperatorId Op,
+                         const SmallVectorImpl<std::uint32_t> &Tuple);
+  Error computeAndInternPending();
+  void computeChunk(std::size_t Begin, std::size_t End);
+  /// Computes tuple \p I's state vectors into the chunk buffers (slot
+  /// I - Begin). Called concurrently; writes are to disjoint slots.
+  void computeOne(std::size_t I, std::size_t Begin, SelectionStats &Stats);
+  Error internChunk(std::size_t Begin, std::size_t End);
+  /// Interns the state (arrays of the nonterminal count) and queues it
+  /// for processing if it is new.
+  const State *internComputed(OperatorId Op, const Cost *Costs,
+                              const RuleId *Rules);
+  Error stateLimitError() const {
+    return Error::make(ErrorKind::StateLimitExceeded,
+                       "offline generation exceeded the state limit (" +
+                           std::to_string(MaxStates) + " states)");
+  }
 
   static std::uint64_t tupleKey(const SmallVectorImpl<std::uint32_t> &Tuple) {
     std::uint64_t Key = 0;
@@ -91,17 +119,26 @@ private:
 
   const Grammar &G;
   unsigned MaxStates;
+  unsigned Threads;
   StateComputer Computer;
   std::unique_ptr<StateTable> States;
   std::vector<SmallVector<PosData, 2>> Pos; // Indexed by op.
   std::vector<std::unordered_map<std::uint64_t, StateId>> Trans; // By op.
   std::deque<StateId> Worklist;
+  std::vector<PendingTransition> Pending; // This round's tuples, in order.
+  /// Chunk-local output buffers, ChunkSize x numNonterminals flat rows;
+  /// slot (I - Begin) holds tuple I's computed vectors. Reused across
+  /// chunks, so the round's transient memory is bounded by the chunk
+  /// size, not the round size.
+  std::vector<Cost> ChunkCosts;
+  std::vector<RuleId> ChunkRules;
   SelectionStats GenWork;
 };
 
 Expected<CompiledTables> Generator::run() {
   if (G.hasDynCosts())
     return Error::make(
+        ErrorKind::UnsupportedDynamicCosts,
         "offline tables cannot encode dynamic costs; strip the dynamic "
         "rules (grammar::withoutDynCostRules) or use the on-demand "
         "automaton");
@@ -143,14 +180,27 @@ Expected<CompiledTables> Generator::run() {
         Op, [](unsigned, NonterminalId) { return Cost::infinity(); },
         [](unsigned) { return Cost::infinity(); }, Costs, Rules, &GenWork);
     ++GenWork.StatesComputed;
-    LeafStates[Op] = internComputed(Op, Costs, Rules)->Id;
+    LeafStates[Op] = internComputed(Op, Costs.data(), Rules.data())->Id;
   }
 
-  // Fixpoint: process states until no new states or representers appear.
+  // Fixpoint, in rounds: drain the current worklist generation, collecting
+  // the newly reachable transition tuples (sequential: representer indices
+  // are assigned here, in canonical order); compute the tuples' states
+  // (parallel: pure DP over frozen representer vectors); intern the
+  // results in collection order (sequential: state ids are assigned here).
+  // States discovered while interning form the next round. Worklist order
+  // is FIFO, exactly as in the interleaved sequential formulation, so the
+  // discovered automaton — ids, representers, tables — is identical for
+  // any thread count.
   while (!Worklist.empty()) {
-    StateId S = Worklist.front();
-    Worklist.pop_front();
-    if (Error E = processState(S))
+    Pending.clear();
+    while (!Worklist.empty()) {
+      StateId S = Worklist.front();
+      Worklist.pop_front();
+      if (Error E = processState(S))
+        return E;
+    }
+    if (Error E = computeAndInternPending())
       return E;
   }
 
@@ -199,15 +249,15 @@ Expected<CompiledTables> Generator::run() {
   St.TableBytes = TableBytes;
   St.GenerationMs = Timer.elapsedMs();
   St.StatesComputed = GenWork.StatesComputed;
+  St.GenThreads = Threads;
   TableBuilder::states(Out) = std::move(States);
   return Out;
 }
 
-const State *Generator::internComputed(OperatorId Op,
-                                       const SmallVectorImpl<Cost> &Costs,
-                                       const SmallVectorImpl<RuleId> &Rules) {
+const State *Generator::internComputed(OperatorId Op, const Cost *Costs,
+                                       const RuleId *Rules) {
   unsigned Before = States->size();
-  const State *S = States->intern(Op, Costs.data(), Rules.data());
+  const State *S = States->intern(Op, Costs, Rules);
   if (States->size() > Before)
     Worklist.push_back(S->Id);
   return S;
@@ -215,8 +265,7 @@ const State *Generator::internComputed(OperatorId Op,
 
 Error Generator::processState(StateId SId) {
   if (States->size() > MaxStates)
-    return Error::make("offline generation exceeded the state limit (" +
-                       std::to_string(MaxStates) + " states)");
+    return stateLimitError();
   const State *S = States->byId(SId);
   for (OperatorId Op = 0; Op < G.numOperators(); ++Op) {
     for (unsigned P = 0; P < G.operatorArity(Op); ++P) {
@@ -271,8 +320,7 @@ Error Generator::enumerateWithNewRep(OperatorId Op, unsigned FixedPos,
       return Error::success();
   // Odometer over the free positions' existing representers.
   while (true) {
-    if (Error E = computeTransition(Op, Tuple))
-      return E;
+    enqueueTransition(Op, Tuple);
     unsigned K = Free.size();
     while (K > 0) {
       unsigned P = Free[K - 1];
@@ -287,29 +335,100 @@ Error Generator::enumerateWithNewRep(OperatorId Op, unsigned FixedPos,
   return Error::success();
 }
 
-Error Generator::computeTransition(OperatorId Op,
-                                   const SmallVectorImpl<std::uint32_t> &Tuple) {
-  std::uint64_t Key = tupleKey(Tuple);
-  auto [It, New] = Trans[Op].try_emplace(Key, InvalidState);
+void Generator::enqueueTransition(
+    OperatorId Op, const SmallVectorImpl<std::uint32_t> &Tuple) {
+  auto [It, New] = Trans[Op].try_emplace(tupleKey(Tuple), InvalidState);
   if (!New)
-    return Error::success();
+    return;
+  PendingTransition P;
+  P.Op = Op;
+  P.Tuple.assign(Tuple.begin(), Tuple.end());
+  Pending.push_back(std::move(P));
+}
+
+void Generator::computeOne(std::size_t I, std::size_t Begin,
+                           SelectionStats &Stats) {
+  const PendingTransition &P = Pending[I];
+  ++Stats.StatesComputed;
   SmallVector<Cost, 32> Costs;
   SmallVector<RuleId, 32> Rules;
-  ++GenWork.StatesComputed;
   Computer.compute(
-      Op,
-      [&](unsigned P, NonterminalId Nt) {
-        const PosData &D = Pos[Op][P];
+      P.Op,
+      [&](unsigned Position, NonterminalId Nt) {
+        const PosData &D = Pos[P.Op][Position];
         std::uint32_t Idx = D.NtIndex[Nt];
         assert(Idx != ~0u && "rule reads an irrelevant nonterminal");
-        return D.RepVectors[Tuple[P]][Idx];
+        return D.RepVectors[P.Tuple[Position]][Idx];
       },
-      [](unsigned) { return Cost::infinity(); }, Costs, Rules, &GenWork);
-  const State *S = internComputed(Op, Costs, Rules);
-  if (States->size() > MaxStates)
-    return Error::make("offline generation exceeded the state limit (" +
-                       std::to_string(MaxStates) + " states)");
-  Trans[Op][Key] = S->Id;
+      [](unsigned) { return Cost::infinity(); }, Costs, Rules, &Stats);
+  unsigned N = G.numNonterminals();
+  std::copy(Costs.begin(), Costs.end(), ChunkCosts.data() + (I - Begin) * N);
+  std::copy(Rules.begin(), Rules.end(), ChunkRules.data() + (I - Begin) * N);
+}
+
+Error Generator::computeAndInternPending() {
+  // Chunked so the state limit stays responsive: a diverging grammar's
+  // round can hold vastly more tuples than MaxStates, and computing them
+  // all before the first intern would burn seconds producing an error.
+  // One chunk of computation is the most that can be wasted. (Checking
+  // Pending.size() against the limit up front would be wrong the other
+  // way: tuples dedup heavily, so a legitimate round routinely has far
+  // more tuples than new states.)
+  constexpr std::size_t ChunkSize = 8192;
+  for (std::size_t Begin = 0; Begin < Pending.size(); Begin += ChunkSize) {
+    std::size_t End = std::min(Begin + ChunkSize, Pending.size());
+    computeChunk(Begin, End);
+    if (Error E = internChunk(Begin, End))
+      return E;
+  }
+  return Error::success();
+}
+
+void Generator::computeChunk(std::size_t Begin, std::size_t End) {
+  unsigned N = G.numNonterminals();
+  ChunkCosts.resize((End - Begin) * N);
+  ChunkRules.resize((End - Begin) * N);
+  // Pure phase: every tuple's DP reads only the grammar and the frozen
+  // representer vectors, and writes only its own chunk-buffer slot, so
+  // the tuples shard freely across workers. Small chunks are not worth
+  // the thread spawns. Work-counter totals are summed over the same
+  // deterministic tuple set whatever the sharding, so they too are
+  // thread-count invariant.
+  unsigned Workers = static_cast<unsigned>(
+      std::min<std::size_t>(Threads, (End - Begin) / 8));
+  if (Workers > 1) {
+    std::vector<SelectionStats> WorkerStats(Workers);
+    std::atomic<std::size_t> Next{Begin};
+    auto Work = [&](unsigned W) {
+      std::size_t I;
+      while ((I = Next.fetch_add(1, std::memory_order_relaxed)) < End)
+        computeOne(I, Begin, WorkerStats[W]);
+    };
+    std::vector<std::thread> Pool;
+    Pool.reserve(Workers - 1);
+    for (unsigned W = 1; W < Workers; ++W)
+      Pool.emplace_back(Work, W);
+    Work(0);
+    for (std::thread &T : Pool)
+      T.join();
+    for (const SelectionStats &S : WorkerStats)
+      GenWork += S;
+  } else {
+    for (std::size_t I = Begin; I < End; ++I)
+      computeOne(I, Begin, GenWork);
+  }
+}
+
+Error Generator::internChunk(std::size_t Begin, std::size_t End) {
+  unsigned N = G.numNonterminals();
+  for (std::size_t I = Begin; I < End; ++I) {
+    const PendingTransition &P = Pending[I];
+    const State *S = internComputed(P.Op, ChunkCosts.data() + (I - Begin) * N,
+                                    ChunkRules.data() + (I - Begin) * N);
+    if (States->size() > MaxStates)
+      return stateLimitError();
+    Trans[P.Op][tupleKey(P.Tuple)] = S->Id;
+  }
   return Error::success();
 }
 
@@ -320,8 +439,33 @@ OfflineTableGen::OfflineTableGen(const Grammar &G, unsigned MaxStates)
   assert(G.isFinalized() && "grammar must be finalized");
 }
 
-Expected<CompiledTables> OfflineTableGen::generate() {
-  return Generator(G, MaxStates).run();
+Expected<CompiledTables> OfflineTableGen::generate(unsigned Threads) {
+  if (Threads == 0)
+    Threads = std::max(1u, std::thread::hardware_concurrency());
+  return Generator(G, MaxStates, Threads).run();
+}
+
+std::uint64_t CompiledTables::fingerprint() const {
+  std::uint64_t H = 0x0DB0B6u;
+  unsigned NumStates = States->size();
+  unsigned NumNts = States->numNonterminals();
+  H = hashCombine(H, NumStates);
+  for (StateId Id = 0; Id < NumStates; ++Id) {
+    const State *S = States->byId(Id);
+    H = hashCombine(H, S->Op);
+    for (NonterminalId Nt = 0; Nt < NumNts; ++Nt) {
+      H = hashCombine(H, S->costOf(Nt).raw());
+      H = hashCombine(H, S->ruleOf(Nt));
+    }
+  }
+  H = hashRange(LeafStates.data(), LeafStates.data() + LeafStates.size(), H);
+  for (const OpTable &T : OpTables) {
+    H = hashRange(T.Dims.begin(), T.Dims.end(), H);
+    for (const std::vector<std::uint32_t> &M : T.RepMaps)
+      H = hashRange(M.data(), M.data() + M.size(), H);
+    H = hashRange(T.Table.data(), T.Table.data() + T.Table.size(), H);
+  }
+  return H;
 }
 
 void TableLabeler::labelFunction(ir::IRFunction &F, SelectionStats *Stats) {

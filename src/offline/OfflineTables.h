@@ -55,6 +55,7 @@ public:
     std::size_t TableBytes = 0;     ///< Tables + representer maps.
     double GenerationMs = 0;        ///< Wall time of generation.
     std::uint64_t StatesComputed = 0; ///< Including duplicates re-derived.
+    unsigned GenThreads = 1;          ///< Worker count generation ran with.
   };
 
   const State *stateById(StateId Id) const { return States->byId(Id); }
@@ -74,6 +75,13 @@ public:
 
   const Stats &stats() const { return GenStats; }
   const StateTable &stateTable() const { return *States; }
+
+  /// Content fingerprint over everything labeling can observe: every
+  /// state's (operator, costs, rules) in id order, the leaf-state map, and
+  /// each operator's dims, representer maps and dense table. Two
+  /// generations are bit-identical iff their fingerprints match — the
+  /// identity check behind the parallel-generation tests and benches.
+  std::uint64_t fingerprint() const;
 
 private:
   friend class detail::TableBuilder;
@@ -95,13 +103,27 @@ private:
 };
 
 /// Generates CompiledTables for a grammar without dynamic costs.
+///
+/// Generation runs the classic worklist fixpoint, restructured into
+/// *rounds* so the expensive part parallelizes deterministically: each
+/// round (a) sequentially projects the pending states onto every
+/// (operator, position), assigning representer indices in canonical order
+/// and collecting the newly reachable transition tuples, (b) computes the
+/// tuples' state vectors across worker threads (each computation is pure
+/// DP over frozen representer vectors), then (c) interns the results into
+/// the thread-safe StateTable in collection order. Because representer
+/// and state ids are assigned only in the sequential phases, the tables
+/// are bit-identical for ANY thread count — fingerprint() equality is
+/// tested, not hoped for.
 class OfflineTableGen {
 public:
   explicit OfflineTableGen(const Grammar &G, unsigned MaxStates = 1u << 18);
 
-  /// Runs exhaustive state enumeration. Fails if the grammar has dynamic
-  /// costs or exceeds the state bound.
-  Expected<CompiledTables> generate();
+  /// Runs exhaustive state enumeration with \p Threads workers for the
+  /// state-computation phase (0 = hardware concurrency, 1 = sequential).
+  /// Fails with ErrorKind::UnsupportedDynamicCosts if the grammar has
+  /// dynamic costs and ErrorKind::StateLimitExceeded past the state bound.
+  Expected<CompiledTables> generate(unsigned Threads = 1);
 
 private:
   const Grammar &G;

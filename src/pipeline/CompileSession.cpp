@@ -6,6 +6,7 @@
 
 #include "pipeline/CompileSession.h"
 
+#include "support/ErrorHandling.h"
 #include "support/Timer.h"
 #include "targets/Target.h"
 
@@ -21,20 +22,42 @@ CompileSession::CompileSession(const Grammar &G, const DynCostTable *Dyn)
 
 CompileSession::CompileSession(const Grammar &G, const DynCostTable *Dyn,
                                Options Opts)
-    : G(G), Dyn(Dyn), A(G, Dyn, Opts.Automaton), Opts(Opts) {}
+    : G(G), Dyn(Dyn), Opts(Opts) {
+  Expected<std::unique_ptr<LabelerBackend>> Backend =
+      LabelerBackend::create(Opts.Backend, G, Dyn, Opts.BackendOpts);
+  if (!Backend)
+    reportFatalError(Backend.message().c_str());
+  B = std::move(*Backend);
+}
+
+CompileSession::CompileSession(const Grammar &G, const DynCostTable *Dyn,
+                               Options Opts,
+                               std::unique_ptr<LabelerBackend> Backend)
+    : G(G), Dyn(Dyn), Opts(Opts), B(std::move(Backend)) {}
 
 CompileSession::CompileSession(const targets::Target &T)
     : CompileSession(T.G, &T.Dyn) {}
+
+Expected<std::unique_ptr<CompileSession>>
+CompileSession::create(const Grammar &G, const DynCostTable *Dyn,
+                       Options Opts) {
+  Expected<std::unique_ptr<LabelerBackend>> Backend =
+      LabelerBackend::create(Opts.Backend, G, Dyn, Opts.BackendOpts);
+  if (!Backend)
+    return Backend.takeError();
+  return std::unique_ptr<CompileSession>(
+      new CompileSession(G, Dyn, Opts, std::move(*Backend)));
+}
 
 void CompileSession::compileOne(ir::IRFunction &F, WorkerScratch &WS,
                                 CompileResult &Out) {
   SelectionStats FnStats;
   Stopwatch Phase;
-  A.labelFunction(F, &FnStats);
+  const Labeling &L = B->labelFunction(F, WS.Labeler, &FnStats);
   Out.LabelNs = Phase.elapsedNs();
 
   Phase.restart();
-  Expected<Selection> S = reduce(G, F, A, Dyn, WS.Reduction);
+  Expected<Selection> S = reduce(G, F, L, Dyn, WS.Reduction);
   Out.ReduceNs = Phase.elapsedNs();
   Out.Stats = FnStats;
   WS.Stats += FnStats;
@@ -76,11 +99,21 @@ CompileSession::compileFunctions(std::span<ir::IRFunction *const> Fns,
   Threads = static_cast<unsigned>(std::min<std::size_t>(Threads, Fns.size()));
 
   std::vector<CompileResult> Results(Fns.size());
-  std::vector<WorkerScratch> Scratch(std::max(Threads, 1u));
+  // Workers reuse the session's persistent scratch pool: reduction scratch
+  // and DP tables keep their capacity, and the on-demand backend's L1
+  // micro-caches stay warm across batches. Per-batch counters reset here.
+  unsigned PoolSize = std::max(Threads, 1u);
+  while (Pool.size() < PoolSize)
+    Pool.push_back(std::make_unique<WorkerScratch>());
+  for (unsigned W = 0; W < PoolSize; ++W) {
+    WorkerScratch &WS = *Pool[W];
+    WS.Stats.reset();
+    WS.LabelNs = WS.ReduceNs = WS.EmitNs = 0;
+  }
 
   if (Threads <= 1) {
     for (std::size_t I = 0; I < Fns.size(); ++I)
-      compileOne(*Fns[I], Scratch[0], Results[I]);
+      compileOne(*Fns[I], *Pool[0], Results[I]);
   } else {
     // Functions are handed out by index, so results land in corpus order
     // no matter which worker compiles what; uneven sizes self-balance.
@@ -88,7 +121,7 @@ CompileSession::compileFunctions(std::span<ir::IRFunction *const> Fns,
     auto Work = [&](unsigned W) {
       std::size_t I;
       while ((I = Next.fetch_add(1, std::memory_order_relaxed)) < Fns.size())
-        compileOne(*Fns[I], Scratch[W], Results[I]);
+        compileOne(*Fns[I], *Pool[W], Results[I]);
     };
     std::vector<std::thread> Workers;
     Workers.reserve(Threads - 1);
@@ -100,7 +133,8 @@ CompileSession::compileFunctions(std::span<ir::IRFunction *const> Fns,
   }
 
   if (Stats) {
-    for (const WorkerScratch &WS : Scratch) {
+    for (unsigned W = 0; W < PoolSize; ++W) {
+      const WorkerScratch &WS = *Pool[W];
       Stats->Label += WS.Stats;
       Stats->LabelNs += WS.LabelNs;
       Stats->ReduceNs += WS.ReduceNs;

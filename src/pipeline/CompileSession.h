@@ -6,19 +6,26 @@
 ///
 /// \file
 /// The compile pipeline: one long-lived CompileSession owns the grammar,
-/// the dynamic-cost hooks, and a shared OnDemandAutomaton, and compiles
+/// the dynamic-cost hooks, and a shared LabelerBackend, and compiles
 /// corpora of IR functions end-to-end — label, reduce, emit — with a pool
-/// of worker threads. This is the paper's amortization argument run as a
-/// service loop: the automaton persists across batches, so after warm-up
-/// every node labels with one lock-free cache probe, and reduction and
-/// emission are embarrassingly parallel per function.
+/// of worker threads. The backend is runtime-selectable
+/// (Options::Backend): the paper's three labeling engines — DP labeling,
+/// offline tables, the on-demand automaton — all run behind the same
+/// session, and for static-cost grammars they produce byte-identical
+/// assembly. The default on-demand backend is the paper's amortization
+/// argument run as a service loop: the automaton persists across batches,
+/// so after warm-up every node labels with one probe of the worker's L1
+/// micro-cache or one lock-free probe of the shared transition cache, and
+/// reduction and emission are embarrassingly parallel per function.
 ///
 /// Concurrency is two-layered:
 ///   - *across functions*, workers pull corpus indices from an atomic
 ///     counter and run all three phases for a function in the same worker
 ///     that labeled it (no phase barriers, no cross-worker hand-off);
-///   - *within the automaton*, the sharded state table and the seqlock
-///     transition cache let all workers label against one shared machine.
+///   - *within the backend*, shared state (the automaton's sharded state
+///     table and seqlock transition cache, or the frozen offline tables)
+///     serves all workers, and per-worker state (reduction scratch, DP
+///     label table, L1 micro-cache) lives in the worker's scratch.
 ///
 /// Determinism: results are indexed by corpus position, each function's
 /// reduction depends only on its own labels (which are thread-count
@@ -33,10 +40,11 @@
 #ifndef ODBURG_PIPELINE_COMPILESESSION_H
 #define ODBURG_PIPELINE_COMPILESESSION_H
 
-#include "core/OnDemandAutomaton.h"
+#include "select/LabelerBackend.h"
 #include "select/Reducer.h"
 #include "targets/AsmEmitter.h"
 
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -88,6 +96,15 @@ struct SessionStats {
   Cost TotalCost = Cost::zero();
 
   void reset() { *this = SessionStats(); }
+
+  /// Hit rate of the per-worker L1 transition micro-caches over the batch,
+  /// in [0, 1]; 0 when no L1 probes happened (non-on-demand backend, L1
+  /// disabled, or oversized keys).
+  double l1HitRate() const {
+    return Label.L1Probes ? static_cast<double>(Label.L1Hits) /
+                                static_cast<double>(Label.L1Probes)
+                          : 0.0;
+  }
 };
 
 /// Renders the label/reduce/emit share of a batch's summed phase time as
@@ -101,8 +118,13 @@ std::string phaseSplit(const SessionStats &S);
 class CompileSession {
 public:
   struct Options {
-    /// Tunables for the shared automaton.
-    OnDemandAutomaton::Options Automaton;
+    /// Which labeling engine the session runs on.
+    BackendKind Backend = BackendKind::OnDemand;
+    /// The chosen backend's tunables (automaton options, L1 micro-cache,
+    /// offline generation bounds/threads), passed through verbatim to
+    /// LabelerBackend::create — one source of truth, no per-field copies
+    /// to drift out of sync.
+    LabelerBackend::Options BackendOpts;
     /// Default worker count for compileFunctions (0 = hardware
     /// concurrency); per-call Threads overrides.
     unsigned Threads = 0;
@@ -110,10 +132,22 @@ public:
 
   /// \p Dyn may be null for grammars without dynamic costs; it must
   /// outlive the session, as must \p G.
+  ///
+  /// The constructors are for configurations that cannot fail — the
+  /// default on-demand backend and the DP backend. Backend creation
+  /// failure (offline tables over a dynamic-cost grammar, a state-limit
+  /// blowout) aborts via reportFatalError; use create() where such
+  /// configurations are reachable from user input.
   explicit CompileSession(const Grammar &G, const DynCostTable *Dyn = nullptr);
   CompileSession(const Grammar &G, const DynCostTable *Dyn, Options Opts);
   /// Convenience: a session over a target's full (dynamic-cost) grammar.
   explicit CompileSession(const targets::Target &T);
+
+  /// Fallible construction: returns the backend's typed error (e.g.
+  /// ErrorKind::UnsupportedDynamicCosts for offline x dynamic costs)
+  /// instead of aborting.
+  static Expected<std::unique_ptr<CompileSession>>
+  create(const Grammar &G, const DynCostTable *Dyn, Options Opts);
 
   CompileSession(const CompileSession &) = delete;
   CompileSession &operator=(const CompileSession &) = delete;
@@ -137,11 +171,22 @@ public:
   static Cost totalCost(const std::vector<CompileResult> &Results);
 
   const Grammar &grammar() const { return G; }
-  const OnDemandAutomaton &automaton() const { return A; }
+
+  /// The labeling engine the session runs on.
+  const LabelerBackend &backend() const { return *B; }
+
+  /// The shared automaton; only valid when the session runs the (default)
+  /// on-demand backend — use backend() for engine-agnostic introspection.
+  const OnDemandAutomaton &automaton() const {
+    assert(B->kind() == BackendKind::OnDemand &&
+           "automaton() on a session without an on-demand backend");
+    return static_cast<const OnDemandBackend &>(*B).automaton();
+  }
 
 private:
   /// Per-worker reusable state, cache-line separated across the pool.
   struct alignas(64) WorkerScratch {
+    LabelerScratch Labeler;
     ReductionScratch Reduction;
     SelectionStats Stats;
     std::uint64_t LabelNs = 0;
@@ -149,12 +194,20 @@ private:
     std::uint64_t EmitNs = 0;
   };
 
+  CompileSession(const Grammar &G, const DynCostTable *Dyn, Options Opts,
+                 std::unique_ptr<LabelerBackend> Backend);
+
   void compileOne(ir::IRFunction &F, WorkerScratch &WS, CompileResult &Out);
 
   const Grammar &G;
   const DynCostTable *Dyn;
-  OnDemandAutomaton A;
   Options Opts;
+  std::unique_ptr<LabelerBackend> B;
+  /// The worker scratch pool, persistent across batches so per-worker
+  /// state (reduction scratch, DP table storage, L1 micro-cache) stays
+  /// warm for the session's lifetime. Grown to the largest worker count
+  /// seen; per-batch counters are reset at batch start.
+  std::vector<std::unique_ptr<WorkerScratch>> Pool;
   /// Scratch for the serial compileFunction() entry point.
   WorkerScratch Serial;
 };

@@ -16,7 +16,7 @@ DPLabeler::DPLabeler(const Grammar &G, const DynCostTable *Dyn)
 }
 
 void DPLabeler::labelNode(const ir::Node &N, DPLabeling &L,
-                          SelectionStats &Stats) {
+                          SelectionStats &Stats) const {
   ++Stats.NodesLabeled;
 
   // Base rules: the costs of all children are already final (topological
@@ -57,13 +57,22 @@ void DPLabeler::labelNode(const ir::Node &N, DPLabeling &L,
   }
 }
 
-DPLabeling DPLabeler::label(const ir::IRFunction &F, SelectionStats *Stats) {
+DPLabeling DPLabeler::label(const ir::IRFunction &F,
+                            SelectionStats *Stats) const {
   DPLabeling L;
+  labelInto(F, L, Stats);
+  return L;
+}
+
+void DPLabeler::labelInto(const ir::IRFunction &F, DPLabeling &L,
+                          SelectionStats *Stats) const {
   L.Stride = G.numNonterminals();
+  // assign() resets every reused entry to (infinity, InvalidRule) while
+  // keeping the vector's capacity, so relabeling N functions through one
+  // DPLabeling allocates O(largest function), not O(sum).
   L.Table.assign(static_cast<std::size_t>(F.size()) * L.Stride, {});
   SelectionStats Local;
   SelectionStats &S = Stats ? *Stats : Local;
   for (const ir::Node *N : F.nodes())
     labelNode(*N, L, S);
-  return L;
 }

@@ -59,7 +59,10 @@ private:
   unsigned Stride = 0;
 };
 
-/// Labels functions by per-node dynamic programming.
+/// Labels functions by per-node dynamic programming. Stateless after
+/// construction: one labeler may serve many worker threads concurrently as
+/// long as each call labels a distinct function (and the dynamic-cost
+/// hooks are thread-safe, which the built-in ones are).
 class DPLabeler {
 public:
   /// \p Dyn may be null when the grammar has no dynamic-cost rules.
@@ -67,10 +70,18 @@ public:
 
   /// Labels all nodes of \p F (children before parents; DAGs are fine since
   /// the node list is topologically ordered).
-  DPLabeling label(const ir::IRFunction &F, SelectionStats *Stats = nullptr);
+  DPLabeling label(const ir::IRFunction &F,
+                   SelectionStats *Stats = nullptr) const;
+
+  /// As label(), but reusing \p L's table storage — the batch-pipeline
+  /// form: a worker keeps one DPLabeling and relabels function after
+  /// function without reallocating (see select/LabelerBackend.h).
+  void labelInto(const ir::IRFunction &F, DPLabeling &L,
+                 SelectionStats *Stats = nullptr) const;
 
 private:
-  void labelNode(const ir::Node &N, DPLabeling &L, SelectionStats &Stats);
+  void labelNode(const ir::Node &N, DPLabeling &L,
+                 SelectionStats &Stats) const;
 
   const Grammar &G;
   const DynCostTable *Dyn;

@@ -1,0 +1,64 @@
+//===- select/LabelerBackend.cpp - Pluggable labeling engines -------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "select/LabelerBackend.h"
+
+using namespace odburg;
+
+const char *odburg::backendName(BackendKind K) {
+  switch (K) {
+  case BackendKind::DP:
+    return "dp";
+  case BackendKind::Offline:
+    return "offline";
+  case BackendKind::OnDemand:
+    return "ondemand";
+  }
+  return "?";
+}
+
+Expected<BackendKind> odburg::parseBackendKind(std::string_view Name) {
+  if (Name == "dp")
+    return BackendKind::DP;
+  if (Name == "offline")
+    return BackendKind::Offline;
+  if (Name == "ondemand" || Name == "on-demand")
+    return BackendKind::OnDemand;
+  return Error::make(ErrorKind::UnknownBackend,
+                     "unknown labeler backend '" + std::string(Name) +
+                         "' (known: dp, offline, ondemand)");
+}
+
+Expected<std::unique_ptr<LabelerBackend>>
+LabelerBackend::create(BackendKind K, const Grammar &G,
+                       const DynCostTable *Dyn) {
+  return create(K, G, Dyn, Options());
+}
+
+Expected<std::unique_ptr<LabelerBackend>>
+LabelerBackend::create(BackendKind K, const Grammar &G,
+                       const DynCostTable *Dyn, const Options &Opts) {
+  switch (K) {
+  case BackendKind::DP:
+    return std::unique_ptr<LabelerBackend>(new DPBackend(G, Dyn));
+  case BackendKind::Offline: {
+    // The generator itself reports UnsupportedDynamicCosts for dynamic
+    // grammars and StateLimitExceeded past the bound; both propagate with
+    // their kind intact so drivers can dispatch (e.g. fall back to the
+    // on-demand backend or retry against Target::Fixed).
+    Expected<CompiledTables> Tables =
+        OfflineTableGen(G, Opts.OfflineMaxStates)
+            .generate(Opts.OfflineGenThreads);
+    if (!Tables)
+      return Tables.takeError();
+    return std::unique_ptr<LabelerBackend>(
+        new OfflineBackend(std::move(*Tables)));
+  }
+  case BackendKind::OnDemand:
+    return std::unique_ptr<LabelerBackend>(new OnDemandBackend(G, Dyn, Opts));
+  }
+  return Error::make(ErrorKind::UnknownBackend, "invalid backend kind");
+}

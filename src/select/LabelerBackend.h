@@ -1,0 +1,233 @@
+//===- select/LabelerBackend.h - Pluggable labeling engines ---------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's central experiment is a three-way comparison: iburg-style
+/// selection-time dynamic programming, burg-style offline tables, and
+/// on-demand automata. This layer turns that comparison into a runtime-
+/// selectable product feature: every labeling engine is wrapped in a
+/// LabelerBackend with one shape —
+///
+///   - *shared state* is built once per grammar at create() time (the
+///     offline tables, the on-demand automaton's tables — or nothing, for
+///     the DP labeler) and is safe to label against from many threads;
+///   - *per-worker state* lives in a LabelerScratch the caller owns, one
+///     per worker thread: the DP backend's reusable label table, the
+///     on-demand backend's private L1 transition micro-cache;
+///   - labelFunction(F, Scratch) labels one function and returns the
+///     Labeling view the reducer consumes. The view is valid until the
+///     same scratch labels the next function, which is exactly the
+///     label→reduce→emit lifetime of the compile pipeline.
+///
+/// pipeline/CompileSession owns one backend (Options::Backend) and is
+/// otherwise engine-agnostic; tools/odburg-run exposes the choice as
+/// --backend so the paper's flexibility/speed/generation-cost trade-offs
+/// reproduce from one CLI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_SELECT_LABELERBACKEND_H
+#define ODBURG_SELECT_LABELERBACKEND_H
+
+#include "core/L1Cache.h"
+#include "core/OnDemandAutomaton.h"
+#include "offline/OfflineTables.h"
+#include "select/DPLabeler.h"
+#include "select/DynCost.h"
+#include "select/Labeling.h"
+#include "support/Error.h"
+#include "support/Statistic.h"
+
+#include <memory>
+#include <string_view>
+
+namespace odburg {
+
+/// The three labeling engines of the paper's comparison.
+enum class BackendKind {
+  /// iburg-style selection-time dynamic programming: no shared tables, no
+  /// warm-up, full dynamic-cost support; per-node work grows with the
+  /// rules-per-operator count.
+  DP,
+  /// burg-style ahead-of-time tables: all states enumerated before any
+  /// input; labeling is pure array indexing; no dynamic costs, ever.
+  Offline,
+  /// The paper's on-demand automaton: states built lazily at selection
+  /// time, one cache probe per node after warm-up, dynamic costs folded
+  /// into the transition key.
+  OnDemand,
+};
+
+/// Canonical lower-case name ("dp", "offline", "ondemand").
+const char *backendName(BackendKind K);
+
+/// Parses a backend name as accepted by --backend. Fails with
+/// ErrorKind::UnknownBackend, listing the known names.
+Expected<BackendKind> parseBackendKind(std::string_view Name);
+
+/// Per-worker labeling scratch. Callers (one per worker thread) default-
+/// construct it and pass the same object to every labelFunction call; the
+/// backends own its contents. Reusable across functions, batches, and —
+/// because the L1 micro-cache is epoch-invalidated on rebind — across
+/// backends and sessions.
+class LabelerScratch {
+public:
+  LabelerScratch() = default;
+  LabelerScratch(const LabelerScratch &) = delete;
+  LabelerScratch &operator=(const LabelerScratch &) = delete;
+
+private:
+  friend class DPBackend;
+  friend class OnDemandBackend;
+
+  /// DP backend: the reused per-function label table.
+  DPLabeling DP;
+  /// On-demand backend: the worker's private transition micro-cache,
+  /// created lazily on first use.
+  std::unique_ptr<L1TransitionCache> L1;
+};
+
+/// A labeling engine behind the uniform create-once / label-per-worker
+/// shape. Implementations are safe for concurrent labelFunction calls as
+/// long as each call uses a distinct (function, scratch) pair.
+class LabelerBackend {
+public:
+  /// Creation-time tunables; each backend reads only its own.
+  struct Options {
+    /// On-demand: the automaton's own tunables.
+    OnDemandAutomaton::Options Automaton;
+    /// On-demand: front the shared transition cache with a per-worker
+    /// direct-mapped L1 micro-cache (see core/L1Cache.h).
+    bool UseL1Cache = true;
+    /// On-demand: log2 of the L1 entry count.
+    unsigned L1Log2Entries = 10;
+    /// Offline: state bound for exhaustive generation.
+    unsigned OfflineMaxStates = 1u << 18;
+    /// Offline: worker threads for table generation (0 = hardware
+    /// concurrency, 1 = sequential). Tables are bit-identical for any
+    /// count, so the default uses every core.
+    unsigned OfflineGenThreads = 0;
+  };
+
+  virtual ~LabelerBackend() = default;
+
+  virtual BackendKind kind() const = 0;
+
+  /// Labels all nodes of \p F using \p Scratch (owned by exactly one
+  /// worker) and returns the Labeling the reducer should read. The view
+  /// is invalidated by the next labelFunction call on the same scratch.
+  virtual const Labeling &labelFunction(ir::IRFunction &F,
+                                        LabelerScratch &Scratch,
+                                        SelectionStats *Stats = nullptr) = 0;
+
+  /// Whether the engine can evaluate dynamic-cost hooks at all.
+  virtual bool supportsDynCosts() const = 0;
+
+  /// States materialized in shared tables (0 for the DP backend).
+  virtual unsigned numStates() const = 0;
+
+  /// Approximate shared-state footprint in bytes.
+  virtual std::size_t memoryBytes() const = 0;
+
+  /// Builds the backend for \p G. \p Dyn may be null for grammars without
+  /// dynamic costs; it must outlive the backend, as must \p G. Fails with
+  /// ErrorKind::UnsupportedDynamicCosts when the offline backend is asked
+  /// for a dynamic-cost grammar, and propagates generation failures
+  /// (e.g. ErrorKind::StateLimitExceeded) otherwise. DP and on-demand
+  /// creation cannot fail. (Two overloads rather than a defaulted Options
+  /// parameter: a nested class with member initializers cannot be a
+  /// default argument inside its enclosing class.)
+  static Expected<std::unique_ptr<LabelerBackend>>
+  create(BackendKind K, const Grammar &G, const DynCostTable *Dyn = nullptr);
+  static Expected<std::unique_ptr<LabelerBackend>>
+  create(BackendKind K, const Grammar &G, const DynCostTable *Dyn,
+         const Options &Opts);
+};
+
+/// iburg-style DP labeling behind the backend interface. All shared state
+/// is the grammar itself; the scratch carries the label table.
+class DPBackend final : public LabelerBackend {
+public:
+  DPBackend(const Grammar &G, const DynCostTable *Dyn) : Labeler(G, Dyn) {}
+
+  BackendKind kind() const override { return BackendKind::DP; }
+  const Labeling &labelFunction(ir::IRFunction &F, LabelerScratch &Scratch,
+                                SelectionStats *Stats) override {
+    Labeler.labelInto(F, Scratch.DP, Stats);
+    return Scratch.DP;
+  }
+  bool supportsDynCosts() const override { return true; }
+  unsigned numStates() const override { return 0; }
+  std::size_t memoryBytes() const override { return 0; }
+
+private:
+  DPLabeler Labeler;
+};
+
+/// burg-style offline tables behind the backend interface. The tables are
+/// generated at create() time; labeling is pure array indexing and the
+/// backend itself is the Labeling (states live in node label slots).
+class OfflineBackend final : public LabelerBackend {
+public:
+  explicit OfflineBackend(CompiledTables Tables)
+      : Tables(std::move(Tables)), Labeler(this->Tables) {}
+
+  BackendKind kind() const override { return BackendKind::Offline; }
+  const Labeling &labelFunction(ir::IRFunction &F, LabelerScratch &,
+                                SelectionStats *Stats) override {
+    Labeler.labelFunction(F, Stats);
+    return Labeler;
+  }
+  bool supportsDynCosts() const override { return false; }
+  unsigned numStates() const override { return Tables.stats().NumStates; }
+  std::size_t memoryBytes() const override {
+    return Tables.stats().TableBytes;
+  }
+
+  const CompiledTables &tables() const { return Tables; }
+
+private:
+  CompiledTables Tables;
+  TableLabeler Labeler;
+};
+
+/// The on-demand automaton behind the backend interface. One shared
+/// automaton serves all workers; each worker's scratch fronts the shared
+/// transition cache with a private L1 micro-cache.
+class OnDemandBackend final : public LabelerBackend {
+public:
+  OnDemandBackend(const Grammar &G, const DynCostTable *Dyn,
+                  const Options &Opts)
+      : A(G, Dyn, Opts.Automaton), UseL1(Opts.UseL1Cache),
+        L1Log2Entries(Opts.L1Log2Entries) {}
+
+  BackendKind kind() const override { return BackendKind::OnDemand; }
+  const Labeling &labelFunction(ir::IRFunction &F, LabelerScratch &Scratch,
+                                SelectionStats *Stats) override {
+    L1TransitionCache *L1 = nullptr;
+    if (UseL1) {
+      if (!Scratch.L1)
+        Scratch.L1 = std::make_unique<L1TransitionCache>(L1Log2Entries);
+      L1 = Scratch.L1.get();
+    }
+    A.labelFunction(F, L1, Stats);
+    return A;
+  }
+  bool supportsDynCosts() const override { return true; }
+  unsigned numStates() const override { return A.numStates(); }
+  std::size_t memoryBytes() const override { return A.memoryBytes(); }
+
+  const OnDemandAutomaton &automaton() const { return A; }
+
+private:
+  OnDemandAutomaton A;
+  bool UseL1;
+  unsigned L1Log2Entries;
+};
+
+} // namespace odburg
+
+#endif // ODBURG_SELECT_LABELERBACKEND_H

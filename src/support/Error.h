@@ -25,16 +25,38 @@
 
 namespace odburg {
 
-/// A recoverable error carrying a message, or success. Move-only.
+/// Machine-checkable failure categories. Most errors are Generic (the
+/// message is the diagnostic); a few contracts are worth dispatching on in
+/// code — e.g. a driver that falls back to the on-demand backend when the
+/// offline generator reports UnsupportedDynamicCosts rather than treating
+/// every failure the same.
+enum class ErrorKind {
+  Generic,
+  /// The offline table generator (or a backend wrapping it) was given a
+  /// grammar with dynamic-cost rules, which fixed tables cannot encode.
+  UnsupportedDynamicCosts,
+  /// Automaton/table generation exceeded its configured state bound.
+  StateLimitExceeded,
+  /// A backend name did not parse (CLI/config surface).
+  UnknownBackend,
+};
+
+/// A recoverable error carrying a message and kind, or success. Move-only.
 class [[nodiscard]] Error {
 public:
   /// Creates a success value.
   static Error success() { return Error(); }
 
-  /// Creates a failure with \p Msg.
+  /// Creates a Generic failure with \p Msg.
   static Error make(std::string Msg) {
+    return make(ErrorKind::Generic, std::move(Msg));
+  }
+
+  /// Creates a failure of \p Kind with \p Msg.
+  static Error make(ErrorKind Kind, std::string Msg) {
     Error E;
     E.Msg = std::move(Msg);
+    E.Kind = Kind;
     E.Failed = true;
     return E;
   }
@@ -43,7 +65,8 @@ public:
   Error &operator=(const Error &) = delete;
 
   Error(Error &&RHS) noexcept
-      : Msg(std::move(RHS.Msg)), Failed(RHS.Failed), Checked(RHS.Checked) {
+      : Msg(std::move(RHS.Msg)), Kind(RHS.Kind), Failed(RHS.Failed),
+        Checked(RHS.Checked) {
     RHS.Failed = false;
     RHS.Checked = true;
   }
@@ -51,6 +74,7 @@ public:
   Error &operator=(Error &&RHS) noexcept {
     assertChecked();
     Msg = std::move(RHS.Msg);
+    Kind = RHS.Kind;
     Failed = RHS.Failed;
     Checked = RHS.Checked;
     RHS.Failed = false;
@@ -72,6 +96,12 @@ public:
     return Msg;
   }
 
+  /// The failure kind. Only valid when the error is a failure.
+  ErrorKind kind() const {
+    assert(Failed && "kind() on success value");
+    return Kind;
+  }
+
   /// Consumes the error regardless of state (use when failure is ignorable).
   void consume() { Checked = true; }
 
@@ -84,6 +114,7 @@ private:
   }
 
   std::string Msg;
+  ErrorKind Kind = ErrorKind::Generic;
   bool Failed = false;
   bool Checked = true;
 };
@@ -96,13 +127,14 @@ public:
   Expected(Error E) : HasValue(false) {
     assert(static_cast<bool>(E) && "constructing Expected from success Error");
     new (&Storage.Err) std::string(E.message());
+    EK = E.kind();
     E.consume();
   }
 
   Expected(const Expected &) = delete;
   Expected &operator=(const Expected &) = delete;
 
-  Expected(Expected &&RHS) noexcept : HasValue(RHS.HasValue) {
+  Expected(Expected &&RHS) noexcept : EK(RHS.EK), HasValue(RHS.HasValue) {
     if (HasValue)
       new (&Storage.Value) T(std::move(RHS.Storage.Value));
     else
@@ -135,10 +167,16 @@ public:
     return Storage.Err;
   }
 
+  /// The failure kind; only valid when !*this.
+  ErrorKind kind() const {
+    assert(!HasValue && "kind() on successful Expected");
+    return EK;
+  }
+
   /// Converts the failure into an Error; only valid when !*this.
   Error takeError() const {
     assert(!HasValue && "takeError() on successful Expected");
-    return Error::make(Storage.Err);
+    return Error::make(EK, Storage.Err);
   }
 
 private:
@@ -148,6 +186,7 @@ private:
     T Value;
     std::string Err;
   } Storage;
+  ErrorKind EK = ErrorKind::Generic;
   bool HasValue;
 };
 

@@ -29,10 +29,17 @@ struct SelectionStats {
   std::uint64_t RuleChecks = 0;
   /// Chain-rule relaxation steps performed.
   std::uint64_t ChainRelaxations = 0;
-  /// Transition-cache probes (on-demand automaton fast path).
+  /// Transition-cache probes (on-demand automaton fast path). With a
+  /// per-worker L1 micro-cache in front, only L1 misses reach the shared
+  /// cache, so CacheProbes == L1Probes - L1Hits + uncacheable probes.
   std::uint64_t CacheProbes = 0;
   /// Transition-cache hits.
   std::uint64_t CacheHits = 0;
+  /// Per-worker L1 micro-cache probes (zero when labeling without one).
+  std::uint64_t L1Probes = 0;
+  /// Per-worker L1 micro-cache hits; each saves one seqlock probe of the
+  /// shared transition cache.
+  std::uint64_t L1Hits = 0;
   /// States computed from scratch (on-demand slow path / offline generator).
   std::uint64_t StatesComputed = 0;
   /// Dynamic-cost hook evaluations.
@@ -48,6 +55,8 @@ struct SelectionStats {
     ChainRelaxations += R.ChainRelaxations;
     CacheProbes += R.CacheProbes;
     CacheHits += R.CacheHits;
+    L1Probes += R.L1Probes;
+    L1Hits += R.L1Hits;
     StatesComputed += R.StatesComputed;
     DynCostEvals += R.DynCostEvals;
     TableLookups += R.TableLookups;
@@ -57,8 +66,8 @@ struct SelectionStats {
   /// Total per-node "work units": the sum of all counted operations. A
   /// software stand-in for the executed-instructions metric of the paper.
   std::uint64_t workUnits() const {
-    return RuleChecks + ChainRelaxations + CacheProbes + StatesComputed +
-           DynCostEvals + TableLookups;
+    return RuleChecks + ChainRelaxations + CacheProbes + L1Probes +
+           StatesComputed + DynCostEvals + TableLookups;
   }
 };
 

@@ -1,0 +1,321 @@
+//===- tests/core/L1CacheTest.cpp --------------------------------------------===//
+//
+// Part of the odburg project.
+//
+// The per-worker L1 transition micro-cache. Contracts under test: the L1
+// is a pure accelerator — labels, rules and costs are bit-identical with
+// and without it, under any collision pattern; its hit/miss counters are
+// monotone and consistent with the shared TransitionCache's counters
+// (every L1 miss on a cacheable key becomes exactly one shared probe);
+// epoch invalidation on rebinding ensures a scratch reused across
+// automatons never serves stale state ids; and per-worker L1s under
+// concurrent labeling (the ParallelLabelTest pattern — run under TSan)
+// preserve bit-identical results.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/L1Cache.h"
+
+#include "core/OnDemandAutomaton.h"
+#include "select/DPLabeler.h"
+#include "targets/Target.h"
+#include "workload/Synthetic.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+using namespace odburg;
+using namespace odburg::targets;
+using namespace odburg::workload;
+
+namespace {
+
+std::vector<ir::IRFunction> makeCorpus(const Grammar &G) {
+  std::vector<ir::IRFunction> Corpus;
+  for (const char *Name : {"gzip-like", "mcf-like", "art-like"}) {
+    const Profile *P = findProfile(Name);
+    EXPECT_NE(P, nullptr);
+    std::vector<ir::IRFunction> Fns =
+        cantFail(generateBatch(*P, G, /*Count=*/4, /*TargetNodes=*/1200));
+    for (ir::IRFunction &F : Fns)
+      Corpus.push_back(std::move(F));
+  }
+  return Corpus;
+}
+
+using Snapshot = std::vector<std::vector<std::pair<RuleId, std::uint32_t>>>;
+
+Snapshot snapshot(const Grammar &G, const std::vector<ir::IRFunction> &Fns,
+                  const Labeling &L) {
+  Snapshot Snap;
+  for (const ir::IRFunction &F : Fns)
+    Snap.push_back(labelingSnapshot(F, G.numNonterminals(), L));
+  return Snap;
+}
+
+} // namespace
+
+TEST(L1Cache, UnitInsertLookup) {
+  L1TransitionCache C(/*Log2Entries=*/4);
+  std::uint32_t KeyA[3] = {1, 2, 3};
+  std::uint32_t KeyB[3] = {1, 2, 4};
+  std::uint64_t HA = TransitionCache::hashKey(KeyA, 3);
+  std::uint64_t HB = TransitionCache::hashKey(KeyB, 3);
+  EXPECT_EQ(C.lookup(KeyA, 3, HA), InvalidState);
+  C.insert(KeyA, 3, HA, 7);
+  C.insert(KeyB, 3, HB, 9);
+  EXPECT_EQ(C.lookup(KeyA, 3, HA), 7u);
+  EXPECT_EQ(C.lookup(KeyB, 3, HB), 9u);
+}
+
+TEST(L1Cache, ForcedCollisionEvictsNeverLies) {
+  // A one-entry cache: every distinct key collides with every other. The
+  // cache may evict at will but must never return a wrong value.
+  L1TransitionCache C(/*Log2Entries=*/1);
+  std::uint32_t Keys[8][2];
+  std::uint64_t Hashes[8];
+  for (std::uint32_t I = 0; I < 8; ++I) {
+    Keys[I][0] = 100 + I;
+    Keys[I][1] = 200 + I;
+    Hashes[I] = TransitionCache::hashKey(Keys[I], 2);
+  }
+  for (std::uint32_t Round = 0; Round < 4; ++Round) {
+    for (std::uint32_t I = 0; I < 8; ++I) {
+      StateId Hit = C.lookup(Keys[I], 2, Hashes[I]);
+      // A hit must be exactly the value this key was inserted with.
+      if (Hit != InvalidState) {
+        EXPECT_EQ(Hit, I);
+      }
+      C.insert(Keys[I], 2, Hashes[I], I);
+      EXPECT_EQ(C.lookup(Keys[I], 2, Hashes[I]), I);
+    }
+  }
+}
+
+TEST(L1Cache, SameSlotDifferentLengthMisses) {
+  // Two keys that share a prefix but differ in length must never alias,
+  // even when direct-mapping puts them in the same entry.
+  L1TransitionCache C(/*Log2Entries=*/1);
+  std::uint32_t Short[2] = {5, 6};
+  std::uint32_t Long[3] = {5, 6, 0};
+  std::uint64_t HS = TransitionCache::hashKey(Short, 2);
+  std::uint64_t HL = TransitionCache::hashKey(Long, 3);
+  C.insert(Short, 2, HS, 11);
+  EXPECT_EQ(C.lookup(Long, 3, HL), InvalidState);
+}
+
+TEST(L1Cache, RebindInvalidatesAllEntries) {
+  L1TransitionCache C(/*Log2Entries=*/4);
+  C.bindTo(1);
+  std::uint32_t Key[2] = {1, 2};
+  std::uint64_t H = TransitionCache::hashKey(Key, 2);
+  C.insert(Key, 2, H, 42);
+  EXPECT_EQ(C.lookup(Key, 2, H), 42u);
+  // Rebinding to the same owner keeps entries; a new owner drops them.
+  C.bindTo(1);
+  EXPECT_EQ(C.lookup(Key, 2, H), 42u);
+  C.bindTo(2);
+  EXPECT_EQ(C.lookup(Key, 2, H), InvalidState);
+}
+
+TEST(L1Cache, GenerationTokensAreNeverRecycled) {
+  // The owner token is a generation counter, not `this`: a destroyed
+  // automaton's address can be reused by the very next allocation, so a
+  // scratch that outlives its automaton must still rebind-invalidate.
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  std::uint64_t First, Second;
+  {
+    OnDemandAutomaton A(G);
+    First = A.generation();
+  }
+  {
+    OnDemandAutomaton B(G);
+    Second = B.generation();
+  }
+  EXPECT_NE(First, Second);
+  EXPECT_NE(First, 0u);
+  EXPECT_NE(Second, 0u);
+}
+
+TEST(L1Cache, ScratchSurvivesAutomatonReplacementAtSameAddress) {
+  // The concrete replay of the recycled-address hazard: label through an
+  // L1 against automaton A, destroy A, construct B (frequently at A's
+  // old address), relabel the same function against B. B's labeling must
+  // be correct — its state ids come from its own (fresh, differently
+  // ordered) table, not from the L1's memories of A.
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  ir::IRFunction F;
+  test::buildStoreTree(F, G, 1, 1, 2);
+  test::buildStoreTree(F, G, 2, 9, 4);
+  DPLabeling Ref = DPLabeler(G).label(F);
+
+  L1TransitionCache L1;
+  auto A = std::make_unique<OnDemandAutomaton>(G);
+  A->labelFunction(F, &L1, nullptr);
+  A.reset();
+
+  // Seed B's table in a different order so any stale L1 id would visibly
+  // disagree, then label the original function through the reused L1.
+  auto B = std::make_unique<OnDemandAutomaton>(G);
+  ir::IRFunction Other;
+  test::buildStoreTree(Other, G, 7, 5, 6);
+  B->labelFunction(Other, nullptr, nullptr);
+  B->labelFunction(F, &L1, nullptr);
+  test::expectEquivalent(G, F, Ref, *B);
+}
+
+TEST(L1Cache, OversizedKeysAreNotCacheable) {
+  EXPECT_TRUE(L1TransitionCache::cacheable(L1TransitionCache::MaxKeyWords));
+  EXPECT_FALSE(
+      L1TransitionCache::cacheable(L1TransitionCache::MaxKeyWords + 1));
+}
+
+TEST(L1Cache, LabelingIdenticalWithTinyAndDefaultL1) {
+  // Forced collisions/evictions (a 2-entry L1) against the paper's
+  // running example: rules and costs must match labeling without any L1.
+  Grammar G = cantFail(parseGrammar(test::runningExampleText()));
+  DynCostTable Dyn = cantFail(DynCostTable::build(G, test::runningExampleHooks()));
+
+  std::vector<ir::IRFunction> Corpus(4);
+  for (std::uint64_t I = 0; I < Corpus.size(); ++I) {
+    test::RandomTreeBuilder B(G, /*Seed=*/I + 1, /*PayloadRange=*/4, "Store");
+    for (int R = 0; R < 5; ++R) {
+      SmallVector<ir::Node *, 2> C{
+          Corpus[I].makeLeaf(G.findOperator("Reg"), R),
+          B.build(Corpus[I], 30)};
+      Corpus[I].addRoot(Corpus[I].makeNode(G.findOperator("Store"), C));
+    }
+  }
+
+  OnDemandAutomaton Plain(G, &Dyn);
+  Snapshot Ref;
+  for (ir::IRFunction &F : Corpus) {
+    Plain.labelFunction(F);
+    Ref.push_back(labelingSnapshot(F, G.numNonterminals(), Plain));
+  }
+
+  for (unsigned Log2 : {1u, 10u}) {
+    OnDemandAutomaton A(G, &Dyn);
+    L1TransitionCache L1(Log2);
+    SelectionStats Stats;
+    Snapshot Got;
+    for (ir::IRFunction &F : Corpus) {
+      A.labelFunction(F, &L1, &Stats);
+      Got.push_back(labelingSnapshot(F, G.numNonterminals(), A));
+    }
+    EXPECT_EQ(Got, Ref) << "L1 log2 size " << Log2;
+    EXPECT_LE(Stats.L1Hits, Stats.L1Probes);
+    // Every cacheable L1 miss went to the shared cache; nothing is counted
+    // twice. (All running-example keys fit inline: header + <=2 children +
+    // <=1 dyn outcome.)
+    EXPECT_EQ(Stats.L1Probes, Stats.NodesLabeled);
+    EXPECT_EQ(Stats.CacheProbes, Stats.L1Probes - Stats.L1Hits);
+  }
+}
+
+TEST(L1Cache, CountersMonotoneAndConsistentWithSharedCache) {
+  auto T = cantFail(makeTarget("x86"));
+  std::vector<ir::IRFunction> Corpus = makeCorpus(T->G);
+
+  OnDemandAutomaton A(T->G, &T->Dyn);
+  L1TransitionCache L1; // Default size.
+  SelectionStats Total;
+  std::uint64_t LastProbes = 0, LastHits = 0;
+  for (int Pass = 0; Pass < 3; ++Pass) {
+    for (ir::IRFunction &F : Corpus)
+      A.labelFunction(F, &L1, &Total);
+    // Monotone: the cumulative counters never step backwards.
+    EXPECT_GE(Total.L1Probes, LastProbes);
+    EXPECT_GE(Total.L1Hits, LastHits);
+    LastProbes = Total.L1Probes;
+    LastHits = Total.L1Hits;
+    EXPECT_LE(Total.L1Hits, Total.L1Probes);
+    // Consistency with the shared cache: every node either hit the L1 or
+    // probed the shared cache (keys too long for the L1 skip it and probe
+    // the shared cache directly).
+    EXPECT_EQ(Total.NodesLabeled,
+              Total.L1Hits + Total.CacheProbes);
+    EXPECT_GE(Total.L1Probes, Total.L1Hits);
+  }
+
+  // Warm single-function pass: after labeling F once with this L1, an
+  // immediate relabel of the same function hits the L1 for every
+  // cacheable key and computes nothing.
+  std::uint64_t TransitionsBefore = A.numTransitions();
+  SelectionStats Warm;
+  A.labelFunction(*(&Corpus[0]), &L1, &Warm);
+  EXPECT_EQ(Warm.StatesComputed, 0u);
+  EXPECT_EQ(Warm.CacheHits, Warm.CacheProbes);
+  EXPECT_EQ(A.numTransitions(), TransitionsBefore);
+  EXPECT_GT(Warm.L1Hits, 0u);
+}
+
+TEST(L1Cache, ScratchReboundAcrossAutomatonsStaysCorrect) {
+  // The dangerous reuse: one L1 serving automaton A, then automaton B over
+  // a *different* grammar whose state ids mean different things. The
+  // rebind epoch-invalidates, so B must label exactly as if the L1 were
+  // fresh.
+  auto TX = cantFail(makeTarget("x86"));
+  auto TM = cantFail(makeTarget("mips"));
+  std::vector<ir::IRFunction> CX = makeCorpus(TX->G);
+  std::vector<ir::IRFunction> CM = makeCorpus(TM->G);
+
+  OnDemandAutomaton AX(TX->G, &TX->Dyn);
+  OnDemandAutomaton AM(TM->G, &TM->Dyn);
+  OnDemandAutomaton AMRef(TM->G, &TM->Dyn);
+
+  L1TransitionCache Shared;
+  for (ir::IRFunction &F : CX)
+    AX.labelFunction(F, &Shared, nullptr);
+
+  L1TransitionCache Fresh;
+  for (std::size_t I = 0; I < CM.size(); ++I) {
+    AM.labelFunction(CM[I], &Shared, nullptr);
+    Snapshot Got{labelingSnapshot(CM[I], TM->G.numNonterminals(), AM)};
+    AMRef.labelFunction(CM[I], &Fresh, nullptr);
+    Snapshot Want{labelingSnapshot(CM[I], TM->G.numNonterminals(), AMRef)};
+    EXPECT_EQ(Got, Want) << "function " << I;
+  }
+}
+
+TEST(L1Cache, PerWorkerL1sUnderConcurrencyBitIdentical) {
+  // The ParallelLabelTest pattern with a private L1 per worker — the TSan
+  // target for the L1 path: all shared-cache traffic goes through the
+  // seqlock, the L1s are worker-local, results must be bit-identical to a
+  // serial pass without L1s.
+  auto T = cantFail(makeTarget("x86"));
+  std::vector<ir::IRFunction> Corpus = makeCorpus(T->G);
+
+  OnDemandAutomaton Serial(T->G, &T->Dyn);
+  for (ir::IRFunction &F : Corpus)
+    Serial.labelFunction(F);
+  Snapshot Ref = snapshot(T->G, Corpus, Serial);
+
+  OnDemandAutomaton Parallel(T->G, &T->Dyn);
+  constexpr unsigned NumWorkers = 4;
+  std::atomic<std::size_t> Next{0};
+  std::vector<SelectionStats> Stats(NumWorkers);
+  auto Work = [&](unsigned W) {
+    L1TransitionCache L1; // Worker-private, like CompileSession's scratch.
+    std::size_t I;
+    while ((I = Next.fetch_add(1, std::memory_order_relaxed)) < Corpus.size())
+      Parallel.labelFunction(Corpus[I], &L1, &Stats[W]);
+  };
+  std::vector<std::thread> Workers;
+  for (unsigned W = 0; W < NumWorkers; ++W)
+    Workers.emplace_back(Work, W);
+  for (std::thread &Th : Workers)
+    Th.join();
+
+  EXPECT_EQ(snapshot(T->G, Corpus, Parallel), Ref);
+  EXPECT_EQ(Serial.numStates(), Parallel.numStates());
+  SelectionStats Sum;
+  for (const SelectionStats &S : Stats)
+    Sum += S;
+  EXPECT_EQ(Sum.NodesLabeled, Sum.L1Hits + Sum.CacheProbes);
+}

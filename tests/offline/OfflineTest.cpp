@@ -8,6 +8,7 @@
 
 #include "core/OnDemandAutomaton.h"
 #include "grammar/GrammarParser.h"
+#include "grammar/Synthesize.h"
 #include "grammar/Transform.h"
 #include "select/DPLabeler.h"
 #include "select/Reducer.h"
@@ -23,7 +24,16 @@ TEST(Offline, RejectsDynamicCosts) {
   Grammar G = cantFail(parseGrammar(test::runningExampleText()));
   Expected<CompiledTables> T = OfflineTableGen(G).generate();
   ASSERT_FALSE(static_cast<bool>(T));
+  EXPECT_EQ(T.kind(), ErrorKind::UnsupportedDynamicCosts);
   EXPECT_NE(T.message().find("dynamic costs"), std::string::npos);
+}
+
+TEST(Offline, StateLimitErrorIsTyped) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  Expected<CompiledTables> T = OfflineTableGen(G, /*MaxStates=*/1).generate();
+  ASSERT_FALSE(static_cast<bool>(T));
+  EXPECT_EQ(T.kind(), ErrorKind::StateLimitExceeded);
+  EXPECT_NE(T.message().find("state limit"), std::string::npos);
 }
 
 TEST(Offline, GeneratesRunningExample) {
@@ -41,6 +51,55 @@ TEST(Offline, GenerationIsDeterministic) {
   EXPECT_EQ(A.stats().NumStates, B.stats().NumStates);
   EXPECT_EQ(A.stats().NumTransitions, B.stats().NumTransitions);
   EXPECT_EQ(A.stats().TableBytes, B.stats().TableBytes);
+  EXPECT_EQ(A.fingerprint(), B.fingerprint());
+}
+
+TEST(Offline, ParallelGenerationBitIdenticalToSequential) {
+  // The tables are the product: representer indices, state ids, dense
+  // rows. All of them must be bit-for-bit identical for any worker count,
+  // not merely isomorphic.
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  CompiledTables Seq = cantFail(OfflineTableGen(G).generate(1));
+  for (unsigned Threads : {2u, 4u, 8u}) {
+    CompiledTables Par = cantFail(OfflineTableGen(G).generate(Threads));
+    EXPECT_EQ(Par.stats().NumStates, Seq.stats().NumStates);
+    EXPECT_EQ(Par.stats().NumTransitions, Seq.stats().NumTransitions);
+    EXPECT_EQ(Par.stats().StatesComputed, Seq.stats().StatesComputed);
+    EXPECT_EQ(Par.fingerprint(), Seq.fingerprint())
+        << "thread count " << Threads;
+    EXPECT_EQ(Par.stats().GenThreads, Threads);
+  }
+}
+
+TEST(Offline, ParallelGenerationBitIdenticalOnSynthesizedGrammar) {
+  // A synthesized grammar large enough that generation actually rounds
+  // through multi-tuple batches (the parallel path), unlike the 6-rule
+  // running example.
+  SynthesisParams P;
+  P.NumLeafOps = 8;
+  P.NumUnaryOps = 10;
+  P.NumBinaryOps = 14;
+  P.NumNts = 5;
+  P.RulesPerOp = 5;
+  P.Seed = 41;
+  Grammar G = cantFail(synthesizeGrammar(P));
+  CompiledTables Seq = cantFail(OfflineTableGen(G).generate(1));
+  ASSERT_GT(Seq.stats().NumStates, 32u);
+  for (unsigned Threads : {2u, 8u}) {
+    CompiledTables Par = cantFail(OfflineTableGen(G).generate(Threads));
+    EXPECT_EQ(Par.fingerprint(), Seq.fingerprint())
+        << "thread count " << Threads;
+  }
+}
+
+TEST(Offline, FingerprintDiscriminatesGrammars) {
+  Grammar A = cantFail(parseGrammar(test::runningExampleFixedText()));
+  SynthesisParams P;
+  P.Seed = 7;
+  Grammar B = cantFail(synthesizeGrammar(P));
+  CompiledTables TA = cantFail(OfflineTableGen(A).generate());
+  CompiledTables TB = cantFail(OfflineTableGen(B).generate());
+  EXPECT_NE(TA.fingerprint(), TB.fingerprint());
 }
 
 TEST(Offline, LabelerMatchesDPOnPaperExample) {

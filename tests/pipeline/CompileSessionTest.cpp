@@ -148,6 +148,98 @@ TEST(CompileSession, SerialEntryPointMatchesBatch) {
   }
 }
 
+TEST(CompileSession, BackendOptionSelectsEngineAndPreservesOutput) {
+  // The same fixed-cost corpus through all three Options::Backend values:
+  // identical assembly and cost, correct backend plumbed, engine-typical
+  // stats (DP checks rules, offline only indexes, on-demand probes).
+  auto T = cantFail(makeTarget("x86"));
+  std::vector<ir::IRFunction> Corpus = makeCorpus(T->Fixed);
+  std::vector<ir::IRFunction *> Ptrs = pointers(Corpus);
+
+  std::string RefAsm;
+  Cost RefCost = Cost::zero();
+  bool HaveRef = false;
+  for (BackendKind Kind :
+       {BackendKind::DP, BackendKind::Offline, BackendKind::OnDemand}) {
+    CompileSession::Options Opts;
+    Opts.Backend = Kind;
+    auto Session = CompileSession::create(T->Fixed, nullptr, Opts);
+    ASSERT_TRUE(static_cast<bool>(Session)) << Session.message();
+    EXPECT_EQ((*Session)->backend().kind(), Kind);
+
+    SessionStats Stats;
+    std::vector<CompileResult> Results =
+        (*Session)->compileFunctions(Ptrs, 2, &Stats);
+    for (const CompileResult &R : Results)
+      ASSERT_TRUE(R.ok()) << R.Diagnostic;
+    std::string Asm = CompileSession::concatAsm(Results);
+    Cost Total = CompileSession::totalCost(Results);
+    if (!HaveRef) {
+      HaveRef = true;
+      RefAsm = std::move(Asm);
+      RefCost = Total;
+    } else {
+      EXPECT_EQ(Asm, RefAsm) << backendName(Kind);
+      EXPECT_EQ(Total, RefCost) << backendName(Kind);
+    }
+
+    switch (Kind) {
+    case BackendKind::DP:
+      EXPECT_GT(Stats.Label.RuleChecks, 0u);
+      EXPECT_EQ(Stats.Label.TableLookups, 0u);
+      break;
+    case BackendKind::Offline:
+      EXPECT_GT(Stats.Label.TableLookups, 0u);
+      EXPECT_EQ(Stats.Label.CacheProbes, 0u);
+      break;
+    case BackendKind::OnDemand:
+      EXPECT_GT(Stats.Label.L1Probes + Stats.Label.CacheProbes, 0u);
+      break;
+    }
+  }
+}
+
+TEST(CompileSession, CreateReportsTypedErrorForOfflineDynamicCosts) {
+  auto T = cantFail(makeTarget("x86"));
+  CompileSession::Options Opts;
+  Opts.Backend = BackendKind::Offline;
+  auto Session = CompileSession::create(T->G, &T->Dyn, Opts);
+  ASSERT_FALSE(static_cast<bool>(Session));
+  EXPECT_EQ(Session.kind(), ErrorKind::UnsupportedDynamicCosts);
+}
+
+TEST(CompileSession, L1HitRateSurfacesInSessionStats) {
+  auto T = cantFail(makeTarget("vm64"));
+  std::vector<ir::IRFunction> Corpus = makeCorpus(T->G);
+  std::vector<ir::IRFunction *> Ptrs = pointers(Corpus);
+
+  CompileSession Session(*T);
+  SessionStats Cold;
+  Session.compileFunctions(Ptrs, 2, &Cold);
+
+  // Warm batch: virtually every node resolves in some worker's L1 or the
+  // shared cache; the L1 must be doing real work and the two levels must
+  // account for every node exactly once.
+  SessionStats Warm;
+  Session.compileFunctions(Ptrs, 2, &Warm);
+  EXPECT_GT(Warm.Label.L1Probes, 0u);
+  EXPECT_GT(Warm.l1HitRate(), 0.5);
+  EXPECT_EQ(Warm.Label.NodesLabeled,
+            Warm.Label.L1Hits + Warm.Label.CacheProbes);
+  EXPECT_EQ(Warm.Label.CacheHits, Warm.Label.CacheProbes);
+
+  // Ablated: no L1 probes at all, all nodes on the shared cache.
+  CompileSession::Options NoL1;
+  NoL1.BackendOpts.UseL1Cache = false;
+  CompileSession Plain(T->G, &T->Dyn, NoL1);
+  Plain.compileFunctions(Ptrs, 2);
+  SessionStats PlainWarm;
+  Plain.compileFunctions(Ptrs, 2, &PlainWarm);
+  EXPECT_EQ(PlainWarm.Label.L1Probes, 0u);
+  EXPECT_EQ(PlainWarm.l1HitRate(), 0.0);
+  EXPECT_EQ(PlainWarm.Label.NodesLabeled, PlainWarm.Label.CacheProbes);
+}
+
 namespace {
 
 /// A tiny grammar with emit templates, plus a corpus where the middle

@@ -1,0 +1,149 @@
+//===- tests/select/LabelerBackendTest.cpp -----------------------------------===//
+//
+// Part of the odburg project.
+//
+// The pluggable labeling-backend layer. Contracts under test: names parse
+// and round-trip; the factory builds every kind and reports typed errors
+// (UnsupportedDynamicCosts for offline x dynamic grammars); each backend
+// labels equivalently to the reference DP labeler through the uniform
+// labelFunction(F, scratch) shape; and one scratch serves many functions
+// and survives rebinding across backends.
+//
+//===----------------------------------------------------------------------===//
+
+#include "select/LabelerBackend.h"
+
+#include "grammar/GrammarParser.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace odburg;
+
+TEST(LabelerBackend, NamesParseAndRoundTrip) {
+  for (BackendKind K :
+       {BackendKind::DP, BackendKind::Offline, BackendKind::OnDemand}) {
+    Expected<BackendKind> Parsed = parseBackendKind(backendName(K));
+    ASSERT_TRUE(static_cast<bool>(Parsed)) << backendName(K);
+    EXPECT_EQ(*Parsed, K);
+  }
+  // The CLI also accepts the paper's hyphenation.
+  EXPECT_EQ(*parseBackendKind("on-demand"), BackendKind::OnDemand);
+
+  Expected<BackendKind> Bad = parseBackendKind("burg");
+  ASSERT_FALSE(static_cast<bool>(Bad));
+  EXPECT_EQ(Bad.kind(), ErrorKind::UnknownBackend);
+  EXPECT_NE(Bad.message().find("burg"), std::string::npos);
+  EXPECT_NE(Bad.message().find("ondemand"), std::string::npos);
+}
+
+TEST(LabelerBackend, FactoryBuildsEveryKindOnStaticGrammar) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  for (BackendKind K :
+       {BackendKind::DP, BackendKind::Offline, BackendKind::OnDemand}) {
+    Expected<std::unique_ptr<LabelerBackend>> B =
+        LabelerBackend::create(K, G);
+    ASSERT_TRUE(static_cast<bool>(B)) << B.message();
+    EXPECT_EQ((*B)->kind(), K);
+  }
+}
+
+TEST(LabelerBackend, OfflineRejectsDynamicCostsWithTypedError) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleText()));
+  DynCostTable Dyn =
+      cantFail(DynCostTable::build(G, test::runningExampleHooks()));
+  Expected<std::unique_ptr<LabelerBackend>> B =
+      LabelerBackend::create(BackendKind::Offline, G, &Dyn);
+  ASSERT_FALSE(static_cast<bool>(B));
+  EXPECT_EQ(B.kind(), ErrorKind::UnsupportedDynamicCosts);
+  EXPECT_NE(B.message().find("dynamic costs"), std::string::npos);
+
+  // The same grammar is fine on the engines that evaluate hooks.
+  for (BackendKind K : {BackendKind::DP, BackendKind::OnDemand}) {
+    Expected<std::unique_ptr<LabelerBackend>> OK =
+        LabelerBackend::create(K, G, &Dyn);
+    ASSERT_TRUE(static_cast<bool>(OK)) << OK.message();
+    EXPECT_TRUE((*OK)->supportsDynCosts());
+  }
+}
+
+TEST(LabelerBackend, OfflineStateLimitSurfacesTyped) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  LabelerBackend::Options Opts;
+  Opts.OfflineMaxStates = 1;
+  Expected<std::unique_ptr<LabelerBackend>> B =
+      LabelerBackend::create(BackendKind::Offline, G, nullptr, Opts);
+  ASSERT_FALSE(static_cast<bool>(B));
+  EXPECT_EQ(B.kind(), ErrorKind::StateLimitExceeded);
+}
+
+TEST(LabelerBackend, AllBackendsLabelEquivalentlyThroughOneScratch) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+
+  // Several functions through the same scratch per backend — the batch
+  // reuse pattern of CompileSession's workers.
+  std::vector<ir::IRFunction> Corpus(3);
+  test::buildStoreTree(Corpus[0], G, 1, 1, 2);
+  test::buildStoreTree(Corpus[1], G, 2, 9, 4);
+  test::buildStoreTree(Corpus[2], G, 3, 3, 3);
+
+  DPLabeler Ref(G);
+  std::vector<DPLabeling> Refs;
+  for (ir::IRFunction &F : Corpus)
+    Refs.push_back(Ref.label(F));
+
+  for (BackendKind K :
+       {BackendKind::DP, BackendKind::Offline, BackendKind::OnDemand}) {
+    auto B = cantFail(LabelerBackend::create(K, G));
+    LabelerScratch Scratch;
+    for (std::size_t I = 0; I < Corpus.size(); ++I) {
+      SelectionStats Stats;
+      const Labeling &L = B->labelFunction(Corpus[I], Scratch, &Stats);
+      EXPECT_EQ(Stats.NodesLabeled, Corpus[I].size()) << backendName(K);
+      test::expectEquivalent(G, Corpus[I], Refs[I], L);
+    }
+  }
+}
+
+TEST(LabelerBackend, DynamicGrammarBackendsAgreeWithHooks) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleText()));
+  DynCostTable Dyn =
+      cantFail(DynCostTable::build(G, test::runningExampleHooks()));
+  ir::IRFunction F;
+  test::buildStoreTree(F, G, 1, 1, 2); // RMW applies (equal addresses).
+  test::buildStoreTree(F, G, 2, 9, 4); // RMW does not apply.
+
+  DPLabeling Ref = DPLabeler(G, &Dyn).label(F);
+  for (BackendKind K : {BackendKind::DP, BackendKind::OnDemand}) {
+    auto B = cantFail(LabelerBackend::create(K, G, &Dyn));
+    LabelerScratch Scratch;
+    const Labeling &L = B->labelFunction(F, Scratch);
+    test::expectEquivalent(G, F, Ref, L);
+  }
+}
+
+TEST(LabelerBackend, IntrospectionMatchesEngines) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  ir::IRFunction F;
+  test::buildStoreTree(F, G, 1, 1, 2);
+
+  auto DP = cantFail(LabelerBackend::create(BackendKind::DP, G));
+  EXPECT_EQ(DP->numStates(), 0u);
+  EXPECT_EQ(DP->memoryBytes(), 0u);
+
+  auto Off = cantFail(LabelerBackend::create(BackendKind::Offline, G));
+  EXPECT_FALSE(Off->supportsDynCosts());
+  EXPECT_GT(Off->numStates(), 0u);
+  EXPECT_GT(Off->memoryBytes(), 0u);
+  // Offline tables exist in full before any labeling.
+  unsigned Before = Off->numStates();
+  LabelerScratch Scratch;
+  Off->labelFunction(F, Scratch);
+  EXPECT_EQ(Off->numStates(), Before);
+
+  auto OD = cantFail(LabelerBackend::create(BackendKind::OnDemand, G));
+  EXPECT_EQ(OD->numStates(), 0u); // Lazy: nothing before the first node.
+  OD->labelFunction(F, Scratch);
+  EXPECT_GT(OD->numStates(), 0u);
+  EXPECT_LE(OD->numStates(), Off->numStates());
+}

@@ -5,19 +5,23 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The batch compilation driver: pick a target grammar and one or more
-/// synthetic workload profiles, generate a corpus of IR functions, and
-/// compile it end-to-end (label + reduce + emit) through a CompileSession
-/// with a configurable number of worker threads. Reports end-to-end
-/// throughput, the per-phase time split, cache behavior, and a
-/// bit-identity check of the concatenated assembly across thread counts.
+/// The batch compilation driver: pick a target grammar, a labeling
+/// backend, and one or more synthetic workload profiles, generate a corpus
+/// of IR functions, and compile it end-to-end (label + reduce + emit)
+/// through a CompileSession with a configurable number of worker threads.
+/// Reports end-to-end throughput, the per-phase time split, cache
+/// behavior (shared transition cache and per-worker L1 micro-cache), and
+/// a bit-identity check of the concatenated assembly across thread counts
+/// and across backends on the same grammar.
 ///
-/// This is the JIT-server scenario of the paper writ large: many functions
-/// arrive, one automaton amortizes state construction across all of them,
-/// and whole compilations fan out across cores because each worker runs
-/// all three phases for the functions it pulls.
+/// This is the paper's three-way comparison as one CLI: --backend picks
+/// iburg-style DP labeling, burg-style offline tables, or the on-demand
+/// automaton (default), and --backend=all runs all three on the target's
+/// fixed-cost grammar — the only grammar offline tables can encode — so
+/// the rows are directly comparable.
 ///
 ///   odburg-run --target=x86 --profile=gcc-like --functions=64 --threads=1,4
+///   odburg-run --backend=all --target=x86
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,6 +35,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -45,11 +50,14 @@ namespace {
 struct DriverOptions {
   std::vector<std::string> Targets = {"x86"};
   std::vector<std::string> Profiles = {"gzip-like"};
+  std::vector<BackendKind> Backends = {BackendKind::OnDemand};
   unsigned Functions = 32;
   unsigned NodesPerFunction = 2000;
   std::vector<unsigned> Threads = {1, 0}; // 0 = hardware concurrency.
   unsigned Repeat = 3;
   bool UseCache = true;
+  bool UseL1 = true;
+  bool ForceFixed = false;
   unsigned MaxStates = 0; // 0 = automaton default.
 };
 
@@ -60,16 +68,25 @@ int usage(const char *Argv0, int Exit) {
       "\n"
       "Generates a corpus of synthetic IR functions and compiles it\n"
       "end-to-end (label + reduce + emit) through one shared compile\n"
-      "session, concurrently.\n"
+      "session, concurrently, on a selectable labeling backend.\n"
       "\n"
       "  --target=NAME|all     target grammar (default x86)\n"
       "  --profile=NAME|all    synthetic workload profile (default gzip-like)\n"
+      "  --backend=LIST|all    labeling backend(s): dp, offline, ondemand\n"
+      "                        (default ondemand). offline always runs on\n"
+      "                        the target's fixed-cost grammar; 'all'\n"
+      "                        implies --fixed so the rows are comparable\n"
+      "  --fixed               use the fixed-cost (stripped) grammar for\n"
+      "                        every backend\n"
       "  --functions=N         functions per (target, profile) corpus (default 32)\n"
       "  --nodes=N             approximate IR nodes per function (default 2000)\n"
       "  --threads=N[,N...]    worker counts to run; 0 = hardware concurrency\n"
       "                        (default 1,0)\n"
       "  --repeat=N            warm passes per row, best-of (default 3)\n"
-      "  --no-cache            disable the transition cache (ablation)\n"
+      "  --no-cache            disable the transition cache and the L1\n"
+      "                        micro-cache (ablation; ondemand backend)\n"
+      "  --no-l1               keep the shared cache but disable the\n"
+      "                        per-worker L1 micro-cache (ablation)\n"
       "  --max-states=N        override the automaton state-growth bound\n"
       "  --list                list targets and profiles, then exit\n"
       "  --help                this text\n",
@@ -109,11 +126,41 @@ bool parseArgs(int Argc, char **Argv, DriverOptions &Opts, int &ExitCode) {
       std::printf("profiles:\n");
       for (const Profile &P : specProfiles())
         std::printf("  %-14s %6u nodes\n", P.Name.c_str(), P.TargetNodes);
+      std::printf("backends:\n  dp\n  offline\n  ondemand\n");
       ExitCode = 0;
       return false;
     }
     if (Arg == "--no-cache") {
       Opts.UseCache = false;
+    } else if (Arg == "--no-l1") {
+      Opts.UseL1 = false;
+    } else if (Arg == "--fixed") {
+      Opts.ForceFixed = true;
+    } else if (startsWith(Arg, "--backend=")) {
+      std::string_view V = Value("--backend=");
+      Opts.Backends.clear();
+      if (V == "all") {
+        Opts.Backends = {BackendKind::DP, BackendKind::Offline,
+                         BackendKind::OnDemand};
+        // Offline cannot encode dynamic costs; leveling every backend onto
+        // the fixed grammar keeps the three-way rows comparable.
+        Opts.ForceFixed = true;
+      } else {
+        for (std::string_view Piece : split(V, ',')) {
+          Expected<BackendKind> K = parseBackendKind(trim(Piece));
+          if (!K) {
+            std::fprintf(stderr, "error: %s\n", K.message().c_str());
+            ExitCode = usage(Argv[0], 2);
+            return false;
+          }
+          Opts.Backends.push_back(*K);
+        }
+        if (Opts.Backends.empty()) {
+          std::fprintf(stderr, "--backend needs at least one name\n");
+          ExitCode = usage(Argv[0], 2);
+          return false;
+        }
+      }
     } else if (startsWith(Arg, "--target=")) {
       std::string_view V = Value("--target=");
       Opts.Targets.clear();
@@ -199,20 +246,15 @@ int main(int Argc, char **Argv) {
   if (!parseArgs(Argc, Argv, Opts, ExitCode))
     return ExitCode;
 
-  CompileSession::Options SOpts;
-  SOpts.Automaton.UseTransitionCache = Opts.UseCache;
-  if (Opts.MaxStates)
-    SOpts.Automaton.MaxStates = Opts.MaxStates;
-
   TablePrinter Table(formatf(
       "End-to-end compile pipeline: %u functions x ~%u nodes per corpus%s "
       "(repeat=%u, hw=%u)",
       Opts.Functions, Opts.NodesPerFunction,
       Opts.UseCache ? "" : ", transition cache OFF", Opts.Repeat,
       resolveThreads(0)));
-  Table.setHeader({"target", "profile", "thr", "nodes", "cold ms", "warm ms",
-                   "fn/s", "speedup", "lbl/red/emt %", "hit%", "states",
-                   "asm KB", "asm"});
+  Table.setHeader({"target", "profile", "backend", "gram", "thr", "nodes",
+                   "cold ms", "warm ms", "fn/s", "speedup", "lbl/red/emt %",
+                   "hit%", "l1%", "states", "asm KB", "asm"});
 
   bool AllIdentical = true;
   bool AnyFailed = false;
@@ -231,87 +273,121 @@ int main(int Argc, char **Argv) {
                      ProfileName.c_str());
         return 1;
       }
-      Expected<std::vector<ir::IRFunction>> CorpusOrErr =
-          generateBatch(*P, T.G, Opts.Functions, Opts.NodesPerFunction);
-      if (!CorpusOrErr) {
-        std::fprintf(stderr, "error: %s\n", CorpusOrErr.message().c_str());
-        return 1;
-      }
-      std::vector<ir::IRFunction> &Corpus = *CorpusOrErr;
-      std::vector<ir::IRFunction *> Ptrs;
-      std::uint64_t TotalNodes = 0;
-      for (ir::IRFunction &F : Corpus) {
-        Ptrs.push_back(&F);
-        TotalNodes += F.size();
-      }
 
-      // Reference assembly/cost from the first thread count; every other
-      // row must reproduce them bit for bit.
-      bool HaveRef = false;
-      std::uint64_t RefAsmHash = 0;
-      Cost RefCost = Cost::zero();
-      double BaselineWarmNs = 0;
-      for (unsigned ThreadSpec : Opts.Threads) {
-        unsigned Threads = resolveThreads(ThreadSpec);
-        CompileSession Session(T.G, &T.Dyn, SOpts);
+      // Reference assembly/cost per grammar variant: the first row of a
+      // variant is the reference; every later row on the same variant —
+      // other thread counts AND other backends — must reproduce it bit
+      // for bit.
+      struct Reference {
+        std::uint64_t AsmHash = 0;
+        Cost TotalCost = Cost::zero();
+      };
+      std::map<bool, Reference> RefByFixed;
+      std::map<bool, std::vector<ir::IRFunction>> CorpusByFixed;
 
-        SessionStats Cold;
-        std::vector<CompileResult> Results =
-            Session.compileFunctions(Ptrs, Threads, &Cold);
-        std::uint64_t ColdNs = Cold.WallNs;
+      for (BackendKind Backend : Opts.Backends) {
+        bool Fixed = Opts.ForceFixed || Backend == BackendKind::Offline;
+        const Grammar &G = Fixed ? T.Fixed : T.G;
+        const DynCostTable *Dyn = Fixed ? nullptr : &T.Dyn;
 
-        SessionStats Warm;
-        std::uint64_t WarmNs = ~0ULL;
-        for (unsigned R = 0; R < Opts.Repeat; ++R) {
-          SessionStats Pass;
-          Results = Session.compileFunctions(Ptrs, Threads, &Pass);
-          if (Pass.WallNs < WarmNs) {
-            WarmNs = Pass.WallNs;
-            Warm = Pass;
+        if (!CorpusByFixed.count(Fixed)) {
+          Expected<std::vector<ir::IRFunction>> CorpusOrErr = generateBatch(
+              *P, G, Opts.Functions, Opts.NodesPerFunction);
+          if (!CorpusOrErr) {
+            std::fprintf(stderr, "error: %s\n", CorpusOrErr.message().c_str());
+            return 1;
           }
+          CorpusByFixed.emplace(Fixed, std::move(*CorpusOrErr));
         }
-        if (BaselineWarmNs == 0)
-          BaselineWarmNs = static_cast<double>(WarmNs);
-
-        for (const CompileResult &R : Results)
-          if (!R.ok()) {
-            std::fprintf(stderr, "error: function failed to compile: %s\n",
-                         R.Diagnostic.c_str());
-            AnyFailed = true;
-          }
-
-        std::string Asm = CompileSession::concatAsm(Results);
-        std::uint64_t AsmHash = hashString(Asm);
-        Cost TotalCost = CompileSession::totalCost(Results);
-        std::string Check;
-        if (!HaveRef) {
-          HaveRef = true;
-          RefAsmHash = AsmHash;
-          RefCost = TotalCost;
-          Check = "reference";
-        } else {
-          bool Identical = AsmHash == RefAsmHash && TotalCost == RefCost;
-          AllIdentical = AllIdentical && Identical;
-          Check = Identical ? "identical" : "DIVERGED";
+        std::vector<ir::IRFunction> &Corpus = CorpusByFixed[Fixed];
+        std::vector<ir::IRFunction *> Ptrs;
+        std::uint64_t TotalNodes = 0;
+        for (ir::IRFunction &F : Corpus) {
+          Ptrs.push_back(&F);
+          TotalNodes += F.size();
         }
 
-        double HitPct =
-            Warm.Label.CacheProbes
-                ? 100.0 * static_cast<double>(Warm.Label.CacheHits) /
-                      static_cast<double>(Warm.Label.CacheProbes)
-                : 0.0;
-        Table.addRow(
-            {TargetName, ProfileName, std::to_string(Threads),
-             formatThousands(TotalNodes),
-             formatFixed(static_cast<double>(ColdNs) / 1e6, 1),
-             formatFixed(static_cast<double>(WarmNs) / 1e6, 1),
-             formatFixed(static_cast<double>(Warm.Functions) * 1e9 /
-                             static_cast<double>(WarmNs),
-                         1),
-             formatFixed(BaselineWarmNs / static_cast<double>(WarmNs), 2),
-             phaseSplit(Warm), formatFixed(HitPct, 1),
-             formatThousands(Session.automaton().numStates()),
-             formatThousands(Asm.size() / 1024), Check});
+        CompileSession::Options SOpts;
+        SOpts.Backend = Backend;
+        SOpts.BackendOpts.Automaton.UseTransitionCache = Opts.UseCache;
+        SOpts.BackendOpts.UseL1Cache = Opts.UseCache && Opts.UseL1;
+        if (Opts.MaxStates) {
+          SOpts.BackendOpts.Automaton.MaxStates = Opts.MaxStates;
+          SOpts.BackendOpts.OfflineMaxStates = Opts.MaxStates;
+        }
+
+        double BaselineWarmNs = 0;
+        for (unsigned ThreadSpec : Opts.Threads) {
+          unsigned Threads = resolveThreads(ThreadSpec);
+          Expected<std::unique_ptr<CompileSession>> SessionOrErr =
+              CompileSession::create(G, Dyn, SOpts);
+          if (!SessionOrErr) {
+            std::fprintf(stderr, "error: %s backend: %s\n",
+                         backendName(Backend), SessionOrErr.message().c_str());
+            return 1;
+          }
+          CompileSession &Session = **SessionOrErr;
+
+          SessionStats Cold;
+          std::vector<CompileResult> Results =
+              Session.compileFunctions(Ptrs, Threads, &Cold);
+          std::uint64_t ColdNs = Cold.WallNs;
+
+          SessionStats Warm;
+          std::uint64_t WarmNs = ~0ULL;
+          for (unsigned R = 0; R < Opts.Repeat; ++R) {
+            SessionStats Pass;
+            Results = Session.compileFunctions(Ptrs, Threads, &Pass);
+            if (Pass.WallNs < WarmNs) {
+              WarmNs = Pass.WallNs;
+              Warm = Pass;
+            }
+          }
+          if (BaselineWarmNs == 0)
+            BaselineWarmNs = static_cast<double>(WarmNs);
+
+          for (const CompileResult &R : Results)
+            if (!R.ok()) {
+              std::fprintf(stderr, "error: function failed to compile: %s\n",
+                           R.Diagnostic.c_str());
+              AnyFailed = true;
+            }
+
+          std::string Asm = CompileSession::concatAsm(Results);
+          std::uint64_t AsmHash = hashString(Asm);
+          Cost TotalCost = CompileSession::totalCost(Results);
+          std::string Check;
+          if (!RefByFixed.count(Fixed)) {
+            RefByFixed[Fixed] = {AsmHash, TotalCost};
+            Check = "reference";
+          } else {
+            const Reference &Ref = RefByFixed[Fixed];
+            bool Identical =
+                AsmHash == Ref.AsmHash && TotalCost == Ref.TotalCost;
+            AllIdentical = AllIdentical && Identical;
+            Check = Identical ? "identical" : "DIVERGED";
+          }
+
+          double HitPct =
+              Warm.Label.CacheProbes
+                  ? 100.0 * static_cast<double>(Warm.Label.CacheHits) /
+                        static_cast<double>(Warm.Label.CacheProbes)
+                  : 0.0;
+          Table.addRow(
+              {TargetName, ProfileName, backendName(Backend),
+               Fixed ? "fixed" : "full", std::to_string(Threads),
+               formatThousands(TotalNodes),
+               formatFixed(static_cast<double>(ColdNs) / 1e6, 1),
+               formatFixed(static_cast<double>(WarmNs) / 1e6, 1),
+               formatFixed(static_cast<double>(Warm.Functions) * 1e9 /
+                               static_cast<double>(WarmNs),
+                           1),
+               formatFixed(BaselineWarmNs / static_cast<double>(WarmNs), 2),
+               phaseSplit(Warm), formatFixed(HitPct, 1),
+               formatFixed(100.0 * Warm.l1HitRate(), 1),
+               formatThousands(Session.backend().numStates()),
+               formatThousands(Asm.size() / 1024), Check});
+        }
       }
       Table.addSeparator();
     }
@@ -319,17 +395,18 @@ int main(int Argc, char **Argv) {
   Table.print();
   std::printf(
       "\nwarm pass = recompiling the corpus end-to-end against the already-\n"
-      "populated automaton (the JIT steady state); fn/s and the\n"
-      "label/reduce/emit split are from the best warm pass; speedup is\n"
-      "relative to the first thread count listed. The asm column checks the\n"
-      "concatenated assembly and total cost against the first thread\n"
-      "count's — it must never read DIVERGED.\n");
+      "warm backend (the JIT steady state); fn/s and the label/reduce/emit\n"
+      "split are from the best warm pass; speedup is relative to the first\n"
+      "thread count of the same backend. hit%% is the shared transition\n"
+      "cache, l1%% the per-worker L1 micro-cache (ondemand backend only).\n"
+      "The asm column checks the concatenated assembly and total cost\n"
+      "against the first row on the same grammar variant — across thread\n"
+      "counts and backends alike, it must never read DIVERGED.\n");
   if (AnyFailed)
     return 1;
   if (!AllIdentical) {
     std::fprintf(stderr,
-                 "FAILURE: a thread count diverged from the reference "
-                 "assembly\n");
+                 "FAILURE: a run diverged from the reference assembly\n");
     return 1;
   }
   return 0;

@@ -26,8 +26,14 @@
 #include "workload/Corpus.h"
 #include "workload/Synthetic.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
+#include <initializer_list>
+#include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace odburg {
 namespace bench {
@@ -42,13 +48,157 @@ inline bool &smokeMode() {
   return Smoke;
 }
 
-/// Parses --smoke (the only argument bench binaries accept) and returns
-/// the mode. Call first thing in main.
-inline bool parseSmoke(int Argc, char **Argv) {
-  for (int I = 1; I < Argc; ++I)
-    if (std::string_view(Argv[I]) == "--smoke")
+/// Path of the machine-readable report requested with --json=<path>;
+/// empty when no JSON output was requested.
+inline std::string &jsonPath() {
+  static std::string Path;
+  return Path;
+}
+
+/// The collected JSON objects (already rendered), one per recorded row.
+inline std::vector<std::string> &jsonObjects() {
+  static std::vector<std::string> Objects;
+  return Objects;
+}
+
+/// Parses the arguments every bench binary accepts — --smoke and
+/// --json=<path> — and returns smoke mode. Call first thing in main.
+inline bool parseBenchArgs(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string_view Arg = Argv[I];
+    if (Arg == "--smoke")
       smokeMode() = true;
+    else if (startsWith(Arg, "--json="))
+      jsonPath() = std::string(Arg.substr(7));
+  }
   return smokeMode();
+}
+
+/// Renders \p S as a JSON string literal.
+inline std::string jsonQuote(std::string_view S) {
+  std::string Out = "\"";
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+  return Out;
+}
+
+/// True iff \p S matches the JSON number grammar exactly:
+/// -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?. Deliberately stricter
+/// than strtod, which also accepts inf/nan/hex/"5."/"+1" — tokens that
+/// would corrupt the report for every JSON consumer.
+inline bool isJsonNumber(const std::string &S) {
+  std::size_t I = 0, N = S.size();
+  auto Digits = [&] {
+    std::size_t Start = I;
+    while (I < N && S[I] >= '0' && S[I] <= '9')
+      ++I;
+    return I > Start;
+  };
+  if (I < N && S[I] == '-')
+    ++I;
+  if (I < N && S[I] == '0')
+    ++I;
+  else if (!Digits())
+    return false;
+  if (I < N && S[I] == '.') {
+    ++I;
+    if (!Digits())
+      return false;
+  }
+  if (I < N && (S[I] == 'e' || S[I] == 'E')) {
+    ++I;
+    if (I < N && (S[I] == '+' || S[I] == '-'))
+      ++I;
+    if (!Digits())
+      return false;
+  }
+  return I == N;
+}
+
+/// A table cell as a JSON value: plain numbers stay numbers, everything
+/// else (including formatThousands output, "inf" and "-") becomes a
+/// string.
+inline std::string jsonCell(const std::string &S) {
+  return isJsonNumber(S) ? S : jsonQuote(S);
+}
+
+/// Records one JSON object for bench \p Bench. \p Fields are
+/// (key, pre-rendered JSON value) pairs — use jsonQuote for strings and
+/// std::to_string/formatFixed for numbers. No-op without --json.
+inline void
+recordJson(std::string_view Bench,
+           std::initializer_list<std::pair<std::string_view, std::string>>
+               Fields) {
+  if (jsonPath().empty())
+    return;
+  std::string Obj = "{\"bench\": " + jsonQuote(Bench);
+  for (const auto &[Key, Value] : Fields)
+    Obj += ", " + jsonQuote(Key) + ": " + Value;
+  Obj += "}";
+  jsonObjects().push_back(std::move(Obj));
+}
+
+/// Records every data row of \p Table as one JSON object keyed by the
+/// table's header cells (the generic bridge from the human-readable
+/// tables to the machine-readable report). No-op without --json.
+inline void recordTable(std::string_view Bench, const TablePrinter &Table) {
+  if (jsonPath().empty())
+    return;
+  const std::vector<std::string> &Header = Table.header();
+  for (const std::vector<std::string> &Row : Table.dataRows()) {
+    if (Row.empty())
+      continue;
+    std::string Obj = "{\"bench\": " + jsonQuote(Bench) +
+                      ", \"smoke\": " + (smokeMode() ? "true" : "false");
+    for (std::size_t I = 0; I < Row.size() && I < Header.size(); ++I)
+      Obj += ", " + jsonQuote(Header[I]) + ": " + jsonCell(Row[I]);
+    Obj += "}";
+    jsonObjects().push_back(std::move(Obj));
+  }
+}
+
+/// Writes the collected objects as a JSON array to the --json path.
+/// Call once at the end of main; returns false (and complains on stderr)
+/// when the file cannot be written.
+inline bool writeJsonReport() {
+  if (jsonPath().empty())
+    return true;
+  std::FILE *F = std::fopen(jsonPath().c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "error: cannot write --json file '%s'\n",
+                 jsonPath().c_str());
+    return false;
+  }
+  std::fputs("[\n", F);
+  for (std::size_t I = 0; I < jsonObjects().size(); ++I)
+    std::fprintf(F, "  %s%s\n", jsonObjects()[I].c_str(),
+                 I + 1 < jsonObjects().size() ? "," : "");
+  std::fputs("]\n", F);
+  std::fclose(F);
+  return true;
 }
 
 /// \p Full normally; \p Smoke under --smoke.

@@ -21,7 +21,7 @@ using namespace odburg::bench;
 using namespace odburg::workload;
 
 int main(int Argc, char **Argv) {
-  parseSmoke(Argc, Argv);
+  parseBenchArgs(Argc, Argv);
   auto T = cantFail(targets::makeTarget("x86"));
 
   TablePrinter Table("A1. Ablation: labeling time per node [ns] (x86)");
@@ -55,5 +55,6 @@ int main(int Argc, char **Argv) {
                   formatFixed(static_cast<double>(DPNs) / FullNs, 2)});
   }
   Table.print();
-  return 0;
+  recordTable("a1_ablation", Table);
+  return writeJsonReport() ? 0 : 1;
 }

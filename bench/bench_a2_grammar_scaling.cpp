@@ -19,7 +19,7 @@ using namespace odburg;
 using namespace odburg::bench;
 
 int main(int Argc, char **Argv) {
-  parseSmoke(Argc, Argv);
+  parseBenchArgs(Argc, Argv);
   TablePrinter Table("A2. Labeling time per node [ns] vs. rules per "
                      "operator (synthesized grammars, same input shape)");
   Table.setHeader({"rules/op", "total rules", "dp", "ondemand (warm)",
@@ -55,9 +55,10 @@ int main(int Argc, char **Argv) {
                   std::to_string(A.numStates())});
   }
   Table.print();
+  recordTable("a2_grammar_scaling", Table);
   std::printf("\nExpected shape: the dp column grows roughly linearly with "
               "rules/op; the\nondemand column stays flat, so the ratio "
               "widens — 'the speed of an\nautomaton is mostly unaffected by "
               "the number of grammar rules'.\n");
-  return 0;
+  return writeJsonReport() ? 0 : 1;
 }

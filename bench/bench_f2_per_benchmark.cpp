@@ -16,7 +16,7 @@ using namespace odburg::bench;
 using namespace odburg::workload;
 
 int main(int Argc, char **Argv) {
-  parseSmoke(Argc, Argv);
+  parseBenchArgs(Argc, Argv);
   auto T = cantFail(targets::makeTarget("vm64"));
   OnDemandAutomaton A(T->G, &T->Dyn); // Persistent, JIT-style.
 
@@ -52,9 +52,10 @@ int main(int Argc, char **Argv) {
                      2)});
   }
   Table.print();
+  recordTable("f2_per_benchmark", Table);
   std::printf("\nExpected shape: the ratio is smaller than on the x86 "
               "grammar (T3) —\nfewer rules per operator make dp relatively "
               "cheaper, exactly the\nCACAO-vs-lcc contrast the papers "
               "describe.\n");
-  return 0;
+  return writeJsonReport() ? 0 : 1;
 }

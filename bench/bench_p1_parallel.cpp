@@ -42,7 +42,7 @@ snapshot(const Grammar &G, const std::vector<ir::IRFunction> &Corpus,
 } // namespace
 
 int main(int Argc, char **Argv) {
-  parseSmoke(Argc, Argv);
+  parseBenchArgs(Argc, Argv);
   auto T = cantFail(targets::makeTarget("x86"));
 
   // A mixed corpus: three profiles, many medium functions each.
@@ -103,6 +103,7 @@ int main(int Argc, char **Argv) {
                   Identical ? "identical" : "DIVERGED"});
   }
   Table.print();
+  recordTable("p1_parallel", Table);
   std::printf("\nExpected shape (multicore): warm speedup approaching the "
               "thread count\nuntil memory bandwidth or shard contention "
               "binds; labeling column must\nalways read 'identical'.\n");
@@ -111,5 +112,5 @@ int main(int Argc, char **Argv) {
                          "labeling\n");
     return 1;
   }
-  return 0;
+  return writeJsonReport() ? 0 : 1;
 }

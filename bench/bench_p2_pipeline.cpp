@@ -29,7 +29,7 @@ using namespace odburg::pipeline;
 using namespace odburg::workload;
 
 int main(int Argc, char **Argv) {
-  parseSmoke(Argc, Argv);
+  parseBenchArgs(Argc, Argv);
   auto T = cantFail(targets::makeTarget("x86"));
 
   // A mixed corpus: three profiles, many medium functions each.
@@ -117,6 +117,7 @@ int main(int Argc, char **Argv) {
                    : "DIVERGED"});
   }
   Table.print();
+  recordTable("p2_pipeline", Table);
   std::printf("\nExpected shape (multicore): warm speedup approaching the "
               "thread count —\nreduce and emit scale with labeling because "
               "each worker compiles whole\nfunctions; the asm column must "
@@ -126,5 +127,5 @@ int main(int Argc, char **Argv) {
                          "assembly\n");
     return 1;
   }
-  return 0;
+  return writeJsonReport() ? 0 : 1;
 }

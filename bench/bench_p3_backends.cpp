@@ -51,7 +51,7 @@ SynthesisParams scaleParams() {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  parseSmoke(Argc, Argv);
+  parseBenchArgs(Argc, Argv);
   auto T = cantFail(targets::makeTarget("x86"));
 
   // ---- (a) End-to-end pipeline throughput, three backends x threads. ----
@@ -155,6 +155,7 @@ int main(int Argc, char **Argv) {
     Table.addSeparator();
   }
   Table.print();
+  recordTable("p3a_backends", Table);
 
   // ---- (b) Offline generation: sequential vs. parallel, bit-identical. --
   Grammar Big = cantFail(synthesizeGrammar(scaleParams()));
@@ -196,6 +197,7 @@ int main(int Argc, char **Argv) {
   }
   std::printf("\n");
   Gen.print();
+  recordTable("p3b_offline_gen", Gen);
 
   std::printf(
       "\nExpected shape (multicore): ondemand warm fn/s within a small "
@@ -208,5 +210,5 @@ int main(int Argc, char **Argv) {
                          "run diverged\n");
     return 1;
   }
-  return 0;
+  return writeJsonReport() ? 0 : 1;
 }

@@ -1,0 +1,317 @@
+//===- bench/bench_p4_dense.cpp - Table P4 ------------------------------------===//
+//
+// Part of the odburg project.
+//
+// P4: the adaptive dense-row transition tier. Part (a) runs the warm
+// end-to-end pipeline on the x86 *static-cost* grammar with dense rows on
+// vs. off across 1/2/4/8 worker threads — the configuration where the
+// tier can serve every operator, closing the lookup-cost gap to offline
+// tables. Part (b) repeats the sweep on the *dynamic-cost* grammar, where
+// operators with hooks bypass the tier (their outcomes are part of the
+// transition key): dense rows must still help the hook-free operators and
+// must never regress the rest. Every cell checks the concatenated
+// assembly and total cover cost against the first cell on the same
+// grammar — dense rows are a pure accelerator and the asm must be
+// byte-identical, dense on or off, any thread count. Part (c) compares
+// the direct-mapped and 2-way set-associative L1 micro-cache variants on
+// both grammars: dynamic-cost keys carry outcome words that pad keys into
+// fewer distinct index bits, the collision pattern 2-way is meant to
+// absorb.
+//
+// Note: speedups are bounded by the machine; on a single-core container
+// they degenerate to ~1x. The identity checks are unaffected.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "pipeline/CompileSession.h"
+
+#include <thread>
+
+using namespace odburg;
+using namespace odburg::bench;
+using namespace odburg::pipeline;
+using namespace odburg::workload;
+
+namespace {
+
+std::vector<ir::IRFunction> makeCorpus(const Grammar &G) {
+  std::vector<ir::IRFunction> Corpus;
+  for (const char *Name : {"gzip-like", "gcc-like", "twolf-like"}) {
+    const Profile *P = findProfile(Name);
+    std::vector<ir::IRFunction> Fns = cantFail(
+        generateBatch(*P, G, /*Count=*/smokeScaled(16, 3),
+                      /*TargetNodes=*/smokeScaled(3000, 400)));
+    for (ir::IRFunction &F : Fns)
+      Corpus.push_back(std::move(F));
+  }
+  return Corpus;
+}
+
+struct Cell {
+  std::uint64_t ColdNs = 0;
+  std::uint64_t WarmNs = 0;
+  SessionStats Warm;
+  std::string Asm;
+  Cost TotalCost = Cost::zero();
+  std::size_t DenseRows = 0;
+  bool Failed = false;
+};
+
+Cell runCell(const Grammar &G, const DynCostTable *Dyn,
+             const CompileSession::Options &Opts,
+             std::vector<ir::IRFunction *> &Ptrs, unsigned Threads) {
+  Cell Out;
+  auto SessionOrErr = CompileSession::create(G, Dyn, Opts);
+  if (!SessionOrErr) {
+    std::fprintf(stderr, "FAILURE: %s\n", SessionOrErr.message().c_str());
+    Out.Failed = true;
+    return Out;
+  }
+  CompileSession &Session = **SessionOrErr;
+
+  SessionStats Cold;
+  std::vector<CompileResult> Results =
+      Session.compileFunctions(Ptrs, Threads, &Cold);
+  Out.ColdNs = Cold.WallNs;
+
+  Out.WarmNs = ~0ULL;
+  for (unsigned R = 0; R < smokeScaled(3, 1); ++R) {
+    SessionStats Pass;
+    Results = Session.compileFunctions(Ptrs, Threads, &Pass);
+    if (Pass.WallNs < Out.WarmNs) {
+      Out.WarmNs = Pass.WallNs;
+      Out.Warm = Pass;
+    }
+  }
+
+  for (const CompileResult &R : Results)
+    if (!R.ok()) {
+      std::fprintf(stderr, "FAILURE: %s\n", R.Diagnostic.c_str());
+      Out.Failed = true;
+      return Out;
+    }
+  Out.Asm = CompileSession::concatAsm(Results);
+  Out.TotalCost = CompileSession::totalCost(Results);
+  if (const DenseTransitionTier *Tier = Session.automaton().denseTier())
+    Out.DenseRows = Tier->numRows();
+  return Out;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  parseBenchArgs(Argc, Argv);
+  auto T = cantFail(targets::makeTarget("x86"));
+
+  bool AllIdentical = true;
+  bool AnyFailed = false;
+
+  // ---- (a)+(b) Warm pipeline, dense rows on vs. off, both grammars. ----
+  for (bool FullGrammar : {false, true}) {
+    const Grammar &G = FullGrammar ? T->G : T->Fixed;
+    const DynCostTable *Dyn = FullGrammar ? &T->Dyn : nullptr;
+    const char *GramName = FullGrammar ? "dyn-cost" : "static-cost";
+
+    std::vector<ir::IRFunction> Corpus = makeCorpus(G);
+    std::vector<ir::IRFunction *> Ptrs;
+    std::uint64_t TotalNodes = 0;
+    for (ir::IRFunction &F : Corpus) {
+      Ptrs.push_back(&F);
+      TotalNodes += F.size();
+    }
+
+    TablePrinter Table(formatf(
+        "P4%s. Dense-row tier on the x86 %s grammar (%llu nodes in %zu "
+        "functions; hw threads: %u)",
+        FullGrammar ? "b" : "a", GramName,
+        static_cast<unsigned long long>(TotalNodes), Corpus.size(),
+        std::thread::hardware_concurrency()));
+    Table.setHeader({"dense", "threads", "cold ms", "warm ms", "warm fn/s",
+                     "speedup", "l1%", "dn%", "hit%", "rows", "asm"});
+
+    std::string Reference;
+    Cost ReferenceCost = Cost::zero();
+    bool HaveReference = false;
+    for (bool DenseOn : {false, true}) {
+      double BaselineNs = 0;
+      for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+        CompileSession::Options Opts;
+        Opts.Backend = BackendKind::OnDemand;
+        Opts.BackendOpts.Automaton.DenseRows = DenseOn;
+        Cell C = runCell(G, Dyn, Opts, Ptrs, Threads);
+        if (C.Failed) {
+          AnyFailed = true;
+          continue;
+        }
+
+        bool Identical = true;
+        if (!HaveReference) {
+          HaveReference = true;
+          Reference = std::move(C.Asm);
+          ReferenceCost = C.TotalCost;
+        } else {
+          Identical =
+              C.Asm == Reference && C.TotalCost == ReferenceCost;
+        }
+        AllIdentical = AllIdentical && Identical;
+
+        if (BaselineNs == 0)
+          BaselineNs = static_cast<double>(C.WarmNs);
+        double HitPct =
+            C.Warm.Label.CacheProbes
+                ? 100.0 * static_cast<double>(C.Warm.Label.CacheHits) /
+                      static_cast<double>(C.Warm.Label.CacheProbes)
+                : 0.0;
+        double FnPerSec = static_cast<double>(C.Warm.Functions) * 1e9 /
+                          static_cast<double>(C.WarmNs);
+        Table.addRow(
+            {DenseOn ? "on" : "off", std::to_string(Threads),
+             formatFixed(static_cast<double>(C.ColdNs) / 1e6, 1),
+             formatFixed(static_cast<double>(C.WarmNs) / 1e6, 1),
+             formatFixed(FnPerSec, 1),
+             formatFixed(BaselineNs / static_cast<double>(C.WarmNs), 2),
+             formatFixed(100.0 * C.Warm.l1HitRate(), 1),
+             formatFixed(100.0 * C.Warm.denseHitRate(), 1),
+             formatFixed(HitPct, 1), std::to_string(C.DenseRows),
+             !Identical                 ? "DIVERGED"
+             : (!DenseOn && Threads == 1) ? "reference"
+                                          : "identical"});
+        recordJson(FullGrammar ? "p4b_dense_dyncost" : "p4a_dense_static",
+                   {{"dense", DenseOn ? "true" : "false"},
+                    {"threads", std::to_string(Threads)},
+                    {"warm_fn_per_s", formatFixed(FnPerSec, 2)},
+                    {"warm_ms",
+                     formatFixed(static_cast<double>(C.WarmNs) / 1e6, 2)},
+                    {"l1_hit_rate", formatFixed(C.Warm.l1HitRate(), 4)},
+                    {"dense_hit_rate",
+                     formatFixed(C.Warm.denseHitRate(), 4)},
+                    {"identical", Identical ? "true" : "false"}});
+      }
+      Table.addSeparator();
+    }
+    Table.print();
+    std::printf("\n");
+  }
+
+  // ---- (c) L1 associativity: direct-mapped vs. 2-way. ----
+  TablePrinter Assoc(
+      "P4c. L1 micro-cache associativity (warm single-thread pipeline)");
+  Assoc.setHeader(
+      {"grammar", "ways", "warm ms", "warm fn/s", "l1%", "asm"});
+  for (bool FullGrammar : {false, true}) {
+    const Grammar &G = FullGrammar ? T->G : T->Fixed;
+    const DynCostTable *Dyn = FullGrammar ? &T->Dyn : nullptr;
+    std::vector<ir::IRFunction> Corpus = makeCorpus(G);
+    std::vector<ir::IRFunction *> Ptrs;
+    for (ir::IRFunction &F : Corpus)
+      Ptrs.push_back(&F);
+
+    std::string Reference;
+    for (unsigned Ways : {1u, 2u}) {
+      CompileSession::Options Opts;
+      Opts.BackendOpts.L1Ways = Ways;
+      Cell C = runCell(G, Dyn, Opts, Ptrs, /*Threads=*/1);
+      if (C.Failed) {
+        AnyFailed = true;
+        continue;
+      }
+      bool Identical = true;
+      if (Ways == 1)
+        Reference = std::move(C.Asm);
+      else
+        Identical = C.Asm == Reference;
+      AllIdentical = AllIdentical && Identical;
+      double FnPerSec = static_cast<double>(C.Warm.Functions) * 1e9 /
+                        static_cast<double>(C.WarmNs);
+      Assoc.addRow({FullGrammar ? "dyn-cost" : "static-cost",
+                    std::to_string(Ways),
+                    formatFixed(static_cast<double>(C.WarmNs) / 1e6, 1),
+                    formatFixed(FnPerSec, 1),
+                    formatFixed(100.0 * C.Warm.l1HitRate(), 1),
+                    !Identical  ? "DIVERGED"
+                    : Ways == 1 ? "reference"
+                                : "identical"});
+      recordJson("p4c_l1_ways",
+                 {{"grammar", jsonQuote(FullGrammar ? "dyn" : "static")},
+                  {"ways", std::to_string(Ways)},
+                  {"warm_fn_per_s", formatFixed(FnPerSec, 2)},
+                  {"l1_hit_rate", formatFixed(C.Warm.l1HitRate(), 4)}});
+    }
+    Assoc.addSeparator();
+  }
+  Assoc.print();
+  recordTable("p4c_l1_ways_table", Assoc);
+
+  // ---- (d) Tier ablation: which level serves the warm path. ----
+  // The L1-off rows isolate the tentpole comparison — a dense array index
+  // versus a hashed seqlock probe for every single node — which the L1's
+  // ~90% worker-local hit rate otherwise masks.
+  TablePrinter Abl("P4d. Warm-path tier ablation (x86 static-cost grammar, "
+                   "1 thread)");
+  Abl.setHeader(
+      {"config", "warm ms", "warm fn/s", "l1%", "dn%", "rows", "asm"});
+  {
+    std::vector<ir::IRFunction> Corpus = makeCorpus(T->Fixed);
+    std::vector<ir::IRFunction *> Ptrs;
+    for (ir::IRFunction &F : Corpus)
+      Ptrs.push_back(&F);
+    std::string Reference;
+    bool First = true;
+    for (bool UseL1 : {true, false}) {
+      for (bool DenseOn : {true, false}) {
+        CompileSession::Options Opts;
+        Opts.BackendOpts.UseL1Cache = UseL1;
+        Opts.BackendOpts.Automaton.DenseRows = DenseOn;
+        Cell C = runCell(T->Fixed, nullptr, Opts, Ptrs, /*Threads=*/1);
+        if (C.Failed) {
+          AnyFailed = true;
+          continue;
+        }
+        bool Identical = true;
+        if (First)
+          Reference = std::move(C.Asm);
+        else
+          Identical = C.Asm == Reference;
+        AllIdentical = AllIdentical && Identical;
+        double FnPerSec = static_cast<double>(C.Warm.Functions) * 1e9 /
+                          static_cast<double>(C.WarmNs);
+        std::string Config = std::string(UseL1 ? "l1+" : "") +
+                             (DenseOn ? "dense+l2" : "l2");
+        Abl.addRow({Config,
+                    formatFixed(static_cast<double>(C.WarmNs) / 1e6, 1),
+                    formatFixed(FnPerSec, 1),
+                    formatFixed(100.0 * C.Warm.l1HitRate(), 1),
+                    formatFixed(100.0 * C.Warm.denseHitRate(), 1),
+                    std::to_string(C.DenseRows),
+                    !Identical ? "DIVERGED"
+                    : First    ? "reference"
+                               : "identical"});
+        recordJson("p4d_tier_ablation",
+                   {{"config", jsonQuote(Config)},
+                    {"warm_fn_per_s", formatFixed(FnPerSec, 2)},
+                    {"l1_hit_rate", formatFixed(C.Warm.l1HitRate(), 4)},
+                    {"dense_hit_rate", formatFixed(C.Warm.denseHitRate(), 4)},
+                    {"dense_rows", std::to_string(C.DenseRows)}});
+        First = false;
+      }
+    }
+  }
+  std::printf("\n");
+  Abl.print();
+
+  std::printf(
+      "\nExpected shape (multicore): with dense rows on, warm labeling "
+      "resolves\nhot transitions by direct array indexing (offline-table "
+      "style) instead of\nhashed seqlock probes — dn%% absorbs the L1 miss "
+      "traffic and warm fn/s\nrises on the static-cost grammar; dyn-cost "
+      "operators bypass the tier, so\npart (b) must never regress. All "
+      "cells are byte-identical to the\nreference, dense on or off.\n");
+  if (AnyFailed || !AllIdentical) {
+    std::fprintf(stderr,
+                 "FAILURE: a dense-tier run diverged or failed to compile\n");
+    return 1;
+  }
+  return writeJsonReport() ? 0 : 1;
+}

@@ -16,7 +16,7 @@ using namespace odburg;
 using namespace odburg::bench;
 
 int main(int Argc, char **Argv) {
-  parseSmoke(Argc, Argv);
+  parseBenchArgs(Argc, Argv);
   TablePrinter Table(
       "T1. Grammar statistics and offline (burg-style) automata");
   Table.setHeader({"grammar", "rules", "norm", "chain", "dyn", "nts", "ops",
@@ -48,8 +48,9 @@ int main(int Argc, char **Argv) {
                   std::to_string(S.Operators)});
   }
   Table.print();
+  recordTable("t1_grammar_stats", Table);
   std::printf("\nNote: offline tables cannot encode dynamic costs; the "
               "on-demand automaton\n(T2) handles the full grammars "
               "including the 'dyn' rules.\n");
-  return 0;
+  return writeJsonReport() ? 0 : 1;
 }

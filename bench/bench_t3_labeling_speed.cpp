@@ -19,7 +19,7 @@ using namespace odburg::bench;
 using namespace odburg::workload;
 
 int main(int Argc, char **Argv) {
-  parseSmoke(Argc, Argv);
+  parseBenchArgs(Argc, Argv);
   auto T = cantFail(targets::makeTarget("x86"));
   CompiledTables Tables = cantFail(OfflineTableGen(T->Fixed).generate());
 
@@ -72,11 +72,13 @@ int main(int Argc, char **Argv) {
                              2)});
   }
   Work.print();
+  recordTable("t3a_work_units", Work);
   std::printf("\n");
   Time.print();
+  recordTable("t3b_time_per_node", Time);
   std::printf("\nExpected shape: dp/od well above 1 and growing with grammar "
               "size;\nondemand within a small factor of the offline tables "
               "(hash probe vs.\narray index), while also supporting the "
               "dynamic-cost rules offline cannot.\n");
-  return 0;
+  return writeJsonReport() ? 0 : 1;
 }

@@ -18,7 +18,7 @@ using namespace odburg::bench;
 using namespace odburg::workload;
 
 int main(int Argc, char **Argv) {
-  parseSmoke(Argc, Argv);
+  parseBenchArgs(Argc, Argv);
   auto T = cantFail(targets::makeTarget("x86"));
   Profile Base = *findProfile("gcc-like");
 
@@ -57,8 +57,9 @@ int main(int Argc, char **Argv) {
                   Ms(OffNs), Ms(GenNs + OffNs)});
   }
   Table.print();
+  recordTable("t4_amortization", Table);
   std::printf("\nExpected shape: on-demand beats dp from the start and never "
               "pays the\noffline generation bill; offline amortizes its "
               "up-front generation only\nbeyond the crossover input size.\n");
-  return 0;
+  return writeJsonReport() ? 0 : 1;
 }

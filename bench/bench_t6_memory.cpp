@@ -16,7 +16,7 @@ using namespace odburg::bench;
 using namespace odburg::workload;
 
 int main(int Argc, char **Argv) {
-  parseSmoke(Argc, Argv);
+  parseBenchArgs(Argc, Argv);
   TablePrinter Table("T6. Automaton memory after compiling corpus + all "
                      "synthetic workloads [bytes]");
   Table.setHeader({"grammar", "offline (compressed)", "offline (naive)",
@@ -56,10 +56,11 @@ int main(int Argc, char **Argv) {
                   formatThousands(A.numTransitions())});
   }
   Table.print();
+  recordTable("t6_memory", Table);
   std::printf("\n(On-demand memory is dominated by hash-table slack and "
               "arena slab\ngranularity — a bounded constant, traded for "
               "never generating the full\nautomaton and for dynamic-cost "
               "support. Offline-compressed is Chase-style\nindex maps; "
               "offline-naive is what tables cost without compression.)\n");
-  return 0;
+  return writeJsonReport() ? 0 : 1;
 }

@@ -1,0 +1,197 @@
+//===- core/DenseTransitionTier.cpp - Hot-row dense transition tier -------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DenseTransitionTier.h"
+
+#include <algorithm>
+
+using namespace odburg;
+
+DenseTransitionTier::DenseTransitionTier(const Grammar &G, Options Opts)
+    : G(G), Opts(Opts), Eligible(G.numOperators(), 0),
+      UnaryRows(new std::atomic<const Row *>[G.numOperators()]()),
+      BinaryDirs(new std::atomic<const RowDir *>[G.numOperators()]()),
+      HotCounters(new std::atomic<std::uint32_t>[NumHotCounters]()) {
+  for (OperatorId Op = 0; Op < G.numOperators(); ++Op) {
+    unsigned Arity = G.operatorArity(Op);
+    if ((Arity == 1 || Arity == 2) && G.dynRulesFor(Op).empty())
+      Eligible[Op] = 1;
+  }
+}
+
+std::size_t DenseTransitionTier::rowSizeFor(unsigned StateCountHint,
+                                            std::uint32_t Child) {
+  // Cover every live state plus the triggering child, with 25% headroom
+  // rounded to a power of two so warm-up stragglers land inside the row.
+  std::size_t Need = std::max<std::size_t>(
+      {std::size_t(StateCountHint) + StateCountHint / 4,
+       std::size_t(Child) + 1, 64});
+  std::size_t Size = 64;
+  while (Size < Need)
+    Size *= 2;
+  return Size;
+}
+
+const DenseTransitionTier::Row *
+DenseTransitionTier::buildRow(const Row *Old, std::uint32_t Child,
+                              unsigned StateCountHint) {
+  std::size_t Size = rowSizeFor(StateCountHint, Child);
+  if (Old && Size <= Old->Size)
+    Size = Old->Size * 2; // Regrow requests always at least double.
+  // Budget check before the allocation touches memory; on exhaustion,
+  // latch so the warm path stops paying the mutex for doomed retries.
+  std::size_t NeedBytes = sizeof(Row) + Size * sizeof(std::atomic<StateId>);
+  if (LiveBytes + RetiredBytesCount + NeedBytes > Opts.MaxBytes) {
+    Exhausted.store(true, std::memory_order_relaxed);
+    return nullptr; // Keep serving what exists.
+  }
+  auto Fresh = std::make_unique<Row>(Size);
+  if (Old) {
+    for (std::size_t I = 0; I < Old->Size; ++I)
+      Fresh->Entries[I].store(Old->Entries[I].load(std::memory_order_relaxed),
+                              std::memory_order_relaxed);
+    RetiredBytesCount += Old->bytes();
+    LiveBytes -= Old->bytes();
+  } else {
+    ++NumLiveRows;
+  }
+  LiveBytes += Fresh->bytes();
+  const Row *Raw = Fresh.get();
+  AllRows.push_back(std::move(Fresh));
+  return Raw;
+}
+
+void DenseTransitionTier::promoteOrBackfillUnary(OperatorId Op,
+                                                 std::uint32_t Child,
+                                                 StateId Result,
+                                                 unsigned StateCountHint) {
+  std::lock_guard<std::mutex> Lock(M);
+  const Row *R = UnaryRows[Op].load(std::memory_order_relaxed);
+  if (R && Child < R->Size) {
+    // A racing promoter already built coverage; just backfill.
+    R->Entries[Child].store(Result, std::memory_order_release);
+    return;
+  }
+  const Row *Fresh = buildRow(R, Child, StateCountHint);
+  if (!Fresh)
+    return;
+  Fresh->Entries[Child].store(Result, std::memory_order_relaxed);
+  ++Promotions;
+  // Release-publish: entry stores above happen-before any reader that
+  // acquires the row pointer.
+  UnaryRows[Op].store(Fresh, std::memory_order_release);
+}
+
+void DenseTransitionTier::promoteOrBackfillBinary(OperatorId Op,
+                                                  std::uint32_t Left,
+                                                  std::uint32_t Right,
+                                                  StateId Result,
+                                                  unsigned StateCountHint) {
+  std::lock_guard<std::mutex> Lock(M);
+  const RowDir *D = BinaryDirs[Op].load(std::memory_order_relaxed);
+  if (!D || Left >= D->Size) {
+    // Build (or grow) the directory of left-state rows for this operator.
+    std::size_t Size = rowSizeFor(StateCountHint, Left);
+    if (D && Size <= D->Size)
+      Size = D->Size * 2;
+    std::size_t NeedBytes =
+        sizeof(RowDir) + Size * sizeof(std::atomic<const Row *>);
+    if (LiveBytes + RetiredBytesCount + NeedBytes > Opts.MaxBytes) {
+      Exhausted.store(true, std::memory_order_relaxed);
+      return;
+    }
+    auto Fresh = std::make_unique<RowDir>(Size);
+    if (D) {
+      for (std::size_t I = 0; I < D->Size; ++I)
+        Fresh->Rows[I].store(D->Rows[I].load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+      RetiredBytesCount += D->bytes();
+      LiveBytes -= D->bytes();
+    }
+    LiveBytes += Fresh->bytes();
+    const RowDir *Raw = Fresh.get();
+    AllDirs.push_back(std::move(Fresh));
+    BinaryDirs[Op].store(Raw, std::memory_order_release);
+    D = Raw;
+  }
+  const Row *R = D->Rows[Left].load(std::memory_order_relaxed);
+  if (R && Right < R->Size) {
+    // A racing promoter already built coverage; just backfill.
+    R->Entries[Right].store(Result, std::memory_order_release);
+    return;
+  }
+  const Row *Fresh = buildRow(R, Right, StateCountHint);
+  if (!Fresh)
+    return;
+  Fresh->Entries[Right].store(Result, std::memory_order_relaxed);
+  ++Promotions;
+  D->Rows[Left].store(Fresh, std::memory_order_release);
+}
+
+void DenseTransitionTier::noteResolved(OperatorId Op, unsigned NumChildren,
+                                       const std::uint32_t *ChildIds,
+                                       StateId Result,
+                                       unsigned StateCountHint) {
+  // Fast backfill: the row already exists and covers the child — publish
+  // the entry lock-free. Entries only ever move InvalidState -> canonical
+  // id, so racing writers write the same value.
+  if (NumChildren == 1) {
+    if (const Row *R = UnaryRows[Op].load(std::memory_order_acquire)) {
+      if (ChildIds[0] < R->Size) {
+        R->Entries[ChildIds[0]].store(Result, std::memory_order_release);
+        return;
+      }
+      if (!Exhausted.load(std::memory_order_relaxed))
+        promoteOrBackfillUnary(Op, ChildIds[0], Result, StateCountHint);
+      return;
+    }
+  } else {
+    const RowDir *D = BinaryDirs[Op].load(std::memory_order_acquire);
+    if (D && ChildIds[0] < D->Size) {
+      if (const Row *R = D->Rows[ChildIds[0]].load(std::memory_order_acquire)) {
+        if (ChildIds[1] < R->Size) {
+          R->Entries[ChildIds[1]].store(Result, std::memory_order_release);
+          return;
+        }
+        if (!Exhausted.load(std::memory_order_relaxed))
+          promoteOrBackfillBinary(Op, ChildIds[0], ChildIds[1], Result,
+                                  StateCountHint);
+        return;
+      }
+    }
+  }
+  if (Exhausted.load(std::memory_order_relaxed))
+    return;
+
+  // No row yet: bump the (approximate) hot counter; promote on crossing.
+  std::uint32_t Left = NumChildren == 2 ? ChildIds[0] : 0;
+  std::atomic<std::uint32_t> &C = HotCounters[counterIndex(Op, Left)];
+  if (C.fetch_add(1, std::memory_order_relaxed) + 1 < Opts.PromoteThreshold)
+    return;
+  C.store(0, std::memory_order_relaxed);
+  if (NumChildren == 1)
+    promoteOrBackfillUnary(Op, ChildIds[0], Result, StateCountHint);
+  else
+    promoteOrBackfillBinary(Op, ChildIds[0], ChildIds[1], Result,
+                            StateCountHint);
+}
+
+std::size_t DenseTransitionTier::numRows() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return NumLiveRows;
+}
+
+std::size_t DenseTransitionTier::memoryBytes() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return LiveBytes + RetiredBytesCount +
+         2 * G.numOperators() * sizeof(std::atomic<const Row *>) +
+         NumHotCounters * sizeof(std::atomic<std::uint32_t>);
+}
+
+std::size_t DenseTransitionTier::retiredBytes() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return RetiredBytesCount;
+}

@@ -1,0 +1,217 @@
+//===- core/DenseTransitionTier.h - Hot-row dense transition tier ---------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The adaptive dense-row tier of the warm labeling path. The paper's
+/// trade-off is that on-demand automata pay a hashed transition-cache
+/// probe per node where burg-style offline tables pay a single dense
+/// array index. After warm-up the transition set is stable, so the warm
+/// path can *become* an offline table incrementally: transition rows that
+/// prove hot are promoted out of the hashed seqlock shards into dense,
+/// directly-indexed arrays of StateId.
+///
+/// A *row* is the set of transitions that share everything but one child
+/// state:
+///   - unary operators: one row per operator, indexed by the child state;
+///   - binary operators: one row per (operator, left child state),
+///     indexed by the right child state.
+/// State ids are dense (StateTable allocates them from one counter), so a
+/// row is just an array and a probe is pointer chases with no hashing, no
+/// key building, no sequence validation, and no memcmp.
+///
+/// Operators with dynamic-cost rules are permanently ineligible: their
+/// hook outcomes are part of the transition key, so a (state, operator)
+/// pair does not determine the result and cannot be row-indexed. Probes
+/// for such operators bypass this tier entirely and fall through to the
+/// hashed cache, which encodes outcomes in its keys.
+///
+/// Concurrency follows the transition cache's retire-don't-free scheme:
+///   - readers are lock-free and wait-free — acquire loads of the row
+///     (and, for binary operators, row-directory) pointers and of the
+///     entry itself; a published entry's release store synchronizes with
+///     the reader, so the state behind the id is visible;
+///   - entry backfill is lock-free too: entries only ever move from
+///     InvalidState to the canonical state id (the state table dedups
+///     contents), so racing writers write the same value and a lost
+///     backfill is only a deferred hit;
+///   - structural changes (row promotion, row/directory growth) serialize
+///     on one mutex and are rare — once per row plus a bounded number of
+///     geometric growths. Superseded arrays are retired, never freed, so
+///     an in-flight reader only ever sees valid (slightly stale) memory.
+///
+/// Promotion is driven by approximate per-row hot counters in a fixed
+/// hashed array: aliasing can only over-count, which promotes a row
+/// early — a memory, never a correctness, concern. A MaxBytes budget
+/// stops promotion (not lookup) when live + retired rows reach it, so a
+/// degenerate grammar cannot grow the tier without bound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_CORE_DENSETRANSITIONTIER_H
+#define ODBURG_CORE_DENSETRANSITIONTIER_H
+
+#include "core/State.h"
+#include "grammar/Grammar.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace odburg {
+
+/// Dense directly-indexed (state, operator) -> state rows for hot
+/// transitions; the middle tier of the warm path between the per-worker
+/// L1 micro-cache and the hashed seqlock TransitionCache.
+class DenseTransitionTier {
+public:
+  struct Options {
+    /// Resolutions a row must absorb (through the hashed tier) before it
+    /// is promoted to a dense array.
+    unsigned PromoteThreshold = 64;
+    /// Budget for live + retired row storage; promotions and growth stop
+    /// (lookups continue) once it is reached.
+    std::size_t MaxBytes = std::size_t(64) << 20;
+  };
+
+  DenseTransitionTier(const Grammar &G, Options Opts);
+
+  DenseTransitionTier(const DenseTransitionTier &) = delete;
+  DenseTransitionTier &operator=(const DenseTransitionTier &) = delete;
+
+  /// True if \p Op can ever have dense rows: arity 1 or 2 and no
+  /// dynamic-cost rules. Precomputed at construction; O(1).
+  bool eligible(OperatorId Op) const { return Eligible[Op] != 0; }
+
+  /// Probes the dense tier for an eligible operator's transition.
+  /// \p ChildIds are the child state ids in operand order (1 for unary,
+  /// 2 for binary). Returns InvalidState on miss (row not promoted, entry
+  /// not yet backfilled, or child beyond the row's coverage). Lock-free.
+  StateId lookup(OperatorId Op, unsigned NumChildren,
+                 const std::uint32_t *ChildIds) const {
+    if (NumChildren == 1) {
+      const Row *R = UnaryRows[Op].load(std::memory_order_acquire);
+      if (!R || ChildIds[0] >= R->Size)
+        return InvalidState;
+      return R->Entries[ChildIds[0]].load(std::memory_order_acquire);
+    }
+    const RowDir *D = BinaryDirs[Op].load(std::memory_order_acquire);
+    if (!D || ChildIds[0] >= D->Size)
+      return InvalidState;
+    const Row *R = D->Rows[ChildIds[0]].load(std::memory_order_acquire);
+    if (!R || ChildIds[1] >= R->Size)
+      return InvalidState;
+    return R->Entries[ChildIds[1]].load(std::memory_order_acquire);
+  }
+
+  /// Records that the hashed tier (or the state computer) resolved an
+  /// eligible operator's transition to \p Result. Backfills the row entry
+  /// when the row exists, bumps the row's hot counter and possibly
+  /// promotes it otherwise. \p StateCountHint (the automaton's current
+  /// state count) sizes newly built rows so they cover every live state.
+  void noteResolved(OperatorId Op, unsigned NumChildren,
+                    const std::uint32_t *ChildIds, StateId Result,
+                    unsigned StateCountHint);
+
+  /// \name Introspection
+  /// @{
+  /// Dense rows currently published (unary rows + binary rows).
+  std::size_t numRows() const;
+  /// Row promotions performed (monotone; >= numRows via regrowth).
+  std::uint64_t promotions() const {
+    return Promotions.load(std::memory_order_relaxed);
+  }
+  /// Heap footprint in bytes: directories plus every row array ever
+  /// published — retired arrays stay alive for lock-free readers and are
+  /// accounted here, not hidden.
+  std::size_t memoryBytes() const;
+  /// The retired (superseded but still reader-reachable) share of
+  /// memoryBytes().
+  std::size_t retiredBytes() const;
+  /// @}
+
+private:
+  /// One dense row: Entries[childState] -> StateId, InvalidState = absent.
+  /// Immutable in shape; entries monotonically fill in.
+  struct Row {
+    explicit Row(std::size_t N)
+        : Entries(new std::atomic<StateId>[N]), Size(N) {
+      for (std::size_t I = 0; I < N; ++I)
+        Entries[I].store(InvalidState, std::memory_order_relaxed);
+    }
+    std::size_t bytes() const {
+      return sizeof(Row) + Size * sizeof(std::atomic<StateId>);
+    }
+    std::unique_ptr<std::atomic<StateId>[]> Entries;
+    std::size_t Size;
+  };
+
+  /// Binary operators: Rows[leftState] -> Row, indexed by right state.
+  struct RowDir {
+    explicit RowDir(std::size_t N)
+        : Rows(new std::atomic<const Row *>[N]()), Size(N) {}
+    std::size_t bytes() const {
+      return sizeof(RowDir) + Size * sizeof(std::atomic<const Row *>);
+    }
+    std::unique_ptr<std::atomic<const Row *>[]> Rows;
+    std::size_t Size;
+  };
+
+  static constexpr unsigned NumHotCounters = 4096;
+
+  /// Index into HotCounters for the row of (Op, left child state).
+  static unsigned counterIndex(OperatorId Op, std::uint32_t Left) {
+    std::uint64_t X = (std::uint64_t(Op) << 32) | Left;
+    X *= 0x9E3779B97F4A7C15ull; // Fibonacci hashing.
+    return static_cast<unsigned>(X >> 40) & (NumHotCounters - 1);
+  }
+
+  /// Row size covering child state ids below \p StateCountHint, with
+  /// headroom so late-arriving states rarely force a regrow.
+  static std::size_t rowSizeFor(unsigned StateCountHint, std::uint32_t Child);
+
+  /// Slow paths, under the structural mutex.
+  void promoteOrBackfillUnary(OperatorId Op, std::uint32_t Child,
+                              StateId Result, unsigned StateCountHint);
+  void promoteOrBackfillBinary(OperatorId Op, std::uint32_t Left,
+                               std::uint32_t Right, StateId Result,
+                               unsigned StateCountHint);
+  /// Builds (or grows) a row to cover \p Child; returns nullptr when the
+  /// byte budget is exhausted. Called under M.
+  const Row *buildRow(const Row *Old, std::uint32_t Child,
+                      unsigned StateCountHint);
+
+  const Grammar &G;
+  Options Opts;
+  std::vector<std::uint8_t> Eligible;
+  /// Unary: row per operator. Binary: directory per operator. Slots for
+  /// ineligible operators stay null forever.
+  std::unique_ptr<std::atomic<const Row *>[]> UnaryRows;
+  std::unique_ptr<std::atomic<const RowDir *>[]> BinaryDirs;
+  /// Approximate per-row resolution counts; aliasing over-counts only.
+  std::unique_ptr<std::atomic<std::uint32_t>[]> HotCounters;
+
+  /// Serializes structural changes (promotion, growth); lookups and entry
+  /// backfill never take it.
+  mutable std::mutex M;
+  /// Owns every row/directory ever published (live and retired) so
+  /// lock-free readers never touch freed memory.
+  std::vector<std::unique_ptr<Row>> AllRows;
+  std::vector<std::unique_ptr<RowDir>> AllDirs;
+  std::size_t LiveBytes = 0;
+  std::size_t RetiredBytesCount = 0;
+  std::size_t NumLiveRows = 0;
+  std::atomic<std::uint64_t> Promotions{0};
+  /// Latched when a build would blow the byte budget: the warm path
+  /// stops paying the structural mutex for promotions that cannot
+  /// succeed. Existing rows keep serving and backfilling.
+  std::atomic<bool> Exhausted{false};
+};
+
+} // namespace odburg
+
+#endif // ODBURG_CORE_DENSETRANSITIONTIER_H

@@ -5,7 +5,8 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A thread-local, direct-mapped L1 front for the shared TransitionCache.
+/// A thread-local, set-associative (direct-mapped or 2-way) L1 front for
+/// the shared TransitionCache.
 /// The shared cache's warm path is already lock-free (one seqlock probe),
 /// but it is still a shared-memory access: the sequence counter and slot
 /// loads bounce cache lines between cores when many workers label against
@@ -24,7 +25,7 @@
 ///  - *Monotone consistency*: the shared cache is insert-only and a
 ///    transition's value never changes, so an L1 entry can never go stale
 ///    while its owner lives — eviction is purely a capacity decision
-///    (direct-mapped overwrite), never a correctness one.
+///    (set overwrite), never a correctness one.
 ///
 /// The cache is intentionally not thread-safe: exactly one worker owns it.
 /// Hit/miss counts are accounted in the caller's SelectionStats (L1Probes,
@@ -43,8 +44,9 @@
 
 namespace odburg {
 
-/// Direct-mapped, epoch-invalidated micro-cache of transition-key ->
-/// StateId mappings, private to one labeling worker.
+/// Set-associative (direct-mapped by default, optionally 2-way),
+/// epoch-invalidated micro-cache of transition-key -> StateId mappings,
+/// private to one labeling worker.
 class L1TransitionCache {
 public:
   /// Longest key cached inline: header + up to 4 children + 3 dynamic
@@ -56,9 +58,18 @@ public:
   /// keeps the whole cache around 48 KB — resident in a core's private L2
   /// alongside the worker's other hot state. Tests use tiny caches to
   /// force collisions.
-  explicit L1TransitionCache(unsigned Log2Entries = 10)
-      : Mask((std::size_t(1) << clampLog2(Log2Entries)) - 1),
-        Entries(std::size_t(1) << clampLog2(Log2Entries)) {}
+  ///
+  /// \p Ways selects the associativity (1 = direct-mapped, 2 = 2-way with
+  /// round-robin eviction; other values are clamped). The entry count
+  /// stays 2^Log2Entries either way — 2-way halves the set count, trading
+  /// one extra compare per probe for resilience against two hot keys that
+  /// alias the same set (the collision pattern of dynamic-cost grammars,
+  /// whose outcome words pad keys into fewer distinct index bits).
+  explicit L1TransitionCache(unsigned Log2Entries = 10, unsigned Ways = 1)
+      : NumWays(Ways < 2 ? 1 : 2),
+        SetMask(((std::size_t(1) << clampLog2(Log2Entries)) / NumWays) - 1),
+        Entries(std::size_t(1) << clampLog2(Log2Entries)),
+        NextVictim(NumWays == 2 ? SetMask + 1 : 0, 0) {}
 
   L1TransitionCache(const L1TransitionCache &) = delete;
   L1TransitionCache &operator=(const L1TransitionCache &) = delete;
@@ -97,19 +108,43 @@ public:
   /// caller must have checked cacheable(Words).
   StateId lookup(const std::uint32_t *Key, unsigned Words,
                  std::uint64_t Hash) const {
-    const Entry &E = Entries[Hash & Mask];
-    if (E.EpochTag != Epoch || E.Words != Words)
-      return InvalidState;
-    if (std::memcmp(E.Key, Key, Words * sizeof(std::uint32_t)) != 0)
-      return InvalidState;
-    return E.Value;
+    const Entry *Set = &Entries[(Hash & SetMask) * NumWays];
+    for (unsigned W = 0; W < NumWays; ++W) {
+      const Entry &E = Set[W];
+      if (E.EpochTag == Epoch && E.Words == Words &&
+          std::memcmp(E.Key, Key, Words * sizeof(std::uint32_t)) == 0)
+        return E.Value;
+    }
+    return InvalidState;
   }
 
-  /// Installs (or direct-mapped-overwrites) the entry for the key. The
-  /// caller must have checked cacheable(Words).
+  /// Installs the entry for the key, overwriting an existing mapping of
+  /// the same key, filling an invalid way, or evicting the set's
+  /// round-robin victim. The caller must have checked cacheable(Words).
   void insert(const std::uint32_t *Key, unsigned Words, std::uint64_t Hash,
               StateId Value) {
-    Entry &E = Entries[Hash & Mask];
+    std::size_t SetIdx = Hash & SetMask;
+    Entry *Set = &Entries[SetIdx * NumWays];
+    unsigned Way = 0;
+    if (NumWays == 2) {
+      auto Matches = [&](const Entry &E) {
+        return E.EpochTag == Epoch && E.Words == Words &&
+               std::memcmp(E.Key, Key, Words * sizeof(std::uint32_t)) == 0;
+      };
+      if (Matches(Set[0]))
+        Way = 0;
+      else if (Matches(Set[1]))
+        Way = 1;
+      else if (Set[0].EpochTag != Epoch)
+        Way = 0;
+      else if (Set[1].EpochTag != Epoch)
+        Way = 1;
+      else {
+        Way = NextVictim[SetIdx];
+        NextVictim[SetIdx] ^= 1;
+      }
+    }
+    Entry &E = Set[Way];
     E.EpochTag = Epoch;
     E.Words = Words;
     std::memcpy(E.Key, Key, Words * sizeof(std::uint32_t));
@@ -119,8 +154,13 @@ public:
   /// Entry count (capacity, not occupancy).
   std::size_t size() const { return Entries.size(); }
 
+  /// Associativity (1 = direct-mapped, 2 = 2-way).
+  unsigned ways() const { return NumWays; }
+
   /// Heap footprint in bytes.
-  std::size_t memoryBytes() const { return Entries.size() * sizeof(Entry); }
+  std::size_t memoryBytes() const {
+    return Entries.size() * sizeof(Entry) + NextVictim.size();
+  }
 
 private:
   struct Entry {
@@ -136,8 +176,11 @@ private:
 
   std::uint64_t Owner = 0;
   std::uint32_t Epoch = 1;
-  std::size_t Mask;
+  unsigned NumWays;
+  std::size_t SetMask;
   std::vector<Entry> Entries;
+  /// 2-way only: the way each set evicts next (round-robin).
+  std::vector<std::uint8_t> NextVictim;
 };
 
 } // namespace odburg

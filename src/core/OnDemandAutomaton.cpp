@@ -25,6 +25,14 @@ OnDemandAutomaton::OnDemandAutomaton(const Grammar &G, const DynCostTable *Dyn,
   assert(G.isFinalized() && "grammar must be finalized");
   assert((!G.hasDynCosts() || Dyn) &&
          "grammar has dynamic costs but no hook table was supplied");
+  // The dense tier rides on top of the hashed cache (it is populated from
+  // cache-resolved transitions), so the cache-ablated configuration has no
+  // tier either.
+  if (Opts.UseTransitionCache && Opts.DenseRows) {
+    DenseTransitionTier::Options DOpts;
+    DOpts.PromoteThreshold = Opts.DensePromoteThreshold;
+    Dense = std::make_unique<DenseTransitionTier>(G, DOpts);
+  }
   // Keep the safety bound reachable: leave one block of headroom below the
   // table's hard capacity so concurrent interners hit the MaxStates
   // diagnostic, never the table's capacity abort.
@@ -80,7 +88,7 @@ StateId OnDemandAutomaton::labelNode(ir::Node &N, L1TransitionCache *L1,
   if (ODBURG_LIKELY(Opts.UseTransitionCache)) {
     std::uint64_t H = TransitionCache::hashKey(Key.data(), Key.size());
 
-    // Fastest path: the worker's private L1 — no shared memory touched.
+    // Tier 1: the worker's private L1 — no shared memory touched.
     bool UseL1 = L1 && L1TransitionCache::cacheable(Key.size());
     if (UseL1) {
       ++Stats.L1Probes;
@@ -92,21 +100,44 @@ StateId OnDemandAutomaton::labelNode(ir::Node &N, L1TransitionCache *L1,
       }
     }
 
-    // Fast path: one lock-free probe of the shared cache.
+    // Tier 2: the dense row, offline-table style — shared read-only array
+    // indexing, no seqlock, no key comparison. Only operators without
+    // dynamic-cost rules are eligible (hook outcomes are part of the key
+    // and cannot be row-indexed). Key[1..] are exactly the child ids.
+    bool UseDense = Dense && NumChildren >= 1 && Dense->eligible(Op);
+    if (UseDense) {
+      ++Stats.DenseProbes;
+      StateId Hit = Dense->lookup(Op, NumChildren, Key.data() + 1);
+      if (ODBURG_LIKELY(Hit != InvalidState)) {
+        ++Stats.DenseHits;
+        if (UseL1)
+          L1->insert(Key.data(), Key.size(), H, Hit);
+        N.setLabel(Hit);
+        return Hit;
+      }
+    }
+
+    // Tier 3: one lock-free seqlock probe of the shared hashed cache.
     ++Stats.CacheProbes;
     StateId Hit = Cache.lookupHashed(Key.data(), Key.size(), H);
     if (ODBURG_LIKELY(Hit != InvalidState)) {
       ++Stats.CacheHits;
+      if (UseDense)
+        Dense->noteResolved(Op, NumChildren, Key.data() + 1, Hit,
+                            States.size());
       if (UseL1)
         L1->insert(Key.data(), Key.size(), H, Hit);
       N.setLabel(Hit);
       return Hit;
     }
 
-    // Slow path: compute, hash-cons, memoize at both levels.
+    // Slow path: compute, hash-cons, memoize at every level.
     const State *S =
         computeState(Op, ChildStates.data(), DynOutcomes.data(), Stats);
     Cache.insertHashed(Key.data(), Key.size(), H, S->Id);
+    if (UseDense)
+      Dense->noteResolved(Op, NumChildren, Key.data() + 1, S->Id,
+                          States.size());
     if (UseL1)
       L1->insert(Key.data(), Key.size(), H, S->Id);
     N.setLabel(S->Id);

@@ -9,9 +9,12 @@
 /// automaton is built lazily at instruction-selection time:
 ///
 ///   - Fast path: per node, evaluate the operator's dynamic-cost hooks,
-///     pack (operator, child states, outcomes) into a key, and look it up
-///     in the transition cache — one probe instead of a walk over all
-///     applicable rules.
+///     pack (operator, child states, outcomes) into a key, and resolve it
+///     through a three-tier probe — the worker's private L1 micro-cache,
+///     then the adaptive dense-row tier (hot rows promoted to offline-
+///     style directly-indexed arrays; see core/DenseTransitionTier.h),
+///     then the hashed seqlock transition cache — instead of a walk over
+///     all applicable rules.
 ///   - Slow path (cache miss): compute the state by dynamic programming
 ///     over the child states (StateComputer), hash-cons it in the state
 ///     table, memoize the transition, and continue.
@@ -28,6 +31,7 @@
 #ifndef ODBURG_CORE_ONDEMANDAUTOMATON_H
 #define ODBURG_CORE_ONDEMANDAUTOMATON_H
 
+#include "core/DenseTransitionTier.h"
 #include "core/L1Cache.h"
 #include "core/State.h"
 #include "core/StateComputer.h"
@@ -38,6 +42,7 @@
 #include "select/Labeling.h"
 #include "support/Statistic.h"
 
+#include <memory>
 #include <span>
 
 namespace odburg {
@@ -53,6 +58,14 @@ public:
     /// the state at every node — it isolates how much of the speedup is
     /// the cache versus state hash-consing.
     bool UseTransitionCache = true;
+    /// Adaptive dense-row tier: promote hot (operator, child state)
+    /// transition rows out of the hashed cache into dense directly-indexed
+    /// arrays (see core/DenseTransitionTier.h). Only meaningful with the
+    /// transition cache on; operators with dynamic-cost rules always
+    /// bypass the tier.
+    bool DenseRows = true;
+    /// Resolutions before a row is promoted to a dense array.
+    unsigned DensePromoteThreshold = 64;
     /// Safety bound on automaton growth for degenerate grammars whose
     /// relative costs do not converge. Clamped below the state table's
     /// hard capacity (StateTable::maxCapacity()) so the bound always
@@ -127,9 +140,13 @@ public:
   /// never satisfy probes with a dead automaton's state ids.
   std::uint64_t generation() const { return Generation; }
   std::size_t memoryBytes() const {
-    return States.memoryBytes() + Cache.memoryBytes();
+    return States.memoryBytes() + Cache.memoryBytes() +
+           (Dense ? Dense->memoryBytes() : 0);
   }
   const StateTable &stateTable() const { return States; }
+  /// The dense-row tier, or null when Options::DenseRows is off (or the
+  /// transition cache is ablated away).
+  const DenseTransitionTier *denseTier() const { return Dense.get(); }
   /// @}
 
 private:
@@ -143,6 +160,7 @@ private:
   StateComputer Computer;
   StateTable States;
   TransitionCache Cache;
+  std::unique_ptr<DenseTransitionTier> Dense;
   Options Opts;
   std::uint64_t Generation = nextGeneration();
 };

@@ -141,6 +141,7 @@ CompileSession::compileFunctions(std::span<ir::IRFunction *const> Fns,
       Stats->EmitNs += WS.EmitNs;
     }
     Stats->WallNs += Wall.elapsedNs();
+    Stats->BackendBytes = B->memoryBytes();
     for (const CompileResult &R : Results) {
       ++Stats->Functions;
       if (!R.ok()) {

@@ -94,6 +94,11 @@ struct SessionStats {
   std::uint64_t AsmBytes = 0;
   /// Summed cost of the successful functions' selected covers.
   Cost TotalCost = Cost::zero();
+  /// Shared-state footprint of the backend at batch end (the automaton's
+  /// state table, hashed transition cache AND dense rows — including
+  /// retired arrays kept alive for lock-free readers — or the offline
+  /// tables). Snapshot, not a sum, so memory benches stay honest.
+  std::size_t BackendBytes = 0;
 
   void reset() { *this = SessionStats(); }
 
@@ -104,6 +109,15 @@ struct SessionStats {
     return Label.L1Probes ? static_cast<double>(Label.L1Hits) /
                                 static_cast<double>(Label.L1Probes)
                           : 0.0;
+  }
+
+  /// Hit rate of the dense-row tier over the batch, in [0, 1]; 0 when no
+  /// dense probes happened (tier disabled, non-on-demand backend, or no
+  /// eligible operators).
+  double denseHitRate() const {
+    return Label.DenseProbes ? static_cast<double>(Label.DenseHits) /
+                                   static_cast<double>(Label.DenseProbes)
+                             : 0.0;
   }
 };
 

@@ -104,6 +104,13 @@ public:
     bool UseL1Cache = true;
     /// On-demand: log2 of the L1 entry count.
     unsigned L1Log2Entries = 10;
+    /// On-demand: L1 associativity. 0 = auto: direct-mapped for
+    /// static-cost grammars (shortest probe wins when keys spread well),
+    /// 2-way for dyn-cost grammars (outcome words pad keys into fewer
+    /// distinct index bits; the extra way recovers those conflict misses
+    /// — the winner per grammar class in bench_p4_dense part (c)).
+    /// Explicit 1 or 2 overrides.
+    unsigned L1Ways = 0;
     /// Offline: state bound for exhaustive generation.
     unsigned OfflineMaxStates = 1u << 18;
     /// Offline: worker threads for table generation (0 = hardware
@@ -202,15 +209,17 @@ public:
   OnDemandBackend(const Grammar &G, const DynCostTable *Dyn,
                   const Options &Opts)
       : A(G, Dyn, Opts.Automaton), UseL1(Opts.UseL1Cache),
-        L1Log2Entries(Opts.L1Log2Entries) {}
+        L1Log2Entries(Opts.L1Log2Entries),
+        L1Ways(Opts.L1Ways ? Opts.L1Ways : (G.hasDynCosts() ? 2 : 1)) {}
 
   BackendKind kind() const override { return BackendKind::OnDemand; }
   const Labeling &labelFunction(ir::IRFunction &F, LabelerScratch &Scratch,
                                 SelectionStats *Stats) override {
     L1TransitionCache *L1 = nullptr;
     if (UseL1) {
-      if (!Scratch.L1)
-        Scratch.L1 = std::make_unique<L1TransitionCache>(L1Log2Entries);
+      if (!Scratch.L1 || Scratch.L1->ways() != (L1Ways < 2 ? 1u : 2u))
+        Scratch.L1 = std::make_unique<L1TransitionCache>(L1Log2Entries,
+                                                         L1Ways);
       L1 = Scratch.L1.get();
     }
     A.labelFunction(F, L1, Stats);
@@ -226,6 +235,7 @@ private:
   OnDemandAutomaton A;
   bool UseL1;
   unsigned L1Log2Entries;
+  unsigned L1Ways;
 };
 
 } // namespace odburg

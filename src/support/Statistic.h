@@ -40,6 +40,13 @@ struct SelectionStats {
   /// Per-worker L1 micro-cache hits; each saves one seqlock probe of the
   /// shared transition cache.
   std::uint64_t L1Hits = 0;
+  /// Dense-row tier probes (on-demand automaton; eligible operators on an
+  /// L1 miss). With the dense tier in front of the shared cache,
+  /// CacheProbes == NodesLabeled - L1Hits - DenseHits.
+  std::uint64_t DenseProbes = 0;
+  /// Dense-row tier hits; each resolves a transition by direct array
+  /// indexing (offline-table style) instead of a hashed seqlock probe.
+  std::uint64_t DenseHits = 0;
   /// States computed from scratch (on-demand slow path / offline generator).
   std::uint64_t StatesComputed = 0;
   /// Dynamic-cost hook evaluations.
@@ -57,6 +64,8 @@ struct SelectionStats {
     CacheHits += R.CacheHits;
     L1Probes += R.L1Probes;
     L1Hits += R.L1Hits;
+    DenseProbes += R.DenseProbes;
+    DenseHits += R.DenseHits;
     StatesComputed += R.StatesComputed;
     DynCostEvals += R.DynCostEvals;
     TableLookups += R.TableLookups;
@@ -67,7 +76,7 @@ struct SelectionStats {
   /// software stand-in for the executed-instructions metric of the paper.
   std::uint64_t workUnits() const {
     return RuleChecks + ChainRelaxations + CacheProbes + L1Probes +
-           StatesComputed + DynCostEvals + TableLookups;
+           DenseProbes + StatesComputed + DynCostEvals + TableLookups;
   }
 };
 

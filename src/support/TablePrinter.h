@@ -40,6 +40,21 @@ public:
   /// Renders and writes to \p Out (defaults to stdout).
   void print(std::FILE *Out = stdout) const;
 
+  /// \name Machine-readable access (bench --json re-emission)
+  /// @{
+  const std::string &title() const { return Title; }
+  const std::vector<std::string> &header() const { return Header; }
+  /// All data rows' cells, in insertion order (separators are a rendering
+  /// detail and do not appear).
+  std::vector<std::vector<std::string>> dataRows() const {
+    std::vector<std::vector<std::string>> Out;
+    Out.reserve(Rows.size());
+    for (const Row &R : Rows)
+      Out.push_back(R.Cells);
+    return Out;
+  }
+  /// @}
+
 private:
   struct Row {
     std::vector<std::string> Cells;

@@ -1,0 +1,310 @@
+//===- tests/core/DenseTierTest.cpp ------------------------------------------===//
+//
+// Part of the odburg project.
+//
+// The adaptive dense-row transition tier. Contracts under test: the tier
+// is a pure accelerator — labels, rules and costs are bit-identical with
+// dense rows on and off, serial and under promotion races (the TSan
+// target); operators with dynamic-cost hooks are permanently ineligible;
+// rows promote only after the hot-counter threshold and then serve
+// direct-indexed hits; row regrowth retires (never frees) superseded
+// arrays and the memory accounting reports live + retired bytes so
+// memory benches stay honest; and the byte budget stops promotion
+// without affecting correctness.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DenseTransitionTier.h"
+
+#include "core/OnDemandAutomaton.h"
+#include "pipeline/CompileSession.h"
+#include "targets/Target.h"
+#include "workload/Synthetic.h"
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace odburg;
+using namespace odburg::targets;
+using namespace odburg::workload;
+
+namespace {
+
+std::vector<ir::IRFunction> makeCorpus(const Grammar &G) {
+  std::vector<ir::IRFunction> Corpus;
+  for (const char *Name : {"gzip-like", "mcf-like", "art-like"}) {
+    const Profile *P = findProfile(Name);
+    EXPECT_NE(P, nullptr);
+    std::vector<ir::IRFunction> Fns =
+        cantFail(generateBatch(*P, G, /*Count=*/4, /*TargetNodes=*/1200));
+    for (ir::IRFunction &F : Fns)
+      Corpus.push_back(std::move(F));
+  }
+  return Corpus;
+}
+
+using Snapshot = std::vector<std::vector<std::pair<RuleId, std::uint32_t>>>;
+
+Snapshot snapshot(const Grammar &G, const std::vector<ir::IRFunction> &Fns,
+                  const Labeling &L) {
+  Snapshot Snap;
+  for (const ir::IRFunction &F : Fns)
+    Snap.push_back(labelingSnapshot(F, G.numNonterminals(), L));
+  return Snap;
+}
+
+} // namespace
+
+TEST(DenseTier, EligibilityFollowsArityAndDynRules) {
+  // Fixed grammar: every unary/binary operator is eligible, leaves never.
+  Grammar Fixed = cantFail(parseGrammar(test::runningExampleFixedText()));
+  DenseTransitionTier TFixed(Fixed, {});
+  EXPECT_FALSE(TFixed.eligible(Fixed.findOperator("Reg"))); // Leaf.
+  EXPECT_TRUE(TFixed.eligible(Fixed.findOperator("Load")));
+  EXPECT_TRUE(TFixed.eligible(Fixed.findOperator("Plus")));
+  EXPECT_TRUE(TFixed.eligible(Fixed.findOperator("Store")));
+
+  // Full grammar: Store carries the ?memop hook — its outcomes are part
+  // of the transition key, so Store can never be row-indexed.
+  Grammar Full = cantFail(parseGrammar(test::runningExampleText()));
+  DenseTransitionTier TFull(Full, {});
+  EXPECT_TRUE(TFull.eligible(Full.findOperator("Load")));
+  EXPECT_FALSE(TFull.eligible(Full.findOperator("Store")));
+}
+
+TEST(DenseTier, PromotesAfterThresholdThenBackfills) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  DenseTransitionTier::Options Opts;
+  Opts.PromoteThreshold = 3;
+  DenseTransitionTier T(G, Opts);
+  OperatorId Load = G.findOperator("Load");
+  std::uint32_t Child[1] = {5};
+
+  // Below the threshold: resolutions only count; no row, no hits.
+  T.noteResolved(Load, 1, Child, 42, /*StateCountHint=*/10);
+  T.noteResolved(Load, 1, Child, 42, 10);
+  EXPECT_EQ(T.lookup(Load, 1, Child), InvalidState);
+  EXPECT_EQ(T.numRows(), 0u);
+
+  // Crossing it: the row is built and the trigger transition published.
+  T.noteResolved(Load, 1, Child, 42, 10);
+  EXPECT_EQ(T.lookup(Load, 1, Child), 42u);
+  EXPECT_EQ(T.numRows(), 1u);
+  EXPECT_EQ(T.promotions(), 1u);
+
+  // Another child of the same row backfills on first resolution — the
+  // whole row is hot, not just one entry.
+  std::uint32_t Other[1] = {6};
+  EXPECT_EQ(T.lookup(Load, 1, Other), InvalidState);
+  T.noteResolved(Load, 1, Other, 43, 10);
+  EXPECT_EQ(T.lookup(Load, 1, Other), 43u);
+  EXPECT_EQ(T.numRows(), 1u);
+}
+
+TEST(DenseTier, BinaryRowsAreKeyedByLeftState) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  DenseTransitionTier::Options Opts;
+  Opts.PromoteThreshold = 1;
+  DenseTransitionTier T(G, Opts);
+  OperatorId Plus = G.findOperator("Plus");
+
+  std::uint32_t K34[2] = {3, 4};
+  T.noteResolved(Plus, 2, K34, 9, 10);
+  EXPECT_EQ(T.lookup(Plus, 2, K34), 9u);
+
+  // Same right child, different left: a different row, still cold.
+  std::uint32_t K24[2] = {2, 4};
+  EXPECT_EQ(T.lookup(Plus, 2, K24), InvalidState);
+  T.noteResolved(Plus, 2, K24, 11, 10);
+  EXPECT_EQ(T.lookup(Plus, 2, K24), 11u);
+  EXPECT_EQ(T.numRows(), 2u);
+
+  // Same left, different right: same row, lazily backfilled.
+  std::uint32_t K35[2] = {3, 5};
+  EXPECT_EQ(T.lookup(Plus, 2, K35), InvalidState);
+  T.noteResolved(Plus, 2, K35, 12, 10);
+  EXPECT_EQ(T.lookup(Plus, 2, K35), 12u);
+  EXPECT_EQ(T.numRows(), 2u);
+}
+
+TEST(DenseTier, RegrowthRetiresOldArraysAndKeepsEntries) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  DenseTransitionTier::Options Opts;
+  Opts.PromoteThreshold = 1;
+  DenseTransitionTier T(G, Opts);
+  OperatorId Load = G.findOperator("Load");
+
+  std::uint32_t Small[1] = {5};
+  T.noteResolved(Load, 1, Small, 42, /*StateCountHint=*/10);
+  EXPECT_EQ(T.lookup(Load, 1, Small), 42u);
+  std::size_t BytesBefore = T.memoryBytes();
+  EXPECT_EQ(T.retiredBytes(), 0u);
+
+  // A child far beyond the row's coverage forces a regrow: the old array
+  // is retired (still reader-reachable), its entries are carried over,
+  // and the accounting reports both.
+  std::uint32_t Big[1] = {1000};
+  EXPECT_EQ(T.lookup(Load, 1, Big), InvalidState);
+  T.noteResolved(Load, 1, Big, 77, 10);
+  EXPECT_EQ(T.lookup(Load, 1, Big), 77u);
+  EXPECT_EQ(T.lookup(Load, 1, Small), 42u) << "entries survive regrowth";
+  EXPECT_EQ(T.numRows(), 1u);
+  EXPECT_GT(T.retiredBytes(), 0u);
+  EXPECT_GT(T.memoryBytes(), BytesBefore);
+  EXPECT_GT(T.memoryBytes(), T.retiredBytes());
+}
+
+TEST(DenseTier, ByteBudgetStopsPromotionNotLookup) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  DenseTransitionTier::Options Opts;
+  Opts.PromoteThreshold = 1;
+  Opts.MaxBytes = 1; // No row can ever fit.
+  DenseTransitionTier T(G, Opts);
+  OperatorId Load = G.findOperator("Load");
+  std::uint32_t Child[1] = {5};
+  for (int I = 0; I < 16; ++I)
+    T.noteResolved(Load, 1, Child, 42, 10);
+  EXPECT_EQ(T.lookup(Load, 1, Child), InvalidState);
+  EXPECT_EQ(T.numRows(), 0u);
+  EXPECT_EQ(T.promotions(), 0u);
+}
+
+TEST(DenseTier, LabelingBitIdenticalDenseOnAndOff) {
+  // The pure-accelerator contract on a real target: aggressive promotion
+  // (threshold 1) against the same corpus labeled without the tier.
+  auto T = cantFail(makeTarget("x86"));
+  std::vector<ir::IRFunction> Corpus = makeCorpus(T->G);
+
+  OnDemandAutomaton::Options Off;
+  Off.DenseRows = false;
+  OnDemandAutomaton Plain(T->G, &T->Dyn, Off);
+  for (ir::IRFunction &F : Corpus)
+    Plain.labelFunction(F);
+  Snapshot Ref = snapshot(T->G, Corpus, Plain);
+
+  OnDemandAutomaton::Options On;
+  On.DensePromoteThreshold = 1;
+  OnDemandAutomaton Dense(T->G, &T->Dyn, On);
+  SelectionStats Stats;
+  for (int Pass = 0; Pass < 3; ++Pass)
+    for (ir::IRFunction &F : Corpus)
+      Dense.labelFunction(F, nullptr, &Stats);
+  EXPECT_EQ(snapshot(T->G, Corpus, Dense), Ref);
+  EXPECT_EQ(Plain.numStates(), Dense.numStates());
+
+  // The tier must have really served hits, and the three-tier accounting
+  // must cover every node exactly once (no L1 here).
+  ASSERT_NE(Dense.denseTier(), nullptr);
+  EXPECT_GT(Stats.DenseHits, 0u);
+  EXPECT_GT(Dense.denseTier()->numRows(), 0u);
+  EXPECT_EQ(Stats.NodesLabeled, Stats.DenseHits + Stats.CacheProbes);
+
+  // Warm relabel: everything resolves in the dense tier or the hashed
+  // cache; nothing is recomputed.
+  SelectionStats Warm;
+  Dense.labelFunction(Corpus[0], nullptr, &Warm);
+  EXPECT_EQ(Warm.StatesComputed, 0u);
+  EXPECT_EQ(Warm.CacheHits, Warm.CacheProbes);
+}
+
+TEST(DenseTier, DynCostOperatorsBypassTheTier) {
+  // On the running example the only binary operators are Plus and Store;
+  // with ?memop on Store, dense probes can only come from Load/Plus and
+  // dyn evaluations still happen per node.
+  Grammar G = cantFail(parseGrammar(test::runningExampleText()));
+  DynCostTable Dyn =
+      cantFail(DynCostTable::build(G, test::runningExampleHooks()));
+  ir::IRFunction F;
+  test::buildStoreTree(F, G, 1, 1, 2);
+  test::buildStoreTree(F, G, 2, 9, 4);
+
+  OnDemandAutomaton::Options Opts;
+  Opts.DensePromoteThreshold = 1;
+  OnDemandAutomaton A(G, &Dyn, Opts);
+  SelectionStats Stats;
+  for (int Pass = 0; Pass < 8; ++Pass)
+    A.labelFunction(F, nullptr, &Stats);
+
+  ASSERT_NE(A.denseTier(), nullptr);
+  EXPECT_FALSE(A.denseTier()->eligible(G.findOperator("Store")));
+  // Store nodes keep evaluating their hook on every pass — the tier never
+  // short-circuits a dynamic cost.
+  EXPECT_EQ(Stats.DynCostEvals,
+            Stats.NodesLabeled / F.size() * 2 /*Store nodes*/);
+}
+
+TEST(DenseTier, AutomatonAndSessionMemoryAccountDenseRows) {
+  auto T = cantFail(makeTarget("x86"));
+  std::vector<ir::IRFunction> Corpus = makeCorpus(T->Fixed);
+  std::vector<ir::IRFunction *> Ptrs;
+  for (ir::IRFunction &F : Corpus)
+    Ptrs.push_back(&F);
+
+  pipeline::CompileSession::Options SOpts;
+  SOpts.BackendOpts.Automaton.DensePromoteThreshold = 1;
+  pipeline::CompileSession Session(T->Fixed, nullptr, SOpts);
+  pipeline::SessionStats Stats;
+  Session.compileFunctions(Ptrs, 2, &Stats);
+  Session.compileFunctions(Ptrs, 2, &Stats);
+
+  const OnDemandAutomaton &A = Session.automaton();
+  ASSERT_NE(A.denseTier(), nullptr);
+  ASSERT_GT(A.denseTier()->numRows(), 0u);
+  // The automaton's footprint includes the tier (live + retired rows),
+  // and the session surfaces the same number.
+  EXPECT_GT(A.denseTier()->memoryBytes(), 0u);
+  EXPECT_GE(A.memoryBytes(), A.denseTier()->memoryBytes());
+  EXPECT_EQ(Stats.BackendBytes, Session.backend().memoryBytes());
+  EXPECT_EQ(A.memoryBytes(), Session.backend().memoryBytes());
+}
+
+TEST(DenseTier, RacingPromotionStaysBitIdentical) {
+  // The TSan target: many workers race promotion of the same rows (a
+  // threshold of 2 promotes mid-flight on every hot row) while others
+  // read them, against one shared automaton. Labels must be bit-identical
+  // to a serial dense-off pass, across several passes so readers hit rows
+  // in every promotion state.
+  auto T = cantFail(makeTarget("x86"));
+  std::vector<ir::IRFunction> Corpus = makeCorpus(T->G);
+
+  OnDemandAutomaton::Options Off;
+  Off.DenseRows = false;
+  OnDemandAutomaton Serial(T->G, &T->Dyn, Off);
+  for (ir::IRFunction &F : Corpus)
+    Serial.labelFunction(F);
+  Snapshot Ref = snapshot(T->G, Corpus, Serial);
+
+  OnDemandAutomaton::Options On;
+  On.DensePromoteThreshold = 2;
+  OnDemandAutomaton Shared(T->G, &T->Dyn, On);
+  constexpr unsigned NumWorkers = 4;
+  constexpr unsigned NumPasses = 3;
+  std::vector<SelectionStats> Stats(NumWorkers);
+  for (unsigned Pass = 0; Pass < NumPasses; ++Pass) {
+    std::atomic<std::size_t> Next{0};
+    auto Work = [&](unsigned W) {
+      L1TransitionCache L1; // Worker-private, as in the pipeline.
+      std::size_t I;
+      while ((I = Next.fetch_add(1, std::memory_order_relaxed)) <
+             Corpus.size())
+        Shared.labelFunction(Corpus[I], &L1, &Stats[W]);
+    };
+    std::vector<std::thread> Workers;
+    for (unsigned W = 0; W < NumWorkers; ++W)
+      Workers.emplace_back(Work, W);
+    for (std::thread &Th : Workers)
+      Th.join();
+    EXPECT_EQ(snapshot(T->G, Corpus, Shared), Ref) << "pass " << Pass;
+  }
+  EXPECT_EQ(Serial.numStates(), Shared.numStates());
+
+  SelectionStats Sum;
+  for (const SelectionStats &S : Stats)
+    Sum += S;
+  EXPECT_GT(Sum.DenseHits, 0u);
+  EXPECT_EQ(Sum.NodesLabeled, Sum.L1Hits + Sum.DenseHits + Sum.CacheProbes);
+}

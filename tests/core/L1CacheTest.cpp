@@ -97,6 +97,73 @@ TEST(L1Cache, ForcedCollisionEvictsNeverLies) {
   }
 }
 
+TEST(L1Cache, TwoWayHoldsBothKeysOfACollidingPair) {
+  // One set of two ways: every key lands in the same set, which thrashes
+  // a direct-mapped cache but lets two hot keys coexist in the 2-way
+  // variant.
+  L1TransitionCache C(/*Log2Entries=*/1, /*Ways=*/2);
+  EXPECT_EQ(C.ways(), 2u);
+  std::uint32_t K1[2] = {1, 10}, K2[2] = {2, 20}, K3[2] = {3, 30};
+  std::uint64_t H1 = TransitionCache::hashKey(K1, 2);
+  std::uint64_t H2 = TransitionCache::hashKey(K2, 2);
+  std::uint64_t H3 = TransitionCache::hashKey(K3, 2);
+
+  C.insert(K1, 2, H1, 101);
+  C.insert(K2, 2, H2, 102);
+  EXPECT_EQ(C.lookup(K1, 2, H1), 101u);
+  EXPECT_EQ(C.lookup(K2, 2, H2), 102u);
+
+  // A third key evicts the round-robin victim (the first way), never
+  // both residents.
+  C.insert(K3, 2, H3, 103);
+  EXPECT_EQ(C.lookup(K3, 2, H3), 103u);
+  EXPECT_EQ(C.lookup(K2, 2, H2), 102u);
+  EXPECT_EQ(C.lookup(K1, 2, H1), InvalidState);
+
+  // Re-inserting an already-resident key updates in place; the other
+  // resident survives.
+  C.insert(K3, 2, H3, 104);
+  EXPECT_EQ(C.lookup(K3, 2, H3), 104u);
+  EXPECT_EQ(C.lookup(K2, 2, H2), 102u);
+}
+
+TEST(L1Cache, TwoWayForcedCollisionEvictsNeverLies) {
+  // The one-entry thrash test of the direct-mapped path, on the 2-way
+  // variant: one set, eight keys, arbitrary eviction allowed — but a hit
+  // must always be the value its key was inserted with.
+  L1TransitionCache C(/*Log2Entries=*/1, /*Ways=*/2);
+  std::uint32_t Keys[8][2];
+  std::uint64_t Hashes[8];
+  for (std::uint32_t I = 0; I < 8; ++I) {
+    Keys[I][0] = 100 + I;
+    Keys[I][1] = 200 + I;
+    Hashes[I] = TransitionCache::hashKey(Keys[I], 2);
+  }
+  for (std::uint32_t Round = 0; Round < 4; ++Round) {
+    for (std::uint32_t I = 0; I < 8; ++I) {
+      StateId Hit = C.lookup(Keys[I], 2, Hashes[I]);
+      if (Hit != InvalidState) {
+        EXPECT_EQ(Hit, I);
+      }
+      C.insert(Keys[I], 2, Hashes[I], I);
+      EXPECT_EQ(C.lookup(Keys[I], 2, Hashes[I]), I);
+    }
+  }
+}
+
+TEST(L1Cache, TwoWayRebindInvalidatesBothWays) {
+  L1TransitionCache C(/*Log2Entries=*/1, /*Ways=*/2);
+  C.bindTo(1);
+  std::uint32_t K1[2] = {1, 10}, K2[2] = {2, 20};
+  std::uint64_t H1 = TransitionCache::hashKey(K1, 2);
+  std::uint64_t H2 = TransitionCache::hashKey(K2, 2);
+  C.insert(K1, 2, H1, 7);
+  C.insert(K2, 2, H2, 8);
+  C.bindTo(2);
+  EXPECT_EQ(C.lookup(K1, 2, H1), InvalidState);
+  EXPECT_EQ(C.lookup(K2, 2, H2), InvalidState);
+}
+
 TEST(L1Cache, SameSlotDifferentLengthMisses) {
   // Two keys that share a prefix but differ in length must never alias,
   // even when direct-mapping puts them in the same entry.
@@ -199,22 +266,24 @@ TEST(L1Cache, LabelingIdenticalWithTinyAndDefaultL1) {
     Ref.push_back(labelingSnapshot(F, G.numNonterminals(), Plain));
   }
 
-  for (unsigned Log2 : {1u, 10u}) {
+  for (auto [Log2, Ways] :
+       {std::pair{1u, 1u}, {10u, 1u}, {1u, 2u}, {10u, 2u}}) {
     OnDemandAutomaton A(G, &Dyn);
-    L1TransitionCache L1(Log2);
+    L1TransitionCache L1(Log2, Ways);
     SelectionStats Stats;
     Snapshot Got;
     for (ir::IRFunction &F : Corpus) {
       A.labelFunction(F, &L1, &Stats);
       Got.push_back(labelingSnapshot(F, G.numNonterminals(), A));
     }
-    EXPECT_EQ(Got, Ref) << "L1 log2 size " << Log2;
+    EXPECT_EQ(Got, Ref) << "L1 log2 size " << Log2 << " ways " << Ways;
     EXPECT_LE(Stats.L1Hits, Stats.L1Probes);
-    // Every cacheable L1 miss went to the shared cache; nothing is counted
-    // twice. (All running-example keys fit inline: header + <=2 children +
-    // <=1 dyn outcome.)
+    // Every cacheable L1 miss went to the dense tier or the shared cache;
+    // nothing is counted twice. (All running-example keys fit inline:
+    // header + <=2 children + <=1 dyn outcome.)
     EXPECT_EQ(Stats.L1Probes, Stats.NodesLabeled);
-    EXPECT_EQ(Stats.CacheProbes, Stats.L1Probes - Stats.L1Hits);
+    EXPECT_EQ(Stats.CacheProbes,
+              Stats.L1Probes - Stats.L1Hits - Stats.DenseHits);
   }
 }
 
@@ -235,11 +304,11 @@ TEST(L1Cache, CountersMonotoneAndConsistentWithSharedCache) {
     LastProbes = Total.L1Probes;
     LastHits = Total.L1Hits;
     EXPECT_LE(Total.L1Hits, Total.L1Probes);
-    // Consistency with the shared cache: every node either hit the L1 or
-    // probed the shared cache (keys too long for the L1 skip it and probe
-    // the shared cache directly).
+    // Consistency across the tiers: every node hit the L1, hit a dense
+    // row, or probed the shared cache (keys too long for the L1 skip it
+    // and fall through to the lower tiers directly).
     EXPECT_EQ(Total.NodesLabeled,
-              Total.L1Hits + Total.CacheProbes);
+              Total.L1Hits + Total.DenseHits + Total.CacheProbes);
     EXPECT_GE(Total.L1Probes, Total.L1Hits);
   }
 
@@ -317,5 +386,5 @@ TEST(L1Cache, PerWorkerL1sUnderConcurrencyBitIdentical) {
   SelectionStats Sum;
   for (const SelectionStats &S : Stats)
     Sum += S;
-  EXPECT_EQ(Sum.NodesLabeled, Sum.L1Hits + Sum.CacheProbes);
+  EXPECT_EQ(Sum.NodesLabeled, Sum.L1Hits + Sum.DenseHits + Sum.CacheProbes);
 }

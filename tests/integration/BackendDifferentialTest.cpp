@@ -78,10 +78,25 @@ TEST_P(BackendDifferential, AllThreeBackendsEmitIdenticalCode) {
   std::vector<std::vector<std::tuple<std::uint32_t, RuleId, NonterminalId>>>
       RefSel;
   bool HaveRef = false;
-  for (BackendKind Kind :
-       {BackendKind::DP, BackendKind::Offline, BackendKind::OnDemand}) {
+  // The on-demand backend runs twice: with its adaptive dense-row tier
+  // (an aggressive promotion threshold so rows really serve) and without.
+  // Dense rows are a pure accelerator and must never move a single byte
+  // of assembly.
+  struct Config {
+    BackendKind Kind;
+    bool DenseRows;
+    unsigned PromoteThreshold;
+  };
+  for (const Config &C : {Config{BackendKind::DP, false, 0},
+                          Config{BackendKind::Offline, false, 0},
+                          Config{BackendKind::OnDemand, true, 1},
+                          Config{BackendKind::OnDemand, false, 0}}) {
+    BackendKind Kind = C.Kind;
     CompileSession::Options Opts;
     Opts.Backend = Kind;
+    Opts.BackendOpts.Automaton.DenseRows = C.DenseRows;
+    if (C.PromoteThreshold)
+      Opts.BackendOpts.Automaton.DensePromoteThreshold = C.PromoteThreshold;
     auto Session = CompileSession::create(T->Fixed, nullptr, Opts);
     ASSERT_TRUE(static_cast<bool>(Session))
         << backendName(Kind) << ": " << Session.message();

@@ -217,18 +217,20 @@ TEST(CompileSession, L1HitRateSurfacesInSessionStats) {
   SessionStats Cold;
   Session.compileFunctions(Ptrs, 2, &Cold);
 
-  // Warm batch: virtually every node resolves in some worker's L1 or the
-  // shared cache; the L1 must be doing real work and the two levels must
-  // account for every node exactly once.
+  // Warm batch: virtually every node resolves in some worker's L1, a
+  // dense row, or the shared cache; the L1 must be doing real work and
+  // the three tiers must account for every node exactly once.
   SessionStats Warm;
   Session.compileFunctions(Ptrs, 2, &Warm);
   EXPECT_GT(Warm.Label.L1Probes, 0u);
   EXPECT_GT(Warm.l1HitRate(), 0.5);
-  EXPECT_EQ(Warm.Label.NodesLabeled,
-            Warm.Label.L1Hits + Warm.Label.CacheProbes);
+  EXPECT_EQ(Warm.Label.NodesLabeled, Warm.Label.L1Hits +
+                                         Warm.Label.DenseHits +
+                                         Warm.Label.CacheProbes);
   EXPECT_EQ(Warm.Label.CacheHits, Warm.Label.CacheProbes);
 
-  // Ablated: no L1 probes at all, all nodes on the shared cache.
+  // Ablated: no L1 probes at all, all nodes on the dense tier or the
+  // shared cache.
   CompileSession::Options NoL1;
   NoL1.BackendOpts.UseL1Cache = false;
   CompileSession Plain(T->G, &T->Dyn, NoL1);
@@ -237,7 +239,21 @@ TEST(CompileSession, L1HitRateSurfacesInSessionStats) {
   Plain.compileFunctions(Ptrs, 2, &PlainWarm);
   EXPECT_EQ(PlainWarm.Label.L1Probes, 0u);
   EXPECT_EQ(PlainWarm.l1HitRate(), 0.0);
-  EXPECT_EQ(PlainWarm.Label.NodesLabeled, PlainWarm.Label.CacheProbes);
+  EXPECT_EQ(PlainWarm.Label.NodesLabeled,
+            PlainWarm.Label.DenseHits + PlainWarm.Label.CacheProbes);
+
+  // Dense rows off: every L1 miss lands on the shared cache, the classic
+  // two-level accounting.
+  CompileSession::Options NoDense;
+  NoDense.BackendOpts.Automaton.DenseRows = false;
+  CompileSession TwoTier(T->G, &T->Dyn, NoDense);
+  TwoTier.compileFunctions(Ptrs, 2);
+  SessionStats TwoTierWarm;
+  TwoTier.compileFunctions(Ptrs, 2, &TwoTierWarm);
+  EXPECT_EQ(TwoTierWarm.Label.DenseProbes, 0u);
+  EXPECT_EQ(TwoTierWarm.denseHitRate(), 0.0);
+  EXPECT_EQ(TwoTierWarm.Label.NodesLabeled,
+            TwoTierWarm.Label.L1Hits + TwoTierWarm.Label.CacheProbes);
 }
 
 namespace {

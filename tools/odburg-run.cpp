@@ -57,6 +57,8 @@ struct DriverOptions {
   unsigned Repeat = 3;
   bool UseCache = true;
   bool UseL1 = true;
+  bool UseDense = true;
+  unsigned L1Ways = 0; // 0 = auto (2-way on dyn-cost grammars).
   bool ForceFixed = false;
   unsigned MaxStates = 0; // 0 = automaton default.
 };
@@ -87,6 +89,10 @@ int usage(const char *Argv0, int Exit) {
       "                        micro-cache (ablation; ondemand backend)\n"
       "  --no-l1               keep the shared cache but disable the\n"
       "                        per-worker L1 micro-cache (ablation)\n"
+      "  --no-dense            disable the adaptive dense-row tier; every\n"
+      "                        L1 miss probes the hashed cache (ablation)\n"
+      "  --l1-ways=N           L1 associativity: 1 direct-mapped, 2 two-way\n"
+      "                        (default: auto — 2-way on dyn-cost grammars)\n"
       "  --max-states=N        override the automaton state-growth bound\n"
       "  --list                list targets and profiles, then exit\n"
       "  --help                this text\n",
@@ -134,6 +140,15 @@ bool parseArgs(int Argc, char **Argv, DriverOptions &Opts, int &ExitCode) {
       Opts.UseCache = false;
     } else if (Arg == "--no-l1") {
       Opts.UseL1 = false;
+    } else if (Arg == "--no-dense") {
+      Opts.UseDense = false;
+    } else if (startsWith(Arg, "--l1-ways=")) {
+      if (!parseUnsigned(Value("--l1-ways="), Opts.L1Ways) ||
+          Opts.L1Ways < 1 || Opts.L1Ways > 2) {
+        std::fprintf(stderr, "invalid --l1-ways value (1 or 2)\n");
+        ExitCode = usage(Argv[0], 2);
+        return false;
+      }
     } else if (Arg == "--fixed") {
       Opts.ForceFixed = true;
     } else if (startsWith(Arg, "--backend=")) {
@@ -254,7 +269,7 @@ int main(int Argc, char **Argv) {
       resolveThreads(0)));
   Table.setHeader({"target", "profile", "backend", "gram", "thr", "nodes",
                    "cold ms", "warm ms", "fn/s", "speedup", "lbl/red/emt %",
-                   "hit%", "l1%", "states", "asm KB", "asm"});
+                   "l1%", "dn%", "hit%", "states", "asm KB", "asm"});
 
   bool AllIdentical = true;
   bool AnyFailed = false;
@@ -310,7 +325,9 @@ int main(int Argc, char **Argv) {
         CompileSession::Options SOpts;
         SOpts.Backend = Backend;
         SOpts.BackendOpts.Automaton.UseTransitionCache = Opts.UseCache;
+        SOpts.BackendOpts.Automaton.DenseRows = Opts.UseCache && Opts.UseDense;
         SOpts.BackendOpts.UseL1Cache = Opts.UseCache && Opts.UseL1;
+        SOpts.BackendOpts.L1Ways = Opts.L1Ways;
         if (Opts.MaxStates) {
           SOpts.BackendOpts.Automaton.MaxStates = Opts.MaxStates;
           SOpts.BackendOpts.OfflineMaxStates = Opts.MaxStates;
@@ -383,8 +400,9 @@ int main(int Argc, char **Argv) {
                                static_cast<double>(WarmNs),
                            1),
                formatFixed(BaselineWarmNs / static_cast<double>(WarmNs), 2),
-               phaseSplit(Warm), formatFixed(HitPct, 1),
-               formatFixed(100.0 * Warm.l1HitRate(), 1),
+               phaseSplit(Warm), formatFixed(100.0 * Warm.l1HitRate(), 1),
+               formatFixed(100.0 * Warm.denseHitRate(), 1),
+               formatFixed(HitPct, 1),
                formatThousands(Session.backend().numStates()),
                formatThousands(Asm.size() / 1024), Check});
         }
@@ -397,8 +415,10 @@ int main(int Argc, char **Argv) {
       "\nwarm pass = recompiling the corpus end-to-end against the already-\n"
       "warm backend (the JIT steady state); fn/s and the label/reduce/emit\n"
       "split are from the best warm pass; speedup is relative to the first\n"
-      "thread count of the same backend. hit%% is the shared transition\n"
-      "cache, l1%% the per-worker L1 micro-cache (ondemand backend only).\n"
+      "thread count of the same backend. The tier columns split the warm\n"
+      "path (ondemand backend only): l1%% is the per-worker L1 micro-cache,\n"
+      "dn%% the shared dense-row tier serving L1 misses by direct array\n"
+      "indexing, hit%% the hashed seqlock cache catching the rest.\n"
       "The asm column checks the concatenated assembly and total cost\n"
       "against the first row on the same grammar variant — across thread\n"
       "counts and backends alike, it must never read DIVERGED.\n");

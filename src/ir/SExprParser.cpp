@@ -9,6 +9,7 @@
 #include "support/SmallVector.h"
 
 #include <cctype>
+#include <istream>
 #include <string>
 
 using namespace odburg;
@@ -19,8 +20,9 @@ namespace {
 /// Minimal recursive-descent reader over the s-expression text.
 class Reader {
 public:
-  Reader(std::string_view Text, const Grammar &G, IRFunction &F)
-      : Text(Text), G(G), F(F) {}
+  Reader(std::string_view Text, const Grammar &G, IRFunction &F,
+         unsigned FirstLine)
+      : Text(Text), G(G), F(F), Line(FirstLine) {}
 
   Expected<Node *> parseOne() {
     skipSpace();
@@ -33,7 +35,8 @@ public:
       return err("expected operator name");
     OperatorId Op = G.findOperator(Name);
     if (Op == InvalidOperator)
-      return err("unknown operator '" + std::string(Name) + "'");
+      return errAt(Pos - Name.size(),
+                   "unknown operator '" + std::string(Name) + "'");
     unsigned Arity = G.operatorArity(Op);
 
     Node *N = nullptr;
@@ -59,8 +62,9 @@ public:
       if (Pos < Text.size() && Text[Pos] != '(' && Text[Pos] != ')') {
         std::string_view Payload = lexAtom();
         if (!isInteger(Payload))
-          return err("expected integer payload or '(' after '" +
-                     G.operatorName(Op) + "'");
+          return errAt(Pos - Payload.size(),
+                       "expected integer payload or '(' after '" +
+                           G.operatorName(Op) + "'");
         Value = std::stoll(std::string(Payload));
       }
       SmallVector<Node *, 4> Children;
@@ -101,6 +105,7 @@ private:
       if (C == '\n') {
         ++Line;
         ++Pos;
+        LineStart = Pos;
       } else if (std::isspace(static_cast<unsigned char>(C))) {
         ++Pos;
       } else if (C == ';') { // Comment to end of line.
@@ -120,15 +125,23 @@ private:
     return Text.substr(Start, Pos - Start);
   }
 
-  Error err(const std::string &Msg) {
-    return Error::make("s-expression: " + Msg + " on line " +
-                       std::to_string(Line));
+  Error err(const std::string &Msg) { return errAt(Pos, Msg); }
+
+  /// \p At is the text offset the diagnostic points at; it must be on the
+  /// current line (errors never point backwards past a newline).
+  Error errAt(std::size_t At, const std::string &Msg) {
+    unsigned Column = static_cast<unsigned>(At - LineStart) + 1;
+    return Error::make(ErrorKind::MalformedInput,
+                       "s-expression: " + Msg + " on line " +
+                           std::to_string(Line) + ", column " +
+                           std::to_string(Column));
   }
 
   std::string_view Text;
   const Grammar &G;
   IRFunction &F;
   std::size_t Pos = 0;
+  std::size_t LineStart = 0;
   unsigned Line = 1;
 };
 
@@ -136,13 +149,13 @@ private:
 
 Expected<Node *> ir::parseSExpr(std::string_view Text, const Grammar &G,
                                 IRFunction &F) {
-  Reader R(Text, G, F);
+  Reader R(Text, G, F, 1);
   return R.parseOne();
 }
 
 Error ir::parseSExprProgram(std::string_view Text, const Grammar &G,
-                            IRFunction &F) {
-  Reader R(Text, G, F);
+                            IRFunction &F, unsigned FirstLine) {
+  Reader R(Text, G, F, FirstLine);
   while (!R.atEnd()) {
     Expected<Node *> Root = R.parseOne();
     if (!Root)
@@ -150,4 +163,53 @@ Error ir::parseSExprProgram(std::string_view Text, const Grammar &G,
     F.addRoot(*Root);
   }
   return Error::success();
+}
+
+Expected<bool> SExprFunctionStream::next(IRFunction &F) {
+  // A chunk of only comments parses to zero roots; treat it like blank
+  // space and keep scanning rather than yielding an empty function.
+  while (true) {
+    // Gather the next function: skip blank lines, then collect lines
+    // until a blank line or end of input. The chunk keeps its newlines so
+    // diagnostics can be offset to stream-absolute lines. Comment-only
+    // lines inside a function do not split it.
+    Chunk.clear();
+    unsigned FirstLine = 0;
+    std::string Line;
+    while (std::getline(In, Line)) {
+      ++LineNo;
+      if (!Line.empty() && Line.back() == '\r')
+        Line.pop_back();
+      bool Blank = true;
+      for (char C : Line)
+        if (!std::isspace(static_cast<unsigned char>(C))) {
+          Blank = false;
+          break;
+        }
+      if (Blank) {
+        if (!Chunk.empty())
+          break; // Function complete.
+        continue; // Leading blank lines before any content.
+      }
+      if (Chunk.empty())
+        FirstLine = LineNo;
+      Chunk += Line;
+      Chunk += '\n';
+    }
+    // Distinguish end-of-input from an I/O failure: badbit means the
+    // read itself broke mid-stream, and whatever was gathered must not
+    // be passed off as a complete function. Deliberately not
+    // MalformedInput — skipping cannot recover a broken stream, so
+    // consumers must stop, not skip.
+    if (In.bad())
+      return Error::make("s-expression stream: input read error near line " +
+                         std::to_string(LineNo));
+    if (Chunk.empty())
+      return false; // Clean end of input.
+
+    if (Error E = parseSExprProgram(Chunk, G, F, FirstLine))
+      return E;
+    if (!F.roots().empty())
+      return true;
+  }
 }

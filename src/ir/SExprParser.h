@@ -10,9 +10,18 @@
 ///   (Store (AddrL 8) (Add (Load (AddrL 8)) (Const 1)))
 ///
 /// Leaves take one payload atom — an integer, or anything else as a
-/// symbol. Operators must exist in the grammar with matching arity. Used
-/// by data-driven tests and the automaton-explorer tooling; together with
-/// toSExpr it round-trips any tree.
+/// symbol. Operators must exist in the grammar with matching arity. Every
+/// diagnostic carries the 1-based line and column of the offending token
+/// and is typed ErrorKind::MalformedInput, so stream consumers
+/// (odburg-serve) can skip a bad unit and keep going. Used by data-driven
+/// tests, the automaton-explorer tooling, and the compile service's wire
+/// format; together with toSExpr it round-trips any tree.
+///
+/// SExprFunctionStream is the streaming entry point: it incrementally
+/// reads *functions* — maximal runs of s-expression statements separated
+/// by blank lines — from an std::istream, which is exactly the
+/// odburg-serve wire format and the shape odburg-run --dump-corpus
+/// writes.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -23,20 +32,56 @@
 #include "ir/Node.h"
 #include "support/Error.h"
 
+#include <iosfwd>
+#include <string>
 #include <string_view>
 
 namespace odburg {
 namespace ir {
 
 /// Parses one tree from \p Text into \p F (nodes are created in \p F; the
-/// root is returned but not added to F's root list). Fails with a line
-/// number on malformed input, unknown operators, or arity mismatches.
+/// root is returned but not added to F's root list). Fails with
+/// ErrorKind::MalformedInput — carrying line and column — on malformed
+/// input, unknown operators, or arity mismatches.
 Expected<Node *> parseSExpr(std::string_view Text, const Grammar &G,
                             IRFunction &F);
 
 /// Parses a sequence of trees, adding each as a statement root of \p F.
-Error parseSExprProgram(std::string_view Text, const Grammar &G,
-                        IRFunction &F);
+/// \p FirstLine offsets the line numbers in diagnostics (streaming callers
+/// hand in chunks that start mid-stream).
+Error parseSExprProgram(std::string_view Text, const Grammar &G, IRFunction &F,
+                        unsigned FirstLine = 1);
+
+/// Incremental reader of the service wire format: a stream of functions,
+/// each function a maximal run of s-expression statements, functions
+/// separated by one or more blank lines. ';' comments and surrounding
+/// whitespace are ignored; an s-expression may span lines within its
+/// function. The reader owns no storage beyond one function's text.
+class SExprFunctionStream {
+public:
+  /// \p In and \p G must outlive the stream.
+  SExprFunctionStream(std::istream &In, const Grammar &G) : In(In), G(G) {}
+
+  /// Reads the next function into \p F (statements become roots, in
+  /// order). Returns true when a function was parsed, false at clean end
+  /// of input. A parse failure returns the typed MalformedInput error
+  /// with stream-absolute line/column; the offending function's text has
+  /// already been consumed up to its blank-line boundary, so the caller
+  /// can report, skip, and call next() again — the stream stays alive.
+  /// \p F may contain partially created nodes after a failure; use a
+  /// fresh function per call.
+  Expected<bool> next(IRFunction &F);
+
+  /// Stream-absolute 1-based line number of the line that will be read
+  /// next (after a successful next(): the line following the function).
+  unsigned line() const { return LineNo + 1; }
+
+private:
+  std::istream &In;
+  const Grammar &G;
+  unsigned LineNo = 0;   ///< Lines consumed so far.
+  std::string Chunk;     ///< Reused text buffer for one function.
+};
 
 } // namespace ir
 } // namespace odburg

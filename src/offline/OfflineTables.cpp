@@ -12,6 +12,8 @@
 #include <algorithm>
 #include <atomic>
 #include <deque>
+#include <istream>
+#include <ostream>
 #include <thread>
 #include <unordered_map>
 
@@ -466,6 +468,229 @@ std::uint64_t CompiledTables::fingerprint() const {
     H = hashRange(T.Table.data(), T.Table.data() + T.Table.size(), H);
   }
   return H;
+}
+
+namespace {
+
+/// Serialization format tag. Bump the version on any layout change; load()
+/// rejects unknown versions rather than guessing.
+constexpr char TablesMagic[8] = {'O', 'D', 'B', 'U', 'R', 'G', 'T', '\0'};
+constexpr std::uint32_t TablesVersion = 1;
+
+/// Little-endian fixed-width primitives. The build targets little-endian
+/// hosts (x86-64/aarch64); memcpy keeps the access alignment-safe.
+template <typename T> void writeRaw(std::ostream &OS, T V) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  OS.write(reinterpret_cast<const char *>(&V), sizeof(T));
+}
+
+template <typename T> bool readRaw(std::istream &IS, T &V) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  IS.read(reinterpret_cast<char *>(&V), sizeof(T));
+  return static_cast<bool>(IS);
+}
+
+Error truncatedError() {
+  return Error::make(ErrorKind::MalformedInput,
+                     "offline tables: truncated or unreadable stream");
+}
+
+} // namespace
+
+Error CompiledTables::dump(std::ostream &OS) const {
+  OS.write(TablesMagic, sizeof(TablesMagic));
+  writeRaw(OS, TablesVersion);
+  writeRaw(OS, fingerprint());
+
+  unsigned NumStates = States->size();
+  unsigned NumNts = States->numNonterminals();
+  std::uint32_t NumOps = static_cast<std::uint32_t>(LeafStates.size());
+  writeRaw(OS, NumOps);
+  writeRaw(OS, static_cast<std::uint32_t>(NumNts));
+  writeRaw(OS, static_cast<std::uint32_t>(NumStates));
+
+  // States in id order: operator, then the raw cost and rule vectors
+  // (raw() keeps the infinity encoding intact).
+  for (StateId Id = 0; Id < NumStates; ++Id) {
+    const State *S = States->byId(Id);
+    writeRaw(OS, S->Op);
+    for (NonterminalId Nt = 0; Nt < NumNts; ++Nt)
+      writeRaw(OS, S->costOf(Nt).raw());
+    for (NonterminalId Nt = 0; Nt < NumNts; ++Nt)
+      writeRaw(OS, S->ruleOf(Nt));
+  }
+
+  for (StateId Leaf : LeafStates)
+    writeRaw(OS, Leaf);
+
+  for (const OpTable &T : OpTables) {
+    writeRaw(OS, static_cast<std::uint32_t>(T.Dims.size()));
+    if (T.Dims.empty())
+      continue; // Leaf operator: no representer maps, no table.
+    for (std::uint32_t D : T.Dims)
+      writeRaw(OS, D);
+    for (const std::vector<std::uint32_t> &Map : T.RepMaps) {
+      writeRaw(OS, static_cast<std::uint64_t>(Map.size()));
+      for (std::uint32_t R : Map)
+        writeRaw(OS, R);
+    }
+    writeRaw(OS, static_cast<std::uint64_t>(T.Table.size()));
+    for (StateId S : T.Table)
+      writeRaw(OS, S);
+  }
+
+  if (!OS)
+    return Error::make("offline tables: stream write failed");
+  return Error::success();
+}
+
+Expected<CompiledTables> CompiledTables::load(std::istream &IS,
+                                              const Grammar &G) {
+  Stopwatch Timer;
+  if (G.hasDynCosts())
+    return Error::make(ErrorKind::UnsupportedDynamicCosts,
+                       "offline tables cannot serve a dynamic-cost grammar; "
+                       "load against the stripped (fixed-cost) variant");
+
+  char Magic[sizeof(TablesMagic)];
+  IS.read(Magic, sizeof(Magic));
+  if (!IS || std::memcmp(Magic, TablesMagic, sizeof(Magic)) != 0)
+    return Error::make(ErrorKind::MalformedInput,
+                       "offline tables: bad magic (not a table dump)");
+  std::uint32_t Version = 0;
+  std::uint64_t StoredFingerprint = 0;
+  std::uint32_t NumOps = 0, NumNts = 0, NumStates = 0;
+  if (!readRaw(IS, Version) || !readRaw(IS, StoredFingerprint) ||
+      !readRaw(IS, NumOps) || !readRaw(IS, NumNts) || !readRaw(IS, NumStates))
+    return truncatedError();
+  if (Version != TablesVersion)
+    return Error::make(ErrorKind::MalformedInput,
+                       "offline tables: unsupported format version " +
+                           std::to_string(Version));
+  if (NumOps != G.numOperators() || NumNts != G.numNonterminals())
+    return Error::make(
+        ErrorKind::MalformedInput,
+        "offline tables: grammar shape mismatch (dump has " +
+            std::to_string(NumOps) + " operators / " + std::to_string(NumNts) +
+            " nonterminals, grammar has " + std::to_string(G.numOperators()) +
+            " / " + std::to_string(G.numNonterminals()) + ")");
+  if (NumStates > StateTable::maxCapacity())
+    return Error::make(ErrorKind::MalformedInput,
+                       "offline tables: implausible state count " +
+                           std::to_string(NumStates));
+
+  CompiledTables Out;
+  TableBuilder::states(Out) = std::make_unique<StateTable>(NumNts);
+  StateTable &States = *TableBuilder::states(Out);
+
+  // Reconstruct the states by interning in id order; a canonical dump has
+  // no duplicates, so the table hands back exactly the recorded ids.
+  std::vector<Cost> Costs(NumNts);
+  std::vector<RuleId> Rules(NumNts);
+  for (StateId Id = 0; Id < NumStates; ++Id) {
+    OperatorId Op = InvalidOperator;
+    if (!readRaw(IS, Op))
+      return truncatedError();
+    for (unsigned Nt = 0; Nt < NumNts; ++Nt) {
+      Cost::ValueType Raw = 0;
+      if (!readRaw(IS, Raw))
+        return truncatedError();
+      Costs[Nt] = Cost(Raw);
+    }
+    for (unsigned Nt = 0; Nt < NumNts; ++Nt)
+      if (!readRaw(IS, Rules[Nt]))
+        return truncatedError();
+    const State *S = States.intern(Op, Costs.data(), Rules.data());
+    if (S->Id != Id)
+      return Error::make(ErrorKind::MalformedInput,
+                         "offline tables: duplicate state in dump (id " +
+                             std::to_string(Id) + " interned as " +
+                             std::to_string(S->Id) + ")");
+  }
+
+  std::vector<StateId> &LeafStates = TableBuilder::leafStates(Out);
+  LeafStates.resize(NumOps, InvalidState);
+  for (std::uint32_t Op = 0; Op < NumOps; ++Op)
+    if (!readRaw(IS, LeafStates[Op]))
+      return truncatedError();
+
+  std::vector<OpTable> &OpTables = TableBuilder::opTables(Out);
+  OpTables.resize(NumOps);
+  std::size_t TableBytes = 0;
+  std::size_t NumTransitions = 0;
+  for (std::uint32_t Op = 0; Op < NumOps; ++Op) {
+    OpTable &T = OpTables[Op];
+    std::uint32_t Arity = 0;
+    if (!readRaw(IS, Arity))
+      return truncatedError();
+    if (Arity != G.operatorArity(static_cast<OperatorId>(Op)))
+      return Error::make(ErrorKind::MalformedInput,
+                         "offline tables: arity mismatch for operator '" +
+                             G.operatorName(static_cast<OperatorId>(Op)) +
+                             "'");
+    if (Arity == 0) {
+      TableBytes += sizeof(StateId);
+      continue;
+    }
+    // Bound the dense-table dimensions before allocating anything from
+    // them: generation caps representer counts below 0xFFFF per
+    // position, so any larger dim — or a product past a generous global
+    // cap — is a corrupt or hostile file, and must fail typed instead
+    // of dying in a giant resize().
+    constexpr std::size_t MaxTableEntries = std::size_t(1) << 28;
+    std::size_t TableSize = 1;
+    for (std::uint32_t P = 0; P < Arity; ++P) {
+      std::uint32_t Dim = 0;
+      if (!readRaw(IS, Dim))
+        return truncatedError();
+      if (Dim >= 0xFFFF || (Dim != 0 && TableSize > MaxTableEntries / Dim))
+        return Error::make(ErrorKind::MalformedInput,
+                           "offline tables: implausible table dimensions "
+                           "for operator '" +
+                               G.operatorName(static_cast<OperatorId>(Op)) +
+                               "'");
+      T.Dims.push_back(Dim);
+      TableSize *= Dim;
+    }
+    for (std::uint32_t P = 0; P < Arity; ++P) {
+      std::uint64_t MapSize = 0;
+      if (!readRaw(IS, MapSize) || MapSize != NumStates)
+        return truncatedError();
+      std::vector<std::uint32_t> Map(static_cast<std::size_t>(MapSize));
+      for (std::uint32_t &R : Map)
+        if (!readRaw(IS, R))
+          return truncatedError();
+      TableBytes += Map.size() * sizeof(std::uint32_t);
+      T.RepMaps.emplace_back(std::move(Map));
+    }
+    std::uint64_t StoredSize = 0;
+    if (!readRaw(IS, StoredSize) || StoredSize != TableSize)
+      return truncatedError();
+    T.Table.resize(static_cast<std::size_t>(StoredSize));
+    for (StateId &S : T.Table)
+      if (!readRaw(IS, S))
+        return truncatedError();
+    TableBytes += T.Table.size() * sizeof(StateId);
+    NumTransitions += T.Table.size();
+  }
+
+  // The decisive check: the reconstructed automaton must hash to exactly
+  // the fingerprint the dumping process recorded. Anything — a flipped
+  // byte, a different grammar with the same shape — fails here.
+  if (Out.fingerprint() != StoredFingerprint)
+    return Error::make(
+        ErrorKind::MalformedInput,
+        "offline tables: fingerprint mismatch — the dump was generated for "
+        "a different grammar or is corrupted");
+
+  Stats &St = TableBuilder::stats(Out);
+  St.NumStates = NumStates;
+  St.NumTransitions = NumTransitions;
+  St.TableBytes = TableBytes;
+  St.GenerationMs = Timer.elapsedMs();
+  St.StatesComputed = 0;
+  St.GenThreads = 0; // Marks loaded-not-generated tables.
+  return Out;
 }
 
 void TableLabeler::labelFunction(ir::IRFunction &F, SelectionStats *Stats) {

@@ -36,6 +36,7 @@
 #include "support/Error.h"
 #include "support/Statistic.h"
 
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
@@ -82,6 +83,25 @@ public:
   /// generations are bit-identical iff their fingerprints match — the
   /// identity check behind the parallel-generation tests and benches.
   std::uint64_t fingerprint() const;
+
+  /// Serializes the tables — states, leaf-state map, representer maps,
+  /// dense tables — to \p OS in a versioned little-endian binary format,
+  /// keyed by fingerprint(): the header records the fingerprint so load()
+  /// can prove it reconstructed the exact same automaton. Generation cost
+  /// is thereby paid once per grammar across processes
+  /// (odburg-serve --tables). Fails on stream write errors.
+  Error dump(std::ostream &OS) const;
+
+  /// Deserializes tables dumped by dump(). Validates the header, the
+  /// grammar shape (\p G must have the same operator/nonterminal counts
+  /// and arities as the dumping grammar, and no dynamic costs), and —
+  /// after reconstructing — that the recomputed fingerprint matches the
+  /// stored one, so a corrupted or mismatched file can never label. All
+  /// failures are typed ErrorKind::MalformedInput except dynamic costs
+  /// (ErrorKind::UnsupportedDynamicCosts). The loaded stats report
+  /// GenThreads == 0 to mark tables that were loaded, not generated;
+  /// GenerationMs is the load time.
+  static Expected<CompiledTables> load(std::istream &IS, const Grammar &G);
 
 private:
   friend class detail::TableBuilder;

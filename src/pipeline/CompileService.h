@@ -1,0 +1,245 @@
+//===- pipeline/CompileService.h - Asynchronous streaming compilation -----===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pipeline's native operating mode: a persistent compile service.
+/// The paper's amortization argument — a long-lived on-demand automaton
+/// gets cheaper per function the longer it serves — is a *service* shape,
+/// not a batch shape, so the public API is continuous submission:
+///
+///   - construct once per grammar: the service owns the labeling backend
+///     (any BackendKind) and a pool of worker threads with persistent
+///     per-worker scratch (reduction scratch, DP tables, L1 micro-cache);
+///   - submit(F) hands one function to the pool and returns a
+///     std::future<CompileResult>; submitBatch() submits a span in order;
+///   - results are *delivered* strictly in submission order: the optional
+///     Options::OnResult sink fires for seq 0, 1, 2, … while later
+///     submissions are still compiling (streaming), and each future
+///     becomes ready only after its callback fired — so a ready future
+///     implies every earlier submission has been delivered;
+///   - the submission queue is bounded (Options::QueueCapacity counts
+///     *undelivered* submissions): when a slow consumer or a deep backlog
+///     hits the bound, submit() blocks — backpressure, not unbounded
+///     memory;
+///   - drain() waits until everything submitted is delivered; shutdown()
+///     drains, stops the workers, and makes further submissions fail with
+///     ErrorKind::ServiceShutdown.
+///
+/// Determinism carries over from the batch pipeline unchanged: each
+/// function's compilation depends only on its own labels and virtual
+/// register numbering restarts per function, so concatenating results in
+/// submission order is byte-identical to CompileSession::compileFunctions
+/// on the same sequence — for any worker count, any backend.
+///
+/// CompileSession::compileFunctions is a thin compatibility wrapper over
+/// this class; new callers should target the service directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_PIPELINE_COMPILESERVICE_H
+#define ODBURG_PIPELINE_COMPILESERVICE_H
+
+#include "select/LabelerBackend.h"
+#include "select/Reducer.h"
+#include "targets/AsmEmitter.h"
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace odburg {
+namespace pipeline {
+
+/// The outcome of compiling one function end-to-end.
+struct CompileResult {
+  /// Empty on success; the reducer/emitter diagnostic otherwise.
+  std::string Diagnostic;
+  /// Fired rules in emission order and the selected cover's total cost.
+  Selection Sel;
+  /// Newline-terminated assembly text.
+  std::string Asm;
+  /// Emitted instruction count.
+  unsigned Instructions = 0;
+  /// Work counters for this function's labeling.
+  SelectionStats Stats;
+  /// Per-phase wall time, nanoseconds.
+  std::uint64_t LabelNs = 0;
+  std::uint64_t ReduceNs = 0;
+  std::uint64_t EmitNs = 0;
+
+  bool ok() const { return Diagnostic.empty(); }
+};
+
+/// Per-worker reusable compile state, cache-line separated across a pool.
+/// Owned by exactly one worker at a time; persistent for the owner's
+/// lifetime so the labeler scratch (DP tables, L1 micro-cache) and the
+/// reduction scratch stay warm across functions and batches.
+struct alignas(64) WorkerState {
+  LabelerScratch Labeler;
+  ReductionScratch Reduction;
+};
+
+/// Compiles one function end-to-end — label, reduce, emit — against \p B
+/// using \p WS, on the calling thread. The shared primitive under the
+/// service workers and CompileSession's serial entry point.
+void compileFunctionWith(const Grammar &G, const DynCostTable *Dyn,
+                         LabelerBackend &B, ir::IRFunction &F, WorkerState &WS,
+                         CompileResult &Out);
+
+/// A persistent asynchronous compile service over one grammar. Submission
+/// (submit/submitBatch/drain/shutdown) is thread-safe; many producers may
+/// feed one service.
+class CompileService {
+public:
+  /// The ordered streaming sink: fired once per submission, in submission
+  /// order (\p Seq is 0-based), from a worker thread, while later
+  /// submissions may still be compiling. At most one callback runs at a
+  /// time and seq N fires before seq N+1, so the sink needs no locking of
+  /// its own for per-stream state. Must not block on this service's own
+  /// backpressure (submitting from the sink can deadlock a full queue).
+  using ResultSink =
+      std::function<void(std::size_t Seq, const CompileResult &R)>;
+
+  struct Options {
+    /// Which labeling engine the service runs on (owned-backend creation).
+    BackendKind Backend = BackendKind::OnDemand;
+    /// The backend's tunables, passed through to LabelerBackend::create.
+    LabelerBackend::Options BackendOpts;
+    /// Worker pool size (0 = hardware concurrency).
+    unsigned Workers = 0;
+    /// Bound on undelivered submissions (queued + compiling + awaiting
+    /// in-order delivery); submit() blocks at the bound. 0 = 4x workers,
+    /// at least 16.
+    std::size_t QueueCapacity = 0;
+    /// Ordered streaming sink; may be empty (futures only).
+    ResultSink OnResult;
+  };
+
+  /// Builds a service owning its backend. Fails with the backend's typed
+  /// error (e.g. ErrorKind::UnsupportedDynamicCosts for offline x dynamic
+  /// costs). \p G and \p Dyn must outlive the service; \p Dyn may be null.
+  static Expected<std::unique_ptr<CompileService>>
+  create(const Grammar &G, const DynCostTable *Dyn, Options Opts);
+
+  /// Builds a service around a ready-made backend — the entry point for
+  /// deserialized offline tables (CompiledTables::load) or any custom
+  /// LabelerBackend. Cannot fail.
+  static std::unique_ptr<CompileService>
+  create(const Grammar &G, const DynCostTable *Dyn, Options Opts,
+         std::unique_ptr<LabelerBackend> Backend);
+
+  /// Borrowed-backend service: \p B outlives the service and may also be
+  /// used by the owner (CompileSession's serial path labels on the caller
+  /// thread against the same backend). Workers start immediately.
+  CompileService(const Grammar &G, const DynCostTable *Dyn, LabelerBackend &B,
+                 Options Opts);
+
+  CompileService(const CompileService &) = delete;
+  CompileService &operator=(const CompileService &) = delete;
+
+  /// Drains and stops the pool.
+  ~CompileService();
+
+  /// Submits one function; blocks while the service is at QueueCapacity
+  /// undelivered submissions. The function must stay alive until its
+  /// result is delivered. Fails with ErrorKind::ServiceShutdown once
+  /// shutdown() has begun (including while blocked on backpressure).
+  Expected<std::future<CompileResult>> submit(ir::IRFunction &F);
+
+  /// Submits a span in order; the returned futures are in submission
+  /// order. Stops at the first submission failure (shutdown mid-batch)
+  /// and returns the typed error.
+  Expected<std::vector<std::future<CompileResult>>>
+  submitBatch(std::span<ir::IRFunction *const> Fns);
+
+  /// Blocks until every accepted submission has been delivered (callback
+  /// fired, future ready). The service stays open for more work.
+  void drain();
+
+  /// Stops accepting work, drains what was accepted, and joins the
+  /// workers. Idempotent; safe to race with blocked submitters (they fail
+  /// with ErrorKind::ServiceShutdown). The destructor calls it.
+  void shutdown();
+
+  /// True once shutdown() has begun.
+  bool stopped() const;
+
+  /// Grows or shrinks the worker pool; waits for the service to go idle
+  /// first. Per-worker scratch is kept (grow-only), so shrinking and
+  /// re-growing does not lose cache warmth. No-op after shutdown.
+  void resizeWorkers(unsigned Workers);
+
+  /// Total submissions accepted so far.
+  std::size_t submitted() const;
+  /// Total results delivered so far.
+  std::size_t delivered() const;
+
+  /// Current worker-thread count.
+  unsigned workers() const;
+  const Grammar &grammar() const { return G; }
+  const LabelerBackend &backend() const { return *B; }
+
+private:
+  struct Job {
+    ir::IRFunction *F = nullptr;
+    std::size_t Seq = 0;
+    std::promise<CompileResult> Promise;
+  };
+  /// A completed compilation parked until its turn in the delivery order.
+  struct Parked {
+    CompileResult R;
+    std::promise<CompileResult> Promise;
+  };
+
+  void start(unsigned Workers);
+  void workerLoop(unsigned W);
+  void deliver(std::size_t Seq, CompileResult R,
+               std::promise<CompileResult> Promise);
+  /// Joins all workers; Stopping must already be set (under M) by the
+  /// caller. Resets Stopping so the pool can be restarted.
+  void joinWorkers();
+
+  const Grammar &G;
+  const DynCostTable *Dyn;
+  Options Opts;
+  std::unique_ptr<LabelerBackend> OwnedBackend;
+  LabelerBackend *B;
+  std::size_t Capacity;
+
+  /// One mutex rules submission, queueing, and delivery bookkeeping. The
+  /// expensive work (compiling, the sink callback) runs outside it.
+  mutable std::mutex M;
+  std::condition_variable CanSubmit; ///< Signaled when a slot frees.
+  std::condition_variable HasWork;   ///< Signaled on push / stop.
+  std::condition_variable Idle;      ///< Signaled when Undelivered hits 0.
+  std::deque<Job> Queue;
+  std::map<std::size_t, Parked> ReorderBuffer;
+  std::size_t NextSeq = 0;
+  std::size_t NextDeliver = 0;
+  std::size_t Undelivered = 0;
+  bool Accepting = true;
+  bool Stopping = false;  ///< Workers exit when set and the queue is empty.
+  bool Flushing = false;  ///< A worker is inside the in-order delivery loop.
+  bool ShutdownDone = false;     ///< A shutdown() call owns the teardown.
+  bool ShutdownComplete = false; ///< That teardown has fully finished.
+
+  /// Grow-only per-worker scratch; Pool[W] belongs to worker W.
+  std::vector<std::unique_ptr<WorkerState>> Pool;
+  std::vector<std::thread> Threads;
+};
+
+} // namespace pipeline
+} // namespace odburg
+
+#endif // ODBURG_PIPELINE_COMPILESERVICE_H

@@ -1,4 +1,4 @@
-//===- pipeline/CompileSession.cpp - End-to-end batch compilation ---------===//
+//===- pipeline/CompileSession.cpp - Batch compilation compatibility ------===//
 //
 // Part of the odburg project.
 //
@@ -11,7 +11,6 @@
 #include "targets/Target.h"
 
 #include <algorithm>
-#include <atomic>
 #include <thread>
 
 using namespace odburg;
@@ -38,6 +37,8 @@ CompileSession::CompileSession(const Grammar &G, const DynCostTable *Dyn,
 CompileSession::CompileSession(const targets::Target &T)
     : CompileSession(T.G, &T.Dyn) {}
 
+CompileSession::~CompileSession() = default;
+
 Expected<std::unique_ptr<CompileSession>>
 CompileSession::create(const Grammar &G, const DynCostTable *Dyn,
                        Options Opts) {
@@ -49,43 +50,21 @@ CompileSession::create(const Grammar &G, const DynCostTable *Dyn,
       new CompileSession(G, Dyn, Opts, std::move(*Backend)));
 }
 
-void CompileSession::compileOne(ir::IRFunction &F, WorkerScratch &WS,
-                                CompileResult &Out) {
-  SelectionStats FnStats;
-  Stopwatch Phase;
-  const Labeling &L = B->labelFunction(F, WS.Labeler, &FnStats);
-  Out.LabelNs = Phase.elapsedNs();
-
-  Phase.restart();
-  Expected<Selection> S = reduce(G, F, L, Dyn, WS.Reduction);
-  Out.ReduceNs = Phase.elapsedNs();
-  Out.Stats = FnStats;
-  WS.Stats += FnStats;
-  WS.LabelNs += Out.LabelNs;
-  WS.ReduceNs += Out.ReduceNs;
-  if (!S) {
-    Out.Diagnostic = S.message();
-    return;
-  }
-  Out.Sel = std::move(*S);
-
-  Phase.restart();
-  targets::AsmBuffer Buf;
-  Error E = targets::emitAsm(G, F, Out.Sel, Buf);
-  Out.EmitNs = Phase.elapsedNs();
-  WS.EmitNs += Out.EmitNs;
-  if (E) {
-    Out.Diagnostic = E.message();
-    return;
-  }
-  Out.Asm = std::move(Buf.Text);
-  Out.Instructions = Buf.Instructions;
-}
-
 CompileResult CompileSession::compileFunction(ir::IRFunction &F) {
   CompileResult Out;
-  compileOne(F, Serial, Out);
+  compileFunctionWith(G, Dyn, *B, F, Serial, Out);
   return Out;
+}
+
+CompileService &CompileSession::serviceFor(unsigned Threads) {
+  if (!Svc) {
+    CompileService::Options SvcOpts;
+    SvcOpts.Workers = Threads;
+    Svc = std::make_unique<CompileService>(G, Dyn, *B, SvcOpts);
+  } else if (Svc->workers() != Threads) {
+    Svc->resizeWorkers(Threads);
+  }
+  return *Svc;
 }
 
 std::vector<CompileResult>
@@ -97,52 +76,28 @@ CompileSession::compileFunctions(std::span<ir::IRFunction *const> Fns,
   if (Threads == 0)
     Threads = std::max(1u, std::thread::hardware_concurrency());
   Threads = static_cast<unsigned>(std::min<std::size_t>(Threads, Fns.size()));
+  Threads = std::max(Threads, 1u);
 
+  // The batch call in service terms: submit everything in corpus order,
+  // wait for every future. In-order delivery makes the futures complete
+  // front to back, so the collection loop below finishes roughly as the
+  // last function does.
+  CompileService &Service = serviceFor(Threads);
+  Expected<std::vector<std::future<CompileResult>>> Futures =
+      Service.submitBatch(Fns);
+  if (!Futures)
+    reportFatalError(Futures.message().c_str()); // Session never shuts
+                                                 // its own service down.
   std::vector<CompileResult> Results(Fns.size());
-  // Workers reuse the session's persistent scratch pool: reduction scratch
-  // and DP tables keep their capacity, and the on-demand backend's L1
-  // micro-caches stay warm across batches. Per-batch counters reset here.
-  unsigned PoolSize = std::max(Threads, 1u);
-  while (Pool.size() < PoolSize)
-    Pool.push_back(std::make_unique<WorkerScratch>());
-  for (unsigned W = 0; W < PoolSize; ++W) {
-    WorkerScratch &WS = *Pool[W];
-    WS.Stats.reset();
-    WS.LabelNs = WS.ReduceNs = WS.EmitNs = 0;
-  }
-
-  if (Threads <= 1) {
-    for (std::size_t I = 0; I < Fns.size(); ++I)
-      compileOne(*Fns[I], *Pool[0], Results[I]);
-  } else {
-    // Functions are handed out by index, so results land in corpus order
-    // no matter which worker compiles what; uneven sizes self-balance.
-    std::atomic<std::size_t> Next{0};
-    auto Work = [&](unsigned W) {
-      std::size_t I;
-      while ((I = Next.fetch_add(1, std::memory_order_relaxed)) < Fns.size())
-        compileOne(*Fns[I], *Pool[W], Results[I]);
-    };
-    std::vector<std::thread> Workers;
-    Workers.reserve(Threads - 1);
-    for (unsigned W = 1; W < Threads; ++W)
-      Workers.emplace_back(Work, W);
-    Work(0);
-    for (std::thread &T : Workers)
-      T.join();
-  }
+  for (std::size_t I = 0; I < Futures->size(); ++I)
+    Results[I] = (*Futures)[I].get();
 
   if (Stats) {
-    for (unsigned W = 0; W < PoolSize; ++W) {
-      const WorkerScratch &WS = *Pool[W];
-      Stats->Label += WS.Stats;
-      Stats->LabelNs += WS.LabelNs;
-      Stats->ReduceNs += WS.ReduceNs;
-      Stats->EmitNs += WS.EmitNs;
-    }
-    Stats->WallNs += Wall.elapsedNs();
-    Stats->BackendBytes = B->memoryBytes();
     for (const CompileResult &R : Results) {
+      Stats->Label += R.Stats;
+      Stats->LabelNs += R.LabelNs;
+      Stats->ReduceNs += R.ReduceNs;
+      Stats->EmitNs += R.EmitNs;
       ++Stats->Functions;
       if (!R.ok()) {
         ++Stats->Failed;
@@ -152,6 +107,8 @@ CompileSession::compileFunctions(std::span<ir::IRFunction *const> Fns,
       Stats->AsmBytes += R.Asm.size();
       Stats->TotalCost += R.Sel.TotalCost;
     }
+    Stats->WallNs += Wall.elapsedNs();
+    Stats->BackendBytes = B->memoryBytes();
   }
   return Results;
 }

@@ -1,48 +1,39 @@
-//===- pipeline/CompileSession.h - End-to-end batch compilation -----------===//
+//===- pipeline/CompileSession.h - Batch compilation compatibility --------===//
 //
 // Part of the odburg project.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The compile pipeline: one long-lived CompileSession owns the grammar,
-/// the dynamic-cost hooks, and a shared LabelerBackend, and compiles
-/// corpora of IR functions end-to-end — label, reduce, emit — with a pool
-/// of worker threads. The backend is runtime-selectable
-/// (Options::Backend): the paper's three labeling engines — DP labeling,
-/// offline tables, the on-demand automaton — all run behind the same
-/// session, and for static-cost grammars they produce byte-identical
-/// assembly. The default on-demand backend is the paper's amortization
-/// argument run as a service loop: the automaton persists across batches,
-/// so after warm-up every node labels with one probe of the worker's L1
-/// micro-cache or one lock-free probe of the shared transition cache, and
-/// reduction and emission are embarrassingly parallel per function.
+/// The batch face of the compile pipeline. Historically the pipeline's
+/// only entry point was CompileSession::compileFunctions(span, threads);
+/// since the service redesign the session is a thin compatibility wrapper
+/// over pipeline::CompileService — it owns the grammar, the dynamic-cost
+/// hooks, and a shared LabelerBackend, plus one lazily created service
+/// whose worker pool persists across batches. compileFunctions submits the
+/// span through the service and waits for all futures, so its guarantees
+/// are exactly the service's:
 ///
-/// Concurrency is two-layered:
-///   - *across functions*, workers pull corpus indices from an atomic
-///     counter and run all three phases for a function in the same worker
-///     that labeled it (no phase barriers, no cross-worker hand-off);
-///   - *within the backend*, shared state (the automaton's sharded state
-///     table and seqlock transition cache, or the frozen offline tables)
-///     serves all workers, and per-worker state (reduction scratch, DP
-///     label table, L1 micro-cache) lives in the worker's scratch.
+///   - results are indexed by corpus position, and the concatenated
+///     assembly and total cost are byte-identical for any thread count;
+///   - the backend stays warm across batches (the automaton's tables, the
+///     per-worker L1 micro-caches, the DP label tables);
+///   - per-function failures are captured per CompileResult and never
+///     poison the rest of the batch.
 ///
-/// Determinism: results are indexed by corpus position, each function's
-/// reduction depends only on its own labels (which are thread-count
-/// invariant), and virtual-register numbering restarts per function — so
-/// the concatenated assembly and the total cost are byte-identical for
-/// any thread count. Per-function failures (e.g. a root with no
-/// derivation) are captured in that function's CompileResult and never
-/// poison the rest of the batch.
+/// New code should target CompileService directly: continuous submission
+/// (submit -> std::future, ordered OnResult streaming, backpressure,
+/// drain/shutdown) is the system's native operating mode, and the batch
+/// call is just "submit everything, then wait". The wrapper stays for the
+/// corpus-at-once drivers (odburg-run, benches, tests) where gathering
+/// the whole corpus first is the point.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef ODBURG_PIPELINE_COMPILESESSION_H
 #define ODBURG_PIPELINE_COMPILESESSION_H
 
-#include "select/LabelerBackend.h"
-#include "select/Reducer.h"
-#include "targets/AsmEmitter.h"
+#include "pipeline/CompileService.h"
 
 #include <memory>
 #include <span>
@@ -56,26 +47,6 @@ struct Target;
 }
 
 namespace pipeline {
-
-/// The outcome of compiling one function end-to-end.
-struct CompileResult {
-  /// Empty on success; the reducer/emitter diagnostic otherwise.
-  std::string Diagnostic;
-  /// Fired rules in emission order and the selected cover's total cost.
-  Selection Sel;
-  /// Newline-terminated assembly text.
-  std::string Asm;
-  /// Emitted instruction count.
-  unsigned Instructions = 0;
-  /// Work counters for this function's labeling.
-  SelectionStats Stats;
-  /// Per-phase wall time, nanoseconds.
-  std::uint64_t LabelNs = 0;
-  std::uint64_t ReduceNs = 0;
-  std::uint64_t EmitNs = 0;
-
-  bool ok() const { return Diagnostic.empty(); }
-};
 
 /// Aggregates over one compileFunctions() batch. Phase times are summed
 /// across workers, so on a multicore run they exceed WallNs — use them
@@ -126,9 +97,9 @@ struct SessionStats {
 /// common reporting format of odburg-run and bench_p2_pipeline.
 std::string phaseSplit(const SessionStats &S);
 
-/// A persistent compile service over one grammar: construct once, feed it
+/// A persistent compile session over one grammar: construct once, feed it
 /// corpora forever. Not itself thread-safe — one batch at a time; the
-/// concurrency lives inside compileFunctions().
+/// concurrency lives in the underlying CompileService.
 class CompileSession {
 public:
   struct Options {
@@ -157,6 +128,8 @@ public:
   /// Convenience: a session over a target's full (dynamic-cost) grammar.
   explicit CompileSession(const targets::Target &T);
 
+  ~CompileSession();
+
   /// Fallible construction: returns the backend's typed error (e.g.
   /// ErrorKind::UnsupportedDynamicCosts for offline x dynamic costs)
   /// instead of aborting.
@@ -166,13 +139,16 @@ public:
   CompileSession(const CompileSession &) = delete;
   CompileSession &operator=(const CompileSession &) = delete;
 
-  /// Compiles one function end-to-end on the calling thread.
+  /// Compiles one function end-to-end on the calling thread (no worker
+  /// pool involved; the session's serial scratch stays warm).
   CompileResult compileFunction(ir::IRFunction &F);
 
-  /// Compiles a corpus with \p Threads workers (0 = the session default).
-  /// Each worker labels, reduces and emits a whole function before pulling
-  /// the next index, and results come back in corpus order regardless of
-  /// scheduling. The automaton stays warm across calls.
+  /// Compiles a corpus with \p Threads workers (0 = the session default):
+  /// submits every function through the persistent service and waits for
+  /// all results. Results come back in corpus order regardless of
+  /// scheduling, and the backend stays warm across calls. The service's
+  /// worker pool is created on first use and resized when \p Threads
+  /// changes between batches (per-worker scratch is kept either way).
   std::vector<CompileResult>
   compileFunctions(std::span<ir::IRFunction *const> Fns, unsigned Threads = 0,
                    SessionStats *Stats = nullptr);
@@ -198,32 +174,20 @@ public:
   }
 
 private:
-  /// Per-worker reusable state, cache-line separated across the pool.
-  struct alignas(64) WorkerScratch {
-    LabelerScratch Labeler;
-    ReductionScratch Reduction;
-    SelectionStats Stats;
-    std::uint64_t LabelNs = 0;
-    std::uint64_t ReduceNs = 0;
-    std::uint64_t EmitNs = 0;
-  };
-
   CompileSession(const Grammar &G, const DynCostTable *Dyn, Options Opts,
                  std::unique_ptr<LabelerBackend> Backend);
 
-  void compileOne(ir::IRFunction &F, WorkerScratch &WS, CompileResult &Out);
+  /// The service behind compileFunctions, created on first batch with the
+  /// batch's worker count and resized on demand afterwards.
+  CompileService &serviceFor(unsigned Threads);
 
   const Grammar &G;
   const DynCostTable *Dyn;
   Options Opts;
   std::unique_ptr<LabelerBackend> B;
-  /// The worker scratch pool, persistent across batches so per-worker
-  /// state (reduction scratch, DP table storage, L1 micro-cache) stays
-  /// warm for the session's lifetime. Grown to the largest worker count
-  /// seen; per-batch counters are reset at batch start.
-  std::vector<std::unique_ptr<WorkerScratch>> Pool;
+  std::unique_ptr<CompileService> Svc;
   /// Scratch for the serial compileFunction() entry point.
-  WorkerScratch Serial;
+  WorkerState Serial;
 };
 
 } // namespace pipeline

@@ -22,10 +22,11 @@
 ///     same scratch labels the next function, which is exactly the
 ///     label→reduce→emit lifetime of the compile pipeline.
 ///
-/// pipeline/CompileSession owns one backend (Options::Backend) and is
-/// otherwise engine-agnostic; tools/odburg-run exposes the choice as
+/// pipeline/CompileService (and its batch wrapper, CompileSession) owns
+/// one backend (Options::Backend) and is otherwise engine-agnostic;
+/// tools/odburg-run and tools/odburg-serve expose the choice as
 /// --backend so the paper's flexibility/speed/generation-cost trade-offs
-/// reproduce from one CLI.
+/// reproduce from one CLI — batch and streaming alike.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -72,7 +73,11 @@ Expected<BackendKind> parseBackendKind(std::string_view Name);
 /// construct it and pass the same object to every labelFunction call; the
 /// backends own its contents. Reusable across functions, batches, and —
 /// because the L1 micro-cache is epoch-invalidated on rebind — across
-/// backends and sessions.
+/// backends and sessions. The compile service keeps one per pool slot
+/// for its whole lifetime (grow-only, surviving pool resizes), so the
+/// DP label table's capacity and the L1 micro-cache's contents stay
+/// warm for as long as the service runs — the scratch's lifetime is the
+/// service's, not the batch's.
 class LabelerScratch {
 public:
   LabelerScratch() = default;

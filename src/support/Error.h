@@ -39,6 +39,13 @@ enum class ErrorKind {
   StateLimitExceeded,
   /// A backend name did not parse (CLI/config surface).
   UnknownBackend,
+  /// External input (s-expression IR, serialized tables) failed to parse
+  /// or validate. A streaming front end skips the offending unit and keeps
+  /// serving; everything else about the stream stays intact.
+  MalformedInput,
+  /// A submission reached a CompileService after shutdown() stopped it
+  /// from accepting work.
+  ServiceShutdown,
 };
 
 /// A recoverable error carrying a message and kind, or success. Move-only.

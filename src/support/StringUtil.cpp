@@ -71,3 +71,18 @@ std::string odburg::formatf(const char *Fmt, ...) {
   va_end(ArgsCopy);
   return Out;
 }
+
+bool odburg::parseUnsigned(std::string_view S, unsigned &Out) {
+  if (S.empty())
+    return false;
+  unsigned long V = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return false;
+    V = V * 10 + static_cast<unsigned long>(C - '0');
+    if (V > 0xFFFFFFFFul)
+      return false;
+  }
+  Out = static_cast<unsigned>(V);
+  return true;
+}

@@ -29,6 +29,11 @@ std::vector<std::string_view> split(std::string_view S, char Sep);
 /// True if \p S starts with \p Prefix.
 bool startsWith(std::string_view S, std::string_view Prefix);
 
+/// Parses a non-empty all-digit string into \p Out; false on anything
+/// else (sign, spaces, overflow past 2^32-1). The CLI-flag number parser
+/// of odburg-run and odburg-serve.
+bool parseUnsigned(std::string_view S, unsigned &Out);
+
 /// Formats an integer with thin thousands separators ("1 234 567"), as used
 /// in the paper's tables.
 std::string formatThousands(std::uint64_t V);

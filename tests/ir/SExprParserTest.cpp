@@ -13,6 +13,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 using namespace odburg;
 using namespace odburg::ir;
 
@@ -101,4 +103,119 @@ TEST_F(SExprTest, ErrorsCarryLineNumbers) {
   Expected<Node *> N = parseSExpr("(Store (Reg 1)\n  (Oops 2))", *G, F);
   ASSERT_FALSE(static_cast<bool>(N));
   EXPECT_NE(N.message().find("line 2"), std::string::npos);
+}
+
+TEST_F(SExprTest, ErrorsCarryColumnAndTypedKind) {
+  // The unknown operator starts at line 2, column 4; the diagnostic must
+  // point there and be machine-dispatchable as MalformedInput so stream
+  // consumers can skip the function and keep serving.
+  Expected<Node *> N = parseSExpr("(Store (Reg 1)\n  (Oops 2))", *G, F);
+  ASSERT_FALSE(static_cast<bool>(N));
+  EXPECT_EQ(N.kind(), ErrorKind::MalformedInput);
+  EXPECT_NE(N.message().find("line 2, column 4"), std::string::npos)
+      << N.message();
+
+  IRFunction F2;
+  Expected<Node *> Missing = parseSExpr("   x", *G, F2);
+  ASSERT_FALSE(static_cast<bool>(Missing));
+  EXPECT_EQ(Missing.kind(), ErrorKind::MalformedInput);
+  EXPECT_NE(Missing.message().find("line 1, column 4"), std::string::npos)
+      << Missing.message();
+
+  IRFunction F3;
+  Expected<Node *> Unclosed = parseSExpr("(Store (Reg 1) (Reg 2)", *G, F3);
+  ASSERT_FALSE(static_cast<bool>(Unclosed));
+  EXPECT_EQ(Unclosed.kind(), ErrorKind::MalformedInput);
+  EXPECT_NE(Unclosed.message().find("column 23"), std::string::npos)
+      << Unclosed.message();
+}
+
+TEST_F(SExprTest, ProgramErrorsOffsetByFirstLine) {
+  Error E = parseSExprProgram("(Store (Reg 1) (Oops))", *G, F,
+                              /*FirstLine=*/41);
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_EQ(E.kind(), ErrorKind::MalformedInput);
+  EXPECT_NE(E.message().find("line 41"), std::string::npos) << E.message();
+}
+
+TEST_F(SExprTest, FunctionStreamReadsBlankLineSeparatedFunctions) {
+  std::istringstream In("; corpus header comment\n"
+                        "\n"
+                        "(Store (Reg 1) (Reg 2))\n"
+                        "(Store (Reg 3)\n"
+                        "       (Load (Reg 1)))\n"
+                        "\n"
+                        "\n"
+                        "(Store (Reg 4) (Reg 5))\n");
+  SExprFunctionStream Stream(In, *G);
+
+  IRFunction F1;
+  ASSERT_TRUE(cantFail(Stream.next(F1)));
+  EXPECT_EQ(F1.roots().size(), 2u); // Multi-line s-exprs stay one function.
+
+  IRFunction F2;
+  ASSERT_TRUE(cantFail(Stream.next(F2)));
+  EXPECT_EQ(F2.roots().size(), 1u);
+
+  IRFunction F3;
+  EXPECT_FALSE(cantFail(Stream.next(F3)));
+  // And again: end of stream is sticky.
+  IRFunction F4;
+  EXPECT_FALSE(cantFail(Stream.next(F4)));
+}
+
+TEST_F(SExprTest, FunctionStreamSkipsBadFunctionAndKeepsServing) {
+  std::istringstream In("(Store (Reg 1) (Reg 2))\n"
+                        "\n"
+                        "(Store (Bogus 1) (Reg 2))\n"
+                        "\n"
+                        "(Store (Reg 8) (Reg 9))\n");
+  SExprFunctionStream Stream(In, *G);
+
+  IRFunction F1;
+  ASSERT_TRUE(cantFail(Stream.next(F1)));
+
+  IRFunction F2;
+  Expected<bool> Bad = Stream.next(F2);
+  ASSERT_FALSE(static_cast<bool>(Bad));
+  EXPECT_EQ(Bad.kind(), ErrorKind::MalformedInput);
+  // Stream-absolute position: the bad operator is on line 3.
+  EXPECT_NE(Bad.message().find("line 3"), std::string::npos) << Bad.message();
+
+  // The stream recovered past the bad function's boundary.
+  IRFunction F3;
+  ASSERT_TRUE(cantFail(Stream.next(F3)));
+  ASSERT_EQ(F3.roots().size(), 1u);
+  EXPECT_EQ(toSExpr(F3.roots()[0], *G), "(Store (Reg 8) (Reg 9))");
+
+  IRFunction F4;
+  EXPECT_FALSE(cantFail(Stream.next(F4)));
+}
+
+TEST_F(SExprTest, FunctionStreamRoundTripsGeneratedCorpus) {
+  // toSExpr -> stream -> structural equality, the wire-format contract
+  // behind the serve-vs-batch byte-identity check.
+  test::RandomTreeBuilder B(*G, 1234);
+  std::vector<IRFunction> Originals(5);
+  std::string Wire;
+  for (IRFunction &F : Originals) {
+    for (int R = 0; R < 3; ++R) {
+      F.addRoot(B.build(F, 25));
+      Wire += toSExpr(F.roots().back(), *G);
+      Wire += '\n';
+    }
+    Wire += '\n';
+  }
+
+  std::istringstream In(Wire);
+  SExprFunctionStream Stream(In, *G);
+  for (IRFunction &Original : Originals) {
+    IRFunction Parsed;
+    ASSERT_TRUE(cantFail(Stream.next(Parsed)));
+    ASSERT_EQ(Parsed.roots().size(), Original.roots().size());
+    for (std::size_t R = 0; R < Parsed.roots().size(); ++R)
+      EXPECT_TRUE(structurallyEqual(Parsed.roots()[R], Original.roots()[R]));
+  }
+  IRFunction Tail;
+  EXPECT_FALSE(cantFail(Stream.next(Tail)));
 }

@@ -17,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <sstream>
 
 using namespace odburg;
 
@@ -219,4 +220,94 @@ TEST(Offline, GenerationTimeRecorded) {
   CompiledTables T = cantFail(OfflineTableGen(G).generate());
   EXPECT_GE(T.stats().GenerationMs, 0.0);
   EXPECT_GT(T.stats().StatesComputed, 0u);
+}
+
+TEST(Offline, DumpLoadRoundTripsTheAutomaton) {
+  // Serialization is keyed by fingerprint(): load() must reconstruct the
+  // exact automaton (states, leaf map, representer maps, dense tables)
+  // and prove it by recomputing the stored fingerprint.
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  CompiledTables T = cantFail(OfflineTableGen(G).generate());
+
+  std::stringstream SS(std::ios::in | std::ios::out | std::ios::binary);
+  cantFail(T.dump(SS));
+  CompiledTables L = cantFail(CompiledTables::load(SS, G));
+
+  EXPECT_EQ(L.fingerprint(), T.fingerprint());
+  EXPECT_EQ(L.stats().NumStates, T.stats().NumStates);
+  EXPECT_EQ(L.stats().NumTransitions, T.stats().NumTransitions);
+  EXPECT_EQ(L.stats().TableBytes, T.stats().TableBytes);
+  EXPECT_EQ(L.stats().GenThreads, 0u); // Marks loaded-not-generated.
+
+  // Loaded tables label exactly like the generating tables.
+  ir::IRFunction F;
+  test::buildStoreTree(F, G, 1, 1, 2);
+  TableLabeler Ref(T);
+  Ref.labelFunction(F);
+  std::vector<std::uint32_t> RefLabels;
+  for (const ir::Node *N : F.nodes())
+    RefLabels.push_back(N->label());
+  TableLabeler Loaded(L);
+  Loaded.labelFunction(F);
+  for (std::size_t I = 0; I < F.nodes().size(); ++I)
+    EXPECT_EQ(F.nodes()[I]->label(), RefLabels[I]);
+}
+
+TEST(Offline, LoadRejectsWrongGrammar) {
+  Grammar A = cantFail(parseGrammar(test::runningExampleFixedText()));
+  SynthesisParams P;
+  P.Seed = 7;
+  Grammar B = cantFail(synthesizeGrammar(P));
+  CompiledTables T = cantFail(OfflineTableGen(A).generate());
+
+  std::stringstream SS(std::ios::in | std::ios::out | std::ios::binary);
+  cantFail(T.dump(SS));
+  Expected<CompiledTables> L = CompiledTables::load(SS, B);
+  ASSERT_FALSE(static_cast<bool>(L));
+  EXPECT_EQ(L.kind(), ErrorKind::MalformedInput);
+}
+
+TEST(Offline, LoadRejectsDynamicCostGrammar) {
+  Grammar Fixed = cantFail(parseGrammar(test::runningExampleFixedText()));
+  Grammar Dyn = cantFail(parseGrammar(test::runningExampleText()));
+  CompiledTables T = cantFail(OfflineTableGen(Fixed).generate());
+  std::stringstream SS(std::ios::in | std::ios::out | std::ios::binary);
+  cantFail(T.dump(SS));
+  Expected<CompiledTables> L = CompiledTables::load(SS, Dyn);
+  ASSERT_FALSE(static_cast<bool>(L));
+  EXPECT_EQ(L.kind(), ErrorKind::UnsupportedDynamicCosts);
+}
+
+TEST(Offline, LoadRejectsCorruptionAndTruncation) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  CompiledTables T = cantFail(OfflineTableGen(G).generate());
+  std::stringstream SS(std::ios::in | std::ios::out | std::ios::binary);
+  cantFail(T.dump(SS));
+  std::string Blob = SS.str();
+
+  // Not a dump at all.
+  {
+    std::istringstream Bad("definitely not a table dump");
+    Expected<CompiledTables> L = CompiledTables::load(Bad, G);
+    ASSERT_FALSE(static_cast<bool>(L));
+    EXPECT_EQ(L.kind(), ErrorKind::MalformedInput);
+    EXPECT_NE(L.message().find("magic"), std::string::npos);
+  }
+  // Truncated mid-stream.
+  {
+    std::istringstream Trunc(Blob.substr(0, Blob.size() / 2));
+    Expected<CompiledTables> L = CompiledTables::load(Trunc, G);
+    ASSERT_FALSE(static_cast<bool>(L));
+    EXPECT_EQ(L.kind(), ErrorKind::MalformedInput);
+  }
+  // One flipped payload byte: the shape still parses, the fingerprint
+  // cannot. (Flip late in the blob, inside the dense tables.)
+  {
+    std::string Corrupt = Blob;
+    Corrupt[Corrupt.size() - 3] ^= 0x40;
+    std::istringstream In(Corrupt);
+    Expected<CompiledTables> L = CompiledTables::load(In, G);
+    ASSERT_FALSE(static_cast<bool>(L));
+    EXPECT_EQ(L.kind(), ErrorKind::MalformedInput);
+  }
 }

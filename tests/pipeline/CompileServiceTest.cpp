@@ -1,0 +1,425 @@
+//===- tests/pipeline/CompileServiceTest.cpp ---------------------------------===//
+//
+// Part of the odburg project.
+//
+// The asynchronous streaming submission API. Contracts under test: results
+// are delivered strictly in submission order and *stream* — delivery
+// begins while the input sequence is still being submitted (asserted via
+// the backpressure bound, not just observed); a ready future implies its
+// ordered callback already fired; the undelivered-submission count never
+// exceeds the configured queue bound; drain() leaves the service usable;
+// submissions after shutdown() fail with ErrorKind::ServiceShutdown; the
+// streamed concatenation is byte-identical to the batch wrapper's output
+// on every backend; and the whole submission surface survives contention
+// from many producer threads (the TSan job runs this binary).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/CompileService.h"
+
+#include "pipeline/CompileSession.h"
+#include "targets/Target.h"
+#include "workload/Synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace odburg;
+using namespace odburg::pipeline;
+using namespace odburg::targets;
+using namespace odburg::workload;
+
+namespace {
+
+std::vector<ir::IRFunction> makeCorpus(const Grammar &G, unsigned Count,
+                                       unsigned Nodes = 600) {
+  const Profile *P = findProfile("gzip-like");
+  EXPECT_NE(P, nullptr);
+  return cantFail(generateBatch(*P, G, Count, Nodes));
+}
+
+std::vector<ir::IRFunction *> pointers(std::vector<ir::IRFunction> &Fns) {
+  std::vector<ir::IRFunction *> Ptrs;
+  for (ir::IRFunction &F : Fns)
+    Ptrs.push_back(&F);
+  return Ptrs;
+}
+
+} // namespace
+
+TEST(CompileService, StreamsInOrderBeforeInputIsExhausted) {
+  auto T = cantFail(makeTarget("x86"));
+  constexpr unsigned N = 32;
+  constexpr std::size_t Capacity = 4;
+  std::vector<ir::IRFunction> Corpus = makeCorpus(T->G, N);
+
+  // Delivery-order log, written only from the (serialized, in-order)
+  // sink. Submitted counts how many submit() calls completed when each
+  // delivery fired — the streaming evidence.
+  std::vector<std::size_t> SeqLog;
+  std::vector<std::size_t> SubmittedAtDelivery;
+  std::string Streamed;
+  std::atomic<std::size_t> Submitted{0};
+
+  CompileService::Options Opts;
+  Opts.Workers = 2;
+  Opts.QueueCapacity = Capacity;
+  Opts.OnResult = [&](std::size_t Seq, const CompileResult &R) {
+    SeqLog.push_back(Seq);
+    SubmittedAtDelivery.push_back(Submitted.load());
+    Streamed += R.Asm;
+  };
+  std::unique_ptr<CompileService> Svc =
+      cantFail(CompileService::create(T->G, &T->Dyn, std::move(Opts)));
+
+  for (ir::IRFunction &F : Corpus) {
+    cantFail(Svc->submit(F));
+    Submitted.fetch_add(1);
+  }
+  // The backpressure bound *guarantees* streaming: at most Capacity
+  // submissions can be undelivered at once, so by the time the last
+  // submit() returned, at least N - Capacity results were already out.
+  EXPECT_GE(Svc->delivered(), N - Capacity);
+  Svc->drain();
+  EXPECT_EQ(Svc->delivered(), N);
+
+  // Strict submission order, every seq exactly once.
+  ASSERT_EQ(SeqLog.size(), N);
+  for (std::size_t I = 0; I < N; ++I)
+    EXPECT_EQ(SeqLog[I], I);
+  // The streaming evidence, from the delivery side: the first result was
+  // delivered while the input sequence was still being submitted.
+  EXPECT_LT(SubmittedAtDelivery.front(), N);
+
+  // Byte-identity with the batch wrapper over the same sequence.
+  CompileSession Session(*T);
+  std::vector<ir::IRFunction *> Ptrs = pointers(Corpus);
+  std::string BatchAsm =
+      CompileSession::concatAsm(Session.compileFunctions(Ptrs, 2));
+  EXPECT_EQ(Streamed, BatchAsm);
+}
+
+TEST(CompileService, FuturesCompleteOnlyAfterTheirOrderedCallback) {
+  auto T = cantFail(makeTarget("vm64"));
+  constexpr unsigned N = 16;
+  std::vector<ir::IRFunction> Corpus = makeCorpus(T->G, N, 400);
+
+  // Flags are written in the sink before the promise is fulfilled; the
+  // promise/future pair provides the happens-before edge, so observing a
+  // ready future with its flag clear would be a real ordering violation.
+  std::vector<int> CallbackFired(N, 0);
+  CompileService::Options Opts;
+  Opts.Workers = 4;
+  Opts.OnResult = [&](std::size_t Seq, const CompileResult &) {
+    CallbackFired[Seq] = 1;
+  };
+  std::unique_ptr<CompileService> Svc =
+      cantFail(CompileService::create(T->G, &T->Dyn, std::move(Opts)));
+
+  std::vector<std::future<CompileResult>> Futures =
+      cantFail(Svc->submitBatch(pointers(Corpus)));
+  ASSERT_EQ(Futures.size(), N);
+  // Wait back to front: even the last future's readiness must imply every
+  // callback up to it fired (in-order delivery).
+  CompileResult Last = Futures.back().get();
+  EXPECT_TRUE(Last.ok()) << Last.Diagnostic;
+  for (std::size_t I = 0; I < N; ++I)
+    EXPECT_EQ(CallbackFired[I], 1) << "future " << (N - 1)
+                                   << " ready before callback " << I;
+  for (std::size_t I = 0; I + 1 < N; ++I) {
+    CompileResult R = Futures[I].get();
+    EXPECT_TRUE(R.ok()) << R.Diagnostic;
+    EXPECT_FALSE(R.Asm.empty());
+  }
+}
+
+TEST(CompileService, BackpressureNeverExceedsQueueCapacity) {
+  auto T = cantFail(makeTarget("x86"));
+  constexpr std::size_t Capacity = 3;
+  std::vector<ir::IRFunction> Corpus = makeCorpus(T->G, 24, 300);
+
+  CompileService *Raw = nullptr;
+  std::size_t MaxInFlight = 0;
+  CompileService::Options Opts;
+  Opts.Workers = 2;
+  Opts.QueueCapacity = Capacity;
+  Opts.OnResult = [&](std::size_t, const CompileResult &) {
+    // submitted()/delivered() take the service mutex; the sink runs
+    // outside it, so the probe is deadlock-free. delivered() still counts
+    // this in-flight delivery as pending.
+    std::size_t InFlight = Raw->submitted() - Raw->delivered();
+    MaxInFlight = std::max(MaxInFlight, InFlight);
+  };
+  std::unique_ptr<CompileService> Svc =
+      cantFail(CompileService::create(T->G, &T->Dyn, std::move(Opts)));
+  Raw = Svc.get();
+
+  cantFail(Svc->submitBatch(pointers(Corpus)));
+  Svc->drain();
+  EXPECT_LE(MaxInFlight, Capacity);
+  EXPECT_GE(MaxInFlight, 1u);
+}
+
+TEST(CompileService, DrainLeavesTheServiceOpen) {
+  auto T = cantFail(makeTarget("vm64"));
+  std::vector<ir::IRFunction> Corpus = makeCorpus(T->G, 8, 300);
+  std::vector<ir::IRFunction *> Ptrs = pointers(Corpus);
+
+  CompileService::Options Opts;
+  Opts.Workers = 2;
+  std::unique_ptr<CompileService> Svc =
+      cantFail(CompileService::create(T->G, &T->Dyn, std::move(Opts)));
+
+  std::vector<std::future<CompileResult>> First =
+      cantFail(Svc->submitBatch(Ptrs));
+  Svc->drain();
+  EXPECT_EQ(Svc->delivered(), Corpus.size());
+  EXPECT_FALSE(Svc->stopped());
+
+  // A drained service keeps serving, and the warm backend reproduces the
+  // first round byte for byte.
+  std::vector<std::future<CompileResult>> Second =
+      cantFail(Svc->submitBatch(Ptrs));
+  Svc->drain();
+  EXPECT_EQ(Svc->delivered(), 2 * Corpus.size());
+  for (std::size_t I = 0; I < Ptrs.size(); ++I)
+    EXPECT_EQ(First[I].get().Asm, Second[I].get().Asm);
+}
+
+TEST(CompileService, SubmitAfterShutdownFailsWithTypedError) {
+  auto T = cantFail(makeTarget("vm64"));
+  std::vector<ir::IRFunction> Corpus = makeCorpus(T->G, 4, 200);
+
+  CompileService::Options Opts;
+  Opts.Workers = 2;
+  std::unique_ptr<CompileService> Svc =
+      cantFail(CompileService::create(T->G, &T->Dyn, std::move(Opts)));
+  std::vector<std::future<CompileResult>> Futures =
+      cantFail(Svc->submitBatch(pointers(Corpus)));
+
+  Svc->shutdown();
+  EXPECT_TRUE(Svc->stopped());
+  // Shutdown drained everything that was accepted before it.
+  EXPECT_EQ(Svc->delivered(), Corpus.size());
+  for (std::future<CompileResult> &F : Futures)
+    EXPECT_TRUE(F.get().ok());
+
+  Expected<std::future<CompileResult>> Rejected = Svc->submit(Corpus[0]);
+  ASSERT_FALSE(static_cast<bool>(Rejected));
+  EXPECT_EQ(Rejected.kind(), ErrorKind::ServiceShutdown);
+
+  Expected<std::vector<std::future<CompileResult>>> RejectedBatch =
+      Svc->submitBatch(pointers(Corpus));
+  ASSERT_FALSE(static_cast<bool>(RejectedBatch));
+  EXPECT_EQ(RejectedBatch.kind(), ErrorKind::ServiceShutdown);
+
+  // Idempotent; drain on a stopped service returns immediately.
+  Svc->shutdown();
+  Svc->drain();
+}
+
+TEST(CompileService, StreamedOutputIsByteIdenticalAcrossBackends) {
+  // The acceptance criterion as a unit test: the same fixed-cost sequence
+  // streamed through all three backends yields one identical byte stream,
+  // which also equals the batch wrapper's concatenation.
+  auto T = cantFail(makeTarget("x86"));
+  std::vector<ir::IRFunction> Corpus = makeCorpus(T->Fixed, 10, 400);
+  std::vector<ir::IRFunction *> Ptrs = pointers(Corpus);
+
+  CompileSession::Options BatchOpts;
+  CompileSession BatchSession(T->Fixed, nullptr, BatchOpts);
+  std::string Reference =
+      CompileSession::concatAsm(BatchSession.compileFunctions(Ptrs, 2));
+  ASSERT_FALSE(Reference.empty());
+
+  for (BackendKind Kind :
+       {BackendKind::DP, BackendKind::Offline, BackendKind::OnDemand}) {
+    std::string Streamed;
+    CompileService::Options Opts;
+    Opts.Backend = Kind;
+    Opts.Workers = 3;
+    Opts.QueueCapacity = 4;
+    Opts.OnResult = [&](std::size_t, const CompileResult &R) {
+      Streamed += R.Asm;
+    };
+    std::unique_ptr<CompileService> Svc =
+        cantFail(CompileService::create(T->Fixed, nullptr, std::move(Opts)));
+    cantFail(Svc->submitBatch(Ptrs));
+    Svc->drain();
+    EXPECT_EQ(Streamed, Reference) << backendName(Kind);
+  }
+}
+
+TEST(CompileService, ResizeKeepsWarmScratchAndOutput) {
+  auto T = cantFail(makeTarget("vm64"));
+  std::vector<ir::IRFunction> Corpus = makeCorpus(T->G, 8, 400);
+  std::vector<ir::IRFunction *> Ptrs = pointers(Corpus);
+
+  CompileService::Options Opts;
+  Opts.Workers = 1;
+  std::unique_ptr<CompileService> Svc =
+      cantFail(CompileService::create(T->G, &T->Dyn, std::move(Opts)));
+  std::vector<std::future<CompileResult>> First =
+      cantFail(Svc->submitBatch(Ptrs));
+  Svc->drain();
+  EXPECT_EQ(Svc->workers(), 1u);
+
+  Svc->resizeWorkers(4);
+  EXPECT_EQ(Svc->workers(), 4u);
+  std::vector<std::future<CompileResult>> Second =
+      cantFail(Svc->submitBatch(Ptrs));
+  Svc->drain();
+  std::vector<std::string> SecondAsm;
+  for (std::size_t I = 0; I < Ptrs.size(); ++I) {
+    SecondAsm.push_back(Second[I].get().Asm);
+    EXPECT_EQ(First[I].get().Asm, SecondAsm[I]);
+  }
+
+  Svc->resizeWorkers(2);
+  EXPECT_EQ(Svc->workers(), 2u);
+  std::vector<std::future<CompileResult>> Third =
+      cantFail(Svc->submitBatch(Ptrs));
+  Svc->drain();
+  for (std::size_t I = 0; I < Ptrs.size(); ++I)
+    EXPECT_EQ(Third[I].get().Asm, SecondAsm[I]);
+}
+
+TEST(CompileService, PerFunctionFailureDoesNotPoisonTheStream) {
+  // A function whose root has no derivation yields a failed
+  // CompileResult in its ordered slot; neighbors are unaffected — same
+  // isolation contract as the batch pipeline, now per delivery.
+  auto T = cantFail(makeTarget("vm64"));
+  std::vector<ir::IRFunction> Corpus = makeCorpus(T->G, 3, 200);
+  ir::IRFunction Broken;
+  Broken.addRoot(Broken.makeLeaf(T->G.findOperator("Reg"), 7));
+
+  std::vector<char> Ok;
+  CompileService::Options Opts;
+  Opts.Workers = 2;
+  Opts.OnResult = [&](std::size_t, const CompileResult &R) {
+    Ok.push_back(R.ok() ? 1 : 0);
+  };
+  std::unique_ptr<CompileService> Svc =
+      cantFail(CompileService::create(T->G, &T->Dyn, std::move(Opts)));
+  std::future<CompileResult> F0 = cantFail(Svc->submit(Corpus[0]));
+  std::future<CompileResult> F1 = cantFail(Svc->submit(Broken));
+  std::future<CompileResult> F2 = cantFail(Svc->submit(Corpus[1]));
+  Svc->drain();
+
+  EXPECT_TRUE(F0.get().ok());
+  CompileResult RBroken = F1.get();
+  EXPECT_FALSE(RBroken.ok());
+  EXPECT_NE(RBroken.Diagnostic.find("no derivation"), std::string::npos);
+  EXPECT_TRUE(RBroken.Asm.empty());
+  EXPECT_TRUE(F2.get().ok());
+  EXPECT_EQ(Ok, (std::vector<char>{1, 0, 1}));
+}
+
+TEST(CompileService, BoundedQueueSurvivesManyProducers) {
+  // The TSan stress: several producer threads hammer one service through
+  // a small queue while two more threads drain() concurrently. Every
+  // producer checks its own futures against a serial reference compile,
+  // and the sink checks global delivery order.
+  auto T = cantFail(makeTarget("x86"));
+  constexpr unsigned Producers = 4;
+  constexpr unsigned PerProducer = 12;
+  std::vector<std::vector<ir::IRFunction>> Corpora;
+  for (unsigned P = 0; P < Producers; ++P)
+    Corpora.push_back(makeCorpus(T->G, PerProducer, 200 + 100 * P));
+
+  // Serial reference: one session, one function at a time.
+  std::vector<std::vector<std::string>> Reference(Producers);
+  {
+    CompileSession Session(*T);
+    for (unsigned P = 0; P < Producers; ++P)
+      for (ir::IRFunction &F : Corpora[P])
+        Reference[P].push_back(Session.compileFunction(F).Asm);
+  }
+
+  std::atomic<std::size_t> NextExpected{0};
+  std::atomic<bool> OrderViolated{false};
+  CompileService::Options Opts;
+  Opts.Workers = 4;
+  Opts.QueueCapacity = 5;
+  Opts.OnResult = [&](std::size_t Seq, const CompileResult &) {
+    if (Seq != NextExpected.fetch_add(1))
+      OrderViolated = true;
+  };
+  std::unique_ptr<CompileService> Svc =
+      cantFail(CompileService::create(T->G, &T->Dyn, std::move(Opts)));
+
+  std::atomic<unsigned> Mismatches{0};
+  std::vector<std::thread> Threads;
+  for (unsigned P = 0; P < Producers; ++P)
+    Threads.emplace_back([&, P] {
+      std::vector<std::future<CompileResult>> Futures;
+      for (ir::IRFunction &F : Corpora[P])
+        Futures.push_back(cantFail(Svc->submit(F)));
+      for (unsigned I = 0; I < Futures.size(); ++I)
+        if (Futures[I].get().Asm != Reference[P][I])
+          Mismatches.fetch_add(1);
+    });
+  // Concurrent drains must be safe no matter where submission stands.
+  for (unsigned D = 0; D < 2; ++D)
+    Threads.emplace_back([&] { Svc->drain(); });
+  for (std::thread &Th : Threads)
+    Th.join();
+  Svc->drain();
+
+  EXPECT_EQ(Svc->delivered(), Producers * PerProducer);
+  EXPECT_FALSE(OrderViolated.load());
+  EXPECT_EQ(Mismatches.load(), 0u);
+  EXPECT_EQ(NextExpected.load(), Producers * PerProducer);
+}
+
+TEST(CompileService, ShutdownRacesBlockedSubmitters) {
+  // Producers block on a tiny queue; shutdown() must release them with
+  // the typed error instead of deadlocking, while everything accepted
+  // before the cut still compiles and delivers.
+  auto T = cantFail(makeTarget("vm64"));
+  constexpr unsigned Producers = 3;
+  constexpr unsigned PerProducer = 10;
+  std::vector<std::vector<ir::IRFunction>> Corpora;
+  for (unsigned P = 0; P < Producers; ++P)
+    Corpora.push_back(makeCorpus(T->G, PerProducer, 300));
+
+  CompileService::Options Opts;
+  Opts.Workers = 1;
+  Opts.QueueCapacity = 2;
+  std::unique_ptr<CompileService> Svc =
+      cantFail(CompileService::create(T->G, &T->Dyn, std::move(Opts)));
+
+  std::atomic<unsigned> Accepted{0}, Rejected{0};
+  std::vector<std::thread> Threads;
+  for (unsigned P = 0; P < Producers; ++P)
+    Threads.emplace_back([&, P] {
+      for (ir::IRFunction &F : Corpora[P]) {
+        Expected<std::future<CompileResult>> Fut = Svc->submit(F);
+        if (!Fut) {
+          EXPECT_EQ(Fut.kind(), ErrorKind::ServiceShutdown);
+          Rejected.fetch_add(1);
+        } else {
+          Accepted.fetch_add(1);
+        }
+      }
+    });
+  // Let some work through, then cut the service while producers are
+  // likely parked on backpressure. Two racing shutdown() calls: both
+  // must return only once the pool is fully torn down.
+  while (Svc->delivered() < 3)
+    std::this_thread::yield();
+  std::thread OtherShutdown([&] { Svc->shutdown(); });
+  Svc->shutdown();
+  OtherShutdown.join();
+  EXPECT_EQ(Svc->workers(), 0u);
+  for (std::thread &Th : Threads)
+    Th.join();
+
+  EXPECT_TRUE(Svc->stopped());
+  EXPECT_EQ(Svc->delivered(), Svc->submitted());
+  EXPECT_EQ(Accepted.load() + Rejected.load(), Producers * PerProducer);
+  EXPECT_GE(Accepted.load(), 3u);
+}

@@ -25,6 +25,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "ir/Node.h"
 #include "pipeline/CompileSession.h"
 #include "support/Hashing.h"
 #include "support/StringUtil.h"
@@ -35,6 +36,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <string>
 #include <thread>
@@ -61,6 +63,12 @@ struct DriverOptions {
   unsigned L1Ways = 0; // 0 = auto (2-way on dyn-cost grammars).
   bool ForceFixed = false;
   unsigned MaxStates = 0; // 0 = automaton default.
+  /// Write the first reference row's concatenated assembly here (the
+  /// batch half of the odburg-serve byte-identity check).
+  std::string EmitAsmPath;
+  /// Write the first generated corpus here in the serve wire format
+  /// (s-expressions, one per statement, blank line between functions).
+  std::string DumpCorpusPath;
 };
 
 int usage(const char *Argv0, int Exit) {
@@ -94,25 +102,16 @@ int usage(const char *Argv0, int Exit) {
       "  --l1-ways=N           L1 associativity: 1 direct-mapped, 2 two-way\n"
       "                        (default: auto — 2-way on dyn-cost grammars)\n"
       "  --max-states=N        override the automaton state-growth bound\n"
+      "  --emit-asm=PATH       write the first reference row's concatenated\n"
+      "                        assembly to PATH (for diffing against the\n"
+      "                        odburg-serve stream)\n"
+      "  --dump-corpus=PATH    write the first generated corpus to PATH in\n"
+      "                        the odburg-serve wire format (s-expressions,\n"
+      "                        blank line between functions)\n"
       "  --list                list targets and profiles, then exit\n"
       "  --help                this text\n",
       Argv0);
   return Exit;
-}
-
-bool parseUnsigned(std::string_view S, unsigned &Out) {
-  if (S.empty())
-    return false;
-  unsigned long V = 0;
-  for (char C : S) {
-    if (C < '0' || C > '9')
-      return false;
-    V = V * 10 + static_cast<unsigned long>(C - '0');
-    if (V > 0xFFFFFFFFul)
-      return false;
-  }
-  Out = static_cast<unsigned>(V);
-  return true;
 }
 
 bool parseArgs(int Argc, char **Argv, DriverOptions &Opts, int &ExitCode) {
@@ -214,6 +213,10 @@ bool parseArgs(int Argc, char **Argv, DriverOptions &Opts, int &ExitCode) {
         ExitCode = usage(Argv[0], 2);
         return false;
       }
+    } else if (startsWith(Arg, "--emit-asm=")) {
+      Opts.EmitAsmPath = std::string(Value("--emit-asm="));
+    } else if (startsWith(Arg, "--dump-corpus=")) {
+      Opts.DumpCorpusPath = std::string(Value("--dump-corpus="));
     } else if (startsWith(Arg, "--max-states=")) {
       if (!parseUnsigned(Value("--max-states="), Opts.MaxStates) ||
           Opts.MaxStates == 0) {
@@ -253,6 +256,33 @@ unsigned resolveThreads(unsigned N) {
   return HW ? HW : 1;
 }
 
+/// Writes \p Text to \p Path; complains and returns false on failure.
+bool writeFile(const std::string &Path, const std::string &Text) {
+  std::ofstream Out(Path, std::ios::trunc);
+  if (Out)
+    Out << Text;
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", Path.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Renders \p Corpus in the odburg-serve wire format: each statement root
+/// as one s-expression line, one blank line between functions.
+std::string corpusToWire(const std::vector<ir::IRFunction> &Corpus,
+                         const Grammar &G) {
+  std::string Out;
+  for (const ir::IRFunction &F : Corpus) {
+    for (const ir::Node *Root : F.roots()) {
+      Out += ir::toSExpr(Root, G);
+      Out += '\n';
+    }
+    Out += '\n';
+  }
+  return Out;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -273,6 +303,8 @@ int main(int Argc, char **Argv) {
 
   bool AllIdentical = true;
   bool AnyFailed = false;
+  bool CorpusDumped = false;
+  bool AsmEmitted = false;
   for (const std::string &TargetName : Opts.Targets) {
     Expected<std::unique_ptr<Target>> TOrErr = makeTarget(TargetName);
     if (!TOrErr) {
@@ -313,6 +345,12 @@ int main(int Argc, char **Argv) {
             return 1;
           }
           CorpusByFixed.emplace(Fixed, std::move(*CorpusOrErr));
+          if (!Opts.DumpCorpusPath.empty() && !CorpusDumped) {
+            if (!writeFile(Opts.DumpCorpusPath,
+                           corpusToWire(CorpusByFixed[Fixed], G)))
+              return 1;
+            CorpusDumped = true;
+          }
         }
         std::vector<ir::IRFunction> &Corpus = CorpusByFixed[Fixed];
         std::vector<ir::IRFunction *> Ptrs;
@@ -377,6 +415,15 @@ int main(int Argc, char **Argv) {
           if (!RefByFixed.count(Fixed)) {
             RefByFixed[Fixed] = {AsmHash, TotalCost};
             Check = "reference";
+            // The corpus and assembly dumps pair up: both come from the
+            // first (target, profile, grammar-variant) configuration, so
+            // piping the dumped corpus through odburg-serve must
+            // reproduce this assembly byte for byte.
+            if (!Opts.EmitAsmPath.empty() && !AsmEmitted) {
+              if (!writeFile(Opts.EmitAsmPath, Asm))
+                return 1;
+              AsmEmitted = true;
+            }
           } else {
             const Reference &Ref = RefByFixed[Fixed];
             bool Identical =

@@ -1,0 +1,393 @@
+//===- tools/odburg-serve.cpp - Streaming compile-service front -----------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The persistent-service front: reads s-expression IR functions from
+/// stdin (or a file) and streams their compiled assembly back through one
+/// long-lived pipeline::CompileService — the paper's amortization argument
+/// as a process. Submission and delivery overlap: while later functions
+/// are still being read and compiled, earlier results are already written
+/// out, strictly in submission order.
+///
+/// Wire format in: functions separated by blank lines; within a function,
+/// each s-expression is one statement root (exactly what
+/// odburg-run --dump-corpus writes and ir::toSExpr prints). A malformed
+/// function is reported to stderr with line/column, *skipped*, and the
+/// stream keeps serving — the parser's typed ErrorKind::MalformedInput
+/// makes that distinction safe.
+///
+/// Wire format out (--format=asm, default): each function's newline-
+/// terminated assembly, concatenated in submission order — byte-identical
+/// to odburg-run's batch assembly for the same corpus, on every backend.
+/// --format=json frames each result as one JSON object per line instead
+/// (seq, ok, instructions, cost, asm / error).
+///
+/// --tables=PATH makes the offline backend pay table generation once per
+/// grammar across processes: load the tables from PATH when present
+/// (validated by fingerprint), generate and save them when not.
+///
+///   odburg-run --target=x86 --fixed --dump-corpus=c.sexpr --emit-asm=b.s
+///   odburg-serve --target=x86 --fixed < c.sexpr | cmp - b.s
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/SExprParser.h"
+#include "pipeline/CompileService.h"
+#include "support/StringUtil.h"
+#include "support/Timer.h"
+#include "targets/Target.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+
+using namespace odburg;
+using namespace odburg::pipeline;
+using namespace odburg::targets;
+
+namespace {
+
+struct ServeOptions {
+  std::string Target = "x86";
+  BackendKind Backend = BackendKind::OnDemand;
+  bool ForceFixed = false;
+  unsigned Threads = 0;       // 0 = hardware concurrency.
+  unsigned QueueCapacity = 0; // 0 = service default.
+  bool Json = false;
+  std::string TablesPath;
+  unsigned GenThreads = 0;
+  std::string InputPath; // Empty = stdin.
+};
+
+int usage(const char *Argv0, int Exit) {
+  std::fprintf(
+      Exit == 0 ? stdout : stderr,
+      "usage: %s [options] [INPUT]\n"
+      "\n"
+      "Reads s-expression IR functions (blank-line separated; one\n"
+      "s-expression per statement root) from INPUT or stdin, compiles them\n"
+      "through a persistent streaming CompileService, and writes each\n"
+      "function's assembly to stdout in submission order — while later\n"
+      "functions are still being read and compiled. Malformed functions\n"
+      "are reported to stderr and skipped; the stream keeps serving.\n"
+      "\n"
+      "  --target=NAME         target grammar (default x86)\n"
+      "  --backend=NAME        labeling backend: dp, offline, ondemand\n"
+      "                        (default ondemand)\n"
+      "  --fixed               use the fixed-cost (stripped) grammar\n"
+      "                        (implied by --backend=offline)\n"
+      "  --threads=N           service worker pool size (default: hardware\n"
+      "                        concurrency)\n"
+      "  --queue=N             submission queue bound — backpressure point\n"
+      "                        (default: 4x workers)\n"
+      "  --format=asm|json     output framing (default asm): raw assembly,\n"
+      "                        or one JSON record per result line\n"
+      "  --tables=PATH         offline backend: load the compiled tables\n"
+      "                        from PATH if present (fingerprint-checked),\n"
+      "                        else generate and save them there\n"
+      "  --gen-threads=N       offline table generation workers (default:\n"
+      "                        hardware concurrency)\n"
+      "  --help                this text\n"
+      "\n"
+      "Exit status: 0 when every function compiled, 1 when any function\n"
+      "was skipped (parse error) or failed to compile, 2 on bad usage.\n",
+      Argv0);
+  return Exit;
+}
+
+bool parseArgs(int Argc, char **Argv, ServeOptions &Opts, int &ExitCode) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string_view Arg = Argv[I];
+    auto Value = [&Arg](std::string_view Prefix) {
+      return Arg.substr(Prefix.size());
+    };
+    if (Arg == "--help" || Arg == "-h") {
+      ExitCode = usage(Argv[0], 0);
+      return false;
+    }
+    if (Arg == "--fixed") {
+      Opts.ForceFixed = true;
+    } else if (startsWith(Arg, "--target=")) {
+      Opts.Target = std::string(Value("--target="));
+    } else if (startsWith(Arg, "--backend=")) {
+      Expected<BackendKind> K = parseBackendKind(trim(Value("--backend=")));
+      if (!K) {
+        std::fprintf(stderr, "error: %s\n", K.message().c_str());
+        ExitCode = usage(Argv[0], 2);
+        return false;
+      }
+      Opts.Backend = *K;
+    } else if (startsWith(Arg, "--threads=")) {
+      if (!parseUnsigned(Value("--threads="), Opts.Threads)) {
+        std::fprintf(stderr, "invalid --threads value\n");
+        ExitCode = usage(Argv[0], 2);
+        return false;
+      }
+    } else if (startsWith(Arg, "--queue=")) {
+      if (!parseUnsigned(Value("--queue="), Opts.QueueCapacity) ||
+          Opts.QueueCapacity == 0) {
+        std::fprintf(stderr, "invalid --queue value\n");
+        ExitCode = usage(Argv[0], 2);
+        return false;
+      }
+    } else if (startsWith(Arg, "--format=")) {
+      std::string_view V = Value("--format=");
+      if (V == "asm") {
+        Opts.Json = false;
+      } else if (V == "json") {
+        Opts.Json = true;
+      } else {
+        std::fprintf(stderr, "invalid --format (asm or json)\n");
+        ExitCode = usage(Argv[0], 2);
+        return false;
+      }
+    } else if (startsWith(Arg, "--tables=")) {
+      Opts.TablesPath = std::string(Value("--tables="));
+    } else if (startsWith(Arg, "--gen-threads=")) {
+      if (!parseUnsigned(Value("--gen-threads="), Opts.GenThreads)) {
+        std::fprintf(stderr, "invalid --gen-threads value\n");
+        ExitCode = usage(Argv[0], 2);
+        return false;
+      }
+    } else if (!startsWith(Arg, "--")) {
+      if (!Opts.InputPath.empty()) {
+        std::fprintf(stderr, "more than one INPUT path\n");
+        ExitCode = usage(Argv[0], 2);
+        return false;
+      }
+      Opts.InputPath = std::string(Arg);
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", Argv[I]);
+      ExitCode = usage(Argv[0], 2);
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string jsonEscape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+/// Builds the service's backend, honoring --tables for the offline kind:
+/// load when the file exists and validates, otherwise create normally and
+/// (for offline) save the freshly generated tables.
+Expected<std::unique_ptr<LabelerBackend>>
+makeBackend(const ServeOptions &Opts, const Grammar &G,
+            const DynCostTable *Dyn) {
+  LabelerBackend::Options BOpts;
+  BOpts.OfflineGenThreads = Opts.GenThreads;
+
+  if (Opts.Backend == BackendKind::Offline && !Opts.TablesPath.empty()) {
+    if (std::ifstream In{Opts.TablesPath, std::ios::binary}) {
+      Expected<CompiledTables> Tables = CompiledTables::load(In, G);
+      if (Tables) {
+        std::fprintf(stderr, "odburg-serve: loaded offline tables from %s "
+                             "(%u states, %.1f ms)\n",
+                     Opts.TablesPath.c_str(), Tables->stats().NumStates,
+                     Tables->stats().GenerationMs);
+        return std::unique_ptr<LabelerBackend>(
+            std::make_unique<OfflineBackend>(std::move(*Tables)));
+      }
+      std::fprintf(stderr,
+                   "odburg-serve: ignoring %s (%s); regenerating tables\n",
+                   Opts.TablesPath.c_str(), Tables.message().c_str());
+    }
+  }
+
+  Expected<std::unique_ptr<LabelerBackend>> Backend =
+      LabelerBackend::create(Opts.Backend, G, Dyn, BOpts);
+  if (!Backend)
+    return Backend;
+
+  if (Opts.Backend == BackendKind::Offline && !Opts.TablesPath.empty()) {
+    const CompiledTables &Tables =
+        static_cast<const OfflineBackend &>(**Backend).tables();
+    std::ofstream Out(Opts.TablesPath, std::ios::binary | std::ios::trunc);
+    Error E = Out ? Tables.dump(Out)
+                  : Error::make("cannot open '" + Opts.TablesPath +
+                                "' for writing");
+    if (E)
+      std::fprintf(stderr, "odburg-serve: could not save tables: %s\n",
+                   E.message().c_str());
+    else
+      std::fprintf(stderr, "odburg-serve: saved offline tables to %s\n",
+                   Opts.TablesPath.c_str());
+  }
+  return Backend;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ServeOptions Opts;
+  int ExitCode = 0;
+  if (!parseArgs(Argc, Argv, Opts, ExitCode))
+    return ExitCode;
+
+  Expected<std::unique_ptr<Target>> TOrErr = makeTarget(Opts.Target);
+  if (!TOrErr) {
+    std::fprintf(stderr, "error: %s\n", TOrErr.message().c_str());
+    return 2;
+  }
+  Target &T = **TOrErr;
+  // Offline tables cannot encode dynamic costs, so that backend always
+  // serves the stripped grammar; --fixed levels the others onto it for
+  // cross-backend byte-identity.
+  bool Fixed = Opts.ForceFixed || Opts.Backend == BackendKind::Offline;
+  const Grammar &G = Fixed ? T.Fixed : T.G;
+  const DynCostTable *Dyn = Fixed ? nullptr : &T.Dyn;
+
+  Expected<std::unique_ptr<LabelerBackend>> Backend =
+      makeBackend(Opts, G, Dyn);
+  if (!Backend) {
+    std::fprintf(stderr, "error: %s backend: %s\n", backendName(Opts.Backend),
+                 Backend.message().c_str());
+    return 2;
+  }
+
+  std::ifstream FileIn;
+  if (!Opts.InputPath.empty()) {
+    FileIn.open(Opts.InputPath);
+    if (!FileIn) {
+      std::fprintf(stderr, "error: cannot open input '%s'\n",
+                   Opts.InputPath.c_str());
+      return 2;
+    }
+  }
+  std::istream &In = Opts.InputPath.empty() ? std::cin : FileIn;
+
+  // Submitted functions stay alive until their result is delivered; the
+  // sink frees each one as its assembly goes out, so memory is bounded by
+  // the service's queue capacity, not the stream length.
+  std::mutex LiveM;
+  std::unordered_map<std::size_t, std::unique_ptr<ir::IRFunction>> Live;
+  std::uint64_t FailedCompiles = 0;
+
+  CompileService::Options SvcOpts;
+  SvcOpts.Backend = Opts.Backend;
+  SvcOpts.Workers = Opts.Threads;
+  SvcOpts.QueueCapacity = Opts.QueueCapacity;
+  const bool Json = Opts.Json;
+  SvcOpts.OnResult = [&](std::size_t Seq, const CompileResult &R) {
+    // Fired in submission order, one at a time — stdout stays a clean
+    // ordered stream with no extra locking.
+    if (Json) {
+      std::string Rec = "{\"seq\": " + std::to_string(Seq);
+      if (R.ok()) {
+        Rec += ", \"ok\": true, \"instructions\": " +
+               std::to_string(R.Instructions) +
+               ", \"cost\": " + std::to_string(R.Sel.TotalCost.value()) +
+               ", \"asm\": \"" + jsonEscape(R.Asm) + "\"";
+      } else {
+        Rec += ", \"ok\": false, \"error\": \"" + jsonEscape(R.Diagnostic) +
+               "\"";
+      }
+      Rec += "}\n";
+      std::fwrite(Rec.data(), 1, Rec.size(), stdout);
+    } else {
+      std::fwrite(R.Asm.data(), 1, R.Asm.size(), stdout);
+    }
+    std::fflush(stdout);
+    std::lock_guard<std::mutex> L(LiveM);
+    if (!R.ok()) {
+      ++FailedCompiles;
+      std::fprintf(stderr, "odburg-serve: function %zu failed: %s\n", Seq,
+                   R.Diagnostic.c_str());
+    }
+    Live.erase(Seq);
+  };
+
+  std::unique_ptr<CompileService> Service = CompileService::create(
+      G, Dyn, std::move(SvcOpts), std::move(*Backend));
+
+  Stopwatch Wall;
+  ir::SExprFunctionStream Stream(In, G);
+  std::uint64_t Accepted = 0, Skipped = 0;
+  bool StreamBroken = false;
+  while (true) {
+    auto F = std::make_unique<ir::IRFunction>();
+    Expected<bool> Next = Stream.next(*F);
+    if (!Next) {
+      // Malformed functions are skippable — the stream stays alive. An
+      // I/O failure is not: the input is gone, stop serving what's left.
+      if (Next.kind() != ErrorKind::MalformedInput) {
+        std::fprintf(stderr, "odburg-serve: %s\n", Next.message().c_str());
+        StreamBroken = true;
+        break;
+      }
+      ++Skipped;
+      std::fprintf(stderr, "odburg-serve: skipping function: %s\n",
+                   Next.message().c_str());
+      continue;
+    }
+    if (!*Next)
+      break; // Clean end of input.
+    // Park the function before submitting: the sink may deliver (and
+    // free) it before submit() even returns.
+    ir::IRFunction &Ref = *F;
+    {
+      std::lock_guard<std::mutex> L(LiveM);
+      Live.emplace(Accepted, std::move(F));
+    }
+    Expected<std::future<CompileResult>> Fut = Service->submit(Ref);
+    if (!Fut) {
+      std::fprintf(stderr, "error: %s\n", Fut.message().c_str());
+      return 1;
+    }
+    ++Accepted;
+  }
+  Service->drain();
+  std::uint64_t ElapsedNs = Wall.elapsedNs();
+  unsigned Workers = Service->workers();
+  Service->shutdown();
+
+  std::uint64_t Failed;
+  {
+    std::lock_guard<std::mutex> L(LiveM);
+    Failed = FailedCompiles;
+  }
+  std::fprintf(stderr,
+               "odburg-serve: target=%s backend=%s gram=%s workers=%u — "
+               "served %llu functions (%llu skipped, %llu failed) in %.1f ms\n",
+               Opts.Target.c_str(), backendName(Opts.Backend),
+               Fixed ? "fixed" : "full", Workers,
+               static_cast<unsigned long long>(Accepted),
+               static_cast<unsigned long long>(Skipped),
+               static_cast<unsigned long long>(Failed),
+               static_cast<double>(ElapsedNs) / 1e6);
+  return (Skipped || Failed || StreamBroken) ? 1 : 0;
+}

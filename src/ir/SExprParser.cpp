@@ -7,6 +7,7 @@
 #include "ir/SExprParser.h"
 
 #include "support/SmallVector.h"
+#include "support/StringUtil.h"
 
 #include <cctype>
 #include <istream>
@@ -25,6 +26,18 @@ public:
       : Text(Text), G(G), F(F), Line(FirstLine) {}
 
   Expected<Node *> parseOne() {
+    // Depth guard: the reader recurses per nesting level, so pathological
+    // input ("((((…") must fail typed before the call stack does.
+    if (Depth >= MaxSExprDepth)
+      return err("nesting exceeds depth limit (" +
+                 std::to_string(MaxSExprDepth) + ")");
+    ++Depth;
+    Expected<Node *> N = parseOneGuarded();
+    --Depth;
+    return N;
+  }
+
+  Expected<Node *> parseOneGuarded() {
     skipSpace();
     if (Pos >= Text.size() || Text[Pos] != '(')
       return err("expected '('");
@@ -33,6 +46,10 @@ public:
     std::string_view Name = lexAtom();
     if (Name.empty())
       return err("expected operator name");
+    if (Name.size() > MaxSExprAtomBytes)
+      return errAt(Pos - Name.size(), "atom exceeds length limit (" +
+                                          std::to_string(MaxSExprAtomBytes) +
+                                          " bytes)");
     OperatorId Op = G.findOperator(Name);
     if (Op == InvalidOperator)
       return errAt(Pos - Name.size(),
@@ -49,10 +66,17 @@ public:
         std::string_view Payload = lexAtom();
         if (Payload.empty())
           return err("expected payload atom");
-        if (isInteger(Payload))
-          Value = std::stoll(std::string(Payload));
-        else
+        if (Payload.size() > MaxSExprAtomBytes)
+          return errAt(Pos - Payload.size(),
+                       "atom exceeds length limit (" +
+                           std::to_string(MaxSExprAtomBytes) + " bytes)");
+        if (isInteger(Payload)) {
+          if (!parseInt(Payload, Value))
+            return errAt(Pos - Payload.size(),
+                         "integer payload out of range");
+        } else {
           Symbol = F.internString(Payload);
+        }
       }
       N = F.makeLeaf(Op, Value, Symbol);
     } else {
@@ -65,7 +89,8 @@ public:
           return errAt(Pos - Payload.size(),
                        "expected integer payload or '(' after '" +
                            G.operatorName(Op) + "'");
-        Value = std::stoll(std::string(Payload));
+        if (!parseInt(Payload, Value))
+          return errAt(Pos - Payload.size(), "integer payload out of range");
       }
       SmallVector<Node *, 4> Children;
       for (unsigned I = 0; I < Arity; ++I) {
@@ -96,6 +121,25 @@ private:
     for (std::size_t I = Start; I < S.size(); ++I)
       if (!std::isdigit(static_cast<unsigned char>(S[I])))
         return false;
+    return true;
+  }
+
+  /// Overflow-checked decimal parse of an isInteger() atom; std::stoll
+  /// would throw on out-of-range digits, which untrusted input can send.
+  static bool parseInt(std::string_view S, std::int64_t &Out) {
+    bool Neg = S[0] == '-';
+    std::uint64_t Mag = 0;
+    const std::uint64_t Limit =
+        Neg ? 0x8000000000000000ULL : 0x7fffffffffffffffULL;
+    for (std::size_t I = Neg ? 1 : 0; I < S.size(); ++I) {
+      unsigned D = static_cast<unsigned>(S[I] - '0');
+      if (Mag > (Limit - D) / 10)
+        return false;
+      Mag = Mag * 10 + D;
+    }
+    // Two's-complement negate via unsigned arithmetic: -INT64_MIN would
+    // overflow a signed negation.
+    Out = static_cast<std::int64_t>(Neg ? 0 - Mag : Mag);
     return true;
   }
 
@@ -143,6 +187,7 @@ private:
   std::size_t Pos = 0;
   std::size_t LineStart = 0;
   unsigned Line = 1;
+  unsigned Depth = 0;
 };
 
 } // namespace
@@ -165,7 +210,44 @@ Error ir::parseSExprProgram(std::string_view Text, const Grammar &G,
   return Error::success();
 }
 
+bool SExprFunctionStream::readLine(std::string &Line, bool &Overflow) {
+  // Byte-budgeted replacement for std::getline: getline grows its string
+  // to whatever one line holds, so a single endless line from a malicious
+  // peer would balloon memory before any frame-level cap could act. Stop
+  // storing (and stop consuming) once the budget is spent; the caller
+  // reports the typed cap error and treats the stream as poisoned.
+  Line.clear();
+  Overflow = false;
+  std::streambuf *SB = In.rdbuf();
+  bool Any = false;
+  for (int C = SB->sbumpc(); C != std::char_traits<char>::eof();
+       C = SB->sbumpc()) {
+    Any = true;
+    if (C == '\n')
+      return true;
+    if (Line.size() >= MaxBytes) {
+      Overflow = true;
+      return true;
+    }
+    Line.push_back(static_cast<char>(C));
+  }
+  return Any;
+}
+
 Expected<bool> SExprFunctionStream::next(IRFunction &F) {
+  Expected<Item> I = nextImpl(F, /*AllowControl=*/false);
+  if (!I)
+    return I.takeError();
+  return *I == Item::Function;
+}
+
+Expected<SExprFunctionStream::Item>
+SExprFunctionStream::nextItem(IRFunction &F) {
+  return nextImpl(F, /*AllowControl=*/true);
+}
+
+Expected<SExprFunctionStream::Item>
+SExprFunctionStream::nextImpl(IRFunction &F, bool AllowControl) {
   // A chunk of only comments parses to zero roots; treat it like blank
   // space and keep scanning rather than yielding an empty function.
   while (true) {
@@ -176,25 +258,46 @@ Expected<bool> SExprFunctionStream::next(IRFunction &F) {
     Chunk.clear();
     unsigned FirstLine = 0;
     std::string Line;
-    while (std::getline(In, Line)) {
+    bool Overflow = false;
+    while (readLine(Line, Overflow)) {
       ++LineNo;
+      if (Overflow)
+        break;
       if (!Line.empty() && Line.back() == '\r')
         Line.pop_back();
-      bool Blank = true;
-      for (char C : Line)
-        if (!std::isspace(static_cast<unsigned char>(C))) {
-          Blank = false;
-          break;
-        }
-      if (Blank) {
+      std::string_view Content = trim(Line);
+      if (Content.empty()) {
         if (!Chunk.empty())
           break; // Function complete.
         continue; // Leading blank lines before any content.
       }
-      if (Chunk.empty())
+      if (Chunk.empty()) {
+        // Outside any frame. A line that cannot start an s-expression or
+        // a comment is an in-band control request when the caller speaks
+        // that dialect (the socket server); otherwise it joins the chunk
+        // and fails in the parser with a precise diagnostic.
+        if (AllowControl && Content.front() != '(' && Content.front() != ';') {
+          Control.assign(Content);
+          return Item::Control;
+        }
         FirstLine = LineNo;
+      }
+      if (Chunk.size() + Line.size() + 1 > MaxBytes) {
+        Overflow = true;
+        break;
+      }
       Chunk += Line;
       Chunk += '\n';
+    }
+    if (Overflow) {
+      // The cap fired mid-frame: framing is lost, so the stream cannot
+      // promise clean recovery — consumers should close the connection.
+      Poisoned = true;
+      return Error::make(ErrorKind::MalformedInput,
+                         "s-expression stream: function frame exceeds byte "
+                         "cap (" +
+                             std::to_string(MaxBytes) + " bytes) near line " +
+                             std::to_string(LineNo));
     }
     // Distinguish end-of-input from an I/O failure: badbit means the
     // read itself broke mid-stream, and whatever was gathered must not
@@ -205,11 +308,11 @@ Expected<bool> SExprFunctionStream::next(IRFunction &F) {
       return Error::make("s-expression stream: input read error near line " +
                          std::to_string(LineNo));
     if (Chunk.empty())
-      return false; // Clean end of input.
+      return Item::End; // Clean end of input.
 
-    if (Error E = parseSExprProgram(Chunk, G, F, FirstLine))
+    if (Error E = parseSExprProgram(Chunk, *G, F, FirstLine))
       return E;
     if (!F.roots().empty())
-      return true;
+      return Item::Function;
   }
 }

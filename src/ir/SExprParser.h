@@ -39,10 +39,19 @@
 namespace odburg {
 namespace ir {
 
+/// Untrusted-input guards. The s-expression reader faces network bytes
+/// (odburg-serve's socket front), so every dimension an attacker controls
+/// is bounded with a typed error instead of unbounded recursion or
+/// allocation: nesting depth (recursive-descent stack), atom length, and
+/// — in SExprFunctionStream — total bytes per function frame.
+inline constexpr unsigned MaxSExprDepth = 1024;
+inline constexpr std::size_t MaxSExprAtomBytes = 4096;
+
 /// Parses one tree from \p Text into \p F (nodes are created in \p F; the
 /// root is returned but not added to F's root list). Fails with
 /// ErrorKind::MalformedInput — carrying line and column — on malformed
-/// input, unknown operators, or arity mismatches.
+/// input, unknown operators, arity mismatches, or inputs exceeding the
+/// nesting/atom guards above.
 Expected<Node *> parseSExpr(std::string_view Text, const Grammar &G,
                             IRFunction &F);
 
@@ -59,8 +68,24 @@ Error parseSExprProgram(std::string_view Text, const Grammar &G, IRFunction &F,
 /// function. The reader owns no storage beyond one function's text.
 class SExprFunctionStream {
 public:
+  /// What nextItem() read from the stream.
+  enum class Item {
+    End,      ///< Clean end of input.
+    Function, ///< A function was parsed into the caller's IRFunction.
+    Control,  ///< A control line (see controlLine()).
+  };
+
+  /// Bound on one function frame's total bytes (text between blank-line
+  /// separators, including one overlong line). A frame past the cap fails
+  /// typed (MalformedInput mentioning the cap) with memory bounded by the
+  /// cap — a malicious connection streaming one endless unterminated
+  /// frame cannot grow memory without bound. Cap errors poison the
+  /// stream: framing is lost mid-frame, so consumers should treat them as
+  /// fatal for the stream/connection (see poisoned()).
+  static constexpr std::size_t DefaultMaxFunctionBytes = 8u << 20;
+
   /// \p In and \p G must outlive the stream.
-  SExprFunctionStream(std::istream &In, const Grammar &G) : In(In), G(G) {}
+  SExprFunctionStream(std::istream &In, const Grammar &G) : In(In), G(&G) {}
 
   /// Reads the next function into \p F (statements become roots, in
   /// order). Returns true when a function was parsed, false at clean end
@@ -72,15 +97,47 @@ public:
   /// fresh function per call.
   Expected<bool> next(IRFunction &F);
 
+  /// Like next(), but additionally recognizes *control lines* — the
+  /// socket server's in-band requests (`BACKEND ondemand`, `STATS`). A
+  /// line outside any function frame whose first character is neither '('
+  /// nor ';' is returned as Item::Control (text in controlLine(),
+  /// trimmed) instead of a parse error; it is its own unit and needs no
+  /// blank-line separator. Inside a frame such a line stays part of the
+  /// function text (and fails in the parser), so framing is unchanged.
+  Expected<Item> nextItem(IRFunction &F);
+
+  /// The last control line nextItem() returned (without the newline).
+  const std::string &controlLine() const { return Control; }
+
+  /// Rebinds the grammar functions are parsed against (the socket server
+  /// switches grammars when a BACKEND handshake selects a backend that
+  /// serves the stripped grammar). Affects subsequent reads only.
+  void rebind(const Grammar &NewG) { G = &NewG; }
+
+  /// Caps one frame's bytes; see DefaultMaxFunctionBytes.
+  void setMaxFunctionBytes(std::size_t Max) { MaxBytes = Max; }
+
+  /// True once a frame overran the byte cap: line framing is lost
+  /// mid-frame, so subsequent reads may mis-frame. Treat as fatal.
+  bool poisoned() const { return Poisoned; }
+
   /// Stream-absolute 1-based line number of the line that will be read
   /// next (after a successful next(): the line following the function).
   unsigned line() const { return LineNo + 1; }
 
 private:
+  Expected<Item> nextImpl(IRFunction &F, bool AllowControl);
+  /// Bounded line reader: reads up to '\n' into Line (budget-capped).
+  /// Returns false at end of input with nothing read.
+  bool readLine(std::string &Line, bool &Overflow);
+
   std::istream &In;
-  const Grammar &G;
+  const Grammar *G;
+  std::size_t MaxBytes = DefaultMaxFunctionBytes;
   unsigned LineNo = 0;   ///< Lines consumed so far.
   std::string Chunk;     ///< Reused text buffer for one function.
+  std::string Control;   ///< Last control line.
+  bool Poisoned = false;
 };
 
 } // namespace ir

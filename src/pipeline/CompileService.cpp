@@ -120,7 +120,7 @@ bool CompileService::stopped() const {
 }
 
 Expected<std::future<CompileResult>>
-CompileService::submit(ir::IRFunction &F) {
+CompileService::submit(ir::IRFunction &F, std::uint64_t Tag) {
   std::future<CompileResult> Fut;
   {
     std::unique_lock<std::mutex> L(M);
@@ -134,12 +134,43 @@ CompileService::submit(ir::IRFunction &F) {
     Job J;
     J.F = &F;
     J.Seq = NextSeq++;
+    J.Tag = Tag;
+    J.SubmitNs = nowNs();
     Fut = J.Promise.get_future();
     ++Undelivered;
     Queue.push_back(std::move(J));
   }
   HasWork.notify_one();
   return Fut;
+}
+
+ServiceStats CompileService::statsSnapshot() const {
+  ServiceStats S;
+  std::vector<std::uint64_t> Window;
+  {
+    std::lock_guard<std::mutex> L(M);
+    S.Submitted = NextSeq;
+    S.Delivered = NextDeliver;
+    S.QueueDepth = Undelivered;
+    S.Workers = static_cast<unsigned>(Threads.size());
+    std::size_t Samples = std::min(LatTotal, LatRing.size());
+    S.LatencySamples = Samples;
+    Window.assign(LatRing.begin(),
+                  LatRing.begin() + static_cast<std::ptrdiff_t>(Samples));
+  }
+  if (Window.empty())
+    return S;
+  // Sort outside the lock; the window is a private copy.
+  std::sort(Window.begin(), Window.end());
+  auto Pct = [&](double P) {
+    std::size_t Idx = static_cast<std::size_t>(
+        P * static_cast<double>(Window.size() - 1) + 0.5);
+    return static_cast<double>(Window[Idx]) / 1e3;
+  };
+  S.P50Us = Pct(0.5);
+  S.P90Us = Pct(0.9);
+  S.P99Us = Pct(0.99);
+  return S;
 }
 
 Expected<std::vector<std::future<CompileResult>>>
@@ -169,15 +200,15 @@ void CompileService::workerLoop(unsigned W) {
     }
     CompileResult R;
     compileFunctionWith(G, Dyn, *B, *J.F, WS, R);
-    deliver(J.Seq, std::move(R), std::move(J.Promise));
+    deliver(std::move(J), std::move(R));
   }
 }
 
-void CompileService::deliver(std::size_t Seq, CompileResult R,
-                             std::promise<CompileResult> Promise) {
+void CompileService::deliver(Job J, CompileResult R) {
   std::unique_lock<std::mutex> L(M);
-  ReorderBuffer.emplace(Seq,
-                        Parked{std::move(R), std::move(Promise)});
+  std::size_t Seq = J.Seq;
+  ReorderBuffer.emplace(
+      Seq, Parked{std::move(R), J.Tag, J.SubmitNs, std::move(J.Promise)});
   if (Flushing)
     return; // The active flusher will pick this up when its turn comes.
   Flushing = true;
@@ -188,6 +219,11 @@ void CompileService::deliver(std::size_t Seq, CompileResult R,
     Parked P = std::move(It->second);
     ReorderBuffer.erase(It);
     std::size_t DeliverSeq = NextDeliver;
+    // Latency sample: submission to reaching the in-order delivery slot.
+    if (LatRing.size() < LatencyWindow)
+      LatRing.resize(LatencyWindow);
+    LatRing[LatTotal % LatencyWindow] = nowNs() - P.SubmitNs;
+    ++LatTotal;
     // The sink and the promise fulfil outside the lock: the callback may
     // be slow (it is the consumer), and other workers must keep parking
     // completions meanwhile. Order is safe — Flushing keeps this the only
@@ -195,6 +231,8 @@ void CompileService::deliver(std::size_t Seq, CompileResult R,
     L.unlock();
     if (Opts.OnResult)
       Opts.OnResult(DeliverSeq, P.R);
+    if (Opts.OnResultTagged)
+      Opts.OnResultTagged(DeliverSeq, P.Tag, P.R);
     P.Promise.set_value(std::move(P.R));
     L.lock();
     ++NextDeliver;

@@ -97,6 +97,30 @@ void compileFunctionWith(const Grammar &G, const DynCostTable *Dyn,
                          LabelerBackend &B, ir::IRFunction &F, WorkerState &WS,
                          CompileResult &Out);
 
+/// A coherent point-in-time view of a service's lifetime counters and
+/// recent latency distribution — the numbers bench_p5_service measures,
+/// exported as API so a metrics endpoint (odburg-serve's STATS request)
+/// can serve them from a live process. Counters are lifetime totals;
+/// percentiles cover a sliding window of the most recent deliveries.
+struct ServiceStats {
+  /// Total submissions accepted so far.
+  std::size_t Submitted = 0;
+  /// Total results delivered so far (ordered sink fired).
+  std::size_t Delivered = 0;
+  /// Undelivered submissions right now (== Submitted - Delivered; queued,
+  /// compiling, or awaiting their in-order delivery slot).
+  std::size_t QueueDepth = 0;
+  /// Current worker-thread count.
+  unsigned Workers = 0;
+  /// Latency samples backing the percentiles (bounded window).
+  std::size_t LatencySamples = 0;
+  /// Submit -> in-order delivery latency percentiles over the window, in
+  /// microseconds (0 while no delivery has happened yet).
+  double P50Us = 0.0;
+  double P90Us = 0.0;
+  double P99Us = 0.0;
+};
+
 /// A persistent asynchronous compile service over one grammar. Submission
 /// (submit/submitBatch/drain/shutdown) is thread-safe; many producers may
 /// feed one service.
@@ -111,6 +135,12 @@ public:
   using ResultSink =
       std::function<void(std::size_t Seq, const CompileResult &R)>;
 
+  /// Like ResultSink, with the submission's tag (see submit(F, Tag)). The
+  /// multiplexing entry point: a server tags each submission with its
+  /// connection id and routes the ordered deliveries back per client.
+  using TaggedResultSink = std::function<void(
+      std::size_t Seq, std::uint64_t Tag, const CompileResult &R)>;
+
   struct Options {
     /// Which labeling engine the service runs on (owned-backend creation).
     BackendKind Backend = BackendKind::OnDemand;
@@ -124,6 +154,9 @@ public:
     std::size_t QueueCapacity = 0;
     /// Ordered streaming sink; may be empty (futures only).
     ResultSink OnResult;
+    /// Tag-aware ordered sink; fired after OnResult for each delivery.
+    /// Same ordering and non-blocking contracts.
+    TaggedResultSink OnResultTagged;
   };
 
   /// Builds a service owning its backend. Fails with the backend's typed
@@ -155,7 +188,15 @@ public:
   /// undelivered submissions. The function must stay alive until its
   /// result is delivered. Fails with ErrorKind::ServiceShutdown once
   /// shutdown() has begun (including while blocked on backpressure).
-  Expected<std::future<CompileResult>> submit(ir::IRFunction &F);
+  Expected<std::future<CompileResult>> submit(ir::IRFunction &F) {
+    return submit(F, 0);
+  }
+
+  /// Tagged submission: \p Tag is opaque to the service and handed back to
+  /// Options::OnResultTagged at this submission's delivery — the routing
+  /// key for servers multiplexing many clients onto one service.
+  Expected<std::future<CompileResult>> submit(ir::IRFunction &F,
+                                              std::uint64_t Tag);
 
   /// Submits a span in order; the returned futures are in submission
   /// order. Stops at the first submission failure (shutdown mid-batch)
@@ -185,6 +226,19 @@ public:
   /// Total results delivered so far.
   std::size_t delivered() const;
 
+  /// A coherent snapshot of the service's counters and recent-latency
+  /// percentiles, taken under one lock acquisition — Submitted, Delivered
+  /// and QueueDepth are mutually consistent (QueueDepth == Submitted -
+  /// Delivered at the snapshot instant). Safe to call at any time,
+  /// including during and after shutdown (the final counts stay
+  /// readable). Latency is measured submit() -> the moment the result
+  /// reaches its in-order delivery slot, over a bounded window of the
+  /// most recent LatencyWindow deliveries.
+  ServiceStats statsSnapshot() const;
+
+  /// Latency samples retained for statsSnapshot percentiles.
+  static constexpr std::size_t LatencyWindow = 4096;
+
   /// Current worker-thread count.
   unsigned workers() const;
   const Grammar &grammar() const { return G; }
@@ -194,18 +248,21 @@ private:
   struct Job {
     ir::IRFunction *F = nullptr;
     std::size_t Seq = 0;
+    std::uint64_t Tag = 0;
+    std::uint64_t SubmitNs = 0;
     std::promise<CompileResult> Promise;
   };
   /// A completed compilation parked until its turn in the delivery order.
   struct Parked {
     CompileResult R;
+    std::uint64_t Tag = 0;
+    std::uint64_t SubmitNs = 0;
     std::promise<CompileResult> Promise;
   };
 
   void start(unsigned Workers);
   void workerLoop(unsigned W);
-  void deliver(std::size_t Seq, CompileResult R,
-               std::promise<CompileResult> Promise);
+  void deliver(Job J, CompileResult R);
   /// Joins all workers; Stopping must already be set (under M) by the
   /// caller. Resets Stopping so the pool can be restarted.
   void joinWorkers();
@@ -225,6 +282,10 @@ private:
   std::condition_variable Idle;      ///< Signaled when Undelivered hits 0.
   std::deque<Job> Queue;
   std::map<std::size_t, Parked> ReorderBuffer;
+  /// Circular window of recent submit->delivery latencies (ns), guarded
+  /// by M; LatTotal counts lifetime samples.
+  std::vector<std::uint64_t> LatRing;
+  std::size_t LatTotal = 0;
   std::size_t NextSeq = 0;
   std::size_t NextDeliver = 0;
   std::size_t Undelivered = 0;

@@ -1,0 +1,163 @@
+//===- serve/Socket.cpp - Minimal POSIX TCP socket wrappers ---------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+using namespace odburg;
+using namespace odburg::serve;
+
+Socket &Socket::operator=(Socket &&RHS) noexcept {
+  if (this != &RHS) {
+    close();
+    Fd = RHS.Fd;
+    RHS.Fd = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+void Socket::shutdownBoth() {
+  if (Fd >= 0)
+    ::shutdown(Fd, SHUT_RDWR);
+}
+
+void Socket::shutdownWrite() {
+  if (Fd >= 0)
+    ::shutdown(Fd, SHUT_WR);
+}
+
+static Expected<sockaddr_in> resolve(const std::string &Host,
+                                     std::uint16_t Port) {
+  sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  std::string H = Host.empty() || Host == "localhost" ? "127.0.0.1" : Host;
+  if (inet_pton(AF_INET, H.c_str(), &Addr.sin_addr) != 1)
+    return Error::make("cannot parse IPv4 address '" + Host + "'");
+  return Addr;
+}
+
+Expected<Socket> Socket::listenOn(const std::string &Host, std::uint16_t Port,
+                                  int Backlog) {
+  Expected<sockaddr_in> Addr = resolve(Host, Port);
+  if (!Addr)
+    return Addr.takeError();
+  Socket S(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!S.valid())
+    return Error::make(std::string("socket: ") + std::strerror(errno));
+  int One = 1;
+  ::setsockopt(S.fd(), SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  if (::bind(S.fd(), reinterpret_cast<const sockaddr *>(&*Addr),
+             sizeof(*Addr)) != 0)
+    return Error::make("bind " + Host + ":" + std::to_string(Port) + ": " +
+                       std::strerror(errno));
+  if (::listen(S.fd(), Backlog) != 0)
+    return Error::make(std::string("listen: ") + std::strerror(errno));
+  return S;
+}
+
+Expected<Socket> Socket::connectTo(const std::string &Host,
+                                   std::uint16_t Port) {
+  Expected<sockaddr_in> Addr = resolve(Host, Port);
+  if (!Addr)
+    return Addr.takeError();
+  Socket S(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!S.valid())
+    return Error::make(std::string("socket: ") + std::strerror(errno));
+  int One = 1;
+  ::setsockopt(S.fd(), IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  if (::connect(S.fd(), reinterpret_cast<const sockaddr *>(&*Addr),
+                sizeof(*Addr)) != 0)
+    return Error::make("connect " + Host + ":" + std::to_string(Port) + ": " +
+                       std::strerror(errno));
+  return S;
+}
+
+Expected<Socket> Socket::accept() const {
+  for (;;) {
+    int C = ::accept(Fd, nullptr, nullptr);
+    if (C >= 0) {
+      Socket S(C);
+      int One = 1;
+      ::setsockopt(S.fd(), IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+      return S;
+    }
+    if (errno == EINTR)
+      continue;
+    return Error::make(std::string("accept: ") + std::strerror(errno));
+  }
+}
+
+Expected<std::uint16_t> Socket::boundPort() const {
+  sockaddr_in Addr;
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Addr), &Len) != 0)
+    return Error::make(std::string("getsockname: ") + std::strerror(errno));
+  return static_cast<std::uint16_t>(ntohs(Addr.sin_port));
+}
+
+bool Socket::writeAll(const void *Data, std::size_t Len) {
+  const char *P = static_cast<const char *>(Data);
+  while (Len > 0) {
+    // MSG_NOSIGNAL: a peer that vanished mid-write must surface as an
+    // error on this connection, not a process-wide SIGPIPE.
+    ssize_t N = ::send(Fd, P, Len, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    P += N;
+    Len -= static_cast<std::size_t>(N);
+  }
+  return true;
+}
+
+long Socket::readSome(void *Buf, std::size_t Len) {
+  for (;;) {
+    ssize_t N = ::recv(Fd, Buf, Len, 0);
+    if (N >= 0)
+      return static_cast<long>(N);
+    if (errno == EINTR)
+      continue;
+    return -1;
+  }
+}
+
+bool Socket::setRecvTimeout(unsigned Millis) {
+  timeval TV;
+  TV.tv_sec = Millis / 1000;
+  TV.tv_usec = static_cast<suseconds_t>((Millis % 1000) * 1000);
+  return ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &TV, sizeof(TV)) == 0;
+}
+
+SocketStreamBuf::int_type SocketStreamBuf::underflow() {
+  if (gptr() < egptr())
+    return traits_type::to_int_type(*gptr());
+  long N = S.readSome(Buf, sizeof(Buf));
+  if (N <= 0) {
+    Err = Err || N < 0;
+    return traits_type::eof();
+  }
+  setg(Buf, Buf, Buf + N);
+  return traits_type::to_int_type(*gptr());
+}

@@ -1,0 +1,115 @@
+//===- serve/Socket.h - Minimal POSIX TCP socket wrappers -----------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The thin socket layer under the network front: a move-only RAII fd
+/// with the handful of operations the server and the load-generator
+/// client need (listen/accept/connect, full writes without SIGPIPE,
+/// thread-safe severing via shutdown(2)), plus an input std::streambuf so
+/// ir::SExprFunctionStream — the wire-format reader — works over a
+/// connection exactly as it does over stdin. Deliberately blocking I/O:
+/// the server is thread-per-connection (see TcpServer.h), and blocking
+/// reads/writes are what propagate backpressure end to end.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_SERVE_SOCKET_H
+#define ODBURG_SERVE_SOCKET_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <streambuf>
+#include <string>
+#include <string_view>
+
+namespace odburg {
+namespace serve {
+
+/// Move-only RAII TCP socket. All operations are safe on an invalid
+/// socket (they fail cleanly). shutdownBoth() may be called from another
+/// thread while this thread blocks in accept/read/write — that is the
+/// supported way to sever a connection without racing close(2)'s fd
+/// reuse.
+class Socket {
+public:
+  Socket() = default;
+  explicit Socket(int Fd) : Fd(Fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket &&RHS) noexcept : Fd(RHS.Fd) { RHS.Fd = -1; }
+  Socket &operator=(Socket &&RHS) noexcept;
+  Socket(const Socket &) = delete;
+  Socket &operator=(const Socket &) = delete;
+
+  bool valid() const { return Fd >= 0; }
+  int fd() const { return Fd; }
+
+  /// Creates a listening socket bound to \p Host (a numeric IPv4 address,
+  /// or "localhost"; empty means 127.0.0.1) and \p Port (0 = ephemeral,
+  /// read the outcome with boundPort()).
+  static Expected<Socket> listenOn(const std::string &Host,
+                                   std::uint16_t Port, int Backlog = 128);
+
+  /// Connects to \p Host:\p Port (numeric IPv4 or "localhost").
+  static Expected<Socket> connectTo(const std::string &Host,
+                                    std::uint16_t Port);
+
+  /// Accepts one connection; blocks. Fails once the listener has been
+  /// severed with shutdownBoth() (the accept loop's exit path).
+  Expected<Socket> accept() const;
+
+  /// The locally bound port (after listenOn with Port 0).
+  Expected<std::uint16_t> boundPort() const;
+
+  /// Writes all of \p Data, retrying short writes; SIGPIPE-free. False on
+  /// any transport error (connection reset, severed socket).
+  bool writeAll(const void *Data, std::size_t Len);
+  bool writeAll(std::string_view S) { return writeAll(S.data(), S.size()); }
+
+  /// Reads up to \p Len bytes. >0: bytes read; 0: orderly EOF; <0: error.
+  long readSome(void *Buf, std::size_t Len);
+
+  /// Bounds blocking reads; 0 disables the timeout.
+  bool setRecvTimeout(unsigned Millis);
+
+  /// Severs both directions without closing the fd: blocked peers (and
+  /// our own blocked reader/writer threads) fail out immediately.
+  void shutdownBoth();
+  /// Half-close: no more writes from this side (the client's "input
+  /// done" signal; the server's responses keep flowing).
+  void shutdownWrite();
+
+  void close();
+
+private:
+  int Fd = -1;
+};
+
+/// Input streambuf over a socket, making a connection a std::istream for
+/// ir::SExprFunctionStream. An orderly close reads as end of input; a
+/// transport error also ends the stream but is distinguishable through
+/// hadError() — the server treats it as an abrupt disconnect, not a clean
+/// end of the function stream.
+class SocketStreamBuf : public std::streambuf {
+public:
+  explicit SocketStreamBuf(Socket &S) : S(S) {}
+
+  bool hadError() const { return Err; }
+
+protected:
+  int_type underflow() override;
+
+private:
+  Socket &S;
+  char Buf[8192];
+  bool Err = false;
+};
+
+} // namespace serve
+} // namespace odburg
+
+#endif // ODBURG_SERVE_SOCKET_H

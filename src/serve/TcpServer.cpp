@@ -1,0 +1,482 @@
+//===- serve/TcpServer.cpp - Socket front for the compile service ---------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/TcpServer.h"
+
+#include "support/StringUtil.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <istream>
+
+using namespace odburg;
+using namespace odburg::serve;
+
+/// One client connection: a reader thread (parse + submit), a writer
+/// thread (drain the bounded Out queue to the socket), and the accounting
+/// that ties the connection's lifetime to its deliveries.
+///
+/// Invariant the Live deque depends on: this connection submits to exactly
+/// one lane, and the lane delivers in global submission order — so this
+/// connection's deliveries arrive in this connection's submission order,
+/// and the function owning each in-flight tree is always Live.front() at
+/// its delivery. Functions must outlive their compilation (the service
+/// compiles in place), which is exactly Live's job; pop happens at
+/// delivery, after the compile finished.
+struct TcpServer::Conn {
+  std::uint64_t Id = 0;
+  Socket Sock;
+
+  std::mutex M;
+  std::condition_variable CanPush; ///< Out below its bound, or Dead.
+  std::condition_variable CanPop;  ///< Out non-empty, OutputDone, or Dead.
+  std::condition_variable DrainedCv; ///< Delivered caught up to Submitted.
+  /// Rendered responses awaiting the writer, bounded by MaxPendingWrites.
+  std::deque<std::string> Out;
+  /// Functions submitted and not yet delivered, in submission order.
+  std::deque<std::unique_ptr<ir::IRFunction>> Live;
+  std::uint64_t Submitted = 0;
+  std::uint64_t Delivered = 0;
+  /// Abrupt end (client disconnect, transport error, server stop): output
+  /// is abandoned, blocked pushers/writers release immediately.
+  bool Dead = false;
+  /// Reader is done and drained; the writer exits once Out empties.
+  bool OutputDone = false;
+
+  std::thread ReaderT; ///< Joined by the reaper (or stop()).
+  std::thread WriterT; ///< Joined by the reader's epilogue.
+  /// Set as the reader's last act; tells the reaper this Conn is joinable.
+  std::atomic<bool> Finished{false};
+};
+
+TcpServer::TcpServer(const targets::Target &T, Options Opts)
+    : T(T), Opts(std::move(Opts)) {}
+
+TcpServer::~TcpServer() { stop(); }
+
+Expected<std::unique_ptr<TcpServer>> TcpServer::start(const targets::Target &T,
+                                                      Options Opts) {
+  Expected<Socket> L = Socket::listenOn(Opts.Host, Opts.Port);
+  if (!L)
+    return L.takeError();
+  Expected<std::uint16_t> P = L->boundPort();
+  if (!P)
+    return P.takeError();
+  std::unique_ptr<TcpServer> S(new TcpServer(T, std::move(Opts)));
+  S->Listener = std::move(*L);
+  S->BoundPort = *P;
+  TcpServer *Srv = S.get();
+  S->AcceptThread = std::thread([Srv] { Srv->acceptLoop(); });
+  return S;
+}
+
+const Grammar &TcpServer::laneGrammar(BackendKind K) const {
+  // The offline lane always serves the stripped fixed-cost grammar (fixed
+  // tables cannot encode dynamic costs); ForceFixed levels the other two
+  // onto it so all lanes produce byte-identical assembly.
+  if (Opts.ForceFixed || K == BackendKind::Offline)
+    return T.Fixed;
+  return T.G;
+}
+
+const DynCostTable *TcpServer::laneDyn(BackendKind K) const {
+  if (Opts.ForceFixed || K == BackendKind::Offline)
+    return nullptr;
+  return &T.Dyn;
+}
+
+Expected<pipeline::CompileService *> TcpServer::lane(BackendKind K) {
+  std::lock_guard<std::mutex> L(LanesM);
+  std::unique_ptr<pipeline::CompileService> &Slot =
+      Lanes[static_cast<std::size_t>(K)];
+  if (Slot)
+    return Slot.get();
+  pipeline::CompileService::Options SO;
+  SO.Backend = K;
+  SO.BackendOpts = Opts.BackendOpts;
+  SO.Workers = Opts.Workers;
+  SO.QueueCapacity = Opts.QueueCapacity;
+  SO.OnResultTagged = [this](std::size_t, std::uint64_t Tag,
+                             const pipeline::CompileResult &R) {
+    dispatch(Tag, R);
+  };
+  Expected<std::unique_ptr<pipeline::CompileService>> S =
+      pipeline::CompileService::create(laneGrammar(K), laneDyn(K),
+                                       std::move(SO));
+  if (!S)
+    return S.takeError();
+  Slot = std::move(*S);
+  return Slot.get();
+}
+
+const pipeline::CompileService *TcpServer::laneService(BackendKind K) const {
+  std::lock_guard<std::mutex> L(LanesM);
+  return Lanes[static_cast<std::size_t>(K)].get();
+}
+
+unsigned TcpServer::connectionsActive() const {
+  std::lock_guard<std::mutex> L(ConnsM);
+  return static_cast<unsigned>(Conns.size());
+}
+
+bool TcpServer::pushOut(Conn &C, std::string Bytes) {
+  std::unique_lock<std::mutex> L(C.M);
+  // The slow-consumer backpressure point: a full Out queue blocks here,
+  // which blocks the lane's delivery sink, which fills the service's
+  // bounded queue, which blocks the readers feeding it. markDead releases
+  // the wait.
+  C.CanPush.wait(L, [&] {
+    return C.Dead || C.Out.size() < Opts.MaxPendingWrites;
+  });
+  if (C.Dead)
+    return false;
+  C.Out.push_back(std::move(Bytes));
+  C.CanPop.notify_one();
+  return true;
+}
+
+void TcpServer::markDead(Conn &C) {
+  {
+    std::lock_guard<std::mutex> L(C.M);
+    if (C.Dead)
+      return;
+    C.Dead = true;
+    C.Out.clear();
+  }
+  C.CanPush.notify_all();
+  C.CanPop.notify_all();
+  C.DrainedCv.notify_all();
+  // Severs (not closes) the socket: the reader and writer threads may be
+  // blocked in recv/send on it right now, and shutdown(2) is the
+  // thread-safe way to fail them out.
+  C.Sock.shutdownBoth();
+}
+
+void TcpServer::dispatch(std::uint64_t Tag, const pipeline::CompileResult &R) {
+  std::shared_ptr<Conn> C;
+  {
+    std::lock_guard<std::mutex> L(ConnsM);
+    auto It = Conns.find(Tag);
+    if (It != Conns.end())
+      C = It->second;
+  }
+  if (!C)
+    return; // Connection reaped before delivery; result dropped.
+
+  std::string Bytes;
+  if (R.ok()) {
+    Bytes = R.Asm;
+  } else {
+    // One diagnostic record per failed function, in its ordered slot.
+    // Responses are line-framed, so the diagnostic must stay one line.
+    std::string D = R.Diagnostic;
+    for (char &Ch : D)
+      if (Ch == '\n')
+        Ch = ' ';
+    Bytes = "ERROR compile: " + D + "\n";
+  }
+
+  // This delivery's function is Live.front() (per-connection deliveries
+  // arrive in per-connection submission order — see Conn). Freeing it here
+  // is safe: the compile is finished, only delivery remains.
+  std::unique_ptr<ir::IRFunction> DoneF;
+  {
+    std::lock_guard<std::mutex> L(C->M);
+    if (!C->Live.empty()) {
+      DoneF = std::move(C->Live.front());
+      C->Live.pop_front();
+    }
+  }
+
+  // Enqueue-or-drop and the Delivered increment are one critical section:
+  // once a client can observe the response bytes (they reached Out), any
+  // STATS snapshot already counts this delivery. Blocking happens here
+  // too (bounded queue) — the slow-consumer backpressure point; a dead
+  // connection drops the bytes but the delivery still counts, so
+  // drained-waiters see every submission resolve exactly once.
+  {
+    std::unique_lock<std::mutex> L(C->M);
+    C->CanPush.wait(L, [&] {
+      return C->Dead || C->Out.size() < Opts.MaxPendingWrites;
+    });
+    if (!C->Dead) {
+      C->Out.push_back(std::move(Bytes));
+      C->CanPop.notify_one();
+    }
+    ++C->Delivered;
+  }
+  C->DrainedCv.notify_all();
+}
+
+std::string TcpServer::statsJson(BackendKind K, Conn &C) {
+  pipeline::ServiceStats S;
+  {
+    std::lock_guard<std::mutex> L(LanesM);
+    if (const pipeline::CompileService *Svc =
+            Lanes[static_cast<std::size_t>(K)].get())
+      S = Svc->statsSnapshot();
+  }
+  std::uint64_t ConnSub = 0, ConnDel = 0;
+  {
+    std::lock_guard<std::mutex> L(C.M);
+    ConnSub = C.Submitted;
+    ConnDel = C.Delivered;
+  }
+  return formatf(
+      "STATS {\"backend\":\"%s\",\"submitted\":%zu,\"delivered\":%zu,"
+      "\"queueDepth\":%zu,\"workers\":%u,\"latencySamples\":%zu,"
+      "\"p50Us\":%.1f,\"p90Us\":%.1f,\"p99Us\":%.1f,"
+      "\"connSubmitted\":%llu,\"connDelivered\":%llu,"
+      "\"connectionsActive\":%u,\"connectionsAccepted\":%llu}\n",
+      backendName(K), S.Submitted, S.Delivered, S.QueueDepth, S.Workers,
+      S.LatencySamples, S.P50Us, S.P90Us, S.P99Us,
+      static_cast<unsigned long long>(ConnSub),
+      static_cast<unsigned long long>(ConnDel), connectionsActive(),
+      static_cast<unsigned long long>(connectionsAccepted()));
+}
+
+/// Flattens an error message onto one line for the wire.
+static std::string oneLine(std::string Msg) {
+  for (char &C : Msg)
+    if (C == '\n')
+      C = ' ';
+  return Msg;
+}
+
+void TcpServer::connReader(std::shared_ptr<Conn> C) {
+  SocketStreamBuf SB(C->Sock);
+  std::istream In(&SB);
+  BackendKind Kind = Opts.DefaultBackend;
+  ir::SExprFunctionStream Stream(In, laneGrammar(Kind));
+  Stream.setMaxFunctionBytes(Opts.MaxFrameBytes);
+  pipeline::CompileService *Svc = nullptr;
+
+  for (;;) {
+    auto F = std::make_unique<ir::IRFunction>();
+    Expected<ir::SExprFunctionStream::Item> I = Stream.nextItem(*F);
+    if (!I) {
+      // Parse errors are recoverable per function: the stream consumed
+      // the bad frame up to its blank-line boundary, so report the
+      // diagnostic record and keep serving. A poisoned stream (byte-cap
+      // overrun) or an I/O error broke framing — report and stop.
+      pushOut(*C, "ERROR parse: " + oneLine(I.message()) + "\n");
+      if (I.kind() == ErrorKind::MalformedInput && !Stream.poisoned())
+        continue;
+      break;
+    }
+    if (*I == ir::SExprFunctionStream::Item::End)
+      break;
+
+    if (*I == ir::SExprFunctionStream::Item::Control) {
+      const std::string &Line = Stream.controlLine();
+      if (Line == "STATS") {
+        // Warm the lane so STATS reports the real worker pool even before
+        // the first function. Out-of-band: the snapshot is pushed now, not
+        // in order with pending compile results.
+        if (Svc || lane(Kind))
+          pushOut(*C, statsJson(Kind, *C));
+        else
+          pushOut(*C, "ERROR backend: cannot create '" +
+                          std::string(backendName(Kind)) + "' lane\n");
+        continue;
+      }
+      if (startsWith(Line, "BACKEND ")) {
+        if (Svc) {
+          pushOut(*C, "ERROR protocol: BACKEND must precede the first "
+                      "function\n");
+          continue;
+        }
+        std::string_view Name = trim(std::string_view(Line).substr(8));
+        Expected<BackendKind> K = parseBackendKind(Name);
+        if (!K) {
+          pushOut(*C, "ERROR protocol: " + oneLine(K.message()) + "\n");
+          continue;
+        }
+        // Bind the lane now: grammar switches (offline/ForceFixed serve
+        // the stripped grammar) must happen before any function parses,
+        // and a lane the server cannot build should fail the handshake,
+        // not the first compile.
+        Expected<pipeline::CompileService *> L = lane(*K);
+        if (!L) {
+          pushOut(*C, "ERROR backend: " + oneLine(L.message()) + "\n");
+          break;
+        }
+        Kind = *K;
+        Svc = *L;
+        Stream.rebind(laneGrammar(Kind));
+        continue;
+      }
+      pushOut(*C, "ERROR protocol: unknown request '" + Line + "'\n");
+      continue;
+    }
+
+    // A function. Bind the default lane on first use.
+    if (!Svc) {
+      Expected<pipeline::CompileService *> L = lane(Kind);
+      if (!L) {
+        pushOut(*C, "ERROR backend: " + oneLine(L.message()) + "\n");
+        break;
+      }
+      Svc = *L;
+    }
+    ir::IRFunction &Ref = *F;
+    {
+      std::lock_guard<std::mutex> L(C->M);
+      C->Live.push_back(std::move(F));
+      ++C->Submitted;
+    }
+    Expected<std::future<pipeline::CompileResult>> Fut = Svc->submit(Ref, C->Id);
+    if (!Fut) {
+      // Shutdown raced the submission; nothing was enqueued for this
+      // function, so un-count it. It is still Live.back(): this reader is
+      // the only pusher, and deliveries only pop the front.
+      {
+        std::lock_guard<std::mutex> L(C->M);
+        C->Live.pop_back();
+        --C->Submitted;
+      }
+      break;
+    }
+    // The future is intentionally dropped: the tagged sink delivers.
+  }
+
+  // Input is done (EOF, half-close, fatal input error, or severed socket).
+  // Wait for every accepted submission to resolve — delivered to Out, or
+  // dropped against a dead connection; both count — before letting the
+  // writer finish. The Live deque must not die before the lane is done
+  // compiling its functions, and Delivered == Submitted is exactly that.
+  {
+    std::unique_lock<std::mutex> L(C->M);
+    C->DrainedCv.wait(L, [&] { return C->Delivered >= C->Submitted; });
+    C->OutputDone = true;
+  }
+  C->CanPop.notify_all();
+  if (C->WriterT.joinable())
+    C->WriterT.join();
+  C->Sock.shutdownBoth();
+  C->Finished.store(true);
+}
+
+void TcpServer::connWriter(std::shared_ptr<Conn> C) {
+  for (;;) {
+    std::string Bytes;
+    {
+      std::unique_lock<std::mutex> L(C->M);
+      C->CanPop.wait(L, [&] {
+        return C->Dead || !C->Out.empty() || C->OutputDone;
+      });
+      if (C->Dead)
+        return;
+      if (C->Out.empty())
+        return; // OutputDone and drained: orderly end of responses.
+      Bytes = std::move(C->Out.front());
+      C->Out.pop_front();
+    }
+    C->CanPush.notify_one();
+    if (!C->Sock.writeAll(Bytes)) {
+      // Peer vanished mid-write: abandon this connection's output. The
+      // reader fails out via the severed socket; undelivered results drop.
+      markDead(*C);
+      return;
+    }
+  }
+}
+
+void TcpServer::reapFinished() {
+  // Runs on the accept thread only (as does registration), so the map
+  // mutates from one thread and readers-of-the-map (dispatch, stats) just
+  // lock. Joining outside ConnsM keeps dispatch unblocked.
+  std::vector<std::shared_ptr<Conn>> Done;
+  {
+    std::lock_guard<std::mutex> L(ConnsM);
+    for (auto It = Conns.begin(); It != Conns.end();) {
+      if (It->second->Finished.load()) {
+        Done.push_back(It->second);
+        It = Conns.erase(It);
+      } else {
+        ++It;
+      }
+    }
+  }
+  for (const std::shared_ptr<Conn> &C : Done)
+    if (C->ReaderT.joinable())
+      C->ReaderT.join();
+}
+
+void TcpServer::acceptLoop() {
+  for (;;) {
+    Expected<Socket> S = Listener.accept();
+    if (!S) {
+      S.takeError().consume();
+      if (Stopping.load())
+        break;
+      // Transient accept failure (EMFILE and friends): back off briefly
+      // rather than spinning.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      if (Stopping.load())
+        break;
+      continue;
+    }
+    auto C = std::make_shared<Conn>();
+    C->Sock = std::move(*S);
+    {
+      std::lock_guard<std::mutex> L(ConnsM);
+      C->Id = NextConnId++;
+      Conns.emplace(C->Id, C);
+    }
+    Accepted.fetch_add(1);
+    C->WriterT = std::thread([this, C] { connWriter(C); });
+    C->ReaderT = std::thread([this, C] { connReader(C); });
+    reapFinished();
+  }
+}
+
+void TcpServer::stop() {
+  std::lock_guard<std::mutex> SL(StopM);
+  if (StopDone)
+    return;
+  Stopping.store(true);
+
+  // 1. No new connections: sever the listener (fails the blocked accept)
+  //    and join the accept thread. After this the connection map only
+  //    shrinks — registration and reaping both lived on that thread.
+  Listener.shutdownBoth();
+  if (AcceptThread.joinable())
+    AcceptThread.join();
+
+  // 2. Sever every connection. This releases every blocked thread in the
+  //    backpressure chain: writers blocked in send fail out, delivery
+  //    sinks blocked on full Out queues drop, the freed service queues
+  //    unblock readers stuck in submit.
+  std::vector<std::shared_ptr<Conn>> All;
+  {
+    std::lock_guard<std::mutex> L(ConnsM);
+    for (auto &KV : Conns)
+      All.push_back(KV.second);
+  }
+  for (const std::shared_ptr<Conn> &C : All)
+    markDead(*C);
+
+  // 3. Join the readers (each joins its writer). Connections stay in the
+  //    map meanwhile so in-flight deliveries keep resolving against them —
+  //    the readers' drain waits depend on it.
+  for (const std::shared_ptr<Conn> &C : All)
+    if (C->ReaderT.joinable())
+      C->ReaderT.join();
+  {
+    std::lock_guard<std::mutex> L(ConnsM);
+    Conns.clear();
+  }
+
+  // 4. Quiesce the lanes. Everything submitted was already delivered (the
+  //    reader epilogues waited on it), so this is a clean join.
+  for (std::unique_ptr<pipeline::CompileService> &L : Lanes)
+    if (L)
+      L->shutdown();
+  Listener.close();
+  StopDone = true;
+}

@@ -1,0 +1,175 @@
+//===- serve/TcpServer.h - Socket front for the compile service -----------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The network layer over pipeline::CompileService: a TCP server
+/// multiplexing many client connections onto long-lived per-backend
+/// compile services for one target — ROADMAP item 1, the "heavy traffic"
+/// shape of the paper's amortization argument. One automaton (or table
+/// set) per backend serves every connection, so each new client starts
+/// warm.
+///
+/// Threading model: thread-per-connection (one reader, one writer), plus
+/// one accept thread — the simplest shape that makes backpressure
+/// end-to-end: a slow client's TCP window stalls its writer, the writer
+/// stalls the bounded per-connection output queue, a full output queue
+/// stalls that lane's ordered delivery, and the service's bounded
+/// submission queue stalls the readers feeding it. Nothing is unbounded.
+///
+/// Wire protocol (line-oriented, the odburg-serve stdin format plus two
+/// control requests):
+///
+///   client -> server
+///     BACKEND dp|offline|ondemand   optional handshake, before the first
+///                                   function; selects this connection's
+///                                   labeling backend (default ondemand)
+///     STATS                         request a metrics snapshot, any time
+///     <s-expr function frames>      blank-line separated, as produced by
+///                                   odburg-run --dump-corpus
+///     (half-close / EOF)            input done; the server finishes
+///                                   delivering this connection's results,
+///                                   then closes
+///
+///   server -> client (per-connection, compile results in submission
+///   order)
+///     <assembly bytes>              one block per ok function, in this
+///                                   connection's submission order
+///     ERROR <kind>: <message>\n     diagnostic record: parse errors
+///                                   (function skipped, connection stays
+///                                   alive), per-function compile
+///                                   failures (in their ordered slot),
+///                                   protocol misuse
+///     STATS {<json>}\n              one-line metrics snapshot of this
+///                                   connection's lane: submitted,
+///                                   delivered, queue depth, p50/p90/p99
+///                                   submit->delivery latency,
+///                                   per-connection and server counters
+///
+/// Failure semantics: a malformed function is skipped with a diagnostic
+/// record and the connection keeps serving; a frame over the byte cap
+/// poisons framing and closes the connection; an abrupt client disconnect
+/// cancels that connection's undelivered results (already-queued work
+/// still compiles but its delivery is dropped) without disturbing other
+/// connections; stop() severs every connection, drains the services, and
+/// joins every thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_SERVE_TCPSERVER_H
+#define ODBURG_SERVE_TCPSERVER_H
+
+#include "ir/SExprParser.h"
+#include "pipeline/CompileService.h"
+#include "serve/Socket.h"
+#include "targets/Target.h"
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+namespace odburg {
+namespace serve {
+
+class TcpServer {
+public:
+  struct Options {
+    /// Listen address (numeric IPv4 or "localhost").
+    std::string Host = "127.0.0.1";
+    /// Listen port; 0 = ephemeral (read the outcome with port()).
+    std::uint16_t Port = 0;
+    /// Serve the stripped fixed-cost grammar on every backend (offline
+    /// always does; this levels dp/ondemand onto it so all three lanes
+    /// produce byte-identical assembly).
+    bool ForceFixed = false;
+    /// Per-lane CompileService worker-pool size (0 = hardware).
+    unsigned Workers = 0;
+    /// Per-lane service submission bound (0 = service default).
+    std::size_t QueueCapacity = 0;
+    /// Byte cap per function frame on every connection.
+    std::size_t MaxFrameBytes = ir::SExprFunctionStream::DefaultMaxFunctionBytes;
+    /// Bound on rendered-but-unwritten results per connection; a full
+    /// queue blocks that lane's delivery (the slow-consumer backpressure
+    /// point).
+    std::size_t MaxPendingWrites = 256;
+    /// Lane used by connections that skip the BACKEND handshake.
+    BackendKind DefaultBackend = BackendKind::OnDemand;
+    /// Tunables for lazily created lane backends.
+    LabelerBackend::Options BackendOpts;
+  };
+
+  /// Binds, listens, and starts accepting. \p T must outlive the server.
+  static Expected<std::unique_ptr<TcpServer>> start(const targets::Target &T,
+                                                    Options Opts);
+
+  TcpServer(const TcpServer &) = delete;
+  TcpServer &operator=(const TcpServer &) = delete;
+
+  /// stop()s if still running.
+  ~TcpServer();
+
+  /// The bound listen port.
+  std::uint16_t port() const { return BoundPort; }
+
+  /// Stops accepting, severs every connection, waits for every accepted
+  /// submission to finish (delivered or dropped), shuts the lane services
+  /// down, and joins all threads. Idempotent; safe to call concurrently
+  /// with active traffic — blocked submitters and blocked writers are
+  /// released, never deadlocked.
+  void stop();
+
+  /// Lifetime count of accepted connections.
+  std::uint64_t connectionsAccepted() const { return Accepted.load(); }
+  /// Currently registered (not yet reaped) connections.
+  unsigned connectionsActive() const;
+  /// The lane service for \p K if a connection has created it (tests and
+  /// metrics); null otherwise.
+  const pipeline::CompileService *laneService(BackendKind K) const;
+
+private:
+  struct Conn;
+
+  TcpServer(const targets::Target &T, Options Opts);
+
+  void acceptLoop();
+  void connReader(std::shared_ptr<Conn> C);
+  void connWriter(std::shared_ptr<Conn> C);
+  void dispatch(std::uint64_t Tag, const pipeline::CompileResult &R);
+  Expected<pipeline::CompileService *> lane(BackendKind K);
+  const Grammar &laneGrammar(BackendKind K) const;
+  const DynCostTable *laneDyn(BackendKind K) const;
+  std::string statsJson(BackendKind K, Conn &C);
+  bool pushOut(Conn &C, std::string Bytes);
+  void markDead(Conn &C);
+  void reapFinished();
+
+  const targets::Target &T;
+  Options Opts;
+  Socket Listener;
+  std::uint16_t BoundPort = 0;
+  std::thread AcceptThread;
+
+  mutable std::mutex LanesM;
+  std::array<std::unique_ptr<pipeline::CompileService>, 3> Lanes;
+
+  mutable std::mutex ConnsM;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Conn>> Conns;
+  std::uint64_t NextConnId = 1;
+
+  std::atomic<std::uint64_t> Accepted{0};
+  std::atomic<bool> Stopping{false};
+  std::mutex StopM;
+  bool StopDone = false;
+};
+
+} // namespace serve
+} // namespace odburg
+
+#endif // ODBURG_SERVE_TCPSERVER_H

@@ -219,3 +219,122 @@ TEST_F(SExprTest, FunctionStreamRoundTripsGeneratedCorpus) {
   IRFunction Tail;
   EXPECT_FALSE(cantFail(Stream.next(Tail)));
 }
+
+TEST_F(SExprTest, FunctionStreamEnforcesFrameByteCap) {
+  // An unterminated frame past the byte cap fails typed, poisons the
+  // stream (framing is lost mid-frame), and memory stays bounded by the
+  // cap — the guard behind the socket server's untrusted inputs.
+  std::string Endless = "(Store (Reg 1) (Reg 2))\n";
+  while (Endless.size() < 4096)
+    Endless += "(Store (Reg 1) (Reg 2))\n"; // Never a blank line.
+  std::istringstream In(Endless);
+  SExprFunctionStream Stream(In, *G);
+  Stream.setMaxFunctionBytes(512);
+
+  IRFunction F;
+  Expected<bool> Next = Stream.next(F);
+  ASSERT_FALSE(static_cast<bool>(Next));
+  EXPECT_EQ(Next.kind(), ErrorKind::MalformedInput);
+  EXPECT_NE(Next.message().find("byte cap"), std::string::npos)
+      << Next.message();
+  EXPECT_TRUE(Stream.poisoned());
+
+  // Under the cap: the same text chunked into blank-line-separated
+  // frames streams through untouched.
+  std::istringstream In2(
+      "(Store (Reg 1) (Reg 2))\n\n(Store (Reg 3) (Reg 4))\n");
+  SExprFunctionStream Ok(In2, *G);
+  Ok.setMaxFunctionBytes(512);
+  IRFunction F1, F2, F3;
+  EXPECT_TRUE(cantFail(Ok.next(F1)));
+  EXPECT_TRUE(cantFail(Ok.next(F2)));
+  EXPECT_FALSE(cantFail(Ok.next(F3)));
+  EXPECT_FALSE(Ok.poisoned());
+}
+
+TEST_F(SExprTest, FunctionStreamCapCatchesOneEndlessLine) {
+  // The cap must fire even when the frame is a single line with no
+  // newline at all (std::getline-style readers balloon here).
+  std::string OneLine(8192, 'x');
+  std::istringstream In(OneLine);
+  SExprFunctionStream Stream(In, *G);
+  Stream.setMaxFunctionBytes(1024);
+
+  IRFunction F;
+  Expected<bool> Next = Stream.next(F);
+  ASSERT_FALSE(static_cast<bool>(Next));
+  EXPECT_EQ(Next.kind(), ErrorKind::MalformedInput);
+  EXPECT_NE(Next.message().find("byte cap"), std::string::npos);
+  EXPECT_TRUE(Stream.poisoned());
+}
+
+TEST_F(SExprTest, NextItemRecognizesControlLinesOutsideFramesOnly) {
+  // The socket dialect: a line outside any frame that cannot start an
+  // s-expression or comment is a control unit — no blank-line separator
+  // needed. Inside a frame the same text stays function text (and fails
+  // in the parser), so framing is unchanged.
+  std::istringstream In("BACKEND dp\n"
+                        "(Store (Reg 1) (Reg 2))\n"
+                        "STATS\n" // Inside the frame: NOT control.
+                        "(Store (Reg 3) (Reg 4))\n"
+                        "\n"
+                        "STATS\n" // Outside: control, own unit.
+                        "(Store (Reg 5) (Reg 6))\n");
+  SExprFunctionStream Stream(In, *G);
+  using Item = SExprFunctionStream::Item;
+
+  IRFunction F1;
+  ASSERT_EQ(cantFail(Stream.nextItem(F1)), Item::Control);
+  EXPECT_EQ(Stream.controlLine(), "BACKEND dp");
+
+  // The frame with the embedded "STATS" line is one unit and malformed.
+  IRFunction F2;
+  Expected<Item> Bad = Stream.nextItem(F2);
+  ASSERT_FALSE(static_cast<bool>(Bad));
+  EXPECT_EQ(Bad.kind(), ErrorKind::MalformedInput);
+
+  IRFunction F3;
+  ASSERT_EQ(cantFail(Stream.nextItem(F3)), Item::Control);
+  EXPECT_EQ(Stream.controlLine(), "STATS");
+
+  IRFunction F4;
+  ASSERT_EQ(cantFail(Stream.nextItem(F4)), Item::Function);
+  ASSERT_EQ(F4.roots().size(), 1u);
+
+  IRFunction F5;
+  EXPECT_EQ(cantFail(Stream.nextItem(F5)), Item::End);
+
+  // next() (the stdin dialect) must NOT speak control: the same leading
+  // line is just a parse error there.
+  std::istringstream In2("BACKEND dp\n\n(Store (Reg 1) (Reg 2))\n");
+  SExprFunctionStream Plain(In2, *G);
+  IRFunction P1;
+  Expected<bool> Err = Plain.next(P1);
+  ASSERT_FALSE(static_cast<bool>(Err));
+  EXPECT_EQ(Err.kind(), ErrorKind::MalformedInput);
+  IRFunction P2;
+  EXPECT_TRUE(cantFail(Plain.next(P2)));
+}
+
+TEST_F(SExprTest, RebindSwitchesGrammarsMidStream) {
+  // The server rebinds after a BACKEND handshake picks a lane whose
+  // grammar differs (offline serves the stripped grammar). Subsequent
+  // frames parse against the new grammar.
+  Grammar Other = cantFail(parseGrammar(R"(
+    %start reg
+    reg: Widget(reg, reg) (1);
+    reg: Reg (0);
+  )"));
+  std::istringstream In("(Store (Reg 1) (Reg 2))\n"
+                        "\n"
+                        "(Widget (Reg 1) (Reg 2))\n");
+  SExprFunctionStream Stream(In, *G);
+  IRFunction F1;
+  ASSERT_TRUE(cantFail(Stream.next(F1)));
+
+  Stream.rebind(Other);
+  IRFunction F2;
+  ASSERT_TRUE(cantFail(Stream.next(F2)));
+  ASSERT_EQ(F2.roots().size(), 1u);
+  EXPECT_EQ(toSExpr(F2.roots()[0], Other), "(Widget (Reg 1) (Reg 2))");
+}

@@ -423,3 +423,175 @@ TEST(CompileService, ShutdownRacesBlockedSubmitters) {
   EXPECT_EQ(Accepted.load() + Rejected.load(), Producers * PerProducer);
   EXPECT_GE(Accepted.load(), 3u);
 }
+
+TEST(CompileService, StatsSnapshotIsMonotonicAndConsistentUnderLoad) {
+  // statsSnapshot() taken from a hostile sampler thread while 4 producers
+  // hammer the service: every snapshot must be internally consistent
+  // (QueueDepth == Submitted - Delivered, within the queue bound) and the
+  // counter sequence must be monotone across snapshots — a torn read of
+  // the counters would show up as either.
+  auto T = cantFail(makeTarget("x86"));
+  constexpr unsigned Producers = 4;
+  constexpr unsigned PerProducer = 24;
+  constexpr std::size_t Capacity = 6;
+  std::vector<std::vector<ir::IRFunction>> Corpora;
+  for (unsigned P = 0; P < Producers; ++P)
+    Corpora.push_back(makeCorpus(T->G, PerProducer, 300));
+
+  CompileService::Options Opts;
+  Opts.Workers = 2;
+  Opts.QueueCapacity = Capacity;
+  std::unique_ptr<CompileService> Svc =
+      cantFail(CompileService::create(T->G, &T->Dyn, std::move(Opts)));
+
+  std::atomic<bool> Done{false};
+  std::atomic<unsigned> Violations{0};
+  std::thread Sampler([&] {
+    std::size_t LastSubmitted = 0, LastDelivered = 0;
+    while (!Done.load()) {
+      ServiceStats S = Svc->statsSnapshot();
+      if (S.Delivered > S.Submitted)
+        Violations.fetch_add(1);
+      if (S.QueueDepth != S.Submitted - S.Delivered)
+        Violations.fetch_add(1);
+      if (S.QueueDepth > Capacity)
+        Violations.fetch_add(1);
+      if (S.Submitted < LastSubmitted || S.Delivered < LastDelivered)
+        Violations.fetch_add(1);
+      if (S.P50Us > S.P90Us || S.P90Us > S.P99Us)
+        Violations.fetch_add(1);
+      if (S.Workers != 2)
+        Violations.fetch_add(1);
+      LastSubmitted = S.Submitted;
+      LastDelivered = S.Delivered;
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> Threads;
+  for (unsigned P = 0; P < Producers; ++P)
+    Threads.emplace_back([&, P] {
+      for (ir::IRFunction &F : Corpora[P])
+        cantFail(Svc->submit(F));
+    });
+  for (std::thread &Th : Threads)
+    Th.join();
+  Svc->drain();
+  Done.store(true);
+  Sampler.join();
+
+  EXPECT_EQ(Violations.load(), 0u);
+  ServiceStats Final = Svc->statsSnapshot();
+  EXPECT_EQ(Final.Submitted, Producers * PerProducer);
+  EXPECT_EQ(Final.Delivered, Producers * PerProducer);
+  EXPECT_EQ(Final.QueueDepth, 0u);
+  EXPECT_EQ(Final.LatencySamples,
+            std::min<std::size_t>(Producers * PerProducer,
+                                  CompileService::LatencyWindow));
+  // Real work happened, so the window has real latencies in order.
+  EXPECT_GT(Final.P50Us, 0.0);
+  EXPECT_LE(Final.P50Us, Final.P90Us);
+  EXPECT_LE(Final.P90Us, Final.P99Us);
+}
+
+TEST(CompileService, StatsSnapshotDuringAndAfterShutdownStaysCoherent) {
+  // A sampler racing shutdown() must keep seeing coherent snapshots, and
+  // the final counts stay readable from the stopped service.
+  auto T = cantFail(makeTarget("vm64"));
+  constexpr unsigned N = 20;
+  std::vector<ir::IRFunction> Corpus = makeCorpus(T->G, N, 300);
+
+  CompileService::Options Opts;
+  Opts.Workers = 2;
+  Opts.QueueCapacity = 4;
+  std::unique_ptr<CompileService> Svc =
+      cantFail(CompileService::create(T->G, &T->Dyn, std::move(Opts)));
+
+  std::atomic<bool> Done{false};
+  std::atomic<unsigned> Violations{0};
+  std::thread Sampler([&] {
+    while (!Done.load()) {
+      ServiceStats S = Svc->statsSnapshot();
+      if (S.Delivered > S.Submitted ||
+          S.QueueDepth != S.Submitted - S.Delivered)
+        Violations.fetch_add(1);
+    }
+  });
+
+  std::size_t Accepted = 0;
+  std::thread Producer([&] {
+    for (ir::IRFunction &F : Corpus) {
+      Expected<std::future<CompileResult>> Fut = Svc->submit(F);
+      if (!Fut)
+        break;
+      ++Accepted;
+    }
+  });
+  while (Svc->delivered() < 2)
+    std::this_thread::yield();
+  Svc->shutdown();
+  Producer.join();
+  Done.store(true);
+  Sampler.join();
+
+  EXPECT_EQ(Violations.load(), 0u);
+  ServiceStats Final = Svc->statsSnapshot();
+  EXPECT_EQ(Final.Submitted, Accepted);
+  EXPECT_EQ(Final.Delivered, Accepted);
+  EXPECT_EQ(Final.QueueDepth, 0u);
+  EXPECT_EQ(Final.Workers, 0u);
+  EXPECT_EQ(Final.LatencySamples, std::min<std::size_t>(
+                                      Accepted, CompileService::LatencyWindow));
+}
+
+TEST(CompileService, TaggedSinkRoutesEverySubmissionInOrder) {
+  // The multiplexing contract under the socket server: OnResultTagged
+  // hands back each submission's tag in global submission order, so a
+  // server keying tags by connection can rely on per-tag delivery order.
+  auto T = cantFail(makeTarget("x86"));
+  constexpr unsigned Producers = 3;
+  constexpr unsigned PerProducer = 12;
+  std::vector<std::vector<ir::IRFunction>> Corpora;
+  for (unsigned P = 0; P < Producers; ++P)
+    Corpora.push_back(makeCorpus(T->G, PerProducer, 200));
+
+  std::vector<std::vector<std::size_t>> SeqsByTag(Producers);
+  CompileService::Options Opts;
+  Opts.Workers = 3;
+  Opts.QueueCapacity = 4;
+  Opts.OnResultTagged = [&](std::size_t Seq, std::uint64_t Tag,
+                            const CompileResult &R) {
+    // Serialized by the delivery contract (one callback at a time, in
+    // seq order), so plain vectors are safe here.
+    ASSERT_LT(Tag, Producers);
+    ASSERT_TRUE(R.ok());
+    SeqsByTag[Tag].push_back(Seq);
+  };
+  std::unique_ptr<CompileService> Svc =
+      cantFail(CompileService::create(T->G, &T->Dyn, std::move(Opts)));
+
+  std::vector<std::thread> Threads;
+  for (unsigned P = 0; P < Producers; ++P)
+    Threads.emplace_back([&, P] {
+      for (ir::IRFunction &F : Corpora[P])
+        cantFail(Svc->submit(F, P));
+    });
+  for (std::thread &Th : Threads)
+    Th.join();
+  Svc->drain();
+
+  // Every tag saw exactly its own submissions, each tag's seqs ascend
+  // (per-tag delivery order == per-tag submission order), and the union
+  // covers every seq exactly once.
+  std::vector<bool> Seen(Producers * PerProducer, false);
+  for (unsigned P = 0; P < Producers; ++P) {
+    EXPECT_EQ(SeqsByTag[P].size(), PerProducer);
+    for (std::size_t I = 1; I < SeqsByTag[P].size(); ++I)
+      EXPECT_LT(SeqsByTag[P][I - 1], SeqsByTag[P][I]);
+    for (std::size_t Seq : SeqsByTag[P]) {
+      ASSERT_LT(Seq, Seen.size());
+      EXPECT_FALSE(Seen[Seq]);
+      Seen[Seq] = true;
+    }
+  }
+}

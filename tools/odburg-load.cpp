@@ -1,0 +1,470 @@
+//===- tools/odburg-load.cpp - Concurrent load generator for odburg-serve -===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives a running `odburg-serve --listen` with N concurrent connections
+/// and validates every byte that comes back. Each connection:
+///
+///   1. optionally sends the `BACKEND <kind>` handshake;
+///   2. streams its corpus (blank-line-framed s-expression functions);
+///   3. reads exactly the expected assembly and compares it byte-for-byte
+///      against the reference — the server's ordered-delivery promise is
+///      per connection, so any reordering, loss, or cross-connection
+///      bleed is a hard failure;
+///   4. requests `STATS` (after all assembly arrived, so the out-of-band
+///      reply cannot interleave with result bytes) and checks the
+///      counters are live;
+///   5. half-closes and expects orderly EOF.
+///
+/// Two corpus modes: `--corpus`/`--reference` replays files produced by
+/// odburg-run (`--dump-corpus` / `--emit-asm`) — the CI end-to-end smoke;
+/// without them each connection generates its own mixed-size synthetic
+/// corpus (profile and function sizes vary by connection index) and
+/// computes its reference assembly locally through the same pipeline the
+/// server runs, so validation needs no prior artifacts.
+///
+/// Exit status: 0 when every connection validated, 1 on any mismatch,
+/// transport error, or dead STATS counters, 2 on bad usage.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/Node.h"
+#include "pipeline/CompileSession.h"
+#include "serve/Socket.h"
+#include "support/StringUtil.h"
+#include "support/Timer.h"
+#include "targets/Target.h"
+#include "workload/Synthetic.h"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace odburg;
+using namespace odburg::serve;
+using namespace odburg::targets;
+
+namespace {
+
+struct LoadOptions {
+  std::string Host = "127.0.0.1";
+  unsigned Port = 0;
+  unsigned Connections = 8;
+  /// Send the BACKEND handshake when set.
+  bool PickBackend = false;
+  BackendKind Backend = BackendKind::OnDemand;
+  /// File mode: replay this corpus and expect exactly this reference.
+  std::string CorpusPath;
+  std::string ReferencePath;
+  /// Self-generating mode: target + per-connection synthetic corpora.
+  std::string Target = "x86";
+  bool ForceFixed = false;
+  unsigned Functions = 24;
+  /// Request and validate a STATS line per connection.
+  bool Stats = true;
+  unsigned TimeoutMillis = 60000;
+};
+
+int usage(const char *Argv0, int Exit) {
+  std::fprintf(
+      Exit == 0 ? stdout : stderr,
+      "usage: %s --connect=HOST:PORT [options]\n"
+      "\n"
+      "Load-tests a running `odburg-serve --listen` server: N concurrent\n"
+      "connections, each validating its responses byte-for-byte against\n"
+      "reference assembly, then checking a STATS snapshot.\n"
+      "\n"
+      "  --connect=HOST:PORT   the server (required)\n"
+      "  --connections=N       concurrent connections (default 8)\n"
+      "  --backend=NAME        send a 'BACKEND NAME' handshake per\n"
+      "                        connection (dp, offline, ondemand);\n"
+      "                        default: none (server default lane)\n"
+      "  --corpus=PATH         replay this wire-format corpus on every\n"
+      "                        connection (from odburg-run --dump-corpus)\n"
+      "  --reference=PATH      the assembly every connection must receive\n"
+      "                        (from odburg-run --emit-asm); required with\n"
+      "                        --corpus\n"
+      "  --target=NAME         self-generating mode: target grammar the\n"
+      "                        server runs (default x86)\n"
+      "  --fixed               self-generating mode: the server serves the\n"
+      "                        fixed-cost grammar (--fixed /\n"
+      "                        --backend=offline); compute references\n"
+      "                        against it\n"
+      "  --functions=N         self-generating mode: functions per\n"
+      "                        connection (default 24)\n"
+      "  --no-stats            skip the per-connection STATS check\n"
+      "  --timeout=MILLIS      per-read socket timeout (default 60000)\n"
+      "  --help                this text\n",
+      Argv0);
+  return Exit;
+}
+
+bool parseArgs(int Argc, char **Argv, LoadOptions &Opts, int &ExitCode) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string_view Arg = Argv[I];
+    auto Value = [&Arg](std::string_view Prefix) {
+      return Arg.substr(Prefix.size());
+    };
+    if (Arg == "--help" || Arg == "-h") {
+      ExitCode = usage(Argv[0], 0);
+      return false;
+    }
+    if (startsWith(Arg, "--connect=")) {
+      std::string_view V = Value("--connect=");
+      std::size_t Colon = V.rfind(':');
+      if (Colon == std::string_view::npos ||
+          !parseUnsigned(V.substr(Colon + 1), Opts.Port) || Opts.Port == 0 ||
+          Opts.Port > 65535) {
+        std::fprintf(stderr, "invalid --connect (need HOST:PORT)\n");
+        ExitCode = usage(Argv[0], 2);
+        return false;
+      }
+      Opts.Host = std::string(V.substr(0, Colon));
+    } else if (startsWith(Arg, "--connections=")) {
+      if (!parseUnsigned(Value("--connections="), Opts.Connections) ||
+          Opts.Connections == 0) {
+        std::fprintf(stderr, "invalid --connections value\n");
+        ExitCode = usage(Argv[0], 2);
+        return false;
+      }
+    } else if (startsWith(Arg, "--backend=")) {
+      Expected<BackendKind> K = parseBackendKind(trim(Value("--backend=")));
+      if (!K) {
+        std::fprintf(stderr, "error: %s\n", K.message().c_str());
+        ExitCode = usage(Argv[0], 2);
+        return false;
+      }
+      Opts.Backend = *K;
+      Opts.PickBackend = true;
+    } else if (startsWith(Arg, "--corpus=")) {
+      Opts.CorpusPath = std::string(Value("--corpus="));
+    } else if (startsWith(Arg, "--reference=")) {
+      Opts.ReferencePath = std::string(Value("--reference="));
+    } else if (startsWith(Arg, "--target=")) {
+      Opts.Target = std::string(Value("--target="));
+    } else if (Arg == "--fixed") {
+      Opts.ForceFixed = true;
+    } else if (startsWith(Arg, "--functions=")) {
+      if (!parseUnsigned(Value("--functions="), Opts.Functions) ||
+          Opts.Functions == 0) {
+        std::fprintf(stderr, "invalid --functions value\n");
+        ExitCode = usage(Argv[0], 2);
+        return false;
+      }
+    } else if (Arg == "--no-stats") {
+      Opts.Stats = false;
+    } else if (startsWith(Arg, "--timeout=")) {
+      if (!parseUnsigned(Value("--timeout="), Opts.TimeoutMillis)) {
+        std::fprintf(stderr, "invalid --timeout value\n");
+        ExitCode = usage(Argv[0], 2);
+        return false;
+      }
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", Argv[I]);
+      ExitCode = usage(Argv[0], 2);
+      return false;
+    }
+  }
+  if (Opts.Port == 0) {
+    std::fprintf(stderr, "--connect is required\n");
+    ExitCode = usage(Argv[0], 2);
+    return false;
+  }
+  if (Opts.CorpusPath.empty() != Opts.ReferencePath.empty()) {
+    std::fprintf(stderr, "--corpus and --reference go together\n");
+    ExitCode = usage(Argv[0], 2);
+    return false;
+  }
+  return true;
+}
+
+/// One connection's workload: the bytes to send and the bytes to expect.
+struct ConnPlan {
+  std::string Wire;
+  std::string Reference;
+};
+
+/// Renders a corpus in the wire format (one s-expression line per root,
+/// blank line between functions) — mirrors odburg-run's --dump-corpus.
+std::string corpusToWire(const std::vector<ir::IRFunction> &Corpus,
+                         const Grammar &G) {
+  std::string Out;
+  for (const ir::IRFunction &F : Corpus) {
+    for (const ir::Node *Root : F.roots()) {
+      Out += ir::toSExpr(Root, G);
+      Out += '\n';
+    }
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::vector<ir::IRFunction *> pointers(std::vector<ir::IRFunction> &Fns) {
+  std::vector<ir::IRFunction *> Ps;
+  Ps.reserve(Fns.size());
+  for (ir::IRFunction &F : Fns)
+    Ps.push_back(&F);
+  return Ps;
+}
+
+/// Self-generating mode: a per-connection synthetic corpus with mixed
+/// function sizes (profile and node budget cycle with the connection
+/// index) and its locally computed reference assembly over \p G.
+Expected<ConnPlan> makePlan(const LoadOptions &Opts, const Grammar &G,
+                            const DynCostTable *Dyn, unsigned ConnIdx) {
+  const std::vector<workload::Profile> &Profiles = workload::specProfiles();
+  workload::Profile P = Profiles[ConnIdx % Profiles.size()];
+  // Distinct seeds and sizes per connection: small, medium, and large
+  // functions in the same run exercise the scheduler's interleaving.
+  P.Seed += 1000 + ConnIdx;
+  unsigned Nodes = 60 + (ConnIdx % 5) * 120;
+  Expected<std::vector<ir::IRFunction>> Corpus =
+      workload::generateBatch(P, G, Opts.Functions, Nodes);
+  if (!Corpus)
+    return Corpus.takeError();
+
+  ConnPlan Plan;
+  Plan.Wire = corpusToWire(*Corpus, G);
+
+  pipeline::CompileSession::Options SOpts;
+  // DP reference: byte-identity across backends holds for the same
+  // grammar, and the DP session needs no table generation.
+  SOpts.Backend = BackendKind::DP;
+  Expected<std::unique_ptr<pipeline::CompileSession>> Session =
+      pipeline::CompileSession::create(G, Dyn, SOpts);
+  if (!Session)
+    return Session.takeError();
+  std::vector<ir::IRFunction *> Ps = pointers(*Corpus);
+  std::vector<pipeline::CompileResult> Results =
+      (*Session)->compileFunctions(Ps, /*Threads=*/1);
+  for (const pipeline::CompileResult &R : Results)
+    if (!R.ok())
+      return Error::make("reference compile failed: " + R.Diagnostic);
+  Plan.Reference = pipeline::CompileSession::concatAsm(Results);
+  return Plan;
+}
+
+struct ConnOutcome {
+  bool Ok = false;
+  std::string Detail;
+  std::uint64_t BytesIn = 0;
+};
+
+/// Reads exactly \p Want bytes (bounded by the socket timeout).
+bool readExactly(Socket &S, std::string &Out, std::size_t Want) {
+  char Buf[8192];
+  while (Out.size() < Want) {
+    std::size_t Chunk = std::min(sizeof(Buf), Want - Out.size());
+    long N = S.readSome(Buf, Chunk);
+    if (N <= 0)
+      return false;
+    Out.append(Buf, static_cast<std::size_t>(N));
+  }
+  return true;
+}
+
+/// Reads one '\n'-terminated line.
+bool readLine(Socket &S, std::string &Line) {
+  Line.clear();
+  char C;
+  for (;;) {
+    long N = S.readSome(&C, 1);
+    if (N <= 0)
+      return false;
+    if (C == '\n')
+      return true;
+    Line.push_back(C);
+  }
+}
+
+/// Pulls an integer field out of the one-line STATS JSON; -1 if absent.
+long long statsField(const std::string &Json, const std::string &Key) {
+  std::size_t At = Json.find("\"" + Key + "\":");
+  if (At == std::string::npos)
+    return -1;
+  At += Key.size() + 3;
+  long long V = 0;
+  bool Any = false;
+  while (At < Json.size() && Json[At] >= '0' && Json[At] <= '9') {
+    V = V * 10 + (Json[At] - '0');
+    ++At;
+    Any = true;
+  }
+  return Any ? V : -1;
+}
+
+ConnOutcome runConnection(const LoadOptions &Opts, const ConnPlan &Plan,
+                          unsigned ConnIdx) {
+  ConnOutcome Out;
+  Expected<Socket> S =
+      Socket::connectTo(Opts.Host, static_cast<std::uint16_t>(Opts.Port));
+  if (!S) {
+    Out.Detail = S.message();
+    return Out;
+  }
+  S->setRecvTimeout(Opts.TimeoutMillis);
+
+  if (Opts.PickBackend) {
+    std::string Handshake =
+        std::string("BACKEND ") + backendName(Opts.Backend) + "\n";
+    if (!S->writeAll(Handshake)) {
+      Out.Detail = "handshake write failed";
+      return Out;
+    }
+  }
+  if (!S->writeAll(Plan.Wire)) {
+    Out.Detail = "corpus write failed";
+    return Out;
+  }
+
+  // The ordered-delivery promise: this connection's responses are exactly
+  // its reference assembly, in its submission order. Read precisely that
+  // many bytes and compare.
+  std::string Got;
+  Got.reserve(Plan.Reference.size());
+  if (!readExactly(*S, Got, Plan.Reference.size())) {
+    Out.BytesIn = Got.size();
+    Out.Detail = "short response: got " + std::to_string(Got.size()) +
+                 " of " + std::to_string(Plan.Reference.size()) + " bytes";
+    return Out;
+  }
+  Out.BytesIn = Got.size();
+  if (Got != Plan.Reference) {
+    std::size_t At = 0;
+    while (At < Got.size() && Got[At] == Plan.Reference[At])
+      ++At;
+    Out.Detail = "response diverges from reference at byte " +
+                 std::to_string(At) + " (connection " +
+                 std::to_string(ConnIdx) + ")";
+    return Out;
+  }
+
+  if (Opts.Stats) {
+    // All assembly has arrived, so the out-of-band STATS reply is the
+    // only thing left on the wire — no interleaving hazard.
+    if (!S->writeAll(std::string_view("STATS\n"))) {
+      Out.Detail = "STATS write failed";
+      return Out;
+    }
+    std::string Line;
+    if (!readLine(*S, Line)) {
+      Out.Detail = "no STATS reply";
+      return Out;
+    }
+    if (!startsWith(Line, "STATS {")) {
+      Out.Detail = "unexpected STATS reply: " + Line;
+      return Out;
+    }
+    long long Submitted = statsField(Line, "connSubmitted");
+    long long Delivered = statsField(Line, "connDelivered");
+    if (Submitted <= 0 || Delivered != Submitted) {
+      Out.Detail = "dead STATS counters: " + Line;
+      return Out;
+    }
+  }
+
+  // Input done; expect orderly EOF, nothing extra on the wire.
+  S->shutdownWrite();
+  char C;
+  long N = S->readSome(&C, 1);
+  if (N != 0) {
+    Out.Detail = N > 0 ? std::string("unexpected trailing bytes")
+                       : std::string("transport error at EOF");
+    return Out;
+  }
+  Out.Ok = true;
+  return Out;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  LoadOptions Opts;
+  int ExitCode = 0;
+  if (!parseArgs(Argc, Argv, Opts, ExitCode))
+    return ExitCode;
+
+  // Build every connection's plan up front: connect-time work should be
+  // pure traffic, not corpus generation.
+  std::vector<ConnPlan> Plans(Opts.Connections);
+  if (!Opts.CorpusPath.empty()) {
+    std::ostringstream Corpus, Reference;
+    std::ifstream CIn(Opts.CorpusPath), RIn(Opts.ReferencePath);
+    if (!CIn || !RIn) {
+      std::fprintf(stderr, "error: cannot open %s\n",
+                   (!CIn ? Opts.CorpusPath : Opts.ReferencePath).c_str());
+      return 2;
+    }
+    Corpus << CIn.rdbuf();
+    Reference << RIn.rdbuf();
+    ConnPlan Shared{Corpus.str(), Reference.str()};
+    // Every connection must end its stream at a function boundary.
+    if (!Shared.Wire.empty() && Shared.Wire.back() != '\n')
+      Shared.Wire += '\n';
+    for (ConnPlan &P : Plans)
+      P = Shared;
+  } else {
+    Expected<std::unique_ptr<Target>> TOrErr = makeTarget(Opts.Target);
+    if (!TOrErr) {
+      std::fprintf(stderr, "error: %s\n", TOrErr.message().c_str());
+      return 2;
+    }
+    Target &T = **TOrErr;
+    // Mirror the server's lane-grammar rule: the offline lane (and a
+    // --fixed server) serves the stripped grammar.
+    bool Fixed = Opts.ForceFixed ||
+                 (Opts.PickBackend && Opts.Backend == BackendKind::Offline);
+    const Grammar &G = Fixed ? T.Fixed : T.G;
+    const DynCostTable *Dyn = Fixed ? nullptr : &T.Dyn;
+    for (unsigned I = 0; I < Opts.Connections; ++I) {
+      Expected<ConnPlan> P = makePlan(Opts, G, Dyn, I);
+      if (!P) {
+        std::fprintf(stderr, "error: %s\n", P.message().c_str());
+        return 2;
+      }
+      Plans[I] = std::move(*P);
+    }
+  }
+
+  Stopwatch Wall;
+  std::vector<ConnOutcome> Outcomes(Opts.Connections);
+  std::vector<std::thread> Threads;
+  Threads.reserve(Opts.Connections);
+  for (unsigned I = 0; I < Opts.Connections; ++I)
+    Threads.emplace_back([&, I] { Outcomes[I] = runConnection(Opts, Plans[I], I); });
+  for (std::thread &T : Threads)
+    T.join();
+  double Ms = static_cast<double>(Wall.elapsedNs()) / 1e6;
+
+  unsigned Failed = 0;
+  std::uint64_t Bytes = 0;
+  for (unsigned I = 0; I < Opts.Connections; ++I) {
+    Bytes += Outcomes[I].BytesIn;
+    if (!Outcomes[I].Ok) {
+      ++Failed;
+      std::fprintf(stderr, "odburg-load: connection %u FAILED: %s\n", I,
+                   Outcomes[I].Detail.c_str());
+    }
+  }
+  std::fprintf(stderr,
+               "odburg-load: %u connections%s — %u ok, %u failed, %llu "
+               "bytes validated in %.1f ms\n",
+               Opts.Connections,
+               Opts.PickBackend
+                   ? (std::string(" (backend ") + backendName(Opts.Backend) +
+                      ")")
+                         .c_str()
+                   : "",
+               Opts.Connections - Failed, Failed,
+               static_cast<unsigned long long>(Bytes), Ms);
+  return Failed ? 1 : 0;
+}

@@ -36,17 +36,23 @@
 
 #include "ir/SExprParser.h"
 #include "pipeline/CompileService.h"
+#include "serve/TcpServer.h"
 #include "support/StringUtil.h"
 #include "support/Timer.h"
 #include "targets/Target.h"
 
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <mutex>
 #include <sstream>
 #include <unordered_map>
+
+#include <unistd.h>
 
 using namespace odburg;
 using namespace odburg::pipeline;
@@ -64,6 +70,12 @@ struct ServeOptions {
   std::string TablesPath;
   unsigned GenThreads = 0;
   std::string InputPath; // Empty = stdin.
+  // Network mode (--listen): serve the same wire format over TCP instead
+  // of stdin/stdout, one backend lane per connection-selected kind.
+  bool Listen = false;
+  unsigned Port = 0;
+  std::string Host = "127.0.0.1";
+  std::string PortFile;
 };
 
 int usage(const char *Argv0, int Exit) {
@@ -94,10 +106,22 @@ int usage(const char *Argv0, int Exit) {
       "                        else generate and save them there\n"
       "  --gen-threads=N       offline table generation workers (default:\n"
       "                        hardware concurrency)\n"
+      "  --listen=PORT         serve over TCP instead of stdin/stdout\n"
+      "                        (0 = ephemeral port). Clients speak the same\n"
+      "                        wire format, may pick a backend per\n"
+      "                        connection with a 'BACKEND dp|offline|\n"
+      "                        ondemand' first line (default: --backend),\n"
+      "                        and can request a 'STATS' metrics line.\n"
+      "                        Runs until SIGINT/SIGTERM.\n"
+      "  --host=ADDR           listen address (default 127.0.0.1)\n"
+      "  --port-file=PATH      write the bound port to PATH once listening\n"
+      "                        (for scripts using --listen=0)\n"
       "  --help                this text\n"
       "\n"
       "Exit status: 0 when every function compiled, 1 when any function\n"
-      "was skipped (parse error) or failed to compile, 2 on bad usage.\n",
+      "was skipped (parse error) or failed to compile, 2 on bad usage.\n"
+      "In --listen mode: 0 on clean signal-driven shutdown, 2 on startup\n"
+      "failure.\n",
       Argv0);
   return Exit;
 }
@@ -156,6 +180,18 @@ bool parseArgs(int Argc, char **Argv, ServeOptions &Opts, int &ExitCode) {
         ExitCode = usage(Argv[0], 2);
         return false;
       }
+    } else if (startsWith(Arg, "--listen=")) {
+      if (!parseUnsigned(Value("--listen="), Opts.Port) ||
+          Opts.Port > 65535) {
+        std::fprintf(stderr, "invalid --listen port\n");
+        ExitCode = usage(Argv[0], 2);
+        return false;
+      }
+      Opts.Listen = true;
+    } else if (startsWith(Arg, "--host=")) {
+      Opts.Host = std::string(Value("--host="));
+    } else if (startsWith(Arg, "--port-file=")) {
+      Opts.PortFile = std::string(Value("--port-file="));
     } else if (!startsWith(Arg, "--")) {
       if (!Opts.InputPath.empty()) {
         std::fprintf(stderr, "more than one INPUT path\n");
@@ -250,6 +286,87 @@ makeBackend(const ServeOptions &Opts, const Grammar &G,
   return Backend;
 }
 
+/// Self-pipe for signal-driven shutdown: the handler writes one byte (the
+/// only async-signal-safe notification we need), main blocks in read.
+int SignalPipe[2] = {-1, -1};
+
+extern "C" void onStopSignal(int) {
+  char B = 1;
+  ssize_t R = ::write(SignalPipe[1], &B, 1);
+  (void)R;
+}
+
+/// The --listen mode: run a TcpServer over the target until SIGINT or
+/// SIGTERM, then stop it cleanly (drain connections, join every thread).
+int serveNetwork(const ServeOptions &Opts, Target &T) {
+  if (!Opts.InputPath.empty()) {
+    std::fprintf(stderr, "error: --listen reads from sockets, not INPUT\n");
+    return 2;
+  }
+  if (Opts.Json) {
+    std::fprintf(stderr, "error: --format=json is stdin-mode only (the "
+                         "socket protocol frames errors in-band)\n");
+    return 2;
+  }
+  if (!Opts.TablesPath.empty())
+    std::fprintf(stderr, "odburg-serve: note: --tables is ignored in "
+                         "--listen mode (lanes generate their own)\n");
+
+  serve::TcpServer::Options SrvOpts;
+  SrvOpts.Host = Opts.Host;
+  SrvOpts.Port = static_cast<std::uint16_t>(Opts.Port);
+  SrvOpts.ForceFixed = Opts.ForceFixed;
+  SrvOpts.Workers = Opts.Threads;
+  SrvOpts.QueueCapacity = Opts.QueueCapacity;
+  SrvOpts.DefaultBackend = Opts.Backend;
+  SrvOpts.BackendOpts.OfflineGenThreads = Opts.GenThreads;
+
+  Expected<std::unique_ptr<serve::TcpServer>> Server =
+      serve::TcpServer::start(T, std::move(SrvOpts));
+  if (!Server) {
+    std::fprintf(stderr, "error: %s\n", Server.message().c_str());
+    return 2;
+  }
+
+  if (!Opts.PortFile.empty()) {
+    // Write-then-rename so a polling script never reads a half-written
+    // file.
+    std::string Tmp = Opts.PortFile + ".tmp";
+    std::ofstream Out(Tmp, std::ios::trunc);
+    Out << (*Server)->port() << "\n";
+    Out.close();
+    if (!Out || std::rename(Tmp.c_str(), Opts.PortFile.c_str()) != 0) {
+      std::fprintf(stderr, "error: cannot write port file '%s'\n",
+                   Opts.PortFile.c_str());
+      return 2;
+    }
+  }
+  std::fprintf(stderr,
+               "odburg-serve: listening on %s:%u (target=%s, default "
+               "backend=%s, gram=%s)\n",
+               Opts.Host.c_str(), (*Server)->port(), Opts.Target.c_str(),
+               backendName(Opts.Backend),
+               Opts.ForceFixed ? "fixed" : "full");
+
+  if (::pipe(SignalPipe) != 0) {
+    std::fprintf(stderr, "error: pipe: %s\n", std::strerror(errno));
+    return 2;
+  }
+  std::signal(SIGINT, onStopSignal);
+  std::signal(SIGTERM, onStopSignal);
+
+  char B;
+  while (::read(SignalPipe[0], &B, 1) < 0 && errno == EINTR) {
+  }
+
+  std::fprintf(stderr, "odburg-serve: shutting down\n");
+  (*Server)->stop();
+  std::fprintf(stderr, "odburg-serve: served %llu connections\n",
+               static_cast<unsigned long long>(
+                   (*Server)->connectionsAccepted()));
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -264,6 +381,8 @@ int main(int Argc, char **Argv) {
     return 2;
   }
   Target &T = **TOrErr;
+  if (Opts.Listen)
+    return serveNetwork(Opts, T);
   // Offline tables cannot encode dynamic costs, so that backend always
   // serves the stripped grammar; --fixed levels the others onto it for
   // cross-backend byte-identity.

@@ -32,6 +32,7 @@
 #include <initializer_list>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -180,9 +181,41 @@ inline void recordTable(std::string_view Bench, const TablePrinter &Table) {
   }
 }
 
-/// Writes the collected objects as a JSON array to the --json path.
-/// Call once at the end of main; returns false (and complains on stderr)
-/// when the file cannot be written.
+/// The host/build metadata object every report starts with, so two
+/// BENCH_*.json files can be compared with their provenance in view
+/// (tools/bench_compare.py refuses cross-build-type comparisons and
+/// warns on differing core counts). Rendered as a row with
+/// "bench": "__meta__" so row-oriented consumers skip it naturally.
+inline std::string hostMetaJson() {
+#ifdef NDEBUG
+  const char *Build = "release";
+#else
+  const char *Build = "debug";
+#endif
+#if defined(__VERSION__)
+  std::string Compiler = __VERSION__;
+#else
+  std::string Compiler = "unknown";
+#endif
+#if defined(__linux__)
+  const char *Os = "linux";
+#elif defined(__APPLE__)
+  const char *Os = "darwin";
+#else
+  const char *Os = "unknown";
+#endif
+  return std::string("{\"bench\": \"__meta__\", \"hardware_concurrency\": ") +
+         std::to_string(std::thread::hardware_concurrency()) +
+         ", \"build\": " + jsonQuote(Build) +
+         ", \"compiler\": " + jsonQuote(Compiler) +
+         ", \"os\": " + jsonQuote(Os) +
+         ", \"smoke\": " + (smokeMode() ? "true" : "false") + "}";
+}
+
+/// Writes the collected objects as a JSON array to the --json path,
+/// prefixed by the host metadata object (hostMetaJson). Call once at the
+/// end of main; returns false (and complains on stderr) when the file
+/// cannot be written.
 inline bool writeJsonReport() {
   if (jsonPath().empty())
     return true;
@@ -193,6 +226,8 @@ inline bool writeJsonReport() {
     return false;
   }
   std::fputs("[\n", F);
+  std::fprintf(F, "  %s%s\n", hostMetaJson().c_str(),
+               jsonObjects().empty() ? "" : ",");
   for (std::size_t I = 0; I < jsonObjects().size(); ++I)
     std::fprintf(F, "  %s%s\n", jsonObjects()[I].c_str(),
                  I + 1 < jsonObjects().size() ? "," : "");

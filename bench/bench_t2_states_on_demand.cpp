@@ -57,9 +57,11 @@ int main(int Argc, char **Argv) {
     }
 
     double Fraction = 100.0 * Fixed.numStates() / Tables.stats().NumStates;
-    double HitRate = 100.0 *
-                     static_cast<double>(FS.CacheHits + FS.DenseHits) /
-                     static_cast<double>(FS.CacheProbes + FS.DenseProbes);
+    std::uint64_t Probes = FS.CacheProbes + FS.DenseProbes;
+    double HitRate =
+        Probes ? 100.0 * static_cast<double>(FS.CacheHits + FS.DenseHits) /
+                     static_cast<double>(Probes)
+               : 0.0;
     Table.addRow({Name, std::to_string(Tables.stats().NumStates),
                   std::to_string(Fixed.numStates()), formatFixed(Fraction, 1),
                   std::to_string(Fixed.numTransitions()),

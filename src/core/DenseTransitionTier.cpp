@@ -11,7 +11,10 @@
 using namespace odburg;
 
 DenseTransitionTier::DenseTransitionTier(const Grammar &G, Options Opts)
-    : G(G), Opts(Opts), Eligible(G.numOperators(), 0),
+    : G(G), Opts(Opts), PromoteThreshold(Opts.PromoteThreshold < 1
+                                             ? 1
+                                             : Opts.PromoteThreshold),
+      Eligible(G.numOperators(), 0),
       UnaryRows(new std::atomic<const Row *>[G.numOperators()]()),
       BinaryDirs(new std::atomic<const RowDir *>[G.numOperators()]()),
       HotCounters(new std::atomic<std::uint32_t>[NumHotCounters]()) {
@@ -169,7 +172,8 @@ void DenseTransitionTier::noteResolved(OperatorId Op, unsigned NumChildren,
   // No row yet: bump the (approximate) hot counter; promote on crossing.
   std::uint32_t Left = NumChildren == 2 ? ChildIds[0] : 0;
   std::atomic<std::uint32_t> &C = HotCounters[counterIndex(Op, Left)];
-  if (C.fetch_add(1, std::memory_order_relaxed) + 1 < Opts.PromoteThreshold)
+  if (C.fetch_add(1, std::memory_order_relaxed) + 1 <
+      PromoteThreshold.load(std::memory_order_relaxed))
     return;
   C.store(0, std::memory_order_relaxed);
   if (NumChildren == 1)

@@ -55,6 +55,7 @@
 
 #include "core/State.h"
 #include "grammar/Grammar.h"
+#include "support/Compiler.h"
 
 #include <atomic>
 #include <cstdint>
@@ -108,6 +109,31 @@ public:
     return R->Entries[ChildIds[1]].load(std::memory_order_acquire);
   }
 
+  /// Issues software prefetches along the lookup() chain for an upcoming
+  /// probe: the row pointer chase is the tier's only cache-miss-prone
+  /// work, so prefetching the entry of the *next* node while the current
+  /// one resolves hides that latency. The pointer loads are acquire for
+  /// the same reason lookup()'s are — a row's non-atomic Size/Entries
+  /// fields are only safe to read after the publishing release-store —
+  /// and acquire loads cost nothing extra on x86/ARM64 loads anyway. The
+  /// prefetch itself observes no values; a stale or missing row just
+  /// means no hint.
+  void prefetch(OperatorId Op, unsigned NumChildren,
+                const std::uint32_t *ChildIds) const {
+    if (NumChildren == 1) {
+      const Row *R = UnaryRows[Op].load(std::memory_order_acquire);
+      if (R && ChildIds[0] < R->Size)
+        ODBURG_PREFETCH(&R->Entries[ChildIds[0]]);
+      return;
+    }
+    const RowDir *D = BinaryDirs[Op].load(std::memory_order_acquire);
+    if (!D || ChildIds[0] >= D->Size)
+      return;
+    const Row *R = D->Rows[ChildIds[0]].load(std::memory_order_acquire);
+    if (R && ChildIds[1] < R->Size)
+      ODBURG_PREFETCH(&R->Entries[ChildIds[1]]);
+  }
+
   /// Records that the hashed tier (or the state computer) resolved an
   /// eligible operator's transition to \p Result. Backfills the row entry
   /// when the row exists, bumps the row's hot counter and possibly
@@ -116,6 +142,20 @@ public:
   void noteResolved(OperatorId Op, unsigned NumChildren,
                     const std::uint32_t *ChildIds, StateId Result,
                     unsigned StateCountHint);
+
+  /// \name Runtime tuning (TierController)
+  /// @{
+  /// The live promotion threshold. Adjustable while labeling runs: reads
+  /// in noteResolved are relaxed atomic, and the threshold only gates
+  /// *when* a row is promoted, never what its entries resolve to, so any
+  /// interleaving is correct.
+  unsigned promoteThreshold() const {
+    return PromoteThreshold.load(std::memory_order_relaxed);
+  }
+  void setPromoteThreshold(unsigned T) {
+    PromoteThreshold.store(T < 1 ? 1 : T, std::memory_order_relaxed);
+  }
+  /// @}
 
   /// \name Introspection
   /// @{
@@ -187,6 +227,9 @@ private:
 
   const Grammar &G;
   Options Opts;
+  /// Live copy of Opts.PromoteThreshold; atomic so the TierController can
+  /// retune it while workers race through noteResolved.
+  std::atomic<unsigned> PromoteThreshold;
   std::vector<std::uint8_t> Eligible;
   /// Unary: row per operator. Binary: directory per operator. Slots for
   /// ineligible operators stay null forever.

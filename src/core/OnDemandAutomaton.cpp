@@ -72,18 +72,24 @@ StateId OnDemandAutomaton::labelNode(ir::Node &N, L1TransitionCache *L1,
   // Build the transition key: header, child states, dynamic-cost outcomes.
   SmallVector<std::uint32_t, 20> Key;
   Key.push_back(TransitionCache::packHeader(Op, NumChildren, NumDyn));
-  SmallVector<const State *, 4> ChildStates;
-  for (unsigned I = 0; I < NumChildren; ++I) {
-    StateId CS = N.child(I)->label();
-    ChildStates.push_back(States.byId(CS));
-    Key.push_back(CS);
-  }
+  for (unsigned I = 0; I < NumChildren; ++I)
+    Key.push_back(N.child(I)->label());
   SmallVector<Cost, 16> DynOutcomes;
   for (unsigned J = 0; J < NumDyn; ++J) {
     ++Stats.DynCostEvals;
     DynOutcomes.push_back(Dyn->evaluate(G.normRule(DynRules[J]).DynHook, N));
     Key.push_back(DynOutcomes.back().raw());
   }
+
+  // Child State pointers are fetched only on the slow path: a warm probe
+  // resolves from the key's state *ids* alone, so the per-child
+  // StateTable shard chase would be pure waste on every hit.
+  SmallVector<const State *, 4> ChildStates;
+  auto FetchChildStates = [&] {
+    for (unsigned I = 0; I < NumChildren; ++I)
+      ChildStates.push_back(States.byId(Key[1 + I]));
+    return ChildStates.data();
+  };
 
   if (ODBURG_LIKELY(Opts.UseTransitionCache)) {
     std::uint64_t H = TransitionCache::hashKey(Key.data(), Key.size());
@@ -133,7 +139,7 @@ StateId OnDemandAutomaton::labelNode(ir::Node &N, L1TransitionCache *L1,
 
     // Slow path: compute, hash-cons, memoize at every level.
     const State *S =
-        computeState(Op, ChildStates.data(), DynOutcomes.data(), Stats);
+        computeState(Op, FetchChildStates(), DynOutcomes.data(), Stats);
     Cache.insertHashed(Key.data(), Key.size(), H, S->Id);
     if (UseDense)
       Dense->noteResolved(Op, NumChildren, Key.data() + 1, S->Id,
@@ -146,7 +152,7 @@ StateId OnDemandAutomaton::labelNode(ir::Node &N, L1TransitionCache *L1,
 
   // Cache-ablated path: recompute the state at every node.
   const State *S =
-      computeState(Op, ChildStates.data(), DynOutcomes.data(), Stats);
+      computeState(Op, FetchChildStates(), DynOutcomes.data(), Stats);
   N.setLabel(S->Id);
   return S->Id;
 }
@@ -154,6 +160,159 @@ StateId OnDemandAutomaton::labelNode(ir::Node &N, L1TransitionCache *L1,
 void OnDemandAutomaton::labelFunction(ir::IRFunction &F,
                                       SelectionStats *Stats) {
   labelFunction(F, nullptr, Stats);
+}
+
+void LabelBatch::build(const ir::IRFunction &F) {
+  A.reset();
+  N = F.size();
+  const std::vector<ir::Node *> &Fn = F.nodes();
+
+  OperatorId *Op = A.allocateArray<OperatorId>(N);
+  std::uint16_t *NC = A.allocateArray<std::uint16_t>(N);
+  ir::Node **NP = A.allocateArray<ir::Node *>(N);
+  std::uint32_t *FC = A.allocateArray<std::uint32_t>(N + 1);
+  StateId *Lb = A.allocateArray<StateId>(N);
+
+  std::size_t TotalChildren = 0;
+  for (unsigned I = 0; I < N; ++I)
+    TotalChildren += Fn[I]->numChildren();
+  std::uint32_t *CI = A.allocateArray<std::uint32_t>(TotalChildren);
+
+  std::uint32_t At = 0;
+  for (unsigned I = 0; I < N; ++I) {
+    const ir::Node *Node = Fn[I];
+    assert(Node->id() == I && "node ids must equal topological positions");
+    Op[I] = Node->op();
+    NC[I] = static_cast<std::uint16_t>(Node->numChildren());
+    NP[I] = Fn[I];
+    FC[I] = At;
+    for (ir::Node *C : Node->children())
+      CI[At++] = C->id();
+  }
+  FC[N] = At;
+
+  Ops = Op;
+  NumCh = NC;
+  Nodes = NP;
+  FirstChild = FC;
+  ChildIds = CI;
+  Labels = Lb;
+}
+
+void OnDemandAutomaton::labelNodes(LabelBatch &B, L1TransitionCache *L1,
+                                   bool UseDenseTier, SelectionStats &Stats) {
+  const unsigned N = B.N;
+  Stats.NodesLabeled += N;
+  DenseTransitionTier *DT = UseDenseTier ? Dense.get() : nullptr;
+  const bool Cached = Opts.UseTransitionCache;
+
+  SmallVector<std::uint32_t, 20> Key;
+  SmallVector<Cost, 16> DynOutcomes;
+  SmallVector<const State *, 4> ChildStates;
+
+  for (unsigned I = 0; I < N; ++I) {
+    OperatorId Op = B.Ops[I];
+    unsigned NumChildren = B.NumCh[I];
+    const std::uint32_t *Ch = B.ChildIds + B.FirstChild[I];
+    const auto &DynRules = G.dynRulesFor(Op);
+    unsigned NumDyn = DynRules.size();
+
+    Key.clear();
+    Key.push_back(TransitionCache::packHeader(Op, NumChildren, NumDyn));
+    // Child states are contiguous indexed loads — the SoA win: no node
+    // pointer is touched on the warm path.
+    for (unsigned C = 0; C < NumChildren; ++C)
+      Key.push_back(B.Labels[Ch[C]]);
+    DynOutcomes.clear();
+    for (unsigned J = 0; J < NumDyn; ++J) {
+      ++Stats.DynCostEvals;
+      DynOutcomes.push_back(
+          Dyn->evaluate(G.normRule(DynRules[J]).DynHook, *B.Nodes[I]));
+      Key.push_back(DynOutcomes.back().raw());
+    }
+
+    StateId Result;
+    if (ODBURG_LIKELY(Cached)) {
+      std::uint64_t H = TransitionCache::hashKey(Key.data(), Key.size());
+      bool UseL1 = L1 && L1TransitionCache::cacheable(Key.size());
+      bool UseDense = DT && NumChildren >= 1 && DT->eligible(Op);
+      Result = InvalidState;
+
+      if (UseL1) {
+        ++Stats.L1Probes;
+        Result = L1->lookup(Key.data(), Key.size(), H);
+        if (ODBURG_LIKELY(Result != InvalidState))
+          ++Stats.L1Hits;
+      }
+      if (Result == InvalidState && UseDense) {
+        ++Stats.DenseProbes;
+        Result = DT->lookup(Op, NumChildren, Key.data() + 1);
+        if (ODBURG_LIKELY(Result != InvalidState)) {
+          ++Stats.DenseHits;
+          if (UseL1)
+            L1->insert(Key.data(), Key.size(), H, Result);
+        }
+      }
+      if (Result == InvalidState) {
+        ++Stats.CacheProbes;
+        Result = Cache.lookupHashed(Key.data(), Key.size(), H);
+        if (ODBURG_LIKELY(Result != InvalidState)) {
+          ++Stats.CacheHits;
+        } else {
+          ChildStates.clear();
+          for (unsigned C = 0; C < NumChildren; ++C)
+            ChildStates.push_back(States.byId(Key[1 + C]));
+          const State *S = computeState(Op, ChildStates.data(),
+                                        DynOutcomes.data(), Stats);
+          Cache.insertHashed(Key.data(), Key.size(), H, S->Id);
+          Result = S->Id;
+        }
+        if (UseDense)
+          DT->noteResolved(Op, NumChildren, Key.data() + 1, Result,
+                           States.size());
+        if (UseL1)
+          L1->insert(Key.data(), Key.size(), H, Result);
+      }
+    } else {
+      ChildStates.clear();
+      for (unsigned C = 0; C < NumChildren; ++C)
+        ChildStates.push_back(States.byId(Key[1 + C]));
+      const State *S =
+          computeState(Op, ChildStates.data(), DynOutcomes.data(), Stats);
+      Result = S->Id;
+    }
+
+    B.Labels[I] = Result;
+    B.Nodes[I]->setLabel(Result);
+
+    // Prefetch node I+1's dense-row entry while this iteration's stores
+    // drain. Topological order makes this exact, not a guess: every
+    // child of node I+1 has id <= I, so its child state ids are already
+    // final in B.Labels and the entry address the next probe will chase
+    // is computable right now.
+    if (DT && I + 1 < N) {
+      unsigned NI = I + 1;
+      OperatorId NOp = B.Ops[NI];
+      unsigned NNC = B.NumCh[NI];
+      if (NNC >= 1 && NNC <= 2 && DT->eligible(NOp)) {
+        const std::uint32_t *NCh = B.ChildIds + B.FirstChild[NI];
+        std::uint32_t NextIds[2] = {B.Labels[NCh[0]],
+                                    NNC == 2 ? B.Labels[NCh[1]] : 0};
+        DT->prefetch(NOp, NNC, NextIds);
+      }
+    }
+  }
+}
+
+void OnDemandAutomaton::labelFunctionBatched(ir::IRFunction &F,
+                                             L1TransitionCache *L1,
+                                             LabelBatch &Batch, bool UseDense,
+                                             SelectionStats *Stats) {
+  if (L1)
+    L1->bindTo(Generation);
+  Batch.build(F);
+  SelectionStats Local;
+  labelNodes(Batch, L1, UseDense, Stats ? *Stats : Local);
 }
 
 std::uint64_t OnDemandAutomaton::nextGeneration() {

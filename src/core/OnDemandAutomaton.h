@@ -40,12 +40,59 @@
 #include "ir/Node.h"
 #include "select/DynCost.h"
 #include "select/Labeling.h"
+#include "support/Arena.h"
 #include "support/Statistic.h"
 
 #include <memory>
 #include <span>
 
 namespace odburg {
+
+/// Arena-backed structure-of-arrays mirror of one function's nodes, the
+/// input of the batched labeling path. The pointer-linked ir::Node graph
+/// is cache-hostile for labeling: reading a child's state costs
+/// `N.child(I)->label()` — two dependent pointer chases into nodes
+/// scattered across the function arena. Node ids are dense and equal to
+/// the node's position in topological order, so the traversal state can
+/// instead live in flat parallel arrays indexed by id: operators,
+/// child-id adjacency (CSR-style), and the per-node state labels the
+/// children of later nodes will read. The batch loop then streams
+/// contiguous memory, and a child's state is one indexed load from an
+/// array that is hot by construction (children precede parents).
+///
+/// The arrays live in a private arena reset per function (the newest slab
+/// is kept), so a long-lived scratch reaches zero allocation traffic in
+/// the steady state. Owned by select/LabelerScratch, one per worker.
+class LabelBatch {
+public:
+  LabelBatch() = default;
+  LabelBatch(const LabelBatch &) = delete;
+  LabelBatch &operator=(const LabelBatch &) = delete;
+
+  /// (Re)fills the arrays from \p F's topological node order. Invalidates
+  /// the previous contents.
+  void build(const ir::IRFunction &F);
+
+  unsigned size() const { return N; }
+
+private:
+  friend class OnDemandAutomaton;
+
+  Arena A;
+  unsigned N = 0;
+  /// Per-node operator, arity, and node pointer (payload access for
+  /// dynamic-cost hooks + label write-back), indexed by node id.
+  const OperatorId *Ops = nullptr;
+  const std::uint16_t *NumCh = nullptr;
+  ir::Node *const *Nodes = nullptr;
+  /// CSR child adjacency: node I's children are node ids
+  /// ChildIds[FirstChild[I] .. FirstChild[I+1]).
+  const std::uint32_t *FirstChild = nullptr;
+  const std::uint32_t *ChildIds = nullptr;
+  /// Output: node I's resolved StateId — the array later nodes read their
+  /// child states from.
+  StateId *Labels = nullptr;
+};
 
 /// The on-demand automaton. Also a Labeling: after labelFunction(), nodes
 /// carry their StateId in the label slot and the reducer reads rules
@@ -119,6 +166,33 @@ public:
   /// labelFunction overload does); an L1 bound elsewhere would satisfy
   /// probes with another automaton's state ids.
   StateId labelNode(ir::Node &N, L1TransitionCache *L1, SelectionStats &Stats);
+
+  /// Batched labeling: rebuilds \p Batch from \p F and labels every node
+  /// through the SoA fast path — contiguous child-state reads, lazy
+  /// child State* fetch (slow path only), and a software prefetch of the
+  /// *next* node's dense-row entry at the bottom of each iteration
+  /// (topological order guarantees the next node's child labels are
+  /// already final, so the exact entry address is computable one
+  /// iteration early). \p UseDense gates the dense tier per call — the
+  /// TierController's bypass lever; \p L1 may be null. Labels, rules,
+  /// costs, and work counters per tier are identical to the node-at-a-
+  /// time path.
+  void labelFunctionBatched(ir::IRFunction &F, L1TransitionCache *L1,
+                            LabelBatch &Batch, bool UseDense,
+                            SelectionStats *Stats);
+
+  /// Labels \p Batch (already built). Exposed for the batched path's
+  /// tests; labelFunctionBatched is the normal entry.
+  void labelNodes(LabelBatch &Batch, L1TransitionCache *L1, bool UseDense,
+                  SelectionStats &Stats);
+
+  /// Retunes the dense tier's promotion threshold at runtime (no-op when
+  /// the tier is off). Safe while labeling runs — see
+  /// DenseTransitionTier::setPromoteThreshold.
+  void setDensePromoteThreshold(unsigned T) {
+    if (Dense)
+      Dense->setPromoteThreshold(T);
+  }
 
   /// \name Labeling interface
   /// @{

@@ -1,0 +1,273 @@
+//===- core/TierController.cpp - Self-tuning warm-path tiers --------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/TierController.h"
+
+#include "core/L1Cache.h"
+#include "core/TransitionCache.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+
+namespace odburg {
+
+TierController::TierController(TierConfig Initial, unsigned PromoteThreshold,
+                               Options O)
+    : Opts(O), Packed(Initial.pack()), Threshold(PromoteThreshold) {
+  if (Opts.PinnedCosts.valid()) {
+    Model = Opts.PinnedCosts;
+    ModelMeasured = true;
+  }
+}
+
+void TierController::observe(const SelectionStats &Delta) {
+  WL1Probes.fetch_add(Delta.L1Probes, std::memory_order_relaxed);
+  WL1Hits.fetch_add(Delta.L1Hits, std::memory_order_relaxed);
+  WDenseProbes.fetch_add(Delta.DenseProbes, std::memory_order_relaxed);
+  WDenseHits.fetch_add(Delta.DenseHits, std::memory_order_relaxed);
+  WCacheProbes.fetch_add(Delta.CacheProbes, std::memory_order_relaxed);
+  WCacheHits.fetch_add(Delta.CacheHits, std::memory_order_relaxed);
+  std::uint64_t Before =
+      WNodes.fetch_add(Delta.NodesLabeled, std::memory_order_relaxed);
+  if (Before + Delta.NodesLabeled < Opts.WindowNodes)
+    return;
+  // Window boundary. Try-lock: if another worker is already evaluating,
+  // this crossing simply merges into whichever window that evaluation
+  // closes — labeling never blocks on the controller.
+  std::unique_lock<std::mutex> L(EvalM, std::try_to_lock);
+  if (!L.owns_lock())
+    return;
+  // Re-check under the lock; a concurrent evaluator may have just reset
+  // the window this thread observed as full.
+  if (WNodes.load(std::memory_order_relaxed) < Opts.WindowNodes)
+    return;
+  evaluateWindow();
+}
+
+/// Hit rate with a zero-probe guard (a disabled tier contributes no
+/// probes and must read as "no evidence", i.e. 0).
+static double rate(std::uint64_t Hits, std::uint64_t Probes) {
+  return Probes ? static_cast<double>(Hits) / static_cast<double>(Probes) : 0.0;
+}
+
+void TierController::evaluateWindow() {
+  // Harvest and reset the window counters. Counter deltas racing in from
+  // other workers between these loads land in the next window; windows
+  // are statistical, not transactional.
+  std::uint64_t L1P = WL1Probes.exchange(0, std::memory_order_relaxed);
+  std::uint64_t L1H = WL1Hits.exchange(0, std::memory_order_relaxed);
+  std::uint64_t DnP = WDenseProbes.exchange(0, std::memory_order_relaxed);
+  std::uint64_t DnH = WDenseHits.exchange(0, std::memory_order_relaxed);
+  std::uint64_t CaP = WCacheProbes.exchange(0, std::memory_order_relaxed);
+  std::uint64_t CaH = WCacheHits.exchange(0, std::memory_order_relaxed);
+  (void)CaH;
+  (void)CaP;
+  WNodes.store(0, std::memory_order_relaxed);
+
+  if (!ModelMeasured) {
+    Model = measureProbeCosts();
+    ModelMeasured = true;
+  }
+
+  TierConfig C = config();
+  TierConfig Old = C;
+  double L1Rate = rate(L1H, L1P);
+  double DnRate = rate(DnH, DnP);
+
+  // --- Dense tier -------------------------------------------------------
+  // A dense hit saves one hashed-L2 probe; the probe itself costs
+  // DenseProbeNs on every L1-missing node. Break-even:
+  //   DnRate * HashedProbeNs > DenseProbeNs.
+  bool DenseWasProbing = DenseProbing;
+  DenseProbing = false;
+  if (C.DenseOn && DnP > 0) {
+    bool Pays = DnRate * Model.HashedProbeNs > Model.DenseProbeNs;
+    if (!Pays) {
+      C.DenseOn = false;
+      DenseCoolOff = Opts.RecoveryWindows;
+      if (DenseWasProbing)
+        // The recovery probe failed; revert silently (not a reconfig).
+        Old.DenseOn = false;
+    } else if (DnRate < Opts.DenseColdHitRate) {
+      // Paying, but cold: rows are promoted too late to catch the warm
+      // phase. Promote more aggressively.
+      unsigned T = Threshold.load(std::memory_order_relaxed);
+      unsigned NewT = std::max(Opts.MinPromoteThreshold, T / 2);
+      if (NewT != T) {
+        Threshold.store(NewT, std::memory_order_relaxed);
+        Reconfigs.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else if (DnRate > 0.95) {
+      // Saturated: promotion work is done; back the threshold off so a
+      // later workload shift doesn't flood the tier with one-off rows.
+      unsigned T = Threshold.load(std::memory_order_relaxed);
+      unsigned NewT = std::min(Opts.MaxPromoteThreshold, T * 2);
+      if (NewT != T)
+        Threshold.store(NewT, std::memory_order_relaxed);
+    }
+  } else if (!C.DenseOn && Opts.DenseExists) {
+    if (DenseCoolOff > 0) {
+      --DenseCoolOff;
+    } else {
+      // Recovery probe: re-enable for one window to re-measure.
+      C.DenseOn = true;
+      DenseProbing = true;
+      Old.DenseOn = true; // Not a reconfig unless the probe sticks.
+    }
+  }
+
+  // --- L1 tier ----------------------------------------------------------
+  // An L1 hit skips everything below it; a miss pays the downstream
+  // stack anyway. Expected downstream cost per node with the (new)
+  // dense setting:
+  double Downstream =
+      C.DenseOn ? Model.DenseProbeNs + (1.0 - DnRate) * Model.HashedProbeNs
+                : Model.HashedProbeNs;
+  bool L1WasProbing = L1Probing;
+  L1Probing = false;
+  if (C.L1On && L1P > 0) {
+    // Record the hit rate this associativity achieved for the
+    // hill-climb.
+    WaysHitRate[C.L1Ways] = std::max(WaysHitRate[C.L1Ways], L1Rate);
+    bool Pays = L1Rate * Downstream > Model.L1ProbeNs;
+    if (!Pays) {
+      C.L1On = false;
+      L1CoolOff = Opts.RecoveryWindows;
+      WaysSettled = false;
+      if (L1WasProbing)
+        Old.L1On = false;
+    } else if (!WaysSettled && L1Rate < Opts.WaysExploreHitRate) {
+      unsigned Other = C.L1Ways == 1 ? 2u : 1u;
+      if (WaysHitRate[Other] < 0) {
+        // The alternative shape is unmeasured; try it next window.
+        C.L1Ways = Other;
+      } else {
+        // Both measured: keep the better one and stop exploring.
+        C.L1Ways = WaysHitRate[2] > WaysHitRate[1] ? 2u : 1u;
+        WaysSettled = true;
+      }
+    } else if (L1Rate >= Opts.WaysExploreHitRate) {
+      WaysSettled = true;
+    }
+  } else if (!C.L1On && Opts.L1Exists) {
+    if (L1CoolOff > 0) {
+      --L1CoolOff;
+    } else {
+      C.L1On = true;
+      L1Probing = true;
+      Old.L1On = true;
+    }
+  }
+
+  if (!(C == Old))
+    Reconfigs.fetch_add(1, std::memory_order_relaxed);
+  Packed.store(C.pack(), std::memory_order_relaxed);
+  Windows.fetch_add(1, std::memory_order_relaxed);
+}
+
+TierDecisions TierController::decisions() const {
+  TierDecisions D;
+  D.Adaptive = true;
+  D.Config = config();
+  D.PromoteThreshold = Threshold.load(std::memory_order_relaxed);
+  D.Windows = Windows.load(std::memory_order_relaxed);
+  D.Reconfigs = Reconfigs.load(std::memory_order_relaxed);
+  return D;
+}
+
+TierController::Costs TierController::costModel() const {
+  // Model is written only under EvalM, but reads race benignly: before
+  // the first window it is the default (invalid) value, after it is
+  // stable. Reporting-only, so a torn read during the single transition
+  // is acceptable... except under TSan. Take the lock; this path is
+  // never hot.
+  std::lock_guard<std::mutex> L(const_cast<std::mutex &>(EvalM));
+  return Model;
+}
+
+TierController::Costs TierController::measureProbeCosts() {
+  // Time one representative probe of each tier against small synthetic
+  // structures. Absolute numbers are rough (container timers, turbo,
+  // noise) — only the *ratios* steer decisions, and the structures are
+  // shaped so each loop does the same kind of memory work as the real
+  // probe: L1 = private array lookup + memcmp; dense = two dependent
+  // acquire loads; hashed = seqlock probe into a shard.
+  constexpr unsigned Iters = 4096;
+  Costs C;
+
+  // L1: a real cache, populated with the keys we then probe.
+  {
+    L1TransitionCache L1(10, 1);
+    std::uint32_t Key[4] = {0, 0, 0, 0};
+    for (std::uint32_t I = 0; I < 256; ++I) {
+      Key[1] = I;
+      L1.insert(Key, 4, TransitionCache::hashKey(Key, 4), StateId(I));
+    }
+    std::uint64_t Sink = 0;
+    std::uint64_t T0 = nowNs();
+    for (unsigned R = 0; R < Iters; ++R) {
+      Key[1] = R & 255u;
+      Sink += L1.lookup(Key, 4, TransitionCache::hashKey(Key, 4));
+    }
+    std::uint64_t T1 = nowNs();
+    // Keep the loop alive past the optimizer.
+    C.L1ProbeNs = (Sink == ~std::uint64_t(0))
+                      ? 1.0
+                      : static_cast<double>(T1 - T0) / Iters;
+  }
+
+  // Hashed L2: a real TransitionCache, same key population.
+  {
+    TransitionCache Cache;
+    std::uint32_t Key[4] = {0, 0, 0, 0};
+    for (std::uint32_t I = 0; I < 256; ++I) {
+      Key[1] = I;
+      Cache.insert(Key, 4, StateId(I));
+    }
+    std::uint64_t Sink = 0;
+    std::uint64_t T0 = nowNs();
+    for (unsigned R = 0; R < Iters; ++R) {
+      Key[1] = R & 255u;
+      Sink += Cache.lookup(Key, 4);
+    }
+    std::uint64_t T1 = nowNs();
+    C.HashedProbeNs = (Sink == ~std::uint64_t(0))
+                          ? 1.0
+                          : static_cast<double>(T1 - T0) / Iters;
+  }
+
+  // Dense: the real tier's probe shape is two dependent acquire loads
+  // (row pointer, then entry). Emulate with a two-level atomic array so
+  // the measurement doesn't need a grammar to promote rows from.
+  {
+    constexpr unsigned N = 256;
+    std::vector<std::atomic<std::uint32_t>> Entries(N);
+    for (unsigned I = 0; I < N; ++I)
+      Entries[I].store(I + 1, std::memory_order_relaxed);
+    std::vector<std::atomic<std::atomic<std::uint32_t> *>> Rows(N);
+    for (unsigned I = 0; I < N; ++I)
+      Rows[I].store(Entries.data(), std::memory_order_relaxed);
+    std::uint64_t Sink = 0;
+    std::uint64_t T0 = nowNs();
+    for (unsigned R = 0; R < Iters; ++R) {
+      auto *Row = Rows[R & (N - 1)].load(std::memory_order_acquire);
+      Sink += Row[(R * 7) & (N - 1)].load(std::memory_order_acquire);
+    }
+    std::uint64_t T1 = nowNs();
+    C.DenseProbeNs = (Sink == ~std::uint64_t(0))
+                         ? 1.0
+                         : static_cast<double>(T1 - T0) / Iters;
+  }
+
+  // Guard against clock granularity making a cost read as zero (which
+  // would make that tier look free and pin it on forever).
+  C.L1ProbeNs = std::max(C.L1ProbeNs, 0.5);
+  C.DenseProbeNs = std::max(C.DenseProbeNs, 0.5);
+  C.HashedProbeNs = std::max(C.HashedProbeNs, 0.5);
+  return C;
+}
+
+} // namespace odburg

@@ -1,0 +1,225 @@
+//===- core/TierController.h - Self-tuning warm-path tiers ----------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A per-session controller that makes the warm-path tier stack pay for
+/// itself. The on-demand automaton's warm path is a three-tier probe —
+/// per-worker L1 micro-cache, shared dense rows, hashed seqlock cache —
+/// and every tier is a bet: a probe costs a few nanoseconds up front and
+/// pays off only when it hits often enough to skip the costlier tier
+/// below. BENCH_p4_dense showed the bet can lose on real hardware (bare
+/// hashed-L2 beat the full stack on a single-core container), so the
+/// configuration cannot be a compile-time constant.
+///
+/// The controller closes the loop at runtime:
+///
+///   - *Measure.* Labeling workers feed their per-function SelectionStats
+///     deltas into observe(); the controller accumulates per-tier
+///     probe/hit counters over an observation window of WindowNodes
+///     labeled nodes.
+///   - *Model.* A tiny startup microprobe times one representative probe
+///     of each tier (L1 lookup, dense row chase, hashed seqlock probe) on
+///     the machine actually running — the costs the decision rule weighs.
+///     Tests pin the costs instead, which makes every decision a pure
+///     function of the observed counters.
+///   - *Decide.* At each window boundary the break-even rule runs per
+///     tier: a tier stays enabled iff
+///         hitRate * costOf(tier below) > costOf(this tier's probe),
+///     i.e. the expected downstream work a hit saves exceeds the probe
+///     tax every node pays. The L1 additionally hill-climbs its
+///     associativity (1-way vs 2-way) when its hit rate is mediocre, and
+///     the dense tier's promotion threshold is lowered when rows are too
+///     cold to hit and raised back when they saturate.
+///   - *Recover.* A disabled tier stops producing counters, so the
+///     controller re-enables it for one probe window every
+///     RecoveryWindows windows; if the workload shifted and the tier now
+///     pays, it stays on.
+///
+/// Decisions are published as one packed atomic word; workers snapshot it
+/// once per function (TierConfig is plain data), so reconfiguration never
+/// synchronizes with in-flight lookups — which is safe precisely because
+/// every tier is a pure accelerator: any mix of configurations across
+/// workers and functions produces byte-identical labels, rules, costs,
+/// and therefore assembly. The differential-test harness enforces that
+/// invariant cheaply.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_CORE_TIERCONTROLLER_H
+#define ODBURG_CORE_TIERCONTROLLER_H
+
+#include "support/Statistic.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace odburg {
+
+/// One warm-path configuration: which tiers are probed and how the L1 is
+/// shaped. Plain data — workers copy it once per function.
+struct TierConfig {
+  /// Probe the per-worker L1 micro-cache.
+  bool L1On = true;
+  /// L1 associativity (1 = direct-mapped, 2 = 2-way).
+  unsigned L1Ways = 1;
+  /// Probe the shared dense-row tier on L1 misses.
+  bool DenseOn = true;
+
+  bool operator==(const TierConfig &) const = default;
+
+  std::uint32_t pack() const {
+    return (L1On ? 1u : 0u) | ((L1Ways >= 2 ? 1u : 0u) << 1) |
+           ((DenseOn ? 1u : 0u) << 2);
+  }
+  static TierConfig unpack(std::uint32_t W) {
+    TierConfig C;
+    C.L1On = (W & 1u) != 0;
+    C.L1Ways = (W & 2u) ? 2 : 1;
+    C.DenseOn = (W & 4u) != 0;
+    return C;
+  }
+};
+
+/// A point-in-time view of the controller's state — what odburg-run's
+/// tier column, SessionStats, and the server's STATS line report.
+struct TierDecisions {
+  /// Whether a controller is attached at all (false = static config).
+  bool Adaptive = false;
+  /// The configuration currently published to workers.
+  TierConfig Config;
+  /// The dense tier's current promotion threshold.
+  unsigned PromoteThreshold = 64;
+  /// Observation windows evaluated so far.
+  std::uint64_t Windows = 0;
+  /// Configuration changes applied so far (excludes recovery probes that
+  /// immediately reverted).
+  std::uint64_t Reconfigs = 0;
+};
+
+/// The self-tuning controller. One per on-demand backend; observe() is
+/// safe from any number of labeling workers, config() is one relaxed
+/// atomic load.
+class TierController {
+public:
+  /// Per-probe costs in nanoseconds — the microprobe's output, or pinned
+  /// by tests for deterministic decisions.
+  struct Costs {
+    double L1ProbeNs = 0;
+    double DenseProbeNs = 0;
+    double HashedProbeNs = 0;
+    bool valid() const {
+      return L1ProbeNs > 0 && DenseProbeNs > 0 && HashedProbeNs > 0;
+    }
+  };
+
+  struct Options {
+    /// Labeled nodes per observation window. Windows are counted in
+    /// nodes, not time, so decisions are reproducible for a given
+    /// workload and cost model regardless of machine speed or thread
+    /// count (uniform workloads accumulate the same counters in any
+    /// interleaving).
+    std::uint64_t WindowNodes = 64 * 1024;
+    /// Windows a disabled tier sits out before one recovery probe window
+    /// re-enables it for re-measurement.
+    unsigned RecoveryWindows = 8;
+    /// Explore the other L1 associativity when the hit rate sits below
+    /// this and the alternative has not been measured yet.
+    double WaysExploreHitRate = 0.90;
+    /// Bounds for the adaptive dense promotion threshold.
+    unsigned MinPromoteThreshold = 8;
+    unsigned MaxPromoteThreshold = 1024;
+    /// Lower the dense promotion threshold while the dense hit rate sits
+    /// below this (promote more aggressively); raise it back once above.
+    double DenseColdHitRate = 0.50;
+    /// Pinned probe costs; any field <= 0 means "run the microprobe at
+    /// the first window boundary".
+    Costs PinnedCosts;
+    /// Which tiers exist in this backend at all. A tier the session was
+    /// built without (UseL1Cache=false, DenseRows=false) is not a
+    /// disabled tier — it cannot be recovery-probed back on.
+    bool L1Exists = true;
+    bool DenseExists = true;
+  };
+
+  /// \p Initial is the static configuration the session would have used
+  /// without a controller; \p PromoteThreshold its dense threshold.
+  TierController(TierConfig Initial, unsigned PromoteThreshold, Options Opts);
+
+  TierController(const TierController &) = delete;
+  TierController &operator=(const TierController &) = delete;
+
+  /// The configuration workers should label the *next* function with.
+  TierConfig config() const {
+    return TierConfig::unpack(Packed.load(std::memory_order_relaxed));
+  }
+
+  /// The dense tier's current promotion threshold.
+  unsigned promoteThreshold() const {
+    return Threshold.load(std::memory_order_relaxed);
+  }
+
+  /// Feeds one function's labeling counters into the current window.
+  /// Called by every worker after every labeled function; the window
+  /// boundary crossing runs the (cheap) evaluation on the crossing
+  /// worker.
+  void observe(const SelectionStats &Delta);
+
+  /// Snapshot for reporting.
+  TierDecisions decisions() const;
+
+  /// The cost model in effect (invalid until the first window boundary
+  /// when costs were not pinned).
+  Costs costModel() const;
+
+  /// Times one representative probe of each tier on this machine: a
+  /// worker-private L1 lookup, a dense row chase (two dependent loads
+  /// through atomics), and a hashed seqlock cache probe. ~100us total.
+  static Costs measureProbeCosts();
+
+private:
+  void evaluateWindow();
+
+  const Options Opts;
+  /// The published configuration; workers load it relaxed once per
+  /// function.
+  std::atomic<std::uint32_t> Packed;
+  std::atomic<unsigned> Threshold;
+
+  /// Window accumulators; reset at each boundary by the evaluator.
+  std::atomic<std::uint64_t> WNodes{0};
+  std::atomic<std::uint64_t> WL1Probes{0}, WL1Hits{0};
+  std::atomic<std::uint64_t> WDenseProbes{0}, WDenseHits{0};
+  std::atomic<std::uint64_t> WCacheProbes{0}, WCacheHits{0};
+
+  /// Serializes window evaluation (try-lock: a busy evaluator means the
+  /// crossing worker just keeps labeling; the next crossing retries).
+  std::mutex EvalM;
+
+  /// Evaluator-private state, all under EvalM (plus atomics for the
+  /// reporting snapshot).
+  Costs Model;
+  bool ModelMeasured = false;
+  std::atomic<std::uint64_t> Windows{0};
+  std::atomic<std::uint64_t> Reconfigs{0};
+  /// Recovery countdowns: >0 means the tier was disabled by the rule and
+  /// sits out this many more windows before a probe window.
+  unsigned L1CoolOff = 0;
+  unsigned DenseCoolOff = 0;
+  /// True while the tier is enabled only to re-measure it (a recovery
+  /// probe window); a failing re-measure disables it again without
+  /// counting as a reconfiguration flap.
+  bool L1Probing = false;
+  bool DenseProbing = false;
+  /// L1 associativity hill-climb: best observed hit rate per ways
+  /// setting (<0 = not measured yet).
+  double WaysHitRate[3] = {-1.0, -1.0, -1.0};
+  bool WaysSettled = false;
+};
+
+} // namespace odburg
+
+#endif // ODBURG_CORE_TIERCONTROLLER_H

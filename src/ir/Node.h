@@ -20,6 +20,7 @@
 #include "support/SmallVector.h"
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,9 @@ public:
     assert(I < NumChildren && "child index out of range");
     return Children[I];
   }
+
+  /// All children as a span (operand order).
+  std::span<Node *const> children() const { return {Children, NumChildren}; }
 
   /// Integer payload: constant value, frame offset, label id, register
   /// number — meaning depends on the operator.

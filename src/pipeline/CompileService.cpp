@@ -153,6 +153,7 @@ ServiceStats CompileService::statsSnapshot() const {
     S.Delivered = NextDeliver;
     S.QueueDepth = Undelivered;
     S.Workers = static_cast<unsigned>(Threads.size());
+    S.Label = LabelTotals;
     std::size_t Samples = std::min(LatTotal, LatRing.size());
     S.LatencySamples = Samples;
     Window.assign(LatRing.begin(),
@@ -224,6 +225,7 @@ void CompileService::deliver(Job J, CompileResult R) {
       LatRing.resize(LatencyWindow);
     LatRing[LatTotal % LatencyWindow] = nowNs() - P.SubmitNs;
     ++LatTotal;
+    LabelTotals += P.R.Stats;
     // The sink and the promise fulfil outside the lock: the callback may
     // be slow (it is the consumer), and other workers must keep parking
     // completions meanwhile. Order is safe — Flushing keeps this the only

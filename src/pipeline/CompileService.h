@@ -119,6 +119,31 @@ struct ServiceStats {
   double P50Us = 0.0;
   double P90Us = 0.0;
   double P99Us = 0.0;
+  /// Lifetime labeling work counters, summed over every delivered result
+  /// — the per-tier probe/hit evidence behind the rates below (and the
+  /// same counters a TierController consumes).
+  SelectionStats Label;
+
+  /// \name Per-tier hit rates, in [0, 1].
+  /// All zero-guarded: a tier that took no probes (disabled, adaptive-
+  /// bypassed, or absent from the backend) reads as 0, never NaN.
+  /// @{
+  double l1HitRate() const {
+    return Label.L1Probes ? static_cast<double>(Label.L1Hits) /
+                                static_cast<double>(Label.L1Probes)
+                          : 0.0;
+  }
+  double denseHitRate() const {
+    return Label.DenseProbes ? static_cast<double>(Label.DenseHits) /
+                                   static_cast<double>(Label.DenseProbes)
+                             : 0.0;
+  }
+  double cacheHitRate() const {
+    return Label.CacheProbes ? static_cast<double>(Label.CacheHits) /
+                                   static_cast<double>(Label.CacheProbes)
+                             : 0.0;
+  }
+  /// @}
 };
 
 /// A persistent asynchronous compile service over one grammar. Submission
@@ -286,6 +311,8 @@ private:
   /// by M; LatTotal counts lifetime samples.
   std::vector<std::uint64_t> LatRing;
   std::size_t LatTotal = 0;
+  /// Lifetime labeling counters summed at delivery time, guarded by M.
+  SelectionStats LabelTotals;
   std::size_t NextSeq = 0;
   std::size_t NextDeliver = 0;
   std::size_t Undelivered = 0;

@@ -109,6 +109,7 @@ CompileSession::compileFunctions(std::span<ir::IRFunction *const> Fns,
     }
     Stats->WallNs += Wall.elapsedNs();
     Stats->BackendBytes = B->memoryBytes();
+    Stats->Tier = B->tierDecisions();
   }
   return Results;
 }

@@ -70,6 +70,10 @@ struct SessionStats {
   /// retired arrays kept alive for lock-free readers — or the offline
   /// tables). Snapshot, not a sum, so memory benches stay honest.
   std::size_t BackendBytes = 0;
+  /// Warm-path tier configuration in effect at batch end — the
+  /// TierController's current decisions when the backend is adaptive,
+  /// the static configuration otherwise (Tier.Adaptive distinguishes).
+  TierDecisions Tier;
 
   void reset() { *this = SessionStats(); }
 

@@ -35,6 +35,7 @@
 
 #include "core/L1Cache.h"
 #include "core/OnDemandAutomaton.h"
+#include "core/TierController.h"
 #include "offline/OfflineTables.h"
 #include "select/DPLabeler.h"
 #include "select/DynCost.h"
@@ -93,6 +94,9 @@ private:
   /// On-demand backend: the worker's private transition micro-cache,
   /// created lazily on first use.
   std::unique_ptr<L1TransitionCache> L1;
+  /// On-demand backend: the worker's arena-backed SoA node mirror for the
+  /// batched labeling path (see core/OnDemandAutomaton.h, LabelBatch).
+  LabelBatch Batch;
 };
 
 /// A labeling engine behind the uniform create-once / label-per-worker
@@ -116,6 +120,14 @@ public:
     /// — the winner per grammar class in bench_p4_dense part (c)).
     /// Explicit 1 or 2 overrides.
     unsigned L1Ways = 0;
+    /// On-demand: attach a TierController that retunes the warm-path
+    /// tier stack at runtime from its measured hit rates (see
+    /// core/TierController.h). Off by default — static configuration.
+    bool Adaptive = false;
+    /// On-demand: the controller's knobs (window size, recovery cadence,
+    /// pinned probe costs for deterministic tests). L1Exists/DenseExists
+    /// are derived from the static options, not read from here.
+    TierController::Options AdaptiveOpts;
     /// Offline: state bound for exhaustive generation.
     unsigned OfflineMaxStates = 1u << 18;
     /// Offline: worker threads for table generation (0 = hardware
@@ -143,6 +155,16 @@ public:
 
   /// Approximate shared-state footprint in bytes.
   virtual std::size_t memoryBytes() const = 0;
+
+  /// The warm-path tier configuration in effect, adaptive or static.
+  /// Engines without a tier stack (dp, offline) report an all-off
+  /// default with Adaptive=false.
+  virtual TierDecisions tierDecisions() const {
+    TierDecisions D;
+    D.Config = TierConfig{false, 1, false};
+    D.PromoteThreshold = 0;
+    return D;
+  }
 
   /// Builds the backend for \p G. \p Dyn may be null for grammars without
   /// dynamic costs; it must outlive the backend, as must \p G. Fails with
@@ -208,39 +230,94 @@ private:
 
 /// The on-demand automaton behind the backend interface. One shared
 /// automaton serves all workers; each worker's scratch fronts the shared
-/// transition cache with a private L1 micro-cache.
+/// transition cache with a private L1 micro-cache and labels through the
+/// SoA batched path. With Options::Adaptive, a TierController snapshots
+/// per-function tier configurations and retunes them from measured hit
+/// rates — any configuration it picks labels byte-identically, so
+/// reconfiguration is free of synchronization with in-flight work.
 class OnDemandBackend final : public LabelerBackend {
 public:
   OnDemandBackend(const Grammar &G, const DynCostTable *Dyn,
                   const Options &Opts)
       : A(G, Dyn, Opts.Automaton), UseL1(Opts.UseL1Cache),
         L1Log2Entries(Opts.L1Log2Entries),
-        L1Ways(Opts.L1Ways ? Opts.L1Ways : (G.hasDynCosts() ? 2 : 1)) {}
+        L1Ways(Opts.L1Ways ? Opts.L1Ways : (G.hasDynCosts() ? 2 : 1)) {
+    if (Opts.Adaptive) {
+      bool HasDense = Opts.Automaton.UseTransitionCache &&
+                      Opts.Automaton.DenseRows;
+      TierConfig Initial;
+      Initial.L1On = UseL1;
+      Initial.L1Ways = L1Ways < 2 ? 1 : 2;
+      Initial.DenseOn = HasDense;
+      TierController::Options COpts = Opts.AdaptiveOpts;
+      COpts.L1Exists = UseL1;
+      COpts.DenseExists = HasDense;
+      Controller = std::make_unique<TierController>(
+          Initial, Opts.Automaton.DensePromoteThreshold, COpts);
+    }
+  }
 
   BackendKind kind() const override { return BackendKind::OnDemand; }
   const Labeling &labelFunction(ir::IRFunction &F, LabelerScratch &Scratch,
                                 SelectionStats *Stats) override {
+    // Snapshot the tier configuration once per function: plain data, so
+    // the controller can republish mid-function without racing us.
+    bool L1On = UseL1;
+    unsigned Ways = L1Ways < 2 ? 1u : 2u;
+    bool UseDense = true;
+    if (Controller) {
+      TierConfig C = Controller->config();
+      L1On = C.L1On;
+      Ways = C.L1Ways;
+      UseDense = C.DenseOn;
+      A.setDensePromoteThreshold(Controller->promoteThreshold());
+    }
     L1TransitionCache *L1 = nullptr;
-    if (UseL1) {
-      if (!Scratch.L1 || Scratch.L1->ways() != (L1Ways < 2 ? 1u : 2u))
-        Scratch.L1 = std::make_unique<L1TransitionCache>(L1Log2Entries,
-                                                         L1Ways);
+    if (L1On) {
+      if (!Scratch.L1 || Scratch.L1->ways() != Ways)
+        Scratch.L1 =
+            std::make_unique<L1TransitionCache>(L1Log2Entries, Ways);
       L1 = Scratch.L1.get();
     }
-    A.labelFunction(F, L1, Stats);
+    if (Controller) {
+      // Always collect counters when adaptive — they are the control
+      // signal, not just reporting.
+      SelectionStats Local;
+      A.labelFunctionBatched(F, L1, Scratch.Batch, UseDense, &Local);
+      Controller->observe(Local);
+      if (Stats)
+        *Stats += Local;
+    } else {
+      A.labelFunctionBatched(F, L1, Scratch.Batch, UseDense, Stats);
+    }
     return A;
   }
   bool supportsDynCosts() const override { return true; }
   unsigned numStates() const override { return A.numStates(); }
   std::size_t memoryBytes() const override { return A.memoryBytes(); }
+  TierDecisions tierDecisions() const override {
+    if (Controller)
+      return Controller->decisions();
+    TierDecisions D;
+    D.Adaptive = false;
+    D.Config.L1On = UseL1;
+    D.Config.L1Ways = L1Ways < 2 ? 1 : 2;
+    D.Config.DenseOn = A.denseTier() != nullptr;
+    D.PromoteThreshold =
+        A.denseTier() ? A.denseTier()->promoteThreshold() : 0;
+    return D;
+  }
 
   const OnDemandAutomaton &automaton() const { return A; }
+  /// The attached controller, or null when not adaptive.
+  const TierController *tierController() const { return Controller.get(); }
 
 private:
   OnDemandAutomaton A;
   bool UseL1;
   unsigned L1Log2Entries;
   unsigned L1Ways;
+  std::unique_ptr<TierController> Controller;
 };
 
 } // namespace odburg

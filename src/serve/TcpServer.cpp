@@ -214,11 +214,16 @@ void TcpServer::dispatch(std::uint64_t Tag, const pipeline::CompileResult &R) {
 
 std::string TcpServer::statsJson(BackendKind K, Conn &C) {
   pipeline::ServiceStats S;
+  TierDecisions Tier;
+  Tier.Config = TierConfig{false, 1, false};
+  Tier.PromoteThreshold = 0;
   {
     std::lock_guard<std::mutex> L(LanesM);
     if (const pipeline::CompileService *Svc =
-            Lanes[static_cast<std::size_t>(K)].get())
+            Lanes[static_cast<std::size_t>(K)].get()) {
       S = Svc->statsSnapshot();
+      Tier = Svc->backend().tierDecisions();
+    }
   }
   std::uint64_t ConnSub = 0, ConnDel = 0;
   {
@@ -230,10 +235,19 @@ std::string TcpServer::statsJson(BackendKind K, Conn &C) {
       "STATS {\"backend\":\"%s\",\"submitted\":%zu,\"delivered\":%zu,"
       "\"queueDepth\":%zu,\"workers\":%u,\"latencySamples\":%zu,"
       "\"p50Us\":%.1f,\"p90Us\":%.1f,\"p99Us\":%.1f,"
+      "\"l1HitRate\":%.4f,\"denseHitRate\":%.4f,\"cacheHitRate\":%.4f,"
+      "\"adaptive\":%s,\"tierL1On\":%s,\"tierL1Ways\":%u,"
+      "\"tierDenseOn\":%s,\"tierPromoteThreshold\":%u,"
+      "\"tierWindows\":%llu,\"tierReconfigs\":%llu,"
       "\"connSubmitted\":%llu,\"connDelivered\":%llu,"
       "\"connectionsActive\":%u,\"connectionsAccepted\":%llu}\n",
       backendName(K), S.Submitted, S.Delivered, S.QueueDepth, S.Workers,
-      S.LatencySamples, S.P50Us, S.P90Us, S.P99Us,
+      S.LatencySamples, S.P50Us, S.P90Us, S.P99Us, S.l1HitRate(),
+      S.denseHitRate(), S.cacheHitRate(), Tier.Adaptive ? "true" : "false",
+      Tier.Config.L1On ? "true" : "false", Tier.Config.L1Ways,
+      Tier.Config.DenseOn ? "true" : "false", Tier.PromoteThreshold,
+      static_cast<unsigned long long>(Tier.Windows),
+      static_cast<unsigned long long>(Tier.Reconfigs),
       static_cast<unsigned long long>(ConnSub),
       static_cast<unsigned long long>(ConnDel), connectionsActive(),
       static_cast<unsigned long long>(connectionsAccepted()));

@@ -18,11 +18,15 @@
 #define ODBURG_UNLIKELY(X) __builtin_expect(!!(X), 0)
 #define ODBURG_NOINLINE __attribute__((noinline))
 #define ODBURG_ALWAYS_INLINE inline __attribute__((always_inline))
+/// Read-prefetch with high temporal locality — a pure heat hint; the
+/// address need not be dereferenceable.
+#define ODBURG_PREFETCH(ADDR) __builtin_prefetch((ADDR), 0, 3)
 #else
 #define ODBURG_LIKELY(X) (X)
 #define ODBURG_UNLIKELY(X) (X)
 #define ODBURG_NOINLINE
 #define ODBURG_ALWAYS_INLINE inline
+#define ODBURG_PREFETCH(ADDR) ((void)(ADDR))
 #endif
 
 #endif // ODBURG_SUPPORT_COMPILER_H

@@ -78,25 +78,34 @@ TEST_P(BackendDifferential, AllThreeBackendsEmitIdenticalCode) {
   std::vector<std::vector<std::tuple<std::uint32_t, RuleId, NonterminalId>>>
       RefSel;
   bool HaveRef = false;
-  // The on-demand backend runs twice: with its adaptive dense-row tier
-  // (an aggressive promotion threshold so rows really serve) and without.
-  // Dense rows are a pure accelerator and must never move a single byte
-  // of assembly.
+  // The on-demand backend runs three times: with its dense-row tier (an
+  // aggressive promotion threshold so rows really serve), without it, and
+  // under the adaptive TierController with a tiny observation window (so
+  // it reconfigures the warm path mid-corpus). Tiers — and the controller
+  // reshaping them — are pure accelerators and must never move a single
+  // byte of assembly.
   struct Config {
     BackendKind Kind;
     bool DenseRows;
     unsigned PromoteThreshold;
+    bool Adaptive;
   };
-  for (const Config &C : {Config{BackendKind::DP, false, 0},
-                          Config{BackendKind::Offline, false, 0},
-                          Config{BackendKind::OnDemand, true, 1},
-                          Config{BackendKind::OnDemand, false, 0}}) {
+  for (const Config &C : {Config{BackendKind::DP, false, 0, false},
+                          Config{BackendKind::Offline, false, 0, false},
+                          Config{BackendKind::OnDemand, true, 1, false},
+                          Config{BackendKind::OnDemand, false, 0, false},
+                          Config{BackendKind::OnDemand, true, 0, true}}) {
     BackendKind Kind = C.Kind;
     CompileSession::Options Opts;
     Opts.Backend = Kind;
     Opts.BackendOpts.Automaton.DenseRows = C.DenseRows;
     if (C.PromoteThreshold)
       Opts.BackendOpts.Automaton.DensePromoteThreshold = C.PromoteThreshold;
+    Opts.BackendOpts.Adaptive = C.Adaptive;
+    if (C.Adaptive) {
+      Opts.BackendOpts.AdaptiveOpts.WindowNodes = 512;
+      Opts.BackendOpts.AdaptiveOpts.RecoveryWindows = 1;
+    }
     auto Session = CompileSession::create(T->Fixed, nullptr, Opts);
     ASSERT_TRUE(static_cast<bool>(Session))
         << backendName(Kind) << ": " << Session.message();

@@ -256,6 +256,66 @@ TEST(CompileSession, L1HitRateSurfacesInSessionStats) {
             TwoTierWarm.Label.L1Hits + TwoTierWarm.Label.CacheProbes);
 }
 
+TEST(CompileSession, HitRateAccessorsAreZeroNotNaNOnZeroProbes) {
+  // A default-constructed stats object has zero probes everywhere; the
+  // rate accessors must read 0, not NaN (division by zero would poison
+  // every JSON report and comparison downstream).
+  SessionStats Empty;
+  EXPECT_EQ(Empty.l1HitRate(), 0.0);
+  EXPECT_EQ(Empty.denseHitRate(), 0.0);
+
+  // A DP-backend batch never probes any tier: same invariant on a stats
+  // object that went through a real compile.
+  auto T = cantFail(makeTarget("x86"));
+  std::vector<ir::IRFunction> Corpus = makeCorpus(T->G);
+  std::vector<ir::IRFunction *> Ptrs = pointers(Corpus);
+  CompileSession::Options Opts;
+  Opts.Backend = BackendKind::DP;
+  CompileSession Session(T->G, &T->Dyn, Opts);
+  SessionStats Stats;
+  Session.compileFunctions(Ptrs, 2, &Stats);
+  EXPECT_GT(Stats.Label.NodesLabeled, 0u);
+  EXPECT_EQ(Stats.Label.L1Probes, 0u);
+  EXPECT_EQ(Stats.Label.DenseProbes, 0u);
+  EXPECT_EQ(Stats.l1HitRate(), 0.0);
+  EXPECT_EQ(Stats.denseHitRate(), 0.0);
+  // And the tier report for an engine without a tier stack is all-off,
+  // not adaptive.
+  EXPECT_FALSE(Stats.Tier.Adaptive);
+  EXPECT_FALSE(Stats.Tier.Config.L1On);
+  EXPECT_FALSE(Stats.Tier.Config.DenseOn);
+}
+
+TEST(CompileSession, TierDecisionsReportStaticAndAdaptiveConfigs) {
+  auto T = cantFail(makeTarget("x86"));
+  std::vector<ir::IRFunction> Corpus = makeCorpus(T->Fixed);
+  std::vector<ir::IRFunction *> Ptrs = pointers(Corpus);
+
+  // Adaptive disabled (the default): the report mirrors the static
+  // options and stays constant across batches — no controller churn.
+  CompileSession Static(T->Fixed, nullptr);
+  SessionStats S1, S2;
+  Static.compileFunctions(Ptrs, 2, &S1);
+  Static.compileFunctions(Ptrs, 2, &S2);
+  EXPECT_FALSE(S1.Tier.Adaptive);
+  EXPECT_TRUE(S1.Tier.Config.L1On);
+  EXPECT_TRUE(S1.Tier.Config.DenseOn);
+  EXPECT_EQ(S1.Tier.Windows, 0u);
+  EXPECT_EQ(S2.Tier.Reconfigs, 0u);
+  EXPECT_EQ(S1.Tier.Config.pack(), S2.Tier.Config.pack());
+
+  // Adaptive enabled: the flag flips and the same corpus still compiles
+  // to the same bytes.
+  CompileSession::Options Opts;
+  Opts.BackendOpts.Adaptive = true;
+  CompileSession Adaptive(T->Fixed, nullptr, Opts);
+  SessionStats SA;
+  std::vector<CompileResult> RA = Adaptive.compileFunctions(Ptrs, 2, &SA);
+  EXPECT_TRUE(SA.Tier.Adaptive);
+  std::vector<CompileResult> RS = Static.compileFunctions(Ptrs, 2);
+  EXPECT_EQ(CompileSession::concatAsm(RA), CompileSession::concatAsm(RS));
+}
+
 namespace {
 
 /// A tiny grammar with emit templates, plus a corpus where the middle

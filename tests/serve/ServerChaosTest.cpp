@@ -360,6 +360,22 @@ TEST(ServerChaos, BackendHandshakeSelectsLaneAndStatsReportIt) {
     EXPECT_NE(Line.find(std::string("\"backend\":\"") + Name + "\""),
               std::string::npos)
         << Line;
+    // Tier telemetry is present for every lane; only the on-demand lane's
+    // warm path actually probes, so its hit rates are live while the DP
+    // and offline lanes report the zero-guarded 0.
+    for (const char *Field :
+         {"\"l1HitRate\":", "\"denseHitRate\":", "\"cacheHitRate\":",
+          "\"adaptive\":", "\"tierL1On\":", "\"tierL1Ways\":",
+          "\"tierDenseOn\":", "\"tierPromoteThreshold\":",
+          "\"tierWindows\":", "\"tierReconfigs\":"})
+      EXPECT_NE(Line.find(Field), std::string::npos) << Field << " " << Line;
+    if (std::string_view(Name) == "ondemand") {
+      EXPECT_NE(Line.find("\"tierL1On\":true"), std::string::npos) << Line;
+      EXPECT_NE(Line.find("\"tierDenseOn\":true"), std::string::npos) << Line;
+    } else {
+      EXPECT_NE(Line.find("\"tierL1On\":false"), std::string::npos) << Line;
+      EXPECT_NE(Line.find("\"l1HitRate\":0.0000"), std::string::npos) << Line;
+    }
     Got.erase(At, End - At + 1);
     EXPECT_EQ(Got, Ref);
   }

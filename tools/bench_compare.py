@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json reports produced by the bench binaries.
+
+Every bench binary writes, under --json=<path>, a JSON array whose first
+element is a "__meta__" host/build object (hardware_concurrency, build,
+compiler, os, smoke) followed by one object per recorded table row. This
+script pairs up rows between a baseline and a candidate report and flags
+metric regressions beyond a tolerance.
+
+Pairing: rows match when their "bench" field and every *string-valued*
+field agree (string fields are configuration axes: backend names, tier
+configurations, workload names). Numeric fields are the metrics.
+
+Direction heuristics (overridable per run are deliberately not offered —
+keep the convention in the field names): a metric is higher-is-better
+when its key contains one of fn_per_s/rate/speedup/hit/throughput/ratio,
+lower-is-better when it contains one of ns/ms/us/sec/bytes/mb/cost/
+states/misses, and ignored otherwise (counts like "functions" are
+workload parameters, not outcomes).
+
+Exit status: 0 when no regression beyond --tolerance, 1 when at least one
+metric regressed, 2 on usage or file errors (including a build-type
+mismatch between the two reports, which makes the numbers incomparable).
+"""
+
+import argparse
+import json
+import sys
+
+HIGHER_BETTER = ("fn_per_s", "per_s", "rate", "speedup", "hit", "throughput",
+                 "ratio")
+LOWER_BETTER = ("ns", "ms", "us", "sec", "bytes", "mb", "kb", "cost",
+                "misses", "states")
+
+
+def direction(key):
+    """+1 higher-is-better, -1 lower-is-better, 0 not a tracked metric."""
+    k = key.lower()
+    # Token-wise match for the short units so "ms" does not fire inside
+    # "mismatches"; substring match for the long descriptive names.
+    tokens = k.replace("/", "_").replace("%", "_").split("_")
+    for h in HIGHER_BETTER:
+        if (len(h) > 3 and h in k) or h in tokens:
+            return 1
+    for l in LOWER_BETTER:
+        if (len(l) > 3 and l in k) or l in tokens:
+            return -1
+    return 0
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            rows = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    if not isinstance(rows, list):
+        sys.exit(f"error: {path}: expected a JSON array")
+    meta = {}
+    data = []
+    for row in rows:
+        if not isinstance(row, dict):
+            continue
+        if row.get("bench") == "__meta__":
+            meta = row
+        else:
+            data.append(row)
+    return meta, data
+
+
+# Integer fields that are configuration axes, not outcomes — included in
+# the pairing key alongside every string- and bool-valued field.
+INT_CONFIG_FIELDS = {"threads", "workers", "ways", "functions", "nodes",
+                     "connections", "repeat", "window"}
+
+
+def row_key(row):
+    parts = [("bench", str(row.get("bench", "")))]
+    for k in sorted(row):
+        if k == "bench":
+            continue
+        v = row[k]
+        if isinstance(v, (str, bool)) or \
+                (isinstance(v, int) and k.lower() in INT_CONFIG_FIELDS):
+            parts.append((k, str(v)))
+    return tuple(parts)
+
+
+def fmt_key(key):
+    return " ".join(f"{k}={v}" for k, v in key)
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Diff two bench --json reports and flag regressions.")
+    ap.add_argument("baseline", help="baseline BENCH_*.json")
+    ap.add_argument("candidate", help="candidate BENCH_*.json")
+    ap.add_argument("--tolerance", type=float, default=0.05,
+                    help="relative change to tolerate before a metric "
+                         "counts as a regression (default 0.05 = 5%%)")
+    ap.add_argument("--verbose", action="store_true",
+                    help="print every compared metric, not just regressions")
+    args = ap.parse_args()
+
+    base_meta, base_rows = load(args.baseline)
+    cand_meta, cand_rows = load(args.candidate)
+
+    if base_meta and cand_meta:
+        if base_meta.get("build") != cand_meta.get("build"):
+            sys.exit(f"error: build type mismatch: baseline is "
+                     f"{base_meta.get('build')}, candidate is "
+                     f"{cand_meta.get('build')} — numbers are incomparable")
+        for field in ("hardware_concurrency", "compiler", "os", "smoke"):
+            if base_meta.get(field) != cand_meta.get(field):
+                print(f"warning: {field} differs: baseline="
+                      f"{base_meta.get(field)} candidate="
+                      f"{cand_meta.get(field)}", file=sys.stderr)
+
+    base_by_key = {}
+    for row in base_rows:
+        base_by_key.setdefault(row_key(row), []).append(row)
+
+    compared = 0
+    regressions = []
+    unmatched = 0
+    for row in cand_rows:
+        key = row_key(row)
+        bucket = base_by_key.get(key)
+        if not bucket:
+            unmatched += 1
+            continue
+        base = bucket.pop(0)
+        for k, v in row.items():
+            if not isinstance(v, (int, float)) or isinstance(v, bool):
+                continue
+            bv = base.get(k)
+            if not isinstance(bv, (int, float)) or isinstance(bv, bool):
+                continue
+            d = direction(k)
+            if d == 0 or bv == 0:
+                continue
+            change = (v - bv) / abs(bv)
+            compared += 1
+            regressed = (d > 0 and change < -args.tolerance) or \
+                        (d < 0 and change > args.tolerance)
+            if regressed:
+                regressions.append((key, k, bv, v, change))
+            if args.verbose or regressed:
+                tag = "REGRESSION" if regressed else "ok"
+                print(f"{tag:10s} {fmt_key(key)} :: {k}: "
+                      f"{bv:g} -> {v:g} ({change:+.1%})")
+
+    print(f"compared {compared} metrics across "
+          f"{len(cand_rows)} candidate rows "
+          f"({unmatched} unmatched), tolerance {args.tolerance:.0%}: "
+          f"{len(regressions)} regression(s)")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -286,6 +286,13 @@ bool readLine(Socket &S, std::string &Line) {
   }
 }
 
+/// Whether the one-line STATS JSON carries \p Key at all. The tier
+/// telemetry fields are doubles/booleans, so presence is the contract the
+/// load generator can check without a JSON parser.
+bool statsHasField(const std::string &Json, const std::string &Key) {
+  return Json.find("\"" + Key + "\":") != std::string::npos;
+}
+
 /// Pulls an integer field out of the one-line STATS JSON; -1 if absent.
 long long statsField(const std::string &Json, const std::string &Key) {
   std::size_t At = Json.find("\"" + Key + "\":");
@@ -370,6 +377,17 @@ ConnOutcome runConnection(const LoadOptions &Opts, const ConnPlan &Plan,
       Out.Detail = "dead STATS counters: " + Line;
       return Out;
     }
+    // The warm-path tier telemetry must always be present — per-tier hit
+    // rates plus the (adaptive or static) controller decisions.
+    for (const char *Key :
+         {"l1HitRate", "denseHitRate", "cacheHitRate", "adaptive",
+          "tierL1On", "tierL1Ways", "tierDenseOn", "tierPromoteThreshold",
+          "tierWindows", "tierReconfigs"})
+      if (!statsHasField(Line, Key)) {
+        Out.Detail = std::string("STATS missing tier field '") + Key +
+                     "': " + Line;
+        return Out;
+      }
   }
 
   // Input done; expect orderly EOF, nothing extra on the wire.

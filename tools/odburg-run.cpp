@@ -60,6 +60,8 @@ struct DriverOptions {
   bool UseCache = true;
   bool UseL1 = true;
   bool UseDense = true;
+  /// Attach the self-tuning TierController (ondemand backend).
+  bool Adaptive = false;
   unsigned L1Ways = 0; // 0 = auto (2-way on dyn-cost grammars).
   bool ForceFixed = false;
   unsigned MaxStates = 0; // 0 = automaton default.
@@ -99,6 +101,11 @@ int usage(const char *Argv0, int Exit) {
       "                        per-worker L1 micro-cache (ablation)\n"
       "  --no-dense            disable the adaptive dense-row tier; every\n"
       "                        L1 miss probes the hashed cache (ablation)\n"
+      "  --adaptive            attach the self-tuning TierController: tier\n"
+      "                        configuration (L1 on/off/ways, dense on/off,\n"
+      "                        promotion threshold) is retuned at runtime\n"
+      "                        from measured hit rates (ondemand backend;\n"
+      "                        see the tier column)\n"
       "  --l1-ways=N           L1 associativity: 1 direct-mapped, 2 two-way\n"
       "                        (default: auto — 2-way on dyn-cost grammars)\n"
       "  --max-states=N        override the automaton state-growth bound\n"
@@ -141,6 +148,8 @@ bool parseArgs(int Argc, char **Argv, DriverOptions &Opts, int &ExitCode) {
       Opts.UseL1 = false;
     } else if (Arg == "--no-dense") {
       Opts.UseDense = false;
+    } else if (Arg == "--adaptive") {
+      Opts.Adaptive = true;
     } else if (startsWith(Arg, "--l1-ways=")) {
       if (!parseUnsigned(Value("--l1-ways="), Opts.L1Ways) ||
           Opts.L1Ways < 1 || Opts.L1Ways > 2) {
@@ -268,6 +277,27 @@ bool writeFile(const std::string &Path, const std::string &Text) {
   return true;
 }
 
+/// Renders the warm-path tier configuration as one compact cell:
+/// "l1x2+dn@64+l2" is a 2-way L1 over the dense tier (promotion threshold
+/// 64) over the hashed L2; dropped tiers drop out of the chain. Adaptive
+/// configurations carry an "adp:" prefix and the controller's progress as
+/// ":wW:rR" (observation windows evaluated, reconfigurations applied).
+std::string tierCell(BackendKind Backend, const TierDecisions &D) {
+  if (Backend != BackendKind::OnDemand)
+    return "-";
+  std::string S = D.Adaptive ? "adp:" : "";
+  if (D.Config.L1On)
+    S += formatf("l1x%u+", D.Config.L1Ways);
+  if (D.Config.DenseOn)
+    S += formatf("dn@%u+", D.PromoteThreshold);
+  S += "l2";
+  if (D.Adaptive)
+    S += formatf(":w%llu:r%llu",
+                 static_cast<unsigned long long>(D.Windows),
+                 static_cast<unsigned long long>(D.Reconfigs));
+  return S;
+}
+
 /// Renders \p Corpus in the odburg-serve wire format: each statement root
 /// as one s-expression line, one blank line between functions.
 std::string corpusToWire(const std::vector<ir::IRFunction> &Corpus,
@@ -299,7 +329,7 @@ int main(int Argc, char **Argv) {
       resolveThreads(0)));
   Table.setHeader({"target", "profile", "backend", "gram", "thr", "nodes",
                    "cold ms", "warm ms", "fn/s", "speedup", "lbl/red/emt %",
-                   "l1%", "dn%", "hit%", "states", "asm KB", "asm"});
+                   "l1%", "dn%", "hit%", "tier", "states", "asm KB", "asm"});
 
   bool AllIdentical = true;
   bool AnyFailed = false;
@@ -366,6 +396,7 @@ int main(int Argc, char **Argv) {
         SOpts.BackendOpts.Automaton.DenseRows = Opts.UseCache && Opts.UseDense;
         SOpts.BackendOpts.UseL1Cache = Opts.UseCache && Opts.UseL1;
         SOpts.BackendOpts.L1Ways = Opts.L1Ways;
+        SOpts.BackendOpts.Adaptive = Opts.Adaptive;
         if (Opts.MaxStates) {
           SOpts.BackendOpts.Automaton.MaxStates = Opts.MaxStates;
           SOpts.BackendOpts.OfflineMaxStates = Opts.MaxStates;
@@ -449,7 +480,7 @@ int main(int Argc, char **Argv) {
                formatFixed(BaselineWarmNs / static_cast<double>(WarmNs), 2),
                phaseSplit(Warm), formatFixed(100.0 * Warm.l1HitRate(), 1),
                formatFixed(100.0 * Warm.denseHitRate(), 1),
-               formatFixed(HitPct, 1),
+               formatFixed(HitPct, 1), tierCell(Backend, Warm.Tier),
                formatThousands(Session.backend().numStates()),
                formatThousands(Asm.size() / 1024), Check});
         }
@@ -465,7 +496,10 @@ int main(int Argc, char **Argv) {
       "thread count of the same backend. The tier columns split the warm\n"
       "path (ondemand backend only): l1%% is the per-worker L1 micro-cache,\n"
       "dn%% the shared dense-row tier serving L1 misses by direct array\n"
-      "indexing, hit%% the hashed seqlock cache catching the rest.\n"
+      "indexing, hit%% the hashed seqlock cache catching the rest. tier is\n"
+      "the configuration in effect at batch end (l1x<ways>+dn@<promote\n"
+      "threshold>+l2; dropped tiers drop out); with --adaptive it carries\n"
+      "an adp: prefix plus :w<windows evaluated>:r<reconfigs applied>.\n"
       "The asm column checks the concatenated assembly and total cost\n"
       "against the first row on the same grammar variant — across thread\n"
       "counts and backends alike, it must never read DIVERGED.\n");

@@ -40,6 +40,62 @@ OnDemandAutomaton::OnDemandAutomaton(const Grammar &G, const DynCostTable *Dyn,
       std::min(this->Opts.MaxStates, StateTable::maxCapacity() - 4096);
 }
 
+namespace {
+
+/// Resolves one node through the offline-partition tables: a direct
+/// leaf-state read or one dense table index over representer maps.
+/// Returns InvalidState when the node is outside the partition's
+/// coverage — operator not in the partition, or a child labeled by a
+/// state the offline enumeration never saw (id >= NumStates, i.e. a
+/// dyn-cost subtree's state) — in which case the caller falls through
+/// to the normal on-demand probe, which resolves to the exact same
+/// state the tables would have (delta normalization makes offline and
+/// on-demand states bit-equal; the seeded id space makes ids agree).
+template <typename GetChild>
+inline StateId offlineResolve(const OfflinePartitionView &PV, OperatorId Op,
+                              unsigned NumChildren, GetChild &&Child) {
+  const OfflinePartitionView::OpEntry &E = PV.Ops[Op];
+  if (!E.InPartition)
+    return InvalidState;
+  if (NumChildren == 0)
+    return E.Leaf;
+  std::size_t Index = 0;
+  for (unsigned P = 0; P < NumChildren; ++P) {
+    StateId C = Child(P);
+    if (C >= PV.NumStates)
+      return InvalidState;
+    Index = Index * E.Dims[P] + E.RepMaps[P][C];
+  }
+  return E.Table[Index];
+}
+
+} // namespace
+
+void OnDemandAutomaton::seedStatesFrom(const StateTable &Src) {
+  assert(States.size() == 0 && "seeding requires an empty state table");
+  assert(Src.numNonterminals() == G.numNonterminals() &&
+         "seed states must have this grammar's nonterminal count");
+  unsigned K = Src.size();
+  unsigned NumNts = G.numNonterminals();
+  std::vector<Cost> Costs(NumNts);
+  std::vector<RuleId> Rules(NumNts);
+  for (StateId Id = 0; Id < K; ++Id) {
+    const State *S = Src.byId(Id);
+    for (NonterminalId Nt = 0; Nt < NumNts; ++Nt) {
+      Costs[Nt] = S->costOf(Nt);
+      Rules[Nt] = S->ruleOf(Nt);
+    }
+    const State *NS = States.intern(S->Op, Costs.data(), Rules.data());
+    // A canonical source table has no duplicates, so interning in id
+    // order must reproduce the ids exactly — the offline dispatch would
+    // silently mislabel otherwise, so check for real, not just in
+    // asserts-on builds.
+    if (NS->Id != Id)
+      reportFatalError("seeding the on-demand automaton did not reproduce "
+                       "the source state ids (duplicate states in source)");
+  }
+}
+
 const State *OnDemandAutomaton::computeState(OperatorId Op,
                                              const State *const *ChildStates,
                                              const Cost *DynOutcomes,
@@ -66,6 +122,20 @@ StateId OnDemandAutomaton::labelNode(ir::Node &N, L1TransitionCache *L1,
   ++Stats.NodesLabeled;
   OperatorId Op = N.op();
   unsigned NumChildren = N.numChildren();
+
+  // Hybrid dispatch: a static-partition node over offline-known child
+  // states is one table index, no key, no tiers.
+  if (Partition) {
+    StateId Hit = offlineResolve(*Partition, Op, NumChildren, [&](unsigned P) {
+      return N.child(P)->label();
+    });
+    if (Hit != InvalidState) {
+      ++Stats.OfflineHits;
+      N.setLabel(Hit);
+      return Hit;
+    }
+  }
+
   const auto &DynRules = G.dynRulesFor(Op);
   unsigned NumDyn = DynRules.size();
 
@@ -205,6 +275,7 @@ void OnDemandAutomaton::labelNodes(LabelBatch &B, L1TransitionCache *L1,
   Stats.NodesLabeled += N;
   DenseTransitionTier *DT = UseDenseTier ? Dense.get() : nullptr;
   const bool Cached = Opts.UseTransitionCache;
+  const OfflinePartitionView *PV = Partition;
 
   SmallVector<std::uint32_t, 20> Key;
   SmallVector<Cost, 16> DynOutcomes;
@@ -214,25 +285,40 @@ void OnDemandAutomaton::labelNodes(LabelBatch &B, L1TransitionCache *L1,
     OperatorId Op = B.Ops[I];
     unsigned NumChildren = B.NumCh[I];
     const std::uint32_t *Ch = B.ChildIds + B.FirstChild[I];
-    const auto &DynRules = G.dynRulesFor(Op);
-    unsigned NumDyn = DynRules.size();
 
-    Key.clear();
-    Key.push_back(TransitionCache::packHeader(Op, NumChildren, NumDyn));
-    // Child states are contiguous indexed loads — the SoA win: no node
-    // pointer is touched on the warm path.
-    for (unsigned C = 0; C < NumChildren; ++C)
-      Key.push_back(B.Labels[Ch[C]]);
-    DynOutcomes.clear();
-    for (unsigned J = 0; J < NumDyn; ++J) {
-      ++Stats.DynCostEvals;
-      DynOutcomes.push_back(
-          Dyn->evaluate(G.normRule(DynRules[J]).DynHook, *B.Nodes[I]));
-      Key.push_back(DynOutcomes.back().raw());
+    // Tier 0 (hybrid only): the offline-partition tables. A static-
+    // partition node over offline-known child states resolves by one
+    // direct table index — no key construction, no hashing, no tier
+    // probes; the burg-style per-node cost on the grammar's static
+    // majority.
+    StateId Result = InvalidState;
+    if (PV) {
+      Result = offlineResolve(*PV, Op, NumChildren,
+                              [&](unsigned P) { return B.Labels[Ch[P]]; });
+      if (ODBURG_LIKELY(Result != InvalidState))
+        ++Stats.OfflineHits;
     }
 
-    StateId Result;
-    if (ODBURG_LIKELY(Cached)) {
+    if (Result != InvalidState) {
+      // Fall through to the store + prefetch tail below.
+    } else if (ODBURG_LIKELY(Cached)) {
+      const auto &DynRules = G.dynRulesFor(Op);
+      unsigned NumDyn = DynRules.size();
+
+      Key.clear();
+      Key.push_back(TransitionCache::packHeader(Op, NumChildren, NumDyn));
+      // Child states are contiguous indexed loads — the SoA win: no node
+      // pointer is touched on the warm path.
+      for (unsigned C = 0; C < NumChildren; ++C)
+        Key.push_back(B.Labels[Ch[C]]);
+      DynOutcomes.clear();
+      for (unsigned J = 0; J < NumDyn; ++J) {
+        ++Stats.DynCostEvals;
+        DynOutcomes.push_back(
+            Dyn->evaluate(G.normRule(DynRules[J]).DynHook, *B.Nodes[I]));
+        Key.push_back(DynOutcomes.back().raw());
+      }
+
       std::uint64_t H = TransitionCache::hashKey(Key.data(), Key.size());
       bool UseL1 = L1 && L1TransitionCache::cacheable(Key.size());
       bool UseDense = DT && NumChildren >= 1 && DT->eligible(Op);
@@ -274,9 +360,17 @@ void OnDemandAutomaton::labelNodes(LabelBatch &B, L1TransitionCache *L1,
           L1->insert(Key.data(), Key.size(), H, Result);
       }
     } else {
+      // Cache-ablated path: recompute the state at every node.
+      const auto &DynRules = G.dynRulesFor(Op);
+      DynOutcomes.clear();
+      for (RuleId DR : DynRules) {
+        ++Stats.DynCostEvals;
+        DynOutcomes.push_back(
+            Dyn->evaluate(G.normRule(DR).DynHook, *B.Nodes[I]));
+      }
       ChildStates.clear();
       for (unsigned C = 0; C < NumChildren; ++C)
-        ChildStates.push_back(States.byId(Key[1 + C]));
+        ChildStates.push_back(States.byId(B.Labels[Ch[C]]));
       const State *S =
           computeState(Op, ChildStates.data(), DynOutcomes.data(), Stats);
       Result = S->Id;

@@ -33,6 +33,7 @@
 
 #include "core/DenseTransitionTier.h"
 #include "core/L1Cache.h"
+#include "core/OfflinePartition.h"
 #include "core/State.h"
 #include "core/StateComputer.h"
 #include "core/TransitionCache.h"
@@ -186,6 +187,25 @@ public:
   void labelNodes(LabelBatch &Batch, L1TransitionCache *L1, bool UseDense,
                   SelectionStats &Stats);
 
+  /// Bridges externally enumerated states into this automaton: interns
+  /// every state of \p Src in id order into the automaton's own table.
+  /// Must run before any labeling, on an automaton whose table is still
+  /// empty, so the interned ids come out equal to the source ids — the
+  /// identification the hybrid backend's offline dispatch rests on (see
+  /// core/OfflinePartition.h). Asserted, not hoped for.
+  void seedStatesFrom(const StateTable &Src);
+
+  /// Attaches an offline-partition view: nodes whose operator is in the
+  /// partition and whose child labels are all < PV->NumStates resolve by
+  /// direct table indexing (counted as SelectionStats::OfflineHits),
+  /// bypassing key construction and every warm-path tier. Requires
+  /// seedStatesFrom() to have interned exactly the view's states first.
+  /// \p PV is non-owning and must outlive the automaton; null detaches.
+  void attachOfflinePartition(const OfflinePartitionView *PV) {
+    Partition = PV;
+  }
+  const OfflinePartitionView *offlinePartition() const { return Partition; }
+
   /// Retunes the dense tier's promotion threshold at runtime (no-op when
   /// the tier is off). Safe while labeling runs — see
   /// DenseTransitionTier::setPromoteThreshold.
@@ -235,6 +255,8 @@ private:
   StateTable States;
   TransitionCache Cache;
   std::unique_ptr<DenseTransitionTier> Dense;
+  /// The hybrid backend's offline-partition bridge; null otherwise.
+  const OfflinePartitionView *Partition = nullptr;
   Options Opts;
   std::uint64_t Generation = nextGeneration();
 };

@@ -33,6 +33,9 @@ public:
   static std::vector<OpTable> &opTables(CompiledTables &T) {
     return T.OpTables;
   }
+  static std::vector<std::uint8_t> &inPartition(CompiledTables &T) {
+    return T.InPartition;
+  }
   static CompiledTables::Stats &stats(CompiledTables &T) { return T.GenStats; }
   static std::unique_ptr<StateTable> &states(CompiledTables &T) {
     return T.States;
@@ -85,8 +88,10 @@ struct PendingTransition {
 /// The whole generation state machine.
 class Generator {
 public:
-  Generator(const Grammar &G, unsigned MaxStates, unsigned Threads)
-      : G(G), MaxStates(MaxStates), Threads(Threads), Computer(G),
+  Generator(const Grammar &G, unsigned MaxStates, unsigned Threads,
+            std::vector<std::uint8_t> InPart)
+      : G(G), MaxStates(MaxStates), Threads(Threads),
+        InPart(std::move(InPart)), Computer(G),
         States(std::make_unique<StateTable>(G.numNonterminals())) {}
 
   Expected<CompiledTables> run();
@@ -122,6 +127,9 @@ private:
   const Grammar &G;
   unsigned MaxStates;
   unsigned Threads;
+  /// One byte per operator; 0 = excluded from generation (the hybrid
+  /// backend's dyn-cost remainder). All-ones for full generation.
+  std::vector<std::uint8_t> InPart;
   StateComputer Computer;
   std::unique_ptr<StateTable> States;
   std::vector<SmallVector<PosData, 2>> Pos; // Indexed by op.
@@ -138,20 +146,41 @@ private:
 };
 
 Expected<CompiledTables> Generator::run() {
-  if (G.hasDynCosts())
-    return Error::make(
-        ErrorKind::UnsupportedDynamicCosts,
-        "offline tables cannot encode dynamic costs; strip the dynamic "
-        "rules (grammar::withoutDynCostRules) or use the on-demand "
-        "automaton");
+  unsigned NumOps = G.numOperators();
+  assert(InPart.size() == NumOps && "membership vector must cover every op");
+
+  // Dynamic costs are fundamentally unsupported on member operators: the
+  // tables are fixed before the subject tree exists. Name the offenders —
+  // the user otherwise has to hunt through the grammar — and point at the
+  // backend built for exactly this situation.
+  {
+    std::string DynOps;
+    for (OperatorId Op = 0; Op < NumOps; ++Op) {
+      if (!InPart[Op] || G.dynRulesFor(Op).empty())
+        continue;
+      if (!DynOps.empty())
+        DynOps += ", ";
+      DynOps += "'" + G.operatorName(Op) + "'";
+    }
+    if (!DynOps.empty())
+      return Error::make(
+          ErrorKind::UnsupportedDynamicCosts,
+          "offline tables cannot encode dynamic costs: operator(s) " +
+              DynOps +
+              " carry dynamic-cost rules; use --backend=hybrid (offline "
+              "tables on the static partition, on-demand for the rest), "
+              "strip the dynamic rules (grammar::withoutDynCostRules), or "
+              "use the on-demand automaton");
+  }
 
   Stopwatch Timer;
 
   // Prepare per-(op, position) relevant-nonterminal sets.
-  unsigned NumOps = G.numOperators();
   Pos.resize(NumOps);
   Trans.resize(NumOps);
   for (OperatorId Op = 0; Op < NumOps; ++Op) {
+    if (!InPart[Op])
+      continue; // Excluded operators are the on-demand path's business.
     unsigned Arity = G.operatorArity(Op);
     if (Arity > 4)
       return Error::make("offline tables support operator arity <= 4 ('" +
@@ -174,7 +203,7 @@ Expected<CompiledTables> Generator::run() {
   // Seed with leaf-operator states.
   std::vector<StateId> LeafStates(NumOps, InvalidState);
   for (OperatorId Op = 0; Op < NumOps; ++Op) {
-    if (G.operatorArity(Op) != 0)
+    if (!InPart[Op] || G.operatorArity(Op) != 0)
       continue;
     SmallVector<Cost, 32> Costs;
     SmallVector<RuleId, 32> Rules;
@@ -210,9 +239,12 @@ Expected<CompiledTables> Generator::run() {
   CompiledTables Out;
   TableBuilder::leafStates(Out) = std::move(LeafStates);
   TableBuilder::opTables(Out).resize(NumOps);
+  TableBuilder::inPartition(Out) = InPart;
   std::size_t TableBytes = 0;
   std::size_t NumTransitions = 0;
   for (OperatorId Op = 0; Op < NumOps; ++Op) {
+    if (!InPart[Op])
+      continue; // No leaf state, no rows: labeling must not come here.
     unsigned Arity = G.operatorArity(Op);
     if (Arity == 0) {
       TableBytes += sizeof(StateId);
@@ -270,6 +302,8 @@ Error Generator::processState(StateId SId) {
     return stateLimitError();
   const State *S = States->byId(SId);
   for (OperatorId Op = 0; Op < G.numOperators(); ++Op) {
+    if (!InPart[Op])
+      continue; // Pos[Op] was never prepared for excluded operators.
     for (unsigned P = 0; P < G.operatorArity(Op); ++P) {
       PosData &D = Pos[Op][P];
       // Project the state onto the position's relevant nonterminals and
@@ -442,9 +476,21 @@ OfflineTableGen::OfflineTableGen(const Grammar &G, unsigned MaxStates)
 }
 
 Expected<CompiledTables> OfflineTableGen::generate(unsigned Threads) {
+  return generateSubset(
+      std::vector<std::uint8_t>(G.numOperators(), std::uint8_t(1)), Threads);
+}
+
+Expected<CompiledTables>
+OfflineTableGen::generateSubset(std::span<const std::uint8_t> InPartition,
+                                unsigned Threads) {
+  assert(InPartition.size() == G.numOperators() &&
+         "membership vector must cover every operator");
   if (Threads == 0)
     Threads = std::max(1u, std::thread::hardware_concurrency());
-  return Generator(G, MaxStates, Threads).run();
+  return Generator(
+             G, MaxStates, Threads,
+             std::vector<std::uint8_t>(InPartition.begin(), InPartition.end()))
+      .run();
 }
 
 std::uint64_t CompiledTables::fingerprint() const {
@@ -467,7 +513,44 @@ std::uint64_t CompiledTables::fingerprint() const {
       H = hashRange(M.data(), M.data() + M.size(), H);
     H = hashRange(T.Table.data(), T.Table.data() + T.Table.size(), H);
   }
+  H = hashCombine(H, partitionFingerprint());
   return H;
+}
+
+std::uint64_t CompiledTables::partitionFingerprint() const {
+  std::uint64_t H = 0x0DB09A27u;
+  H = hashCombine(H, InPartition.size());
+  H = hashRange(InPartition.data(), InPartition.data() + InPartition.size(),
+                H);
+  return H;
+}
+
+bool CompiledTables::isPartitioned() const {
+  for (std::uint8_t M : InPartition)
+    if (!M)
+      return true;
+  return false;
+}
+
+OfflinePartitionView CompiledTables::makePartitionView() const {
+  OfflinePartitionView PV;
+  unsigned NumOps = static_cast<unsigned>(LeafStates.size());
+  PV.Ops.resize(NumOps);
+  PV.NumStates = States->size();
+  for (OperatorId Op = 0; Op < NumOps; ++Op) {
+    OfflinePartitionView::OpEntry &E = PV.Ops[Op];
+    E.InPartition = inPartition(Op);
+    if (!E.InPartition)
+      continue;
+    E.Leaf = LeafStates[Op];
+    const OpTable &T = OpTables[Op];
+    for (unsigned P = 0; P < T.Dims.size(); ++P) {
+      E.Dims[P] = T.Dims[P];
+      E.RepMaps[P] = T.RepMaps[P].data();
+    }
+    E.Table = T.Table.data();
+  }
+  return PV;
 }
 
 namespace {
@@ -475,7 +558,10 @@ namespace {
 /// Serialization format tag. Bump the version on any layout change; load()
 /// rejects unknown versions rather than guessing.
 constexpr char TablesMagic[8] = {'O', 'D', 'B', 'U', 'R', 'G', 'T', '\0'};
-constexpr std::uint32_t TablesVersion = 1;
+/// Version 2 added the partition fingerprint and the per-operator
+/// membership bytes (hybrid backend partitioned dumps); version-1 files
+/// are rejected, not guessed at — regenerate them.
+constexpr std::uint32_t TablesVersion = 2;
 
 /// Little-endian fixed-width primitives. The build targets little-endian
 /// hosts (x86-64/aarch64); memcpy keeps the access alignment-safe.
@@ -501,6 +587,7 @@ Error CompiledTables::dump(std::ostream &OS) const {
   OS.write(TablesMagic, sizeof(TablesMagic));
   writeRaw(OS, TablesVersion);
   writeRaw(OS, fingerprint());
+  writeRaw(OS, partitionFingerprint());
 
   unsigned NumStates = States->size();
   unsigned NumNts = States->numNonterminals();
@@ -508,6 +595,10 @@ Error CompiledTables::dump(std::ostream &OS) const {
   writeRaw(OS, NumOps);
   writeRaw(OS, static_cast<std::uint32_t>(NumNts));
   writeRaw(OS, static_cast<std::uint32_t>(NumStates));
+
+  // Per-operator partition membership (all ones for a full generation).
+  for (std::uint32_t Op = 0; Op < NumOps; ++Op)
+    writeRaw(OS, static_cast<std::uint8_t>(inPartition(Op) ? 1 : 0));
 
   // States in id order: operator, then the raw cost and rule vectors
   // (raw() keeps the infinity encoding intact).
@@ -547,10 +638,6 @@ Error CompiledTables::dump(std::ostream &OS) const {
 Expected<CompiledTables> CompiledTables::load(std::istream &IS,
                                               const Grammar &G) {
   Stopwatch Timer;
-  if (G.hasDynCosts())
-    return Error::make(ErrorKind::UnsupportedDynamicCosts,
-                       "offline tables cannot serve a dynamic-cost grammar; "
-                       "load against the stripped (fixed-cost) variant");
 
   char Magic[sizeof(TablesMagic)];
   IS.read(Magic, sizeof(Magic));
@@ -558,10 +645,11 @@ Expected<CompiledTables> CompiledTables::load(std::istream &IS,
     return Error::make(ErrorKind::MalformedInput,
                        "offline tables: bad magic (not a table dump)");
   std::uint32_t Version = 0;
-  std::uint64_t StoredFingerprint = 0;
+  std::uint64_t StoredFingerprint = 0, StoredPartFingerprint = 0;
   std::uint32_t NumOps = 0, NumNts = 0, NumStates = 0;
   if (!readRaw(IS, Version) || !readRaw(IS, StoredFingerprint) ||
-      !readRaw(IS, NumOps) || !readRaw(IS, NumNts) || !readRaw(IS, NumStates))
+      !readRaw(IS, StoredPartFingerprint) || !readRaw(IS, NumOps) ||
+      !readRaw(IS, NumNts) || !readRaw(IS, NumStates))
     return truncatedError();
   if (Version != TablesVersion)
     return Error::make(ErrorKind::MalformedInput,
@@ -580,6 +668,37 @@ Expected<CompiledTables> CompiledTables::load(std::istream &IS,
                            std::to_string(NumStates));
 
   CompiledTables Out;
+
+  // Partition membership, keyed by its own fingerprint so a corrupted
+  // membership block fails here with a precise diagnostic rather than at
+  // the whole-file fingerprint check. Member operators must be dyn-free
+  // in \p G — the tables were fixed before any subject tree, so they
+  // cannot serve an operator whose costs are decided per node. (A full
+  // dump therefore still rejects any dynamic-cost grammar; a partitioned
+  // dump accepts one as long as the dyn-cost operators are excluded.)
+  std::vector<std::uint8_t> &Membership = TableBuilder::inPartition(Out);
+  Membership.resize(NumOps, 0);
+  for (std::uint32_t Op = 0; Op < NumOps; ++Op) {
+    if (!readRaw(IS, Membership[Op]))
+      return truncatedError();
+    if (Membership[Op] > 1)
+      return Error::make(ErrorKind::MalformedInput,
+                         "offline tables: invalid partition membership byte");
+  }
+  if (Out.partitionFingerprint() != StoredPartFingerprint)
+    return Error::make(ErrorKind::MalformedInput,
+                       "offline tables: partition fingerprint mismatch — "
+                       "the membership block is corrupted");
+  for (std::uint32_t Op = 0; Op < NumOps; ++Op)
+    if (Membership[Op] &&
+        !G.dynRulesFor(static_cast<OperatorId>(Op)).empty())
+      return Error::make(
+          ErrorKind::UnsupportedDynamicCosts,
+          "offline tables cannot serve dynamic costs: operator '" +
+              G.operatorName(static_cast<OperatorId>(Op)) +
+              "' carries dynamic-cost rules but is a member of the dumped "
+              "partition; regenerate the tables (or use --backend=hybrid, "
+              "which excludes dyn-cost operators)");
   TableBuilder::states(Out) = std::make_unique<StateTable>(NumNts);
   StateTable &States = *TableBuilder::states(Out);
 
@@ -623,13 +742,18 @@ Expected<CompiledTables> CompiledTables::load(std::istream &IS,
     std::uint32_t Arity = 0;
     if (!readRaw(IS, Arity))
       return truncatedError();
-    if (Arity != G.operatorArity(static_cast<OperatorId>(Op)))
+    // Non-member operators dump no rows (a bare zero); member operators
+    // must match the grammar's arity exactly.
+    std::uint32_t ExpectedArity =
+        Membership[Op] ? G.operatorArity(static_cast<OperatorId>(Op)) : 0;
+    if (Arity != ExpectedArity)
       return Error::make(ErrorKind::MalformedInput,
                          "offline tables: arity mismatch for operator '" +
                              G.operatorName(static_cast<OperatorId>(Op)) +
                              "'");
     if (Arity == 0) {
-      TableBytes += sizeof(StateId);
+      if (Membership[Op])
+        TableBytes += sizeof(StateId);
       continue;
     }
     // Bound the dense-table dimensions before allocating anything from

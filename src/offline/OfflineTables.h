@@ -28,6 +28,7 @@
 #ifndef ODBURG_OFFLINE_OFFLINETABLES_H
 #define ODBURG_OFFLINE_OFFLINETABLES_H
 
+#include "core/OfflinePartition.h"
 #include "core/State.h"
 #include "core/StateComputer.h"
 #include "grammar/Grammar.h"
@@ -38,6 +39,7 @@
 
 #include <iosfwd>
 #include <memory>
+#include <span>
 #include <vector>
 
 namespace odburg {
@@ -77,6 +79,36 @@ public:
   const Stats &stats() const { return GenStats; }
   const StateTable &stateTable() const { return *States; }
 
+  /// \name Partition membership
+  /// Tables generated over an operator subset (OfflineTableGen::
+  /// generateSubset, the hybrid backend's static partition) cover only
+  /// their member operators; full generations report every operator as a
+  /// member.
+  /// @{
+  bool inPartition(OperatorId Op) const {
+    return InPartition.empty() || InPartition[Op] != 0;
+  }
+  /// One byte per operator, 1 = member. Empty means "all operators"
+  /// (never produced by the current generator/loader, tolerated for
+  /// safety).
+  const std::vector<std::uint8_t> &partitionMembership() const {
+    return InPartition;
+  }
+  /// True when at least one operator is excluded.
+  bool isPartitioned() const;
+  /// Hash of the membership vector alone — the key under which a
+  /// partitioned dump is valid. dump() records it; load() re-validates
+  /// it; the hybrid backend compares it against the partition it
+  /// computed from the grammar before trusting loaded tables.
+  std::uint64_t partitionFingerprint() const;
+  /// @}
+
+  /// Flattens the tables into the non-owning per-operator view the
+  /// on-demand automaton dispatches through (core/OfflinePartition.h).
+  /// The view borrows this object's storage: keep the CompiledTables
+  /// alive, and do not move it, while the view is attached anywhere.
+  OfflinePartitionView makePartitionView() const;
+
   /// Content fingerprint over everything labeling can observe: every
   /// state's (operator, costs, rules) in id order, the leaf-state map, and
   /// each operator's dims, representer maps and dense table. Two
@@ -84,23 +116,31 @@ public:
   /// identity check behind the parallel-generation tests and benches.
   std::uint64_t fingerprint() const;
 
-  /// Serializes the tables — states, leaf-state map, representer maps,
-  /// dense tables — to \p OS in a versioned little-endian binary format,
-  /// keyed by fingerprint(): the header records the fingerprint so load()
-  /// can prove it reconstructed the exact same automaton. Generation cost
-  /// is thereby paid once per grammar across processes
-  /// (odburg-serve --tables). Fails on stream write errors.
+  /// Serializes the tables — partition membership, states, leaf-state
+  /// map, representer maps, dense tables — to \p OS in a versioned
+  /// little-endian binary format, keyed by fingerprint() and
+  /// partitionFingerprint(): the header records both so load() can prove
+  /// it reconstructed the exact same automaton over the exact same
+  /// operator subset. Generation cost is thereby paid once per grammar
+  /// across processes (odburg-serve --tables, both the pure offline
+  /// backend and the hybrid's static partition). Fails on stream write
+  /// errors.
   Error dump(std::ostream &OS) const;
 
   /// Deserializes tables dumped by dump(). Validates the header, the
   /// grammar shape (\p G must have the same operator/nonterminal counts
-  /// and arities as the dumping grammar, and no dynamic costs), and —
-  /// after reconstructing — that the recomputed fingerprint matches the
-  /// stored one, so a corrupted or mismatched file can never label. All
-  /// failures are typed ErrorKind::MalformedInput except dynamic costs
+  /// and member-operator arities as the dumping grammar, and no dynamic
+  /// costs on any member operator — a full dump therefore still rejects
+  /// any dynamic-cost grammar), the partition fingerprint against the
+  /// stored membership, and — after reconstructing — that the recomputed
+  /// fingerprint matches the stored one, so a corrupted or mismatched
+  /// file can never label. All failures are typed
+  /// ErrorKind::MalformedInput except dynamic costs
   /// (ErrorKind::UnsupportedDynamicCosts). The loaded stats report
   /// GenThreads == 0 to mark tables that were loaded, not generated;
-  /// GenerationMs is the load time.
+  /// GenerationMs is the load time. Whether the loaded partition is the
+  /// one the caller wants is the caller's check (compare
+  /// partitionMembership(); the hybrid backend does).
   static Expected<CompiledTables> load(std::istream &IS, const Grammar &G);
 
 private:
@@ -119,6 +159,8 @@ private:
   std::vector<StateId> LeafStates; ///< Indexed by OperatorId; InvalidState
                                    ///< for interior operators.
   std::vector<OpTable> OpTables;   ///< Indexed by OperatorId.
+  std::vector<std::uint8_t> InPartition; ///< Indexed by OperatorId; 1 =
+                                         ///< covered by these tables.
   Stats GenStats;
 };
 
@@ -144,6 +186,20 @@ public:
   /// Fails with ErrorKind::UnsupportedDynamicCosts if the grammar has
   /// dynamic costs and ErrorKind::StateLimitExceeded past the state bound.
   Expected<CompiledTables> generate(unsigned Threads = 1);
+
+  /// As generate(), restricted to the operator subset marked by
+  /// \p InPartition (one byte per operator, 1 = member): only member
+  /// operators are seeded, projected, and compiled into tables; the rest
+  /// get no leaf state and no transition rows. The enumeration closes
+  /// over member operators alone, so the resulting states are exactly
+  /// those reachable through the partition — the hybrid backend's static
+  /// majority. The grammar may carry dynamic costs as long as every
+  /// member operator is dyn-free (ErrorKind::UnsupportedDynamicCosts
+  /// otherwise); member arities must still be <= 4. Determinism is
+  /// unchanged: bit-identical tables for any thread count.
+  Expected<CompiledTables>
+  generateSubset(std::span<const std::uint8_t> InPartition,
+                 unsigned Threads = 1);
 
 private:
   const Grammar &G;

@@ -143,6 +143,13 @@ struct ServiceStats {
                                    static_cast<double>(Label.CacheProbes)
                              : 0.0;
   }
+  /// Share of labeled nodes the hybrid backend resolved by direct
+  /// offline-partition table indexing; 0 for every other backend.
+  double offlineHitRate() const {
+    return Label.NodesLabeled ? static_cast<double>(Label.OfflineHits) /
+                                    static_cast<double>(Label.NodesLabeled)
+                              : 0.0;
+  }
   /// @}
 };
 

@@ -94,6 +94,15 @@ struct SessionStats {
                                    static_cast<double>(Label.DenseProbes)
                              : 0.0;
   }
+
+  /// Share of labeled nodes the hybrid backend resolved by direct
+  /// offline-partition table indexing, in [0, 1]; 0 for every other
+  /// backend (and for an empty batch).
+  double offlineHitRate() const {
+    return Label.NodesLabeled ? static_cast<double>(Label.OfflineHits) /
+                                    static_cast<double>(Label.NodesLabeled)
+                              : 0.0;
+  }
 };
 
 /// Renders the label/reduce/emit share of a batch's summed phase time as
@@ -170,10 +179,12 @@ public:
   const LabelerBackend &backend() const { return *B; }
 
   /// The shared automaton; only valid when the session runs the (default)
-  /// on-demand backend — use backend() for engine-agnostic introspection.
+  /// on-demand backend or the hybrid (whose automaton serves the dyn-cost
+  /// remainder) — use backend() for engine-agnostic introspection.
   const OnDemandAutomaton &automaton() const {
-    assert(B->kind() == BackendKind::OnDemand &&
-           "automaton() on a session without an on-demand backend");
+    assert((B->kind() == BackendKind::OnDemand ||
+            B->kind() == BackendKind::Hybrid) &&
+           "automaton() on a session without an on-demand automaton");
     return static_cast<const OnDemandBackend &>(*B).automaton();
   }
 

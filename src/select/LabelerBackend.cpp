@@ -16,6 +16,8 @@ const char *odburg::backendName(BackendKind K) {
     return "offline";
   case BackendKind::OnDemand:
     return "ondemand";
+  case BackendKind::Hybrid:
+    return "hybrid";
   }
   return "?";
 }
@@ -27,9 +29,11 @@ Expected<BackendKind> odburg::parseBackendKind(std::string_view Name) {
     return BackendKind::Offline;
   if (Name == "ondemand" || Name == "on-demand")
     return BackendKind::OnDemand;
+  if (Name == "hybrid")
+    return BackendKind::Hybrid;
   return Error::make(ErrorKind::UnknownBackend,
                      "unknown labeler backend '" + std::string(Name) +
-                         "' (known: dp, offline, ondemand)");
+                         "' (known: dp, offline, ondemand, hybrid)");
 }
 
 Expected<std::unique_ptr<LabelerBackend>>
@@ -59,6 +63,44 @@ LabelerBackend::create(BackendKind K, const Grammar &G,
   }
   case BackendKind::OnDemand:
     return std::unique_ptr<LabelerBackend>(new OnDemandBackend(G, Dyn, Opts));
+  case BackendKind::Hybrid: {
+    Expected<std::unique_ptr<HybridBackend>> B =
+        HybridBackend::create(G, Dyn, Opts);
+    if (!B)
+      return B.takeError();
+    return std::unique_ptr<LabelerBackend>(std::move(*B));
+  }
   }
   return Error::make(ErrorKind::UnknownBackend, "invalid backend kind");
+}
+
+Expected<std::unique_ptr<HybridBackend>>
+HybridBackend::create(const Grammar &G, const DynCostTable *Dyn,
+                      const Options &Opts) {
+  GrammarPartition P = GrammarPartition::compute(G);
+  // Subset generation over the static partition: dyn-cost operators are
+  // excluded by construction, so the only reachable failures are the
+  // structural ones (state-limit blowouts), which propagate typed.
+  Expected<CompiledTables> Tables =
+      OfflineTableGen(G, Opts.OfflineMaxStates)
+          .generateSubset(P.InPartition, Opts.OfflineGenThreads);
+  if (!Tables)
+    return Tables.takeError();
+  return std::unique_ptr<HybridBackend>(
+      new HybridBackend(G, Dyn, Opts, std::move(P), std::move(*Tables)));
+}
+
+Expected<std::unique_ptr<HybridBackend>>
+HybridBackend::createWithTables(const Grammar &G, const DynCostTable *Dyn,
+                                const Options &Opts, CompiledTables Tables) {
+  GrammarPartition P = GrammarPartition::compute(G);
+  if (Tables.partitionMembership() != P.InPartition)
+    return Error::make(
+        ErrorKind::MalformedInput,
+        "offline tables: partition shape mismatch — the tables cover a "
+        "different operator subset than this grammar's static partition "
+        "(" + std::to_string(P.numStatic()) +
+            " static operators expected); regenerate them");
+  return std::unique_ptr<HybridBackend>(
+      new HybridBackend(G, Dyn, Opts, std::move(P), std::move(Tables)));
 }

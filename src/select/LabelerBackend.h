@@ -38,6 +38,7 @@
 #include "core/TierController.h"
 #include "offline/OfflineTables.h"
 #include "select/DPLabeler.h"
+#include "select/Partition.h"
 #include "select/DynCost.h"
 #include "select/Labeling.h"
 #include "support/Error.h"
@@ -48,7 +49,8 @@
 
 namespace odburg {
 
-/// The three labeling engines of the paper's comparison.
+/// The three labeling engines of the paper's comparison, plus the
+/// synthesis of its two poles.
 enum class BackendKind {
   /// iburg-style selection-time dynamic programming: no shared tables, no
   /// warm-up, full dynamic-cost support; per-node work grows with the
@@ -61,9 +63,19 @@ enum class BackendKind {
   /// time, one cache probe per node after warm-up, dynamic costs folded
   /// into the transition key.
   OnDemand,
+  /// Offline tables on the grammar's static-cost operator partition
+  /// (see select/Partition.h), bridged into an on-demand automaton that
+  /// serves the dyn-cost remainder: offline lookup speed on the common
+  /// path, the paper's dynamic-cost flexibility everywhere else, byte-
+  /// identical output to every other backend.
+  Hybrid,
 };
 
-/// Canonical lower-case name ("dp", "offline", "ondemand").
+/// Number of BackendKind values — sizes per-backend arrays (e.g. the TCP
+/// server's lanes). Keep in sync with the enum.
+inline constexpr unsigned NumBackendKinds = 4;
+
+/// Canonical lower-case name ("dp", "offline", "ondemand", "hybrid").
 const char *backendName(BackendKind K);
 
 /// Parses a backend name as accepted by --backend. Fails with
@@ -235,7 +247,9 @@ private:
 /// per-function tier configurations and retunes them from measured hit
 /// rates — any configuration it picks labels byte-identically, so
 /// reconfiguration is free of synchronization with in-flight work.
-class OnDemandBackend final : public LabelerBackend {
+/// HybridBackend derives from this: same labeling loop and controller,
+/// with the automaton's offline-partition dispatch armed.
+class OnDemandBackend : public LabelerBackend {
 public:
   OnDemandBackend(const Grammar &G, const DynCostTable *Dyn,
                   const Options &Opts)
@@ -312,12 +326,74 @@ public:
   /// The attached controller, or null when not adaptive.
   const TierController *tierController() const { return Controller.get(); }
 
-private:
+protected:
   OnDemandAutomaton A;
+
+private:
   bool UseL1;
   unsigned L1Log2Entries;
   unsigned L1Ways;
   std::unique_ptr<TierController> Controller;
+};
+
+/// The hybrid backend: the synthesis of the paper's two poles. The
+/// grammar's operators are partitioned (select/Partition.h) into a
+/// static-cost set, compiled through OfflineTableGen::generateSubset
+/// into the same dense tables the pure offline backend uses, and a
+/// dyn-cost remainder the inherited on-demand machinery serves. Before
+/// any labeling the automaton's state table is seeded with the
+/// partition's offline states in id order, identifying the two id
+/// spaces, and the partition view is attached — from then on the
+/// automaton's hot loop resolves every static-partition node over
+/// offline-known children by one direct table index
+/// (SelectionStats::OfflineHits), and everything else through the
+/// normal three-tier probe. Output is byte-identical to dp on every
+/// grammar, including dyn-cost grammars the pure offline backend
+/// rejects.
+class HybridBackend final : public OnDemandBackend {
+public:
+  /// Computes the partition, generates subset tables (propagating typed
+  /// generation failures such as StateLimitExceeded), and arms the
+  /// automaton. Cannot fail with UnsupportedDynamicCosts: dyn-cost
+  /// operators land in the remainder by construction.
+  static Expected<std::unique_ptr<HybridBackend>>
+  create(const Grammar &G, const DynCostTable *Dyn, const Options &Opts);
+
+  /// As create() over already-generated (typically disk-loaded) tables.
+  /// Fails with ErrorKind::MalformedInput when \p Tables' partition
+  /// membership differs from the one compute() yields for \p G — a
+  /// partition-shape mismatch means the dump belongs to a different
+  /// grammar or policy version and must be regenerated.
+  static Expected<std::unique_ptr<HybridBackend>>
+  createWithTables(const Grammar &G, const DynCostTable *Dyn,
+                   const Options &Opts, CompiledTables Tables);
+
+  BackendKind kind() const override { return BackendKind::Hybrid; }
+  /// Automaton states (seeded offline states included) plus nothing else:
+  /// the tables' states are the seeded ones, already counted.
+  std::size_t memoryBytes() const override {
+    return OnDemandBackend::memoryBytes() + Tables.stats().TableBytes;
+  }
+
+  /// The static partition's compiled tables (dump() these to persist the
+  /// partition across processes — odburg-serve --tables).
+  const CompiledTables &tables() const { return Tables; }
+  const GrammarPartition &partition() const { return Part; }
+
+private:
+  HybridBackend(const Grammar &G, const DynCostTable *Dyn,
+                const Options &Opts, GrammarPartition P, CompiledTables T)
+      : OnDemandBackend(G, Dyn, Opts), Part(std::move(P)),
+        Tables(std::move(T)), View(Tables.makePartitionView()) {
+    A.seedStatesFrom(Tables.stateTable());
+    A.attachOfflinePartition(&View);
+  }
+
+  GrammarPartition Part;
+  CompiledTables Tables;
+  /// Borrows Tables' storage; attached to (and outlives every use by) A,
+  /// which this object owns. Never moved after construction.
+  OfflinePartitionView View;
 };
 
 } // namespace odburg

@@ -1,0 +1,39 @@
+//===- select/Partition.cpp - Static/dynamic operator partitioning --------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "select/Partition.h"
+
+#include <cassert>
+
+using namespace odburg;
+
+GrammarPartition GrammarPartition::compute(const Grammar &G) {
+  assert(G.isFinalized() && "grammar must be finalized");
+  GrammarPartition P;
+  unsigned NumOps = G.numOperators();
+  P.InPartition.resize(NumOps, 0);
+  for (OperatorId Op = 0; Op < NumOps; ++Op) {
+    // Static iff offline tables can fully cover the operator: fixed costs
+    // only (dyn hook outcomes are per-node and cannot be tabled) and the
+    // offline generator's arity bound. Dyn-cost *chain* rules would poke
+    // a hole in every operator at once, but the grammar rejects them at
+    // finalize, so per-operator membership is the whole story.
+    bool Static = G.dynRulesFor(Op).empty() && G.operatorArity(Op) <= 4;
+    P.InPartition[Op] = Static ? 1 : 0;
+    (Static ? P.StaticOps : P.DynOps).push_back(Op);
+  }
+  return P;
+}
+
+std::string GrammarPartition::describeDynOps(const Grammar &G) const {
+  std::string Out;
+  for (OperatorId Op : DynOps) {
+    if (!Out.empty())
+      Out += ", ";
+    Out += "'" + G.operatorName(Op) + "'";
+  }
+  return Out;
+}

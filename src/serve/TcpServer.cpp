@@ -76,8 +76,10 @@ Expected<std::unique_ptr<TcpServer>> TcpServer::start(const targets::Target &T,
 
 const Grammar &TcpServer::laneGrammar(BackendKind K) const {
   // The offline lane always serves the stripped fixed-cost grammar (fixed
-  // tables cannot encode dynamic costs); ForceFixed levels the other two
-  // onto it so all lanes produce byte-identical assembly.
+  // tables cannot encode dynamic costs); ForceFixed levels the others
+  // onto it so all lanes produce byte-identical assembly. The hybrid
+  // lane serves the full grammar: its dyn-cost remainder runs on the
+  // automaton, so nothing needs stripping.
   if (Opts.ForceFixed || K == BackendKind::Offline)
     return T.Fixed;
   return T.G;
@@ -236,6 +238,7 @@ std::string TcpServer::statsJson(BackendKind K, Conn &C) {
       "\"queueDepth\":%zu,\"workers\":%u,\"latencySamples\":%zu,"
       "\"p50Us\":%.1f,\"p90Us\":%.1f,\"p99Us\":%.1f,"
       "\"l1HitRate\":%.4f,\"denseHitRate\":%.4f,\"cacheHitRate\":%.4f,"
+      "\"offlineHitRate\":%.4f,"
       "\"adaptive\":%s,\"tierL1On\":%s,\"tierL1Ways\":%u,"
       "\"tierDenseOn\":%s,\"tierPromoteThreshold\":%u,"
       "\"tierWindows\":%llu,\"tierReconfigs\":%llu,"
@@ -243,7 +246,8 @@ std::string TcpServer::statsJson(BackendKind K, Conn &C) {
       "\"connectionsActive\":%u,\"connectionsAccepted\":%llu}\n",
       backendName(K), S.Submitted, S.Delivered, S.QueueDepth, S.Workers,
       S.LatencySamples, S.P50Us, S.P90Us, S.P99Us, S.l1HitRate(),
-      S.denseHitRate(), S.cacheHitRate(), Tier.Adaptive ? "true" : "false",
+      S.denseHitRate(), S.cacheHitRate(), S.offlineHitRate(),
+      Tier.Adaptive ? "true" : "false",
       Tier.Config.L1On ? "true" : "false", Tier.Config.L1Ways,
       Tier.Config.DenseOn ? "true" : "false", Tier.PromoteThreshold,
       static_cast<unsigned long long>(Tier.Windows),

@@ -23,7 +23,8 @@
 /// control requests):
 ///
 ///   client -> server
-///     BACKEND dp|offline|ondemand   optional handshake, before the first
+///     BACKEND dp|offline|ondemand|hybrid
+///                                   optional handshake, before the first
 ///                                   function; selects this connection's
 ///                                   labeling backend (default ondemand)
 ///     STATS                         request a metrics snapshot, any time
@@ -86,7 +87,7 @@ public:
     /// Listen port; 0 = ephemeral (read the outcome with port()).
     std::uint16_t Port = 0;
     /// Serve the stripped fixed-cost grammar on every backend (offline
-    /// always does; this levels dp/ondemand onto it so all three lanes
+    /// always does; this levels dp/ondemand/hybrid onto it so all lanes
     /// produce byte-identical assembly).
     bool ForceFixed = false;
     /// Per-lane CompileService worker-pool size (0 = hardware).
@@ -157,7 +158,7 @@ private:
   std::thread AcceptThread;
 
   mutable std::mutex LanesM;
-  std::array<std::unique_ptr<pipeline::CompileService>, 3> Lanes;
+  std::array<std::unique_ptr<pipeline::CompileService>, NumBackendKinds> Lanes;
 
   mutable std::mutex ConnsM;
   std::unordered_map<std::uint64_t, std::shared_ptr<Conn>> Conns;

@@ -53,6 +53,9 @@ struct SelectionStats {
   std::uint64_t DynCostEvals = 0;
   /// Dense-table lookups (offline labeler fast path).
   std::uint64_t TableLookups = 0;
+  /// Hybrid backend: nodes resolved by direct offline-partition table
+  /// indexing, skipping key construction and every warm-path tier.
+  std::uint64_t OfflineHits = 0;
 
   void reset() { *this = SelectionStats(); }
 
@@ -69,6 +72,7 @@ struct SelectionStats {
     StatesComputed += R.StatesComputed;
     DynCostEvals += R.DynCostEvals;
     TableLookups += R.TableLookups;
+    OfflineHits += R.OfflineHits;
     return *this;
   }
 
@@ -76,7 +80,8 @@ struct SelectionStats {
   /// software stand-in for the executed-instructions metric of the paper.
   std::uint64_t workUnits() const {
     return RuleChecks + ChainRelaxations + CacheProbes + L1Probes +
-           DenseProbes + StatesComputed + DynCostEvals + TableLookups;
+           DenseProbes + StatesComputed + DynCostEvals + TableLookups +
+           OfflineHits;
   }
 };
 

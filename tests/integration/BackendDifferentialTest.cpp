@@ -4,11 +4,14 @@
 //
 // The paper's equivalence claim as a product guarantee: for every built-in
 // target's static-cost grammar, compiling the shared synthetic corpus
-// through a CompileSession on each of the three labeling backends — DP,
-// offline tables, on-demand automaton — yields identical selected rules,
+// through a CompileSession on each labeling backend — DP, offline tables,
+// on-demand automaton, and the hybrid (offline tables on the static
+// partition fronting the automaton) — yields identical selected rules,
 // identical total cover cost, and byte-identical assembly. The backends
 // differ only in how fast they find the cover, never in which cover they
-// find.
+// find. A second suite runs the hybrid against DP on the *full* dyn-cost
+// grammars — the configurations pure offline tables reject — across
+// 1/2/4/8 worker threads.
 //
 //===----------------------------------------------------------------------===//
 
@@ -68,7 +71,7 @@ selections(const std::vector<CompileResult> &Results) {
 
 class BackendDifferential : public ::testing::TestWithParam<std::string> {};
 
-TEST_P(BackendDifferential, AllThreeBackendsEmitIdenticalCode) {
+TEST_P(BackendDifferential, AllBackendsEmitIdenticalCode) {
   auto T = cantFail(makeTarget(GetParam()));
   std::vector<ir::IRFunction> Corpus = makeCorpus(T->Fixed);
   std::vector<ir::IRFunction *> Ptrs = pointers(Corpus);
@@ -90,11 +93,16 @@ TEST_P(BackendDifferential, AllThreeBackendsEmitIdenticalCode) {
     unsigned PromoteThreshold;
     bool Adaptive;
   };
+  // The hybrid runs twice: with the dense-row tier and without. On a
+  // fixed-cost grammar its partition covers every operator, so both
+  // configurations exercise the degenerate all-offline dispatch.
   for (const Config &C : {Config{BackendKind::DP, false, 0, false},
                           Config{BackendKind::Offline, false, 0, false},
                           Config{BackendKind::OnDemand, true, 1, false},
                           Config{BackendKind::OnDemand, false, 0, false},
-                          Config{BackendKind::OnDemand, true, 0, true}}) {
+                          Config{BackendKind::OnDemand, true, 0, true},
+                          Config{BackendKind::Hybrid, true, 1, false},
+                          Config{BackendKind::Hybrid, false, 0, false}}) {
     BackendKind Kind = C.Kind;
     CompileSession::Options Opts;
     Opts.Backend = Kind;
@@ -133,6 +141,63 @@ TEST_P(BackendDifferential, AllThreeBackendsEmitIdenticalCode) {
         EXPECT_EQ(Sel, RefSel) << backendName(Kind) << " x" << Threads;
       }
     }
+  }
+}
+
+// The hybrid's reason to exist: dynamic-cost grammars, which pure offline
+// tables reject outright. On every target's *full* grammar (dyn hooks
+// active) the hybrid must reproduce DP's and the on-demand automaton's
+// selection bit for bit at every thread count — while actually serving a
+// nonzero share of nodes from its offline partition tables.
+TEST_P(BackendDifferential, HybridMatchesDPOnDynamicCostGrammars) {
+  auto T = cantFail(makeTarget(GetParam()));
+  std::vector<ir::IRFunction> Corpus = makeCorpus(T->G);
+  std::vector<ir::IRFunction *> Ptrs = pointers(Corpus);
+
+  std::string RefAsm;
+  Cost RefCost = Cost::zero();
+  std::vector<std::vector<std::tuple<std::uint32_t, RuleId, NonterminalId>>>
+      RefSel;
+  bool HaveRef = false;
+  for (BackendKind Kind :
+       {BackendKind::DP, BackendKind::OnDemand, BackendKind::Hybrid}) {
+    CompileSession::Options Opts;
+    Opts.Backend = Kind;
+    auto Session = CompileSession::create(T->G, &T->Dyn, Opts);
+    ASSERT_TRUE(static_cast<bool>(Session))
+        << backendName(Kind) << ": " << Session.message();
+    std::uint64_t OfflineHits = 0;
+    for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+      SessionStats Stats;
+      std::vector<CompileResult> Results =
+          (*Session)->compileFunctions(Ptrs, Threads, &Stats);
+      OfflineHits += Stats.Label.OfflineHits;
+      for (const CompileResult &R : Results)
+        ASSERT_TRUE(R.ok()) << backendName(Kind) << ": " << R.Diagnostic;
+      std::string Asm = CompileSession::concatAsm(Results);
+      Cost Total = CompileSession::totalCost(Results);
+      auto Sel = selections(Results);
+      if (!HaveRef) {
+        HaveRef = true;
+        RefAsm = std::move(Asm);
+        RefCost = Total;
+        RefSel = std::move(Sel);
+        EXPECT_FALSE(RefAsm.empty());
+      } else {
+        EXPECT_EQ(Asm, RefAsm)
+            << backendName(Kind) << " x" << Threads << " diverged on "
+            << GetParam() << " (full grammar)";
+        EXPECT_EQ(Total, RefCost) << backendName(Kind) << " x" << Threads;
+        EXPECT_EQ(Sel, RefSel) << backendName(Kind) << " x" << Threads;
+      }
+    }
+    // Only the hybrid touches the offline dispatch path, and on a real
+    // machine grammar the static partition is most of the operator set —
+    // the accelerator must actually fire, not silently fall through.
+    if (Kind == BackendKind::Hybrid)
+      EXPECT_GT(OfflineHits, 0u) << GetParam();
+    else
+      EXPECT_EQ(OfflineHits, 0u) << backendName(Kind);
   }
 }
 

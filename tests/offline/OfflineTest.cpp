@@ -11,11 +11,13 @@
 #include "grammar/Synthesize.h"
 #include "grammar/Transform.h"
 #include "select/DPLabeler.h"
+#include "select/Partition.h"
 #include "select/Reducer.h"
 #include "TestUtil.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <sstream>
 
@@ -27,6 +29,10 @@ TEST(Offline, RejectsDynamicCosts) {
   ASSERT_FALSE(static_cast<bool>(T));
   EXPECT_EQ(T.kind(), ErrorKind::UnsupportedDynamicCosts);
   EXPECT_NE(T.message().find("dynamic costs"), std::string::npos);
+  // The rejection is actionable: it names the offending operator and
+  // points at the hybrid backend.
+  EXPECT_NE(T.message().find("'Store'"), std::string::npos) << T.message();
+  EXPECT_NE(T.message().find("hybrid"), std::string::npos) << T.message();
 }
 
 TEST(Offline, StateLimitErrorIsTyped) {
@@ -276,6 +282,102 @@ TEST(Offline, LoadRejectsDynamicCostGrammar) {
   Expected<CompiledTables> L = CompiledTables::load(SS, Dyn);
   ASSERT_FALSE(static_cast<bool>(L));
   EXPECT_EQ(L.kind(), ErrorKind::UnsupportedDynamicCosts);
+}
+
+TEST(Offline, SubsetGenerationCoversOnlyThePartition) {
+  // Partitioned generation over the running example's static set
+  // {Reg, Load, Plus}: the dyn-cost Store is excluded, so generation
+  // succeeds where the full generator reports UnsupportedDynamicCosts.
+  Grammar G = cantFail(parseGrammar(test::runningExampleText()));
+  GrammarPartition P = GrammarPartition::compute(G);
+  ASSERT_EQ(P.numDynamic(), 1u);
+  CompiledTables T =
+      cantFail(OfflineTableGen(G).generateSubset(P.InPartition));
+  EXPECT_TRUE(T.isPartitioned());
+  EXPECT_EQ(T.partitionMembership(), P.InPartition);
+  EXPECT_GT(T.stats().NumStates, 0u);
+  for (OperatorId Op = 0; Op < G.numOperators(); ++Op)
+    EXPECT_EQ(T.inPartition(Op), P.contains(Op)) << G.operatorName(Op);
+
+  // Full-coverage tables (over the fixed variant) are not "partitioned":
+  // every operator is a member.
+  Grammar Fixed = cantFail(parseGrammar(test::runningExampleFixedText()));
+  CompiledTables Full = cantFail(OfflineTableGen(Fixed).generate());
+  EXPECT_FALSE(Full.isPartitioned());
+
+  // Membership is part of the identity: same grammar, different subset,
+  // different fingerprint.
+  std::vector<std::uint8_t> Narrower = P.InPartition;
+  Narrower[G.findOperator("Plus")] = 0;
+  CompiledTables N = cantFail(OfflineTableGen(G).generateSubset(Narrower));
+  EXPECT_NE(N.fingerprint(), T.fingerprint());
+  EXPECT_NE(N.partitionFingerprint(), T.partitionFingerprint());
+}
+
+TEST(Offline, SubsetGenerationIsDeterministicAcrossThreads) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleText()));
+  GrammarPartition P = GrammarPartition::compute(G);
+  CompiledTables Seq =
+      cantFail(OfflineTableGen(G).generateSubset(P.InPartition, 1));
+  for (unsigned Threads : {2u, 8u}) {
+    CompiledTables Par =
+        cantFail(OfflineTableGen(G).generateSubset(P.InPartition, Threads));
+    EXPECT_EQ(Par.fingerprint(), Seq.fingerprint())
+        << "thread count " << Threads;
+  }
+}
+
+TEST(Offline, PartitionedDumpLoadRoundTrips) {
+  // The hybrid's persistence path: partitioned tables dump and load over
+  // the *dynamic-cost* grammar — legal because every member operator is
+  // dyn-free — and the load reconstructs membership, fingerprints, and
+  // states exactly, without regenerating (GenThreads == 0 is the marker).
+  Grammar G = cantFail(parseGrammar(test::runningExampleText()));
+  GrammarPartition P = GrammarPartition::compute(G);
+  CompiledTables T =
+      cantFail(OfflineTableGen(G).generateSubset(P.InPartition));
+
+  std::stringstream SS(std::ios::in | std::ios::out | std::ios::binary);
+  cantFail(T.dump(SS));
+  CompiledTables L = cantFail(CompiledTables::load(SS, G));
+  EXPECT_EQ(L.fingerprint(), T.fingerprint());
+  EXPECT_EQ(L.partitionFingerprint(), T.partitionFingerprint());
+  EXPECT_EQ(L.partitionMembership(), P.InPartition);
+  EXPECT_TRUE(L.isPartitioned());
+  EXPECT_EQ(L.stats().NumStates, T.stats().NumStates);
+  EXPECT_EQ(L.stats().GenThreads, 0u); // Loaded, not regenerated.
+}
+
+TEST(Offline, LoadRejectsCorruptedPartitionMembership) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleText()));
+  GrammarPartition P = GrammarPartition::compute(G);
+  CompiledTables T =
+      cantFail(OfflineTableGen(G).generateSubset(P.InPartition));
+  std::stringstream SS(std::ios::in | std::ios::out | std::ios::binary);
+  cantFail(T.dump(SS));
+  std::string Blob = SS.str();
+
+  // The membership block sits right after the fixed-size header (8-byte
+  // magic, u32 version, two u64 fingerprints, three u32 counts = 40
+  // bytes). Flipping a static operator's byte to 0 keeps every byte valid
+  // (0/1) but breaks the stored partition fingerprint.
+  constexpr std::size_t MembershipOff = 8 + 4 + 8 + 8 + 3 * 4;
+  ASSERT_GE(Blob.size(), MembershipOff + P.InPartition.size());
+  ASSERT_TRUE(std::equal(
+      P.InPartition.begin(), P.InPartition.end(),
+      reinterpret_cast<const std::uint8_t *>(Blob.data()) + MembershipOff))
+      << "dump header layout changed; update MembershipOff";
+  std::string Corrupt = Blob;
+  for (std::size_t I = 0; I < P.InPartition.size(); ++I)
+    if (Corrupt[MembershipOff + I] == 1) {
+      Corrupt[MembershipOff + I] = 0;
+      break;
+    }
+  std::istringstream In(Corrupt);
+  Expected<CompiledTables> L = CompiledTables::load(In, G);
+  ASSERT_FALSE(static_cast<bool>(L));
+  EXPECT_EQ(L.kind(), ErrorKind::MalformedInput);
+  EXPECT_NE(L.message().find("partition"), std::string::npos) << L.message();
 }
 
 TEST(Offline, LoadRejectsCorruptionAndTruncation) {

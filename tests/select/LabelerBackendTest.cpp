@@ -21,8 +21,8 @@
 using namespace odburg;
 
 TEST(LabelerBackend, NamesParseAndRoundTrip) {
-  for (BackendKind K :
-       {BackendKind::DP, BackendKind::Offline, BackendKind::OnDemand}) {
+  for (BackendKind K : {BackendKind::DP, BackendKind::Offline,
+                        BackendKind::OnDemand, BackendKind::Hybrid}) {
     Expected<BackendKind> Parsed = parseBackendKind(backendName(K));
     ASSERT_TRUE(static_cast<bool>(Parsed)) << backendName(K);
     EXPECT_EQ(*Parsed, K);
@@ -39,8 +39,8 @@ TEST(LabelerBackend, NamesParseAndRoundTrip) {
 
 TEST(LabelerBackend, FactoryBuildsEveryKindOnStaticGrammar) {
   Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
-  for (BackendKind K :
-       {BackendKind::DP, BackendKind::Offline, BackendKind::OnDemand}) {
+  for (BackendKind K : {BackendKind::DP, BackendKind::Offline,
+                        BackendKind::OnDemand, BackendKind::Hybrid}) {
     Expected<std::unique_ptr<LabelerBackend>> B =
         LabelerBackend::create(K, G);
     ASSERT_TRUE(static_cast<bool>(B)) << B.message();
@@ -92,8 +92,8 @@ TEST(LabelerBackend, AllBackendsLabelEquivalentlyThroughOneScratch) {
   for (ir::IRFunction &F : Corpus)
     Refs.push_back(Ref.label(F));
 
-  for (BackendKind K :
-       {BackendKind::DP, BackendKind::Offline, BackendKind::OnDemand}) {
+  for (BackendKind K : {BackendKind::DP, BackendKind::Offline,
+                        BackendKind::OnDemand, BackendKind::Hybrid}) {
     auto B = cantFail(LabelerBackend::create(K, G));
     LabelerScratch Scratch;
     for (std::size_t I = 0; I < Corpus.size(); ++I) {
@@ -114,12 +114,95 @@ TEST(LabelerBackend, DynamicGrammarBackendsAgreeWithHooks) {
   test::buildStoreTree(F, G, 2, 9, 4); // RMW does not apply.
 
   DPLabeling Ref = DPLabeler(G, &Dyn).label(F);
-  for (BackendKind K : {BackendKind::DP, BackendKind::OnDemand}) {
+  for (BackendKind K :
+       {BackendKind::DP, BackendKind::OnDemand, BackendKind::Hybrid}) {
     auto B = cantFail(LabelerBackend::create(K, G, &Dyn));
     LabelerScratch Scratch;
     const Labeling &L = B->labelFunction(F, Scratch);
     test::expectEquivalent(G, F, Ref, L);
   }
+}
+
+TEST(LabelerBackend, OfflineErrorNamesDynOperatorsAndSuggestsHybrid) {
+  // Satellite of the hybrid work: the offline rejection is actionable —
+  // it names the offending operator(s) and points at --backend=hybrid.
+  Grammar G = cantFail(parseGrammar(test::runningExampleText()));
+  Expected<std::unique_ptr<LabelerBackend>> B =
+      LabelerBackend::create(BackendKind::Offline, G);
+  ASSERT_FALSE(static_cast<bool>(B));
+  EXPECT_EQ(B.kind(), ErrorKind::UnsupportedDynamicCosts);
+  EXPECT_NE(B.message().find("'Store'"), std::string::npos) << B.message();
+  EXPECT_NE(B.message().find("hybrid"), std::string::npos) << B.message();
+}
+
+TEST(LabelerBackend, PartitionSplitsStaticAndDynamicOperators) {
+  // Running example: rule 6's ?memop hook is rooted at Store; the interior
+  // Plus/Load fragments are 0-cost fixed helper rules, so only Store lands
+  // in the dynamic remainder.
+  Grammar G = cantFail(parseGrammar(test::runningExampleText()));
+  GrammarPartition P = GrammarPartition::compute(G);
+  EXPECT_EQ(P.numStatic() + P.numDynamic(), G.numOperators());
+  EXPECT_EQ(P.numDynamic(), 1u);
+  ASSERT_EQ(P.DynOps.size(), 1u);
+  EXPECT_EQ(G.operatorName(P.DynOps[0]), "Store");
+  EXPECT_FALSE(P.contains(P.DynOps[0]));
+  EXPECT_TRUE(P.contains(G.findOperator("Plus")));
+  EXPECT_EQ(P.describeDynOps(G), "'Store'");
+
+  // On the fixed variant everything is static.
+  Grammar Fixed = cantFail(parseGrammar(test::runningExampleFixedText()));
+  EXPECT_EQ(GrammarPartition::compute(Fixed).numDynamic(), 0u);
+}
+
+TEST(LabelerBackend, HybridServesStaticPartitionFromTables) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleText()));
+  DynCostTable Dyn =
+      cantFail(DynCostTable::build(G, test::runningExampleHooks()));
+  auto B = cantFail(LabelerBackend::create(BackendKind::Hybrid, G, &Dyn));
+  EXPECT_TRUE((*B).supportsDynCosts());
+  EXPECT_EQ(B->kind(), BackendKind::Hybrid);
+  // Table bytes ride on top of the automaton's footprint.
+  EXPECT_GT(B->memoryBytes(), 0u);
+
+  ir::IRFunction F;
+  test::buildStoreTree(F, G, 1, 1, 2);
+  LabelerScratch Scratch;
+  SelectionStats Stats;
+  B->labelFunction(F, Scratch, &Stats);
+  // Every node except the dyn-remainder Store roots resolves by direct
+  // offline-table indexing.
+  EXPECT_GT(Stats.OfflineHits, 0u);
+  EXPECT_EQ(Stats.OfflineHits + 1, Stats.NodesLabeled);
+}
+
+TEST(LabelerBackend, HybridCreateWithTablesChecksPartitionShape) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleText()));
+  DynCostTable Dyn =
+      cantFail(DynCostTable::build(G, test::runningExampleHooks()));
+  GrammarPartition P = GrammarPartition::compute(G);
+
+  // Matching membership: accepted, and labels like a freshly built hybrid.
+  CompiledTables Good =
+      cantFail(OfflineTableGen(G).generateSubset(P.InPartition));
+  auto B = cantFail(HybridBackend::createWithTables(
+      G, &Dyn, LabelerBackend::Options(), std::move(Good)));
+  ir::IRFunction F;
+  test::buildStoreTree(F, G, 1, 1, 2);
+  DPLabeling Ref = DPLabeler(G, &Dyn).label(F);
+  LabelerScratch Scratch;
+  test::expectEquivalent(G, F, Ref, B->labelFunction(F, Scratch, nullptr));
+
+  // A different operator subset (here: Plus also excluded) is a typed
+  // mismatch, not a silent mislabel.
+  std::vector<std::uint8_t> Wrong = P.InPartition;
+  Wrong[G.findOperator("Plus")] = 0;
+  CompiledTables Narrow = cantFail(OfflineTableGen(G).generateSubset(Wrong));
+  Expected<std::unique_ptr<HybridBackend>> Bad =
+      HybridBackend::createWithTables(G, &Dyn, LabelerBackend::Options(),
+                                      std::move(Narrow));
+  ASSERT_FALSE(static_cast<bool>(Bad));
+  EXPECT_EQ(Bad.kind(), ErrorKind::MalformedInput);
+  EXPECT_NE(Bad.message().find("partition"), std::string::npos);
 }
 
 TEST(LabelerBackend, IntrospectionMatchesEngines) {

@@ -15,10 +15,12 @@
 /// and across backends on the same grammar.
 ///
 /// This is the paper's three-way comparison as one CLI: --backend picks
-/// iburg-style DP labeling, burg-style offline tables, or the on-demand
-/// automaton (default), and --backend=all runs all three on the target's
-/// fixed-cost grammar — the only grammar offline tables can encode — so
-/// the rows are directly comparable.
+/// iburg-style DP labeling, burg-style offline tables, the on-demand
+/// automaton (default), or the hybrid (offline tables on the grammar's
+/// static partition, on-demand for the dyn-cost remainder), and
+/// --backend=all runs all four on the target's fixed-cost grammar — the
+/// only grammar pure offline tables can encode — so the rows are
+/// directly comparable.
 ///
 ///   odburg-run --target=x86 --profile=gcc-like --functions=64 --threads=1,4
 ///   odburg-run --backend=all --target=x86
@@ -84,10 +86,13 @@ int usage(const char *Argv0, int Exit) {
       "\n"
       "  --target=NAME|all     target grammar (default x86)\n"
       "  --profile=NAME|all    synthetic workload profile (default gzip-like)\n"
-      "  --backend=LIST|all    labeling backend(s): dp, offline, ondemand\n"
-      "                        (default ondemand). offline always runs on\n"
-      "                        the target's fixed-cost grammar; 'all'\n"
-      "                        implies --fixed so the rows are comparable\n"
+      "  --backend=LIST|all    labeling backend(s): dp, offline, ondemand,\n"
+      "                        hybrid (default ondemand). offline always\n"
+      "                        runs on the target's fixed-cost grammar;\n"
+      "                        'all' implies --fixed so the rows are\n"
+      "                        comparable. hybrid serves the static\n"
+      "                        partition from offline tables and the\n"
+      "                        dyn-cost remainder from the automaton\n"
       "  --fixed               use the fixed-cost (stripped) grammar for\n"
       "                        every backend\n"
       "  --functions=N         functions per (target, profile) corpus (default 32)\n"
@@ -138,7 +143,7 @@ bool parseArgs(int Argc, char **Argv, DriverOptions &Opts, int &ExitCode) {
       std::printf("profiles:\n");
       for (const Profile &P : specProfiles())
         std::printf("  %-14s %6u nodes\n", P.Name.c_str(), P.TargetNodes);
-      std::printf("backends:\n  dp\n  offline\n  ondemand\n");
+      std::printf("backends:\n  dp\n  offline\n  ondemand\n  hybrid\n");
       ExitCode = 0;
       return false;
     }
@@ -164,9 +169,9 @@ bool parseArgs(int Argc, char **Argv, DriverOptions &Opts, int &ExitCode) {
       Opts.Backends.clear();
       if (V == "all") {
         Opts.Backends = {BackendKind::DP, BackendKind::Offline,
-                         BackendKind::OnDemand};
+                         BackendKind::OnDemand, BackendKind::Hybrid};
         // Offline cannot encode dynamic costs; leveling every backend onto
-        // the fixed grammar keeps the three-way rows comparable.
+        // the fixed grammar keeps the cross-backend rows comparable.
         Opts.ForceFixed = true;
       } else {
         for (std::string_view Piece : split(V, ',')) {
@@ -283,7 +288,7 @@ bool writeFile(const std::string &Path, const std::string &Text) {
 /// configurations carry an "adp:" prefix and the controller's progress as
 /// ":wW:rR" (observation windows evaluated, reconfigurations applied).
 std::string tierCell(BackendKind Backend, const TierDecisions &D) {
-  if (Backend != BackendKind::OnDemand)
+  if (Backend != BackendKind::OnDemand && Backend != BackendKind::Hybrid)
     return "-";
   std::string S = D.Adaptive ? "adp:" : "";
   if (D.Config.L1On)
@@ -329,7 +334,8 @@ int main(int Argc, char **Argv) {
       resolveThreads(0)));
   Table.setHeader({"target", "profile", "backend", "gram", "thr", "nodes",
                    "cold ms", "warm ms", "fn/s", "speedup", "lbl/red/emt %",
-                   "l1%", "dn%", "hit%", "tier", "states", "asm KB", "asm"});
+                   "off%", "l1%", "dn%", "hit%", "tier", "states", "asm KB",
+                   "asm"});
 
   bool AllIdentical = true;
   bool AnyFailed = false;
@@ -478,7 +484,9 @@ int main(int Argc, char **Argv) {
                                static_cast<double>(WarmNs),
                            1),
                formatFixed(BaselineWarmNs / static_cast<double>(WarmNs), 2),
-               phaseSplit(Warm), formatFixed(100.0 * Warm.l1HitRate(), 1),
+               phaseSplit(Warm),
+               formatFixed(100.0 * Warm.offlineHitRate(), 1),
+               formatFixed(100.0 * Warm.l1HitRate(), 1),
                formatFixed(100.0 * Warm.denseHitRate(), 1),
                formatFixed(HitPct, 1), tierCell(Backend, Warm.Tier),
                formatThousands(Session.backend().numStates()),
@@ -494,7 +502,9 @@ int main(int Argc, char **Argv) {
       "warm backend (the JIT steady state); fn/s and the label/reduce/emit\n"
       "split are from the best warm pass; speedup is relative to the first\n"
       "thread count of the same backend. The tier columns split the warm\n"
-      "path (ondemand backend only): l1%% is the per-worker L1 micro-cache,\n"
+      "path (ondemand/hybrid backends): off%% is the share of nodes the\n"
+      "hybrid resolved by direct offline-table indexing on the static\n"
+      "partition (before any cache tier), l1%% is the per-worker L1 micro-cache,\n"
       "dn%% the shared dense-row tier serving L1 misses by direct array\n"
       "indexing, hit%% the hashed seqlock cache catching the rest. tier is\n"
       "the configuration in effect at batch end (l1x<ways>+dn@<promote\n"

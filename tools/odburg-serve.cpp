@@ -25,9 +25,10 @@
 /// --format=json frames each result as one JSON object per line instead
 /// (seq, ok, instructions, cost, asm / error).
 ///
-/// --tables=PATH makes the offline backend pay table generation once per
-/// grammar across processes: load the tables from PATH when present
-/// (validated by fingerprint), generate and save them when not.
+/// --tables=PATH makes the offline and hybrid backends pay table
+/// generation once per grammar across processes: load the tables from
+/// PATH when present (validated by fingerprint — and, for the hybrid,
+/// by partition membership), generate and save them when not.
 ///
 ///   odburg-run --target=x86 --fixed --dump-corpus=c.sexpr --emit-asm=b.s
 ///   odburg-serve --target=x86 --fixed < c.sexpr | cmp - b.s
@@ -91,8 +92,8 @@ int usage(const char *Argv0, int Exit) {
       "are reported to stderr and skipped; the stream keeps serving.\n"
       "\n"
       "  --target=NAME         target grammar (default x86)\n"
-      "  --backend=NAME        labeling backend: dp, offline, ondemand\n"
-      "                        (default ondemand)\n"
+      "  --backend=NAME        labeling backend: dp, offline, ondemand,\n"
+      "                        hybrid (default ondemand)\n"
       "  --fixed               use the fixed-cost (stripped) grammar\n"
       "                        (implied by --backend=offline)\n"
       "  --threads=N           service worker pool size (default: hardware\n"
@@ -101,16 +102,18 @@ int usage(const char *Argv0, int Exit) {
       "                        (default: 4x workers)\n"
       "  --format=asm|json     output framing (default asm): raw assembly,\n"
       "                        or one JSON record per result line\n"
-      "  --tables=PATH         offline backend: load the compiled tables\n"
-      "                        from PATH if present (fingerprint-checked),\n"
-      "                        else generate and save them there\n"
+      "  --tables=PATH         offline/hybrid backends: load the compiled\n"
+      "                        tables from PATH if present (fingerprint-\n"
+      "                        and partition-checked), else generate and\n"
+      "                        save them there\n"
       "  --gen-threads=N       offline table generation workers (default:\n"
       "                        hardware concurrency)\n"
       "  --listen=PORT         serve over TCP instead of stdin/stdout\n"
       "                        (0 = ephemeral port). Clients speak the same\n"
       "                        wire format, may pick a backend per\n"
       "                        connection with a 'BACKEND dp|offline|\n"
-      "                        ondemand' first line (default: --backend),\n"
+      "                        ondemand|hybrid' first line (default:\n"
+      "                        --backend),\n"
       "                        and can request a 'STATS' metrics line.\n"
       "                        Runs until SIGINT/SIGTERM.\n"
       "  --host=ADDR           listen address (default 127.0.0.1)\n"
@@ -238,29 +241,51 @@ std::string jsonEscape(std::string_view S) {
   return Out;
 }
 
-/// Builds the service's backend, honoring --tables for the offline kind:
-/// load when the file exists and validates, otherwise create normally and
-/// (for offline) save the freshly generated tables.
+/// Builds the service's backend, honoring --tables for the offline and
+/// hybrid kinds: load when the file exists and validates (fingerprint,
+/// and for the hybrid the stored partition membership must match this
+/// grammar's computed partition), otherwise create normally and save the
+/// freshly generated tables.
 Expected<std::unique_ptr<LabelerBackend>>
 makeBackend(const ServeOptions &Opts, const Grammar &G,
             const DynCostTable *Dyn) {
   LabelerBackend::Options BOpts;
   BOpts.OfflineGenThreads = Opts.GenThreads;
+  const bool TabledKind = Opts.Backend == BackendKind::Offline ||
+                          Opts.Backend == BackendKind::Hybrid;
 
-  if (Opts.Backend == BackendKind::Offline && !Opts.TablesPath.empty()) {
+  if (TabledKind && !Opts.TablesPath.empty()) {
     if (std::ifstream In{Opts.TablesPath, std::ios::binary}) {
       Expected<CompiledTables> Tables = CompiledTables::load(In, G);
       if (Tables) {
-        std::fprintf(stderr, "odburg-serve: loaded offline tables from %s "
-                             "(%u states, %.1f ms)\n",
-                     Opts.TablesPath.c_str(), Tables->stats().NumStates,
-                     Tables->stats().GenerationMs);
-        return std::unique_ptr<LabelerBackend>(
-            std::make_unique<OfflineBackend>(std::move(*Tables)));
+        unsigned NumStates = Tables->stats().NumStates;
+        double GenerationMs = Tables->stats().GenerationMs;
+        Expected<std::unique_ptr<LabelerBackend>> Loaded =
+            Opts.Backend == BackendKind::Offline
+                ? Expected<std::unique_ptr<LabelerBackend>>(
+                      std::make_unique<OfflineBackend>(std::move(*Tables)))
+                : [&]() -> Expected<std::unique_ptr<LabelerBackend>> {
+                    Expected<std::unique_ptr<HybridBackend>> H =
+                        HybridBackend::createWithTables(G, Dyn, BOpts,
+                                                        std::move(*Tables));
+                    if (!H)
+                      return H.takeError();
+                    return std::unique_ptr<LabelerBackend>(std::move(*H));
+                  }();
+        if (Loaded) {
+          std::fprintf(stderr, "odburg-serve: loaded offline tables from %s "
+                               "(%u states, %.1f ms)\n",
+                       Opts.TablesPath.c_str(), NumStates, GenerationMs);
+          return Loaded;
+        }
+        std::fprintf(stderr,
+                     "odburg-serve: ignoring %s (%s); regenerating tables\n",
+                     Opts.TablesPath.c_str(), Loaded.message().c_str());
+      } else {
+        std::fprintf(stderr,
+                     "odburg-serve: ignoring %s (%s); regenerating tables\n",
+                     Opts.TablesPath.c_str(), Tables.message().c_str());
       }
-      std::fprintf(stderr,
-                   "odburg-serve: ignoring %s (%s); regenerating tables\n",
-                   Opts.TablesPath.c_str(), Tables.message().c_str());
     }
   }
 
@@ -269,9 +294,11 @@ makeBackend(const ServeOptions &Opts, const Grammar &G,
   if (!Backend)
     return Backend;
 
-  if (Opts.Backend == BackendKind::Offline && !Opts.TablesPath.empty()) {
+  if (TabledKind && !Opts.TablesPath.empty()) {
     const CompiledTables &Tables =
-        static_cast<const OfflineBackend &>(**Backend).tables();
+        Opts.Backend == BackendKind::Offline
+            ? static_cast<const OfflineBackend &>(**Backend).tables()
+            : static_cast<const HybridBackend &>(**Backend).tables();
     std::ofstream Out(Opts.TablesPath, std::ios::binary | std::ios::trunc);
     Error E = Out ? Tables.dump(Out)
                   : Error::make("cannot open '" + Opts.TablesPath +

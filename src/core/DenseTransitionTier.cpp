@@ -14,7 +14,7 @@ DenseTransitionTier::DenseTransitionTier(const Grammar &G, Options Opts)
     : G(G), Opts(Opts), PromoteThreshold(Opts.PromoteThreshold < 1
                                              ? 1
                                              : Opts.PromoteThreshold),
-      Eligible(G.numOperators(), 0),
+      MaxBytesLive(Opts.MaxBytes), Eligible(G.numOperators(), 0),
       UnaryRows(new std::atomic<const Row *>[G.numOperators()]()),
       BinaryDirs(new std::atomic<const RowDir *>[G.numOperators()]()),
       HotCounters(new std::atomic<std::uint32_t>[NumHotCounters]()) {
@@ -47,7 +47,8 @@ DenseTransitionTier::buildRow(const Row *Old, std::uint32_t Child,
   // Budget check before the allocation touches memory; on exhaustion,
   // latch so the warm path stops paying the mutex for doomed retries.
   std::size_t NeedBytes = sizeof(Row) + Size * sizeof(std::atomic<StateId>);
-  if (LiveBytes + RetiredBytesCount + NeedBytes > Opts.MaxBytes) {
+  if (LiveBytes + RetiredBytesCount + NeedBytes >
+      MaxBytesLive.load(std::memory_order_relaxed)) {
     Exhausted.store(true, std::memory_order_relaxed);
     return nullptr; // Keep serving what exists.
   }
@@ -102,7 +103,8 @@ void DenseTransitionTier::promoteOrBackfillBinary(OperatorId Op,
       Size = D->Size * 2;
     std::size_t NeedBytes =
         sizeof(RowDir) + Size * sizeof(std::atomic<const Row *>);
-    if (LiveBytes + RetiredBytesCount + NeedBytes > Opts.MaxBytes) {
+    if (LiveBytes + RetiredBytesCount + NeedBytes >
+      MaxBytesLive.load(std::memory_order_relaxed)) {
       Exhausted.store(true, std::memory_order_relaxed);
       return;
     }

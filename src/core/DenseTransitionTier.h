@@ -155,6 +155,23 @@ public:
   void setPromoteThreshold(unsigned T) {
     PromoteThreshold.store(T < 1 ? 1 : T, std::memory_order_relaxed);
   }
+  /// The live byte budget; starts at Options::MaxBytes.
+  std::size_t maxBytes() const {
+    return MaxBytesLive.load(std::memory_order_relaxed);
+  }
+  /// The construction-time budget (what a governor restores to).
+  std::size_t configuredMaxBytes() const { return Opts.MaxBytes; }
+  /// Re-budgets at runtime (the memory governor's clamp). Lowering —
+  /// including to 0 — stops promotions and regrowth at the next attempt
+  /// while existing rows keep serving lookups and backfill, exactly the
+  /// budget-exhaustion semantics; raising un-latches exhaustion so
+  /// promotion resumes. Safe while labeling runs: the budget only gates
+  /// *whether* a row is built, never what entries resolve to.
+  void setMaxBytes(std::size_t Bytes) {
+    std::size_t Old = MaxBytesLive.exchange(Bytes, std::memory_order_relaxed);
+    if (Bytes > Old)
+      Exhausted.store(false, std::memory_order_relaxed);
+  }
   /// @}
 
   /// \name Introspection
@@ -230,6 +247,9 @@ private:
   /// Live copy of Opts.PromoteThreshold; atomic so the TierController can
   /// retune it while workers race through noteResolved.
   std::atomic<unsigned> PromoteThreshold;
+  /// Live copy of Opts.MaxBytes; atomic so the memory governor can clamp
+  /// it while workers race through noteResolved.
+  std::atomic<std::size_t> MaxBytesLive;
   std::vector<std::uint8_t> Eligible;
   /// Unary: row per operator. Binary: directory per operator. Slots for
   /// ineligible operators stay null forever.

@@ -214,6 +214,16 @@ public:
       Dense->setPromoteThreshold(T);
   }
 
+  /// Applies or releases the memory governor's dense-tier clamp: under
+  /// pressure the tier's byte budget drops to zero — promotions and
+  /// regrowth stop immediately while already-promoted rows keep serving —
+  /// and on release the configured budget is restored. No-op when the
+  /// tier is off.
+  void setDenseMemoryClamp(bool On) {
+    if (Dense)
+      Dense->setMaxBytes(On ? 0 : Dense->configuredMaxBytes());
+  }
+
   /// \name Labeling interface
   /// @{
   RuleId ruleFor(const ir::Node &N, NonterminalId Nt) const override {

@@ -6,6 +6,8 @@
 
 #include "core/StateComputer.h"
 
+#include "support/FaultInjection.h"
+
 using namespace odburg;
 
 StateComputer::StateComputer(const Grammar &G) : G(G) {
@@ -20,6 +22,12 @@ StateComputer::StateComputer(const Grammar &G) : G(G) {
 void StateComputer::closeChainsAndNormalize(SmallVectorImpl<Cost> &Costs,
                                             SmallVectorImpl<RuleId> &Rules,
                                             SelectionStats *Stats) const {
+  // Every state computation funnels through here, making it the chaos
+  // hook for "the slow path got slow": the armed trigger turns a
+  // microsecond computation into a few hundred — enough to pile up a
+  // service queue and trip compile deadlines in tests and chaos runs.
+  if (fault::shouldFail(fault::Site::StateCompute))
+    fault::injectLatency();
   // Chain closure, identical relaxation discipline to the DP labeler so
   // that tie-breaking (and hence chosen rules) match exactly.
   bool Changed = true;

@@ -77,6 +77,13 @@ void TierController::evaluateWindow() {
   double L1Rate = rate(L1H, L1P);
   double DnRate = rate(DnH, DnP);
 
+  // Memory pressure overrides the dense break-even entirely: the tier is
+  // held off (setMemoryPressure already shed it; this also catches a
+  // window that raced the shed) and no recovery probe may re-grow it.
+  bool Pressure = MemPressure.load(std::memory_order_relaxed);
+  if (Pressure)
+    C.DenseOn = Old.DenseOn = false;
+
   // --- Dense tier -------------------------------------------------------
   // A dense hit saves one hashed-L2 probe; the probe itself costs
   // DenseProbeNs on every L1-missing node. Break-even:
@@ -108,7 +115,7 @@ void TierController::evaluateWindow() {
       if (NewT != T)
         Threshold.store(NewT, std::memory_order_relaxed);
     }
-  } else if (!C.DenseOn && Opts.DenseExists) {
+  } else if (!C.DenseOn && Opts.DenseExists && !Pressure) {
     if (DenseCoolOff > 0) {
       --DenseCoolOff;
     } else {
@@ -168,6 +175,27 @@ void TierController::evaluateWindow() {
   Windows.fetch_add(1, std::memory_order_relaxed);
 }
 
+void TierController::setMemoryPressure(bool On) {
+  MemPressure.store(On, std::memory_order_relaxed);
+  if (On) {
+    // Shed immediately — the governor is reacting to real memory, not a
+    // window boundary. Workers snapshot per function, so the next
+    // function labels dense-free.
+    std::uint32_t Packed0 = Packed.load(std::memory_order_relaxed);
+    TierConfig C = TierConfig::unpack(Packed0);
+    if (C.DenseOn) {
+      C.DenseOn = false;
+      Packed.store(C.pack(), std::memory_order_relaxed);
+      Reconfigs.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    // Let the tier re-earn its place: clear the cool-off so the next
+    // window boundary runs a recovery probe.
+    std::lock_guard<std::mutex> L(EvalM);
+    DenseCoolOff = 0;
+  }
+}
+
 TierDecisions TierController::decisions() const {
   TierDecisions D;
   D.Adaptive = true;
@@ -175,6 +203,7 @@ TierDecisions TierController::decisions() const {
   D.PromoteThreshold = Threshold.load(std::memory_order_relaxed);
   D.Windows = Windows.load(std::memory_order_relaxed);
   D.Reconfigs = Reconfigs.load(std::memory_order_relaxed);
+  D.Degraded = MemPressure.load(std::memory_order_relaxed);
   return D;
 }
 

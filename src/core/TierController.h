@@ -98,6 +98,9 @@ struct TierDecisions {
   /// Configuration changes applied so far (excludes recovery probes that
   /// immediately reverted).
   std::uint64_t Reconfigs = 0;
+  /// The memory governor is holding the dense tier off (setMemoryPressure)
+  /// — the config above reflects degradation, not measurement.
+  bool Degraded = false;
 };
 
 /// The self-tuning controller. One per on-demand backend; observe() is
@@ -168,6 +171,13 @@ public:
   /// worker.
   void observe(const SelectionStats &Delta);
 
+  /// The memory governor's override: while pressure holds, the dense
+  /// tier is shed immediately and stays off — window evaluation neither
+  /// re-enables it nor schedules recovery probes for it. Releasing
+  /// pressure queues an immediate recovery probe so the tier re-earns its
+  /// place by measurement, not by fiat. Safe from any thread.
+  void setMemoryPressure(bool On);
+
   /// Snapshot for reporting.
   TierDecisions decisions() const;
 
@@ -205,6 +215,8 @@ private:
   bool ModelMeasured = false;
   std::atomic<std::uint64_t> Windows{0};
   std::atomic<std::uint64_t> Reconfigs{0};
+  /// The memory governor's dense-tier hold (see setMemoryPressure).
+  std::atomic<bool> MemPressure{false};
   /// Recovery countdowns: >0 means the tier was disabled by the rule and
   /// sits out this many more windows before a probe window.
   unsigned L1CoolOff = 0;

@@ -6,6 +6,7 @@
 
 #include "offline/OfflineTables.h"
 
+#include "support/FaultInjection.h"
 #include "support/Hashing.h"
 #include "support/Timer.h"
 
@@ -638,6 +639,10 @@ Error CompiledTables::dump(std::ostream &OS) const {
 Expected<CompiledTables> CompiledTables::load(std::istream &IS,
                                               const Grammar &G) {
   Stopwatch Timer;
+
+  if (fault::shouldFail(fault::Site::TablesLoad))
+    return Error::make(ErrorKind::MalformedInput,
+                       "offline tables: injected load fault");
 
   char Magic[sizeof(TablesMagic)];
   IS.read(Magic, sizeof(Magic));

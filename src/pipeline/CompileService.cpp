@@ -6,6 +6,7 @@
 
 #include "pipeline/CompileService.h"
 
+#include "support/FaultInjection.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -121,6 +122,9 @@ bool CompileService::stopped() const {
 
 Expected<std::future<CompileResult>>
 CompileService::submit(ir::IRFunction &F, std::uint64_t Tag) {
+  if (fault::shouldFail(fault::Site::ServiceSubmit))
+    return Error::make(ErrorKind::ResourceExhausted,
+                       "injected fault: submission rejected at service entry");
   std::future<CompileResult> Fut;
   {
     std::unique_lock<std::mutex> L(M);
@@ -144,6 +148,37 @@ CompileService::submit(ir::IRFunction &F, std::uint64_t Tag) {
   return Fut;
 }
 
+Expected<std::future<CompileResult>>
+CompileService::trySubmit(ir::IRFunction &F, std::uint64_t Tag,
+                          std::size_t MaxDepth) {
+  if (fault::shouldFail(fault::Site::ServiceSubmit))
+    return Error::make(ErrorKind::ResourceExhausted,
+                       "injected fault: submission rejected at service entry");
+  std::size_t Bound = MaxDepth ? std::min(MaxDepth, Capacity) : Capacity;
+  std::future<CompileResult> Fut;
+  {
+    std::unique_lock<std::mutex> L(M);
+    if (!Accepting)
+      return Error::make(ErrorKind::ServiceShutdown,
+                         "compile service is shut down; submission rejected");
+    if (Undelivered >= Bound)
+      return Error::make(ErrorKind::ResourceExhausted,
+                         "service queue at high-watermark (" +
+                             std::to_string(Undelivered) + "/" +
+                             std::to_string(Bound) + " undelivered)");
+    Job J;
+    J.F = &F;
+    J.Seq = NextSeq++;
+    J.Tag = Tag;
+    J.SubmitNs = nowNs();
+    Fut = J.Promise.get_future();
+    ++Undelivered;
+    Queue.push_back(std::move(J));
+  }
+  HasWork.notify_one();
+  return Fut;
+}
+
 ServiceStats CompileService::statsSnapshot() const {
   ServiceStats S;
   std::vector<std::uint64_t> Window;
@@ -153,6 +188,7 @@ ServiceStats CompileService::statsSnapshot() const {
     S.Delivered = NextDeliver;
     S.QueueDepth = Undelivered;
     S.Workers = static_cast<unsigned>(Threads.size());
+    S.DeadlineExpired = DeadlineExpiredCount;
     S.Label = LabelTotals;
     std::size_t Samples = std::min(LatTotal, LatRing.size());
     S.LatencySamples = Samples;
@@ -200,7 +236,20 @@ void CompileService::workerLoop(unsigned W) {
       Queue.pop_front();
     }
     CompileResult R;
-    compileFunctionWith(G, Dyn, *B, *J.F, WS, R);
+    // Deadline policy runs at dequeue, before any compile work: a job
+    // that already overstayed its budget is answered typed instead of
+    // compiled (its client stopped waiting), while a compile that has
+    // started always runs to completion. The ordered slot is kept — the
+    // expiry is delivered like any other per-function failure.
+    if (Opts.DeadlineNs && nowNs() - J.SubmitNs > Opts.DeadlineNs) {
+      R.Diagnostic =
+          "deadline exceeded: queued " +
+          std::to_string((nowNs() - J.SubmitNs) / 1000000) + " ms against a " +
+          std::to_string(Opts.DeadlineNs / 1000000) + " ms budget";
+      R.Kind = ErrorKind::DeadlineExceeded;
+    } else {
+      compileFunctionWith(G, Dyn, *B, *J.F, WS, R);
+    }
     deliver(std::move(J), std::move(R));
   }
 }
@@ -226,6 +275,8 @@ void CompileService::deliver(Job J, CompileResult R) {
     LatRing[LatTotal % LatencyWindow] = nowNs() - P.SubmitNs;
     ++LatTotal;
     LabelTotals += P.R.Stats;
+    if (!P.R.ok() && P.R.Kind == ErrorKind::DeadlineExceeded)
+      ++DeadlineExpiredCount;
     // The sink and the promise fulfil outside the lock: the callback may
     // be slow (it is the consumer), and other workers must keep parking
     // completions meanwhile. Order is safe — Flushing keeps this the only

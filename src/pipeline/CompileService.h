@@ -77,6 +77,10 @@ struct CompileResult {
   std::uint64_t LabelNs = 0;
   std::uint64_t ReduceNs = 0;
   std::uint64_t EmitNs = 0;
+  /// Machine-checkable failure category when !ok(): Generic for
+  /// reducer/emitter diagnostics, DeadlineExceeded when the submission
+  /// expired in the queue (Options::DeadlineNs) and was never compiled.
+  ErrorKind Kind = ErrorKind::Generic;
 
   bool ok() const { return Diagnostic.empty(); }
 };
@@ -112,6 +116,9 @@ struct ServiceStats {
   std::size_t QueueDepth = 0;
   /// Current worker-thread count.
   unsigned Workers = 0;
+  /// Submissions that expired in the queue (Options::DeadlineNs) and were
+  /// delivered as DeadlineExceeded failures instead of being compiled.
+  std::size_t DeadlineExpired = 0;
   /// Latency samples backing the percentiles (bounded window).
   std::size_t LatencySamples = 0;
   /// Submit -> in-order delivery latency percentiles over the window, in
@@ -184,6 +191,13 @@ public:
     /// in-order delivery); submit() blocks at the bound. 0 = 4x workers,
     /// at least 16.
     std::size_t QueueCapacity = 0;
+    /// Per-submission deadline from submit() until a worker dequeues the
+    /// job, in nanoseconds; 0 = none. An expired job skips compilation
+    /// entirely and is delivered in its ordered slot as a failure with
+    /// Kind == ErrorKind::DeadlineExceeded — later submissions flow on
+    /// undisturbed. Checked only at dequeue: a compile that has started
+    /// always runs to completion, so results can never be torn.
+    std::uint64_t DeadlineNs = 0;
     /// Ordered streaming sink; may be empty (futures only).
     ResultSink OnResult;
     /// Tag-aware ordered sink; fired after OnResult for each delivery.
@@ -230,6 +244,15 @@ public:
   Expected<std::future<CompileResult>> submit(ir::IRFunction &F,
                                               std::uint64_t Tag);
 
+  /// Non-blocking admission variant of submit(): instead of waiting for a
+  /// slot, fails immediately with ErrorKind::ResourceExhausted when
+  /// undelivered submissions have reached \p MaxDepth (0 = the service's
+  /// own capacity; larger values are clamped to it). The server's queue
+  /// high-watermark shed path — reader threads must answer overload, not
+  /// join it.
+  Expected<std::future<CompileResult>>
+  trySubmit(ir::IRFunction &F, std::uint64_t Tag, std::size_t MaxDepth = 0);
+
   /// Submits a span in order; the returned futures are in submission
   /// order. Stops at the first submission failure (shutdown mid-batch)
   /// and returns the typed error.
@@ -275,6 +298,9 @@ public:
   unsigned workers() const;
   const Grammar &grammar() const { return G; }
   const LabelerBackend &backend() const { return *B; }
+  /// Mutable backend access for runtime governors (memory pressure); the
+  /// backend's own contract says which mutations are labeling-safe.
+  LabelerBackend &backend() { return *B; }
 
 private:
   struct Job {
@@ -320,6 +346,8 @@ private:
   std::size_t LatTotal = 0;
   /// Lifetime labeling counters summed at delivery time, guarded by M.
   SelectionStats LabelTotals;
+  /// Submissions delivered as queue-deadline failures, guarded by M.
+  std::size_t DeadlineExpiredCount = 0;
   std::size_t NextSeq = 0;
   std::size_t NextDeliver = 0;
   std::size_t Undelivered = 0;

@@ -178,6 +178,14 @@ public:
     return D;
   }
 
+  /// The memory governor's lever: under pressure the backend sheds
+  /// whatever shared state it can regrow later (the on-demand dense tier)
+  /// and stops growing more; releasing pressure restores normal policy.
+  /// Engines with nothing sheddable (dp, offline) ignore it. Safe from
+  /// any thread, idempotent, and — like every tier decision — output-
+  /// neutral: labeling stays byte-identical under any pressure history.
+  virtual void setMemoryPressure(bool) {}
+
   /// Builds the backend for \p G. \p Dyn may be null for grammars without
   /// dynamic costs; it must outlive the backend, as must \p G. Fails with
   /// ErrorKind::UnsupportedDynamicCosts when the offline backend is asked
@@ -286,6 +294,8 @@ public:
       UseDense = C.DenseOn;
       A.setDensePromoteThreshold(Controller->promoteThreshold());
     }
+    if (MemPressure.load(std::memory_order_relaxed))
+      UseDense = false; // Governor override; non-adaptive sessions too.
     L1TransitionCache *L1 = nullptr;
     if (L1On) {
       if (!Scratch.L1 || Scratch.L1->ways() != Ways)
@@ -316,10 +326,20 @@ public:
     D.Adaptive = false;
     D.Config.L1On = UseL1;
     D.Config.L1Ways = L1Ways < 2 ? 1 : 2;
-    D.Config.DenseOn = A.denseTier() != nullptr;
+    bool Pressure = MemPressure.load(std::memory_order_relaxed);
+    D.Config.DenseOn = A.denseTier() != nullptr && !Pressure;
     D.PromoteThreshold =
         A.denseTier() ? A.denseTier()->promoteThreshold() : 0;
+    D.Degraded = Pressure;
     return D;
+  }
+
+  void setMemoryPressure(bool On) override {
+    if (MemPressure.exchange(On, std::memory_order_relaxed) == On)
+      return; // Idempotent: the governor polls, transitions are rare.
+    if (Controller)
+      Controller->setMemoryPressure(On);
+    A.setDenseMemoryClamp(On);
   }
 
   const OnDemandAutomaton &automaton() const { return A; }
@@ -334,6 +354,8 @@ private:
   unsigned L1Log2Entries;
   unsigned L1Ways;
   std::unique_ptr<TierController> Controller;
+  /// The memory governor's current hold (see setMemoryPressure).
+  std::atomic<bool> MemPressure{false};
 };
 
 /// The hybrid backend: the synthesis of the paper's two poles. The

@@ -6,6 +6,8 @@
 
 #include "serve/Socket.h"
 
+#include "support/FaultInjection.h"
+
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
@@ -93,6 +95,8 @@ Expected<Socket> Socket::connectTo(const std::string &Host,
 }
 
 Expected<Socket> Socket::accept() const {
+  if (fault::shouldFail(fault::Site::SocketAccept))
+    return Error::make("accept: injected fault");
   for (;;) {
     int C = ::accept(Fd, nullptr, nullptr);
     if (C >= 0) {
@@ -116,6 +120,8 @@ Expected<std::uint16_t> Socket::boundPort() const {
 }
 
 bool Socket::writeAll(const void *Data, std::size_t Len) {
+  if (fault::shouldFail(fault::Site::SocketSend))
+    return false;
   const char *P = static_cast<const char *>(Data);
   while (Len > 0) {
     // MSG_NOSIGNAL: a peer that vanished mid-write must surface as an
@@ -133,12 +139,16 @@ bool Socket::writeAll(const void *Data, std::size_t Len) {
 }
 
 long Socket::readSome(void *Buf, std::size_t Len) {
+  if (fault::shouldFail(fault::Site::SocketRecv))
+    return -1;
   for (;;) {
     ssize_t N = ::recv(Fd, Buf, Len, 0);
     if (N >= 0)
       return static_cast<long>(N);
     if (errno == EINTR)
       continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      return -2; // The SO_RCVTIMEO receive timeout elapsed.
     return -1;
   }
 }
@@ -155,7 +165,8 @@ SocketStreamBuf::int_type SocketStreamBuf::underflow() {
     return traits_type::to_int_type(*gptr());
   long N = S.readSome(Buf, sizeof(Buf));
   if (N <= 0) {
-    Err = Err || N < 0;
+    TimedOut = TimedOut || N == -2;
+    Err = Err || N == -1;
     return traits_type::eof();
   }
   setg(Buf, Buf, Buf + N);

@@ -70,10 +70,13 @@ public:
   bool writeAll(const void *Data, std::size_t Len);
   bool writeAll(std::string_view S) { return writeAll(S.data(), S.size()); }
 
-  /// Reads up to \p Len bytes. >0: bytes read; 0: orderly EOF; <0: error.
+  /// Reads up to \p Len bytes. >0: bytes read; 0: orderly EOF; -1:
+  /// transport error; -2: the setRecvTimeout() bound elapsed with no
+  /// data (the idle-reaper signal — the connection itself is intact).
   long readSome(void *Buf, std::size_t Len);
 
-  /// Bounds blocking reads; 0 disables the timeout.
+  /// Bounds blocking reads (readSome returns -2 once \p Millis pass
+  /// without data); 0 disables the timeout.
   bool setRecvTimeout(unsigned Millis);
 
   /// Severs both directions without closing the fd: blocked peers (and
@@ -99,6 +102,9 @@ public:
   explicit SocketStreamBuf(Socket &S) : S(S) {}
 
   bool hadError() const { return Err; }
+  /// The stream ended because the receive timeout elapsed (idle peer),
+  /// not because of EOF or a transport error.
+  bool timedOut() const { return TimedOut; }
 
 protected:
   int_type underflow() override;
@@ -107,6 +113,7 @@ private:
   Socket &S;
   char Buf[8192];
   bool Err = false;
+  bool TimedOut = false;
 };
 
 } // namespace serve

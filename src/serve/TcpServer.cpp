@@ -6,6 +6,7 @@
 
 #include "serve/TcpServer.h"
 
+#include "support/FaultInjection.h"
 #include "support/StringUtil.h"
 
 #include <chrono>
@@ -37,8 +38,19 @@ struct TcpServer::Conn {
   std::condition_variable DrainedCv; ///< Delivered caught up to Submitted.
   /// Rendered responses awaiting the writer, bounded by MaxPendingWrites.
   std::deque<std::string> Out;
+  /// One in-flight function plus its wire sequence number — the index of
+  /// its frame among this connection's function frames, which diagnostic
+  /// records quote (`seq=K`) so a client can map out-of-band sheds and
+  /// ordered-slot deadline records back to the frame it sent.
+  struct LiveFn {
+    std::unique_ptr<ir::IRFunction> F;
+    std::uint64_t Frame = 0;
+  };
   /// Functions submitted and not yet delivered, in submission order.
-  std::deque<std::unique_ptr<ir::IRFunction>> Live;
+  std::deque<LiveFn> Live;
+  /// Function frames read so far (shed or submitted) — the seq counter.
+  /// Reader-thread-only.
+  std::uint64_t Frames = 0;
   std::uint64_t Submitted = 0;
   std::uint64_t Delivered = 0;
   /// Abrupt end (client disconnect, transport error, server stop): output
@@ -71,6 +83,8 @@ Expected<std::unique_ptr<TcpServer>> TcpServer::start(const targets::Target &T,
   S->BoundPort = *P;
   TcpServer *Srv = S.get();
   S->AcceptThread = std::thread([Srv] { Srv->acceptLoop(); });
+  if (S->Opts.MemBudgetBytes)
+    S->GovThread = std::thread([Srv] { Srv->governorLoop(); });
   return S;
 }
 
@@ -102,6 +116,7 @@ Expected<pipeline::CompileService *> TcpServer::lane(BackendKind K) {
   SO.BackendOpts = Opts.BackendOpts;
   SO.Workers = Opts.Workers;
   SO.QueueCapacity = Opts.QueueCapacity;
+  SO.DeadlineNs = Opts.CompileDeadlineMs * 1000000ull;
   SO.OnResultTagged = [this](std::size_t, std::uint64_t Tag,
                              const pipeline::CompileResult &R) {
     dispatch(Tag, R);
@@ -112,6 +127,10 @@ Expected<pipeline::CompileService *> TcpServer::lane(BackendKind K) {
   if (!S)
     return S.takeError();
   Slot = std::move(*S);
+  // A lane born while the governor already holds pressure starts degraded
+  // — it would otherwise grow the very tiers the governor is shedding.
+  if (Pressure.load(std::memory_order_relaxed))
+    Slot->backend().setMemoryPressure(true);
   return Slot.get();
 }
 
@@ -147,6 +166,10 @@ void TcpServer::markDead(Conn &C) {
     if (C.Dead)
       return;
     C.Dead = true;
+    // Rendered-but-unwritten responses die with the connection; count
+    // them so operators can see vanished-client waste, then free the
+    // bytes now rather than at reap time.
+    CancelledCount.fetch_add(C.Out.size(), std::memory_order_relaxed);
     C.Out.clear();
   }
   C.CanPush.notify_all();
@@ -158,6 +181,14 @@ void TcpServer::markDead(Conn &C) {
   C.Sock.shutdownBoth();
 }
 
+/// Flattens an error message onto one line for the wire.
+static std::string oneLine(std::string Msg) {
+  for (char &C : Msg)
+    if (C == '\n')
+      C = ' ';
+  return Msg;
+}
+
 void TcpServer::dispatch(std::uint64_t Tag, const pipeline::CompileResult &R) {
   std::shared_ptr<Conn> C;
   {
@@ -166,32 +197,36 @@ void TcpServer::dispatch(std::uint64_t Tag, const pipeline::CompileResult &R) {
     if (It != Conns.end())
       C = It->second;
   }
-  if (!C)
-    return; // Connection reaped before delivery; result dropped.
-
-  std::string Bytes;
-  if (R.ok()) {
-    Bytes = R.Asm;
-  } else {
-    // One diagnostic record per failed function, in its ordered slot.
-    // Responses are line-framed, so the diagnostic must stay one line.
-    std::string D = R.Diagnostic;
-    for (char &Ch : D)
-      if (Ch == '\n')
-        Ch = ' ';
-    Bytes = "ERROR compile: " + D + "\n";
+  if (!C) {
+    // Connection reaped before delivery; result dropped.
+    CancelledCount.fetch_add(1, std::memory_order_relaxed);
+    return;
   }
 
   // This delivery's function is Live.front() (per-connection deliveries
   // arrive in per-connection submission order — see Conn). Freeing it here
   // is safe: the compile is finished, only delivery remains.
-  std::unique_ptr<ir::IRFunction> DoneF;
+  Conn::LiveFn Done;
   {
     std::lock_guard<std::mutex> L(C->M);
     if (!C->Live.empty()) {
-      DoneF = std::move(C->Live.front());
+      Done = std::move(C->Live.front());
       C->Live.pop_front();
     }
+  }
+
+  std::string Bytes;
+  if (R.ok()) {
+    Bytes = R.Asm;
+  } else if (R.Kind == ErrorKind::DeadlineExceeded) {
+    // The deadline record fills the function's ordered slot; quote its
+    // frame seq so a retrying client can re-send exactly that function.
+    Bytes = "ERROR DeadlineExceeded: " + oneLine(R.Diagnostic) +
+            "; seq=" + std::to_string(Done.Frame) + "\n";
+  } else {
+    // One diagnostic record per failed function, in its ordered slot.
+    // Responses are line-framed, so the diagnostic must stay one line.
+    Bytes = "ERROR compile: " + oneLine(R.Diagnostic) + "\n";
   }
 
   // Enqueue-or-drop and the Delivered increment are one critical section:
@@ -208,6 +243,8 @@ void TcpServer::dispatch(std::uint64_t Tag, const pipeline::CompileResult &R) {
     if (!C->Dead) {
       C->Out.push_back(std::move(Bytes));
       C->CanPop.notify_one();
+    } else {
+      CancelledCount.fetch_add(1, std::memory_order_relaxed);
     }
     ++C->Delivered;
   }
@@ -243,7 +280,12 @@ std::string TcpServer::statsJson(BackendKind K, Conn &C) {
       "\"tierDenseOn\":%s,\"tierPromoteThreshold\":%u,"
       "\"tierWindows\":%llu,\"tierReconfigs\":%llu,"
       "\"connSubmitted\":%llu,\"connDelivered\":%llu,"
-      "\"connectionsActive\":%u,\"connectionsAccepted\":%llu}\n",
+      "\"connectionsActive\":%u,\"connectionsAccepted\":%llu,"
+      "\"deadlineExpired\":%zu,\"maxConns\":%u,"
+      "\"shedConnections\":%llu,\"shedSubmits\":%llu,"
+      "\"idleReaped\":%llu,\"cancelledDeliveries\":%llu,"
+      "\"faultsInjected\":%llu,\"degraded\":%s,"
+      "\"backendBytes\":%zu,\"memBudget\":%zu,\"draining\":%s}\n",
       backendName(K), S.Submitted, S.Delivered, S.QueueDepth, S.Workers,
       S.LatencySamples, S.P50Us, S.P90Us, S.P99Us, S.l1HitRate(),
       S.denseHitRate(), S.cacheHitRate(), S.offlineHitRate(),
@@ -254,18 +296,21 @@ std::string TcpServer::statsJson(BackendKind K, Conn &C) {
       static_cast<unsigned long long>(Tier.Reconfigs),
       static_cast<unsigned long long>(ConnSub),
       static_cast<unsigned long long>(ConnDel), connectionsActive(),
-      static_cast<unsigned long long>(connectionsAccepted()));
-}
-
-/// Flattens an error message onto one line for the wire.
-static std::string oneLine(std::string Msg) {
-  for (char &C : Msg)
-    if (C == '\n')
-      C = ' ';
-  return Msg;
+      static_cast<unsigned long long>(connectionsAccepted()),
+      S.DeadlineExpired, Opts.MaxConns,
+      static_cast<unsigned long long>(ShedConns.load()),
+      static_cast<unsigned long long>(ShedSubmits.load()),
+      static_cast<unsigned long long>(IdleReapedCount.load()),
+      static_cast<unsigned long long>(CancelledCount.load()),
+      static_cast<unsigned long long>(fault::firedTotal()),
+      (Tier.Degraded || Pressure.load()) ? "true" : "false",
+      BackendBytes.load(), Opts.MemBudgetBytes,
+      Draining.load() ? "true" : "false");
 }
 
 void TcpServer::connReader(std::shared_ptr<Conn> C) {
+  if (Opts.IdleTimeoutMillis)
+    C->Sock.setRecvTimeout(Opts.IdleTimeoutMillis);
   SocketStreamBuf SB(C->Sock);
   std::istream In(&SB);
   BackendKind Kind = Opts.DefaultBackend;
@@ -276,6 +321,18 @@ void TcpServer::connReader(std::shared_ptr<Conn> C) {
   for (;;) {
     auto F = std::make_unique<ir::IRFunction>();
     Expected<ir::SExprFunctionStream::Item> I = Stream.nextItem(*F);
+    if (SB.timedOut()) {
+      // The idle reaper: the client went quiet past the receive-timeout
+      // bound. Depending on where the silence fell, nextItem read it as
+      // end-of-input or as a truncated frame — either way this is a reap,
+      // not a clean half-close; say so and stop reading. Results already
+      // in flight still deliver through the normal epilogue below.
+      IdleReapedCount.fetch_add(1, std::memory_order_relaxed);
+      pushOut(*C, formatf("ERROR IdleTimeout: no input for %u ms; "
+                          "closing connection\n",
+                          Opts.IdleTimeoutMillis));
+      break;
+    }
     if (!I) {
       // Parse errors are recoverable per function: the stream consumed
       // the bad frame up to its blank-line boundary, so report the
@@ -342,22 +399,40 @@ void TcpServer::connReader(std::shared_ptr<Conn> C) {
       Svc = *L;
     }
     ir::IRFunction &Ref = *F;
+    std::uint64_t Seq = C->Frames++;
     {
       std::lock_guard<std::mutex> L(C->M);
-      C->Live.push_back(std::move(F));
+      C->Live.push_back(Conn::LiveFn{std::move(F), Seq});
       ++C->Submitted;
     }
-    Expected<std::future<pipeline::CompileResult>> Fut = Svc->submit(Ref, C->Id);
+    // With a high-watermark configured, never block in submit: shed at
+    // the bound and keep reading — an overloaded lane must not be able to
+    // wedge this client's input side.
+    Expected<std::future<pipeline::CompileResult>> Fut =
+        Opts.LaneHighWatermark
+            ? Svc->trySubmit(Ref, C->Id, Opts.LaneHighWatermark)
+            : Svc->submit(Ref, C->Id);
     if (!Fut) {
-      // Shutdown raced the submission; nothing was enqueued for this
-      // function, so un-count it. It is still Live.back(): this reader is
-      // the only pusher, and deliveries only pop the front.
+      // Nothing was enqueued for this function, so un-count it. It is
+      // still Live.back(): this reader is the only pusher, and deliveries
+      // only pop the front.
       {
         std::lock_guard<std::mutex> L(C->M);
         C->Live.pop_back();
         --C->Submitted;
       }
-      break;
+      if (Fut.kind() == ErrorKind::ResourceExhausted) {
+        // Shed (watermark hit, or an injected submit fault). Out-of-band
+        // record — it can overtake earlier functions' results on the wire
+        // — so it quotes the frame seq it refuses. The connection keeps
+        // serving.
+        ShedSubmits.fetch_add(1, std::memory_order_relaxed);
+        pushOut(*C, "ERROR ResourceExhausted: " + oneLine(Fut.message()) +
+                        "; seq=" + std::to_string(Seq) +
+                        " retry-after-ms=50\n");
+        continue;
+      }
+      break; // Shutdown raced the submission.
     }
     // The future is intentionally dropped: the tagged sink delivers.
   }
@@ -396,9 +471,12 @@ void TcpServer::connWriter(std::shared_ptr<Conn> C) {
     }
     C->CanPush.notify_one();
     if (!C->Sock.writeAll(Bytes)) {
-      // Peer vanished mid-write: abandon this connection's output. The
-      // reader fails out via the severed socket; undelivered results drop.
+      // Peer vanished mid-write: abandon this connection's output
+      // promptly. markDead counts and frees what was still queued; the
+      // response in hand never reached the peer either, so it counts too.
+      // The reader fails out via the severed socket.
       markDead(*C);
+      CancelledCount.fetch_add(1, std::memory_order_relaxed);
       return;
     }
   }
@@ -439,6 +517,29 @@ void TcpServer::acceptLoop() {
         break;
       continue;
     }
+    // Admission control: past the connection cap, answer with one shed
+    // record and close — never block the accept loop behind an overloaded
+    // server, and never let an unbounded connection storm grow the thread
+    // count. Reap first so finished-but-unreaped connections don't eat
+    // the cap.
+    if (Opts.MaxConns) {
+      reapFinished();
+      unsigned Active;
+      {
+        std::lock_guard<std::mutex> L(ConnsM);
+        Active = static_cast<unsigned>(Conns.size());
+      }
+      if (Active >= Opts.MaxConns) {
+        ShedConns.fetch_add(1, std::memory_order_relaxed);
+        // Short write into a fresh socket's empty send buffer — cannot
+        // meaningfully block; best-effort anyway (the client may already
+        // be gone). RAII closes the socket at scope exit.
+        S->writeAll(formatf("ERROR ResourceExhausted: server at "
+                            "connection cap (%u); retry-after-ms=100\n",
+                            Opts.MaxConns));
+        continue;
+      }
+    }
     auto C = std::make_shared<Conn>();
     C->Sock = std::move(*S);
     {
@@ -453,15 +554,84 @@ void TcpServer::acceptLoop() {
   }
 }
 
+void TcpServer::governorLoop() {
+  std::unique_lock<std::mutex> G(GovM);
+  for (;;) {
+    GovCv.wait_for(G, std::chrono::milliseconds(20), [&] { return GovStop; });
+    if (GovStop)
+      return;
+    G.unlock();
+    std::size_t Total = 0;
+    {
+      std::lock_guard<std::mutex> L(LanesM);
+      for (const std::unique_ptr<pipeline::CompileService> &Lp : Lanes)
+        if (Lp)
+          Total += Lp->backend().memoryBytes();
+    }
+    BackendBytes.store(Total, std::memory_order_relaxed);
+    // Hysteresis: engage above the budget, release only once shedding
+    // (plus the clamp stopping growth) brought usage under 90% of it —
+    // one sample hovering at the line must not flap the tiers.
+    bool P = Pressure.load(std::memory_order_relaxed);
+    bool NewP = P ? Total >= Opts.MemBudgetBytes - Opts.MemBudgetBytes / 10
+                  : Total > Opts.MemBudgetBytes;
+    if (NewP != P) {
+      Pressure.store(NewP, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> L(LanesM);
+      for (const std::unique_ptr<pipeline::CompileService> &Lp : Lanes)
+        if (Lp)
+          Lp->backend().setMemoryPressure(NewP);
+    }
+    G.lock();
+  }
+}
+
+bool TcpServer::beginDrain() {
+  std::lock_guard<std::mutex> SL(StopM);
+  if (StopDone)
+    return false;
+  bool Expected = false;
+  if (!Draining.compare_exchange_strong(Expected, true))
+    return false;
+  // Sever only the listener: in-flight connections keep compiling and
+  // delivering. Joining the accept thread hands its registration/reaping
+  // duty to whoever polls drained() — after this, the connection map only
+  // shrinks.
+  Stopping.store(true);
+  Listener.shutdownBoth();
+  if (AcceptThread.joinable())
+    AcceptThread.join();
+  return true;
+}
+
+bool TcpServer::drained() {
+  // Safe off the accept thread: beginDrain() joined it, so the polling
+  // caller is the sole map mutator now. (Not safe concurrently with
+  // stop(), which also joins readers — drive the drain from one thread.)
+  reapFinished();
+  std::lock_guard<std::mutex> L(ConnsM);
+  return Conns.empty();
+}
+
 void TcpServer::stop() {
   std::lock_guard<std::mutex> SL(StopM);
   if (StopDone)
     return;
   Stopping.store(true);
 
+  // 0. Retire the governor first so nothing re-tunes lanes mid-teardown.
+  {
+    std::lock_guard<std::mutex> G(GovM);
+    GovStop = true;
+  }
+  GovCv.notify_all();
+  if (GovThread.joinable())
+    GovThread.join();
+
   // 1. No new connections: sever the listener (fails the blocked accept)
   //    and join the accept thread. After this the connection map only
   //    shrinks — registration and reaping both lived on that thread.
+  //    (A prior beginDrain() already did both; these are idempotent.)
   Listener.shutdownBoth();
   if (AcceptThread.joinable())
     AcceptThread.join();

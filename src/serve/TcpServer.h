@@ -53,9 +53,21 @@
 /// record and the connection keeps serving; a frame over the byte cap
 /// poisons framing and closes the connection; an abrupt client disconnect
 /// cancels that connection's undelivered results (already-queued work
-/// still compiles but its delivery is dropped) without disturbing other
-/// connections; stop() severs every connection, drains the services, and
-/// joins every thread.
+/// still compiles but its delivery is dropped, counted in
+/// cancelledDeliveries()) without disturbing other connections; stop()
+/// severs every connection, drains the services, and joins every thread.
+///
+/// Overload control (all opt-in, see Options): a connection cap answered
+/// at accept time with `ERROR ResourceExhausted` instead of queueing, a
+/// per-lane submission high-watermark shedding functions with an
+/// out-of-band `ERROR ResourceExhausted ... seq=K` record instead of
+/// blocking the reader, an idle-connection reaper (`ERROR IdleTimeout`),
+/// per-function compile deadlines answered in the ordered slot
+/// (`ERROR DeadlineExceeded ... seq=K`), and a memory governor that holds
+/// lane backends degraded while their shared state exceeds a byte budget.
+/// beginDrain()/drained() implement graceful shutdown: stop accepting,
+/// finish in-flight work, then stop(). Every path counts — see the
+/// counter accessors and the STATS line.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -69,6 +81,7 @@
 
 #include <array>
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -104,6 +117,32 @@ public:
     BackendKind DefaultBackend = BackendKind::OnDemand;
     /// Tunables for lazily created lane backends.
     LabelerBackend::Options BackendOpts;
+
+    /// \name Overload control (0 = feature off, for every knob)
+    /// @{
+    /// Accept-time connection cap: a connection past the cap is answered
+    /// with one `ERROR ResourceExhausted` record and closed — the accept
+    /// loop never blocks on an overloaded server.
+    unsigned MaxConns = 0;
+    /// Per-lane undelivered-submission high-watermark: at or above it the
+    /// reader sheds the function with an out-of-band
+    /// `ERROR ResourceExhausted` record instead of blocking in submit.
+    /// Clamped to the lane's queue capacity (see
+    /// CompileService::trySubmit).
+    std::size_t LaneHighWatermark = 0;
+    /// Reap connections idle (no bytes from the client) past this long.
+    /// The client sees an `ERROR IdleTimeout` record, then the close.
+    unsigned IdleTimeoutMillis = 0;
+    /// Per-function compile deadline: a submission still queued past it
+    /// is answered with `ERROR DeadlineExceeded` in its ordered slot
+    /// instead of being compiled (see CompileService::Options::DeadlineNs).
+    std::uint64_t CompileDeadlineMs = 0;
+    /// Global budget for the lanes' shared backend state (automata,
+    /// tables). A governor thread samples against it and, under pressure,
+    /// drives every lane's backend to shed regrowable tiers
+    /// (LabelerBackend::setMemoryPressure) until usage falls back under.
+    std::size_t MemBudgetBytes = 0;
+    /// @}
   };
 
   /// Binds, listens, and starts accepting. \p T must outlive the server.
@@ -126,6 +165,17 @@ public:
   /// released, never deadlocked.
   void stop();
 
+  /// Graceful drain, step 1: stop accepting (severs the listener, joins
+  /// the accept thread) while existing connections keep compiling and
+  /// delivering. Poll drained() for completion, then stop() — or stop()
+  /// straight away to force-sever whatever is still in flight. Returns
+  /// false if a drain (or stop) already began.
+  bool beginDrain();
+  /// Whether every connection present at beginDrain() has finished and
+  /// been reaped. Only meaningful after beginDrain(); the caller's polling
+  /// thread takes over the accept thread's reaping duty.
+  bool drained();
+
   /// Lifetime count of accepted connections.
   std::uint64_t connectionsAccepted() const { return Accepted.load(); }
   /// Currently registered (not yet reaped) connections.
@@ -134,12 +184,30 @@ public:
   /// metrics); null otherwise.
   const pipeline::CompileService *laneService(BackendKind K) const;
 
+  /// \name Overload/robustness counters (lifetime totals)
+  /// @{
+  /// Connections refused at accept time by Options::MaxConns.
+  std::uint64_t shedConnections() const { return ShedConns.load(); }
+  /// Function frames shed at the lane high-watermark.
+  std::uint64_t shedSubmits() const { return ShedSubmits.load(); }
+  /// Connections reaped by the idle timeout.
+  std::uint64_t idleReaped() const { return IdleReapedCount.load(); }
+  /// Responses dropped against dead connections — results whose client
+  /// vanished before delivery (plus any queued records the death voided).
+  std::uint64_t cancelledDeliveries() const { return CancelledCount.load(); }
+  /// The memory governor currently holds the lanes in degraded mode.
+  bool degraded() const { return Pressure.load(); }
+  /// Last backend-bytes sample the governor took (0 until its first tick).
+  std::size_t backendBytesSampled() const { return BackendBytes.load(); }
+  /// @}
+
 private:
   struct Conn;
 
   TcpServer(const targets::Target &T, Options Opts);
 
   void acceptLoop();
+  void governorLoop();
   void connReader(std::shared_ptr<Conn> C);
   void connWriter(std::shared_ptr<Conn> C);
   void dispatch(std::uint64_t Tag, const pipeline::CompileResult &R);
@@ -166,8 +234,25 @@ private:
 
   std::atomic<std::uint64_t> Accepted{0};
   std::atomic<bool> Stopping{false};
+  std::atomic<bool> Draining{false};
   std::mutex StopM;
   bool StopDone = false;
+
+  std::atomic<std::uint64_t> ShedConns{0};
+  std::atomic<std::uint64_t> ShedSubmits{0};
+  std::atomic<std::uint64_t> IdleReapedCount{0};
+  std::atomic<std::uint64_t> CancelledCount{0};
+
+  /// The memory governor (runs only with Options::MemBudgetBytes set):
+  /// samples lane backend bytes every ~20ms and flips the lanes'
+  /// setMemoryPressure lever with hysteresis (on above the budget, off
+  /// below 90% of it).
+  std::thread GovThread;
+  std::mutex GovM;
+  std::condition_variable GovCv;
+  bool GovStop = false; ///< Under GovM.
+  std::atomic<bool> Pressure{false};
+  std::atomic<std::size_t> BackendBytes{0};
 };
 
 } // namespace serve

@@ -46,6 +46,14 @@ enum class ErrorKind {
   /// A submission reached a CompileService after shutdown() stopped it
   /// from accepting work.
   ServiceShutdown,
+  /// Work was refused because a resource limit is currently exceeded —
+  /// the server's connection cap, a lane's queue high-watermark. Nothing
+  /// was started; the request is safe to retry after backing off.
+  ResourceExhausted,
+  /// A queued submission sat past its deadline before a worker could
+  /// start it. The result slot carries this diagnostic instead of output;
+  /// later submissions are unaffected.
+  DeadlineExceeded,
 };
 
 /// A recoverable error carrying a message and kind, or success. Move-only.

@@ -1,0 +1,223 @@
+//===- support/FaultInjection.cpp - Deterministic fault-site registry -----===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#include "support/StringUtil.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace odburg {
+namespace fault {
+
+std::atomic<bool> detail::AnyArmed{false};
+
+namespace {
+
+enum Trigger : int { Off = 0, Nth, EveryK, Probability };
+
+/// All state is atomic: configuration usually happens once at startup,
+/// but tests reconfigure live and sites fire from many threads at once.
+struct SiteState {
+  std::atomic<int> Mode{Off};
+  /// Nth: N. EveryK: K. Probability: P scaled to [0, 2^32].
+  std::atomic<std::uint64_t> Param{0};
+  std::atomic<std::uint64_t> Seed{0};
+  std::atomic<std::uint64_t> Hits{0};
+  std::atomic<std::uint64_t> Fired{0};
+};
+
+SiteState Sites[NumSites];
+std::atomic<std::uint64_t> FiredTotal{0};
+
+/// splitmix64 finalizer — the probability trigger's per-hit decision is a
+/// pure function of (seed, hit index), so a seeded chaos run replays the
+/// exact same fault sequence.
+std::uint64_t mix(std::uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+Expected<Site> parseSite(std::string_view Name) {
+  for (unsigned I = 0; I < NumSites; ++I)
+    if (Name == siteName(static_cast<Site>(I)))
+      return static_cast<Site>(I);
+  return Error::make(ErrorKind::MalformedInput,
+                     "unknown fault site '" + std::string(Name) +
+                         "' (known: socket-send, socket-recv, socket-accept, "
+                         "service-submit, tables-load, state-compute)");
+}
+
+} // namespace
+
+const char *siteName(Site S) {
+  switch (S) {
+  case Site::SocketSend:
+    return "socket-send";
+  case Site::SocketRecv:
+    return "socket-recv";
+  case Site::SocketAccept:
+    return "socket-accept";
+  case Site::ServiceSubmit:
+    return "service-submit";
+  case Site::TablesLoad:
+    return "tables-load";
+  case Site::StateCompute:
+    return "state-compute";
+  }
+  return "?";
+}
+
+bool detail::shouldFailSlow(Site S) {
+  SiteState &St = Sites[static_cast<unsigned>(S)];
+  int Mode = St.Mode.load(std::memory_order_relaxed);
+  if (Mode == Off)
+    return false;
+  std::uint64_t Hit = St.Hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  bool Fire = false;
+  switch (Mode) {
+  case Nth:
+    Fire = Hit == St.Param.load(std::memory_order_relaxed);
+    break;
+  case EveryK: {
+    std::uint64_t K = St.Param.load(std::memory_order_relaxed);
+    Fire = K != 0 && Hit % K == 0;
+    break;
+  }
+  case Probability: {
+    std::uint64_t R = mix(St.Seed.load(std::memory_order_relaxed) ^ Hit);
+    Fire = (R >> 32) < St.Param.load(std::memory_order_relaxed);
+    break;
+  }
+  default:
+    break;
+  }
+  if (Fire) {
+    St.Fired.fetch_add(1, std::memory_order_relaxed);
+    FiredTotal.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Fire;
+}
+
+Error configure(std::string_view Spec) {
+  // Parse everything into a staging copy first so a bad spec leaves the
+  // registry untouched.
+  struct Staged {
+    Site S;
+    int Mode;
+    std::uint64_t Param;
+    std::uint64_t Seed;
+  };
+  std::vector<Staged> Parsed;
+  for (std::string_view Part : split(Spec, ',')) {
+    Part = trim(Part);
+    if (Part.empty())
+      continue;
+    std::size_t Colon = Part.find(':');
+    if (Colon == std::string_view::npos)
+      return Error::make(ErrorKind::MalformedInput,
+                         "fault spec '" + std::string(Part) +
+                             "' is missing ':' (want site:trigger)");
+    Expected<Site> S = parseSite(trim(Part.substr(0, Colon)));
+    if (!S)
+      return S.takeError();
+    std::string_view T = trim(Part.substr(Colon + 1));
+    Staged St{*S, Off, 0, 0};
+    if (startsWith(T, "nth=") || startsWith(T, "every=")) {
+      bool IsNth = startsWith(T, "nth=");
+      unsigned N = 0;
+      if (!parseUnsigned(T.substr(IsNth ? 4 : 6), N) || N == 0)
+        return Error::make(ErrorKind::MalformedInput,
+                           "fault trigger '" + std::string(T) +
+                               "' needs a positive count");
+      St.Mode = IsNth ? Nth : EveryK;
+      St.Param = N;
+    } else if (startsWith(T, "p=")) {
+      std::string_view V = T.substr(2);
+      St.Seed = 1;
+      if (std::size_t At = V.find('@'); At != std::string_view::npos) {
+        unsigned Seed = 0;
+        if (!parseUnsigned(V.substr(At + 1), Seed))
+          return Error::make(ErrorKind::MalformedInput,
+                             "fault trigger '" + std::string(T) +
+                                 "' has a malformed @seed");
+        St.Seed = Seed;
+        V = V.substr(0, At);
+      }
+      std::string Num(V);
+      char *End = nullptr;
+      double P = std::strtod(Num.c_str(), &End);
+      if (Num.empty() || End != Num.c_str() + Num.size() || P < 0.0 ||
+          P > 1.0)
+        return Error::make(ErrorKind::MalformedInput,
+                           "fault trigger '" + std::string(T) +
+                               "' needs a probability in [0,1]");
+      St.Mode = Probability;
+      St.Param = static_cast<std::uint64_t>(P * 4294967296.0);
+    } else {
+      return Error::make(ErrorKind::MalformedInput,
+                         "unknown fault trigger '" + std::string(T) +
+                             "' (want nth=N, every=K, or p=P[@seed])");
+    }
+    Parsed.push_back(St);
+  }
+
+  for (const Staged &St : Parsed) {
+    SiteState &Slot = Sites[static_cast<unsigned>(St.S)];
+    Slot.Param.store(St.Param, std::memory_order_relaxed);
+    Slot.Seed.store(St.Seed, std::memory_order_relaxed);
+    Slot.Mode.store(St.Mode, std::memory_order_relaxed);
+  }
+  bool Any = false;
+  for (const SiteState &S : Sites)
+    Any = Any || S.Mode.load(std::memory_order_relaxed) != Off;
+  detail::AnyArmed.store(Any, std::memory_order_release);
+  return Error::success();
+}
+
+Error configureFromEnv(const char *Var) {
+  const char *V = std::getenv(Var);
+  if (!V || !*V)
+    return Error::success();
+  return configure(V);
+}
+
+void reset() {
+  detail::AnyArmed.store(false, std::memory_order_relaxed);
+  for (SiteState &S : Sites) {
+    S.Mode.store(Off, std::memory_order_relaxed);
+    S.Param.store(0, std::memory_order_relaxed);
+    S.Seed.store(0, std::memory_order_relaxed);
+    S.Hits.store(0, std::memory_order_relaxed);
+    S.Fired.store(0, std::memory_order_relaxed);
+  }
+  FiredTotal.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t hitCount(Site S) {
+  return Sites[static_cast<unsigned>(S)].Hits.load(std::memory_order_relaxed);
+}
+
+std::uint64_t firedCount(Site S) {
+  return Sites[static_cast<unsigned>(S)].Fired.load(std::memory_order_relaxed);
+}
+
+std::uint64_t firedTotal() {
+  return FiredTotal.load(std::memory_order_relaxed);
+}
+
+void injectLatency() {
+  std::this_thread::sleep_for(std::chrono::microseconds(200));
+}
+
+} // namespace fault
+} // namespace odburg

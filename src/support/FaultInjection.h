@@ -1,0 +1,107 @@
+//===- support/FaultInjection.h - Deterministic fault-site registry -------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide registry of named fault sites for rehearsing failures
+/// the serving stack must survive: transport errors, admission rejection,
+/// table-load corruption, slow state computation. Production code plants
+/// a site with one shouldFail(Site) call on its failure path; chaos runs
+/// arm sites with deterministic triggers via the ODBURG_FAULTS
+/// environment variable (or configure() from a CLI flag):
+///
+///   ODBURG_FAULTS=site:trigger[,site:trigger...]
+///
+///   sites     socket-send | socket-recv | socket-accept |
+///             service-submit | tables-load | state-compute
+///   triggers  nth=N     fire exactly once, on the Nth hit (1-based)
+///             every=K   fire on every Kth hit
+///             p=P[@S]   fire with probability P in [0,1], decided by a
+///                       deterministic hash of (seed S, hit index) — the
+///                       same seed replays the same fault sequence
+///
+/// Cost discipline: with nothing armed, shouldFail() is a single relaxed
+/// atomic load and a predictable branch — cheap enough to leave compiled
+/// into release hot paths. Armed or not, all bookkeeping is atomic, so
+/// sites in concurrent code stay TSan-clean.
+///
+/// What a firing site *does* is the call site's business: the socket
+/// sites fail the I/O, the submit site rejects with
+/// ErrorKind::ResourceExhausted, the state-compute site injects latency
+/// (injectLatency()) rather than failing — slowness is the fault being
+/// rehearsed there.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_SUPPORT_FAULTINJECTION_H
+#define ODBURG_SUPPORT_FAULTINJECTION_H
+
+#include "support/Error.h"
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+namespace odburg {
+namespace fault {
+
+/// The registered fault sites. Keep NumSites and siteName() in sync.
+enum class Site : unsigned {
+  SocketSend,     ///< Socket::writeAll reports a transport failure.
+  SocketRecv,     ///< Socket::readSome reports a transport failure.
+  SocketAccept,   ///< Socket::accept fails (the accept loop backs off).
+  ServiceSubmit,  ///< CompileService submission rejected ResourceExhausted.
+  TablesLoad,     ///< CompiledTables::load fails MalformedInput.
+  StateCompute,   ///< StateComputer gains injected latency.
+};
+inline constexpr unsigned NumSites = 6;
+
+/// The spec-grammar name of \p S ("socket-send", ...).
+const char *siteName(Site S);
+
+namespace detail {
+/// True iff any site has a trigger configured; the fast path's only load.
+extern std::atomic<bool> AnyArmed;
+bool shouldFailSlow(Site S);
+} // namespace detail
+
+/// True when the armed trigger for \p S fires on this hit. One relaxed
+/// atomic load when no site is armed anywhere in the process.
+inline bool shouldFail(Site S) {
+  if (!detail::AnyArmed.load(std::memory_order_relaxed))
+    return false;
+  return detail::shouldFailSlow(S);
+}
+
+/// Parses and installs a spec (see file comment); replaces the triggers
+/// of the sites it names and leaves others untouched. Fails typed
+/// (MalformedInput) on an unknown site or trigger, leaving the registry
+/// unchanged.
+Error configure(std::string_view Spec);
+
+/// configure()s from the environment variable \p Var (default
+/// ODBURG_FAULTS). An unset or empty variable is success with nothing
+/// armed.
+Error configureFromEnv(const char *Var = "ODBURG_FAULTS");
+
+/// Disarms every site and zeroes all counters (tests).
+void reset();
+
+/// Times the armed trigger of \p S was consulted / fired.
+std::uint64_t hitCount(Site S);
+std::uint64_t firedCount(Site S);
+/// Lifetime fired count across all sites — the STATS "faultsInjected"
+/// counter.
+std::uint64_t firedTotal();
+
+/// The latency payload for delay-style sites (state-compute): sleeps a
+/// fixed few hundred microseconds — enough to overwhelm a millisecond
+/// deadline under load, small enough to keep chaos runs fast.
+void injectLatency();
+
+} // namespace fault
+} // namespace odburg
+
+#endif // ODBURG_SUPPORT_FAULTINJECTION_H

@@ -24,6 +24,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
 #include <thread>
 #include <vector>
 
@@ -316,6 +318,112 @@ TEST(CompileService, PerFunctionFailureDoesNotPoisonTheStream) {
   EXPECT_TRUE(RBroken.Asm.empty());
   EXPECT_TRUE(F2.get().ok());
   EXPECT_EQ(Ok, (std::vector<char>{1, 0, 1}));
+}
+
+TEST(CompileService, DeadlineExpiryOccupiesOrderedSlotWithoutStalling) {
+  // Submissions that sit in the queue past Options::DeadlineNs must be
+  // delivered as DeadlineExceeded failures *in their ordered slot* — the
+  // stream neither stalls nor reorders around them, and fresh submissions
+  // afterwards compile normally.
+  auto T = cantFail(makeTarget("vm64"));
+  std::vector<ir::IRFunction> Corpus = makeCorpus(T->G, 6, 200);
+
+  std::promise<void> GatePromise;
+  std::shared_future<void> Gate = GatePromise.get_future().share();
+  std::atomic<bool> FirstDelivered{false};
+  std::vector<std::size_t> SeqLog;
+  CompileService::Options Opts;
+  Opts.Workers = 1;
+  Opts.QueueCapacity = 8;
+  // Generous against sanitizer slowdowns: an idle worker dequeues in
+  // microseconds, so job 0 cannot plausibly expire; the gated jobs wait
+  // far past it, so they deterministically do.
+  Opts.DeadlineNs = 100'000'000; // 100ms.
+  Opts.OnResult = [&](std::size_t Seq, const CompileResult &) {
+    SeqLog.push_back(Seq);
+    if (Seq == 0) {
+      FirstDelivered.store(true);
+      Gate.wait(); // Park the pipeline with jobs 1..4 stuck in the queue.
+    }
+  };
+  std::unique_ptr<CompileService> Svc =
+      cantFail(CompileService::create(T->G, &T->Dyn, std::move(Opts)));
+
+  std::future<CompileResult> F0 = cantFail(Svc->submit(Corpus[0]));
+  while (!FirstDelivered.load())
+    std::this_thread::yield();
+  std::vector<std::future<CompileResult>> Stuck;
+  for (unsigned I = 1; I <= 4; ++I)
+    Stuck.push_back(cantFail(Svc->submit(Corpus[I])));
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  GatePromise.set_value();
+  Svc->drain();
+
+  EXPECT_TRUE(F0.get().ok());
+  for (std::future<CompileResult> &F : Stuck) {
+    CompileResult R = F.get();
+    EXPECT_FALSE(R.ok());
+    EXPECT_EQ(R.Kind, ErrorKind::DeadlineExceeded);
+    EXPECT_TRUE(R.Asm.empty());
+    EXPECT_NE(R.Diagnostic.find("deadline"), std::string::npos)
+        << R.Diagnostic;
+  }
+  EXPECT_EQ(Svc->statsSnapshot().DeadlineExpired, 4u);
+
+  // The service is still healthy: a fresh submission with an idle worker
+  // compiles well inside the deadline.
+  std::future<CompileResult> F5 = cantFail(Svc->submit(Corpus[5]));
+  Svc->drain();
+  EXPECT_TRUE(F5.get().ok());
+
+  // Ordered slots throughout, expirations included.
+  ASSERT_EQ(SeqLog.size(), 6u);
+  for (std::size_t I = 0; I < SeqLog.size(); ++I)
+    EXPECT_EQ(SeqLog[I], I);
+}
+
+TEST(CompileService, TrySubmitShedsAtTheHighWatermark) {
+  // The server's reader-side shed path: trySubmit() must answer
+  // ResourceExhausted immediately once undelivered submissions reach the
+  // watermark — never block — and accepted work is unaffected.
+  auto T = cantFail(makeTarget("vm64"));
+  std::vector<ir::IRFunction> Corpus = makeCorpus(T->G, 4, 200);
+
+  std::promise<void> GatePromise;
+  std::shared_future<void> Gate = GatePromise.get_future().share();
+  std::atomic<bool> FirstDelivered{false};
+  CompileService::Options Opts;
+  Opts.Workers = 1;
+  Opts.QueueCapacity = 8;
+  Opts.OnResult = [&](std::size_t Seq, const CompileResult &) {
+    if (Seq == 0) {
+      FirstDelivered.store(true);
+      Gate.wait();
+    }
+  };
+  std::unique_ptr<CompileService> Svc =
+      cantFail(CompileService::create(T->G, &T->Dyn, std::move(Opts)));
+
+  std::future<CompileResult> F0 =
+      cantFail(Svc->trySubmit(Corpus[0], /*Tag=*/7, /*MaxDepth=*/2));
+  while (!FirstDelivered.load())
+    std::this_thread::yield();
+  // Job 0 is undelivered (parked in the sink); one more fits under the
+  // watermark of 2, the next must shed.
+  std::future<CompileResult> F1 =
+      cantFail(Svc->trySubmit(Corpus[1], 7, 2));
+  Expected<std::future<CompileResult>> Shed = Svc->trySubmit(Corpus[2], 7, 2);
+  ASSERT_FALSE(static_cast<bool>(Shed));
+  EXPECT_EQ(Shed.kind(), ErrorKind::ResourceExhausted);
+
+  GatePromise.set_value();
+  Svc->drain();
+  EXPECT_TRUE(F0.get().ok());
+  EXPECT_TRUE(F1.get().ok());
+  // After the drain the depth is back to zero and trySubmit admits again.
+  std::future<CompileResult> F3 = cantFail(Svc->trySubmit(Corpus[3], 7, 2));
+  Svc->drain();
+  EXPECT_TRUE(F3.get().ok());
 }
 
 TEST(CompileService, BoundedQueueSurvivesManyProducers) {

@@ -155,6 +155,10 @@ TEST(ServerChaos, DisconnectMidStreamCancelsOnlyThatClient) {
   pipeline::ServiceStats S = Lane->statsSnapshot();
   EXPECT_EQ(S.Submitted, S.Delivered);
   EXPECT_EQ(S.QueueDepth, 0u);
+  // The victims' undelivered results were cancelled, promptly and
+  // countedly — the "peer vanished mid-write" ledger the STATS line
+  // surfaces as cancelledDeliveries.
+  EXPECT_GT(Srv->cancelledDeliveries(), 0u);
 }
 
 TEST(ServerChaos, StopUnderFullBackpressureReleasesEverything) {
@@ -335,6 +339,134 @@ TEST(ServerChaos, ProtocolMisuseGetsDiagnosticsNotDisconnects) {
     Pos = End + 1;
   }
   EXPECT_EQ(Asm, Ref);
+  Srv->stop();
+}
+
+TEST(ServerChaos, AdmissionStormIsShedDeterministicallyAtTheCap) {
+  auto T = cantFail(makeTarget("x86"));
+  TcpServer::Options O = chaosOptions();
+  O.MaxConns = 4;
+  auto Srv = cantFail(TcpServer::start(*T, O));
+
+  std::vector<ir::IRFunction> Corpus = makeCorpus(T->Fixed, 4);
+  std::string Wire = corpusToWire(Corpus, T->Fixed);
+  std::string Ref = referenceAsm(T->Fixed, Corpus);
+
+  // Four squatters occupy every admission slot and hold them open.
+  std::vector<Socket> Squatters;
+  for (unsigned I = 0; I < 4; ++I)
+    Squatters.push_back(cantFail(Socket::connectTo("127.0.0.1", Srv->port())));
+  while (Srv->connectionsAccepted() < 4)
+    std::this_thread::yield();
+
+  // A 4x connection storm against the full server: every storm client is
+  // turned away with the admission record and a close — deterministic,
+  // because the squatters never leave and never finish.
+  for (unsigned I = 0; I < 12; ++I) {
+    Socket S = cantFail(Socket::connectTo("127.0.0.1", Srv->port()));
+    std::string Got = readToEof(S);
+    EXPECT_NE(Got.find("ERROR ResourceExhausted: server at connection cap (4)"),
+              std::string::npos)
+        << Got;
+    EXPECT_NE(Got.find("retry-after-ms="), std::string::npos) << Got;
+  }
+  EXPECT_EQ(Srv->shedConnections(), 12u);
+
+  // The squatters leave; their slots free up (the accept loop reaps dead
+  // connections before judging admission) and a fresh client round-trips
+  // a byte-exact response. The reader threads notice the closes
+  // asynchronously, so admission may still answer busy for a moment.
+  for (Socket &S : Squatters)
+    S.close();
+  std::string Got;
+  for (int Try = 0; Try < 200; ++Try) {
+    Got = roundTrip(Srv->port(), Wire);
+    if (Got == Ref)
+      break;
+    ASSERT_NE(Got.find("ERROR ResourceExhausted"), std::string::npos) << Got;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(Got, Ref);
+  Srv->stop();
+}
+
+TEST(ServerChaos, IdleConnectionIsReapedWithClientVisibleDiagnostic) {
+  auto T = cantFail(makeTarget("x86"));
+  TcpServer::Options O = chaosOptions();
+  O.IdleTimeoutMillis = 250;
+  auto Srv = cantFail(TcpServer::start(*T, O));
+
+  std::vector<ir::IRFunction> Corpus = makeCorpus(T->Fixed, 3);
+  std::string Wire = corpusToWire(Corpus, T->Fixed);
+  std::string Ref = referenceAsm(T->Fixed, Corpus);
+
+  // A connection that opens and then goes silent: the server must reap
+  // it — with a diagnostic the client actually sees before the close,
+  // not a bare RST.
+  {
+    Socket S = cantFail(Socket::connectTo("127.0.0.1", Srv->port()));
+    std::string Got = readToEof(S); // Blocks until the reaper acts.
+    EXPECT_NE(Got.find("ERROR IdleTimeout: no input for 250 ms"),
+              std::string::npos)
+        << Got;
+  }
+  EXPECT_EQ(Srv->idleReaped(), 1u);
+
+  // A half-way variant: real work, then silence. The delivered assembly
+  // precedes the reaper's diagnostic.
+  {
+    Socket S = cantFail(Socket::connectTo("127.0.0.1", Srv->port()));
+    ASSERT_TRUE(S.writeAll(Wire)); // No half-close: the connection idles.
+    std::string Got = readToEof(S);
+    std::size_t ErrAt = Got.find("ERROR IdleTimeout");
+    ASSERT_NE(ErrAt, std::string::npos) << Got;
+    EXPECT_EQ(Got.substr(0, ErrAt), Ref);
+  }
+  EXPECT_EQ(Srv->idleReaped(), 2u);
+
+  // An active client is never reaped: a plain round trip (half-close, so
+  // EOF beats the timeout) stays byte-exact.
+  EXPECT_EQ(roundTrip(Srv->port(), Wire), Ref);
+  EXPECT_EQ(Srv->idleReaped(), 2u);
+  Srv->stop();
+}
+
+TEST(ServerChaos, GracefulDrainFinishesInFlightWorkThenStops) {
+  auto T = cantFail(makeTarget("x86"));
+  auto Srv = cantFail(TcpServer::start(*T, chaosOptions()));
+
+  std::vector<ir::IRFunction> Corpus = makeCorpus(T->Fixed, 16);
+  std::string Wire = corpusToWire(Corpus, T->Fixed);
+  std::string Ref = referenceAsm(T->Fixed, Corpus);
+
+  // A client with work in flight when the drain begins must still get its
+  // complete byte-exact response; a connect attempt after beginDrain()
+  // must be refused (the listener is gone).
+  Socket S = cantFail(Socket::connectTo("127.0.0.1", Srv->port()));
+  ASSERT_TRUE(S.writeAll(Wire));
+  S.shutdownWrite();
+  std::uint16_t Port = Srv->port();
+  // connectTo() only proves the kernel finished the handshake; wait until
+  // the server actually accepted, or the drain races our own connection
+  // into the void.
+  while (Srv->connectionsAccepted() < 1)
+    std::this_thread::yield();
+
+  ASSERT_TRUE(Srv->beginDrain());
+  EXPECT_FALSE(Srv->beginDrain()); // Second drain reports already begun.
+  Expected<Socket> Late = Socket::connectTo("127.0.0.1", Port);
+  if (Late) {
+    // A connect may still complete against the dying listen queue, but it
+    // gets no service: EOF with no bytes.
+    char C;
+    EXPECT_LE(Late->readSome(&C, 1), 0l);
+  }
+
+  EXPECT_EQ(readToEof(S), Ref); // In-flight work finished under drain.
+  S.close();
+  for (int Spin = 0; Spin < 2000 && !Srv->drained(); ++Spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_TRUE(Srv->drained());
   Srv->stop();
 }
 

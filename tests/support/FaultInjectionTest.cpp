@@ -1,0 +1,169 @@
+//===- tests/support/FaultInjectionTest.cpp ---------------------------------===//
+//
+// Part of the odburg project.
+//
+// The deterministic fault-site registry. Contracts under test: nothing
+// armed means nothing fires (and the fast path stays silent); nth=N fires
+// exactly once, on the Nth hit; every=K fires on every Kth hit; p=P@seed
+// is a pure function of (seed, hit index), so the same spec replays the
+// same fault sequence; configure() merges — it replaces only the sites a
+// spec names and leaves the rest armed; a malformed spec is a typed error
+// that leaves the registry untouched; concurrent hits against an armed
+// site neither lose counts nor race (the TSan CI job runs this binary).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+using namespace odburg;
+using namespace odburg::fault;
+
+namespace {
+
+/// The registry is process-global; every test starts and ends disarmed so
+/// order (and the rest of this binary) cannot leak state.
+class FaultInjectionTest : public ::testing::Test {
+protected:
+  void SetUp() override { reset(); }
+  void TearDown() override { reset(); }
+};
+
+} // namespace
+
+TEST_F(FaultInjectionTest, NothingArmedNeverFiresOrCounts) {
+  for (unsigned I = 0; I < NumSites; ++I) {
+    Site S = static_cast<Site>(I);
+    for (int Hit = 0; Hit < 100; ++Hit)
+      EXPECT_FALSE(shouldFail(S));
+    // The disarmed fast path is one atomic load — it does not even count.
+    EXPECT_EQ(hitCount(S), 0u);
+    EXPECT_EQ(firedCount(S), 0u);
+  }
+  EXPECT_EQ(firedTotal(), 0u);
+}
+
+TEST_F(FaultInjectionTest, NthFiresExactlyOnceOnTheNthHit) {
+  ASSERT_FALSE(configure("service-submit:nth=3"));
+  std::vector<bool> Fired;
+  for (int Hit = 0; Hit < 10; ++Hit)
+    Fired.push_back(shouldFail(Site::ServiceSubmit));
+  for (int Hit = 0; Hit < 10; ++Hit)
+    EXPECT_EQ(Fired[Hit], Hit == 2) << "hit " << (Hit + 1);
+  EXPECT_EQ(hitCount(Site::ServiceSubmit), 10u);
+  EXPECT_EQ(firedCount(Site::ServiceSubmit), 1u);
+  EXPECT_EQ(firedTotal(), 1u);
+}
+
+TEST_F(FaultInjectionTest, EveryKFiresOnEveryKthHit) {
+  ASSERT_FALSE(configure("socket-send:every=4"));
+  unsigned Fired = 0;
+  for (int Hit = 1; Hit <= 12; ++Hit) {
+    bool F = shouldFail(Site::SocketSend);
+    EXPECT_EQ(F, Hit % 4 == 0) << "hit " << Hit;
+    Fired += F;
+  }
+  EXPECT_EQ(Fired, 3u);
+  EXPECT_EQ(firedCount(Site::SocketSend), 3u);
+}
+
+TEST_F(FaultInjectionTest, ProbabilityIsDeterministicPerSeed) {
+  ASSERT_FALSE(configure("state-compute:p=0.5@42"));
+  std::vector<bool> First;
+  for (int Hit = 0; Hit < 64; ++Hit)
+    First.push_back(shouldFail(Site::StateCompute));
+  // A fair-ish coin: both outcomes occur in 64 draws.
+  EXPECT_NE(firedCount(Site::StateCompute), 0u);
+  EXPECT_NE(firedCount(Site::StateCompute), 64u);
+
+  // Same seed, fresh counters: the exact same sequence replays.
+  reset();
+  ASSERT_FALSE(configure("state-compute:p=0.5@42"));
+  for (int Hit = 0; Hit < 64; ++Hit)
+    EXPECT_EQ(shouldFail(Site::StateCompute), First[Hit]) << "hit " << Hit;
+
+  // A different seed diverges somewhere in 64 draws.
+  reset();
+  ASSERT_FALSE(configure("state-compute:p=0.5@43"));
+  bool AnyDiff = false;
+  for (int Hit = 0; Hit < 64; ++Hit)
+    AnyDiff |= shouldFail(Site::StateCompute) != First[Hit];
+  EXPECT_TRUE(AnyDiff);
+}
+
+TEST_F(FaultInjectionTest, ProbabilityExtremesAreCertain) {
+  ASSERT_FALSE(configure("tables-load:p=0"));
+  for (int Hit = 0; Hit < 32; ++Hit)
+    EXPECT_FALSE(shouldFail(Site::TablesLoad));
+  ASSERT_FALSE(configure("tables-load:p=1"));
+  for (int Hit = 0; Hit < 32; ++Hit)
+    EXPECT_TRUE(shouldFail(Site::TablesLoad));
+}
+
+TEST_F(FaultInjectionTest, ConfigureMergesWithoutDisarmingOtherSites) {
+  // Env-then-CLI layering: the second configure() names a different site
+  // and must leave the first one armed.
+  ASSERT_FALSE(configure("socket-send:every=2"));
+  ASSERT_FALSE(configure("socket-recv:every=2"));
+  EXPECT_FALSE(shouldFail(Site::SocketSend));
+  EXPECT_TRUE(shouldFail(Site::SocketSend));
+  EXPECT_FALSE(shouldFail(Site::SocketRecv));
+  EXPECT_TRUE(shouldFail(Site::SocketRecv));
+  // Re-speccing an armed site replaces just its trigger.
+  ASSERT_FALSE(configure("socket-send:nth=100"));
+  for (int Hit = 0; Hit < 8; ++Hit)
+    EXPECT_FALSE(shouldFail(Site::SocketSend));
+}
+
+TEST_F(FaultInjectionTest, MalformedSpecsFailTypedAndLeaveRegistryUntouched) {
+  ASSERT_FALSE(configure("socket-send:every=2"));
+  for (const char *Bad :
+       {"warp-core:nth=1", "socket-send", "socket-send:sometimes",
+        "socket-send:nth=0", "socket-send:p=1.5", "socket-send:p=0.5@zap"}) {
+    Error E = configure(Bad);
+    ASSERT_TRUE(static_cast<bool>(E)) << Bad;
+    EXPECT_EQ(E.kind(), ErrorKind::MalformedInput) << Bad;
+    E.consume();
+  }
+  // The pre-existing trigger survived every failed configure().
+  EXPECT_FALSE(shouldFail(Site::SocketSend));
+  EXPECT_TRUE(shouldFail(Site::SocketSend));
+}
+
+TEST_F(FaultInjectionTest, ConfigureFromEnvReadsAndLayerWithSpecs) {
+  ASSERT_EQ(::setenv("ODBURG_FAULTS_TEST", "service-submit:nth=2", 1), 0);
+  ASSERT_FALSE(configureFromEnv("ODBURG_FAULTS_TEST"));
+  EXPECT_FALSE(shouldFail(Site::ServiceSubmit));
+  EXPECT_TRUE(shouldFail(Site::ServiceSubmit));
+  ::unsetenv("ODBURG_FAULTS_TEST");
+  // Unset (or empty) is success with nothing new armed.
+  EXPECT_FALSE(static_cast<bool>(configureFromEnv("ODBURG_FAULTS_TEST")));
+}
+
+TEST_F(FaultInjectionTest, ConcurrentHitsNeitherRaceNorLoseCounts) {
+  // every=K under contention: exactly Hits/K firings must be recorded no
+  // matter how threads interleave — the counters are the chaos runs'
+  // ground truth.
+  ASSERT_FALSE(configure("state-compute:every=5"));
+  constexpr unsigned Threads = 4, PerThread = 500;
+  std::atomic<std::uint64_t> SeenFired{0};
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T < Threads; ++T)
+    Pool.emplace_back([&] {
+      for (unsigned I = 0; I < PerThread; ++I)
+        if (shouldFail(Site::StateCompute))
+          SeenFired.fetch_add(1);
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  EXPECT_EQ(hitCount(Site::StateCompute), Threads * PerThread);
+  EXPECT_EQ(firedCount(Site::StateCompute), Threads * PerThread / 5);
+  EXPECT_EQ(SeenFired.load(), Threads * PerThread / 5);
+  EXPECT_EQ(firedTotal(), Threads * PerThread / 5);
+}

@@ -9,7 +9,11 @@ metric regressions beyond a tolerance.
 
 Pairing: rows match when their "bench" field and every *string-valued*
 field agree (string fields are configuration axes: backend names, tier
-configurations, workload names). Numeric fields are the metrics.
+configurations, workload names). Numeric fields are the metrics. A
+candidate row that misses — because a newer bench records configuration
+axes (e.g. robustness flags) an older baseline has never heard of — is
+retried with its key restricted to the field names the baseline actually
+uses, so adding config axes does not orphan the whole comparison.
 
 Direction heuristics (overridable per run are deliberately not offered —
 keep the convention in the field names): a metric is higher-is-better
@@ -117,8 +121,11 @@ def main():
                       f"{cand_meta.get(field)}", file=sys.stderr)
 
     base_by_key = {}
+    base_fields = set()
     for row in base_rows:
-        base_by_key.setdefault(row_key(row), []).append(row)
+        key = row_key(row)
+        base_by_key.setdefault(key, []).append(row)
+        base_fields.update(k for k, _ in key)
 
     compared = 0
     regressions = []
@@ -126,6 +133,14 @@ def main():
     for row in cand_rows:
         key = row_key(row)
         bucket = base_by_key.get(key)
+        if not bucket:
+            # Key-restriction fallback: drop config axes the baseline has
+            # never recorded (a baseline row's own key only ever uses
+            # baseline fields, so restricting the candidate's key to them
+            # makes the two comparable again).
+            narrowed = tuple(p for p in key if p[0] in base_fields)
+            if narrowed != key:
+                bucket = base_by_key.get(narrowed)
         if not bucket:
             unmatched += 1
             continue

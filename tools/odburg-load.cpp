@@ -14,9 +14,9 @@
 ///      against the reference — the server's ordered-delivery promise is
 ///      per connection, so any reordering, loss, or cross-connection
 ///      bleed is a hard failure;
-///   4. requests `STATS` (after all assembly arrived, so the out-of-band
-///      reply cannot interleave with result bytes) and checks the
-///      counters are live;
+///   4. requests `STATS` (after all result records arrived, so the
+///      out-of-band reply cannot interleave with result bytes) and checks
+///      the counters are live;
 ///   5. half-closes and expects orderly EOF.
 ///
 /// Two corpus modes: `--corpus`/`--reference` replays files produced by
@@ -26,6 +26,18 @@
 /// computes its reference assembly locally through the same pipeline the
 /// server runs, so validation needs no prior artifacts.
 ///
+/// Robustness-aware validation: the self-generating mode knows each
+/// function's reference block, so it walks the response record by record
+/// — an `ERROR ResourceExhausted ... seq=K` (watermark shed) or
+/// `ERROR DeadlineExceeded ... seq=K` record marks block K shed, and
+/// every block the server *did* deliver must still match its reference
+/// byte-for-byte. Overload refusals (connection-cap shed, watermark shed,
+/// torn streams from injected socket faults) are *retryable*: with
+/// `--retry=N` the connection backs off (jittered exponential) and tries
+/// again; a byte mismatch or an unexpected diagnostic is always a hard
+/// failure. `--allow-shed` accepts an attempt whose delivered subset
+/// matched even if some blocks were shed.
+///
 /// Exit status: 0 when every connection validated, 1 on any mismatch,
 /// transport error, or dead STATS counters, 2 on bad usage.
 ///
@@ -34,12 +46,14 @@
 #include "ir/Node.h"
 #include "pipeline/CompileSession.h"
 #include "serve/Socket.h"
+#include "support/RNG.h"
 #include "support/StringUtil.h"
 #include "support/Timer.h"
 #include "targets/Target.h"
 #include "workload/Synthetic.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -72,6 +86,15 @@ struct LoadOptions {
   /// Request and validate a STATS line per connection.
   bool Stats = true;
   unsigned TimeoutMillis = 60000;
+  /// Retries per connection on retryable outcomes (overload sheds, torn
+  /// streams), with jittered exponential backoff between attempts.
+  unsigned Retries = 0;
+  /// Accept an attempt whose delivered blocks all matched even though
+  /// some blocks were shed (self-generating mode only; corpus mode has
+  /// no block map to skip against).
+  bool AllowShed = false;
+  /// Print each connection's STATS line to stdout (for harness greps).
+  bool PrintStats = false;
 };
 
 int usage(const char *Argv0, int Exit) {
@@ -103,6 +126,15 @@ int usage(const char *Argv0, int Exit) {
       "                        connection (default 24)\n"
       "  --no-stats            skip the per-connection STATS check\n"
       "  --timeout=MILLIS      per-read socket timeout (default 60000)\n"
+      "  --retry=N             retry a connection up to N times on\n"
+      "                        retryable outcomes — ResourceExhausted\n"
+      "                        sheds, torn streams — with jittered\n"
+      "                        exponential backoff (default 0)\n"
+      "  --allow-shed          accept attempts with shed blocks as long\n"
+      "                        as every delivered block matched its\n"
+      "                        reference (self-generating mode)\n"
+      "  --print-stats         print each connection's STATS line to\n"
+      "                        stdout\n"
       "  --help                this text\n",
       Argv0);
   return Exit;
@@ -168,6 +200,16 @@ bool parseArgs(int Argc, char **Argv, LoadOptions &Opts, int &ExitCode) {
         ExitCode = usage(Argv[0], 2);
         return false;
       }
+    } else if (startsWith(Arg, "--retry=")) {
+      if (!parseUnsigned(Value("--retry="), Opts.Retries)) {
+        std::fprintf(stderr, "invalid --retry value\n");
+        ExitCode = usage(Argv[0], 2);
+        return false;
+      }
+    } else if (Arg == "--allow-shed") {
+      Opts.AllowShed = true;
+    } else if (Arg == "--print-stats") {
+      Opts.PrintStats = true;
     } else {
       std::fprintf(stderr, "unknown option '%s'\n", Argv[I]);
       ExitCode = usage(Argv[0], 2);
@@ -187,10 +229,15 @@ bool parseArgs(int Argc, char **Argv, LoadOptions &Opts, int &ExitCode) {
   return true;
 }
 
-/// One connection's workload: the bytes to send and the bytes to expect.
+/// One connection's workload: the bytes to send and the reference blocks
+/// to expect back. BlockAware means Blocks maps one-to-one onto submitted
+/// functions (self-generating mode), so a shed record can be matched to
+/// the exact block it skips; corpus replay treats the whole reference as
+/// one opaque block, and only a shed-free attempt can validate.
 struct ConnPlan {
   std::string Wire;
-  std::string Reference;
+  std::vector<std::string> Blocks;
+  bool BlockAware = false;
 };
 
 /// Renders a corpus in the wire format (one s-expression line per root,
@@ -246,17 +293,27 @@ Expected<ConnPlan> makePlan(const LoadOptions &Opts, const Grammar &G,
   std::vector<ir::IRFunction *> Ps = pointers(*Corpus);
   std::vector<pipeline::CompileResult> Results =
       (*Session)->compileFunctions(Ps, /*Threads=*/1);
-  for (const pipeline::CompileResult &R : Results)
+  Plan.BlockAware = true;
+  Plan.Blocks.reserve(Results.size());
+  for (const pipeline::CompileResult &R : Results) {
     if (!R.ok())
       return Error::make("reference compile failed: " + R.Diagnostic);
-  Plan.Reference = pipeline::CompileSession::concatAsm(Results);
+    Plan.Blocks.push_back(R.Asm);
+  }
   return Plan;
 }
 
+/// Per-attempt classification: retryable failures are transient overload
+/// outcomes (the next attempt may land clean); hard failures are
+/// correctness violations no number of retries can fix.
 struct ConnOutcome {
   bool Ok = false;
+  bool Retryable = false; ///< Meaningful when !Ok.
   std::string Detail;
   std::uint64_t BytesIn = 0;
+  unsigned ShedBlocks = 0; ///< Blocks the final attempt saw shed.
+  unsigned Attempts = 1;   ///< Set by the retry wrapper.
+  std::string StatsLine;   ///< Captured STATS reply, if any.
 };
 
 /// Reads exactly \p Want bytes (bounded by the socket timeout).
@@ -272,18 +329,38 @@ bool readExactly(Socket &S, std::string &Out, std::size_t Want) {
   return true;
 }
 
-/// Reads one '\n'-terminated line.
-bool readLine(Socket &S, std::string &Line) {
+/// Reads one '\n'-terminated line. Returns 1 on a line, 0 on orderly EOF
+/// at a record boundary, -1 on a transport error, timeout, or EOF
+/// mid-line (torn framing).
+int readLineOr(Socket &S, std::string &Line) {
   Line.clear();
   char C;
   for (;;) {
     long N = S.readSome(&C, 1);
-    if (N <= 0)
-      return false;
+    if (N == 0)
+      return Line.empty() ? 0 : -1;
+    if (N < 0)
+      return -1;
     if (C == '\n')
-      return true;
+      return 1;
     Line.push_back(C);
   }
+}
+
+/// Extracts K from a `... seq=K ...` diagnostic record; false if absent.
+bool parseSeqField(const std::string &Line, unsigned &Seq) {
+  std::size_t At = Line.find("seq=");
+  if (At == std::string::npos)
+    return false;
+  At += 4;
+  Seq = 0;
+  bool Any = false;
+  while (At < Line.size() && Line[At] >= '0' && Line[At] <= '9') {
+    Seq = Seq * 10 + static_cast<unsigned>(Line[At] - '0');
+    ++At;
+    Any = true;
+  }
+  return Any;
 }
 
 /// Whether the one-line STATS JSON carries \p Key at all. The tier
@@ -309,9 +386,11 @@ long long statsField(const std::string &Json, const std::string &Key) {
   return Any ? V : -1;
 }
 
-ConnOutcome runConnection(const LoadOptions &Opts, const ConnPlan &Plan,
-                          unsigned ConnIdx) {
+/// One attempt at a full send/validate cycle on a fresh connection.
+ConnOutcome runAttempt(const LoadOptions &Opts, const ConnPlan &Plan,
+                       unsigned ConnIdx) {
   ConnOutcome Out;
+  Out.Retryable = true; // Transport-level failures below are transient.
   Expected<Socket> S =
       Socket::connectTo(Opts.Host, static_cast<std::uint16_t>(Opts.Port));
   if (!S) {
@@ -333,47 +412,126 @@ ConnOutcome runConnection(const LoadOptions &Opts, const ConnPlan &Plan,
     return Out;
   }
 
-  // The ordered-delivery promise: this connection's responses are exactly
-  // its reference assembly, in its submission order. Read precisely that
-  // many bytes and compare.
-  std::string Got;
-  Got.reserve(Plan.Reference.size());
-  if (!readExactly(*S, Got, Plan.Reference.size())) {
-    Out.BytesIn = Got.size();
-    Out.Detail = "short response: got " + std::to_string(Got.size()) +
-                 " of " + std::to_string(Plan.Reference.size()) + " bytes";
-    return Out;
+  // Walk the response record by record until every block is accounted
+  // for — delivered and byte-compared, or shed. A shed record for block
+  // K is enqueued at read time and the per-connection output queue is
+  // FIFO, so it always travels ahead of the assembly of any later block:
+  // when assembly arrives, it belongs to the smallest unaccounted index.
+  const std::size_t NumBlocks = Plan.Blocks.size();
+  std::vector<bool> Shed(NumBlocks, false);
+  std::size_t Next = 0; // Smallest block neither delivered nor shed.
+  unsigned WatermarkShed = 0, DeadlineShed = 0;
+  std::string Line;
+  while (Next < NumBlocks) {
+    int R = readLineOr(*S, Line);
+    if (R == 0) {
+      Out.Detail = "connection ended with block " + std::to_string(Next) +
+                   " of " + std::to_string(NumBlocks) + " unaccounted";
+      return Out; // Retryable: the server (or a fault) severed the stream.
+    }
+    if (R < 0) {
+      Out.Detail = "transport error or timeout mid-stream";
+      return Out;
+    }
+    Out.BytesIn += Line.size() + 1;
+    if (startsWith(Line, "ERROR ")) {
+      unsigned Seq = 0;
+      bool HasSeq = parseSeqField(Line, Seq);
+      bool IsShed = startsWith(Line, "ERROR ResourceExhausted:");
+      bool IsDeadline = startsWith(Line, "ERROR DeadlineExceeded:");
+      if (IsShed && !HasSeq) {
+        // Accept-time refusal: the whole connection was turned away.
+        Out.Detail = "admission shed: " + Line;
+        return Out;
+      }
+      if ((IsShed || IsDeadline) && HasSeq) {
+        if (!Plan.BlockAware) {
+          // Corpus replay has no block map to skip against; only a
+          // clean attempt can validate, so back off and retry.
+          Out.Detail = "shed under corpus replay: " + Line;
+          return Out;
+        }
+        if (Seq >= NumBlocks || Seq < Next || Shed[Seq]) {
+          Out.Retryable = false;
+          Out.Detail = "bogus shed record: " + Line;
+          return Out;
+        }
+        Shed[Seq] = true;
+        ++(IsShed ? WatermarkShed : DeadlineShed);
+        while (Next < NumBlocks && Shed[Next])
+          ++Next;
+        continue;
+      }
+      Out.Retryable = false;
+      Out.Detail = "server diagnostic: " + Line;
+      return Out;
+    }
+    // The first line of block Next's assembly.
+    const std::string &Ref = Plan.Blocks[Next];
+    std::string Got = Line + "\n";
+    std::size_t Before = Got.size();
+    if (Got.size() > Ref.size() || Ref.compare(0, Got.size(), Got) != 0) {
+      Out.Retryable = false;
+      Out.Detail = "block " + std::to_string(Next) +
+                   " diverges from reference in its first line (connection " +
+                   std::to_string(ConnIdx) + ")";
+      return Out;
+    }
+    bool Full = readExactly(*S, Got, Ref.size());
+    Out.BytesIn += Got.size() - Before;
+    if (!Full) {
+      Out.Detail = "short block " + std::to_string(Next) + ": got " +
+                   std::to_string(Got.size()) + " of " +
+                   std::to_string(Ref.size()) + " bytes";
+      return Out; // Retryable: torn mid-stream.
+    }
+    if (Got != Ref) {
+      std::size_t At = 0;
+      while (At < Got.size() && Got[At] == Ref[At])
+        ++At;
+      Out.Retryable = false;
+      Out.Detail = "block " + std::to_string(Next) +
+                   " diverges from reference at byte " + std::to_string(At) +
+                   " (connection " + std::to_string(ConnIdx) + ")";
+      return Out;
+    }
+    ++Next;
+    while (Next < NumBlocks && Shed[Next])
+      ++Next;
   }
-  Out.BytesIn = Got.size();
-  if (Got != Plan.Reference) {
-    std::size_t At = 0;
-    while (At < Got.size() && Got[At] == Plan.Reference[At])
-      ++At;
-    Out.Detail = "response diverges from reference at byte " +
-                 std::to_string(At) + " (connection " +
-                 std::to_string(ConnIdx) + ")";
-    return Out;
-  }
+  Out.ShedBlocks = WatermarkShed + DeadlineShed;
 
   if (Opts.Stats) {
-    // All assembly has arrived, so the out-of-band STATS reply is the
-    // only thing left on the wire — no interleaving hazard.
+    // Every block is accounted for, so the out-of-band STATS reply is
+    // the only thing left on the wire — no interleaving hazard.
     if (!S->writeAll(std::string_view("STATS\n"))) {
       Out.Detail = "STATS write failed";
       return Out;
     }
-    std::string Line;
-    if (!readLine(*S, Line)) {
+    if (readLineOr(*S, Line) != 1) {
       Out.Detail = "no STATS reply";
       return Out;
     }
+    Out.BytesIn += Line.size() + 1;
     if (!startsWith(Line, "STATS {")) {
+      Out.Retryable = false;
       Out.Detail = "unexpected STATS reply: " + Line;
       return Out;
     }
+    Out.StatsLine = Line;
     long long Submitted = statsField(Line, "connSubmitted");
     long long Delivered = statsField(Line, "connDelivered");
-    if (Submitted <= 0 || Delivered != Submitted) {
+    // Every frame the server accepted must be delivered by now (this side
+    // has read every block), and watermark sheds are the only gap between
+    // sent and accepted — deadline-expired frames were accepted and
+    // delivered as their error record.
+    bool Dead =
+        Plan.BlockAware
+            ? Submitted != static_cast<long long>(NumBlocks - WatermarkShed) ||
+                  Delivered != Submitted
+            : Submitted <= 0 || Delivered != Submitted;
+    if (Dead) {
+      Out.Retryable = false;
       Out.Detail = "dead STATS counters: " + Line;
       return Out;
     }
@@ -384,6 +542,7 @@ ConnOutcome runConnection(const LoadOptions &Opts, const ConnPlan &Plan,
           "tierL1On", "tierL1Ways", "tierDenseOn", "tierPromoteThreshold",
           "tierWindows", "tierReconfigs"})
       if (!statsHasField(Line, Key)) {
+        Out.Retryable = false;
         Out.Detail = std::string("STATS missing tier field '") + Key +
                      "': " + Line;
         return Out;
@@ -395,12 +554,41 @@ ConnOutcome runConnection(const LoadOptions &Opts, const ConnPlan &Plan,
   char C;
   long N = S->readSome(&C, 1);
   if (N != 0) {
+    Out.Retryable = N < 0;
     Out.Detail = N > 0 ? std::string("unexpected trailing bytes")
                        : std::string("transport error at EOF");
     return Out;
   }
+  if (Out.ShedBlocks && !Opts.AllowShed) {
+    // The delivered subset matched, but the run demands full delivery —
+    // only a clean attempt passes, so keep this retryable.
+    Out.Detail = std::to_string(Out.ShedBlocks) + " of " +
+                 std::to_string(NumBlocks) + " blocks shed";
+    return Out;
+  }
   Out.Ok = true;
   return Out;
+}
+
+/// Runs one connection to completion: up to 1 + Retries attempts, with
+/// jittered exponential backoff between retryable failures
+/// (deterministically seeded per connection index).
+ConnOutcome runConnection(const LoadOptions &Opts, const ConnPlan &Plan,
+                          unsigned ConnIdx) {
+  RNG Jitter(0x6c6f6164ull * 2654435761ull + ConnIdx);
+  ConnOutcome Out;
+  for (unsigned Attempt = 0;; ++Attempt) {
+    Out = runAttempt(Opts, Plan, ConnIdx);
+    Out.Attempts = Attempt + 1;
+    if (Out.Ok || !Out.Retryable || Attempt >= Opts.Retries)
+      return Out;
+    // ~50ms * 2^attempt, +/-50% jitter, capped so a deep retry ladder
+    // stays within the same order as the server's recovery time.
+    std::uint64_t Base =
+        std::min<std::uint64_t>(50ull << std::min(Attempt, 5u), 1600);
+    std::uint64_t Ms = Base / 2 + Jitter.nextBelow(Base + 1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(Ms));
+  }
 }
 
 } // namespace
@@ -424,7 +612,13 @@ int main(int Argc, char **Argv) {
     }
     Corpus << CIn.rdbuf();
     Reference << RIn.rdbuf();
-    ConnPlan Shared{Corpus.str(), Reference.str()};
+    ConnPlan Shared;
+    Shared.Wire = Corpus.str();
+    // One opaque block: the whole reference, delivered shed-free or not
+    // at all (BlockAware stays false — no per-function map to skip with).
+    std::string Ref = Reference.str();
+    if (!Ref.empty())
+      Shared.Blocks.push_back(std::move(Ref));
     // Every connection must end its stream at a function boundary.
     if (!Shared.Wire.empty() && Shared.Wire.back() != '\n')
       Shared.Wire += '\n';
@@ -464,18 +658,25 @@ int main(int Argc, char **Argv) {
   double Ms = static_cast<double>(Wall.elapsedNs()) / 1e6;
 
   unsigned Failed = 0;
-  std::uint64_t Bytes = 0;
+  std::uint64_t Bytes = 0, Sheds = 0, Retries = 0;
   for (unsigned I = 0; I < Opts.Connections; ++I) {
     Bytes += Outcomes[I].BytesIn;
+    Sheds += Outcomes[I].ShedBlocks;
+    Retries += Outcomes[I].Attempts - 1;
+    if (Opts.PrintStats && !Outcomes[I].StatsLine.empty())
+      std::printf("%s\n", Outcomes[I].StatsLine.c_str());
     if (!Outcomes[I].Ok) {
       ++Failed;
-      std::fprintf(stderr, "odburg-load: connection %u FAILED: %s\n", I,
+      std::fprintf(stderr, "odburg-load: connection %u FAILED (%u attempt%s, "
+                           "%s): %s\n",
+                   I, Outcomes[I].Attempts, Outcomes[I].Attempts == 1 ? "" : "s",
+                   Outcomes[I].Retryable ? "retryable" : "hard",
                    Outcomes[I].Detail.c_str());
     }
   }
   std::fprintf(stderr,
                "odburg-load: %u connections%s — %u ok, %u failed, %llu "
-               "bytes validated in %.1f ms\n",
+               "bytes validated, %llu blocks shed, %llu retries in %.1f ms\n",
                Opts.Connections,
                Opts.PickBackend
                    ? (std::string(" (backend ") + backendName(Opts.Backend) +
@@ -483,6 +684,8 @@ int main(int Argc, char **Argv) {
                          .c_str()
                    : "",
                Opts.Connections - Failed, Failed,
-               static_cast<unsigned long long>(Bytes), Ms);
+               static_cast<unsigned long long>(Bytes),
+               static_cast<unsigned long long>(Sheds),
+               static_cast<unsigned long long>(Retries), Ms);
   return Failed ? 1 : 0;
 }

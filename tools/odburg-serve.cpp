@@ -38,6 +38,7 @@
 #include "ir/SExprParser.h"
 #include "pipeline/CompileService.h"
 #include "serve/TcpServer.h"
+#include "support/FaultInjection.h"
 #include "support/StringUtil.h"
 #include "support/Timer.h"
 #include "targets/Target.h"
@@ -53,6 +54,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include <poll.h>
 #include <unistd.h>
 
 using namespace odburg;
@@ -77,6 +79,14 @@ struct ServeOptions {
   unsigned Port = 0;
   std::string Host = "127.0.0.1";
   std::string PortFile;
+  // Overload control / robustness (all --listen mode; 0 = off).
+  unsigned MaxConns = 0;
+  unsigned HighWatermark = 0;
+  unsigned IdleTimeoutMillis = 0;
+  unsigned DeadlineMillis = 0;
+  unsigned MemBudgetMb = 0;
+  unsigned DrainTimeoutMillis = 10000;
+  std::string Faults; // --faults=SPEC, merged over ODBURG_FAULTS.
 };
 
 int usage(const char *Argv0, int Exit) {
@@ -119,12 +129,36 @@ int usage(const char *Argv0, int Exit) {
       "  --host=ADDR           listen address (default 127.0.0.1)\n"
       "  --port-file=PATH      write the bound port to PATH once listening\n"
       "                        (for scripts using --listen=0)\n"
+      "\n"
+      "Overload control (--listen mode; 0 disables each):\n"
+      "  --max-conns=N         accept-time connection cap; connections past\n"
+      "                        it get 'ERROR ResourceExhausted' and a close\n"
+      "  --high-watermark=N    per-lane undelivered-submission bound; at it\n"
+      "                        functions are shed with an out-of-band\n"
+      "                        'ERROR ResourceExhausted ... seq=K' record\n"
+      "                        instead of blocking the reader\n"
+      "  --idle-timeout=MS     reap connections with no client bytes for MS\n"
+      "                        ('ERROR IdleTimeout', then close)\n"
+      "  --deadline-ms=MS      per-function compile deadline; expired\n"
+      "                        submissions answer 'ERROR DeadlineExceeded'\n"
+      "                        in their ordered slot\n"
+      "  --mem-budget=MB       backend-memory budget; a governor degrades\n"
+      "                        lane tier stacks while usage exceeds it\n"
+      "  --drain-timeout=MS    SIGTERM/SIGINT drain budget before in-flight\n"
+      "                        work is force-severed (default 10000)\n"
+      "  --faults=SPEC         arm fault-injection sites (also read from\n"
+      "                        ODBURG_FAULTS). SPEC = site:trigger[,...];\n"
+      "                        sites: socket-send, socket-recv,\n"
+      "                        socket-accept, service-submit, tables-load,\n"
+      "                        state-compute; triggers: nth=N, every=K,\n"
+      "                        p=P[@seed]\n"
       "  --help                this text\n"
       "\n"
       "Exit status: 0 when every function compiled, 1 when any function\n"
       "was skipped (parse error) or failed to compile, 2 on bad usage.\n"
-      "In --listen mode: 0 on clean signal-driven shutdown, 2 on startup\n"
-      "failure.\n",
+      "In --listen mode: 0 on clean drain (all connections finished within\n"
+      "--drain-timeout), 3 when the drain timed out or a second signal\n"
+      "forced the stop, 2 on startup failure.\n",
       Argv0);
   return Exit;
 }
@@ -195,6 +229,45 @@ bool parseArgs(int Argc, char **Argv, ServeOptions &Opts, int &ExitCode) {
       Opts.Host = std::string(Value("--host="));
     } else if (startsWith(Arg, "--port-file=")) {
       Opts.PortFile = std::string(Value("--port-file="));
+    } else if (startsWith(Arg, "--max-conns=")) {
+      if (!parseUnsigned(Value("--max-conns="), Opts.MaxConns)) {
+        std::fprintf(stderr, "invalid --max-conns value\n");
+        ExitCode = usage(Argv[0], 2);
+        return false;
+      }
+    } else if (startsWith(Arg, "--high-watermark=")) {
+      if (!parseUnsigned(Value("--high-watermark="), Opts.HighWatermark)) {
+        std::fprintf(stderr, "invalid --high-watermark value\n");
+        ExitCode = usage(Argv[0], 2);
+        return false;
+      }
+    } else if (startsWith(Arg, "--idle-timeout=")) {
+      if (!parseUnsigned(Value("--idle-timeout="), Opts.IdleTimeoutMillis)) {
+        std::fprintf(stderr, "invalid --idle-timeout value\n");
+        ExitCode = usage(Argv[0], 2);
+        return false;
+      }
+    } else if (startsWith(Arg, "--deadline-ms=")) {
+      if (!parseUnsigned(Value("--deadline-ms="), Opts.DeadlineMillis)) {
+        std::fprintf(stderr, "invalid --deadline-ms value\n");
+        ExitCode = usage(Argv[0], 2);
+        return false;
+      }
+    } else if (startsWith(Arg, "--mem-budget=")) {
+      if (!parseUnsigned(Value("--mem-budget="), Opts.MemBudgetMb)) {
+        std::fprintf(stderr, "invalid --mem-budget value (megabytes)\n");
+        ExitCode = usage(Argv[0], 2);
+        return false;
+      }
+    } else if (startsWith(Arg, "--drain-timeout=")) {
+      if (!parseUnsigned(Value("--drain-timeout="),
+                         Opts.DrainTimeoutMillis)) {
+        std::fprintf(stderr, "invalid --drain-timeout value\n");
+        ExitCode = usage(Argv[0], 2);
+        return false;
+      }
+    } else if (startsWith(Arg, "--faults=")) {
+      Opts.Faults = std::string(Value("--faults="));
     } else if (!startsWith(Arg, "--")) {
       if (!Opts.InputPath.empty()) {
         std::fprintf(stderr, "more than one INPUT path\n");
@@ -347,6 +420,12 @@ int serveNetwork(const ServeOptions &Opts, Target &T) {
   SrvOpts.QueueCapacity = Opts.QueueCapacity;
   SrvOpts.DefaultBackend = Opts.Backend;
   SrvOpts.BackendOpts.OfflineGenThreads = Opts.GenThreads;
+  SrvOpts.MaxConns = Opts.MaxConns;
+  SrvOpts.LaneHighWatermark = Opts.HighWatermark;
+  SrvOpts.IdleTimeoutMillis = Opts.IdleTimeoutMillis;
+  SrvOpts.CompileDeadlineMs = Opts.DeadlineMillis;
+  SrvOpts.MemBudgetBytes =
+      static_cast<std::size_t>(Opts.MemBudgetMb) * 1024 * 1024;
 
   Expected<std::unique_ptr<serve::TcpServer>> Server =
       serve::TcpServer::start(T, std::move(SrvOpts));
@@ -386,12 +465,49 @@ int serveNetwork(const ServeOptions &Opts, Target &T) {
   while (::read(SignalPipe[0], &B, 1) < 0 && errno == EINTR) {
   }
 
-  std::fprintf(stderr, "odburg-serve: shutting down\n");
+  // Graceful drain: stop accepting, let in-flight connections finish
+  // within the drain budget, then stop. A second signal — or the budget
+  // running out — forces the stop (exit 3); a clean drain exits 0.
+  std::fprintf(stderr, "odburg-serve: draining (budget %u ms; signal again "
+                       "to force)\n",
+               Opts.DrainTimeoutMillis);
+  (*Server)->beginDrain();
+  bool Forced = false;
+  Stopwatch DrainClock;
+  while (!(*Server)->drained()) {
+    if (DrainClock.elapsedNs() / 1000000 >= Opts.DrainTimeoutMillis) {
+      Forced = true;
+      break;
+    }
+    struct pollfd P = {SignalPipe[0], POLLIN, 0};
+    int R = ::poll(&P, 1, 50);
+    if (R > 0) {
+      Forced = true; // Second signal: the operator wants out now.
+      break;
+    }
+    if (R < 0 && errno != EINTR) {
+      Forced = true;
+      break;
+    }
+  }
+
+  std::fprintf(stderr, "odburg-serve: %s\n",
+               Forced ? "drain forced; severing in-flight connections"
+                      : "drained clean; shutting down");
   (*Server)->stop();
-  std::fprintf(stderr, "odburg-serve: served %llu connections\n",
+  std::fprintf(stderr,
+               "odburg-serve: served %llu connections (%llu shed, %llu "
+               "submit-shed, %llu idle-reaped, %llu cancelled deliveries, "
+               "%llu faults injected)\n",
                static_cast<unsigned long long>(
-                   (*Server)->connectionsAccepted()));
-  return 0;
+                   (*Server)->connectionsAccepted()),
+               static_cast<unsigned long long>((*Server)->shedConnections()),
+               static_cast<unsigned long long>((*Server)->shedSubmits()),
+               static_cast<unsigned long long>((*Server)->idleReaped()),
+               static_cast<unsigned long long>(
+                   (*Server)->cancelledDeliveries()),
+               static_cast<unsigned long long>(fault::firedTotal()));
+  return Forced ? 3 : 0;
 }
 
 } // namespace
@@ -401,6 +517,19 @@ int main(int Argc, char **Argv) {
   int ExitCode = 0;
   if (!parseArgs(Argc, Argv, Opts, ExitCode))
     return ExitCode;
+
+  // Arm fault-injection sites: the environment first (so harnesses can
+  // inject without touching the command line), then --faults on top.
+  if (Error E = fault::configureFromEnv()) {
+    std::fprintf(stderr, "error: ODBURG_FAULTS: %s\n", E.message().c_str());
+    return 2;
+  }
+  if (!Opts.Faults.empty()) {
+    if (Error E = fault::configure(Opts.Faults)) {
+      std::fprintf(stderr, "error: --faults: %s\n", E.message().c_str());
+      return 2;
+    }
+  }
 
   Expected<std::unique_ptr<Target>> TOrErr = makeTarget(Opts.Target);
   if (!TOrErr) {

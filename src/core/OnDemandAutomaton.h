@@ -46,6 +46,7 @@
 
 #include <memory>
 #include <span>
+#include <utility>
 
 namespace odburg {
 
@@ -194,6 +195,38 @@ public:
   /// identification the hybrid backend's offline dispatch rests on (see
   /// core/OfflinePartition.h). Asserted, not hoped for.
   void seedStatesFrom(const StateTable &Src);
+
+  /// \name Warm-snapshot bridge (registry/WarmSnapshot.h)
+  /// @{
+
+  /// Interns one snapshot state, which must come out with id \p Expected.
+  /// States are replayed in id order, so on an empty automaton this is
+  /// seedStatesFrom() one state at a time; on a table-seeded (hybrid)
+  /// automaton the snapshot's prefix must reproduce the existing states.
+  /// Returns false when the id does not come out as expected — the
+  /// snapshot is stale or corrupt (duplicate, reordered, or mismatched
+  /// states) and the caller must discard it; the automaton itself remains
+  /// valid (intern only ever adds canonical states).
+  bool importWarmState(OperatorId Op, const Cost *Costs, const RuleId *Rules,
+                       StateId Expected) {
+    return States.intern(Op, Costs, Rules)->Id == Expected;
+  }
+
+  /// Replays one memoized transition into the cache. The caller has
+  /// validated the key shape and that value/child state ids are below
+  /// numStates(); a duplicate insert dedups harmlessly.
+  void importWarmTransition(const std::uint32_t *Key, unsigned Words,
+                            StateId Value) {
+    Cache.insert(Key, Words, Value);
+  }
+
+  /// Enumerates every memoized transition (see TransitionCache::forEach);
+  /// the warm-snapshot dump side. Quiescent use only.
+  template <typename Fn> void forEachTransition(Fn &&Visit) const {
+    Cache.forEach(std::forward<Fn>(Visit));
+  }
+
+  /// @}
 
   /// Attaches an offline-partition view: nodes whose operator is in the
   /// partition and whose child labels are all < PV->NumStates resolve by

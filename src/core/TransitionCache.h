@@ -130,6 +130,32 @@ public:
   void insertHashed(const std::uint32_t *Key, unsigned Words, std::uint64_t H,
                     StateId Value);
 
+  /// Enumerates every memoized transition as (key words, word count,
+  /// value), shard by shard under the shard's writer mutex — lock-free
+  /// readers are unaffected, concurrent writers briefly serialize. The
+  /// word count is recovered from the packed header (1 + children + dyn
+  /// outcomes). Intended for quiescent snapshotting (the warm-snapshot
+  /// dump in registry/WarmSnapshot.h); entries inserted concurrently with
+  /// the walk may or may not be seen.
+  template <typename Fn> void forEach(Fn &&Visit) const {
+    for (const Shard &Sh : Shards) {
+      std::lock_guard<std::mutex> Lock(Sh.M);
+      const SlotArray *T = Sh.Current.load(std::memory_order_relaxed);
+      for (std::size_t I = 0; I <= T->Mask; ++I) {
+        const std::uint32_t *K = T->Slots[I].Key.load(std::memory_order_relaxed);
+        if (!K)
+          continue;
+        Visit(K, keyWords(K[0]),
+              T->Slots[I].Value.load(std::memory_order_relaxed));
+      }
+    }
+  }
+
+  /// Word count of a key whose header word is \p Header.
+  static unsigned keyWords(std::uint32_t Header) {
+    return 1 + ((Header >> 16) & 0xFF) + (Header >> 24);
+  }
+
   /// Number of memoized transitions (sums the shards).
   std::size_t size() const;
 

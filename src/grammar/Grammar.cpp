@@ -7,6 +7,7 @@
 #include "grammar/Grammar.h"
 
 #include "support/ErrorHandling.h"
+#include "support/Hashing.h"
 #include "support/StringUtil.h"
 
 #include <algorithm>
@@ -255,6 +256,45 @@ GrammarStats Grammar::stats() const {
   for (unsigned A : OpArities)
     S.MaxArity = std::max(S.MaxArity, A);
   return S;
+}
+
+std::uint64_t Grammar::fingerprint() const {
+  assert(Finalized && "fingerprint() requires a finalized grammar");
+  // Hash exactly what the labeling engines and the emitter consume: the
+  // normal form plus the name/arity tables it indexes into. Helper-
+  // nonterminal naming is deterministic in source-rule order, so two
+  // parses of the same text always agree.
+  std::uint64_t H = 0x0DB09E06u; // Distinct seed from the tables formats.
+  H = hashCombine(H, OpNames.size());
+  for (std::size_t I = 0; I < OpNames.size(); ++I) {
+    H = hashCombine(H, hashString(OpNames[I]));
+    H = hashCombine(H, OpArities[I]);
+  }
+  H = hashCombine(H, NtNames.size());
+  for (const std::string &N : NtNames)
+    H = hashCombine(H, hashString(N));
+  H = hashCombine(H, DynHookNames.size());
+  for (const std::string &N : DynHookNames)
+    H = hashCombine(H, hashString(N));
+  H = hashCombine(H, StartNt);
+  H = hashCombine(H, NormRules.size());
+  for (const NormRule &NR : NormRules) {
+    H = hashCombine(H, NR.Lhs);
+    H = hashCombine(H, NR.ChainRhs);
+    H = hashCombine(H, NR.Op);
+    H = hashCombine(H, NR.Operands.size());
+    for (NonterminalId Nt : NR.Operands)
+      H = hashCombine(H, Nt);
+    H = hashCombine(H, NR.FixedCost.raw());
+    H = hashCombine(H, NR.DynHook);
+    H = hashCombine(H, NR.IsFinal);
+    // Reduction follows NR.Source to the source rule's emission template
+    // and external number, so they are identity too.
+    const SourceRule &SR = SourceRules[NR.Source];
+    H = hashCombine(H, SR.ExtNumber);
+    H = hashCombine(H, hashString(SR.EmitTemplate));
+  }
+  return H;
 }
 
 std::string Grammar::normRuleToString(RuleId R) const {

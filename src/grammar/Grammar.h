@@ -201,6 +201,15 @@ public:
 
   GrammarStats stats() const;
 
+  /// Content fingerprint over everything labeling observes: operators
+  /// (names + arities), nonterminals, dynamic-cost hook names, the start
+  /// nonterminal, emission templates, and the full normal form. Two
+  /// grammars with equal fingerprints label and emit identically; a
+  /// changed rule, cost, or template changes the fingerprint. This is the
+  /// registry's keying primitive (registry/GrammarRegistry.h) and the
+  /// identity stamped into warm-automaton snapshots.
+  std::uint64_t fingerprint() const;
+
   /// Renders a normal-form rule as text, for diagnostics and tests.
   std::string normRuleToString(RuleId R) const;
 

@@ -1,0 +1,241 @@
+//===- registry/WarmSnapshot.cpp - Warm automaton persistence -------------===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "registry/WarmSnapshot.h"
+
+#include "support/FaultInjection.h"
+#include "support/Hashing.h"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+using namespace odburg;
+using namespace odburg::registry;
+
+namespace {
+
+// Header layout (little-endian, after the 8-byte magic):
+//   u32 version | u64 grammar fingerprint | u32 numNts | u32 numStates |
+//   u64 numTransitions | u64 payloadWords | u64 checksum
+// The payload is a flat u32 sequence: all states in id order
+// (op, costs[numNts], rules[numNts]), then all transitions
+// (header, children..., outcomes..., value). Every validation failure is
+// ErrorKind::MalformedInput — a snapshot is untrusted input like any
+// other on-disk artifact.
+constexpr char Magic[8] = {'O', 'D', 'B', 'U', 'R', 'G', 'W', '\0'};
+constexpr std::uint32_t Version = 1;
+constexpr std::uint64_t ChecksumSeed = 0x0DB09A28u;
+/// Allocation guard for the payload read: 2^28 words = 1 GiB, far above
+/// any real automaton (states are bounded at 4M).
+constexpr std::uint64_t MaxPayloadWords = 1ull << 28;
+
+template <typename T> void writeRaw(std::ostream &OS, T V) {
+  char Buf[sizeof(T)];
+  std::memcpy(Buf, &V, sizeof(T));
+  OS.write(Buf, sizeof(T));
+}
+
+template <typename T> bool readRaw(std::istream &IS, T &V) {
+  char Buf[sizeof(T)];
+  IS.read(Buf, sizeof(T));
+  if (IS.gcount() != sizeof(T))
+    return false;
+  std::memcpy(&V, Buf, sizeof(T));
+  return true;
+}
+
+Error truncatedError() {
+  return Error::make(ErrorKind::MalformedInput,
+                     "warm snapshot is truncated or not a snapshot file");
+}
+
+Error corruptError(const char *What) {
+  return Error::make(ErrorKind::MalformedInput,
+                     std::string("warm snapshot is corrupt: ") + What);
+}
+
+} // namespace
+
+Error registry::dumpWarmSnapshot(const OnDemandAutomaton &A, const Grammar &G,
+                                 std::ostream &OS) {
+  unsigned NumNts = G.numNonterminals();
+  std::vector<const State *> States = A.stateTable().states();
+
+  std::vector<std::uint32_t> Payload;
+  Payload.reserve(States.size() * (1 + 2 * static_cast<std::size_t>(NumNts)));
+  for (const State *S : States) {
+    Payload.push_back(S->Op);
+    for (NonterminalId Nt = 0; Nt < NumNts; ++Nt)
+      Payload.push_back(S->costOf(Nt).raw());
+    for (NonterminalId Nt = 0; Nt < NumNts; ++Nt)
+      Payload.push_back(S->ruleOf(Nt));
+  }
+
+  std::uint64_t NumTransitions = 0;
+  A.forEachTransition(
+      [&](const std::uint32_t *Key, unsigned Words, StateId Value) {
+        // Skip entries whose value points past the state snapshot: a
+        // racing insert between states() and this walk. Quiescent dumps
+        // never hit this; it keeps a sloppy caller consistent.
+        if (Value >= States.size())
+          return;
+        Payload.insert(Payload.end(), Key, Key + Words);
+        Payload.push_back(Value);
+        ++NumTransitions;
+      });
+
+  OS.write(Magic, sizeof(Magic));
+  writeRaw(OS, Version);
+  writeRaw(OS, G.fingerprint());
+  writeRaw(OS, static_cast<std::uint32_t>(NumNts));
+  writeRaw(OS, static_cast<std::uint32_t>(States.size()));
+  writeRaw(OS, NumTransitions);
+  writeRaw(OS, static_cast<std::uint64_t>(Payload.size()));
+  writeRaw(OS, hashRange(Payload.data(), Payload.data() + Payload.size(),
+                         ChecksumSeed));
+  OS.write(reinterpret_cast<const char *>(Payload.data()),
+           static_cast<std::streamsize>(Payload.size() * sizeof(std::uint32_t)));
+  if (!OS)
+    return Error::make("failed to write warm snapshot stream");
+  return Error::success();
+}
+
+Expected<WarmSnapshotStats> registry::loadWarmSnapshot(OnDemandAutomaton &A,
+                                                       const Grammar &G,
+                                                       std::istream &IS) {
+  if (fault::shouldFail(fault::Site::RegistryLoad))
+    return Error::make(ErrorKind::MalformedInput,
+                       "fault injection: registry-load");
+
+  char Got[sizeof(Magic)];
+  IS.read(Got, sizeof(Got));
+  if (IS.gcount() != sizeof(Got) || std::memcmp(Got, Magic, sizeof(Magic)) != 0)
+    return truncatedError();
+
+  std::uint32_t Ver = 0, NumNts = 0, NumStates = 0;
+  std::uint64_t Fp = 0, NumTransitions = 0, PayloadWords = 0, Checksum = 0;
+  if (!readRaw(IS, Ver) || !readRaw(IS, Fp) || !readRaw(IS, NumNts) ||
+      !readRaw(IS, NumStates) || !readRaw(IS, NumTransitions) ||
+      !readRaw(IS, PayloadWords) || !readRaw(IS, Checksum))
+    return truncatedError();
+  if (Ver != Version)
+    return corruptError("unsupported version");
+  if (Fp != G.fingerprint())
+    return Error::make(ErrorKind::MalformedInput,
+                       "warm snapshot was dumped for a different grammar "
+                       "(fingerprint mismatch)");
+  if (NumNts != G.numNonterminals())
+    return corruptError("nonterminal count mismatch");
+  if (NumStates > StateTable::maxCapacity())
+    return corruptError("state count exceeds table capacity");
+  if (PayloadWords > MaxPayloadWords)
+    return corruptError("payload size exceeds sanity cap");
+
+  std::uint64_t StateWords =
+      static_cast<std::uint64_t>(NumStates) * (1 + 2 * NumNts);
+  if (PayloadWords < StateWords)
+    return corruptError("payload smaller than its state section");
+
+  // Read and checksum the whole payload before importing anything, so a
+  // damaged file can never half-populate the shared automaton.
+  std::vector<std::uint32_t> Payload(PayloadWords);
+  IS.read(reinterpret_cast<char *>(Payload.data()),
+          static_cast<std::streamsize>(PayloadWords * sizeof(std::uint32_t)));
+  if (static_cast<std::uint64_t>(IS.gcount()) !=
+      PayloadWords * sizeof(std::uint32_t))
+    return truncatedError();
+  if (hashRange(Payload.data(), Payload.data() + Payload.size(),
+                ChecksumSeed) != Checksum)
+    return corruptError("payload checksum mismatch");
+
+  unsigned NumOps = G.numOperators();
+  unsigned NumRules = G.numNormRules();
+  std::size_t Cur = 0;
+
+  // Validate the state section fully before touching the automaton.
+  for (std::uint32_t Id = 0; Id < NumStates; ++Id) {
+    std::size_t Base = Cur + static_cast<std::size_t>(Id) * (1 + 2 * NumNts);
+    if (Payload[Base] >= NumOps)
+      return corruptError("state operator out of range");
+    for (unsigned Nt = 0; Nt < NumNts; ++Nt) {
+      std::uint32_t R = Payload[Base + 1 + NumNts + Nt];
+      if (R != InvalidRule && R >= NumRules)
+        return corruptError("state rule out of range");
+    }
+  }
+
+  // Validate the transition section against the state count.
+  std::size_t TransBegin = static_cast<std::size_t>(StateWords);
+  std::size_t P = TransBegin;
+  for (std::uint64_t T = 0; T < NumTransitions; ++T) {
+    if (P >= Payload.size())
+      return corruptError("transition section shorter than its count");
+    std::uint32_t Header = Payload[P];
+    OperatorId Op = static_cast<OperatorId>(Header & 0xFFFF);
+    unsigned NumChildren = (Header >> 16) & 0xFF;
+    unsigned NumDyn = Header >> 24;
+    unsigned Words = TransitionCache::keyWords(Header);
+    if (Op >= NumOps || NumChildren != G.operatorArity(Op) ||
+        NumDyn != G.dynRulesFor(Op).size())
+      return corruptError("transition key shape mismatch");
+    if (P + Words + 1 > Payload.size())
+      return corruptError("transition record truncated");
+    for (unsigned C = 0; C < NumChildren; ++C)
+      if (Payload[P + 1 + C] >= NumStates)
+        return corruptError("transition child state out of range");
+    if (Payload[P + Words] >= NumStates)
+      return corruptError("transition value state out of range");
+    P += Words + 1;
+  }
+  if (P != Payload.size())
+    return corruptError("trailing bytes after the last transition");
+
+  // Any table-seeded prefix must match the snapshot exactly (read-only
+  // check): a snapshot of the same grammar but different tables is stale.
+  unsigned Seeded = A.numStates();
+  if (Seeded > NumStates)
+    return Error::make(ErrorKind::MalformedInput,
+                       "warm snapshot is stale: fewer states than the "
+                       "automaton's seeded tables");
+  for (StateId Id = 0; Id < Seeded; ++Id) {
+    const State *S = A.stateTable().byId(Id);
+    std::size_t Base = static_cast<std::size_t>(Id) * (1 + 2 * NumNts);
+    bool Match = S && S->Op == Payload[Base];
+    for (unsigned Nt = 0; Match && Nt < NumNts; ++Nt)
+      Match = S->costOf(Nt).raw() == Payload[Base + 1 + Nt] &&
+              S->ruleOf(Nt) == Payload[Base + 1 + NumNts + Nt];
+    if (!Match)
+      return Error::make(ErrorKind::MalformedInput,
+                         "warm snapshot is stale: seeded state prefix does "
+                         "not match");
+  }
+
+  // Import. States first (ids must replay exactly — a canonical dump has
+  // no duplicates, so a mismatch means the snapshot was hand-assembled),
+  // then transitions, whose values are all interned by construction.
+  std::vector<Cost> Costs(NumNts);
+  for (StateId Id = Seeded; Id < NumStates; ++Id) {
+    std::size_t Base = static_cast<std::size_t>(Id) * (1 + 2 * NumNts);
+    for (unsigned Nt = 0; Nt < NumNts; ++Nt)
+      Costs[Nt] = Cost(Payload[Base + 1 + Nt]);
+    if (!A.importWarmState(static_cast<OperatorId>(Payload[Base]),
+                           Costs.data(), &Payload[Base + 1 + NumNts], Id))
+      return corruptError("duplicate state in snapshot");
+  }
+  P = TransBegin;
+  for (std::uint64_t T = 0; T < NumTransitions; ++T) {
+    unsigned Words = TransitionCache::keyWords(Payload[P]);
+    A.importWarmTransition(&Payload[P], Words, Payload[P + Words]);
+    P += Words + 1;
+  }
+
+  WarmSnapshotStats S;
+  S.NumStates = NumStates;
+  S.NumTransitions = NumTransitions;
+  return S;
+}

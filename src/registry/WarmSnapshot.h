@@ -1,0 +1,70 @@
+//===- registry/WarmSnapshot.h - Warm on-demand automaton persistence -----===//
+//
+// Part of the odburg project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dump/load of a *warm* on-demand automaton: every hash-consed state and
+/// every memoized transition, so a restarted server resumes with the warm
+/// path already populated instead of re-deriving it from traffic. This is
+/// the registry's second persistence format, next to CompiledTables v2
+/// (offline/OfflineTables.h): tables persist what was generated ahead of
+/// time, snapshots persist what on-demand traffic taught the automaton.
+///
+/// The format is versioned little-endian binary, keyed by
+/// Grammar::fingerprint(): a snapshot only ever loads against the exact
+/// grammar that produced it. The whole payload is read into memory and
+/// checksum-verified *before* anything is imported, so a truncated or
+/// bit-flipped file yields a typed ErrorKind::MalformedInput and leaves
+/// the automaton untouched — it can never half-populate shared state.
+/// Loading replays states in id order through
+/// OnDemandAutomaton::importWarmState, which also covers table-seeded
+/// (hybrid) automata: the snapshot's state prefix must reproduce the
+/// seeded states, and a stale snapshot is rejected typed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ODBURG_REGISTRY_WARMSNAPSHOT_H
+#define ODBURG_REGISTRY_WARMSNAPSHOT_H
+
+#include "core/OnDemandAutomaton.h"
+#include "grammar/Grammar.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace odburg {
+namespace registry {
+
+/// What a snapshot load restored.
+struct WarmSnapshotStats {
+  /// States in the snapshot (including any table-seeded prefix).
+  unsigned NumStates = 0;
+  /// Memoized transitions replayed into the cache.
+  std::uint64_t NumTransitions = 0;
+};
+
+/// Serializes \p A's states and memoized transitions to \p OS, stamped
+/// with \p G's fingerprint. Quiescent use only: no labeling may run
+/// concurrently. Fails on stream write errors.
+Error dumpWarmSnapshot(const OnDemandAutomaton &A, const Grammar &G,
+                       std::ostream &OS);
+
+/// Restores a snapshot dumped by dumpWarmSnapshot into \p A, which must
+/// not have labeled anything yet (freshly created, or table-seeded for
+/// hybrid — the snapshot's prefix must then match the seeded states).
+/// Validates magic, version, \p G's fingerprint, the payload checksum,
+/// and every state/transition record before importing; all failures are
+/// typed ErrorKind::MalformedInput and leave \p A unchanged. Plants the
+/// fault::Site::RegistryLoad chaos site: an armed trigger fails the load
+/// as if the file were corrupt, and the caller cold-starts.
+Expected<WarmSnapshotStats> loadWarmSnapshot(OnDemandAutomaton &A,
+                                             const Grammar &G,
+                                             std::istream &IS);
+
+} // namespace registry
+} // namespace odburg
+
+#endif // ODBURG_REGISTRY_WARMSNAPSHOT_H

@@ -343,6 +343,10 @@ public:
   }
 
   const OnDemandAutomaton &automaton() const { return A; }
+  /// Mutable access for the warm-snapshot bridge (registry/WarmSnapshot.h):
+  /// state/transition import before the first labeling call, quiescent
+  /// transition dumps after.
+  OnDemandAutomaton &automaton() { return A; }
   /// The attached controller, or null when not adaptive.
   const TierController *tierController() const { return Controller.get(); }
 

@@ -83,7 +83,9 @@ Expected<std::unique_ptr<TcpServer>> TcpServer::start(const targets::Target &T,
   S->BoundPort = *P;
   TcpServer *Srv = S.get();
   S->AcceptThread = std::thread([Srv] { Srv->acceptLoop(); });
-  if (S->Opts.MemBudgetBytes)
+  // The governor also owns registry-lane reaping and eviction, so it
+  // runs whenever a registry is attached, budget or not.
+  if (S->Opts.MemBudgetBytes || S->Opts.Registry)
     S->GovThread = std::thread([Srv] { Srv->governorLoop(); });
   return S;
 }
@@ -105,12 +107,7 @@ const DynCostTable *TcpServer::laneDyn(BackendKind K) const {
   return &T.Dyn;
 }
 
-Expected<pipeline::CompileService *> TcpServer::lane(BackendKind K) {
-  std::lock_guard<std::mutex> L(LanesM);
-  std::unique_ptr<pipeline::CompileService> &Slot =
-      Lanes[static_cast<std::size_t>(K)];
-  if (Slot)
-    return Slot.get();
+pipeline::CompileService::Options TcpServer::laneServiceOpts(BackendKind K) {
   pipeline::CompileService::Options SO;
   SO.Backend = K;
   SO.BackendOpts = Opts.BackendOpts;
@@ -121,9 +118,18 @@ Expected<pipeline::CompileService *> TcpServer::lane(BackendKind K) {
                              const pipeline::CompileResult &R) {
     dispatch(Tag, R);
   };
+  return SO;
+}
+
+Expected<pipeline::CompileService *> TcpServer::lane(BackendKind K) {
+  std::lock_guard<std::mutex> L(LanesM);
+  std::unique_ptr<pipeline::CompileService> &Slot =
+      Lanes[static_cast<std::size_t>(K)];
+  if (Slot)
+    return Slot.get();
   Expected<std::unique_ptr<pipeline::CompileService>> S =
       pipeline::CompileService::create(laneGrammar(K), laneDyn(K),
-                                       std::move(SO));
+                                       laneServiceOpts(K));
   if (!S)
     return S.takeError();
   Slot = std::move(*S);
@@ -134,9 +140,70 @@ Expected<pipeline::CompileService *> TcpServer::lane(BackendKind K) {
   return Slot.get();
 }
 
+Expected<TcpServer::RegLane *> TcpServer::regLane(const registry::Lease &L,
+                                                  BackendKind K) {
+  registry::GrammarEntry *E = L.entry();
+  // Materialize the shared backend before taking LanesM: creation can
+  // mean table generation or a snapshot load, and the caller's lease
+  // already keeps it alive.
+  Expected<LabelerBackend *> B = E->backend(K);
+  if (!B)
+    return B.takeError();
+  std::lock_guard<std::mutex> Lk(LanesM);
+  std::unique_ptr<RegLane> &Slot =
+      RegLanes[std::make_pair(static_cast<const registry::GrammarEntry *>(E),
+                              static_cast<unsigned>(K))];
+  if (!Slot) {
+    auto RL = std::make_unique<RegLane>();
+    RL->Pin = L.clone();
+    RL->Svc = std::make_unique<pipeline::CompileService>(
+        E->grammar(K), E->dynCosts(K), **B, laneServiceOpts(K));
+    Slot = std::move(RL);
+  }
+  ++Slot->Active;
+  return Slot.get();
+}
+
+void TcpServer::releaseRegLane(RegLane *L) {
+  std::lock_guard<std::mutex> Lk(LanesM);
+  if (--L->Active == 0)
+    L->IdleSince = std::chrono::steady_clock::now();
+}
+
+void TcpServer::reapIdleRegLanes(bool Force) {
+  // Collect under the lock, destroy outside it: shutdown() joins worker
+  // threads and must not stall lane creation or stats. A lane at
+  // Active == 0 has no reader left that could submit (connections
+  // release only after their drain wait), so shutting its service down
+  // severs nothing. The RegLane member order drops the service before
+  // the entry pin.
+  std::vector<std::unique_ptr<RegLane>> Dead;
+  auto Now = std::chrono::steady_clock::now();
+  auto Grace = std::chrono::milliseconds(Opts.RegistryLaneIdleMillis);
+  {
+    std::lock_guard<std::mutex> Lk(LanesM);
+    for (auto It = RegLanes.begin(); It != RegLanes.end();) {
+      if (It->second->Active == 0 &&
+          (Force || Now - It->second->IdleSince >= Grace)) {
+        Dead.push_back(std::move(It->second));
+        It = RegLanes.erase(It);
+      } else {
+        ++It;
+      }
+    }
+  }
+  for (std::unique_ptr<RegLane> &L : Dead)
+    L->Svc->shutdown();
+}
+
 const pipeline::CompileService *TcpServer::laneService(BackendKind K) const {
   std::lock_guard<std::mutex> L(LanesM);
   return Lanes[static_cast<std::size_t>(K)].get();
+}
+
+std::size_t TcpServer::registryLanes() const {
+  std::lock_guard<std::mutex> L(LanesM);
+  return RegLanes.size();
 }
 
 unsigned TcpServer::connectionsActive() const {
@@ -251,15 +318,18 @@ void TcpServer::dispatch(std::uint64_t Tag, const pipeline::CompileResult &R) {
   C->DrainedCv.notify_all();
 }
 
-std::string TcpServer::statsJson(BackendKind K, Conn &C) {
+std::string TcpServer::statsJson(BackendKind K, Conn &C,
+                                 pipeline::CompileService *Svc,
+                                 const std::string &GrammarName) {
   pipeline::ServiceStats S;
   TierDecisions Tier;
   Tier.Config = TierConfig{false, 1, false};
   Tier.PromoteThreshold = 0;
   {
     std::lock_guard<std::mutex> L(LanesM);
-    if (const pipeline::CompileService *Svc =
-            Lanes[static_cast<std::size_t>(K)].get()) {
+    if (!Svc)
+      Svc = Lanes[static_cast<std::size_t>(K)].get();
+    if (Svc) {
       S = Svc->statsSnapshot();
       Tier = Svc->backend().tierDecisions();
     }
@@ -270,8 +340,9 @@ std::string TcpServer::statsJson(BackendKind K, Conn &C) {
     ConnSub = C.Submitted;
     ConnDel = C.Delivered;
   }
-  return formatf(
-      "STATS {\"backend\":\"%s\",\"submitted\":%zu,\"delivered\":%zu,"
+  std::string Line = formatf(
+      "STATS {\"backend\":\"%s\",\"grammar\":\"%s\","
+      "\"submitted\":%zu,\"delivered\":%zu,"
       "\"queueDepth\":%zu,\"workers\":%u,\"latencySamples\":%zu,"
       "\"p50Us\":%.1f,\"p90Us\":%.1f,\"p99Us\":%.1f,"
       "\"l1HitRate\":%.4f,\"denseHitRate\":%.4f,\"cacheHitRate\":%.4f,"
@@ -285,8 +356,9 @@ std::string TcpServer::statsJson(BackendKind K, Conn &C) {
       "\"shedConnections\":%llu,\"shedSubmits\":%llu,"
       "\"idleReaped\":%llu,\"cancelledDeliveries\":%llu,"
       "\"faultsInjected\":%llu,\"degraded\":%s,"
-      "\"backendBytes\":%zu,\"memBudget\":%zu,\"draining\":%s}\n",
-      backendName(K), S.Submitted, S.Delivered, S.QueueDepth, S.Workers,
+      "\"backendBytes\":%zu,\"memBudget\":%zu,\"draining\":%s",
+      backendName(K), GrammarName.c_str(), S.Submitted, S.Delivered,
+      S.QueueDepth, S.Workers,
       S.LatencySamples, S.P50Us, S.P90Us, S.P99Us, S.l1HitRate(),
       S.denseHitRate(), S.cacheHitRate(), S.offlineHitRate(),
       Tier.Adaptive ? "true" : "false",
@@ -306,6 +378,33 @@ std::string TcpServer::statsJson(BackendKind K, Conn &C) {
       (Tier.Degraded || Pressure.load()) ? "true" : "false",
       BackendBytes.load(), Opts.MemBudgetBytes,
       Draining.load() ? "true" : "false");
+  if (Opts.Registry) {
+    registry::RegistryStats R = Opts.Registry->statsSnapshot();
+    std::size_t LaneCount;
+    {
+      std::lock_guard<std::mutex> L(LanesM);
+      LaneCount = RegLanes.size();
+    }
+    Line += formatf(
+        ",\"registry\":{\"residentGrammars\":%llu,\"registryLanes\":%zu,"
+        "\"acquires\":%llu,\"evictions\":%llu,\"hotSwaps\":%llu,"
+        "\"snapshotHits\":%llu,\"snapshotMisses\":%llu,"
+        "\"tablesLoads\":%llu,\"registryBytes\":%llu,"
+        "\"registryPressure\":%s,\"memBudget\":%llu}",
+        static_cast<unsigned long long>(R.ResidentGrammars), LaneCount,
+        static_cast<unsigned long long>(R.Acquires),
+        static_cast<unsigned long long>(R.Evictions),
+        static_cast<unsigned long long>(R.HotSwaps),
+        static_cast<unsigned long long>(R.SnapshotHits),
+        static_cast<unsigned long long>(R.SnapshotMisses),
+        static_cast<unsigned long long>(R.TablesLoads),
+        static_cast<unsigned long long>(R.BackendBytes),
+        R.MemoryPressure ? "true" : "false",
+        static_cast<unsigned long long>(
+            Opts.Registry->options().MemBudgetBytes));
+  }
+  Line += "}\n";
+  return Line;
 }
 
 void TcpServer::connReader(std::shared_ptr<Conn> C) {
@@ -317,6 +416,39 @@ void TcpServer::connReader(std::shared_ptr<Conn> C) {
   ir::SExprFunctionStream Stream(In, laneGrammar(Kind));
   Stream.setMaxFunctionBytes(Opts.MaxFrameBytes);
   pipeline::CompileService *Svc = nullptr;
+
+  // Multi-tenant state: a GRAMMAR handshake pins a registry entry for
+  // this connection's lifetime and routes it to a shared per-(grammar,
+  // backend) registry lane instead of the server target's lanes.
+  registry::Lease Lease;
+  RegLane *RLane = nullptr;
+  std::string GrammarName = T.Name;
+
+  // The grammar this connection parses and labels against right now.
+  auto CurGrammar = [&]() -> const Grammar & {
+    return Lease ? Lease->grammar(Kind) : laneGrammar(Kind);
+  };
+  // Binds Svc to the lane for the current (grammar, Kind). On failure
+  // pushes the diagnostic and returns false with Svc still null.
+  auto Bind = [&]() -> bool {
+    if (Lease) {
+      Expected<RegLane *> L = regLane(Lease, Kind);
+      if (!L) {
+        pushOut(*C, "ERROR backend: " + oneLine(L.message()) + "\n");
+        return false;
+      }
+      RLane = *L;
+      Svc = RLane->Svc.get();
+      return true;
+    }
+    Expected<pipeline::CompileService *> L = lane(Kind);
+    if (!L) {
+      pushOut(*C, "ERROR backend: " + oneLine(L.message()) + "\n");
+      return false;
+    }
+    Svc = *L;
+    return true;
+  };
 
   for (;;) {
     auto F = std::make_unique<ir::IRFunction>();
@@ -351,12 +483,62 @@ void TcpServer::connReader(std::shared_ptr<Conn> C) {
       if (Line == "STATS") {
         // Warm the lane so STATS reports the real worker pool even before
         // the first function. Out-of-band: the snapshot is pushed now, not
-        // in order with pending compile results.
-        if (Svc || lane(Kind))
-          pushOut(*C, statsJson(Kind, *C));
-        else
-          pushOut(*C, "ERROR backend: cannot create '" +
-                          std::string(backendName(Kind)) + "' lane\n");
+        // in order with pending compile results. A target-lane warm does
+        // not bind the connection (BACKEND may still follow); a registry
+        // lane does — its refcount keeps the service alive while we read.
+        if (Svc) {
+          pushOut(*C, statsJson(Kind, *C, Svc, GrammarName));
+        } else if (Lease) {
+          if (Bind())
+            pushOut(*C, statsJson(Kind, *C, Svc, GrammarName));
+        } else if (Expected<pipeline::CompileService *> L = lane(Kind)) {
+          pushOut(*C, statsJson(Kind, *C, *L, GrammarName));
+        } else {
+          pushOut(*C, "ERROR backend: " + oneLine(L.message()) + "\n");
+        }
+        continue;
+      }
+      if (startsWith(Line, "GRAMMAR ")) {
+        // Must come before the lane exists: the stream has to parse
+        // against the right grammar from the first function, and the lane
+        // key is the grammar. (So: GRAMMAR, then BACKEND, then traffic.)
+        if (!Opts.Registry) {
+          pushOut(*C, "ERROR protocol: no grammar registry configured\n");
+          continue;
+        }
+        if (Svc) {
+          pushOut(*C, "ERROR protocol: GRAMMAR must precede BACKEND and "
+                      "the first function\n");
+          continue;
+        }
+        std::string_view Name = trim(std::string_view(Line).substr(8));
+        Expected<registry::Lease> L = Opts.Registry->acquire(Name);
+        if (!L) {
+          pushOut(*C, "ERROR grammar: " + oneLine(L.message()) + "\n");
+          continue;
+        }
+        Lease = std::move(*L);
+        GrammarName = Lease->name();
+        Stream.rebind(CurGrammar());
+        continue;
+      }
+      if (startsWith(Line, "RELOAD ")) {
+        // Admin request, answered out-of-band: re-resolve from source and
+        // hot-swap on content change. This connection keeps its own
+        // version; only new GRAMMAR handshakes see the new epoch.
+        if (!Opts.Registry) {
+          pushOut(*C, "ERROR protocol: no grammar registry configured\n");
+          continue;
+        }
+        std::string_view Name = trim(std::string_view(Line).substr(7));
+        Expected<registry::Lease> L = Opts.Registry->reload(Name);
+        if (!L) {
+          pushOut(*C, "ERROR grammar: " + oneLine(L.message()) + "\n");
+          continue;
+        }
+        pushOut(*C, formatf("OK RELOAD %s epoch=%llu\n",
+                            (*L)->name().c_str(),
+                            static_cast<unsigned long long>((*L)->epoch())));
         continue;
       }
       if (startsWith(Line, "BACKEND ")) {
@@ -375,14 +557,10 @@ void TcpServer::connReader(std::shared_ptr<Conn> C) {
         // the stripped grammar) must happen before any function parses,
         // and a lane the server cannot build should fail the handshake,
         // not the first compile.
-        Expected<pipeline::CompileService *> L = lane(*K);
-        if (!L) {
-          pushOut(*C, "ERROR backend: " + oneLine(L.message()) + "\n");
-          break;
-        }
         Kind = *K;
-        Svc = *L;
-        Stream.rebind(laneGrammar(Kind));
+        if (!Bind())
+          break;
+        Stream.rebind(CurGrammar());
         continue;
       }
       pushOut(*C, "ERROR protocol: unknown request '" + Line + "'\n");
@@ -390,14 +568,8 @@ void TcpServer::connReader(std::shared_ptr<Conn> C) {
     }
 
     // A function. Bind the default lane on first use.
-    if (!Svc) {
-      Expected<pipeline::CompileService *> L = lane(Kind);
-      if (!L) {
-        pushOut(*C, "ERROR backend: " + oneLine(L.message()) + "\n");
-        break;
-      }
-      Svc = *L;
-    }
+    if (!Svc && !Bind())
+      break;
     ir::IRFunction &Ref = *F;
     std::uint64_t Seq = C->Frames++;
     {
@@ -451,6 +623,12 @@ void TcpServer::connReader(std::shared_ptr<Conn> C) {
   if (C->WriterT.joinable())
     C->WriterT.join();
   C->Sock.shutdownBoth();
+  // Everything this connection submitted has resolved, so its registry
+  // lane (and through it the grammar pin) can be let go — the governor
+  // reaps the lane once idle, which is what makes the entry evictable.
+  if (RLane)
+    releaseRegLane(RLane);
+  Lease.release();
   C->Finished.store(true);
 }
 
@@ -568,19 +746,31 @@ void TcpServer::governorLoop() {
         if (Lp)
           Total += Lp->backend().memoryBytes();
     }
+    if (Opts.Registry)
+      Total += Opts.Registry->backendBytes();
     BackendBytes.store(Total, std::memory_order_relaxed);
-    // Hysteresis: engage above the budget, release only once shedding
-    // (plus the clamp stopping growth) brought usage under 90% of it —
-    // one sample hovering at the line must not flap the tiers.
-    bool P = Pressure.load(std::memory_order_relaxed);
-    bool NewP = P ? Total >= Opts.MemBudgetBytes - Opts.MemBudgetBytes / 10
-                  : Total > Opts.MemBudgetBytes;
-    if (NewP != P) {
-      Pressure.store(NewP, std::memory_order_relaxed);
-      std::lock_guard<std::mutex> L(LanesM);
-      for (const std::unique_ptr<pipeline::CompileService> &Lp : Lanes)
-        if (Lp)
-          Lp->backend().setMemoryPressure(NewP);
+    if (Opts.MemBudgetBytes) {
+      // Hysteresis: engage above the budget, release only once shedding
+      // (plus the clamp stopping growth) brought usage under 90% of it —
+      // one sample hovering at the line must not flap the tiers.
+      bool P = Pressure.load(std::memory_order_relaxed);
+      bool NewP = P ? Total >= Opts.MemBudgetBytes - Opts.MemBudgetBytes / 10
+                    : Total > Opts.MemBudgetBytes;
+      if (NewP != P) {
+        Pressure.store(NewP, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> L(LanesM);
+        for (const std::unique_ptr<pipeline::CompileService> &Lp : Lanes)
+          if (Lp)
+            Lp->backend().setMemoryPressure(NewP);
+      }
+    }
+    if (Opts.Registry) {
+      // Registry upkeep: over budget, reap idle lanes immediately (their
+      // pins are what keeps entries unevictable), then let the registry
+      // evict LRU backends and manage its own pressure lever.
+      bool Over = Opts.MemBudgetBytes && Total > Opts.MemBudgetBytes;
+      reapIdleRegLanes(/*Force=*/Over);
+      Opts.Registry->maintain();
     }
     G.lock();
   }
@@ -661,7 +851,12 @@ void TcpServer::stop() {
   }
 
   // 4. Quiesce the lanes. Everything submitted was already delivered (the
-  //    reader epilogues waited on it), so this is a clean join.
+  //    reader epilogues waited on it), so this is a clean join. Every
+  //    reader released its registry lane in its epilogue, so the forced
+  //    reap sees only idle lanes; dropping them releases the grammar pins
+  //    (the entries and their warm backends stay resident in the
+  //    registry, ready for a snapshot dump).
+  reapIdleRegLanes(/*Force=*/true);
   for (std::unique_ptr<pipeline::CompileService> &L : Lanes)
     if (L)
       L->shutdown();

@@ -23,10 +23,27 @@
 /// control requests):
 ///
 ///   client -> server
+///     GRAMMAR <name-or-fingerprint>
+///                                   optional handshake (requires a
+///                                   registry, Options::Registry): bind
+///                                   this connection to that grammar —
+///                                   a built-in target name, a spooled
+///                                   <name>.odg, or the 16-hex-digit
+///                                   fingerprint of a resident version.
+///                                   Must precede BACKEND and the first
+///                                   function; without it the connection
+///                                   serves the server's own target
 ///     BACKEND dp|offline|ondemand|hybrid
 ///                                   optional handshake, before the first
 ///                                   function; selects this connection's
 ///                                   labeling backend (default ondemand)
+///     RELOAD <name>                 admin request (requires a registry):
+///                                   re-resolve the grammar from its
+///                                   source and hot-swap if it changed.
+///                                   Answered out-of-band with
+///                                   `OK RELOAD <name> epoch=N`;
+///                                   connections already streaming keep
+///                                   their version until they close
 ///     STATS                         request a metrics snapshot, any time
 ///     <s-expr function frames>      blank-line separated, as produced by
 ///                                   odburg-run --dump-corpus
@@ -76,18 +93,22 @@
 
 #include "ir/SExprParser.h"
 #include "pipeline/CompileService.h"
+#include "registry/GrammarRegistry.h"
 #include "serve/Socket.h"
 #include "targets/Target.h"
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 
 namespace odburg {
 namespace serve {
@@ -141,8 +162,22 @@ public:
     /// tables). A governor thread samples against it and, under pressure,
     /// drives every lane's backend to shed regrowable tiers
     /// (LabelerBackend::setMemoryPressure) until usage falls back under.
+    /// With a registry attached the sample includes the registry's
+    /// resident backends, and the governor additionally reaps idle
+    /// registry lanes and runs GrammarRegistry::maintain() each tick —
+    /// the eviction path.
     std::size_t MemBudgetBytes = 0;
     /// @}
+
+    /// Multi-tenant mode: the grammar registry behind the `GRAMMAR` and
+    /// `RELOAD` requests. Non-owning; must outlive the server. Null =
+    /// single-tenant (GRAMMAR/RELOAD answer a protocol error).
+    registry::GrammarRegistry *Registry = nullptr;
+    /// How long a registry lane (its worker pool and entry pin) survives
+    /// with no connections before the governor reaps it, letting the
+    /// entry become evictable. Over budget, idle lanes are reaped
+    /// immediately.
+    unsigned RegistryLaneIdleMillis = 500;
   };
 
   /// Binds, listens, and starts accepting. \p T must outlive the server.
@@ -183,6 +218,9 @@ public:
   /// The lane service for \p K if a connection has created it (tests and
   /// metrics); null otherwise.
   const pipeline::CompileService *laneService(BackendKind K) const;
+  /// Live registry lanes — (grammar version, backend kind) services
+  /// created by GRAMMAR connections and not yet reaped (tests/metrics).
+  std::size_t registryLanes() const;
 
   /// \name Overload/robustness counters (lifetime totals)
   /// @{
@@ -204,6 +242,20 @@ public:
 private:
   struct Conn;
 
+  /// One registry lane: the shared compile service for a (grammar
+  /// version, backend kind) pair, plus its own pin on the entry — the
+  /// service borrows the entry's backend, so the pin must outlive the
+  /// service (member order below guarantees destruction order).
+  struct RegLane {
+    registry::Lease Pin;
+    std::unique_ptr<pipeline::CompileService> Svc;
+    /// Connections currently bound to this lane; guarded by LanesM. The
+    /// governor only reaps lanes at zero.
+    unsigned Active = 0;
+    /// When Active last hit zero; guarded by LanesM.
+    std::chrono::steady_clock::time_point IdleSince;
+  };
+
   TcpServer(const targets::Target &T, Options Opts);
 
   void acceptLoop();
@@ -212,9 +264,14 @@ private:
   void connWriter(std::shared_ptr<Conn> C);
   void dispatch(std::uint64_t Tag, const pipeline::CompileResult &R);
   Expected<pipeline::CompileService *> lane(BackendKind K);
+  Expected<RegLane *> regLane(const registry::Lease &L, BackendKind K);
+  void releaseRegLane(RegLane *L);
+  void reapIdleRegLanes(bool Force);
+  pipeline::CompileService::Options laneServiceOpts(BackendKind K);
   const Grammar &laneGrammar(BackendKind K) const;
   const DynCostTable *laneDyn(BackendKind K) const;
-  std::string statsJson(BackendKind K, Conn &C);
+  std::string statsJson(BackendKind K, Conn &C, pipeline::CompileService *Svc,
+                        const std::string &GrammarName);
   bool pushOut(Conn &C, std::string Bytes);
   void markDead(Conn &C);
   void reapFinished();
@@ -227,6 +284,12 @@ private:
 
   mutable std::mutex LanesM;
   std::array<std::unique_ptr<pipeline::CompileService>, NumBackendKinds> Lanes;
+  /// Registry lanes, keyed by (entry identity, kind) — a hot swap makes a
+  /// new entry, hence a new lane, while old-epoch lanes drain out.
+  /// Guarded by LanesM.
+  std::map<std::pair<const registry::GrammarEntry *, unsigned>,
+           std::unique_ptr<RegLane>>
+      RegLanes;
 
   mutable std::mutex ConnsM;
   std::unordered_map<std::uint64_t, std::shared_ptr<Conn>> Conns;

@@ -54,7 +54,8 @@ Expected<Site> parseSite(std::string_view Name) {
   return Error::make(ErrorKind::MalformedInput,
                      "unknown fault site '" + std::string(Name) +
                          "' (known: socket-send, socket-recv, socket-accept, "
-                         "service-submit, tables-load, state-compute)");
+                         "service-submit, tables-load, state-compute, "
+                         "registry-load, registry-evict)");
 }
 
 } // namespace
@@ -73,6 +74,10 @@ const char *siteName(Site S) {
     return "tables-load";
   case Site::StateCompute:
     return "state-compute";
+  case Site::RegistryLoad:
+    return "registry-load";
+  case Site::RegistryEvict:
+    return "registry-evict";
   }
   return "?";
 }

@@ -15,7 +15,8 @@
 ///   ODBURG_FAULTS=site:trigger[,site:trigger...]
 ///
 ///   sites     socket-send | socket-recv | socket-accept |
-///             service-submit | tables-load | state-compute
+///             service-submit | tables-load | state-compute |
+///             registry-load | registry-evict
 ///   triggers  nth=N     fire exactly once, on the Nth hit (1-based)
 ///             every=K   fire on every Kth hit
 ///             p=P[@S]   fire with probability P in [0,1], decided by a
@@ -55,8 +56,10 @@ enum class Site : unsigned {
   ServiceSubmit,  ///< CompileService submission rejected ResourceExhausted.
   TablesLoad,     ///< CompiledTables::load fails MalformedInput.
   StateCompute,   ///< StateComputer gains injected latency.
+  RegistryLoad,   ///< GrammarRegistry spool/snapshot load fails (cold start).
+  RegistryEvict,  ///< GrammarRegistry eviction fires regardless of budget.
 };
-inline constexpr unsigned NumSites = 6;
+inline constexpr unsigned NumSites = 8;
 
 /// The spec-grammar name of \p S ("socket-send", ...).
 const char *siteName(Site S);

@@ -1,0 +1,179 @@
+//===- tests/offline/TablesCorruptionTest.cpp -----------------------------===//
+//
+// Part of the odburg project.
+//
+// Exhaustive hostile-input coverage for the CompiledTables v2 container,
+// beyond OfflineTest's spot checks: truncation at EVERY byte boundary of
+// a dump (so each section edge — header, membership, leaf states, state
+// table, representer maps, dense rows — is covered by construction) and
+// bit flips across the file, including every partition-membership byte,
+// must yield a typed MalformedInput, never UB. The ASan+UBSan CI job
+// runs this binary; a flip that parses but reads out of bounds or leaves
+// a half-built table would be caught there.
+//
+//===----------------------------------------------------------------------===//
+
+#include "offline/OfflineTables.h"
+
+#include "grammar/GrammarParser.h"
+#include "select/Partition.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+using namespace odburg;
+
+namespace {
+
+std::string dumpBlob(const CompiledTables &T) {
+  std::stringstream SS(std::ios::in | std::ios::out | std::ios::binary);
+  cantFail(T.dump(SS));
+  return SS.str();
+}
+
+/// Loads \p Blob and asserts the all-or-nothing contract: either a typed
+/// MalformedInput, or a fully valid table equivalent to \p Reference.
+void expectRejectedOrIntact(const std::string &Blob, const Grammar &G,
+                            const CompiledTables &Reference,
+                            const char *Context, std::size_t Detail) {
+  std::istringstream IS(Blob);
+  Expected<CompiledTables> L = CompiledTables::load(IS, G);
+  if (!L) {
+    EXPECT_EQ(L.kind(), ErrorKind::MalformedInput)
+        << Context << " " << Detail << ": " << L.message();
+    return;
+  }
+  // Nothing in this suite flips a byte without changing content, so a
+  // success means the container proved the content unchanged.
+  EXPECT_EQ(L->fingerprint(), Reference.fingerprint())
+      << Context << " " << Detail;
+  EXPECT_EQ(L->stats().NumStates, Reference.stats().NumStates)
+      << Context << " " << Detail;
+}
+
+} // namespace
+
+TEST(TablesCorruption, TruncationAtEveryByteBoundaryIsTyped) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  CompiledTables T = cantFail(OfflineTableGen(G).generate());
+  std::string Blob = dumpBlob(T);
+  ASSERT_GT(Blob.size(), 40u);
+
+  for (std::size_t Len = 0; Len < Blob.size(); ++Len) {
+    std::istringstream IS(Blob.substr(0, Len));
+    Expected<CompiledTables> L = CompiledTables::load(IS, G);
+    ASSERT_FALSE(static_cast<bool>(L)) << "truncated to " << Len << " bytes";
+    EXPECT_EQ(L.kind(), ErrorKind::MalformedInput)
+        << "truncated to " << Len << " bytes";
+  }
+  // The intact blob still loads — the loop above exercised a damaged
+  // container, not a broken one.
+  std::istringstream IS(Blob);
+  cantFail(CompiledTables::load(IS, G));
+}
+
+TEST(TablesCorruption, PartitionedTruncationAtEveryByteBoundaryIsTyped) {
+  // The partitioned dump has one more section (membership) and dyn-cost
+  // operators with no rows; its boundaries are distinct — walk them too.
+  Grammar G = cantFail(parseGrammar(test::runningExampleText()));
+  GrammarPartition P = GrammarPartition::compute(G);
+  CompiledTables T = cantFail(OfflineTableGen(G).generateSubset(P.InPartition));
+  std::string Blob = dumpBlob(T);
+
+  for (std::size_t Len = 0; Len < Blob.size(); ++Len) {
+    std::istringstream IS(Blob.substr(0, Len));
+    Expected<CompiledTables> L = CompiledTables::load(IS, G);
+    ASSERT_FALSE(static_cast<bool>(L)) << "truncated to " << Len << " bytes";
+    EXPECT_EQ(L.kind(), ErrorKind::MalformedInput)
+        << "truncated to " << Len << " bytes";
+  }
+}
+
+TEST(TablesCorruption, BitFlipsAnywhereNeverYieldACorruptTable) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  CompiledTables T = cantFail(OfflineTableGen(G).generate());
+  std::string Blob = dumpBlob(T);
+
+  // One flipped bit per position, rotating which bit: every byte of the
+  // file is attacked at least once.
+  for (std::size_t Off = 0; Off < Blob.size(); ++Off) {
+    std::string Corrupt = Blob;
+    Corrupt[Off] ^= static_cast<char>(1u << (Off % 8));
+    expectRejectedOrIntact(Corrupt, G, T, "bit flip at", Off);
+  }
+}
+
+TEST(TablesCorruption, MembershipBytesFuzzedExhaustively) {
+  Grammar G = cantFail(parseGrammar(test::runningExampleText()));
+  GrammarPartition P = GrammarPartition::compute(G);
+  CompiledTables T = cantFail(OfflineTableGen(G).generateSubset(P.InPartition));
+  std::string Blob = dumpBlob(T);
+
+  // The membership block sits right after the fixed-size header (8-byte
+  // magic, u32 version, two u64 fingerprints, three u32 counts). Guarded:
+  // a layout change must fail here, not silently fuzz the wrong bytes.
+  constexpr std::size_t MembershipOff = 8 + 4 + 8 + 8 + 3 * 4;
+  ASSERT_GE(Blob.size(), MembershipOff + P.InPartition.size());
+  ASSERT_TRUE(std::equal(
+      P.InPartition.begin(), P.InPartition.end(),
+      reinterpret_cast<const std::uint8_t *>(Blob.data()) + MembershipOff))
+      << "dump header layout changed; update MembershipOff";
+
+  // Every membership byte, every bit: 0<->1 flips (plausible-looking but
+  // fingerprint-breaking) and wild values (shape-breaking) alike must be
+  // rejected typed.
+  for (std::size_t I = 0; I < P.InPartition.size(); ++I)
+    for (unsigned Bit = 0; Bit < 8; ++Bit) {
+      std::string Corrupt = Blob;
+      Corrupt[MembershipOff + I] ^= static_cast<char>(1u << Bit);
+      expectRejectedOrIntact(Corrupt, G, T, "membership byte", I * 8 + Bit);
+    }
+}
+
+TEST(TablesCorruption, LoadAgainstAMismatchedGrammarShapeIsTyped) {
+  // The same validation layers, driven from the other side: an intact
+  // dump meeting a grammar whose shape it cannot fit.
+  Grammar G = cantFail(parseGrammar(test::runningExampleFixedText()));
+  CompiledTables T = cantFail(OfflineTableGen(G).generate());
+  std::string Blob = dumpBlob(T);
+
+  // Operator count mismatch: one extra operator.
+  Grammar MoreOps = cantFail(parseGrammar(R"(
+    %start stmt
+    addr: reg          = 1 (0);
+    reg:  Reg          = 2 (0);
+    reg:  Load(addr)   = 3 (1);
+    reg:  Plus(reg,reg)= 4 (1);
+    reg:  Minus(reg,reg) = 7 (1);
+    stmt: Store(addr,reg) = 5 (1);
+    stmt: Store(addr,Plus(Load(addr),reg)) = 6 (1);
+  )"));
+  {
+    std::istringstream IS(Blob);
+    Expected<CompiledTables> L = CompiledTables::load(IS, MoreOps);
+    ASSERT_FALSE(static_cast<bool>(L));
+    EXPECT_EQ(L.kind(), ErrorKind::MalformedInput);
+    EXPECT_NE(L.message().find("mismatch"), std::string::npos) << L.message();
+  }
+
+  // Same operator and nonterminal counts, but Load's arity differs.
+  Grammar WrongArity = cantFail(parseGrammar(R"(
+    %start stmt
+    addr: reg          = 1 (0);
+    reg:  Reg          = 2 (0);
+    reg:  Load(addr,addr) = 3 (1);
+    reg:  Plus(reg,reg)= 4 (1);
+    stmt: Store(addr,reg) = 5 (1);
+    stmt: Store(addr,Plus(Load(addr,addr),reg)) = 6 (1);
+  )"));
+  {
+    std::istringstream IS(Blob);
+    Expected<CompiledTables> L = CompiledTables::load(IS, WrongArity);
+    ASSERT_FALSE(static_cast<bool>(L));
+    EXPECT_EQ(L.kind(), ErrorKind::MalformedInput);
+  }
+}

@@ -31,6 +31,13 @@ import argparse
 import json
 import sys
 
+
+def die(msg):
+    """Exit 2 — the documented usage/file-error status. sys.exit(str)
+    would exit 1, colliding with "a metric regressed"."""
+    print(msg, file=sys.stderr)
+    sys.exit(2)
+
 HIGHER_BETTER = ("fn_per_s", "per_s", "rate", "speedup", "hit", "throughput",
                  "ratio")
 LOWER_BETTER = ("ns", "ms", "us", "sec", "bytes", "mb", "kb", "cost",
@@ -57,9 +64,9 @@ def load(path):
         with open(path) as f:
             rows = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
-        sys.exit(f"error: cannot read {path}: {e}")
+        die(f"error: cannot read {path}: {e}")
     if not isinstance(rows, list):
-        sys.exit(f"error: {path}: expected a JSON array")
+        die(f"error: {path}: expected a JSON array")
     meta = {}
     data = []
     for row in rows:
@@ -111,9 +118,9 @@ def main():
 
     if base_meta and cand_meta:
         if base_meta.get("build") != cand_meta.get("build"):
-            sys.exit(f"error: build type mismatch: baseline is "
-                     f"{base_meta.get('build')}, candidate is "
-                     f"{cand_meta.get('build')} — numbers are incomparable")
+            die(f"error: build type mismatch: baseline is "
+                f"{base_meta.get('build')}, candidate is "
+                f"{cand_meta.get('build')} — numbers are incomparable")
         for field in ("hardware_concurrency", "compiler", "os", "smoke"):
             if base_meta.get(field) != cand_meta.get(field):
                 print(f"warning: {field} differs: baseline="

@@ -56,6 +56,7 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <sstream>
@@ -81,6 +82,10 @@ struct LoadOptions {
   std::string ReferencePath;
   /// Self-generating mode: target + per-connection synthetic corpora.
   std::string Target = "x86";
+  /// Multi-tenant mode: cycle connections over these grammars, each
+  /// opening with a `GRAMMAR <name>` handshake (requires a server running
+  /// --registry-dir). Self-generating mode only.
+  std::vector<std::string> Grammars;
   bool ForceFixed = false;
   unsigned Functions = 24;
   /// Request and validate a STATS line per connection.
@@ -118,6 +123,12 @@ int usage(const char *Argv0, int Exit) {
       "                        --corpus\n"
       "  --target=NAME         self-generating mode: target grammar the\n"
       "                        server runs (default x86)\n"
+      "  --grammars=A,B,...    multi-tenant mode: cycle connections over\n"
+      "                        these grammars, each starting with a\n"
+      "                        'GRAMMAR <name>' handshake against a\n"
+      "                        server running --registry-dir; references\n"
+      "                        are computed per grammar (self-generating\n"
+      "                        mode only)\n"
       "  --fixed               self-generating mode: the server serves the\n"
       "                        fixed-cost grammar (--fixed /\n"
       "                        --backend=offline); compute references\n"
@@ -183,6 +194,21 @@ bool parseArgs(int Argc, char **Argv, LoadOptions &Opts, int &ExitCode) {
       Opts.ReferencePath = std::string(Value("--reference="));
     } else if (startsWith(Arg, "--target=")) {
       Opts.Target = std::string(Value("--target="));
+    } else if (startsWith(Arg, "--grammars=")) {
+      std::string_view V = Value("--grammars=");
+      while (!V.empty()) {
+        std::size_t Comma = V.find(',');
+        std::string_view Name = trim(V.substr(0, Comma));
+        if (!Name.empty())
+          Opts.Grammars.emplace_back(Name);
+        V = Comma == std::string_view::npos ? std::string_view()
+                                            : V.substr(Comma + 1);
+      }
+      if (Opts.Grammars.empty()) {
+        std::fprintf(stderr, "invalid --grammars (no names)\n");
+        ExitCode = usage(Argv[0], 2);
+        return false;
+      }
     } else if (Arg == "--fixed") {
       Opts.ForceFixed = true;
     } else if (startsWith(Arg, "--functions=")) {
@@ -226,6 +252,12 @@ bool parseArgs(int Argc, char **Argv, LoadOptions &Opts, int &ExitCode) {
     ExitCode = usage(Argv[0], 2);
     return false;
   }
+  if (!Opts.Grammars.empty() && !Opts.CorpusPath.empty()) {
+    std::fprintf(stderr, "--grammars is self-generating mode only (a file "
+                         "corpus is single-grammar)\n");
+    ExitCode = usage(Argv[0], 2);
+    return false;
+  }
   return true;
 }
 
@@ -238,6 +270,8 @@ struct ConnPlan {
   std::string Wire;
   std::vector<std::string> Blocks;
   bool BlockAware = false;
+  /// Multi-tenant mode: send `GRAMMAR <this>` before anything else.
+  std::string GrammarName;
 };
 
 /// Renders a corpus in the wire format (one s-expression line per root,
@@ -399,6 +433,14 @@ ConnOutcome runAttempt(const LoadOptions &Opts, const ConnPlan &Plan,
   }
   S->setRecvTimeout(Opts.TimeoutMillis);
 
+  if (!Plan.GrammarName.empty()) {
+    // The multi-tenant handshake must precede BACKEND and the corpus.
+    // The server answers errors only, so nothing to read here.
+    if (!S->writeAll("GRAMMAR " + Plan.GrammarName + "\n")) {
+      Out.Detail = "GRAMMAR handshake write failed";
+      return Out;
+    }
+  }
   if (Opts.PickBackend) {
     std::string Handshake =
         std::string("BACKEND ") + backendName(Opts.Backend) + "\n";
@@ -625,25 +667,42 @@ int main(int Argc, char **Argv) {
     for (ConnPlan &P : Plans)
       P = Shared;
   } else {
-    Expected<std::unique_ptr<Target>> TOrErr = makeTarget(Opts.Target);
-    if (!TOrErr) {
-      std::fprintf(stderr, "error: %s\n", TOrErr.message().c_str());
-      return 2;
+    // One target per distinct grammar name: connection I runs grammar
+    // Grammars[I % N] (just --target without --grammars) and computes its
+    // references against that grammar — cross-grammar bleed on the server
+    // side becomes a byte mismatch here.
+    std::vector<std::string> Names = Opts.Grammars;
+    if (Names.empty())
+      Names.push_back(Opts.Target);
+    std::map<std::string, std::unique_ptr<Target>> Targets;
+    for (const std::string &Name : Names) {
+      if (Targets.count(Name))
+        continue;
+      Expected<std::unique_ptr<Target>> TOrErr = makeTarget(Name);
+      if (!TOrErr) {
+        std::fprintf(stderr, "error: %s: %s\n", Name.c_str(),
+                     TOrErr.message().c_str());
+        return 2;
+      }
+      Targets.emplace(Name, std::move(*TOrErr));
     }
-    Target &T = **TOrErr;
     // Mirror the server's lane-grammar rule: the offline lane (and a
     // --fixed server) serves the stripped grammar.
     bool Fixed = Opts.ForceFixed ||
                  (Opts.PickBackend && Opts.Backend == BackendKind::Offline);
-    const Grammar &G = Fixed ? T.Fixed : T.G;
-    const DynCostTable *Dyn = Fixed ? nullptr : &T.Dyn;
     for (unsigned I = 0; I < Opts.Connections; ++I) {
+      const std::string &Name = Names[I % Names.size()];
+      Target &T = *Targets.at(Name);
+      const Grammar &G = Fixed ? T.Fixed : T.G;
+      const DynCostTable *Dyn = Fixed ? nullptr : &T.Dyn;
       Expected<ConnPlan> P = makePlan(Opts, G, Dyn, I);
       if (!P) {
         std::fprintf(stderr, "error: %s\n", P.message().c_str());
         return 2;
       }
       Plans[I] = std::move(*P);
+      if (!Opts.Grammars.empty())
+        Plans[I].GrammarName = Name;
     }
   }
 

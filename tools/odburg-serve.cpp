@@ -37,6 +37,7 @@
 
 #include "ir/SExprParser.h"
 #include "pipeline/CompileService.h"
+#include "registry/GrammarRegistry.h"
 #include "serve/TcpServer.h"
 #include "support/FaultInjection.h"
 #include "support/StringUtil.h"
@@ -87,6 +88,10 @@ struct ServeOptions {
   unsigned MemBudgetMb = 0;
   unsigned DrainTimeoutMillis = 10000;
   std::string Faults; // --faults=SPEC, merged over ODBURG_FAULTS.
+  // Multi-tenant mode (--listen only): spool directory for a
+  // GrammarRegistry serving `GRAMMAR <name>` handshakes.
+  std::string RegistryDir;
+  bool NoSnapshots = false; // --no-snapshots: skip warm snapshot load/dump.
 };
 
 int usage(const char *Argv0, int Exit) {
@@ -144,13 +149,25 @@ int usage(const char *Argv0, int Exit) {
       "                        in their ordered slot\n"
       "  --mem-budget=MB       backend-memory budget; a governor degrades\n"
       "                        lane tier stacks while usage exceeds it\n"
+      "                        (with --registry-dir it also drives LRU\n"
+      "                        eviction of idle grammars)\n"
+      "  --registry-dir=DIR    multi-tenant mode: serve many grammars from\n"
+      "                        one process. Clients pick theirs with a\n"
+      "                        'GRAMMAR <name>' first line — a built-in\n"
+      "                        target or DIR/<name>.odg — and DIR spools\n"
+      "                        compiled tables and warm-automaton\n"
+      "                        snapshots across restarts. 'RELOAD <name>'\n"
+      "                        hot-swaps an edited grammar\n"
+      "  --no-snapshots        registry mode: do not load or dump warm\n"
+      "                        automaton snapshots\n"
       "  --drain-timeout=MS    SIGTERM/SIGINT drain budget before in-flight\n"
       "                        work is force-severed (default 10000)\n"
       "  --faults=SPEC         arm fault-injection sites (also read from\n"
       "                        ODBURG_FAULTS). SPEC = site:trigger[,...];\n"
       "                        sites: socket-send, socket-recv,\n"
       "                        socket-accept, service-submit, tables-load,\n"
-      "                        state-compute; triggers: nth=N, every=K,\n"
+      "                        state-compute, registry-load,\n"
+      "                        registry-evict; triggers: nth=N, every=K,\n"
       "                        p=P[@seed]\n"
       "  --help                this text\n"
       "\n"
@@ -268,6 +285,15 @@ bool parseArgs(int Argc, char **Argv, ServeOptions &Opts, int &ExitCode) {
       }
     } else if (startsWith(Arg, "--faults=")) {
       Opts.Faults = std::string(Value("--faults="));
+    } else if (startsWith(Arg, "--registry-dir=")) {
+      Opts.RegistryDir = std::string(Value("--registry-dir="));
+      if (Opts.RegistryDir.empty()) {
+        std::fprintf(stderr, "invalid --registry-dir (empty)\n");
+        ExitCode = usage(Argv[0], 2);
+        return false;
+      }
+    } else if (Arg == "--no-snapshots") {
+      Opts.NoSnapshots = true;
     } else if (!startsWith(Arg, "--")) {
       if (!Opts.InputPath.empty()) {
         std::fprintf(stderr, "more than one INPUT path\n");
@@ -427,6 +453,21 @@ int serveNetwork(const ServeOptions &Opts, Target &T) {
   SrvOpts.MemBudgetBytes =
       static_cast<std::size_t>(Opts.MemBudgetMb) * 1024 * 1024;
 
+  // Multi-tenant mode: one registry behind every connection's GRAMMAR
+  // handshake, spooling tables and warm snapshots in --registry-dir.
+  // Declared before the server so it outlives every lease the server's
+  // lanes hold.
+  std::unique_ptr<registry::GrammarRegistry> Registry;
+  if (!Opts.RegistryDir.empty()) {
+    registry::GrammarRegistry::Options RO;
+    RO.Dir = Opts.RegistryDir;
+    RO.MemBudgetBytes = SrvOpts.MemBudgetBytes;
+    RO.BackendOpts = SrvOpts.BackendOpts;
+    RO.LoadSnapshots = !Opts.NoSnapshots;
+    Registry = std::make_unique<registry::GrammarRegistry>(std::move(RO));
+    SrvOpts.Registry = Registry.get();
+  }
+
   Expected<std::unique_ptr<serve::TcpServer>> Server =
       serve::TcpServer::start(T, std::move(SrvOpts));
   if (!Server) {
@@ -449,10 +490,12 @@ int serveNetwork(const ServeOptions &Opts, Target &T) {
   }
   std::fprintf(stderr,
                "odburg-serve: listening on %s:%u (target=%s, default "
-               "backend=%s, gram=%s)\n",
+               "backend=%s, gram=%s%s%s)\n",
                Opts.Host.c_str(), (*Server)->port(), Opts.Target.c_str(),
                backendName(Opts.Backend),
-               Opts.ForceFixed ? "fixed" : "full");
+               Opts.ForceFixed ? "fixed" : "full",
+               Registry ? ", registry=" : "",
+               Registry ? Opts.RegistryDir.c_str() : "");
 
   if (::pipe(SignalPipe) != 0) {
     std::fprintf(stderr, "error: pipe: %s\n", std::strerror(errno));
@@ -495,6 +538,28 @@ int serveNetwork(const ServeOptions &Opts, Target &T) {
                Forced ? "drain forced; severing in-flight connections"
                       : "drained clean; shutting down");
   (*Server)->stop();
+  if (Registry) {
+    // The server is quiescent now; persist the warm automata so the next
+    // process serves its first batch out of the warm tiers.
+    if (!Opts.NoSnapshots) {
+      if (Error E = Registry->dumpWarmSnapshots())
+        std::fprintf(stderr, "odburg-serve: warm snapshot dump failed: %s\n",
+                     E.message().c_str());
+    }
+    registry::RegistryStats RS = Registry->statsSnapshot();
+    std::fprintf(
+        stderr,
+        "odburg-serve: registry — %llu resident grammars, %llu acquires, "
+        "%llu evictions, %llu hot swaps, %llu snapshot hits, %llu misses, "
+        "%llu tables loads\n",
+        static_cast<unsigned long long>(RS.ResidentGrammars),
+        static_cast<unsigned long long>(RS.Acquires),
+        static_cast<unsigned long long>(RS.Evictions),
+        static_cast<unsigned long long>(RS.HotSwaps),
+        static_cast<unsigned long long>(RS.SnapshotHits),
+        static_cast<unsigned long long>(RS.SnapshotMisses),
+        static_cast<unsigned long long>(RS.TablesLoads));
+  }
   std::fprintf(stderr,
                "odburg-serve: served %llu connections (%llu shed, %llu "
                "submit-shed, %llu idle-reaped, %llu cancelled deliveries, "

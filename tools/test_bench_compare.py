@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Unit tests for bench_compare.py.
+
+Run directly (python3 tools/test_bench_compare.py) or through CTest,
+which registers this file when a Python3 interpreter is found. The
+end-to-end cases shell out to bench_compare.py with the same
+interpreter, so exit statuses (0 clean / 1 regression / 2 usage) are
+tested exactly as CI consumes them.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, HERE)
+
+import bench_compare  # noqa: E402
+
+COMPARE = os.path.join(HERE, "bench_compare.py")
+
+
+def meta(build="Release", **kw):
+    row = {"bench": "__meta__", "build": build, "hardware_concurrency": 8,
+           "compiler": "g++", "os": "linux", "smoke": False}
+    row.update(kw)
+    return row
+
+
+def run_compare(baseline, candidate, *extra):
+    """Writes the two reports to temp files and runs bench_compare.py."""
+    with tempfile.TemporaryDirectory() as d:
+        bp = os.path.join(d, "base.json")
+        cp = os.path.join(d, "cand.json")
+        with open(bp, "w") as f:
+            json.dump(baseline, f)
+        with open(cp, "w") as f:
+            json.dump(candidate, f)
+        return subprocess.run(
+            [sys.executable, COMPARE, bp, cp, *extra],
+            capture_output=True, text=True)
+
+
+class DirectionTest(unittest.TestCase):
+    def test_higher_is_better_names(self):
+        for key in ("fn_per_s", "labels_per_s", "throughput", "hit_rate",
+                    "snapshot_hit", "speedup", "warm_ratio"):
+            self.assertEqual(bench_compare.direction(key), 1, key)
+
+    def test_lower_is_better_names(self):
+        for key in ("p50_ms", "wall_ns", "resident_bytes", "mem_mb",
+                    "total_cost", "states", "misses", "first_batch_us"):
+            self.assertEqual(bench_compare.direction(key), -1, key)
+
+    def test_short_units_match_tokenwise_only(self):
+        # "ms" must not fire inside "mismatches"; "us" not inside "status".
+        self.assertEqual(bench_compare.direction("mismatches"), 0)
+        self.assertEqual(bench_compare.direction("status"), 0)
+        self.assertEqual(bench_compare.direction("p99_ms"), -1)
+
+    def test_config_parameters_are_ignored(self):
+        for key in ("functions", "threads", "epoch", "connections"):
+            self.assertEqual(bench_compare.direction(key), 0, key)
+
+
+class RowKeyTest(unittest.TestCase):
+    def test_strings_bools_and_config_ints_form_the_key(self):
+        row = {"bench": "registry", "backend": "hybrid", "warm": True,
+               "threads": 4, "fn_per_s": 123.0, "p50_ms": 1.5}
+        key = dict(bench_compare.row_key(row))
+        self.assertEqual(key, {"bench": "registry", "backend": "hybrid",
+                               "warm": "True", "threads": "4"})
+
+    def test_metric_ints_stay_out_of_the_key(self):
+        a = bench_compare.row_key({"bench": "b", "states": 10})
+        b = bench_compare.row_key({"bench": "b", "states": 99})
+        self.assertEqual(a, b)
+
+    def test_key_is_order_insensitive(self):
+        a = bench_compare.row_key({"bench": "b", "x": "1", "y": "2"})
+        b = bench_compare.row_key({"y": "2", "x": "1", "bench": "b"})
+        self.assertEqual(a, b)
+
+
+class LoadTest(unittest.TestCase):
+    def test_meta_row_is_split_from_data(self):
+        with tempfile.TemporaryDirectory() as d:
+            p = os.path.join(d, "r.json")
+            with open(p, "w") as f:
+                json.dump([meta(), {"bench": "x", "ms": 1}], f)
+            m, rows = bench_compare.load(p)
+        self.assertEqual(m.get("build"), "Release")
+        self.assertEqual(len(rows), 1)
+        self.assertEqual(rows[0]["bench"], "x")
+
+
+class EndToEndTest(unittest.TestCase):
+    def test_identical_reports_pass(self):
+        rows = [meta(), {"bench": "x", "backend": "dp", "fn_per_s": 100.0}]
+        r = run_compare(rows, rows)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("0 regression(s)", r.stdout)
+
+    def test_regression_beyond_tolerance_fails(self):
+        base = [meta(), {"bench": "x", "backend": "dp", "fn_per_s": 100.0}]
+        cand = [meta(), {"bench": "x", "backend": "dp", "fn_per_s": 80.0}]
+        r = run_compare(base, cand)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("REGRESSION", r.stdout)
+
+    def test_improvement_and_tolerated_noise_pass(self):
+        base = [meta(), {"bench": "x", "p50_ms": 10.0, "fn_per_s": 100.0}]
+        cand = [meta(), {"bench": "x", "p50_ms": 10.3, "fn_per_s": 140.0}]
+        r = run_compare(base, cand)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_wider_tolerance_forgives(self):
+        base = [meta(), {"bench": "x", "p50_ms": 10.0}]
+        cand = [meta(), {"bench": "x", "p50_ms": 11.5}]
+        self.assertEqual(run_compare(base, cand).returncode, 1)
+        self.assertEqual(
+            run_compare(base, cand, "--tolerance", "0.2").returncode, 0)
+
+    def test_build_type_mismatch_is_a_usage_error(self):
+        base = [meta(build="Release"), {"bench": "x", "ms": 1.0}]
+        cand = [meta(build="Debug"), {"bench": "x", "ms": 1.0}]
+        r = run_compare(base, cand)
+        self.assertEqual(r.returncode, 2, r.stdout + r.stderr)
+        self.assertIn("incomparable", r.stderr)
+
+    def test_key_restriction_fallback_matches_new_config_axes(self):
+        # The candidate records a config axis ("spool") the baseline has
+        # never heard of; the row must still pair up — and a regression
+        # inside it must still be caught.
+        base = [meta(), {"bench": "x", "backend": "dp", "fn_per_s": 100.0}]
+        cand = [meta(), {"bench": "x", "backend": "dp", "spool": "warm",
+                         "fn_per_s": 50.0}]
+        r = run_compare(base, cand)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("(0 unmatched)", r.stdout)
+
+    def test_truly_new_rows_count_as_unmatched_not_errors(self):
+        base = [meta(), {"bench": "x", "fn_per_s": 100.0}]
+        cand = [meta(), {"bench": "x", "fn_per_s": 100.0},
+                {"bench": "brand_new", "fn_per_s": 1.0}]
+        r = run_compare(base, cand)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("(1 unmatched)", r.stdout)
+
+    def test_duplicate_keys_pair_positionally(self):
+        # Two rows with the same key (e.g. repeated trials): each candidate
+        # row consumes one baseline row instead of comparing both against
+        # the first.
+        base = [meta(), {"bench": "x", "ms": 10.0}, {"bench": "x", "ms": 50.0}]
+        cand = [meta(), {"bench": "x", "ms": 10.0}, {"bench": "x", "ms": 50.0}]
+        r = run_compare(base, cand)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_unreadable_file_is_a_usage_error(self):
+        r = subprocess.run(
+            [sys.executable, COMPARE, "/nonexistent.json",
+             "/nonexistent.json"], capture_output=True, text=True)
+        self.assertEqual(r.returncode, 2)
+
+    def test_non_array_report_is_a_usage_error(self):
+        with tempfile.TemporaryDirectory() as d:
+            p = os.path.join(d, "r.json")
+            with open(p, "w") as f:
+                json.dump({"bench": "x"}, f)
+            r = subprocess.run([sys.executable, COMPARE, p, p],
+                               capture_output=True, text=True)
+        self.assertEqual(r.returncode, 2)
+
+
+if __name__ == "__main__":
+    unittest.main()
